@@ -1,0 +1,84 @@
+//! Ablation studies over the mechanisms DESIGN.md calls out: each prints a
+//! small rate comparison showing the mechanism *matters*, then benchmarks a
+//! round of the ablated configuration.
+//!
+//! * **page-fault trap** — remove the 6 µs trap (set `trap_us = 0`) and the
+//!   v1-vs-v2 multi-core contrast collapses;
+//! * **stat contention inflation** — set the factor to 1.0 and v2's
+//!   detection geometry changes;
+//! * **background kernel activity** — silence it and the 1-byte vi SMP
+//!   attack becomes certain;
+//! * **rename visibility** — make the name visible only at rename's end and
+//!   gedit's SMP window shrinks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use tocttou_bench::quick_rate;
+use tocttou_workloads::scenario::Scenario;
+
+static HEADER: Once = Once::new();
+
+const ROUNDS: u64 = 80;
+
+fn print_ablations() {
+    println!("\n== ablations (rates over {ROUNDS} rounds) ==");
+
+    // Page-fault trap.
+    let v1 = Scenario::gedit_multicore_v1(2048);
+    let mut v1_no_trap = Scenario::gedit_multicore_v1(2048);
+    v1_no_trap.machine.costs.trap_us = 0.0;
+    println!(
+        "trap          : v1 multicore {:>5.1}% -> without page fault {:>5.1}%",
+        100.0 * quick_rate(&v1, ROUNDS, 0xA0),
+        100.0 * quick_rate(&v1_no_trap, ROUNDS, 0xA1),
+    );
+
+    // stat contention inflation.
+    let v2 = Scenario::gedit_multicore_v2(2048);
+    let mut v2_no_inflation = Scenario::gedit_multicore_v2(2048);
+    v2_no_inflation.machine.costs.stat_contention_factor = 1.0;
+    println!(
+        "stat inflation: v2 multicore {:>5.1}% -> without inflation {:>5.1}%",
+        100.0 * quick_rate(&v2, ROUNDS, 0xA2),
+        100.0 * quick_rate(&v2_no_inflation, ROUNDS, 0xA3),
+    );
+
+    // Background activity.
+    let vi1 = Scenario::vi_smp(1);
+    let mut vi1_quiet = Scenario::vi_smp(1);
+    vi1_quiet.machine = vi1_quiet.machine.quiet();
+    println!(
+        "background    : vi 1-byte SMP {:>5.1}% -> quiet machine {:>5.1}%",
+        100.0 * quick_rate(&vi1, ROUNDS, 0xA4),
+        100.0 * quick_rate(&vi1_quiet, ROUNDS, 0xA5),
+    );
+
+    // Rename visibility.
+    let g = Scenario::gedit_smp(2048);
+    let mut g_late = Scenario::gedit_smp(2048);
+    g_late.machine.costs.rename_visible_frac = 1.0;
+    println!(
+        "rename vis.   : gedit SMP {:>5.1}% -> name visible only at rename end {:>5.1}%",
+        100.0 * quick_rate(&g, ROUNDS, 0xA6),
+        100.0 * quick_rate(&g_late, ROUNDS, 0xA7),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    tocttou_bench::print_once(&HEADER, print_ablations);
+
+    let mut quiet = Scenario::vi_smp(1);
+    quiet.machine = quiet.machine.quiet();
+    let mut group = c.benchmark_group("ablations");
+    group.bench_function("quiet_machine_round", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            quiet.run_round(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 10 — successful gedit attack (program v2) on the multi-core.
+//!
+//! Prints the reproduced event timeline, then benchmarks a traced v2 round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use tocttou_experiments::figures::fig10;
+use tocttou_workloads::scenario::Scenario;
+
+static HEADER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    tocttou_bench::print_once(&HEADER, || {
+        let out = fig10::run(&fig10::Config::default());
+        println!("\n{out}");
+        let rate = tocttou_bench::quick_rate(&Scenario::gedit_multicore_v2(2048), 60, 0xA1);
+        println!(
+            "v2 multi-core success over 60 rounds: {:.1}% (paper: \"many successes\")",
+            rate * 100.0
+        );
+    });
+
+    let scenario = Scenario::gedit_multicore_v2(2048);
+    let mut group = c.benchmark_group("fig10");
+    group.bench_function("traced_v2_round", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            scenario.run_traced(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

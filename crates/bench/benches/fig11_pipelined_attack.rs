@@ -1,0 +1,38 @@
+//! Figure 11 — pipelined vs sequential attacker completion times.
+//!
+//! Prints the reproduced bar data (syscall spans and speed-ups), then
+//! benchmarks both attacker variants end to end for a mid-size file —
+//! *simulated attack latency* is exactly the quantity the figure compares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Once;
+use tocttou_experiments::figures::fig11;
+use tocttou_workloads::scenario::Scenario;
+
+static HEADER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    tocttou_bench::print_once(&HEADER, || {
+        let out = fig11::run(&fig11::Config::default());
+        println!("\n{out}");
+    });
+
+    let mut group = c.benchmark_group("fig11_round");
+    group.sample_size(20);
+    for (label, scenario) in [
+        ("sequential", Scenario::sequential_attack(100 * 1024)),
+        ("pipelined", Scenario::pipelined_attack(100 * 1024)),
+    ] {
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scenario, |b, s| {
+            b.iter(|| {
+                seed += 1;
+                s.run_round(seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

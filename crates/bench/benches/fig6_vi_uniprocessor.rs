@@ -1,0 +1,43 @@
+//! Figure 6 — vi attack success vs file size on a uniprocessor.
+//!
+//! Prints the reproduced sweep (reduced rounds), then benchmarks the cost
+//! of one uniprocessor round at two representative sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Once;
+use tocttou_experiments::figures::fig6;
+use tocttou_workloads::scenario::Scenario;
+
+static HEADER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    tocttou_bench::print_once(&HEADER, || {
+        let out = fig6::run(&fig6::Config {
+            sizes_kb: vec![100, 300, 500, 700, 1000],
+            rounds: 120,
+            seed: 0xF6,
+        });
+        println!("\n{out}");
+    });
+
+    let mut group = c.benchmark_group("fig6_round");
+    group.sample_size(10);
+    for size_kb in [100u64, 1000] {
+        let scenario = Scenario::vi_uniprocessor(size_kb * 1024);
+        let mut seed = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{size_kb}KB")),
+            &scenario,
+            |b, s| {
+                b.iter(|| {
+                    seed += 1;
+                    s.run_round(seed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 7 — L and D vs file size for vi on the SMP.
+//!
+//! Prints the reproduced L/D sweep, then benchmarks a traced round plus the
+//! L/D extraction pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use tocttou_experiments::extract::{observe, WindowKind};
+use tocttou_experiments::figures::fig7;
+use tocttou_workloads::scenario::Scenario;
+
+static HEADER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    tocttou_bench::print_once(&HEADER, || {
+        let out = fig7::run(&fig7::Config {
+            sizes_kb: vec![20, 200, 400, 600, 800, 1000],
+            rounds: 6,
+            seed: 0xF7,
+        });
+        println!("\n{out}");
+    });
+
+    let scenario = Scenario::vi_smp(100 * 1024);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("traced_round_plus_ld_extraction", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (_, handles) = scenario.run_traced(seed);
+            observe(
+                handles.kernel.trace(),
+                handles.victim,
+                handles.attackers[0],
+                WindowKind::ViCreat,
+                "/home/user/doc.txt",
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 8 — failed gedit attack (program v1) on the multi-core.
+//!
+//! Prints the reproduced event timeline, then benchmarks a traced v1 round
+//! (the figure's raw material).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use tocttou_experiments::figures::fig8;
+use tocttou_workloads::scenario::Scenario;
+
+static HEADER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    tocttou_bench::print_once(&HEADER, || {
+        let out = fig8::run(&fig8::Config::default());
+        println!("\n{out}");
+        let rate = tocttou_bench::quick_rate(&Scenario::gedit_multicore_v1(2048), 60, 0x81);
+        println!("v1 multi-core success over 60 rounds: {:.1}% (paper: ~0%)", rate * 100.0);
+    });
+
+    let scenario = Scenario::gedit_multicore_v1(2048);
+    let mut group = c.benchmark_group("fig8");
+    group.bench_function("traced_v1_round", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            scenario.run_traced(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Simulator performance: event throughput, syscall engine cost, model
+//! evaluation cost and Monte-Carlo round latency. These bound how many
+//! reproduction rounds a CI budget can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tocttou_core::model::{expected_success_rate, MeasuredUs};
+use tocttou_os::prelude::*;
+use tocttou_sim::queue::EventQueue;
+use tocttou_sim::rng::SimRng;
+use tocttou_sim::time::SimTime;
+use tocttou_workloads::scenario::Scenario;
+
+/// Raw event-queue churn: push/pop cycles.
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_perf/event_queue");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::seed_from_u64(1);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(rng.next_below(1_000_000)), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+/// Kernel throughput: a spinning process executing stat in a loop.
+fn bench_kernel_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_perf/kernel");
+    group.sample_size(20);
+    group.bench_function("spin_1ms_simulated", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new(MachineSpec::multicore_pentium_d().quiet(), 3);
+            k.disable_trace();
+            k.vfs_mut()
+                .mkdir(
+                    "/d",
+                    InodeMeta {
+                        uid: Uid::ROOT,
+                        gid: Gid::ROOT,
+                        mode: 0o755,
+                    },
+                )
+                .unwrap();
+            k.vfs_mut()
+                .create_file(
+                    "/d/f",
+                    InodeMeta {
+                        uid: Uid::ROOT,
+                        gid: Gid::ROOT,
+                        mode: 0o644,
+                    },
+                )
+                .unwrap();
+            let mut flip = false;
+            k.spawn(
+                "spinner",
+                Uid(1),
+                Gid(1),
+                true,
+                Box::new(move |_: &LogicCtx, _: Option<&SyscallResult>| {
+                    flip = !flip;
+                    if flip {
+                        Action::Syscall(SyscallRequest::Stat { path: "/d/f".into() })
+                    } else {
+                        Action::Compute(tocttou_sim::time::SimDuration::from_micros(2))
+                    }
+                }),
+            );
+            k.run_until(|k| k.now() >= SimTime::from_millis(1), SimTime::from_millis(2));
+            k.events_processed()
+        })
+    });
+    group.finish();
+}
+
+/// One full Monte-Carlo round for each scenario family.
+fn bench_round_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_perf/round");
+    group.sample_size(20);
+    let cases = [
+        ("gedit_smp", Scenario::gedit_smp(2048)),
+        ("vi_smp_100k", Scenario::vi_smp(100 * 1024)),
+    ];
+    for (label, scenario) in cases {
+        let mut seed = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                seed += 1;
+                scenario.run_round(seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Closed-form model evaluation (the stochastic integral is the slow one).
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_perf/model");
+    group.bench_function("expected_success_rate", |b| {
+        b.iter(|| {
+            expected_success_rate(MeasuredUs::new(61.6, 3.78), MeasuredUs::new(41.1, 2.73))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_kernel_events,
+    bench_round_latency,
+    bench_model
+);
+criterion_main!(benches);

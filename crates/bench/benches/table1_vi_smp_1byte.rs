@@ -1,0 +1,36 @@
+//! Table 1 — average L and D for 1-byte vi SMP attacks.
+//!
+//! Prints the reproduced table (reduced rounds), then benchmarks the
+//! 1-byte round, the smallest complete attack the simulator runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use tocttou_experiments::figures::table1;
+use tocttou_workloads::scenario::Scenario;
+
+static HEADER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    tocttou_bench::print_once(&HEADER, || {
+        let out = table1::run(&table1::Config {
+            rounds: 120,
+            seed: 0x71,
+            p_interference: 0.04,
+        });
+        println!("\n{out}");
+    });
+
+    let scenario = Scenario::vi_smp(1);
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("one_byte_round", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            scenario.run_round(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

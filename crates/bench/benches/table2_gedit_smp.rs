@@ -1,0 +1,35 @@
+//! Table 2 — L and D for gedit SMP attacks (predicted vs observed).
+//!
+//! Prints the reproduced table, then benchmarks one gedit SMP round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use tocttou_experiments::figures::table2;
+use tocttou_workloads::scenario::Scenario;
+
+static HEADER: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    tocttou_bench::print_once(&HEADER, || {
+        let out = table2::run(&table2::Config {
+            rounds: 120,
+            seed: 0x72,
+            file_size: 2048,
+        });
+        println!("\n{out}");
+    });
+
+    let scenario = Scenario::gedit_smp(2048);
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("gedit_smp_round", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            scenario.run_round(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! # tocttou-bench — benchmark-harness support
+//!
+//! Shared helpers for the Criterion benchmarks under `benches/`, one per
+//! table/figure of the paper (each prints its reduced reproduction rows
+//! once, then measures per-round simulation cost), plus simulator
+//! performance and ablation benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Once;
+use tocttou_core::stats::SuccessCounter;
+use tocttou_workloads::scenario::Scenario;
+
+/// Runs `f` exactly once per process (used to print reproduction rows at
+/// bench start without polluting every Criterion iteration).
+pub fn print_once(once: &'static Once, f: impl FnOnce()) {
+    once.call_once(f);
+}
+
+/// Quick success-rate estimate for headline printing inside benches.
+pub fn quick_rate(scenario: &Scenario, rounds: u64, seed: u64) -> f64 {
+    let mut c = SuccessCounter::new();
+    for i in 0..rounds {
+        c.record(scenario.run_round(seed + i).success);
+    }
+    c.rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_rate_counts() {
+        let r = quick_rate(&Scenario::vi_smp(1024), 3, 9);
+        assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn print_once_runs_once() {
+        static ONCE: Once = Once::new();
+        let mut n = 0;
+        print_once(&ONCE, || n += 1);
+        print_once(&ONCE, || n += 10);
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Extraction of L and D from observed event times.
+//!
+//! The paper's Section 3.4 defines, per attack round:
+//!
+//! * `t1` — the earliest start time of a detection-loop iteration that can
+//!   observe the vulnerability window;
+//! * `t2` — the latest detection start that still leads to the attacker
+//!   winning the semaphore race;
+//! * `D`  — the detection-loop period (for gedit, measured as the interval
+//!   from the start of `stat` to the start of `unlink`);
+//! * `L = t2 − t1` — the victim's laxity.
+//!
+//! For the gedit analysis (Section 6.1) `t2` is derived from `t3`, the start
+//! of the victim's `chmod`, as `t2 = t3 − D`, giving `L = t3 − D − t1`.
+//!
+//! This module is deliberately independent of the simulator: it consumes
+//! plain microsecond timestamps, so the same estimators serve simulated
+//! traces, the native lab's `clock_gettime` measurements, or numbers typed
+//! in from the paper.
+
+use crate::model::laxity::MeasuredUs;
+use crate::stats::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+/// One round's laxity observation, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LdSample {
+    /// The victim's laxity L (may be negative: window closed too early).
+    pub l_us: f64,
+    /// The attacker's detection period D.
+    pub d_us: f64,
+}
+
+impl LdSample {
+    /// Directly from `t1`, `t2` and `D` (Section 3.4 definitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_us` is not strictly positive and finite.
+    pub fn from_t1_t2(t1_us: f64, t2_us: f64, d_us: f64) -> Self {
+        assert!(
+            d_us > 0.0 && d_us.is_finite(),
+            "detection period D must be positive and finite"
+        );
+        LdSample {
+            l_us: t2_us - t1_us,
+            d_us,
+        }
+    }
+
+    /// The gedit form (Section 6.1): `t2 = t3 − D`, where `t3` is the start
+    /// of the victim's `chmod`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_us` is not strictly positive and finite.
+    pub fn from_gedit_times(t1_us: f64, t3_us: f64, d_us: f64) -> Self {
+        Self::from_t1_t2(t1_us, t3_us - d_us, d_us)
+    }
+
+    /// Formula (1) evaluated on this single observation.
+    pub fn point_success_rate(&self) -> f64 {
+        crate::model::laxity::success_rate(self.l_us, self.d_us)
+    }
+}
+
+/// Accumulates per-round [`LdSample`]s into the mean ± stdev form of the
+/// paper's Tables 1 and 2.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::analysis::{LdEstimator, LdSample};
+///
+/// let mut est = LdEstimator::new();
+/// est.push(LdSample { l_us: 61.0, d_us: 41.0 });
+/// est.push(LdSample { l_us: 62.2, d_us: 41.2 });
+/// let (l, d) = est.estimates().expect("two samples present");
+/// assert!((l.mean - 61.6).abs() < 1e-9);
+/// assert!(d.mean > 41.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LdEstimator {
+    l: OnlineStats,
+    d: OnlineStats,
+}
+
+impl LdEstimator {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        LdEstimator::default()
+    }
+
+    /// Adds one round's observation.
+    pub fn push(&mut self, sample: LdSample) {
+        self.l.push(sample.l_us);
+        self.d.push(sample.d_us);
+    }
+
+    /// Number of rounds accumulated.
+    pub fn count(&self) -> u64 {
+        self.l.count()
+    }
+
+    /// The `(L, D)` estimates, or `None` if no rounds were recorded.
+    pub fn estimates(&self) -> Option<(MeasuredUs, MeasuredUs)> {
+        if self.l.count() == 0 {
+            return None;
+        }
+        Some((
+            MeasuredUs::new(self.l.mean(), self.l.sample_stdev()),
+            MeasuredUs::new(self.d.mean(), self.d.sample_stdev()),
+        ))
+    }
+
+    /// Formula (1) evaluated at the mean L and mean D — the paper's
+    /// "success rate indicated by Table 2" number.
+    ///
+    /// Returns `None` if no rounds were recorded.
+    pub fn predicted_success_rate(&self) -> Option<f64> {
+        let (l, d) = self.estimates()?;
+        if d.mean <= 0.0 {
+            return None;
+        }
+        Some(crate::model::laxity::success_rate(l.mean, d.mean))
+    }
+
+    /// The stochastic prediction integrating the observed variance
+    /// (see [`crate::model::laxity::expected_success_rate`]).
+    ///
+    /// Returns `None` if no rounds were recorded or mean D is non-positive.
+    pub fn expected_success_rate(&self) -> Option<f64> {
+        let (l, d) = self.estimates()?;
+        if d.mean <= 0.0 {
+            return None;
+        }
+        Some(crate::model::laxity::expected_success_rate(l, d))
+    }
+
+    /// Raw accumulators, for reporting ranges.
+    pub fn raw(&self) -> (&OnlineStats, &OnlineStats) {
+        (&self.l, &self.d)
+    }
+}
+
+impl Extend<LdSample> for LdEstimator {
+    fn extend<I: IntoIterator<Item = LdSample>>(&mut self, iter: I) {
+        for s in iter {
+            self.push(s);
+        }
+    }
+}
+
+impl FromIterator<LdSample> for LdEstimator {
+    fn from_iter<I: IntoIterator<Item = LdSample>>(iter: I) -> Self {
+        let mut est = LdEstimator::new();
+        est.extend(iter);
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_t2_form() {
+        let s = LdSample::from_t1_t2(10.0, 21.6, 32.7);
+        assert!((s.l_us - 11.6).abs() < 1e-12);
+        assert_eq!(s.d_us, 32.7);
+    }
+
+    #[test]
+    fn gedit_form_matches_paper_algebra() {
+        // L = t3 − D − t1.
+        let s = LdSample::from_gedit_times(5.0, 50.0, 32.7);
+        assert!((s.l_us - (50.0 - 32.7 - 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_laxity_is_representable() {
+        let s = LdSample::from_t1_t2(30.0, 11.0, 22.0);
+        assert!(s.l_us < 0.0);
+        assert_eq!(s.point_success_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nonpositive_d_rejected() {
+        let _ = LdSample::from_t1_t2(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn estimator_reproduces_table2_shape() {
+        // Synthesize rounds clustered at the Table 2 values.
+        let mut est = LdEstimator::new();
+        for i in 0..100 {
+            let wiggle = (i as f64 * 0.7).sin() * 3.0;
+            est.push(LdSample {
+                l_us: 11.6 + wiggle,
+                d_us: 32.7 + wiggle * 0.7,
+            });
+        }
+        let (l, d) = est.estimates().unwrap();
+        assert!((l.mean - 11.6).abs() < 0.5);
+        assert!((d.mean - 32.7).abs() < 0.5);
+        let predicted = est.predicted_success_rate().unwrap();
+        assert!((predicted - 0.355).abs() < 0.03, "predicted {predicted}");
+    }
+
+    #[test]
+    fn empty_estimator_returns_none() {
+        let est = LdEstimator::new();
+        assert!(est.estimates().is_none());
+        assert!(est.predicted_success_rate().is_none());
+        assert!(est.expected_success_rate().is_none());
+        assert_eq!(est.count(), 0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let est: LdEstimator = (0..10)
+            .map(|i| LdSample {
+                l_us: 60.0 + i as f64 * 0.1,
+                d_us: 41.0,
+            })
+            .collect();
+        assert_eq!(est.count(), 10);
+        // L ≥ D for every sample → predicted rate 1.
+        assert_eq!(est.predicted_success_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn expected_rate_below_point_rate_near_boundary() {
+        // All mass exactly at L = D: point prediction is 1, but variance
+        // pushes the expectation below 1.
+        let mut est = LdEstimator::new();
+        for i in 0..50 {
+            let jitter = ((i * 37) % 11) as f64 - 5.0;
+            est.push(LdSample {
+                l_us: 40.0 + jitter,
+                d_us: 40.0 - jitter * 0.3,
+            });
+        }
+        let point = est.predicted_success_rate().unwrap();
+        let expected = est.expected_success_rate().unwrap();
+        assert!(expected <= point + 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! # tocttou-core — the probabilistic TOCTTOU attack model
+//!
+//! This crate is the primary contribution of *"Multiprocessors May Reduce
+//! System Dependability under File-Based Race Condition Attacks"* (Wei & Pu,
+//! DSN 2007), reproduced as a library:
+//!
+//! * [`model`] — **Equation 1** (the total-probability decomposition of
+//!   attack success over victim suspension) and **formula (1)** (the
+//!   `clamp(L/D)` laxity race for the semaphore-level contention on
+//!   multiprocessors), plus scenario-level predictors for uniprocessors and
+//!   multiprocessors;
+//! * [`taxonomy`] — the `<check, use>` TOCTTOU pair classification (the
+//!   "224 kinds of TOCTTOU vulnerabilities for Linux");
+//! * [`analysis`] — estimators that turn per-round event timestamps into the
+//!   L and D statistics of the paper's Tables 1 and 2;
+//! * [`stats`] — numerically stable accumulators, success-rate counters with
+//!   Wilson confidence intervals, and histograms.
+//!
+//! The companion crates provide the experimental apparatus: `tocttou-os`
+//! (a deterministic multiprocessor OS simulator), `tocttou-workloads`
+//! (vi/gedit victims and the paper's three attacker programs),
+//! `tocttou-experiments` (Monte-Carlo reproduction of every table and
+//! figure) and `tocttou-lab` (a native real-syscall race laboratory).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tocttou_core::model::{MultiprocessorScenario, UniprocessorScenario, MeasuredUs};
+//!
+//! // vi saving a 1 MB file, uniprocessor: the window is ~17 ms inside a
+//! // 100 ms time slice, so suspension — and hence attack success — is rare.
+//! let uni = UniprocessorScenario {
+//!     window_us: 17_000.0,
+//!     timeslice_us: 100_000.0,
+//!     p_block: 0.0,
+//!     p_attacker_ready: 1.0,
+//!     p_attack_completes: 1.0,
+//! };
+//!
+//! // The same save on a 2-way SMP: the attacker spins on its own CPU and
+//! // formula (1) takes over with L ≫ D.
+//! let smp = MultiprocessorScenario {
+//!     l: MeasuredUs::new(17_000.0, 500.0),
+//!     d: MeasuredUs::new(41.1, 2.73),
+//!     p_suspended: 0.0,
+//!     p_interference: 0.0,
+//! };
+//!
+//! let p_uni = uni.success_probability().value();
+//! let p_smp = smp.success_probability().value();
+//! assert!(p_uni < 0.2);
+//! assert!(p_smp > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod model;
+pub mod stats;
+pub mod taxonomy;
+
+pub use analysis::{LdEstimator, LdSample};
+pub use model::{
+    classify, expected_success_rate, success_rate, DependabilityDelta, Equation1, MeasuredUs,
+    MultiprocessorScenario, Probability, RaceRegime, UniprocessorScenario,
+};
+pub use stats::{Histogram, OnlineStats, SuccessCounter, Summary};
+pub use taxonomy::{enumerate_pairs, FsCall, TocttouPair};

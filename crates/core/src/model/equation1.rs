@@ -1,0 +1,292 @@
+//! Equation 1: the general total-probability model of Section 3.1.
+//!
+//! ```text
+//! P(attack succeeds) =
+//!     P(victim suspended)
+//!       × P(attack scheduled │ victim suspended)
+//!       × P(attack finished  │ victim suspended)
+//!   + P(victim not suspended)
+//!       × P(attack scheduled │ victim not suspended)
+//!       × P(attack finished  │ victim not suspended)
+//! ```
+//!
+//! All events are conditioned on the victim's vulnerability window: "attack
+//! finished" means *finished within the window*. The uniprocessor and
+//! multiprocessor predictors of Sections 3.2–3.3 are specializations of this
+//! structure (see [`crate::model::predictor`]).
+
+use serde::{Deserialize, Serialize};
+
+/// A probability in `[0, 1]`, validated at construction.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::model::equation1::Probability;
+///
+/// let p = Probability::new(0.25)?;
+/// assert_eq!(p.value(), 0.25);
+/// assert_eq!(p.complement().value(), 0.75);
+/// assert!(Probability::new(1.5).is_err());
+/// # Ok::<(), tocttou_core::model::equation1::InvalidProbability>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Probability(f64);
+
+/// Error returned when a value outside `[0, 1]` (or NaN) is used as a
+/// probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidProbability(pub f64);
+
+impl std::fmt::Display for InvalidProbability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "value {} is not a probability in [0, 1]", self.0)
+    }
+}
+
+impl std::error::Error for InvalidProbability {}
+
+impl Probability {
+    /// Certain failure.
+    pub const ZERO: Probability = Probability(0.0);
+    /// Certain success.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Validates and wraps `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidProbability`] if `p` is NaN or outside `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, InvalidProbability> {
+        if p.is_nan() || !(0.0..=1.0).contains(&p) {
+            Err(InvalidProbability(p))
+        } else {
+            Ok(Probability(p))
+        }
+    }
+
+    /// Clamps `p` into `[0, 1]` (NaN becomes 0). For use with values that
+    /// are already mathematically guaranteed to be probabilities up to
+    /// floating-point round-off.
+    pub fn saturating(p: f64) -> Self {
+        if p.is_nan() {
+            Probability(0.0)
+        } else {
+            Probability(p.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The inner value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `1 − p`.
+    pub fn complement(self) -> Probability {
+        Probability(1.0 - self.0)
+    }
+
+    /// Product of two probabilities (joint probability of independent
+    /// events, or chained conditionals).
+    pub fn and(self, other: Probability) -> Probability {
+        Probability(self.0 * other.0)
+    }
+}
+
+impl std::fmt::Display for Probability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+/// The five conditional probabilities of Equation 1.
+///
+/// `p_suspended` is `P(victim suspended within its vulnerability window)`;
+/// the other four are the scheduled/finished conditionals for each branch.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::model::equation1::{Equation1, Probability};
+///
+/// // A uniprocessor-like configuration: the attacker can never be
+/// // scheduled concurrently with a running victim.
+/// let eq = Equation1 {
+///     p_suspended: Probability::new(0.17)?,
+///     p_scheduled_given_suspended: Probability::ONE,
+///     p_finished_given_suspended: Probability::ONE,
+///     p_scheduled_given_running: Probability::ZERO,
+///     p_finished_given_running: Probability::ZERO,
+/// };
+/// assert!((eq.success_probability().value() - 0.17).abs() < 1e-12);
+/// # Ok::<(), tocttou_core::model::equation1::InvalidProbability>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Equation1 {
+    /// `P(victim suspended)` — probability the victim is suspended at some
+    /// point within its vulnerability window.
+    pub p_suspended: Probability,
+    /// `P(attack scheduled │ victim suspended)`.
+    pub p_scheduled_given_suspended: Probability,
+    /// `P(attack finished │ victim suspended)`.
+    pub p_finished_given_suspended: Probability,
+    /// `P(attack scheduled │ victim not suspended)` — necessarily zero on a
+    /// uniprocessor (Section 3.2), positive on multiprocessors (Section 3.3).
+    pub p_scheduled_given_running: Probability,
+    /// `P(attack finished │ victim not suspended)` — governed by the L/D
+    /// laxity race (Section 3.4).
+    pub p_finished_given_running: Probability,
+}
+
+impl Equation1 {
+    /// Evaluates Equation 1.
+    pub fn success_probability(&self) -> Probability {
+        let suspended_branch = self
+            .p_suspended
+            .and(self.p_scheduled_given_suspended)
+            .and(self.p_finished_given_suspended);
+        let running_branch = self
+            .p_suspended
+            .complement()
+            .and(self.p_scheduled_given_running)
+            .and(self.p_finished_given_running);
+        Probability::saturating(suspended_branch.value() + running_branch.value())
+    }
+
+    /// The contribution of the "victim suspended" branch alone — the entire
+    /// success probability on a uniprocessor.
+    pub fn suspended_branch(&self) -> Probability {
+        self.p_suspended
+            .and(self.p_scheduled_given_suspended)
+            .and(self.p_finished_given_suspended)
+    }
+
+    /// The contribution of the "victim not suspended" branch alone — the
+    /// multiprocessor gain highlighted by the paper.
+    pub fn running_branch(&self) -> Probability {
+        self.p_suspended
+            .complement()
+            .and(self.p_scheduled_given_running)
+            .and(self.p_finished_given_running)
+    }
+
+    /// An upper bound: on a uniprocessor,
+    /// `P(attack succeeds) ≤ P(victim suspended)` (Section 3.2 observation).
+    pub fn uniprocessor_upper_bound(&self) -> Probability {
+        self.p_suspended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64) -> Probability {
+        Probability::new(x).unwrap()
+    }
+
+    #[test]
+    fn probability_validation() {
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+        assert!(Probability::new(-0.01).is_err());
+        assert!(Probability::new(1.01).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        let err = Probability::new(2.0).unwrap_err();
+        assert!(err.to_string().contains("2"));
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Probability::saturating(-1.0).value(), 0.0);
+        assert_eq!(Probability::saturating(2.0).value(), 1.0);
+        assert_eq!(Probability::saturating(f64::NAN).value(), 0.0);
+        assert_eq!(Probability::saturating(0.5).value(), 0.5);
+    }
+
+    #[test]
+    fn complement_and_product() {
+        assert!((p(0.3).complement().value() - 0.7).abs() < 1e-12);
+        assert!((p(0.5).and(p(0.5)).value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation1_total_probability_identity() {
+        let eq = Equation1 {
+            p_suspended: p(0.2),
+            p_scheduled_given_suspended: p(0.9),
+            p_finished_given_suspended: p(1.0),
+            p_scheduled_given_running: p(0.95),
+            p_finished_given_running: p(0.5),
+        };
+        let expected = 0.2 * 0.9 * 1.0 + 0.8 * 0.95 * 0.5;
+        assert!((eq.success_probability().value() - expected).abs() < 1e-12);
+        assert!(
+            (eq.suspended_branch().value() + eq.running_branch().value()
+                - eq.success_probability().value())
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn uniprocessor_bound_holds() {
+        // With the running branch zeroed (uniprocessor), success can never
+        // exceed P(victim suspended).
+        for ps in [0.0, 0.1, 0.5, 1.0] {
+            let eq = Equation1 {
+                p_suspended: p(ps),
+                p_scheduled_given_suspended: p(1.0),
+                p_finished_given_suspended: p(1.0),
+                p_scheduled_given_running: Probability::ZERO,
+                p_finished_given_running: p(1.0),
+            };
+            assert!(
+                eq.success_probability().value() <= eq.uniprocessor_upper_bound().value() + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn multiprocessor_gain_is_largest_when_rarely_suspended() {
+        // Section 3.3: the benefit of multiprocessors is maximized when the
+        // victim is rarely suspended.
+        let gain = |ps: f64| {
+            let base = Equation1 {
+                p_suspended: p(ps),
+                p_scheduled_given_suspended: p(1.0),
+                p_finished_given_suspended: p(1.0),
+                p_scheduled_given_running: Probability::ZERO,
+                p_finished_given_running: Probability::ZERO,
+            };
+            let multi = Equation1 {
+                p_scheduled_given_running: p(1.0),
+                p_finished_given_running: p(1.0),
+                ..base
+            };
+            multi.success_probability().value() - base.success_probability().value()
+        };
+        assert!(gain(0.01) > gain(0.5));
+        assert!(gain(0.5) > gain(0.99));
+        assert!((gain(0.0) - 1.0).abs() < 1e-12, "gedit-like victim: 0 → 1");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(p(0.83).to_string(), "83.0%");
+        assert_eq!(Probability::ONE.to_string(), "100.0%");
+    }
+
+    #[test]
+    fn f64_conversion() {
+        let x: f64 = p(0.4).into();
+        assert_eq!(x, 0.4);
+    }
+}

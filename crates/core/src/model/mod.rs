@@ -1,0 +1,20 @@
+//! The paper's probabilistic model of TOCTTOU attack success.
+//!
+//! * [`equation1`] — the general total-probability decomposition
+//!   (Section 3.1);
+//! * [`laxity`] — formula (1), the `clamp(L/D)` semaphore-race model and its
+//!   stochastic refinement (Section 3.4);
+//! * [`predictor`] — uniprocessor (Section 3.2) and multiprocessor
+//!   (Section 3.3) scenario predictors assembled from physical parameters;
+//! * [`sensitivity`] — gradients, break-even points and success curves over
+//!   the laxity model (the defender's view).
+
+pub mod equation1;
+pub mod laxity;
+pub mod predictor;
+pub mod sensitivity;
+
+pub use equation1::{Equation1, InvalidProbability, Probability};
+pub use laxity::{classify, expected_success_rate, success_rate, MeasuredUs, RaceRegime};
+pub use predictor::{DependabilityDelta, MultiprocessorScenario, UniprocessorScenario};
+pub use sensitivity::{break_even_d, gradient, safe_laxity, success_curve, Gradient};

@@ -1,0 +1,354 @@
+//! Scenario-level predictors: Sections 3.2 (uniprocessor) and 3.3–3.4
+//! (multiprocessor) assembled into ready-to-use forms.
+//!
+//! These turn *physical* scenario parameters (vulnerability-window length,
+//! scheduler time slice, I/O blocking, measured L and D, background
+//! interference) into the five probabilities of [`Equation1`] and evaluate
+//! it. The experiment harness uses them to produce the "model" column that
+//! is validated against simulation in `tests/model_validation.rs`.
+
+use super::equation1::{Equation1, Probability};
+use super::laxity::{expected_success_rate, MeasuredUs};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a uniprocessor attack scenario (Section 3.2).
+///
+/// On a uniprocessor the attacker can only act while the victim is suspended
+/// inside its own vulnerability window, so the success rate is bounded by —
+/// and in practice approximately equal to — `P(victim suspended)`.
+///
+/// Two suspension causes are modeled, matching the paper's event analysis of
+/// vi on uniprocessors (file size correlates with success because a longer
+/// window is likelier to contain a time-slice expiry; I/O blocking adds a
+/// size-independent floor):
+///
+/// * **time-slice expiry**: the window start is uniformly located within the
+///   victim's current slice, so `P(expiry in window) ≈ min(window/slice, 1)`;
+/// * **voluntary blocking** (I/O wait, page allocation stall) at probability
+///   `p_block` per window.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::model::predictor::UniprocessorScenario;
+///
+/// // vi saving a 1 MB file: ~17 ms window, 100 ms time slice.
+/// let vi = UniprocessorScenario {
+///     window_us: 17_000.0,
+///     timeslice_us: 100_000.0,
+///     p_block: 0.0,
+///     p_attacker_ready: 1.0,
+///     p_attack_completes: 1.0,
+/// };
+/// let p = vi.success_probability().value();
+/// assert!((p - 0.17).abs() < 0.01); // Figure 6's right edge (~18 %)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniprocessorScenario {
+    /// Vulnerability-window length in microseconds.
+    pub window_us: f64,
+    /// Scheduler time slice in microseconds.
+    pub timeslice_us: f64,
+    /// Probability the victim voluntarily blocks (I/O) inside the window.
+    pub p_block: f64,
+    /// `P(attack scheduled │ victim suspended)` — near 1 for a spinning
+    /// attacker on a lightly loaded system.
+    pub p_attacker_ready: f64,
+    /// `P(attack finished │ victim suspended)` — near 1 because the file-name
+    /// redirection is short and non-blocking.
+    pub p_attack_completes: f64,
+}
+
+impl UniprocessorScenario {
+    /// `P(victim suspended within the window)`.
+    ///
+    /// Combines the slice-expiry probability with the voluntary-block
+    /// probability as independent causes.
+    pub fn p_suspended(&self) -> Probability {
+        assert!(
+            self.timeslice_us > 0.0,
+            "time slice must be positive"
+        );
+        let p_slice = (self.window_us.max(0.0) / self.timeslice_us).min(1.0);
+        let p = 1.0 - (1.0 - p_slice) * (1.0 - self.p_block.clamp(0.0, 1.0));
+        Probability::saturating(p)
+    }
+
+    /// Assembles the full [`Equation1`] (running branch identically zero).
+    pub fn equation(&self) -> Equation1 {
+        Equation1 {
+            p_suspended: self.p_suspended(),
+            p_scheduled_given_suspended: Probability::saturating(self.p_attacker_ready),
+            p_finished_given_suspended: Probability::saturating(self.p_attack_completes),
+            p_scheduled_given_running: Probability::ZERO,
+            p_finished_given_running: Probability::ZERO,
+        }
+    }
+
+    /// The predicted success probability.
+    pub fn success_probability(&self) -> Probability {
+        self.equation().success_probability()
+    }
+}
+
+/// Parameters of a multiprocessor attack scenario (Sections 3.3–3.4).
+///
+/// The dominant term is the laxity race `E[clamp(L/D)]` evaluated over the
+/// measured (mean ± stdev) L and D. `p_interference` models the residual
+/// environmental effect the paper observed in the 1-byte vi experiments:
+/// "some other processes prevent the attacker from being scheduled on
+/// another CPU during the vulnerability window".
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::model::predictor::MultiprocessorScenario;
+/// use tocttou_core::model::laxity::MeasuredUs;
+///
+/// // Table 1: vi on SMP with 1-byte files.
+/// let vi = MultiprocessorScenario {
+///     l: MeasuredUs::new(61.6, 3.78),
+///     d: MeasuredUs::new(41.1, 2.73),
+///     p_suspended: 0.0,
+///     p_interference: 0.04,
+/// };
+/// let p = vi.success_probability().value();
+/// assert!(p > 0.9 && p < 1.0); // paper observed ~96 %
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiprocessorScenario {
+    /// Victim laxity L (mean ± stdev, µs).
+    pub l: MeasuredUs,
+    /// Attacker detection period D (mean ± stdev, µs).
+    pub d: MeasuredUs,
+    /// `P(victim suspended within the window)` — usually near zero in the
+    /// multiprocessor experiments (no I/O blocking inside the window).
+    pub p_suspended: f64,
+    /// Probability that environmental interference (kernel activity, system
+    /// load) denies the attacker its CPU during the window.
+    pub p_interference: f64,
+}
+
+impl MultiprocessorScenario {
+    /// `P(attack finished │ victim not suspended)` from the stochastic
+    /// laxity model.
+    pub fn p_finished_running(&self) -> Probability {
+        Probability::saturating(expected_success_rate(self.l, self.d))
+    }
+
+    /// Assembles the full [`Equation1`].
+    ///
+    /// When the victim *is* suspended on a multiprocessor the attack is easy
+    /// (the attacker has a whole CPU and a stopped victim), so both
+    /// suspended-branch conditionals are taken as `1 − p_interference`.
+    pub fn equation(&self) -> Equation1 {
+        let avail = Probability::saturating(1.0 - self.p_interference);
+        Equation1 {
+            p_suspended: Probability::saturating(self.p_suspended),
+            p_scheduled_given_suspended: avail,
+            p_finished_given_suspended: Probability::ONE,
+            p_scheduled_given_running: avail,
+            p_finished_given_running: self.p_finished_running(),
+        }
+    }
+
+    /// The predicted success probability.
+    pub fn success_probability(&self) -> Probability {
+        self.equation().success_probability()
+    }
+}
+
+/// Side-by-side prediction for the same victim on one vs. many processors —
+/// the paper's headline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DependabilityDelta {
+    /// Predicted success rate on the uniprocessor.
+    pub uniprocessor: f64,
+    /// Predicted success rate on the multiprocessor.
+    pub multiprocessor: f64,
+}
+
+impl DependabilityDelta {
+    /// Builds the comparison from the two scenario models.
+    pub fn compare(uni: &UniprocessorScenario, multi: &MultiprocessorScenario) -> Self {
+        DependabilityDelta {
+            uniprocessor: uni.success_probability().value(),
+            multiprocessor: multi.success_probability().value(),
+        }
+    }
+
+    /// The multiplicative risk increase (∞ -> `f64::INFINITY` when the
+    /// uniprocessor rate is zero but the multiprocessor rate is not).
+    pub fn risk_factor(&self) -> f64 {
+        if self.uniprocessor == 0.0 {
+            if self.multiprocessor == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.multiprocessor / self.uniprocessor
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniprocessor_scales_with_window() {
+        let base = UniprocessorScenario {
+            window_us: 1_700.0, // vi @ 100 KB
+            timeslice_us: 100_000.0,
+            p_block: 0.0,
+            p_attacker_ready: 1.0,
+            p_attack_completes: 1.0,
+        };
+        let small = base.success_probability().value();
+        let big = UniprocessorScenario {
+            window_us: 17_000.0, // vi @ 1 MB
+            ..base
+        }
+        .success_probability()
+        .value();
+        assert!((small - 0.017).abs() < 1e-3);
+        assert!((big - 0.17).abs() < 1e-2);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn uniprocessor_gedit_is_hopeless() {
+        let gedit = UniprocessorScenario {
+            window_us: 55.0,
+            timeslice_us: 100_000.0,
+            p_block: 0.0,
+            p_attacker_ready: 1.0,
+            p_attack_completes: 1.0,
+        };
+        assert!(gedit.success_probability().value() < 0.001);
+    }
+
+    #[test]
+    fn uniprocessor_block_probability_adds_floor() {
+        let with_io = UniprocessorScenario {
+            window_us: 1_000.0,
+            timeslice_us: 100_000.0,
+            p_block: 0.5,
+            p_attacker_ready: 1.0,
+            p_attack_completes: 1.0,
+        };
+        assert!(with_io.success_probability().value() > 0.5);
+    }
+
+    #[test]
+    fn uniprocessor_window_longer_than_slice_saturates() {
+        let s = UniprocessorScenario {
+            window_us: 500_000.0,
+            timeslice_us: 100_000.0,
+            p_block: 0.0,
+            p_attacker_ready: 1.0,
+            p_attack_completes: 1.0,
+        };
+        assert_eq!(s.p_suspended().value(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time slice must be positive")]
+    fn zero_timeslice_panics() {
+        let s = UniprocessorScenario {
+            window_us: 1.0,
+            timeslice_us: 0.0,
+            p_block: 0.0,
+            p_attacker_ready: 1.0,
+            p_attack_completes: 1.0,
+        };
+        let _ = s.p_suspended();
+    }
+
+    #[test]
+    fn multiprocessor_vi_large_file_is_certain() {
+        let vi = MultiprocessorScenario {
+            l: MeasuredUs::new(17_000.0, 500.0),
+            d: MeasuredUs::new(41.1, 2.73),
+            p_suspended: 0.0,
+            p_interference: 0.0,
+        };
+        assert!((vi.success_probability().value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiprocessor_interference_caps_success() {
+        let vi = MultiprocessorScenario {
+            l: MeasuredUs::new(17_000.0, 500.0),
+            d: MeasuredUs::new(41.1, 2.73),
+            p_suspended: 0.0,
+            p_interference: 0.04,
+        };
+        let p = vi.success_probability().value();
+        assert!((p - 0.96).abs() < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn multiprocessor_gedit_smp_table2_prediction() {
+        // Table 2 with the paper's conservative t1 estimate: ~35 %.
+        let gedit = MultiprocessorScenario {
+            l: MeasuredUs::new(11.6, 3.89),
+            d: MeasuredUs::new(32.7, 2.83),
+            p_suspended: 0.0,
+            p_interference: 0.0,
+        };
+        let p = gedit.success_probability().value();
+        assert!((p - 0.355).abs() < 0.03, "got {p}");
+    }
+
+    #[test]
+    fn multiprocessor_hopeless_attack_v1() {
+        // Section 6.2.1: L ≈ −19 µs → essentially zero.
+        let gedit_v1 = MultiprocessorScenario {
+            l: MeasuredUs::new(-19.0, 2.0),
+            d: MeasuredUs::new(22.0, 2.0),
+            p_suspended: 0.0,
+            p_interference: 0.0,
+        };
+        assert!(gedit_v1.success_probability().value() < 0.001);
+    }
+
+    #[test]
+    fn delta_risk_factor() {
+        let d = DependabilityDelta {
+            uniprocessor: 0.02,
+            multiprocessor: 1.0,
+        };
+        assert!((d.risk_factor() - 50.0).abs() < 1e-9);
+        let zero = DependabilityDelta {
+            uniprocessor: 0.0,
+            multiprocessor: 0.83,
+        };
+        assert_eq!(zero.risk_factor(), f64::INFINITY);
+        let both_zero = DependabilityDelta {
+            uniprocessor: 0.0,
+            multiprocessor: 0.0,
+        };
+        assert_eq!(both_zero.risk_factor(), 1.0);
+    }
+
+    #[test]
+    fn compare_builds_from_scenarios() {
+        let uni = UniprocessorScenario {
+            window_us: 55.0,
+            timeslice_us: 100_000.0,
+            p_block: 0.0,
+            p_attacker_ready: 1.0,
+            p_attack_completes: 1.0,
+        };
+        let multi = MultiprocessorScenario {
+            l: MeasuredUs::new(30.0, 3.0),
+            d: MeasuredUs::new(33.0, 3.0),
+            p_suspended: 0.0,
+            p_interference: 0.0,
+        };
+        let delta = DependabilityDelta::compare(&uni, &multi);
+        assert!(delta.multiprocessor > 100.0 * delta.uniprocessor);
+    }
+}

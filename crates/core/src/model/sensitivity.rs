@@ -1,0 +1,223 @@
+//! Sensitivity analysis over the laxity model — the "what should a
+//! defender change?" view of formula (1).
+//!
+//! The paper's conclusion asks system designers to "re-evaluate the risks
+//! of known vulnerabilities … in multiprocessor environments". This module
+//! quantifies the levers:
+//!
+//! * how fast the success rate moves with victim laxity L and attacker
+//!   period D (partial derivatives of `clamp(L/D)`);
+//! * the **break-even attacker speed** — the largest D at which the attack
+//!   is still certain — and the **safe laxity** — the largest L at which
+//!   success stays below a target rate;
+//! * a sweep helper producing the success-rate curve over L for plotting
+//!   and for the taxonomy-wide risk ranking.
+
+use super::laxity::{expected_success_rate, success_rate, MeasuredUs};
+use serde::{Deserialize, Serialize};
+
+/// Partial derivatives of formula (1) at `(l_us, d_us)`.
+///
+/// In the contended regime (`0 < L < D`) the rate is `L/D`, so
+/// `∂p/∂L = 1/D` and `∂p/∂D = −L/D²`; elsewhere both are zero (flat
+/// regions). Units: probability per microsecond.
+///
+/// # Panics
+///
+/// Panics if `d_us` is not strictly positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::model::sensitivity::gradient;
+///
+/// // Table 2's regime: each µs of extra victim laxity buys the attacker
+/// // ~3 percentage points.
+/// let g = gradient(11.6, 32.7);
+/// assert!((g.dp_dl - 1.0 / 32.7).abs() < 1e-12);
+/// assert!(g.dp_dd < 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gradient {
+    /// ∂p/∂L — marginal success per µs of added victim laxity.
+    pub dp_dl: f64,
+    /// ∂p/∂D — marginal success per µs of added attacker period (negative:
+    /// slower attackers succeed less).
+    pub dp_dd: f64,
+}
+
+/// Computes the gradient of formula (1).
+///
+/// # Panics
+///
+/// Panics if `d_us` is not strictly positive and finite.
+pub fn gradient(l_us: f64, d_us: f64) -> Gradient {
+    assert!(
+        d_us > 0.0 && d_us.is_finite(),
+        "detection period D must be positive and finite"
+    );
+    if l_us <= 0.0 || l_us >= d_us {
+        Gradient {
+            dp_dl: 0.0,
+            dp_dd: 0.0,
+        }
+    } else {
+        Gradient {
+            dp_dl: 1.0 / d_us,
+            dp_dd: -l_us / (d_us * d_us),
+        }
+    }
+}
+
+/// The largest attacker period D at which the attack is still *certain*
+/// for a victim of laxity `l_us` — the paper's L ≥ D boundary read from the
+/// attacker's side. Returns `None` for non-positive laxity (never certain).
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::model::sensitivity::break_even_d;
+///
+/// // vi at 1 MB: any attacker with a loop under ~17 ms wins outright.
+/// assert_eq!(break_even_d(17_000.0), Some(17_000.0));
+/// assert_eq!(break_even_d(-3.0), None);
+/// ```
+pub fn break_even_d(l_us: f64) -> Option<f64> {
+    (l_us > 0.0).then_some(l_us)
+}
+
+/// The largest victim laxity L that keeps the success rate at or below
+/// `target` against an attacker of period `d_us` — the defender's budget
+/// when shrinking a window.
+///
+/// # Panics
+///
+/// Panics if `d_us` is not positive/finite or `target` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::model::sensitivity::safe_laxity;
+///
+/// // To keep a D = 33 µs attacker under 5 %, the window may leave at most
+/// // ~1.6 µs of laxity.
+/// let l = safe_laxity(33.0, 0.05);
+/// assert!((l - 1.65).abs() < 0.01);
+/// ```
+pub fn safe_laxity(d_us: f64, target: f64) -> f64 {
+    assert!(
+        d_us > 0.0 && d_us.is_finite(),
+        "detection period D must be positive and finite"
+    );
+    assert!(
+        (0.0..=1.0).contains(&target),
+        "target must be a probability"
+    );
+    target * d_us
+}
+
+/// One point of a success-rate curve over L.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Victim laxity, µs.
+    pub l_us: f64,
+    /// Deterministic formula (1) rate.
+    pub point: f64,
+    /// Stochastic rate under the given measurement noise.
+    pub expected: f64,
+}
+
+/// Sweeps the success rate over `[l_from, l_to]` in `steps` points for an
+/// attacker `d`, with `l_noise` measurement noise feeding the stochastic
+/// column.
+///
+/// # Panics
+///
+/// Panics if `steps < 2` or the range is empty.
+pub fn success_curve(
+    l_from: f64,
+    l_to: f64,
+    steps: usize,
+    d: MeasuredUs,
+    l_noise: f64,
+) -> Vec<CurvePoint> {
+    assert!(steps >= 2, "need at least two points");
+    assert!(l_from < l_to, "empty sweep range");
+    (0..steps)
+        .map(|i| {
+            let l_us = l_from + (l_to - l_from) * i as f64 / (steps - 1) as f64;
+            CurvePoint {
+                l_us,
+                point: if d.mean > 0.0 {
+                    success_rate(l_us, d.mean)
+                } else {
+                    0.0
+                },
+                expected: expected_success_rate(MeasuredUs::new(l_us, l_noise), d),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (l, d) = (11.6, 32.7);
+        let g = gradient(l, d);
+        let h = 1e-6;
+        let dl = (success_rate(l + h, d) - success_rate(l - h, d)) / (2.0 * h);
+        let dd = (success_rate(l, d + h) - success_rate(l, d - h)) / (2.0 * h);
+        assert!((g.dp_dl - dl).abs() < 1e-6, "{} vs {dl}", g.dp_dl);
+        assert!((g.dp_dd - dd).abs() < 1e-6, "{} vs {dd}", g.dp_dd);
+    }
+
+    #[test]
+    fn gradient_is_zero_on_flat_regions() {
+        assert_eq!(gradient(-5.0, 10.0).dp_dl, 0.0);
+        assert_eq!(gradient(50.0, 10.0).dp_dl, 0.0);
+        assert_eq!(gradient(50.0, 10.0).dp_dd, 0.0);
+    }
+
+    #[test]
+    fn break_even_is_the_identity_on_positive_laxity() {
+        assert_eq!(break_even_d(61.6), Some(61.6));
+        assert_eq!(break_even_d(0.0), None);
+    }
+
+    #[test]
+    fn safe_laxity_inverts_formula_one() {
+        let d = 41.1;
+        for target in [0.0, 0.05, 0.5, 1.0] {
+            let l = safe_laxity(d, target);
+            let achieved = if l > 0.0 { success_rate(l, d) } else { 0.0 };
+            assert!((achieved - target).abs() < 1e-12, "target {target}");
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone_and_bounded() {
+        let curve = success_curve(-10.0, 100.0, 56, MeasuredUs::new(33.0, 2.8), 4.0);
+        assert_eq!(curve.len(), 56);
+        for w in curve.windows(2) {
+            assert!(w[1].point >= w[0].point - 1e-12);
+            assert!(w[1].expected >= w[0].expected - 1e-9);
+        }
+        for p in &curve {
+            assert!((0.0..=1.0).contains(&p.point));
+            assert!((0.0..=1.0).contains(&p.expected));
+        }
+        // The stochastic curve is smoother: strictly inside (0,1) near the
+        // deterministic kinks.
+        let near_zero = curve.iter().find(|p| p.l_us.abs() < 1.0).unwrap();
+        assert!(near_zero.expected > 0.0, "noise smooths the L=0 kink");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep range")]
+    fn reversed_range_panics() {
+        let _ = success_curve(5.0, 5.0, 4, MeasuredUs::exact(10.0), 0.0);
+    }
+}

@@ -1,0 +1,523 @@
+//! Summary statistics for experiment measurements.
+//!
+//! The paper reports every measured quantity as *mean ± standard deviation*
+//! over repeated rounds (Tables 1 and 2) and every attack outcome as a
+//! success *rate* over N rounds (Figure 6 uses 500 rounds). This module
+//! provides numerically stable accumulators and confidence intervals for
+//! both kinds of quantity.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [61.0, 62.0, 61.6, 61.8] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 61.6).abs() < 0.001);
+/// assert!(s.sample_stdev() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by *n*); zero for fewer than two samples.
+    pub fn population_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divides by *n − 1*); zero for fewer than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_stdev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Standard error of the mean; zero for fewer than two samples.
+    pub fn std_error(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.sample_stdev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// A normal-approximation 95 % confidence interval for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error();
+        (self.mean() - half, self.mean() + half)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Condenses the accumulator into a serializable [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.n,
+            mean: self.mean(),
+            stdev: self.sample_stdev(),
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// A condensed, serializable statistic bundle (what the paper's tables show).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stdev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1} ± {:.2} (n={}, range {:.1}..{:.1})",
+            self.mean, self.stdev, self.count, self.min, self.max
+        )
+    }
+}
+
+/// A Bernoulli success-rate counter with Wilson-score confidence intervals.
+///
+/// Attack experiments are sequences of success/failure rounds; the Wilson
+/// interval behaves sensibly even at the extremes (0 % and 100 % observed
+/// rates), which matter here — the paper's headline results *are* the
+/// extremes.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::stats::SuccessCounter;
+///
+/// let mut c = SuccessCounter::new();
+/// for i in 0..500 {
+///     c.record(i % 6 == 0);
+/// }
+/// assert!((c.rate() - 1.0 / 6.0).abs() < 0.01);
+/// let (lo, hi) = c.wilson_ci95();
+/// assert!(lo < c.rate() && c.rate() < hi);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuccessCounter {
+    successes: u64,
+    trials: u64,
+}
+
+impl SuccessCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        SuccessCounter::default()
+    }
+
+    /// Records the outcome of one round.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Number of successful rounds.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Total rounds.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Observed success rate in `[0, 1]`; zero when no trials have run.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// The Wilson score 95 % confidence interval for the true rate.
+    ///
+    /// Returns `(0, 1)` when no trials have run.
+    pub fn wilson_ci95(&self) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let z = 1.96_f64;
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &SuccessCounter) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+}
+
+impl std::fmt::Display for SuccessCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} = {:.1}%",
+            self.successes,
+            self.trials,
+            self.rate() * 100.0
+        )
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with under/overflow bins.
+///
+/// Used for the distribution views of L and D measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram bounds out of order");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let f = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((f * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Counts per bin, in order.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `(lo, hi)` edges of bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bin_edges(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.bins.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + idx as f64 * w, self.lo + (idx + 1) as f64 * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: OnlineStats = data.iter().copied().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        let naive_sample_var = data
+            .iter()
+            .map(|x| (x - 5.0) * (x - 5.0))
+            .sum::<f64>()
+            / (data.len() - 1) as f64;
+        assert!((s.sample_variance() - naive_sample_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_stdev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), Some(3.5));
+        assert_eq!(s.max(), Some(3.5));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: OnlineStats = data.iter().copied().collect();
+        let mut a: OnlineStats = data[..37].iter().copied().collect();
+        let b: OnlineStats = data[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn ci95_narrows_with_samples() {
+        let narrow: OnlineStats = (0..10_000).map(|i| (i % 7) as f64).collect();
+        let wide: OnlineStats = (0..10).map(|i| (i % 7) as f64).collect();
+        let (nl, nh) = narrow.ci95();
+        let (wl, wh) = wide.ci95();
+        assert!(nh - nl < wh - wl);
+    }
+
+    #[test]
+    fn summary_display() {
+        let s: OnlineStats = [61.0, 62.2].into_iter().collect();
+        let text = s.summary().to_string();
+        assert!(text.contains("61.6"), "{text}");
+        assert!(text.contains("n=2"), "{text}");
+    }
+
+    #[test]
+    fn success_counter_rates() {
+        let mut c = SuccessCounter::new();
+        assert_eq!(c.rate(), 0.0);
+        c.record(true);
+        c.record(false);
+        c.record(true);
+        c.record(true);
+        assert_eq!(c.successes(), 3);
+        assert_eq!(c.trials(), 4);
+        assert!((c.rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_ci_sensible_at_extremes() {
+        let mut all = SuccessCounter::new();
+        for _ in 0..100 {
+            all.record(true);
+        }
+        let (lo, hi) = all.wilson_ci95();
+        assert!(hi <= 1.0);
+        assert!(lo > 0.9, "lower bound {lo} should be near 1");
+
+        let mut none = SuccessCounter::new();
+        for _ in 0..100 {
+            none.record(false);
+        }
+        let (lo, hi) = none.wilson_ci95();
+        assert!(lo >= 0.0);
+        assert!(hi < 0.1, "upper bound {hi} should be near 0");
+    }
+
+    #[test]
+    fn wilson_ci_empty() {
+        assert_eq!(SuccessCounter::new().wilson_ci95(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn counter_merge_and_display() {
+        let mut a = SuccessCounter::new();
+        a.record(true);
+        let mut b = SuccessCounter::new();
+        b.record(false);
+        b.record(true);
+        a.merge(&b);
+        assert_eq!(a.trials(), 3);
+        assert_eq!(a.successes(), 2);
+        assert!(a.to_string().contains("2/3"));
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(-1.0);
+        h.push(0.0);
+        h.push(1.9);
+        h.push(5.0);
+        h.push(9.999);
+        h.push(10.0);
+        h.push(42.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins(), &[2, 0, 1, 0, 1]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds out of order")]
+    fn histogram_bad_bounds_panics() {
+        let _ = Histogram::new(2.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,357 @@
+//! TOCTTOU pair taxonomy.
+//!
+//! Following the anatomy study the paper builds on (Wei & Pu, FAST '05), a
+//! TOCTTOU vulnerability is induced by a **pair** of file-system calls on the
+//! same path: a *check* call that establishes an invariant about the mapping
+//! from file name to file object, and a *use* call that relies on the
+//! invariant still holding. The paper cites **224 such pairs for Linux** —
+//! the cross product of a 14-element check set and a 16-element use set.
+//! The exact member lists below reconstruct that enumeration: calls that
+//! *read* or *create* a name→object binding can check, and calls that
+//! *consume* a binding can use.
+
+use serde::{Deserialize, Serialize};
+
+/// File-system calls that participate in TOCTTOU pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are the syscall names themselves
+pub enum FsCall {
+    Access,
+    Stat,
+    Lstat,
+    Readlink,
+    Open,
+    Creat,
+    Mkdir,
+    Mknod,
+    Link,
+    Symlink,
+    Rename,
+    Unlink,
+    Rmdir,
+    Execve,
+    Chdir,
+    Chroot,
+    Chmod,
+    Chown,
+    Truncate,
+    Utime,
+    Mount,
+}
+
+impl FsCall {
+    /// All calls known to the taxonomy.
+    pub const ALL: [FsCall; 21] = [
+        FsCall::Access,
+        FsCall::Stat,
+        FsCall::Lstat,
+        FsCall::Readlink,
+        FsCall::Open,
+        FsCall::Creat,
+        FsCall::Mkdir,
+        FsCall::Mknod,
+        FsCall::Link,
+        FsCall::Symlink,
+        FsCall::Rename,
+        FsCall::Unlink,
+        FsCall::Rmdir,
+        FsCall::Execve,
+        FsCall::Chdir,
+        FsCall::Chroot,
+        FsCall::Chmod,
+        FsCall::Chown,
+        FsCall::Truncate,
+        FsCall::Utime,
+        FsCall::Mount,
+    ];
+
+    /// The 14 calls that can play the **check** role: they establish an
+    /// invariant about a pathname, either by observing it (`access`, `stat`,
+    /// …) or by creating it (`creat`, `mkdir`, …, whose success implies "the
+    /// name now refers to the object I just made").
+    pub const CHECK_SET: [FsCall; 14] = [
+        FsCall::Access,
+        FsCall::Stat,
+        FsCall::Lstat,
+        FsCall::Readlink,
+        FsCall::Open,
+        FsCall::Creat,
+        FsCall::Mkdir,
+        FsCall::Mknod,
+        FsCall::Link,
+        FsCall::Symlink,
+        FsCall::Rename,
+        FsCall::Unlink,
+        FsCall::Rmdir,
+        FsCall::Chdir,
+    ];
+
+    /// The 16 calls that can play the **use** role: they act on the object a
+    /// pathname currently resolves to, so an attacker who re-binds the name
+    /// inside the window redirects the action.
+    pub const USE_SET: [FsCall; 16] = [
+        FsCall::Open,
+        FsCall::Creat,
+        FsCall::Chmod,
+        FsCall::Chown,
+        FsCall::Truncate,
+        FsCall::Utime,
+        FsCall::Link,
+        FsCall::Symlink,
+        FsCall::Unlink,
+        FsCall::Rename,
+        FsCall::Rmdir,
+        FsCall::Mkdir,
+        FsCall::Mknod,
+        FsCall::Execve,
+        FsCall::Chroot,
+        FsCall::Mount,
+    ];
+
+    /// Whether the call can play the check role.
+    pub fn can_check(self) -> bool {
+        Self::CHECK_SET.contains(&self)
+    }
+
+    /// Whether the call can play the use role.
+    pub fn can_use(self) -> bool {
+        Self::USE_SET.contains(&self)
+    }
+
+    /// The syscall's conventional lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsCall::Access => "access",
+            FsCall::Stat => "stat",
+            FsCall::Lstat => "lstat",
+            FsCall::Readlink => "readlink",
+            FsCall::Open => "open",
+            FsCall::Creat => "creat",
+            FsCall::Mkdir => "mkdir",
+            FsCall::Mknod => "mknod",
+            FsCall::Link => "link",
+            FsCall::Symlink => "symlink",
+            FsCall::Rename => "rename",
+            FsCall::Unlink => "unlink",
+            FsCall::Rmdir => "rmdir",
+            FsCall::Execve => "execve",
+            FsCall::Chdir => "chdir",
+            FsCall::Chroot => "chroot",
+            FsCall::Chmod => "chmod",
+            FsCall::Chown => "chown",
+            FsCall::Truncate => "truncate",
+            FsCall::Utime => "utime",
+            FsCall::Mount => "mount",
+        }
+    }
+}
+
+impl std::fmt::Display for FsCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A `<check, use>` pair — the unit of TOCTTOU vulnerability.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::taxonomy::{FsCall, TocttouPair};
+///
+/// let vi = TocttouPair::new(FsCall::Open, FsCall::Chown)?;
+/// assert_eq!(vi.to_string(), "<open, chown>");
+/// assert!(TocttouPair::new(FsCall::Chmod, FsCall::Open).is_err()); // chmod can't check
+/// # Ok::<(), tocttou_core::taxonomy::InvalidPair>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TocttouPair {
+    check: FsCall,
+    use_call: FsCall,
+}
+
+/// Error returned when constructing a pair from calls that cannot play the
+/// requested roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidPair {
+    /// The offending call.
+    pub call: FsCall,
+    /// The role it cannot play.
+    pub role: Role,
+}
+
+/// The two roles in a TOCTTOU pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// The invariant-establishing call.
+    Check,
+    /// The invariant-consuming call.
+    Use,
+}
+
+impl std::fmt::Display for InvalidPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let role = match self.role {
+            Role::Check => "check",
+            Role::Use => "use",
+        };
+        write!(f, "{} cannot play the {role} role", self.call)
+    }
+}
+
+impl std::error::Error for InvalidPair {}
+
+impl TocttouPair {
+    /// Validates the roles and builds the pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPair`] naming the first call that cannot play its
+    /// role.
+    pub fn new(check: FsCall, use_call: FsCall) -> Result<Self, InvalidPair> {
+        if !check.can_check() {
+            return Err(InvalidPair {
+                call: check,
+                role: Role::Check,
+            });
+        }
+        if !use_call.can_use() {
+            return Err(InvalidPair {
+                call: use_call,
+                role: Role::Use,
+            });
+        }
+        Ok(TocttouPair { check, use_call })
+    }
+
+    /// The check call.
+    pub fn check(self) -> FsCall {
+        self.check
+    }
+
+    /// The use call.
+    pub fn use_call(self) -> FsCall {
+        self.use_call
+    }
+
+    /// The vi 6.1 vulnerability: `<open, chown>` (Figure 1).
+    pub fn vi() -> Self {
+        TocttouPair {
+            check: FsCall::Open,
+            use_call: FsCall::Chown,
+        }
+    }
+
+    /// The gedit 2.8.3 vulnerability: `<rename, chown>` (Figure 3).
+    pub fn gedit() -> Self {
+        TocttouPair {
+            check: FsCall::Rename,
+            use_call: FsCall::Chown,
+        }
+    }
+
+    /// The classic sendmail-style vulnerability: `<stat, open>` (checking a
+    /// mailbox is not a symlink before appending).
+    pub fn sendmail() -> Self {
+        TocttouPair {
+            check: FsCall::Stat,
+            use_call: FsCall::Open,
+        }
+    }
+}
+
+impl std::fmt::Display for TocttouPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<{}, {}>", self.check, self.use_call)
+    }
+}
+
+/// Enumerates the full CHECK × USE cross product — the "224 kinds of
+/// TOCTTOU vulnerabilities for Linux" the paper refers to.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_core::taxonomy::{enumerate_pairs, TocttouPair};
+///
+/// let pairs = enumerate_pairs();
+/// assert_eq!(pairs.len(), 224);
+/// assert!(pairs.contains(&TocttouPair::vi()));
+/// assert!(pairs.contains(&TocttouPair::gedit()));
+/// ```
+pub fn enumerate_pairs() -> Vec<TocttouPair> {
+    let mut pairs = Vec::with_capacity(FsCall::CHECK_SET.len() * FsCall::USE_SET.len());
+    for &check in &FsCall::CHECK_SET {
+        for &use_call in &FsCall::USE_SET {
+            pairs.push(TocttouPair { check, use_call });
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cross_product_is_224() {
+        assert_eq!(FsCall::CHECK_SET.len() * FsCall::USE_SET.len(), 224);
+        assert_eq!(enumerate_pairs().len(), 224);
+    }
+
+    #[test]
+    fn pairs_are_distinct() {
+        let pairs: HashSet<TocttouPair> = enumerate_pairs().into_iter().collect();
+        assert_eq!(pairs.len(), 224);
+    }
+
+    #[test]
+    fn named_vulnerabilities_are_valid_pairs() {
+        for pair in [TocttouPair::vi(), TocttouPair::gedit(), TocttouPair::sendmail()] {
+            assert!(pair.check().can_check());
+            assert!(pair.use_call().can_use());
+            assert!(enumerate_pairs().contains(&pair));
+        }
+    }
+
+    #[test]
+    fn role_validation() {
+        // chmod never establishes an invariant → not a check call.
+        let err = TocttouPair::new(FsCall::Chmod, FsCall::Open).unwrap_err();
+        assert_eq!(err.call, FsCall::Chmod);
+        assert_eq!(err.role, Role::Check);
+        assert!(err.to_string().contains("check"));
+
+        // stat never consumes an invariant destructively → not a use call.
+        let err = TocttouPair::new(FsCall::Open, FsCall::Stat).unwrap_err();
+        assert_eq!(err.call, FsCall::Stat);
+        assert_eq!(err.role, Role::Use);
+    }
+
+    #[test]
+    fn dual_role_calls() {
+        // open/creat/rename/unlink appear in both sets: creating a name is a
+        // check; acting through a name is a use.
+        for call in [FsCall::Open, FsCall::Creat, FsCall::Rename, FsCall::Unlink] {
+            assert!(call.can_check(), "{call} should check");
+            assert!(call.can_use(), "{call} should use");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TocttouPair::vi().to_string(), "<open, chown>");
+        assert_eq!(TocttouPair::gedit().to_string(), "<rename, chown>");
+        assert_eq!(FsCall::Lstat.to_string(), "lstat");
+    }
+
+    #[test]
+    fn sets_are_subsets_of_all() {
+        let all: HashSet<FsCall> = FsCall::ALL.into_iter().collect();
+        assert_eq!(all.len(), FsCall::ALL.len(), "ALL has duplicates");
+        for c in FsCall::CHECK_SET.iter().chain(FsCall::USE_SET.iter()) {
+            assert!(all.contains(c));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <exhibit>... [--rounds N] [--seed S] [--out DIR]
+//!
+//! exhibits: fig6 fig7 table1 table2 fig8 fig10 fig11 headline defense pairs maze lddist all
+//! ```
+//!
+//! Each exhibit prints its rows to stdout and writes `<exhibit>.json` plus a
+//! combined `REPORT.md` under the output directory (default
+//! `target/experiments`).
+
+use tocttou_experiments::figures::{
+    defense, fig10, fig11, fig6, fig7, fig8, headline, ld_dist, maze, pair_sweep, table1, table2,
+};
+use tocttou_experiments::report::Report;
+use tocttou_experiments::svg::{line_chart, span_chart, BarRow, ChartConfig, Series};
+
+#[derive(Debug)]
+struct Args {
+    exhibits: Vec<String>,
+    rounds: Option<u64>,
+    seed: Option<u64>,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut exhibits = Vec::new();
+    let mut rounds = None;
+    let mut seed = None;
+    let mut out = "target/experiments".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a value")?;
+                rounds = Some(v.parse().map_err(|e| format!("--rounds: {e}"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = Some(v.parse().map_err(|e| format!("--seed: {e}"))?);
+            }
+            "--out" => {
+                out = it.next().ok_or("--out needs a value")?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|pairs|all>... [--rounds N] [--seed S] [--out DIR]".into());
+            }
+            name if !name.starts_with('-') => exhibits.push(name.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if exhibits.is_empty() {
+        exhibits.push("all".to_string());
+    }
+    Ok(Args {
+        exhibits,
+        rounds,
+        seed,
+        out,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let wants = |name: &str| {
+        args.exhibits.iter().any(|e| e == name) || args.exhibits.iter().any(|e| e == "all")
+    };
+    let mut report = Report::new(&args.out).expect("create output directory");
+
+    if wants("headline") {
+        let mut cfg = headline::Config::default();
+        if let Some(r) = args.rounds {
+            cfg.rounds = r;
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = headline::run(&cfg);
+        println!("{out}");
+        report.add("headline", &out).expect("write headline");
+    }
+    if wants("fig6") {
+        let mut cfg = fig6::Config::default();
+        if let Some(r) = args.rounds {
+            cfg.rounds = r;
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = fig6::run(&cfg);
+        println!("{out}");
+        report.add("fig6", &out).expect("write fig6");
+        let svg = line_chart(
+            &ChartConfig {
+                title: "Figure 6 — vi uniprocessor attack success vs file size".into(),
+                x_label: "file size (KB)".into(),
+                y_label: "success rate".into(),
+                ..ChartConfig::default()
+            },
+            &[
+                Series {
+                    label: "observed".into(),
+                    points: out.rows.iter().map(|r| (r.size_kb as f64, r.observed)).collect(),
+                    color: "#d62728".into(),
+                },
+                Series {
+                    label: "model (window/timeslice)".into(),
+                    points: out.rows.iter().map(|r| (r.size_kb as f64, r.model)).collect(),
+                    color: "#1f77b4".into(),
+                },
+            ],
+        );
+        std::fs::write(report.dir().join("fig6.svg"), svg).expect("write fig6.svg");
+    }
+    if wants("fig7") {
+        let mut cfg = fig7::Config::default();
+        if let Some(r) = args.rounds {
+            cfg.rounds = (r / 10).max(3);
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = fig7::run(&cfg);
+        println!("{out}");
+        report.add("fig7", &out).expect("write fig7");
+        let svg = line_chart(
+            &ChartConfig {
+                title: "Figure 7 — L and D for vi SMP attacks".into(),
+                x_label: "file size (KB)".into(),
+                y_label: "time (µs)".into(),
+                ..ChartConfig::default()
+            },
+            &[
+                Series {
+                    label: "L".into(),
+                    points: out.rows.iter().map(|r| (r.size_kb as f64, r.l_us)).collect(),
+                    color: "#d62728".into(),
+                },
+                Series {
+                    label: "D".into(),
+                    points: out.rows.iter().map(|r| (r.size_kb as f64, r.d_us)).collect(),
+                    color: "#1f77b4".into(),
+                },
+            ],
+        );
+        std::fs::write(report.dir().join("fig7.svg"), svg).expect("write fig7.svg");
+    }
+    if wants("table1") {
+        let mut cfg = table1::Config::default();
+        if let Some(r) = args.rounds {
+            cfg.rounds = r;
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = table1::run(&cfg);
+        println!("{out}");
+        report.add("table1", &out).expect("write table1");
+    }
+    if wants("table2") {
+        let mut cfg = table2::Config::default();
+        if let Some(r) = args.rounds {
+            cfg.rounds = r;
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = table2::run(&cfg);
+        println!("{out}");
+        report.add("table2", &out).expect("write table2");
+    }
+    if wants("fig8") {
+        let mut cfg = fig8::Config::default();
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = fig8::run(&cfg);
+        println!("{out}");
+        report.add("fig8", &out).expect("write fig8");
+        std::fs::write(report.dir().join("fig8.svg"), &out.timeline_svg).expect("write fig8.svg");
+    }
+    if wants("fig10") {
+        let mut cfg = fig10::Config::default();
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = fig10::run(&cfg);
+        println!("{out}");
+        report.add("fig10", &out).expect("write fig10");
+        std::fs::write(report.dir().join("fig10.svg"), &out.timeline_svg)
+            .expect("write fig10.svg");
+    }
+    if wants("fig11") {
+        let mut cfg = fig11::Config::default();
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = fig11::run(&cfg);
+        println!("{out}");
+        report.add("fig11", &out).expect("write fig11");
+        let rows: Vec<BarRow> = out
+            .rows
+            .iter()
+            .map(|r| BarRow {
+                label: format!("{} KB {}", r.size_kb, r.variant),
+                spans: vec![
+                    (r.stat.start_us, r.stat.end_us, "#999999".into(), "stat".into()),
+                    (r.unlink.start_us, r.unlink.end_us, "#d62728".into(), "unlink".into()),
+                    (r.symlink.start_us, r.symlink.end_us, "#1f77b4".into(), "symlink".into()),
+                ],
+            })
+            .collect();
+        let svg = span_chart(
+            &ChartConfig {
+                title: "Figure 11 — pipelined vs sequential attack".into(),
+                x_label: "time (µs)".into(),
+                ..ChartConfig::default()
+            },
+            &rows,
+        );
+        std::fs::write(report.dir().join("fig11.svg"), svg).expect("write fig11.svg");
+    }
+
+    if wants("defense") {
+        let mut cfg = defense::Config::default();
+        if let Some(r) = args.rounds {
+            cfg.rounds = r;
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = defense::run(&cfg);
+        println!("{out}");
+        report.add("defense", &out).expect("write defense");
+    }
+    if wants("pairs") {
+        let mut cfg = pair_sweep::Config::default();
+        if let Some(r) = args.rounds {
+            cfg.rounds = (r / 20).max(2);
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = pair_sweep::run(&cfg);
+        println!("{out}");
+        report.add("pair_sweep", &out).expect("write pair_sweep");
+    }
+
+    if wants("lddist") {
+        let mut cfg = ld_dist::Config::default();
+        if let Some(r) = args.rounds {
+            cfg.rounds = r;
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = ld_dist::run(&cfg);
+        println!("{out}");
+        report.add("ld_dist", &out).expect("write ld_dist");
+    }
+    if wants("maze") {
+        let mut cfg = maze::Config::default();
+        if let Some(r) = args.rounds {
+            cfg.rounds = r;
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        let out = maze::run(&cfg);
+        println!("{out}");
+        report.add("maze", &out).expect("write maze");
+        let svg = line_chart(
+            &ChartConfig {
+                title: "Maze amplification — uniprocessor success vs pathname depth".into(),
+                x_label: "maze depth (components)".into(),
+                y_label: "success rate".into(),
+                ..ChartConfig::default()
+            },
+            &[Series {
+                label: "observed".into(),
+                points: out.rows.iter().map(|r| (r.depth as f64, r.observed)).collect(),
+                color: "#d62728".into(),
+            }],
+        );
+        std::fs::write(report.dir().join("maze.svg"), svg).expect("write maze.svg");
+    }
+
+    let path = report
+        .write_combined("REPORT.md")
+        .expect("write combined report");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,118 @@
+//! `trace` — render the event timeline of one scenario round.
+//!
+//! ```text
+//! trace <scenario> [--seed S] [--width W] [--find success|failure]
+//!
+//! scenarios: vi-uni vi-smp vi-smp-1b gedit-uni gedit-smp gedit-mc-v1
+//!            gedit-mc-v2 pipelined
+//! ```
+//!
+//! Prints the round outcome and a Figure 8/10-style ASCII timeline of the
+//! victim and attacker(s). With `--find`, seeds are scanned (from `--seed`)
+//! until a round with the requested outcome turns up.
+
+use tocttou_experiments::timeline::Timeline;
+use tocttou_sim::time::{SimDuration, SimTime};
+use tocttou_workloads::scenario::Scenario;
+
+fn scenario_by_name(name: &str) -> Option<Scenario> {
+    Some(match name {
+        "vi-uni" => Scenario::vi_uniprocessor(100 * 1024),
+        "vi-smp" => Scenario::vi_smp(100 * 1024),
+        "vi-smp-1b" => Scenario::vi_smp(1),
+        "gedit-uni" => Scenario::gedit_uniprocessor(2048),
+        "gedit-smp" => Scenario::gedit_smp(2048),
+        "gedit-mc-v1" => Scenario::gedit_multicore_v1(2048),
+        "gedit-mc-v2" => Scenario::gedit_multicore_v2(2048),
+        "pipelined" => Scenario::pipelined_attack(100 * 1024),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let mut name = None;
+    let mut seed = 1u64;
+    let mut width = 110usize;
+    let mut find: Option<bool> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--width" => width = it.next().and_then(|v| v.parse().ok()).unwrap_or(width),
+            "--find" => {
+                find = match it.next().as_deref() {
+                    Some("success") => Some(true),
+                    Some("failure") => Some(false),
+                    _ => None,
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: trace <vi-uni|vi-smp|vi-smp-1b|gedit-uni|gedit-smp|gedit-mc-v1|gedit-mc-v2|pipelined> [--seed S] [--width W] [--find success|failure]"
+                );
+                return;
+            }
+            other => name = Some(other.to_string()),
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("missing scenario name (try --help)");
+        std::process::exit(2);
+    };
+    let Some(scenario) = scenario_by_name(&name) else {
+        eprintln!("unknown scenario {name:?} (try --help)");
+        std::process::exit(2);
+    };
+
+    let (result, handles, used_seed) = match find {
+        None => {
+            let (r, h) = scenario.run_traced(seed);
+            (r, h, seed)
+        }
+        Some(wanted) => {
+            let mut found = None;
+            for s in seed..seed + 500 {
+                let (r, h) = scenario.run_traced(s);
+                if r.success == wanted {
+                    found = Some((r, h, s));
+                    break;
+                }
+            }
+            match found {
+                Some(f) => f,
+                None => {
+                    eprintln!("no {} round within 500 seeds", if wanted { "successful" } else { "failed" });
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+
+    println!(
+        "{} seed {}: {} after {}",
+        scenario.name,
+        used_seed,
+        if result.success { "ATTACK SUCCEEDED" } else { "attack failed" },
+        result.elapsed
+    );
+    // Window the chart around the victim's save (skip the idle prologue).
+    let first_syscall = handles
+        .kernel
+        .trace()
+        .iter()
+        .find(|r| matches!(r.event, tocttou_os::OsEvent::SyscallEnter { .. }))
+        .map(|r| r.at)
+        .unwrap_or(SimTime::ZERO);
+    let origin = SimTime::from_nanos(
+        first_syscall
+            .as_nanos()
+            .saturating_sub(SimDuration::from_micros(10).as_nanos()),
+    );
+    let mut procs: Vec<(tocttou_os::Pid, &str)> = vec![(handles.victim, "victim")];
+    let labels = ["attacker", "attacker-2"];
+    for (i, pid) in handles.attackers.iter().enumerate() {
+        procs.push((*pid, labels.get(i).copied().unwrap_or("attacker-n")));
+    }
+    let tl = Timeline::from_trace(handles.kernel.trace(), &procs, origin, handles.kernel.now());
+    print!("{}", tl.render_ascii(width));
+}

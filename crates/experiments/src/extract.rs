@@ -1,0 +1,369 @@
+//! Extraction of the paper's measured quantities from kernel traces.
+//!
+//! Implements the estimators of Sections 3.4, 5 and 6.1 against the
+//! simulator's event stream:
+//!
+//! * the **window-open point** (`creat` commit for vi, the into-place
+//!   `rename` commit for gedit) — the moment the root-owned name becomes
+//!   observable;
+//! * **t1** — "the earliest observed start time of stat which indicates a
+//!   vulnerability window", i.e. the enter time of the first attacker `stat`
+//!   whose directory sample falls at or after the window-open point (the
+//!   paper notes this estimate is conservative — and Table 2 shows the
+//!   resulting under-prediction, which we reproduce);
+//! * **D** — for gedit, "the interval between the start of stat and the
+//!   start of unlink"; for vi, the detection-loop period (mean inter-`stat`
+//!   interval);
+//! * **t3** — the enter time of the victim's first post-window use call
+//!   (`chmod` for gedit, `chown` for vi), giving `t2 = t3 − D` and
+//!   `L = t2 − t1`.
+
+use tocttou_core::analysis::LdSample;
+use tocttou_os::event::OsEvent;
+use tocttou_os::ids::Pid;
+use tocttou_os::process::SyscallName;
+use tocttou_sim::time::SimTime;
+use tocttou_sim::trace::Trace;
+
+/// Which victim's window shape to extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// vi: window opens at the `creat` commit, closes at `chown`.
+    ViCreat,
+    /// gedit: window opens at the into-place `rename` commit, closes at
+    /// `chmod`/`chown`.
+    GeditRename,
+}
+
+/// Per-round observation of the race, in the paper's terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackObservation {
+    /// When the root-owned name became observable.
+    pub visible_at: SimTime,
+    /// Start of the first detecting `stat` (t1), if the attacker detected.
+    pub t1: Option<SimTime>,
+    /// The attacker's D, µs (definition depends on [`WindowKind`]).
+    pub d_us: Option<f64>,
+    /// Start of the victim's first use call after the window (t3).
+    pub t3: SimTime,
+}
+
+impl AttackObservation {
+    /// The per-round `(L, D)` sample, when the attacker detected the window.
+    pub fn ld_sample(&self) -> Option<LdSample> {
+        let t1 = self.t1?;
+        let d = self.d_us?;
+        if d <= 0.0 {
+            return None;
+        }
+        Some(LdSample::from_gedit_times(
+            t1.as_micros_f64(),
+            self.t3.as_micros_f64(),
+            d,
+        ))
+    }
+}
+
+/// Extracts the round's observation from a kernel trace.
+///
+/// `doc_path` is the watched file (used to pick the right `rename` for
+/// gedit and the attacker's calls among same-named syscalls). Returns
+/// `None` if the window never opened or the victim never issued the use
+/// call (e.g. the round timed out).
+pub fn observe(
+    trace: &Trace<OsEvent>,
+    victim: Pid,
+    attacker: Pid,
+    kind: WindowKind,
+    doc_path: &str,
+) -> Option<AttackObservation> {
+    let records: Vec<_> = trace.iter().collect();
+
+    // --- window-open commit ------------------------------------------------
+    let visible_at = match kind {
+        WindowKind::ViCreat => {
+            // First OpenCreate commit by the victim *on the doc path* (vi
+            // also creates nothing else, but be precise: match the enter).
+            commit_after_enter(&records, victim, SyscallName::OpenCreate, Some(doc_path))?
+        }
+        WindowKind::GeditRename => {
+            commit_after_enter(&records, victim, SyscallName::Rename, Some(doc_path))?
+        }
+    };
+
+    // --- t3: the victim's first use call after the window opens -------------
+    let use_call = match kind {
+        WindowKind::ViCreat => SyscallName::Chown,
+        WindowKind::GeditRename => SyscallName::Chmod,
+    };
+    let t3 = records
+        .iter()
+        .find(|r| {
+            r.at >= visible_at
+                && matches!(
+                    &r.event,
+                    OsEvent::SyscallEnter { pid, call, .. } if *pid == victim && *call == use_call
+                )
+        })
+        .map(|r| r.at)?;
+    // Window close: the victim's chown commit restores user ownership; any
+    // stat sampling after it observes a closed window.
+    let close_at = records
+        .iter()
+        .find(|r| {
+            r.at >= visible_at
+                && matches!(
+                    &r.event,
+                    OsEvent::Commit { pid, call: SyscallName::Chown } if *pid == victim
+                )
+        })
+        .map(|r| r.at)
+        .unwrap_or(SimTime::MAX);
+
+    // --- detecting stat: first whose directory sample (Commit) lands inside
+    // the open window [visible_at, close_at).
+    let mut detect_enter = None;
+    let mut detect_sample = None;
+    let mut last_stat_enter: Option<SimTime> = None;
+    for r in &records {
+        match &r.event {
+            OsEvent::SyscallEnter {
+                pid,
+                call: SyscallName::Stat,
+                ..
+            } if *pid == attacker => {
+                last_stat_enter = Some(r.at);
+            }
+            OsEvent::Commit {
+                pid,
+                call: SyscallName::Stat,
+            } if *pid == attacker && r.at >= visible_at && r.at < close_at => {
+                detect_enter = last_stat_enter;
+                detect_sample = Some(r.at);
+            }
+            _ => {}
+        }
+        if detect_enter.is_some() {
+            break;
+        }
+    }
+
+    // --- t1 --------------------------------------------------------------
+    // Section 3.4 defines t1 as "the earliest start time for a successful
+    // detection" — a property of the victim. For vi we can compute it
+    // structurally: the earliest stat start whose sample still lands at the
+    // window-open point, i.e. visible_at minus the stat's sample offset.
+    // For gedit we reproduce the paper's *conservative* estimator ("the
+    // earliest observed start time of stat which indicates a vulnerability
+    // window"), which is what makes Table 2's prediction undershoot.
+    let t1 = match kind {
+        WindowKind::ViCreat => match (detect_enter, detect_sample) {
+            (Some(e), Some(s)) => {
+                let head = s - e;
+                Some(SimTime::from_nanos(
+                    visible_at.as_nanos().saturating_sub(head.as_nanos()),
+                ))
+            }
+            _ => None,
+        },
+        WindowKind::GeditRename => detect_enter,
+    };
+
+    // --- D -------------------------------------------------------------------
+    let d_us = match kind {
+        WindowKind::GeditRename => {
+            // Interval from the detecting stat's start to the unlink start.
+            // The paper's tracer sees the unlink *after* the libc page fault
+            // (the fault happens at the call instruction, before the kernel
+            // entry), so a trap coinciding with the unlink entry counts
+            // toward D. `None` when the round never detected or attacked.
+            detect_enter.and_then(|t1v| {
+                let unlink_enter = records.iter().find(|r| {
+                    r.at >= t1v
+                        && matches!(
+                            &r.event,
+                            OsEvent::SyscallEnter { pid, call: SyscallName::Unlink, path: Some(p) }
+                                if *pid == attacker && p == doc_path
+                        )
+                })?;
+                let trap_us: f64 = records
+                    .iter()
+                    .filter_map(|r| match &r.event {
+                        OsEvent::Trap { pid, dur }
+                            if *pid == attacker && r.at == unlink_enter.at =>
+                        {
+                            Some(dur.as_micros_f64())
+                        }
+                        _ => None,
+                    })
+                    .sum();
+                Some((unlink_enter.at - t1v).as_micros_f64() + trap_us)
+            })
+        }
+        WindowKind::ViCreat => {
+            // Detection-loop period: mean of inter-stat intervals before
+            // detection (all stats if no detection).
+            let enters: Vec<SimTime> = records
+                .iter()
+                .filter_map(|r| match &r.event {
+                    OsEvent::SyscallEnter {
+                        pid,
+                        call: SyscallName::Stat,
+                        ..
+                    } if *pid == attacker
+                        && detect_enter.is_none_or(|t| r.at <= t) =>
+                    {
+                        Some(r.at)
+                    }
+                    _ => None,
+                })
+                .collect();
+            if enters.len() >= 2 {
+                // The detection loop has a constant period, so the smallest
+                // observed interval is the period itself — robust against
+                // both the cold-page trap in the first interval and
+                // background-activity pauses stretching later ones.
+                let deltas: Vec<f64> = enters
+                    .windows(2)
+                    .skip(1)
+                    .map(|w| (w[1] - w[0]).as_micros_f64())
+                    .collect();
+                if deltas.is_empty() {
+                    Some((enters[1] - enters[0]).as_micros_f64())
+                } else {
+                    deltas.iter().copied().reduce(f64::min)
+                }
+            } else {
+                None
+            }
+        }
+    };
+
+    Some(AttackObservation {
+        visible_at,
+        t1,
+        d_us,
+        t3,
+    })
+}
+
+/// Finds the commit of the first `call` by `pid` whose *enter* matches the
+/// optional path, and returns the commit time.
+fn commit_after_enter(
+    records: &[&tocttou_sim::trace::TraceRecord<OsEvent>],
+    pid: Pid,
+    call: SyscallName,
+    path: Option<&str>,
+) -> Option<SimTime> {
+    let mut in_matching_call = false;
+    for r in records {
+        match &r.event {
+            OsEvent::SyscallEnter {
+                pid: p,
+                call: c,
+                path: ep,
+            } if *p == pid && *c == call => {
+                in_matching_call = path.is_none() || ep.as_deref() == path;
+            }
+            OsEvent::Commit { pid: p, call: c } if *p == pid && *c == call
+                && in_matching_call => {
+                    return Some(r.at);
+                }
+            OsEvent::SyscallExit { pid: p, call: c, .. } if *p == pid && *c == call => {
+                in_matching_call = false;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Window length in µs: window-open commit to the victim's use-call enter.
+pub fn window_length_us(obs: &AttackObservation) -> f64 {
+    (obs.t3 - obs.visible_at).as_micros_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tocttou_workloads::scenario::Scenario;
+
+    #[test]
+    fn extracts_vi_smp_observation() {
+        let s = Scenario::vi_smp(1);
+        let (r, h) = s.run_traced(77);
+        assert!(r.victim_exited);
+        let obs = observe(
+            h.kernel.trace(),
+            h.victim,
+            h.attackers[0],
+            WindowKind::ViCreat,
+            "/home/user/doc.txt",
+        )
+        .expect("window observed");
+        // Table 1 calibration: D ≈ 41 µs, L ≈ 62 µs.
+        let d = obs.d_us.expect("attacker spun");
+        assert!((30.0..55.0).contains(&d), "D = {d}");
+        if let Some(ld) = obs.ld_sample() {
+            assert!((40.0..95.0).contains(&ld.l_us), "L = {}", ld.l_us);
+        }
+        assert!(obs.t3 > obs.visible_at);
+    }
+
+    #[test]
+    fn extracts_gedit_smp_observation() {
+        let s = Scenario::gedit_smp(2048);
+        // Find a detecting round.
+        for seed in 0..20 {
+            let (_, h) = s.run_traced(9_000 + seed);
+            let obs = observe(
+                h.kernel.trace(),
+                h.victim,
+                h.attackers[0],
+                WindowKind::GeditRename,
+                "/home/user/doc.txt",
+            )
+            .expect("window must open every round");
+            if let Some(ld) = obs.ld_sample() {
+                // Table 2 ballpark: D ≈ 33 µs, L smallish.
+                assert!((20.0..50.0).contains(&ld.d_us), "D = {}", ld.d_us);
+                assert!(ld.l_us < 60.0, "L = {}", ld.l_us);
+                return;
+            }
+        }
+        panic!("no detecting round in 20 seeds");
+    }
+
+    #[test]
+    fn window_length_matches_shape() {
+        let s = Scenario::vi_smp(100 * 1024);
+        let (_, h) = s.run_traced(5);
+        let obs = observe(
+            h.kernel.trace(),
+            h.victim,
+            h.attackers[0],
+            WindowKind::ViCreat,
+            "/home/user/doc.txt",
+        )
+        .unwrap();
+        let w = window_length_us(&obs);
+        // 100 KB at 17 µs/KB ≈ 1.7 ms.
+        assert!((1_400.0..2_300.0).contains(&w), "window {w}");
+    }
+
+    #[test]
+    fn undetected_round_has_no_ld() {
+        // gedit on the uniprocessor: the attacker never runs in-window.
+        let s = Scenario::gedit_uniprocessor(2048);
+        let (_, h) = s.run_traced(3);
+        let obs = observe(
+            h.kernel.trace(),
+            h.victim,
+            h.attackers[0],
+            WindowKind::GeditRename,
+            "/home/user/doc.txt",
+        )
+        .expect("window still opens");
+        assert!(obs.ld_sample().is_none(), "no detection on uniprocessor");
+    }
+}

@@ -1,0 +1,158 @@
+//! Figure 7: the L and D values for vi SMP attack experiments.
+//!
+//! The paper sweeps file sizes 20 KB–1 MB on the 2-way SMP, measuring per
+//! round the victim's laxity L and the attacker's detection period D.
+//! L grows linearly with file size (≈17 µs/KB, reaching ~17 ms at 1 MB)
+//! while D stays flat around 41 µs, so L ≫ D and the success rate is 100 %
+//! across the sweep (Section 5).
+
+use crate::monte_carlo::{run_mc, McConfig};
+use serde::Serialize;
+use tocttou_workloads::scenario::Scenario;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// File sizes to test, in KB (paper: 20..=1000 step 20).
+    pub sizes_kb: Vec<u64>,
+    /// Traced rounds per size.
+    pub rounds: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sizes_kb: (1..=25).map(|i| i * 40).collect(),
+            rounds: 10,
+            seed: 7_0001,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// File size in KB.
+    pub size_kb: u64,
+    /// Mean measured L, µs.
+    pub l_us: f64,
+    /// Sample stdev of L.
+    pub l_stdev: f64,
+    /// Mean measured D, µs.
+    pub d_us: f64,
+    /// Sample stdev of D.
+    pub d_stdev: f64,
+    /// Observed success rate (paper: 100 % everywhere).
+    pub observed: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Output {
+    /// Sweep rows by size.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the Figure 7 reproduction.
+pub fn run(cfg: &Config) -> Output {
+    let mut rows = Vec::new();
+    for &size_kb in &cfg.sizes_kb {
+        let scenario = Scenario::vi_smp(size_kb * 1024);
+        let mc = run_mc(
+            &scenario,
+            &McConfig {
+                rounds: cfg.rounds,
+                base_seed: cfg.seed + size_kb,
+                collect_ld: true,
+            },
+        );
+        let (l, d) = match (mc.l, mc.d) {
+            (Some(l), Some(d)) => (l, d),
+            _ => continue,
+        };
+        rows.push(Row {
+            size_kb,
+            l_us: l.mean,
+            l_stdev: l.stdev,
+            d_us: d.mean,
+            d_stdev: d.stdev,
+            observed: mc.rate,
+        });
+    }
+    Output { rows }
+}
+
+impl Output {
+    /// Least-squares slope of L vs size, µs/KB (paper: ≈17 µs/KB).
+    pub fn l_slope_us_per_kb(&self) -> f64 {
+        let n = self.rows.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let mx = self.rows.iter().map(|r| r.size_kb as f64).sum::<f64>() / n;
+        let my = self.rows.iter().map(|r| r.l_us).sum::<f64>() / n;
+        let sxy: f64 = self
+            .rows
+            .iter()
+            .map(|r| (r.size_kb as f64 - mx) * (r.l_us - my))
+            .sum();
+        let sxx: f64 = self
+            .rows
+            .iter()
+            .map(|r| (r.size_kb as f64 - mx).powi(2))
+            .sum();
+        sxy / sxx
+    }
+}
+
+impl std::fmt::Display for Output {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Figure 7 — L and D for vi SMP attacks (paper: L ≈ 17 µs/KB, D ≈ 41 µs flat, success 100%)"
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>12} {:>10} {:>10} {:>8} {:>10}",
+            "size KB", "L µs", "±", "D µs", "±", "observed"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>8} {:>12.1} {:>10.2} {:>10.1} {:>8.2} {:>9.0}%",
+                r.size_kb,
+                r.l_us,
+                r.l_stdev,
+                r.d_us,
+                r.d_stdev,
+                r.observed * 100.0
+            )?;
+        }
+        writeln!(f, "L slope ≈ {:.1} µs/KB", self.l_slope_us_per_kb())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_grows_linearly_d_stays_flat() {
+        let out = run(&Config {
+            sizes_kb: vec![40, 400, 1000],
+            rounds: 5,
+            seed: 3,
+        });
+        assert_eq!(out.rows.len(), 3);
+        let slope = out.l_slope_us_per_kb();
+        assert!((14.0..20.0).contains(&slope), "L slope {slope} µs/KB");
+        // D flat around 41 µs across the sweep.
+        for r in &out.rows {
+            assert!((33.0..49.0).contains(&r.d_us), "D {} at {} KB", r.d_us, r.size_kb);
+            assert!(r.observed > 0.9, "success ~100% at {} KB", r.size_kb);
+            assert!(r.l_us > r.d_us, "L > D everywhere (Section 5)");
+        }
+    }
+}

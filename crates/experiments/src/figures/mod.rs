@@ -1,0 +1,29 @@
+//! One module per table/figure of the paper's evaluation:
+//!
+//! | module | paper exhibit |
+//! |---|---|
+//! | [`fig6`] | Figure 6 — vi success vs file size on a uniprocessor |
+//! | [`fig7`] | Figure 7 — L and D vs file size for vi on the SMP |
+//! | [`table1`] | Table 1 — L/D for 1-byte vi SMP attacks |
+//! | [`table2`] | Table 2 — L/D for gedit SMP attacks |
+//! | [`fig8`] | Figure 8 — failed gedit v1 timeline on the multi-core |
+//! | [`fig10`] | Figure 10 — successful gedit v2 timeline on the multi-core |
+//! | [`fig11`] | Figure 11 — pipelined vs sequential attacker |
+//! | [`headline`] | the abstract's uniprocessor-vs-multiprocessor summary |
+//! | [`defense`] | Section 8 counterfactual: the EDGI guard zeroes every attack |
+//! | [`pair_sweep`] | the `<check, use>` taxonomy swept against the SMP attacker |
+//! | [`maze`] | pathname-maze amplification of the uniprocessor attack |
+//! | [`ld_dist`] | per-round L/D distributions behind Tables 1–2 |
+
+pub mod defense;
+pub mod fig10;
+pub mod fig11;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod headline;
+pub mod ld_dist;
+pub mod maze;
+pub mod pair_sweep;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,144 @@
+//! Table 1: average L and D for vi SMP attacks with 1-byte files.
+//!
+//! The paper reports L = 61.6 ± 3.78 µs and D = 41.1 ± 2.73 µs and a ~96 %
+//! observed success rate — the interesting case where L and D are *close*
+//! and environmental variance makes "L > D all the time" questionable
+//! (Section 5's discussion). The model columns evaluate formula (1) at the
+//! means, its stochastic refinement over the measured variance, and the
+//! full Equation 1 with the calibrated interference probability.
+
+use crate::monte_carlo::{run_mc, McConfig};
+use serde::Serialize;
+use tocttou_core::model::{expected_success_rate, MeasuredUs, MultiprocessorScenario};
+use tocttou_workloads::scenario::Scenario;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Traced rounds.
+    pub rounds: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Interference probability for the Equation 1 column (calibrated from
+    /// the background-activity spec; the paper attributes the 4 % shortfall
+    /// to "other processes" denying the attacker its CPU).
+    pub p_interference: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            rounds: 200,
+            seed: 1_0001,
+            p_interference: 0.04,
+        }
+    }
+}
+
+/// The reproduced table plus model columns.
+#[derive(Debug, Clone, Serialize)]
+pub struct Output {
+    /// Measured L (paper: 61.6 ± 3.78 µs).
+    pub l: MeasuredUs,
+    /// Measured D (paper: 41.1 ± 2.73 µs).
+    pub d: MeasuredUs,
+    /// Observed success rate (paper: ~96 %).
+    pub observed: f64,
+    /// Wilson 95 % CI of the observed rate.
+    pub ci95: (f64, f64),
+    /// Formula (1) at the means (paper's reading: L > D ⇒ 1.0).
+    pub formula1_point: f64,
+    /// Formula (1) integrated over the measured variance.
+    pub formula1_stochastic: f64,
+    /// Equation 1 with the interference term.
+    pub equation1: f64,
+    /// Rounds run.
+    pub rounds: u64,
+}
+
+/// Runs the Table 1 reproduction.
+pub fn run(cfg: &Config) -> Output {
+    let scenario = Scenario::vi_smp(1);
+    let mc = run_mc(
+        &scenario,
+        &McConfig {
+            rounds: cfg.rounds,
+            base_seed: cfg.seed,
+            collect_ld: true,
+        },
+    );
+    let l = mc.l.expect("vi SMP rounds always detect");
+    let d = mc.d.expect("vi SMP rounds always measure D");
+    let formula1_point = tocttou_core::model::success_rate(l.mean, d.mean);
+    let formula1_stochastic = expected_success_rate(l, d);
+    let equation1 = MultiprocessorScenario {
+        l,
+        d,
+        p_suspended: 0.0,
+        p_interference: cfg.p_interference,
+    }
+    .success_probability()
+    .value();
+    Output {
+        l,
+        d,
+        observed: mc.rate,
+        ci95: mc.rate_ci95,
+        formula1_point,
+        formula1_stochastic,
+        equation1,
+        rounds: mc.rounds,
+    }
+}
+
+impl std::fmt::Display for Output {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Table 1 — vi SMP attack, 1-byte file (paper: L = 61.6 ± 3.78, D = 41.1 ± 2.73, ~96%)"
+        )?;
+        writeln!(f, "{:>22} {:>16} {:>10}", "", "Average", "Stdev")?;
+        writeln!(f, "{:>22} {:>16.1} {:>10.2}", "L (µs)", self.l.mean, self.l.stdev)?;
+        writeln!(f, "{:>22} {:>16.1} {:>10.2}", "D (µs)", self.d.mean, self.d.stdev)?;
+        writeln!(
+            f,
+            "observed success: {:.1}% [{:.1}%, {:.1}%] over {} rounds",
+            self.observed * 100.0,
+            self.ci95.0 * 100.0,
+            self.ci95.1 * 100.0,
+            self.rounds
+        )?;
+        writeln!(
+            f,
+            "model: formula(1) point = {:.1}%, stochastic = {:.1}%, Equation 1 = {:.1}%",
+            self.formula1_point * 100.0,
+            self.formula1_stochastic * 100.0,
+            self.equation1 * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table1_shape() {
+        let out = run(&Config {
+            rounds: 60,
+            seed: 5,
+            p_interference: 0.04,
+        });
+        // L and D in the paper's ballpark, with L > D.
+        assert!((50.0..75.0).contains(&out.l.mean), "L {}", out.l.mean);
+        assert!((33.0..49.0).contains(&out.d.mean), "D {}", out.d.mean);
+        assert!(out.l.mean > out.d.mean, "L > D");
+        // Near-but-not-certain success.
+        assert!(out.observed > 0.85, "observed {}", out.observed);
+        assert_eq!(out.formula1_point, 1.0, "means say certain");
+        assert!(out.equation1 < 1.0, "Equation 1 keeps the shortfall");
+        assert!((out.equation1 - out.observed).abs() < 0.12);
+        let text = out.to_string();
+        assert!(text.contains("Table 1"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Table 2: L and D values for gedit attacks on the SMP.
+//!
+//! The paper reports L = 11.6 ± 3.89 µs and D = 32.7 ± 2.83 µs, a formula
+//! (1) prediction of ~35 %, and an **observed** success rate of ~83 % —
+//! deliberately inconsistent, because the t1 estimator ("earliest observed
+//! start time of stat which indicates a vulnerability window") is
+//! conservative and under-estimates L. Reproducing that estimator bias is
+//! part of reproducing the table: our measured-L prediction should likewise
+//! sit well below the observed rate.
+
+use crate::monte_carlo::{run_mc, McConfig};
+use serde::Serialize;
+use tocttou_core::model::MeasuredUs;
+use tocttou_workloads::scenario::Scenario;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Traced rounds.
+    pub rounds: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// File size in bytes (the window is size-independent for gedit).
+    pub file_size: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            rounds: 200,
+            seed: 2_0001,
+            file_size: 2048,
+        }
+    }
+}
+
+/// The reproduced table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Output {
+    /// Measured L (paper: 11.6 ± 3.89 µs).
+    pub l: MeasuredUs,
+    /// Measured D (paper: 32.7 ± 2.83 µs).
+    pub d: MeasuredUs,
+    /// Formula (1) prediction from the measured means (paper: ~35 %).
+    pub predicted: f64,
+    /// Observed success rate (paper: ~83 %).
+    pub observed: f64,
+    /// Wilson 95 % CI of the observed rate.
+    pub ci95: (f64, f64),
+    /// Rounds run / rounds in which the attacker detected the window.
+    pub rounds: u64,
+    /// Detection rounds backing the L/D estimates.
+    pub detected_rounds: u64,
+}
+
+/// Runs the Table 2 reproduction.
+pub fn run(cfg: &Config) -> Output {
+    let scenario = Scenario::gedit_smp(cfg.file_size);
+    let mc = run_mc(
+        &scenario,
+        &McConfig {
+            rounds: cfg.rounds,
+            base_seed: cfg.seed,
+            collect_ld: true,
+        },
+    );
+    let l = mc.l.expect("gedit SMP rounds mostly detect");
+    let d = mc.d.expect("gedit SMP rounds measure D");
+    Output {
+        l,
+        d,
+        predicted: mc.predicted_rate_ld.unwrap_or(0.0),
+        observed: mc.rate,
+        ci95: mc.rate_ci95,
+        rounds: mc.rounds,
+        detected_rounds: mc.detected_rounds,
+    }
+}
+
+impl std::fmt::Display for Output {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Table 2 — gedit SMP attack (paper: L = 11.6 ± 3.89, D = 32.7 ± 2.83; predicted ~35% vs observed ~83%)"
+        )?;
+        writeln!(f, "{:>22} {:>16} {:>10}", "", "Average", "Stdev")?;
+        writeln!(f, "{:>22} {:>16.1} {:>10.2}", "L (µs)", self.l.mean, self.l.stdev)?;
+        writeln!(f, "{:>22} {:>16.1} {:>10.2}", "D (µs)", self.d.mean, self.d.stdev)?;
+        writeln!(
+            f,
+            "formula(1) prediction from measured L/D: {:.1}% (conservative t1, as in the paper)",
+            self.predicted * 100.0
+        )?;
+        writeln!(
+            f,
+            "observed success: {:.1}% [{:.1}%, {:.1}%] over {} rounds ({} detecting)",
+            self.observed * 100.0,
+            self.ci95.0 * 100.0,
+            self.ci95.1 * 100.0,
+            self.rounds,
+            self.detected_rounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table2_shape_and_estimator_bias() {
+        let out = run(&Config {
+            rounds: 80,
+            seed: 11,
+            file_size: 2048,
+        });
+        // D in the paper's ballpark; L small.
+        assert!((25.0..45.0).contains(&out.d.mean), "D {}", out.d.mean);
+        assert!(out.l.mean < out.d.mean, "L < D as measured (contended regime)");
+        // Observed high (paper ~83 %).
+        assert!(out.observed > 0.6, "observed {}", out.observed);
+        // The table's headline: the measured-L prediction under-shoots the
+        // observed rate because t1 is conservative.
+        assert!(
+            out.predicted < out.observed - 0.1,
+            "prediction {} should undershoot observation {}",
+            out.predicted,
+            out.observed
+        );
+        let text = out.to_string();
+        assert!(text.contains("Table 2"));
+    }
+}

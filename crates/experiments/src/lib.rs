@@ -1,0 +1,35 @@
+//! # tocttou-experiments — reproduction harness for every table and figure
+//!
+//! Monte-Carlo drivers, paper-faithful L/D estimators and ASCII event
+//! timelines that regenerate the evaluation of *"Multiprocessors May Reduce
+//! System Dependability under File-Based Race Condition Attacks"* (Wei &
+//! Pu, DSN 2007) on top of the `tocttou-os` simulator:
+//!
+//! * [`monte_carlo`] — seeded N-round success-rate batches;
+//! * [`extract`] — trace → (t1, D, t3) → L/D per Sections 3.4/6.1;
+//! * [`timeline`] — Figure 8/10-style two-lane event charts;
+//! * [`figures`] — one module per exhibit (Fig 6, Fig 7, Table 1, Table 2,
+//!   Fig 8, Fig 10, Fig 11, plus the headline comparison);
+//! * [`report`] — text + JSON artifact writing;
+//! * [`svg`] — dependency-free SVG rendering of the figure shapes.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run -p tocttou-experiments --release --bin repro -- all --rounds 200
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod figures;
+pub mod monte_carlo;
+pub mod report;
+pub mod svg;
+pub mod timeline;
+
+pub use extract::{observe, AttackObservation, WindowKind};
+pub use monte_carlo::{run_mc, McConfig, McOutcome};
+pub use report::Report;
+pub use timeline::{Lane, Span, SpanKind, Timeline};

@@ -1,0 +1,105 @@
+//! Experiment artifact writing: human-readable text and machine-readable
+//! JSON, side by side.
+
+use serde::Serialize;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A sink for experiment outputs.
+#[derive(Debug, Clone)]
+pub struct Report {
+    dir: PathBuf,
+    sections: Vec<(String, String)>,
+}
+
+impl Report {
+    /// Creates a report rooted at `dir` (created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Report {
+            dir,
+            sections: Vec::new(),
+        })
+    }
+
+    /// The report directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records one experiment: its display text goes into the combined
+    /// report, its JSON next to it as `<id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures.
+    pub fn add<T: Serialize + std::fmt::Display>(
+        &mut self,
+        id: &str,
+        value: &T,
+    ) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        fs::write(self.dir.join(format!("{id}.json")), json)?;
+        self.sections.push((id.to_string(), value.to_string()));
+        Ok(())
+    }
+
+    /// Writes the combined text report as `<name>` inside the report dir
+    /// and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_combined(&self, name: &str) -> std::io::Result<PathBuf> {
+        let path = self.dir.join(name);
+        let mut f = fs::File::create(&path)?;
+        for (id, text) in &self.sections {
+            writeln!(f, "## {id}\n")?;
+            writeln!(f, "```text")?;
+            writeln!(f, "{}", text.trim_end())?;
+            writeln!(f, "```\n")?;
+        }
+        Ok(path)
+    }
+
+    /// The accumulated sections (id, rendered text).
+    pub fn sections(&self) -> &[(String, String)] {
+        &self.sections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Demo {
+        x: u32,
+    }
+    impl std::fmt::Display for Demo {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "x = {}", self.x)
+        }
+    }
+
+    #[test]
+    fn writes_json_and_combined_text() {
+        let dir = std::env::temp_dir().join(format!("tocttou-report-{}", std::process::id()));
+        let mut report = Report::new(&dir).unwrap();
+        report.add("demo", &Demo { x: 7 }).unwrap();
+        let combined = report.write_combined("REPORT.md").unwrap();
+        let json = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        assert!(json.contains("\"x\": 7"));
+        let text = std::fs::read_to_string(combined).unwrap();
+        assert!(text.contains("## demo"));
+        assert!(text.contains("x = 7"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

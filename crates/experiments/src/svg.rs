@@ -1,0 +1,421 @@
+//! Minimal dependency-free SVG charts for the reproduced figures.
+//!
+//! The paper's exhibits are one scatter/line chart (Figures 6 and 7), two
+//! event timelines (Figures 8 and 10) and one horizontal bar chart
+//! (Figure 11). This module renders exactly those shapes — axes, ticks,
+//! series, legend — as plain SVG strings, so `repro` can drop `fig6.svg`
+//! etc. next to the JSON artifacts without pulling a plotting stack.
+
+/// One named line/scatter series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke color (any SVG color string).
+    pub color: String,
+}
+
+/// Chart frame configuration.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Title rendered above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 720,
+            height: 440,
+        }
+    }
+}
+
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if hi <= lo || !lo.is_finite() || !hi.is_finite() {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target.max(1) as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = mag
+        * if norm < 1.5 {
+            1.0
+        } else if norm < 3.0 {
+            2.0
+        } else if norm < 7.0 {
+            5.0
+        } else {
+            10.0
+        };
+    let mut ticks = Vec::new();
+    let mut t = (lo / step).ceil() * step;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 || v.fract().abs() < 1e-9 {
+        format!("{:.0}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+/// Renders a line chart with markers over the given series.
+///
+/// Axis ranges are derived from the data (with a y floor of 0 when all
+/// values are non-negative, matching how the paper plots rates and times).
+///
+/// # Panics
+///
+/// Panics if every series is empty.
+pub fn line_chart(cfg: &ChartConfig, series: &[Series]) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "line chart needs at least one point");
+    let (mut x_lo, mut x_hi) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.0), hi.max(p.0))
+        });
+    let (mut y_lo, mut y_hi) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.1), hi.max(p.1))
+        });
+    if y_lo >= 0.0 {
+        y_lo = 0.0;
+    }
+    if (x_hi - x_lo).abs() < 1e-12 {
+        x_hi = x_lo + 1.0;
+        x_lo -= 1.0;
+    }
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_hi = y_lo + 1.0;
+    }
+    y_hi *= 1.05;
+
+    let w = cfg.width as f64;
+    let h = cfg.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w;
+    let sy = |y: f64| MARGIN_T + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#
+    ));
+    out.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+        w / 2.0,
+        esc(&cfg.title)
+    ));
+    // Axes.
+    out.push_str(&format!(
+        r#"<line x1="{MARGIN_L}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="black"/>"#,
+        h - MARGIN_B,
+        w - MARGIN_R,
+        h - MARGIN_B
+    ));
+    out.push_str(&format!(
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{:.1}" stroke="black"/>"#,
+        h - MARGIN_B
+    ));
+    // Ticks + grid.
+    for t in nice_ticks(x_lo, x_hi, 8) {
+        let x = sx(t);
+        out.push_str(&format!(
+            r#"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="black"/>"#,
+            h - MARGIN_B,
+            h - MARGIN_B + 4.0
+        ));
+        out.push_str(&format!(
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+            h - MARGIN_B + 18.0,
+            fmt_tick(t)
+        ));
+    }
+    for t in nice_ticks(y_lo, y_hi, 6) {
+        let y = sy(t);
+        out.push_str(&format!(
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            w - MARGIN_R
+        ));
+        out.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        ));
+    }
+    // Axis labels.
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 12.0,
+        esc(&cfg.x_label)
+    ));
+    out.push_str(&format!(
+        r#"<text x="16" y="{:.1}" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        esc(&cfg.y_label)
+    ));
+    // Series.
+    for s in series {
+        if s.points.is_empty() {
+            continue;
+        }
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, sx(x), sy(y))
+            })
+            .collect();
+        out.push_str(&format!(
+            r#"<path d="{}" fill="none" stroke="{}" stroke-width="2"/>"#,
+            path.join(" "),
+            s.color
+        ));
+        for &(x, y) in &s.points {
+            out.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{}"/>"#,
+                sx(x),
+                sy(y),
+                s.color
+            ));
+        }
+    }
+    // Legend.
+    for (i, s) in series.iter().enumerate() {
+        let y = MARGIN_T + 8.0 + i as f64 * 18.0;
+        out.push_str(&format!(
+            r#"<rect x="{:.1}" y="{:.1}" width="12" height="12" fill="{}"/>"#,
+            MARGIN_L + 10.0,
+            y,
+            s.color
+        ));
+        out.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+            MARGIN_L + 28.0,
+            y + 10.0,
+            esc(&s.label)
+        ));
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// One horizontal bar group (Figure 11 style): labelled segments on a
+/// shared time axis.
+#[derive(Debug, Clone)]
+pub struct BarRow {
+    /// Row label (left gutter).
+    pub label: String,
+    /// `(start, end, color, segment-label)` spans in data coordinates.
+    pub spans: Vec<(f64, f64, String, String)>,
+}
+
+/// Renders a horizontal span chart (the Figure 11 shape).
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or contains no spans.
+pub fn span_chart(cfg: &ChartConfig, rows: &[BarRow]) -> String {
+    let spans: Vec<&(f64, f64, String, String)> =
+        rows.iter().flat_map(|r| r.spans.iter()).collect();
+    assert!(!spans.is_empty(), "span chart needs data");
+    let x_lo = 0.0f64;
+    let x_hi = spans
+        .iter()
+        .fold(f64::NEG_INFINITY, |hi, s| hi.max(s.1))
+        .max(1.0)
+        * 1.02;
+
+    let w = cfg.width as f64;
+    let row_h = 34.0;
+    let h = MARGIN_T + rows.len() as f64 * row_h + MARGIN_B;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let sx = |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h:.0}" viewBox="0 0 {w} {h:.0}" font-family="sans-serif" font-size="12">"#
+    ));
+    out.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+        w / 2.0,
+        esc(&cfg.title)
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        let y = MARGIN_T + i as f64 * row_h;
+        out.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+            MARGIN_L - 8.0,
+            y + row_h / 2.0 + 4.0,
+            esc(&row.label)
+        ));
+        for (start, end, color, label) in &row.spans {
+            let x0 = sx(*start);
+            let x1 = sx(*end).max(x0 + 1.5);
+            out.push_str(&format!(
+                r#"<rect x="{x0:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{color}" stroke="black" stroke-width="0.5"><title>{}</title></rect>"#,
+                y + 6.0,
+                x1 - x0,
+                row_h - 12.0,
+                esc(label)
+            ));
+        }
+    }
+    let axis_y = MARGIN_T + rows.len() as f64 * row_h + 6.0;
+    out.push_str(&format!(
+        r#"<line x1="{MARGIN_L}" y1="{axis_y:.1}" x2="{:.1}" y2="{axis_y:.1}" stroke="black"/>"#,
+        w - MARGIN_R
+    ));
+    for t in nice_ticks(x_lo, x_hi, 8) {
+        let x = sx(t);
+        out.push_str(&format!(
+            r#"<line x1="{x:.1}" y1="{axis_y:.1}" x2="{x:.1}" y2="{:.1}" stroke="black"/>"#,
+            axis_y + 4.0
+        ));
+        out.push_str(&format!(
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+            axis_y + 18.0,
+            fmt_tick(t)
+        ));
+    }
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 10.0,
+        esc(&cfg.x_label)
+    ));
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ChartConfig {
+        ChartConfig {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            ..ChartConfig::default()
+        }
+    }
+
+    #[test]
+    fn line_chart_contains_series_and_axes() {
+        let svg = line_chart(
+            &cfg(),
+            &[
+                Series {
+                    label: "observed".into(),
+                    points: vec![(100.0, 0.016), (1000.0, 0.178)],
+                    color: "#d62728".into(),
+                },
+                Series {
+                    label: "model".into(),
+                    points: vec![(100.0, 0.018), (1000.0, 0.184)],
+                    color: "#1f77b4".into(),
+                },
+            ],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("observed"));
+        assert!(svg.contains("model"));
+        assert!(svg.matches("<path").count() == 2);
+        assert!(svg.matches("<circle").count() == 4);
+    }
+
+    #[test]
+    fn line_chart_escapes_labels() {
+        let mut c = cfg();
+        c.title = "L & D <µs>".into();
+        let svg = line_chart(
+            &c,
+            &[Series {
+                label: "s".into(),
+                points: vec![(0.0, 1.0)],
+                color: "red".into(),
+            }],
+        );
+        assert!(svg.contains("L &amp; D &lt;µs&gt;"));
+    }
+
+    #[test]
+    fn span_chart_renders_rows() {
+        let svg = span_chart(
+            &cfg(),
+            &[
+                BarRow {
+                    label: "sequential".into(),
+                    spans: vec![
+                        (0.0, 4.5, "#888".into(), "stat".into()),
+                        (6.9, 40.9, "#d62728".into(), "unlink".into()),
+                        (40.9, 45.4, "#1f77b4".into(), "symlink".into()),
+                    ],
+                },
+                BarRow {
+                    label: "parallel".into(),
+                    spans: vec![(0.0, 4.5, "#888".into(), "stat".into())],
+                },
+            ],
+        );
+        assert!(svg.contains("sequential"));
+        assert!(svg.contains("parallel"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 4, "bg + 4 spans");
+        assert!(svg.contains("<title>unlink</title>"));
+    }
+
+    #[test]
+    fn ticks_are_nice() {
+        let ticks = nice_ticks(0.0, 1000.0, 8);
+        assert!(ticks.contains(&0.0));
+        assert!(ticks.contains(&1000.0));
+        for w in ticks.windows(2) {
+            assert!((w[1] - w[0] - (ticks[1] - ticks[0])).abs() < 1e-9, "even spacing");
+        }
+        assert!(nice_ticks(5.0, 5.0, 4).len() == 1, "degenerate range");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least one point")]
+    fn empty_line_chart_panics() {
+        let _ = line_chart(&cfg(), &[]);
+    }
+}

@@ -1,0 +1,333 @@
+//! ASCII event timelines in the style of the paper's Figures 8 and 10.
+//!
+//! A [`Timeline`] is built from a kernel trace: one lane per process, one
+//! span per system call (with blocked-on-semaphore and trap sub-intervals),
+//! rendered as a fixed-width text chart.
+
+use tocttou_os::event::OsEvent;
+use tocttou_os::ids::Pid;
+use tocttou_os::process::SyscallName;
+use tocttou_sim::time::SimTime;
+use tocttou_sim::trace::Trace;
+
+/// How a span's interior is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Executing (syscall body).
+    Exec,
+    /// Blocked on a semaphore.
+    Blocked,
+    /// Page-fault trap.
+    Trap,
+}
+
+/// One drawn interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+    /// Label (syscall name or marker).
+    pub label: String,
+    /// Drawing style.
+    pub kind: SpanKind,
+}
+
+/// One process's row.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    /// Display name.
+    pub label: String,
+    /// Spans in chronological order.
+    pub spans: Vec<Span>,
+}
+
+/// A multi-lane timeline.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Lanes in display order.
+    pub lanes: Vec<Lane>,
+    /// Time of the chart's left edge.
+    pub origin: SimTime,
+    /// Time of the chart's right edge.
+    pub end: SimTime,
+}
+
+impl Timeline {
+    /// Builds a timeline for the given processes from a trace, windowed to
+    /// `[origin, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin >= end`.
+    pub fn from_trace(
+        trace: &Trace<OsEvent>,
+        procs: &[(Pid, &str)],
+        origin: SimTime,
+        end: SimTime,
+    ) -> Timeline {
+        assert!(origin < end, "empty timeline window");
+        let mut lanes = Vec::new();
+        for &(pid, label) in procs {
+            let mut spans: Vec<Span> = Vec::new();
+            let mut call_start: Option<(SimTime, SyscallName)> = None;
+            let mut block_start: Option<SimTime> = None;
+            for r in trace.iter() {
+                if r.at > end {
+                    break;
+                }
+                match &r.event {
+                    OsEvent::SyscallEnter { pid: p, call, .. } if *p == pid => {
+                        call_start = Some((r.at, *call));
+                    }
+                    OsEvent::SyscallExit { pid: p, call, .. } if *p == pid => {
+                        if let Some((s, c)) = call_start.take() {
+                            debug_assert_eq!(c, *call);
+                            if r.at >= origin {
+                                spans.push(Span {
+                                    start: s.max(origin),
+                                    end: r.at,
+                                    label: c.to_string(),
+                                    kind: SpanKind::Exec,
+                                });
+                            }
+                        }
+                    }
+                    OsEvent::SemEnqueue { pid: p, .. } if *p == pid => {
+                        block_start = Some(r.at);
+                    }
+                    OsEvent::SemAcquire { pid: p, .. } if *p == pid => {
+                        if let Some(s) = block_start.take() {
+                            if r.at > s && r.at >= origin {
+                                spans.push(Span {
+                                    start: s.max(origin),
+                                    end: r.at,
+                                    label: "blocked".into(),
+                                    kind: SpanKind::Blocked,
+                                });
+                            }
+                        }
+                    }
+                    OsEvent::Trap { pid: p, .. } if *p == pid && r.at >= origin => {
+                        spans.push(Span {
+                            start: r.at,
+                            end: r.at,
+                            label: "trap".into(),
+                            kind: SpanKind::Trap,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            // An unclosed call at the window edge still gets drawn.
+            if let Some((s, c)) = call_start {
+                if s <= end {
+                    spans.push(Span {
+                        start: s.max(origin),
+                        end,
+                        label: c.to_string(),
+                        kind: SpanKind::Exec,
+                    });
+                }
+            }
+            spans.sort_by_key(|s| s.start);
+            lanes.push(Lane {
+                label: label.to_string(),
+                spans,
+            });
+        }
+        Timeline {
+            lanes,
+            origin,
+            end,
+        }
+    }
+
+    /// Converts the timeline into [`crate::svg::BarRow`]s (µs relative to
+    /// the chart origin), for SVG rendering of Figure 8/10-style charts.
+    pub fn bar_rows(&self) -> Vec<crate::svg::BarRow> {
+        self.lanes
+            .iter()
+            .map(|lane| crate::svg::BarRow {
+                label: lane.label.clone(),
+                spans: lane
+                    .spans
+                    .iter()
+                    .map(|s| {
+                        let color = match s.kind {
+                            SpanKind::Exec => match s.label.as_str() {
+                                "stat" | "lstat" | "access" => "#999999",
+                                "unlink" => "#d62728",
+                                "symlink" => "#1f77b4",
+                                "rename" => "#2ca02c",
+                                "chmod" | "chown" => "#ff7f0e",
+                                _ => "#bbbbbb",
+                            },
+                            SpanKind::Blocked => "#f2d0d0",
+                            SpanKind::Trap => "#000000",
+                        };
+                        (
+                            (s.start - self.origin).as_micros_f64(),
+                            (s.end - self.origin).as_micros_f64(),
+                            color.to_string(),
+                            s.label.clone(),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Renders the timeline as fixed-width ASCII art, paper-figure style.
+    ///
+    /// Each lane is two rows: a bar row (`=` executing, `~` blocked, `!`
+    /// trap) and a label row naming each span at its start column.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(20);
+        let span_cols = |s: &Span| -> (usize, usize) {
+            let total = (self.end - self.origin).as_nanos() as f64;
+            let a = (s.start - self.origin).as_nanos() as f64 / total;
+            let b = (s.end - self.origin).as_nanos() as f64 / total;
+            let c0 = (a * (width - 1) as f64).round() as usize;
+            let c1 = ((b * (width - 1) as f64).round() as usize).max(c0);
+            (c0.min(width - 1), c1.min(width - 1))
+        };
+        let name_width = self
+            .lanes
+            .iter()
+            .map(|l| l.label.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        for lane in &self.lanes {
+            let mut bar = vec![b' '; width];
+            let mut labels = vec![b' '; width];
+            for span in &lane.spans {
+                let (c0, c1) = span_cols(span);
+                let ch = match span.kind {
+                    SpanKind::Exec => b'=',
+                    SpanKind::Blocked => b'~',
+                    SpanKind::Trap => b'!',
+                };
+                if span.kind == SpanKind::Trap {
+                    bar[c0] = b'!';
+                } else {
+                    bar[c0] = b'|';
+                    for cell in bar.iter_mut().take(c1).skip(c0 + 1) {
+                        // Blocked marks override exec fill so waits stay
+                        // visible inside a syscall bar.
+                        if *cell == b' ' || (ch == b'~' && *cell == b'=') {
+                            *cell = ch;
+                        }
+                    }
+                    if c1 > c0 {
+                        bar[c1] = b'|';
+                    }
+                }
+                // Stamp the label if it fits without clobbering another.
+                let text = span.label.as_bytes();
+                let end_col = (c0 + text.len()).min(width);
+                if labels[c0..end_col].iter().all(|&b| b == b' ') {
+                    labels[c0..end_col].copy_from_slice(&text[..end_col - c0]);
+                }
+            }
+            out.push_str(&format!(
+                "{:>name_width$} {}\n",
+                lane.label,
+                String::from_utf8(bar).expect("ascii")
+            ));
+            out.push_str(&format!(
+                "{:>name_width$} {}\n",
+                "",
+                String::from_utf8(labels).expect("ascii")
+            ));
+        }
+        // Time axis.
+        let mut axis = format!("{:>name_width$} ", "");
+        let t0 = self.origin.as_micros_f64();
+        let t1 = self.end.as_micros_f64();
+        axis.push_str(&format!(
+            "{:<10} {:^w$} {:>10}",
+            format!("{t0:.0}us"),
+            format!("{:.0}us", (t0 + t1) / 2.0),
+            format!("{t1:.0}us"),
+            w = width.saturating_sub(22)
+        ));
+        out.push_str(&axis);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tocttou_workloads::scenario::Scenario;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn builds_lanes_from_real_trace() {
+        let s = Scenario::gedit_smp(2048);
+        let (_, h) = s.run_traced(31_003);
+        let end = h.kernel.now();
+        let tl = Timeline::from_trace(
+            h.kernel.trace(),
+            &[(h.victim, "gedit"), (h.attackers[0], "attacker")],
+            SimTime::ZERO,
+            end,
+        );
+        assert_eq!(tl.lanes.len(), 2);
+        assert!(!tl.lanes[0].spans.is_empty(), "victim has syscalls");
+        assert!(!tl.lanes[1].spans.is_empty(), "attacker has syscalls");
+        // Victim lane contains the save sequence.
+        let labels: Vec<&str> = tl.lanes[0].spans.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"rename"), "{labels:?}");
+        assert!(labels.contains(&"chown"), "{labels:?}");
+    }
+
+    #[test]
+    fn render_has_one_bar_and_label_row_per_lane_plus_axis() {
+        let s = Scenario::gedit_smp(2048);
+        let (_, h) = s.run_traced(31_003);
+        let tl = Timeline::from_trace(
+            h.kernel.trace(),
+            &[(h.victim, "gedit"), (h.attackers[0], "attacker")],
+            SimTime::ZERO,
+            h.kernel.now(),
+        );
+        let text = tl.render_ascii(100);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2 * 2 + 1);
+        assert!(text.contains("us"), "axis labelled");
+        assert!(text.contains('='), "bars drawn");
+    }
+
+    #[test]
+    fn spans_clip_to_window() {
+        let s = Scenario::gedit_smp(2048);
+        let (_, h) = s.run_traced(31_003);
+        let tl = Timeline::from_trace(
+            h.kernel.trace(),
+            &[(h.victim, "gedit")],
+            t(100),
+            t(200),
+        );
+        for span in &tl.lanes[0].spans {
+            assert!(span.start >= t(100));
+            assert!(span.end <= h.kernel.now());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty timeline window")]
+    fn empty_window_panics() {
+        let s = Scenario::gedit_smp(2048);
+        let (_, h) = s.run_traced(31_003);
+        let _ = Timeline::from_trace(h.kernel.trace(), &[], t(5), t(5));
+    }
+}

@@ -1,0 +1,83 @@
+//! CPU affinity helpers.
+//!
+//! The whole point of the paper is what changes when the attacker gets a
+//! *dedicated* CPU, so the native lab pins its victim and attacker threads
+//! to distinct cores where the host allows. This is the one place the
+//! workspace needs `libc`: `std` exposes no affinity API.
+
+/// Number of CPUs currently available to this process.
+pub fn online_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pins the *calling thread* to the given CPU.
+///
+/// Returns `Err` with the OS error when the CPU does not exist or the
+/// process lacks permission; callers on constrained hosts should treat this
+/// as advisory.
+pub fn pin_current_thread(cpu: usize) -> std::io::Result<()> {
+    // SAFETY: CPU_* macros are implemented as pure bit manipulation on a
+    // zeroed cpu_set_t; sched_setaffinity with pid 0 affects the calling
+    // thread and reads exactly `size_of::<cpu_set_t>()` bytes.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        if cpu >= libc::CPU_SETSIZE as usize {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cpu index out of range",
+            ));
+        }
+        libc::CPU_SET(cpu, &mut set);
+        let rc = libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+        if rc != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Picks the (victim, attacker) CPU pair: distinct CPUs when the machine
+/// has more than one, `None` when pinning is pointless (uniprocessor).
+pub fn pick_cpu_pair() -> Option<(usize, usize)> {
+    let n = online_cpus();
+    if n >= 2 {
+        Some((0, 1))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_at_least_one_cpu() {
+        assert!(online_cpus() >= 1);
+    }
+
+    #[test]
+    fn pinning_to_cpu0_succeeds() {
+        // CPU 0 always exists; pinning the test thread is harmless.
+        pin_current_thread(0).expect("pin to cpu 0");
+    }
+
+    #[test]
+    fn pinning_to_absurd_cpu_fails() {
+        assert!(pin_current_thread(usize::MAX).is_err());
+    }
+
+    #[test]
+    fn pair_requires_two_cpus() {
+        match pick_cpu_pair() {
+            Some((a, b)) => {
+                assert_ne!(a, b);
+                assert!(online_cpus() >= 2);
+            }
+            None => assert_eq!(online_cpus(), 1),
+        }
+    }
+}

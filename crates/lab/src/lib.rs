@@ -1,0 +1,41 @@
+//! # tocttou-lab — the native real-syscall TOCTTOU race laboratory
+//!
+//! Runs the paper's attacks with **actual system calls** on the host
+//! filesystem, inside a scratch directory: a victim thread replays the vi
+//! or gedit save sequence (as root, like the paper's misconfigured
+//! administrator) while an attacker thread spins on `stat`/`unlink`/
+//! `symlink`, pinned to a different CPU where the machine allows.
+//!
+//! The privileged target is always a **stand-in file** inside the scratch
+//! directory — never the real `/etc/passwd`.
+//!
+//! * [`affinity`] — `sched_setaffinity` wrappers (the crate's reason for
+//!   depending on `libc`);
+//! * [`victim`] — native vi/gedit save emulators (Figures 1 and 3);
+//! * [`attacker`] — native attacker loops (Figures 2/4 and 9);
+//! * [`lab`] — the round driver and report.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use tocttou_lab::lab::{run_lab, LabConfig};
+//!
+//! let report = run_lab(&LabConfig::default())?;
+//! println!("{report}");
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+// `unsafe` is confined to the libc affinity/uid calls.
+
+pub mod affinity;
+pub mod attacker;
+pub mod lab;
+pub mod measure;
+pub mod victim;
+
+pub use affinity::{online_cpus, pick_cpu_pair, pin_current_thread};
+pub use attacker::{attack_pipelined, attack_v1, attack_v2, AttackOutcome, NativeAttackConfig};
+pub use lab::{is_root, run_lab, LabConfig, LabReport, NativeAttacker, NativeVictim};
+pub use measure::{measure_detection_period, measure_syscall_costs, SyscallCosts};
+pub use victim::{gedit_save, vi_save, SaveConfig, SaveOutcome};

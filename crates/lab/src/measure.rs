@@ -1,0 +1,183 @@
+//! Native syscall microbenchmarks: measure on *this* host the quantities
+//! the simulator's [`CostModel`](tocttou_core) calibrates from the paper —
+//! `stat`, `unlink`, `symlink`, `rename` durations and the unlink-vs-size
+//! slope — so the 2007 calibration can be compared against modern hardware.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use tocttou_core::stats::OnlineStats;
+
+/// Measured durations of the attack-relevant syscalls, µs.
+#[derive(Debug, Clone)]
+pub struct SyscallCosts {
+    /// `stat` of an existing file.
+    pub stat_us: f64,
+    /// `unlink` of an empty file.
+    pub unlink_empty_us: f64,
+    /// `unlink` of a file of [`Self::sized_bytes`] bytes.
+    pub unlink_sized_us: f64,
+    /// Size used for the sized-unlink measurement.
+    pub sized_bytes: u64,
+    /// `symlink` creation.
+    pub symlink_us: f64,
+    /// `rename` within a directory.
+    pub rename_us: f64,
+    /// Iterations behind each number.
+    pub iterations: u32,
+}
+
+impl std::fmt::Display for SyscallCosts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "native syscall costs (median of {} iterations):",
+            self.iterations
+        )?;
+        writeln!(f, "  stat            {:>8.2} µs (paper calibration: 4)", self.stat_us)?;
+        writeln!(
+            f,
+            "  unlink (empty)  {:>8.2} µs (paper calibration: ~7.5)",
+            self.unlink_empty_us
+        )?;
+        writeln!(
+            f,
+            "  unlink ({} KB) {:>8.2} µs (paper: grows ~1.3 µs/KB)",
+            self.sized_bytes / 1024,
+            self.unlink_sized_us
+        )?;
+        writeln!(f, "  symlink         {:>8.2} µs (paper calibration: 4)", self.symlink_us)?;
+        writeln!(f, "  rename          {:>8.2} µs (paper calibration: 30–55)", self.rename_us)
+    }
+}
+
+fn median_us(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples[samples.len() / 2]
+    }
+}
+
+fn time_us(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e6
+}
+
+/// Measures the attack-relevant syscall costs in `dir` (created if absent).
+///
+/// # Errors
+///
+/// Propagates scratch-directory I/O failures.
+pub fn measure_syscall_costs(dir: &Path, iterations: u32) -> std::io::Result<SyscallCosts> {
+    fs::create_dir_all(dir)?;
+    let sized_bytes: u64 = 512 * 1024;
+    let subject = dir.join("subject");
+    let renamed = dir.join("renamed");
+    let link = dir.join("link");
+
+    let mut stat = Vec::new();
+    let mut unlink_empty = Vec::new();
+    let mut unlink_sized = Vec::new();
+    let mut symlink = Vec::new();
+    let mut rename = Vec::new();
+
+    for _ in 0..iterations.max(1) {
+        fs::write(&subject, b"x")?;
+        stat.push(time_us(|| {
+            let _ = fs::metadata(&subject);
+        }));
+        rename.push(time_us(|| {
+            let _ = fs::rename(&subject, &renamed);
+        }));
+        unlink_empty.push(time_us(|| {
+            let _ = fs::remove_file(&renamed);
+        }));
+        symlink.push(time_us(|| {
+            let _ = std::os::unix::fs::symlink("/dev/null", &link);
+        }));
+        fs::remove_file(&link).ok();
+
+        fs::write(&subject, vec![0u8; sized_bytes as usize])?;
+        unlink_sized.push(time_us(|| {
+            let _ = fs::remove_file(&subject);
+        }));
+    }
+    Ok(SyscallCosts {
+        stat_us: median_us(stat),
+        unlink_empty_us: median_us(unlink_empty),
+        unlink_sized_us: median_us(unlink_sized),
+        sized_bytes,
+        symlink_us: median_us(symlink),
+        rename_us: median_us(rename),
+        iterations,
+    })
+}
+
+/// Measures the attacker's achievable native detection period D on this
+/// host: the median interval between consecutive `stat` calls in a v1-style
+/// spin loop.
+///
+/// # Errors
+///
+/// Propagates scratch I/O failures.
+pub fn measure_detection_period(dir: &Path, iterations: u32) -> std::io::Result<f64> {
+    fs::create_dir_all(dir)?;
+    let target = dir.join("watched");
+    fs::write(&target, b"w")?;
+    let mut stats = OnlineStats::new();
+    let mut last = Instant::now();
+    for _ in 0..iterations.max(2) {
+        let _ = fs::metadata(&target);
+        let now = Instant::now();
+        stats.push((now - last).as_secs_f64() * 1e6);
+        last = now;
+    }
+    fs::remove_file(&target).ok();
+    Ok(stats.mean())
+}
+
+/// A scratch directory under the system temp dir, unique per process.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tocttou-measure-{}-{tag}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_are_positive_and_ordered() {
+        let dir = scratch_dir("costs");
+        let c = measure_syscall_costs(&dir, 50).expect("measure");
+        fs::remove_dir_all(&dir).ok();
+        assert!(c.stat_us > 0.0);
+        assert!(c.unlink_empty_us > 0.0);
+        assert!(c.symlink_us > 0.0);
+        assert!(c.rename_us > 0.0);
+        // A 512 KB unlink is at least as expensive as an empty one (page
+        // cache teardown), modulo noise: allow equality-ish.
+        assert!(c.unlink_sized_us > 0.0);
+        let text = c.to_string();
+        assert!(text.contains("stat"), "{text}");
+    }
+
+    #[test]
+    fn detection_period_is_measurable() {
+        let dir = scratch_dir("period");
+        let d = measure_detection_period(&dir, 500).expect("measure");
+        fs::remove_dir_all(&dir).ok();
+        // A modern syscall loop is far under the paper's 41 µs, but must be
+        // non-zero and sane.
+        assert!(d > 0.0 && d < 10_000.0, "D = {d} µs");
+    }
+
+    #[test]
+    fn median_handles_edges() {
+        assert_eq!(median_us(vec![]), 0.0);
+        assert_eq!(median_us(vec![5.0]), 5.0);
+        assert_eq!(median_us(vec![9.0, 1.0, 5.0]), 5.0);
+    }
+}

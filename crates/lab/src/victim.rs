@@ -1,0 +1,188 @@
+//! Native victim emulators: the vi and gedit save sequences executed with
+//! real system calls against a scratch directory.
+//!
+//! These reproduce Figures 1 and 3 at the syscall level. They are meant to
+//! run as root (like the paper's scenario, where the administrator edits a
+//! user's file as root) so the final `chown` is meaningful; without root
+//! the chown step fails and the round reports it.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Parameters of a native save.
+#[derive(Debug, Clone)]
+pub struct SaveConfig {
+    /// The document path (the watched file).
+    pub doc: PathBuf,
+    /// The backup path.
+    pub backup: PathBuf,
+    /// gedit's scratch path.
+    pub temp: PathBuf,
+    /// Bytes written.
+    pub file_size: usize,
+    /// uid/gid to chown back to.
+    pub owner: (u32, u32),
+}
+
+impl SaveConfig {
+    /// Standard layout inside `dir`.
+    pub fn in_dir(dir: &Path, file_size: usize, owner: (u32, u32)) -> Self {
+        SaveConfig {
+            doc: dir.join("doc.txt"),
+            backup: dir.join("doc.txt~"),
+            temp: dir.join(".goutputstream"),
+            file_size,
+            owner,
+        }
+    }
+}
+
+/// The outcome of one native save.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveOutcome {
+    /// Whether every step succeeded (the attack may still have redirected
+    /// the chown — success here means the *victim* saw no error it checks).
+    pub completed: bool,
+    /// Human-readable error of the first failed step, if any.
+    pub error: Option<String>,
+}
+
+fn chown_path(path: &Path, uid: u32, gid: u32) -> std::io::Result<()> {
+    // chown(2) follows symlinks — the crux of the attack.
+    std::os::unix::fs::chown(path, Some(uid), Some(gid))
+}
+
+/// Executes the vi 6.1 save sequence (Figure 1): rename to backup, creat,
+/// write, close, chown. Returns once the window has closed.
+pub fn vi_save(cfg: &SaveConfig) -> SaveOutcome {
+    let step = (|| -> std::io::Result<()> {
+        fs::rename(&cfg.doc, &cfg.backup)?;
+        {
+            let mut f = fs::File::create(&cfg.doc)?; // root-owned: window opens
+            let chunk = vec![0x61u8; 64 * 1024];
+            let mut left = cfg.file_size;
+            while left > 0 {
+                let n = left.min(chunk.len());
+                f.write_all(&chunk[..n])?;
+                left -= n;
+            }
+            f.sync_data().ok(); // best-effort, matches vi's fsync-less close era
+        } // close
+        chown_path(&cfg.doc, cfg.owner.0, cfg.owner.1)?; // window closes
+        Ok(())
+    })();
+    match step {
+        Ok(()) => SaveOutcome {
+            completed: true,
+            error: None,
+        },
+        Err(e) => SaveOutcome {
+            completed: false,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Executes the gedit 2.8.3 save sequence (Figure 3): write scratch, backup
+/// original, rename into place, chmod, chown.
+pub fn gedit_save(cfg: &SaveConfig) -> SaveOutcome {
+    let step = (|| -> std::io::Result<()> {
+        {
+            let mut f = fs::File::create(&cfg.temp)?;
+            let chunk = vec![0x62u8; 64 * 1024];
+            let mut left = cfg.file_size;
+            while left > 0 {
+                let n = left.min(chunk.len());
+                f.write_all(&chunk[..n])?;
+                left -= n;
+            }
+        }
+        fs::rename(&cfg.doc, &cfg.backup)?;
+        fs::rename(&cfg.temp, &cfg.doc)?; // window opens
+        // chmod follows symlinks, like the real gedit's.
+        fs::set_permissions(&cfg.doc, std::os::unix::fs::PermissionsExt::from_mode(0o644))?;
+        chown_path(&cfg.doc, cfg.owner.0, cfg.owner.1)?; // window closes
+        Ok(())
+    })();
+    match step {
+        Ok(()) => SaveOutcome {
+            completed: true,
+            error: None,
+        },
+        Err(e) => SaveOutcome {
+            completed: false,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::fs::MetadataExt;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tocttou-victim-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn is_root() -> bool {
+        // SAFETY: geteuid has no preconditions.
+        unsafe { libc::geteuid() == 0 }
+    }
+
+    #[test]
+    fn vi_save_without_attacker_restores_ownership() {
+        let dir = scratch("vi");
+        let cfg = SaveConfig::in_dir(&dir, 4096, (0, 0));
+        fs::write(&cfg.doc, b"original").unwrap();
+        let out = vi_save(&cfg);
+        assert!(out.completed, "{:?}", out.error);
+        assert_eq!(fs::read_to_string(&cfg.backup).unwrap(), "original");
+        assert_eq!(fs::metadata(&cfg.doc).unwrap().len(), 4096);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn vi_save_chowns_back_when_root() {
+        if !is_root() {
+            eprintln!("skipping: requires root");
+            return;
+        }
+        let dir = scratch("vi-chown");
+        let cfg = SaveConfig::in_dir(&dir, 128, (1234, 1234));
+        fs::write(&cfg.doc, b"x").unwrap();
+        let out = vi_save(&cfg);
+        assert!(out.completed, "{:?}", out.error);
+        let meta = fs::metadata(&cfg.doc).unwrap();
+        assert_eq!(meta.uid(), 1234);
+        assert_eq!(meta.gid(), 1234);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gedit_save_replaces_and_backs_up() {
+        let dir = scratch("gedit");
+        let cfg = SaveConfig::in_dir(&dir, 2048, (0, 0));
+        fs::write(&cfg.doc, b"before").unwrap();
+        let out = gedit_save(&cfg);
+        assert!(out.completed, "{:?}", out.error);
+        assert_eq!(fs::read_to_string(&cfg.backup).unwrap(), "before");
+        assert_eq!(fs::metadata(&cfg.doc).unwrap().len(), 2048);
+        assert!(!cfg.temp.exists(), "scratch consumed");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn vi_save_fails_cleanly_without_document() {
+        let dir = scratch("vi-missing");
+        let cfg = SaveConfig::in_dir(&dir, 16, (0, 0));
+        let out = vi_save(&cfg);
+        assert!(!out.completed);
+        assert!(out.error.is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,258 @@
+//! The syscall cost model.
+//!
+//! All costs are expressed in microseconds at **reference speed** — the
+//! paper's multi-core machine (Pentium D 3.2 GHz), whose Section 6.2
+//! measurements anchor the calibration. A [`MachineSpec`](crate::machine::MachineSpec)
+//! scales every cost by its `speed_factor` (the 1.7 GHz Xeon SMP uses ≈2.0).
+//!
+//! Calibration sources (see DESIGN.md §4 for the full table):
+//!
+//! * `stat` = 4 µs and its inflation to 26 µs under directory contention —
+//!   Section 6.2.2;
+//! * page-fault trap = 6 µs — Section 6.2.1's event analysis (Figure 8);
+//! * vi write throughput ≈ 17 µs/KB *at SMP speed* (Figure 7's L ≈ 17 ms at
+//!   1 MB), i.e. 8.5 µs/KB at reference speed;
+//! * `unlink` truncation ≈ 1.3 µs/KB — Figure 11's envelope (the 500 KB
+//!   sequential attack completes around 700 µs, dominated by truncation).
+
+use tocttou_sim::time::SimDuration;
+
+/// Reference-speed costs for every simulated kernel operation.
+///
+/// Construct with [`CostModel::default`] (paper calibration) and override
+/// fields as needed for ablations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Fixed user→kernel transition overhead added to every syscall, µs.
+    pub syscall_entry_us: f64,
+    /// Path-resolution portion of `stat`/`lstat` (the directory is sampled at
+    /// the end of this phase), µs.
+    pub stat_resolve_us: f64,
+    /// Remainder of `stat` after the sample, µs.
+    pub stat_finish_us: f64,
+    /// Multiplier applied to `stat` when the target directory's semaphore is
+    /// held at call entry (dentry contention; Section 6.2.2 measured 4 µs →
+    /// 26 µs on the multi-core, factor 6.5). Set to 1.0 to disable.
+    pub stat_contention_factor: f64,
+    /// `open(O_CREAT)` — the new directory entry becomes visible at the end
+    /// (commit point), µs.
+    pub open_create_us: f64,
+    /// `open` of an existing file, µs.
+    pub open_existing_us: f64,
+    /// Per-KB cost of `write` (buffer copy + page-cache work), µs.
+    pub write_per_kb_us: f64,
+    /// Fixed per-`write`-call overhead, µs.
+    pub write_base_us: f64,
+    /// `close`, µs.
+    pub close_us: f64,
+    /// `unlink` phase 1: detach the directory entry (holds the directory
+    /// semaphore), µs.
+    pub unlink_detach_us: f64,
+    /// `unlink` phase 2: truncate the file's data blocks (semaphore already
+    /// released — this is what the Section 7 pipelined attacker overlaps),
+    /// µs per KB of file data.
+    pub unlink_truncate_per_kb_us: f64,
+    /// Fixed part of the truncation tail, µs.
+    pub unlink_truncate_base_us: f64,
+    /// `symlink` creation (holds the directory semaphore), µs.
+    pub symlink_us: f64,
+    /// Total `rename` duration while holding the directory semaphore, µs.
+    pub rename_us: f64,
+    /// Fraction of `rename` after which the new name is already visible to a
+    /// lock-free reader (`stat`). The paper observes "t1 is somewhere within
+    /// the execution of rename": the attacker need not wait for rename to
+    /// finish. Must be in `[0, 1]`.
+    pub rename_visible_frac: f64,
+    /// `chmod` body while holding the semaphore, µs.
+    pub chmod_us: f64,
+    /// `chown` body while holding the semaphore, µs.
+    pub chown_us: f64,
+    /// `mkdir`, µs.
+    pub mkdir_us: f64,
+    /// `readlink`, µs.
+    pub readlink_us: f64,
+    /// A libc-wrapper page fault (first call to a not-yet-mapped wrapper
+    /// page), µs. Section 6.2.1 measured 6 µs.
+    pub trap_us: f64,
+    /// Extra kernel time per path component resolved, µs. Zero by default
+    /// (flat resolution is folded into the per-call costs); the
+    /// "filesystem maze" attack enhancement (Borisov et al., cited in the
+    /// paper's Section 1) sets it positive so extremely long pathnames slow
+    /// the victim's calls.
+    pub resolve_per_component_us: f64,
+    /// The offset before the *end* of a `stat` at which the directory is
+    /// sampled, µs. When `stat` is inflated by contention the sample happens
+    /// correspondingly late — Figure 10 shows a 26 µs `stat` that returns
+    /// fresh data observed just before it ends.
+    pub stat_sample_tail_us: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            syscall_entry_us: 0.5,
+            stat_resolve_us: 2.0,
+            stat_finish_us: 2.0,
+            stat_contention_factor: 1.0,
+            open_create_us: 15.0,
+            open_existing_us: 5.0,
+            write_per_kb_us: 8.5,
+            write_base_us: 1.0,
+            close_us: 2.0,
+            unlink_detach_us: 6.0,
+            unlink_truncate_per_kb_us: 1.3,
+            unlink_truncate_base_us: 1.5,
+            symlink_us: 4.0,
+            rename_us: 30.0,
+            rename_visible_frac: 0.80,
+            chmod_us: 5.0,
+            chown_us: 5.0,
+            mkdir_us: 10.0,
+            readlink_us: 3.0,
+            trap_us: 6.0,
+            resolve_per_component_us: 0.0,
+            stat_sample_tail_us: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Validates internal consistency (fractions in range, non-negative
+    /// costs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let non_negative = [
+            ("syscall_entry_us", self.syscall_entry_us),
+            ("stat_resolve_us", self.stat_resolve_us),
+            ("stat_finish_us", self.stat_finish_us),
+            ("open_create_us", self.open_create_us),
+            ("open_existing_us", self.open_existing_us),
+            ("write_per_kb_us", self.write_per_kb_us),
+            ("write_base_us", self.write_base_us),
+            ("close_us", self.close_us),
+            ("unlink_detach_us", self.unlink_detach_us),
+            ("unlink_truncate_per_kb_us", self.unlink_truncate_per_kb_us),
+            ("unlink_truncate_base_us", self.unlink_truncate_base_us),
+            ("symlink_us", self.symlink_us),
+            ("rename_us", self.rename_us),
+            ("chmod_us", self.chmod_us),
+            ("chown_us", self.chown_us),
+            ("mkdir_us", self.mkdir_us),
+            ("readlink_us", self.readlink_us),
+            ("trap_us", self.trap_us),
+            ("resolve_per_component_us", self.resolve_per_component_us),
+            ("stat_sample_tail_us", self.stat_sample_tail_us),
+        ];
+        for (name, v) in non_negative {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.rename_visible_frac) {
+            return Err(format!(
+                "rename_visible_frac must be in [0, 1], got {}",
+                self.rename_visible_frac
+            ));
+        }
+        if self.stat_contention_factor < 1.0 || !self.stat_contention_factor.is_finite() {
+            return Err(format!(
+                "stat_contention_factor must be ≥ 1, got {}",
+                self.stat_contention_factor
+            ));
+        }
+        Ok(())
+    }
+
+    /// Duration of a `write` call for `bytes` bytes, at reference speed.
+    pub fn write_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros_f64(self.write_base_us + self.write_per_kb_us * kb(bytes))
+    }
+
+    /// Duration of the `unlink` truncation tail for a file of `bytes` bytes.
+    pub fn truncate_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros_f64(
+            self.unlink_truncate_base_us + self.unlink_truncate_per_kb_us * kb(bytes),
+        )
+    }
+
+    /// Extra resolution cost for a path with the given number of
+    /// components, µs.
+    pub fn maze_cost_us(&self, components: usize) -> f64 {
+        self.resolve_per_component_us * components as f64
+    }
+
+    /// Total `stat` duration given whether the directory semaphore was held
+    /// at entry.
+    pub fn stat_total_us(&self, contended: bool) -> f64 {
+        let base = self.stat_resolve_us + self.stat_finish_us;
+        if contended {
+            base * self.stat_contention_factor
+        } else {
+            base
+        }
+    }
+}
+
+fn kb(bytes: u64) -> f64 {
+    bytes as f64 / 1024.0
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_validates() {
+        CostModel::default().validate().expect("defaults valid");
+    }
+
+    #[test]
+    fn validation_catches_bad_fraction() {
+        let mut m = CostModel::default();
+        m.rename_visible_frac = 1.5;
+        assert!(m.validate().unwrap_err().contains("rename_visible_frac"));
+    }
+
+    #[test]
+    fn validation_catches_negative_cost() {
+        let mut m = CostModel::default();
+        m.chown_us = -1.0;
+        assert!(m.validate().unwrap_err().contains("chown_us"));
+    }
+
+    #[test]
+    fn validation_catches_sub_unit_contention_factor() {
+        let mut m = CostModel::default();
+        m.stat_contention_factor = 0.5;
+        assert!(m.validate().unwrap_err().contains("stat_contention_factor"));
+    }
+
+    #[test]
+    fn write_cost_scales_with_size() {
+        let m = CostModel::default();
+        let one_kb = m.write_cost(1024).as_micros_f64();
+        let one_mb = m.write_cost(1024 * 1024).as_micros_f64();
+        assert!((one_kb - (1.0 + 8.5)).abs() < 1e-9);
+        assert!((one_mb - (1.0 + 8.5 * 1024.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncate_cost_matches_fig11_envelope() {
+        let m = CostModel::default();
+        // 500 KB file: ~650 µs truncation tail (Figure 11).
+        let t = m.truncate_cost(500 * 1024).as_micros_f64();
+        assert!((600.0..720.0).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn stat_inflation() {
+        let mut m = CostModel::default();
+        m.stat_contention_factor = 6.5;
+        assert!((m.stat_total_us(false) - 4.0).abs() < 1e-9);
+        assert!((m.stat_total_us(true) - 26.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! An EDGI-style TOCTTOU defense (Event-Driven Guarding of Invariants).
+//!
+//! The paper's Section 8 surveys defenses and points to the authors' own
+//! EDGI proposal [Pu & Wei, ISSSE '06]: guard the invariant a *check* call
+//! establishes about a file name until the corresponding *use* call, and
+//! abort the use if another principal invalidated the invariant in between.
+//!
+//! This module implements that discipline inside the simulated kernel:
+//!
+//! * a **check** commit (`stat`, `creat`, the into-place `rename`) by
+//!   process *P* on path *X* records a guard `(P, X) → inode`;
+//! * a **namespace mutation** of *X* (`unlink`, `symlink`, `creat`,
+//!   `rename`) committed by a *different* process marks every guard on *X*
+//!   violated;
+//! * a **use** commit (`chown`, `chmod`, `open`) by *P* on *X* while the
+//!   guard is violated is denied with `EACCES` instead of being applied —
+//!   the editor's save fails loudly, but `/etc/passwd` is never handed
+//!   over.
+//!
+//! Guards are per-process and cleared when the owning process exits or
+//! completes a guarded use.
+
+use crate::ids::{Ino, Pid};
+use std::collections::HashMap;
+
+/// Kernel-wide defense policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DefensePolicy {
+    /// No defense: the historical kernels the paper attacks.
+    #[default]
+    Off,
+    /// EDGI-style invariant guarding.
+    Edgi,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Guard {
+    ino: Option<Ino>,
+    violated: bool,
+}
+
+/// The guard table.
+#[derive(Debug, Clone, Default)]
+pub struct DefenseState {
+    policy: DefensePolicy,
+    guards: HashMap<(Pid, String), Guard>,
+    denials: u64,
+}
+
+impl DefenseState {
+    /// A table with the given policy.
+    pub fn new(policy: DefensePolicy) -> Self {
+        DefenseState {
+            policy,
+            ..DefenseState::default()
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> DefensePolicy {
+        self.policy
+    }
+
+    /// How many use calls the defense has denied.
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+
+    /// Whether bookkeeping is needed at all.
+    pub fn enabled(&self) -> bool {
+        self.policy != DefensePolicy::Off
+    }
+
+    /// Records the invariant established by a check call: `pid` observed or
+    /// created `path` bound to `ino`.
+    pub fn record_check(&mut self, pid: Pid, path: &str, ino: Option<Ino>) {
+        if !self.enabled() {
+            return;
+        }
+        self.guards.insert(
+            (pid, path.to_string()),
+            Guard {
+                ino,
+                violated: false,
+            },
+        );
+    }
+
+    /// Reports a namespace mutation of `path` committed by `by`: every
+    /// *other* process's guard on the path is violated.
+    pub fn record_mutation(&mut self, by: Pid, path: &str) {
+        if !self.enabled() {
+            return;
+        }
+        for ((owner, guarded), guard) in self.guards.iter_mut() {
+            if *owner != by && guarded == path {
+                guard.violated = true;
+            }
+        }
+    }
+
+    /// Gate for a use call: returns `true` when the use may proceed,
+    /// `false` when the defense denies it.
+    ///
+    /// The guard persists across uses — a save sequence issues several use
+    /// calls (`chmod` then `chown`) under one invariant, and a violated
+    /// guard must deny *all* of them until the process re-checks. A use
+    /// without a prior check is allowed — the defense guards declared
+    /// invariants, it does not invent them.
+    pub fn allow_use(&mut self, pid: Pid, path: &str) -> bool {
+        if !self.enabled() {
+            return true;
+        }
+        match self.guards.get(&(pid, path.to_string())) {
+            Some(guard) if guard.violated => {
+                self.denials += 1;
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// Drops every guard owned by an exiting process.
+    pub fn forget_process(&mut self, pid: Pid) {
+        if !self.enabled() {
+            return;
+        }
+        self.guards.retain(|(owner, _), _| *owner != pid);
+    }
+
+    /// Number of live guards (for tests).
+    pub fn guard_count(&self) -> usize {
+        self.guards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_policy_is_free() {
+        let mut d = DefenseState::new(DefensePolicy::Off);
+        d.record_check(Pid(1), "/x", Some(Ino(5)));
+        d.record_mutation(Pid(2), "/x");
+        assert!(d.allow_use(Pid(1), "/x"));
+        assert_eq!(d.guard_count(), 0);
+        assert_eq!(d.denials(), 0);
+    }
+
+    #[test]
+    fn violated_guard_denies_every_use_until_recheck() {
+        let mut d = DefenseState::new(DefensePolicy::Edgi);
+        d.record_check(Pid(1), "/doc", Some(Ino(9)));
+        d.record_mutation(Pid(2), "/doc"); // the attacker's unlink
+        assert!(!d.allow_use(Pid(1), "/doc"), "chmod denied");
+        assert!(!d.allow_use(Pid(1), "/doc"), "chown denied too");
+        assert_eq!(d.denials(), 2);
+        // Only a fresh check clears the violation.
+        d.record_check(Pid(1), "/doc", Some(Ino(12)));
+        assert!(d.allow_use(Pid(1), "/doc"));
+    }
+
+    #[test]
+    fn own_mutations_do_not_violate() {
+        let mut d = DefenseState::new(DefensePolicy::Edgi);
+        d.record_check(Pid(1), "/doc", Some(Ino(9)));
+        d.record_mutation(Pid(1), "/doc"); // the victim's own rename
+        assert!(d.allow_use(Pid(1), "/doc"));
+        assert_eq!(d.denials(), 0);
+    }
+
+    #[test]
+    fn unrelated_paths_unaffected() {
+        let mut d = DefenseState::new(DefensePolicy::Edgi);
+        d.record_check(Pid(1), "/doc", None);
+        d.record_mutation(Pid(2), "/other");
+        assert!(d.allow_use(Pid(1), "/doc"));
+    }
+
+    #[test]
+    fn use_without_check_is_allowed() {
+        let mut d = DefenseState::new(DefensePolicy::Edgi);
+        assert!(d.allow_use(Pid(3), "/anything"));
+    }
+
+    #[test]
+    fn exit_clears_guards() {
+        let mut d = DefenseState::new(DefensePolicy::Edgi);
+        d.record_check(Pid(1), "/a", None);
+        d.record_check(Pid(1), "/b", None);
+        d.record_check(Pid(2), "/c", None);
+        d.forget_process(Pid(1));
+        assert_eq!(d.guard_count(), 1);
+    }
+
+    #[test]
+    fn recheck_resets_violation() {
+        let mut d = DefenseState::new(DefensePolicy::Edgi);
+        d.record_check(Pid(1), "/doc", Some(Ino(1)));
+        d.record_mutation(Pid(2), "/doc");
+        // The victim re-checks (sees the new binding) before using.
+        d.record_check(Pid(1), "/doc", Some(Ino(7)));
+        assert!(d.allow_use(Pid(1), "/doc"), "fresh invariant holds");
+    }
+}

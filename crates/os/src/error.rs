@@ -1,0 +1,89 @@
+//! Errno-style error type for simulated system calls.
+
+use serde::{Deserialize, Serialize};
+
+/// The subset of Unix errnos the simulated VFS can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OsError {
+    /// No such file or directory.
+    Enoent,
+    /// File exists.
+    Eexist,
+    /// Not a directory.
+    Enotdir,
+    /// Is a directory.
+    Eisdir,
+    /// Too many levels of symbolic links.
+    Eloop,
+    /// Invalid argument.
+    Einval,
+    /// Bad file descriptor.
+    Ebadf,
+    /// Permission denied.
+    Eacces,
+    /// Operation not permitted.
+    Eperm,
+    /// Directory not empty.
+    Enotempty,
+    /// Cross-device link (rename across directories is out of scope for the
+    /// single-filesystem model).
+    Exdev,
+}
+
+impl OsError {
+    /// The conventional errno symbol.
+    pub fn name(self) -> &'static str {
+        match self {
+            OsError::Enoent => "ENOENT",
+            OsError::Eexist => "EEXIST",
+            OsError::Enotdir => "ENOTDIR",
+            OsError::Eisdir => "EISDIR",
+            OsError::Eloop => "ELOOP",
+            OsError::Einval => "EINVAL",
+            OsError::Ebadf => "EBADF",
+            OsError::Eacces => "EACCES",
+            OsError::Eperm => "EPERM",
+            OsError::Enotempty => "ENOTEMPTY",
+            OsError::Exdev => "EXDEV",
+        }
+    }
+}
+
+impl std::fmt::Display for OsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            OsError::Enoent => "no such file or directory",
+            OsError::Eexist => "file exists",
+            OsError::Enotdir => "not a directory",
+            OsError::Eisdir => "is a directory",
+            OsError::Eloop => "too many levels of symbolic links",
+            OsError::Einval => "invalid argument",
+            OsError::Ebadf => "bad file descriptor",
+            OsError::Eacces => "permission denied",
+            OsError::Eperm => "operation not permitted",
+            OsError::Enotempty => "directory not empty",
+            OsError::Exdev => "cross-device link",
+        };
+        write!(f, "{} ({msg})", self.name())
+    }
+}
+
+impl std::error::Error for OsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_symbol_and_message() {
+        let text = OsError::Enoent.to_string();
+        assert!(text.contains("ENOENT"));
+        assert!(text.contains("no such file"));
+    }
+
+    #[test]
+    fn names_are_conventional() {
+        assert_eq!(OsError::Eloop.name(), "ELOOP");
+        assert_eq!(OsError::Eexist.name(), "EEXIST");
+    }
+}

@@ -1,0 +1,176 @@
+//! Kernel trace events — the raw material of the paper-style event analysis.
+
+use crate::ids::{CpuId, Pid, SemId};
+use crate::process::SyscallName;
+
+/// One kernel-level event, recorded with a timestamp in the kernel's
+/// [`Trace`](tocttou_sim::trace::Trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsEvent {
+    /// A process was created.
+    Spawn {
+        /// New process.
+        pid: Pid,
+        /// Its display name.
+        name: String,
+    },
+    /// A process entered a system call.
+    SyscallEnter {
+        /// Caller.
+        pid: Pid,
+        /// Which call.
+        call: SyscallName,
+        /// Primary path argument, if any.
+        path: Option<String>,
+    },
+    /// A system call returned.
+    SyscallExit {
+        /// Caller.
+        pid: Pid,
+        /// Which call.
+        call: SyscallName,
+        /// Whether it succeeded.
+        ok: bool,
+    },
+    /// The instantaneous VFS effect of a call took place (e.g. the rename's
+    /// name installation, the unlink's detach).
+    Commit {
+        /// Caller.
+        pid: Pid,
+        /// Which call committed.
+        call: SyscallName,
+    },
+    /// A process joined a semaphore's FIFO wait queue.
+    SemEnqueue {
+        /// Waiter.
+        pid: Pid,
+        /// Contended semaphore.
+        sem: SemId,
+    },
+    /// A process acquired a semaphore.
+    SemAcquire {
+        /// New holder.
+        pid: Pid,
+        /// Semaphore.
+        sem: SemId,
+    },
+    /// A process released a semaphore.
+    SemRelease {
+        /// Old holder.
+        pid: Pid,
+        /// Semaphore.
+        sem: SemId,
+    },
+    /// A page-fault trap started (libc wrapper first touch).
+    Trap {
+        /// Faulting process.
+        pid: Pid,
+        /// Duration of the fault handling.
+        dur: tocttou_sim::time::SimDuration,
+    },
+    /// A process was placed on a CPU.
+    Dispatch {
+        /// Process.
+        pid: Pid,
+        /// CPU.
+        cpu: CpuId,
+    },
+    /// A process was descheduled (time slice expiry).
+    Preempt {
+        /// Process.
+        pid: Pid,
+        /// CPU it left.
+        cpu: CpuId,
+    },
+    /// A process blocked on a timed wait.
+    BlockTimed {
+        /// Process.
+        pid: Pid,
+    },
+    /// A blocked process became runnable again.
+    Wake {
+        /// Process.
+        pid: Pid,
+    },
+    /// Background kernel activity began on a CPU.
+    BgStart {
+        /// CPU.
+        cpu: CpuId,
+    },
+    /// Background kernel activity ended on a CPU.
+    BgEnd {
+        /// CPU.
+        cpu: CpuId,
+    },
+    /// The EDGI defense denied a use call whose guarded invariant was
+    /// violated.
+    DefenseDenied {
+        /// The process whose call was denied.
+        pid: Pid,
+        /// The denied call.
+        call: SyscallName,
+    },
+    /// A workload-emitted marker.
+    Marker {
+        /// Emitting process.
+        pid: Pid,
+        /// Label.
+        label: &'static str,
+    },
+    /// A process exited.
+    Exit {
+        /// Process.
+        pid: Pid,
+    },
+}
+
+impl OsEvent {
+    /// The pid this event concerns, if any.
+    pub fn pid(&self) -> Option<Pid> {
+        match self {
+            OsEvent::Spawn { pid, .. }
+            | OsEvent::SyscallEnter { pid, .. }
+            | OsEvent::SyscallExit { pid, .. }
+            | OsEvent::Commit { pid, .. }
+            | OsEvent::SemEnqueue { pid, .. }
+            | OsEvent::SemAcquire { pid, .. }
+            | OsEvent::SemRelease { pid, .. }
+            | OsEvent::Trap { pid, .. }
+            | OsEvent::Dispatch { pid, .. }
+            | OsEvent::Preempt { pid, .. }
+            | OsEvent::BlockTimed { pid }
+            | OsEvent::Wake { pid }
+            | OsEvent::DefenseDenied { pid, .. }
+            | OsEvent::Marker { pid, .. }
+            | OsEvent::Exit { pid } => Some(*pid),
+            OsEvent::BgStart { .. } | OsEvent::BgEnd { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_extraction() {
+        assert_eq!(
+            OsEvent::Trap {
+                pid: Pid(4),
+                dur: tocttou_sim::time::SimDuration::from_micros(6)
+            }
+            .pid(),
+            Some(Pid(4))
+        );
+        assert_eq!(OsEvent::BgStart { cpu: CpuId(0) }.pid(), None);
+        assert_eq!(
+            OsEvent::SyscallEnter {
+                pid: Pid(7),
+                call: SyscallName::Stat,
+                path: Some("/x".into())
+            }
+            .pid(),
+            Some(Pid(7))
+        );
+    }
+}

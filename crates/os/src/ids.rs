@@ -1,0 +1,124 @@
+//! Identifier newtypes for kernel objects.
+//!
+//! Each kind of kernel object gets its own index type so that a process id
+//! can never be confused with an inode number or a CPU index (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A process identifier.
+    Pid,
+    u32
+);
+id_type!(
+    /// A (logical) CPU identifier.
+    CpuId,
+    u16
+);
+id_type!(
+    /// An inode number.
+    Ino,
+    u32
+);
+id_type!(
+    /// A kernel semaphore identifier.
+    SemId,
+    u32
+);
+id_type!(
+    /// A per-process file descriptor.
+    Fd,
+    u32
+);
+
+/// A user identifier. `ROOT` is uid 0, as on Unix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Uid(pub u32);
+
+impl Uid {
+    /// The superuser.
+    pub const ROOT: Uid = Uid(0);
+
+    /// Whether this is the superuser.
+    pub fn is_root(self) -> bool {
+        self == Uid::ROOT
+    }
+}
+
+impl std::fmt::Display for Uid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "uid:{}", self.0)
+    }
+}
+
+/// A group identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Gid(pub u32);
+
+impl Gid {
+    /// The superuser's primary group.
+    pub const ROOT: Gid = Gid(0);
+}
+
+impl std::fmt::Display for Gid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gid:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_indices() {
+        let p = Pid(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(CpuId(1).index(), 1);
+        assert_eq!(Ino(7).index(), 7);
+    }
+
+    #[test]
+    fn root_uid() {
+        assert!(Uid::ROOT.is_root());
+        assert!(!Uid(1000).is_root());
+        assert_eq!(Uid::ROOT, Uid(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pid(2).to_string(), "Pid(2)");
+        assert_eq!(Uid(1000).to_string(), "uid:1000");
+        assert_eq!(Gid(4).to_string(), "gid:4");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Pid(1) < Pid(2));
+        assert!(Ino(0) < Ino(10));
+    }
+}

@@ -1,0 +1,759 @@
+//! The simulated kernel: event loop, multiprocessor scheduler, semaphore
+//! hand-off, background activity and syscall execution.
+//!
+//! One [`Kernel`] is one machine running one experiment round. It is
+//! deterministic: machine spec + seed + spawned workloads fully determine
+//! the trace.
+//!
+//! ## Scheduling model
+//!
+//! Round-robin with a fixed time slice over a single global ready queue,
+//! with **wake-to-idle-CPU** placement: a process that becomes runnable is
+//! dispatched immediately onto an idle CPU when one exists — this is the
+//! multiprocessor property the paper exploits ("the attacker can run on a
+//! different processor than the victim"). On a uniprocessor the attacker
+//! only runs when the victim is suspended, exactly as Section 3.2 assumes.
+//!
+//! Background kernel activity (soft IRQs, timers) arrives per-CPU as a
+//! Poisson process and *pauses* the user process on that CPU without a
+//! context switch, mirroring interrupt semantics.
+
+use crate::defense::{DefensePolicy, DefenseState};
+use crate::error::OsError;
+use crate::event::OsEvent;
+use crate::ids::{CpuId, Gid, Pid, Uid};
+use crate::machine::MachineSpec;
+use crate::process::{
+    Action, LogicCtx, PendingSyscall, ProcState, Process, ProcessLogic, RetVal, SyscallResult,
+};
+use crate::sem::SemTable;
+use crate::syscall::{compile, CommitStep, CpuKind, Phase};
+use crate::vfs::{InodeMeta, Vfs};
+use std::collections::VecDeque;
+use tocttou_sim::queue::{EventId, EventQueue};
+use tocttou_sim::rng::SimRng;
+use tocttou_sim::time::{SimDuration, SimTime};
+use tocttou_sim::trace::Trace;
+
+/// Maximum zero-time steps a single process may take within one event before
+/// the kernel declares it stuck (a logic bug, e.g. an infinite `Marker`
+/// loop).
+const MAX_ZERO_TIME_STEPS: usize = 100_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    PhaseEnd { pid: Pid },
+    SliceExpire { cpu: CpuId },
+    TimedWake { pid: Pid },
+    BgArrive { cpu: CpuId },
+    BgEnd { cpu: CpuId },
+}
+
+#[derive(Debug, Default)]
+struct Cpu {
+    running: Option<Pid>,
+    bg_active: bool,
+    slice_event: Option<EventId>,
+    /// When the armed slice event fires (valid while `slice_event` is set).
+    slice_deadline: SimTime,
+}
+
+/// Why [`Kernel::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The stop predicate became true.
+    StopConditionMet,
+    /// Simulated time reached the limit.
+    TimedOut,
+    /// No events remained (all processes exited or blocked forever).
+    Quiescent,
+}
+
+/// The simulated machine kernel.
+pub struct Kernel {
+    spec: MachineSpec,
+    now: SimTime,
+    queue: EventQueue<Event>,
+    rng: SimRng,
+    procs: Vec<Process>,
+    cpus: Vec<Cpu>,
+    ready: VecDeque<Pid>,
+    sems: SemTable,
+    vfs: Vfs,
+    trace: Trace<OsEvent>,
+    live: usize,
+    events_processed: u64,
+    defense: DefenseState,
+}
+
+impl Kernel {
+    /// Boots a machine from `spec` with the given RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn new(spec: MachineSpec, seed: u64) -> Self {
+        spec.validate().expect("machine spec must be valid");
+        let mut kernel = Kernel {
+            cpus: (0..spec.cpus).map(|_| Cpu::default()).collect(),
+            spec,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from_u64(seed),
+            procs: Vec::new(),
+            ready: VecDeque::new(),
+            sems: SemTable::new(),
+            vfs: Vfs::new(),
+            trace: Trace::unbounded(),
+            live: 0,
+            events_processed: 0,
+            defense: DefenseState::default(),
+        };
+        // Arm background activity per CPU.
+        if kernel.spec.background.is_active() {
+            for c in 0..kernel.cpus.len() {
+                let delay = kernel.sample_bg_interarrival();
+                kernel
+                    .queue
+                    .push(kernel.now + delay, Event::BgArrive { cpu: CpuId(c as u16) });
+            }
+        }
+        kernel
+    }
+
+    /// Disables tracing (for Monte-Carlo runs where only the outcome
+    /// matters). Must be called before spawning for a fully silent run.
+    pub fn disable_trace(&mut self) {
+        self.trace = Trace::disabled();
+    }
+
+    fn sample_bg_interarrival(&mut self) -> SimDuration {
+        let mean = self.spec.background.mean_interarrival_us;
+        SimDuration::from_micros_f64(tocttou_sim::dist::sample_exponential_us(
+            &mut self.rng,
+            mean,
+        ))
+    }
+
+    /// The filesystem (for setup and outcome inspection).
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Mutable filesystem access (experiment setup).
+    pub fn vfs_mut(&mut self) -> &mut Vfs {
+        &mut self.vfs
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace<OsEvent> {
+        &self.trace
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The machine profile.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Scheduler state of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was never spawned.
+    pub fn state_of(&self, pid: Pid) -> ProcState {
+        self.procs[pid.index()].state
+    }
+
+    /// Number of not-yet-exited processes.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Total kernel events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The semaphore table (read-only, for assertions).
+    pub fn sems(&self) -> &SemTable {
+        &self.sems
+    }
+
+    /// Activates a TOCTTOU defense policy (must be set before the attack
+    /// window; typically right after boot).
+    pub fn set_defense(&mut self, policy: DefensePolicy) {
+        self.defense = DefenseState::new(policy);
+    }
+
+    /// The defense state (for inspecting denial counts).
+    pub fn defense(&self) -> &DefenseState {
+        &self.defense
+    }
+
+    /// Creates a process owned by `uid:gid` running `logic`.
+    ///
+    /// `pretouch_libc` controls the page-fault model: a long-running program
+    /// (the victim editors) has all libc wrapper pages mapped; a freshly
+    /// exec'ed attacker does not (attacker v1 pays the trap at its first
+    /// `unlink` — Section 6.2.1).
+    pub fn spawn(
+        &mut self,
+        name: &str,
+        uid: Uid,
+        gid: Gid,
+        pretouch_libc: bool,
+        logic: Box<dyn ProcessLogic>,
+    ) -> Pid {
+        let pid = Pid(self.procs.len() as u32);
+        let proc_ = Process::new(pid, name.to_string(), uid, gid, logic, pretouch_libc);
+        self.procs.push(proc_);
+        self.live += 1;
+        self.trace.record(
+            self.now,
+            OsEvent::Spawn {
+                pid,
+                name: name.to_string(),
+            },
+        );
+        self.make_ready(pid);
+        pid
+    }
+
+    /// Runs until `stop` is true (checked between events), time passes
+    /// `max_time`, or the event queue drains.
+    pub fn run_until<F: FnMut(&Kernel) -> bool>(
+        &mut self,
+        mut stop: F,
+        max_time: SimTime,
+    ) -> RunOutcome {
+        loop {
+            if stop(self) {
+                return RunOutcome::StopConditionMet;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::Quiescent,
+                Some(t) if t > max_time => {
+                    self.now = max_time;
+                    return RunOutcome::TimedOut;
+                }
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            debug_assert!(t >= self.now, "time must be monotone");
+            self.now = t;
+            self.events_processed += 1;
+            self.handle(ev);
+        }
+    }
+
+    /// Runs until the given process exits (or `max_time`).
+    pub fn run_until_exit(&mut self, pid: Pid, max_time: SimTime) -> RunOutcome {
+        self.run_until(|k| k.state_of(pid) == ProcState::Exited, max_time)
+    }
+
+    /// Runs until all of `pids` have exited (or `max_time`).
+    pub fn run_until_all_exit(&mut self, pids: &[Pid], max_time: SimTime) -> RunOutcome {
+        let pids = pids.to_vec();
+        self.run_until(
+            move |k| pids.iter().all(|&p| k.state_of(p) == ProcState::Exited),
+            max_time,
+        )
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::PhaseEnd { pid } => {
+                let p = &mut self.procs[pid.index()];
+                debug_assert!(matches!(p.state, ProcState::Running(_)));
+                p.phase_event = None;
+                let done = p.phases.pop_front();
+                debug_assert!(matches!(done, Some(Phase::Cpu { .. })));
+                self.advance(pid);
+            }
+            Event::SliceExpire { cpu } => self.on_slice_expire(cpu),
+            Event::TimedWake { pid } => {
+                debug_assert_eq!(self.procs[pid.index()].state, ProcState::BlockedTimed);
+                self.trace.record(self.now, OsEvent::Wake { pid });
+                self.make_ready(pid);
+            }
+            Event::BgArrive { cpu } => self.on_bg_arrive(cpu),
+            Event::BgEnd { cpu } => self.on_bg_end(cpu),
+        }
+    }
+
+    // ---- scheduling -----------------------------------------------------
+
+    fn idle_cpu(&self) -> Option<CpuId> {
+        self.cpus
+            .iter()
+            .position(|c| c.running.is_none() && !c.bg_active)
+            .map(|i| CpuId(i as u16))
+    }
+
+    fn make_ready(&mut self, pid: Pid) {
+        if let Some(cpu) = self.idle_cpu() {
+            self.dispatch(pid, cpu);
+        } else {
+            self.procs[pid.index()].state = ProcState::Ready;
+            self.ready.push_back(pid);
+        }
+    }
+
+    fn dispatch(&mut self, pid: Pid, cpu: CpuId) {
+        debug_assert!(self.cpus[cpu.index()].running.is_none());
+        self.cpus[cpu.index()].running = Some(pid);
+        self.procs[pid.index()].state = ProcState::Running(cpu);
+        self.procs[pid.index()].slice_remaining = self.spec.timeslice;
+        self.trace.record(self.now, OsEvent::Dispatch { pid, cpu });
+        let deadline = self.now + self.spec.timeslice;
+        let slice_ev = self.queue.push(deadline, Event::SliceExpire { cpu });
+        self.cpus[cpu.index()].slice_event = Some(slice_ev);
+        self.cpus[cpu.index()].slice_deadline = deadline;
+        self.advance(pid);
+    }
+
+    fn on_slice_expire(&mut self, cpu: CpuId) {
+        let c = &mut self.cpus[cpu.index()];
+        c.slice_event = None;
+        let Some(pid) = c.running else {
+            return; // raced with a block; nothing to do
+        };
+        if self.ready.is_empty() {
+            // Nobody waiting: renew the slice without a context switch.
+            let deadline = self.now + self.spec.timeslice;
+            let ev = self.queue.push(deadline, Event::SliceExpire { cpu });
+            self.cpus[cpu.index()].slice_event = Some(ev);
+            self.cpus[cpu.index()].slice_deadline = deadline;
+            return;
+        }
+        // Preempt: charge the elapsed part of the current CPU phase.
+        self.pause_current_phase(pid);
+        self.trace.record(self.now, OsEvent::Preempt { pid, cpu });
+        self.procs[pid.index()].state = ProcState::Ready;
+        self.ready.push_back(pid);
+        self.cpus[cpu.index()].running = None;
+        let next = self.ready.pop_front().expect("checked non-empty");
+        self.dispatch(next, cpu);
+    }
+
+    /// Cancels the pending PhaseEnd and shrinks the front CPU phase by the
+    /// time already consumed.
+    fn pause_current_phase(&mut self, pid: Pid) {
+        let p = &mut self.procs[pid.index()];
+        if let Some(ev) = p.phase_event.take() {
+            self.queue.cancel(ev);
+            let elapsed = self.now.saturating_since(p.phase_started);
+            if let Some(Phase::Cpu { dur, .. }) = p.phases.front_mut() {
+                *dur = dur.saturating_sub(elapsed);
+            }
+        }
+    }
+
+    fn on_bg_arrive(&mut self, cpu: CpuId) {
+        let duration = self.spec.background.duration.sample(&mut self.rng);
+        let end_at = self.now + duration;
+        self.trace.record(self.now, OsEvent::BgStart { cpu });
+        let c = &mut self.cpus[cpu.index()];
+        debug_assert!(!c.bg_active, "bg arrivals never overlap");
+        c.bg_active = true;
+        let slice_deadline = c.slice_deadline;
+        if let Some(ev) = c.slice_event.take() {
+            self.queue.cancel(ev);
+        }
+        if let Some(pid) = c.running {
+            // Pause the user process in place (interrupt semantics). The
+            // remaining slice budget is preserved across the burst —
+            // interrupts do not grant a fresh time slice.
+            self.pause_current_phase(pid);
+            self.procs[pid.index()].state = ProcState::PausedByBg(cpu);
+            self.procs[pid.index()].slice_remaining = slice_deadline.saturating_since(self.now);
+        }
+        self.queue.push(end_at, Event::BgEnd { cpu });
+        // Next arrival strictly after this burst ends.
+        let next = end_at + self.sample_bg_interarrival();
+        self.queue.push(next, Event::BgArrive { cpu });
+    }
+
+    fn on_bg_end(&mut self, cpu: CpuId) {
+        self.trace.record(self.now, OsEvent::BgEnd { cpu });
+        self.cpus[cpu.index()].bg_active = false;
+        let resumed = self.cpus[cpu.index()].running;
+        if let Some(pid) = resumed {
+            debug_assert_eq!(self.procs[pid.index()].state, ProcState::PausedByBg(cpu));
+            self.procs[pid.index()].state = ProcState::Running(cpu);
+            // Resume with the slice budget left when the burst arrived.
+            let deadline = self.now + self.procs[pid.index()].slice_remaining;
+            let ev = self.queue.push(deadline, Event::SliceExpire { cpu });
+            self.cpus[cpu.index()].slice_event = Some(ev);
+            self.cpus[cpu.index()].slice_deadline = deadline;
+            self.advance(pid);
+        } else if let Some(next) = self.ready.pop_front() {
+            self.dispatch(next, cpu);
+        }
+    }
+
+    // ---- process execution ----------------------------------------------
+
+    /// Drives `pid` (which must be Running) through zero-time phases until
+    /// it either starts a timed phase, blocks, or exits.
+    fn advance(&mut self, pid: Pid) {
+        for _ in 0..MAX_ZERO_TIME_STEPS {
+            debug_assert!(matches!(
+                self.procs[pid.index()].state,
+                ProcState::Running(_)
+            ));
+            let front = self.procs[pid.index()].phases.front().cloned();
+            match front {
+                None => {
+                    if !self.finish_action_and_fetch_next(pid) {
+                        return; // exited
+                    }
+                }
+                Some(Phase::Cpu { dur, kind }) => {
+                    if kind == CpuKind::Trap {
+                        self.trace.record(self.now, OsEvent::Trap { pid, dur });
+                    }
+                    let p = &mut self.procs[pid.index()];
+                    p.phase_started = self.now;
+                    let ev = self.queue.push(self.now + dur, Event::PhaseEnd { pid });
+                    p.phase_event = Some(ev);
+                    return;
+                }
+                Some(Phase::Acquire(sem)) => {
+                    self.procs[pid.index()].phases.pop_front();
+                    if self.sems.acquire_or_enqueue(sem, pid) {
+                        self.trace.record(self.now, OsEvent::SemAcquire { pid, sem });
+                        // continue with next phase
+                    } else {
+                        self.trace.record(self.now, OsEvent::SemEnqueue { pid, sem });
+                        self.procs[pid.index()].state = ProcState::BlockedSem(sem);
+                        self.release_cpu_of_blocked(pid);
+                        return;
+                    }
+                }
+                Some(Phase::Release(sem)) => {
+                    self.procs[pid.index()].phases.pop_front();
+                    self.trace.record(self.now, OsEvent::SemRelease { pid, sem });
+                    if let Some(next_holder) = self.sems.release(sem, pid) {
+                        self.trace
+                            .record(self.now, OsEvent::SemAcquire { pid: next_holder, sem });
+                        debug_assert_eq!(
+                            self.procs[next_holder.index()].state,
+                            ProcState::BlockedSem(sem)
+                        );
+                        self.make_ready(next_holder);
+                    }
+                }
+                Some(Phase::Commit(step)) => {
+                    self.procs[pid.index()].phases.pop_front();
+                    self.execute_commit(pid, step);
+                }
+                Some(Phase::Blocked(dur)) => {
+                    self.procs[pid.index()].phases.pop_front();
+                    self.trace.record(self.now, OsEvent::BlockTimed { pid });
+                    self.procs[pid.index()].state = ProcState::BlockedTimed;
+                    self.queue.push(self.now + dur, Event::TimedWake { pid });
+                    self.release_cpu_of_blocked(pid);
+                    return;
+                }
+            }
+        }
+        panic!("{pid} took {MAX_ZERO_TIME_STEPS} zero-time steps: runaway logic");
+    }
+
+    /// Like `release_cpu_of`, but the process has already transitioned to a
+    /// blocked state.
+    fn release_cpu_of_blocked(&mut self, pid: Pid) {
+        let cpu = self
+            .cpus
+            .iter()
+            .position(|c| c.running == Some(pid))
+            .expect("blocked process was running");
+        let cpu = CpuId(cpu as u16);
+        if let Some(ev) = self.cpus[cpu.index()].slice_event.take() {
+            self.queue.cancel(ev);
+        }
+        self.cpus[cpu.index()].running = None;
+        if !self.cpus[cpu.index()].bg_active {
+            if let Some(next) = self.ready.pop_front() {
+                self.dispatch(next, cpu);
+            }
+        }
+    }
+
+    /// Completes the in-flight action (if a syscall, records its exit) and
+    /// fetches the next action from the logic. Returns `false` if the
+    /// process exited.
+    fn finish_action_and_fetch_next(&mut self, pid: Pid) -> bool {
+        // Close out a completed syscall.
+        if let Some(pending) = self.procs[pid.index()].pending.take() {
+            let ret = pending.ret.unwrap_or(Ok(RetVal::Unit));
+            self.trace.record(
+                self.now,
+                OsEvent::SyscallExit {
+                    pid,
+                    call: pending.name,
+                    ok: ret.is_ok(),
+                },
+            );
+            self.procs[pid.index()].last_result = Some(SyscallResult {
+                call: pending.name,
+                ret,
+            });
+        }
+        let ctx = LogicCtx { now: self.now, pid };
+        let last = self.procs[pid.index()].last_result.take();
+        // Split borrow: move the logic out while we call into it so the
+        // process table stays borrowable (the logic never touches the
+        // kernel directly).
+        let mut logic = std::mem::replace(
+            &mut self.procs[pid.index()].logic,
+            Box::new(|_: &LogicCtx, _: Option<&SyscallResult>| Action::Exit),
+        );
+        let action = logic.next_action(&ctx, last.as_ref());
+        self.procs[pid.index()].logic = logic;
+
+        match action {
+            Action::Compute(dur) => {
+                self.procs[pid.index()].phases = VecDeque::from([Phase::Cpu {
+                    dur,
+                    kind: CpuKind::User,
+                }]);
+                true
+            }
+            Action::Syscall(req) => {
+                self.trace.record(
+                    self.now,
+                    OsEvent::SyscallEnter {
+                        pid,
+                        call: req.name(),
+                        path: req.primary_path().map(str::to_owned),
+                    },
+                );
+                let p = &mut self.procs[pid.index()];
+                let compiled = compile(
+                    &req,
+                    p,
+                    &self.vfs,
+                    &self.sems,
+                    &self.spec.costs,
+                    self.spec.speed_factor,
+                );
+                let p = &mut self.procs[pid.index()];
+                p.pending = Some(PendingSyscall {
+                    name: compiled.name,
+                    ret: None,
+                });
+                p.phases = compiled.phases;
+                true
+            }
+            Action::Marker(label) => {
+                self.trace.record(self.now, OsEvent::Marker { pid, label });
+                self.procs[pid.index()].phases = VecDeque::new();
+                true
+            }
+            Action::Exit => {
+                let held = self.sems.held_by(pid);
+                assert!(
+                    held.is_empty(),
+                    "{pid} exited holding semaphores {held:?}"
+                );
+                self.trace.record(self.now, OsEvent::Exit { pid });
+                self.defense.forget_process(pid);
+                self.procs[pid.index()].state = ProcState::Exited;
+                self.live -= 1;
+                // Release the CPU (the process is running right now).
+                let cpu = self
+                    .cpus
+                    .iter()
+                    .position(|c| c.running == Some(pid))
+                    .expect("exiting process was running");
+                let cpu = CpuId(cpu as u16);
+                if let Some(ev) = self.cpus[cpu.index()].slice_event.take() {
+                    self.queue.cancel(ev);
+                }
+                self.cpus[cpu.index()].running = None;
+                if !self.cpus[cpu.index()].bg_active {
+                    if let Some(next) = self.ready.pop_front() {
+                        self.dispatch(next, cpu);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    // ---- commits ---------------------------------------------------------
+
+    fn set_ret(&mut self, pid: Pid, ret: Result<RetVal, OsError>) {
+        let failed = ret.is_err();
+        if let Some(pending) = self.procs[pid.index()].pending.as_mut() {
+            let call = pending.name;
+            pending.ret = Some(ret);
+            self.trace.record(self.now, OsEvent::Commit { pid, call });
+        }
+        if failed {
+            // Short-circuit the rest of the syscall, but keep semaphore
+            // releases so held locks are always dropped.
+            let p = &mut self.procs[pid.index()];
+            p.phases.retain(|ph| matches!(ph, Phase::Release(_)));
+        }
+    }
+
+    /// Denies the in-flight use call under the active defense policy.
+    fn deny(&mut self, pid: Pid) {
+        if let Some(pending) = self.procs[pid.index()].pending.as_ref() {
+            let call = pending.name;
+            self.trace
+                .record(self.now, OsEvent::DefenseDenied { pid, call });
+        }
+        self.set_ret(pid, Err(OsError::Eacces));
+    }
+
+    fn execute_commit(&mut self, pid: Pid, step: CommitStep) {
+        let (uid, gid) = {
+            let p = &self.procs[pid.index()];
+            (p.uid, p.gid)
+        };
+        let meta = InodeMeta {
+            uid,
+            gid,
+            mode: 0o644,
+        };
+        match step {
+            CommitStep::StatSample { path, follow } => {
+                let r = if follow {
+                    self.vfs.stat(&path)
+                } else {
+                    self.vfs.lstat(&path)
+                };
+                self.defense
+                    .record_check(pid, &path, r.as_ref().ok().map(|st| st.ino));
+                self.set_ret(pid, r.map(RetVal::Stat));
+            }
+            CommitStep::CreateFile { path } => {
+                let r = self.vfs.create_file(&path, meta).map(|ino| {
+                    self.defense.record_mutation(pid, &path);
+                    self.defense.record_check(pid, &path, Some(ino));
+                    let fd = self.procs[pid.index()].alloc_fd(ino);
+                    RetVal::Fd(fd)
+                });
+                self.set_ret(pid, r);
+            }
+            CommitStep::OpenExisting { path } => {
+                if !self.defense.allow_use(pid, &path) {
+                    self.deny(pid);
+                    return;
+                }
+                let r = self.vfs.open_existing(&path).map(|ino| {
+                    self.defense.record_check(pid, &path, Some(ino));
+                    let fd = self.procs[pid.index()].alloc_fd(ino);
+                    RetVal::Fd(fd)
+                });
+                self.set_ret(pid, r);
+            }
+            CommitStep::Append { fd, bytes } => {
+                let r = match self.procs[pid.index()].fds.get(&fd).copied() {
+                    Some(ino) => self.vfs.append(ino, bytes).map(RetVal::Size),
+                    None => Err(OsError::Ebadf),
+                };
+                self.set_ret(pid, r);
+            }
+            CommitStep::CloseFd { fd } => {
+                let r = if self.procs[pid.index()].fds.remove(&fd).is_some() {
+                    Ok(RetVal::Unit)
+                } else {
+                    Err(OsError::Ebadf)
+                };
+                self.set_ret(pid, r);
+            }
+            CommitStep::UnlinkDetach { path } => {
+                match self.vfs.unlink_detach(&path) {
+                    Ok((_ino, size)) => {
+                        self.defense.record_mutation(pid, &path);
+                        // Truncation tail goes after the Release that is now
+                        // at the queue front.
+                        let tail = self
+                            .spec
+                            .costs
+                            .truncate_cost(size)
+                            .mul_f64(self.spec.speed_factor);
+                        let p = &mut self.procs[pid.index()];
+                        debug_assert!(matches!(p.phases.front(), Some(Phase::Release(_))));
+                        let insert_at = 1.min(p.phases.len());
+                        p.phases.insert(
+                            insert_at,
+                            Phase::Cpu {
+                                dur: tail,
+                                kind: CpuKind::Kernel,
+                            },
+                        );
+                        self.set_ret(pid, Ok(RetVal::Unit));
+                    }
+                    Err(e) => self.set_ret(pid, Err(e)),
+                }
+            }
+            CommitStep::SymlinkCreate { target, linkpath } => {
+                let r = self
+                    .vfs
+                    .symlink(&target, &linkpath, (uid, gid))
+                    .map(|_| {
+                        self.defense.record_mutation(pid, &linkpath);
+                        RetVal::Unit
+                    });
+                self.set_ret(pid, r);
+            }
+            CommitStep::RenameCommit { from, to } => {
+                let r = self.vfs.rename(&from, &to).map(|_| {
+                    self.defense.record_mutation(pid, &from);
+                    self.defense.record_mutation(pid, &to);
+                    self.defense.record_check(pid, &to, None);
+                    RetVal::Unit
+                });
+                self.set_ret(pid, r);
+            }
+            CommitStep::Chmod { path, mode } => {
+                if !self.defense.allow_use(pid, &path) {
+                    self.deny(pid);
+                    return;
+                }
+                let r = self.vfs.chmod(&path, mode).map(|_| RetVal::Unit);
+                self.set_ret(pid, r);
+            }
+            CommitStep::Chown { path, uid, gid } => {
+                if !self.defense.allow_use(pid, &path) {
+                    self.deny(pid);
+                    return;
+                }
+                let r = self.vfs.chown(&path, uid, gid).map(|_| RetVal::Unit);
+                self.set_ret(pid, r);
+            }
+            CommitStep::Mkdir { path } => {
+                let r = self.vfs.mkdir(&path, meta).map(|_| RetVal::Unit);
+                self.set_ret(pid, r);
+            }
+            CommitStep::Readlink { path } => {
+                let r = self.vfs.readlink(&path).map(RetVal::Path);
+                self.set_ret(pid, r);
+            }
+            CommitStep::Nop => self.set_ret(pid, Ok(RetVal::Unit)),
+            CommitStep::Fail(e) => self.set_ret(pid, Err(e)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("machine", &self.spec.name)
+            .field("now", &self.now)
+            .field("live", &self.live)
+            .field("events_processed", &self.events_processed)
+            .finish_non_exhaustive()
+    }
+}

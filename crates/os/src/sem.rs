@@ -1,0 +1,191 @@
+//! FIFO kernel semaphores.
+//!
+//! Linux 2.6 serializes directory-entry mutations with the parent inode's
+//! `i_sem`, a FIFO-queued semaphore. Queue *order* is the heart of the
+//! paper's gedit analysis: "if the attacker's unlink is invoked before
+//! gedit's chmod … chmod as well as the following chown will be delayed" —
+//! whoever enqueues first wins, so the model must preserve strict FIFO
+//! hand-off.
+
+use crate::ids::{Pid, SemId};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Default)]
+struct SemState {
+    holder: Option<Pid>,
+    waiters: VecDeque<Pid>,
+}
+
+/// The kernel's semaphore table, indexed by [`SemId`].
+///
+/// Semaphores are created lazily on first touch; ids come from the VFS
+/// (one per inode).
+#[derive(Debug, Clone, Default)]
+pub struct SemTable {
+    sems: Vec<SemState>,
+}
+
+impl SemTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SemTable::default()
+    }
+
+    fn ensure(&mut self, sem: SemId) -> &mut SemState {
+        if sem.index() >= self.sems.len() {
+            self.sems.resize_with(sem.index() + 1, SemState::default);
+        }
+        &mut self.sems[sem.index()]
+    }
+
+    /// Whether the semaphore is currently held.
+    pub fn is_held(&self, sem: SemId) -> bool {
+        self.sems
+            .get(sem.index())
+            .is_some_and(|s| s.holder.is_some())
+    }
+
+    /// The current holder, if any.
+    pub fn holder(&self, sem: SemId) -> Option<Pid> {
+        self.sems.get(sem.index()).and_then(|s| s.holder)
+    }
+
+    /// Number of queued waiters.
+    pub fn waiter_count(&self, sem: SemId) -> usize {
+        self.sems
+            .get(sem.index())
+            .map_or(0, |s| s.waiters.len())
+    }
+
+    /// Attempts to acquire; on contention the caller is appended to the FIFO
+    /// wait queue. Returns `true` if acquired immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` already holds or already waits on the semaphore
+    /// (recursive acquisition is a kernel bug, not a runtime condition).
+    pub fn acquire_or_enqueue(&mut self, sem: SemId, pid: Pid) -> bool {
+        let state = self.ensure(sem);
+        assert_ne!(state.holder, Some(pid), "{pid} re-acquiring {sem}");
+        assert!(
+            !state.waiters.contains(&pid),
+            "{pid} already waiting on {sem}"
+        );
+        if state.holder.is_none() {
+            state.holder = Some(pid);
+            true
+        } else {
+            state.waiters.push_back(pid);
+            false
+        }
+    }
+
+    /// Releases the semaphore and hands it to the next FIFO waiter, whose
+    /// pid is returned so the scheduler can wake it. The hand-off is
+    /// immediate: the waiter becomes the holder at release time (no
+    /// barging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not the current holder.
+    pub fn release(&mut self, sem: SemId, pid: Pid) -> Option<Pid> {
+        let state = self.ensure(sem);
+        assert_eq!(state.holder, Some(pid), "{pid} releasing un-held {sem}");
+        state.holder = state.waiters.pop_front();
+        state.holder
+    }
+
+    /// Removes a waiter (e.g. a process killed while blocked).
+    ///
+    /// Returns `true` if the pid was queued.
+    pub fn cancel_wait(&mut self, sem: SemId, pid: Pid) -> bool {
+        let state = self.ensure(sem);
+        let before = state.waiters.len();
+        state.waiters.retain(|&w| w != pid);
+        state.waiters.len() != before
+    }
+
+    /// All semaphores currently held by `pid` (used to assert clean exits).
+    pub fn held_by(&self, pid: Pid) -> Vec<SemId> {
+        self.sems
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.holder == Some(pid))
+            .map(|(i, _)| SemId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_acquire() {
+        let mut t = SemTable::new();
+        assert!(t.acquire_or_enqueue(SemId(0), Pid(1)));
+        assert!(t.is_held(SemId(0)));
+        assert_eq!(t.holder(SemId(0)), Some(Pid(1)));
+        assert_eq!(t.release(SemId(0), Pid(1)), None);
+        assert!(!t.is_held(SemId(0)));
+    }
+
+    #[test]
+    fn fifo_handoff_order() {
+        let mut t = SemTable::new();
+        assert!(t.acquire_or_enqueue(SemId(3), Pid(1)));
+        assert!(!t.acquire_or_enqueue(SemId(3), Pid(2)));
+        assert!(!t.acquire_or_enqueue(SemId(3), Pid(3)));
+        assert_eq!(t.waiter_count(SemId(3)), 2);
+        // Strict FIFO: 2 before 3.
+        assert_eq!(t.release(SemId(3), Pid(1)), Some(Pid(2)));
+        assert_eq!(t.holder(SemId(3)), Some(Pid(2)));
+        assert_eq!(t.release(SemId(3), Pid(2)), Some(Pid(3)));
+        assert_eq!(t.release(SemId(3), Pid(3)), None);
+    }
+
+    #[test]
+    fn independent_semaphores() {
+        let mut t = SemTable::new();
+        assert!(t.acquire_or_enqueue(SemId(0), Pid(1)));
+        assert!(t.acquire_or_enqueue(SemId(1), Pid(2)), "different sem is free");
+    }
+
+    #[test]
+    fn cancel_wait_removes_waiter() {
+        let mut t = SemTable::new();
+        t.acquire_or_enqueue(SemId(0), Pid(1));
+        t.acquire_or_enqueue(SemId(0), Pid(2));
+        t.acquire_or_enqueue(SemId(0), Pid(3));
+        assert!(t.cancel_wait(SemId(0), Pid(2)));
+        assert!(!t.cancel_wait(SemId(0), Pid(2)), "already removed");
+        assert_eq!(t.release(SemId(0), Pid(1)), Some(Pid(3)));
+    }
+
+    #[test]
+    fn held_by_lists_holdings() {
+        let mut t = SemTable::new();
+        t.acquire_or_enqueue(SemId(0), Pid(9));
+        t.acquire_or_enqueue(SemId(2), Pid(9));
+        t.acquire_or_enqueue(SemId(1), Pid(4));
+        assert_eq!(t.held_by(Pid(9)), vec![SemId(0), SemId(2)]);
+        assert_eq!(t.held_by(Pid(4)), vec![SemId(1)]);
+        assert!(t.held_by(Pid(5)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "re-acquiring")]
+    fn recursive_acquire_panics() {
+        let mut t = SemTable::new();
+        t.acquire_or_enqueue(SemId(0), Pid(1));
+        t.acquire_or_enqueue(SemId(0), Pid(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing un-held")]
+    fn foreign_release_panics() {
+        let mut t = SemTable::new();
+        t.acquire_or_enqueue(SemId(0), Pid(1));
+        t.release(SemId(0), Pid(2));
+    }
+}

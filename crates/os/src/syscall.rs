@@ -1,0 +1,753 @@
+//! The phase-structured system-call engine.
+//!
+//! Each syscall is compiled, at entry, into a sequence of [`Phase`]s:
+//! preemptible CPU time, FIFO semaphore acquire/release, instantaneous VFS
+//! commits, and timed blocking. The decomposition is what lets the simulator
+//! reproduce the paper's microsecond event analyses:
+//!
+//! * `rename` holds the directory semaphore for its whole duration but
+//!   **installs the new name partway through** — the attacker's lock-free
+//!   `stat` can see it "somewhere within the execution of rename";
+//! * `unlink` detaches the directory entry early, releases the semaphore,
+//!   and only then pays the truncation tail — the Section 7 pipelined
+//!   attacker overlaps `symlink` with that tail;
+//! * a first call through an unmapped libc wrapper page inserts a 6 µs trap
+//!   (page fault) ahead of the syscall — the difference between attacker
+//!   programs v1 and v2 (Section 6.2).
+
+use crate::costs::CostModel;
+use crate::error::OsError;
+use crate::ids::{Fd, Gid, SemId, Uid};
+use crate::process::{LibcPage, Process, SyscallName, SyscallRequest};
+use crate::sem::SemTable;
+use crate::vfs::Vfs;
+use std::collections::VecDeque;
+use tocttou_sim::time::SimDuration;
+
+/// What kind of CPU time a [`Phase::Cpu`] burns (for tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuKind {
+    /// User-space computation (from [`Action::Compute`](crate::process::Action::Compute)).
+    User,
+    /// In-kernel work charged to the syscall.
+    Kernel,
+    /// A page-fault trap (libc wrapper first touch).
+    Trap,
+}
+
+/// One step of an in-flight action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Phase {
+    /// Burn CPU; preemptible and resumable.
+    Cpu {
+        /// Remaining duration.
+        dur: SimDuration,
+        /// What the time is charged to.
+        kind: CpuKind,
+    },
+    /// Acquire a FIFO semaphore (blocks if held).
+    Acquire(SemId),
+    /// Release a held semaphore.
+    Release(SemId),
+    /// Instantaneously perform a VFS operation / record a result.
+    Commit(CommitStep),
+    /// Block without consuming CPU for the duration (I/O, sleep).
+    Blocked(SimDuration),
+}
+
+/// The instantaneous VFS mutations / observations a syscall performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitStep {
+    /// Sample `stat`/`lstat` results (mid-call: the sample point).
+    StatSample {
+        /// Path to sample.
+        path: String,
+        /// Follow a final symlink?
+        follow: bool,
+    },
+    /// Create/truncate a regular file and allocate an fd (owner = caller).
+    CreateFile {
+        /// Path to create.
+        path: String,
+    },
+    /// Open an existing file and allocate an fd.
+    OpenExisting {
+        /// Path to open.
+        path: String,
+    },
+    /// Append bytes through an fd.
+    Append {
+        /// Descriptor.
+        fd: Fd,
+        /// Byte count.
+        bytes: u64,
+    },
+    /// Close an fd.
+    CloseFd {
+        /// Descriptor.
+        fd: Fd,
+    },
+    /// Detach a directory entry (first half of unlink). On success the
+    /// kernel inserts the truncation-tail CPU phase after the following
+    /// `Release`.
+    UnlinkDetach {
+        /// Path to unlink.
+        path: String,
+    },
+    /// Create a symlink.
+    SymlinkCreate {
+        /// Target stored in the link.
+        target: String,
+        /// Name to bind.
+        linkpath: String,
+    },
+    /// Install the new name of a rename **while still holding the
+    /// semaphore** (the mid-rename visibility point).
+    RenameCommit {
+        /// Source name.
+        from: String,
+        /// Destination name.
+        to: String,
+    },
+    /// Apply chmod.
+    Chmod {
+        /// Path (symlinks followed).
+        path: String,
+        /// New mode.
+        mode: u32,
+    },
+    /// Apply chown.
+    Chown {
+        /// Path (symlinks followed).
+        path: String,
+        /// New owner.
+        uid: Uid,
+        /// New group.
+        gid: Gid,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Path to create.
+        path: String,
+    },
+    /// Read a symlink target.
+    Readlink {
+        /// Symlink path.
+        path: String,
+    },
+    /// Record success with no VFS effect (sleep).
+    Nop,
+    /// Record a failure discovered at compile time (e.g. missing parent
+    /// directory).
+    Fail(OsError),
+}
+
+/// A compiled syscall: its trace name and phase list.
+#[derive(Debug)]
+pub struct CompiledSyscall {
+    /// Trace name.
+    pub name: SyscallName,
+    /// Phases to execute, front first.
+    pub phases: VecDeque<Phase>,
+}
+
+fn us(costs_us: f64, speed: f64) -> SimDuration {
+    SimDuration::from_micros_f64(costs_us * speed)
+}
+
+/// Compiles `req` into phases for `proc_`, inserting a page-fault trap if
+/// the wrapper page is unmapped (and mapping it).
+///
+/// `speed` is the machine's `speed_factor`; all [`CostModel`] values are
+/// multiplied by it. The semaphore targets are resolved against the current
+/// VFS state (dcache-style lookup); a missing parent directory compiles to
+/// an immediate failure.
+pub(crate) fn compile(
+    req: &SyscallRequest,
+    proc_: &mut Process,
+    vfs: &Vfs,
+    sems: &SemTable,
+    costs: &CostModel,
+    speed: f64,
+) -> CompiledSyscall {
+    let name = req.name();
+    let mut phases: VecDeque<Phase> = VecDeque::new();
+
+    // Page-fault trap for a cold libc wrapper page (Section 6.2.1).
+    if let Some(page) = LibcPage::for_call(name) {
+        if !proc_.mapped_pages.contains(&page) {
+            proc_.mapped_pages.insert(page);
+            phases.push_back(Phase::Cpu {
+                dur: us(costs.trap_us, speed),
+                kind: CpuKind::Trap,
+            });
+        }
+    }
+
+    // Path resolution work scales with the path's depth when the maze cost
+    // is enabled (long-pathname victim slowdown, Section 1's enhancement).
+    let components = req
+        .primary_path()
+        .map(|p| p.split('/').filter(|c| !c.is_empty()).count())
+        .unwrap_or(0);
+    phases.push_back(Phase::Cpu {
+        dur: us(
+            costs.syscall_entry_us + costs.maze_cost_us(components),
+            speed,
+        ),
+        kind: CpuKind::Kernel,
+    });
+
+    // Helper: resolve the directory semaphore or fail the whole call.
+    let dir_sem = |path: &str, phases: &mut VecDeque<Phase>| -> Option<SemId> {
+        match vfs.dir_sem_of(path) {
+            Ok(sem) => Some(sem),
+            Err(e) => {
+                phases.push_back(Phase::Commit(CommitStep::Fail(e)));
+                None
+            }
+        }
+    };
+
+    match req {
+        SyscallRequest::Stat { path }
+        | SyscallRequest::Lstat { path }
+        | SyscallRequest::Access { path } => {
+            // Lock-free read; inflated when the directory semaphore is held
+            // at entry (dentry contention — Section 6.2.2, multi-core only
+            // via the machine's contention factor).
+            let contended = vfs
+                .dir_sem_of(path)
+                .map(|sem| sems.is_held(sem))
+                .unwrap_or(false);
+            let total = costs.stat_total_us(contended);
+            let tail = costs.stat_sample_tail_us.min(total);
+            let head = total - tail;
+            phases.push_back(Phase::Cpu {
+                dur: us(head, speed),
+                kind: CpuKind::Kernel,
+            });
+            phases.push_back(Phase::Commit(CommitStep::StatSample {
+                path: path.clone(),
+                follow: !matches!(req, SyscallRequest::Lstat { .. }),
+            }));
+            phases.push_back(Phase::Cpu {
+                dur: us(tail, speed),
+                kind: CpuKind::Kernel,
+            });
+        }
+        SyscallRequest::OpenCreate { path } => {
+            if let Some(sem) = dir_sem(path, &mut phases) {
+                phases.push_back(Phase::Acquire(sem));
+                // The new entry becomes visible at the end of the create work
+                // (commit), then the semaphore is released.
+                phases.push_back(Phase::Cpu {
+                    dur: us(costs.open_create_us, speed),
+                    kind: CpuKind::Kernel,
+                });
+                phases.push_back(Phase::Commit(CommitStep::CreateFile { path: path.clone() }));
+                phases.push_back(Phase::Release(sem));
+            }
+        }
+        SyscallRequest::Open { path } => {
+            phases.push_back(Phase::Cpu {
+                dur: us(costs.open_existing_us, speed),
+                kind: CpuKind::Kernel,
+            });
+            phases.push_back(Phase::Commit(CommitStep::OpenExisting { path: path.clone() }));
+        }
+        SyscallRequest::Write { fd, bytes } => {
+            phases.push_back(Phase::Cpu {
+                dur: costs.write_cost(*bytes).mul_f64(speed),
+                kind: CpuKind::Kernel,
+            });
+            phases.push_back(Phase::Commit(CommitStep::Append {
+                fd: *fd,
+                bytes: *bytes,
+            }));
+        }
+        SyscallRequest::Close { fd } => {
+            phases.push_back(Phase::Cpu {
+                dur: us(costs.close_us, speed),
+                kind: CpuKind::Kernel,
+            });
+            phases.push_back(Phase::Commit(CommitStep::CloseFd { fd: *fd }));
+        }
+        SyscallRequest::Unlink { path } => {
+            // vfs_unlink locks the parent directory (entry detach) and the
+            // target inode (truncation). Resolution happens at entry, like
+            // the kernel's dcache lookup. Lock order: directory first, then
+            // inode — chmod/chown never take the directory semaphore, so no
+            // cycle is possible.
+            match (vfs.dir_sem_of(path), vfs.file_sem_of(path, false)) {
+                (Ok(dir), Ok(file)) => {
+                    phases.push_back(Phase::Acquire(dir));
+                    phases.push_back(Phase::Acquire(file));
+                    phases.push_back(Phase::Cpu {
+                        dur: us(costs.unlink_detach_us, speed),
+                        kind: CpuKind::Kernel,
+                    });
+                    phases.push_back(Phase::Commit(CommitStep::UnlinkDetach {
+                        path: path.clone(),
+                    }));
+                    // The directory is free as soon as the entry is gone —
+                    // this is what lets the pipelined attacker's symlink in —
+                    // but the inode stays locked through the truncation tail,
+                    // which the commit handler inserts between the releases.
+                    phases.push_back(Phase::Release(dir));
+                    phases.push_back(Phase::Release(file));
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    phases.push_back(Phase::Commit(CommitStep::Fail(e)));
+                }
+            }
+        }
+        SyscallRequest::Symlink { target, linkpath } => {
+            if let Some(sem) = dir_sem(linkpath, &mut phases) {
+                phases.push_back(Phase::Acquire(sem));
+                phases.push_back(Phase::Cpu {
+                    dur: us(costs.symlink_us, speed),
+                    kind: CpuKind::Kernel,
+                });
+                phases.push_back(Phase::Commit(CommitStep::SymlinkCreate {
+                    target: target.clone(),
+                    linkpath: linkpath.clone(),
+                }));
+                phases.push_back(Phase::Release(sem));
+            }
+        }
+        SyscallRequest::Rename { from, to } => {
+            let sem_from = vfs.dir_sem_of(from);
+            let sem_to = vfs.dir_sem_of(to);
+            match (sem_from, sem_to) {
+                (Ok(a), Ok(b)) => {
+                    // Acquire in id order (deadlock avoidance), dedupe.
+                    let mut locks = [a, b];
+                    locks.sort();
+                    phases.push_back(Phase::Acquire(locks[0]));
+                    if locks[1] != locks[0] {
+                        phases.push_back(Phase::Acquire(locks[1]));
+                    }
+                    let visible = costs.rename_us * costs.rename_visible_frac;
+                    let tail = costs.rename_us - visible;
+                    phases.push_back(Phase::Cpu {
+                        dur: us(visible, speed),
+                        kind: CpuKind::Kernel,
+                    });
+                    // The new name is installed *here*, semaphore still held.
+                    phases.push_back(Phase::Commit(CommitStep::RenameCommit {
+                        from: from.clone(),
+                        to: to.clone(),
+                    }));
+                    phases.push_back(Phase::Cpu {
+                        dur: us(tail, speed),
+                        kind: CpuKind::Kernel,
+                    });
+                    if locks[1] != locks[0] {
+                        phases.push_back(Phase::Release(locks[1]));
+                    }
+                    phases.push_back(Phase::Release(locks[0]));
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    phases.push_back(Phase::Commit(CommitStep::Fail(e)));
+                }
+            }
+        }
+        SyscallRequest::Chmod { path, mode } => {
+            // notify_change semantics: resolve at entry (follows symlinks),
+            // lock the resolved inode's semaphore, do the work, apply *by
+            // path* at the end — the application re-resolves, which is the
+            // syscall-internal TOCTTOU the cascade exploits. When the entry
+            // lookup finds no name, the walk still costs resolve time and
+            // the outcome is decided at its end (the name may have appeared
+            // meanwhile — dcache walk semantics), without taking a lock.
+            match vfs.file_sem_of(path, true) {
+                Ok(sem) => {
+                    phases.push_back(Phase::Acquire(sem));
+                    phases.push_back(Phase::Cpu {
+                        dur: us(costs.chmod_us, speed),
+                        kind: CpuKind::Kernel,
+                    });
+                    phases.push_back(Phase::Commit(CommitStep::Chmod {
+                        path: path.clone(),
+                        mode: *mode,
+                    }));
+                    phases.push_back(Phase::Release(sem));
+                }
+                Err(OsError::Enoent) => {
+                    phases.push_back(Phase::Cpu {
+                        dur: us(costs.stat_resolve_us, speed),
+                        kind: CpuKind::Kernel,
+                    });
+                    phases.push_back(Phase::Commit(CommitStep::Chmod {
+                        path: path.clone(),
+                        mode: *mode,
+                    }));
+                }
+                Err(e) => phases.push_back(Phase::Commit(CommitStep::Fail(e))),
+            }
+        }
+        SyscallRequest::Chown { path, uid, gid } => {
+            match vfs.file_sem_of(path, true) {
+                Ok(sem) => {
+                    phases.push_back(Phase::Acquire(sem));
+                    phases.push_back(Phase::Cpu {
+                        dur: us(costs.chown_us, speed),
+                        kind: CpuKind::Kernel,
+                    });
+                    phases.push_back(Phase::Commit(CommitStep::Chown {
+                        path: path.clone(),
+                        uid: *uid,
+                        gid: *gid,
+                    }));
+                    phases.push_back(Phase::Release(sem));
+                }
+                Err(OsError::Enoent) => {
+                    phases.push_back(Phase::Cpu {
+                        dur: us(costs.stat_resolve_us, speed),
+                        kind: CpuKind::Kernel,
+                    });
+                    phases.push_back(Phase::Commit(CommitStep::Chown {
+                        path: path.clone(),
+                        uid: *uid,
+                        gid: *gid,
+                    }));
+                }
+                Err(e) => phases.push_back(Phase::Commit(CommitStep::Fail(e))),
+            }
+        }
+        SyscallRequest::Mkdir { path } => {
+            if let Some(sem) = dir_sem(path, &mut phases) {
+                phases.push_back(Phase::Acquire(sem));
+                phases.push_back(Phase::Cpu {
+                    dur: us(costs.mkdir_us, speed),
+                    kind: CpuKind::Kernel,
+                });
+                phases.push_back(Phase::Commit(CommitStep::Mkdir { path: path.clone() }));
+                phases.push_back(Phase::Release(sem));
+            }
+        }
+        SyscallRequest::Readlink { path } => {
+            phases.push_back(Phase::Cpu {
+                dur: us(costs.readlink_us, speed),
+                kind: CpuKind::Kernel,
+            });
+            phases.push_back(Phase::Commit(CommitStep::Readlink { path: path.clone() }));
+        }
+        SyscallRequest::Sleep { duration } => {
+            phases.push_back(Phase::Blocked(*duration));
+            phases.push_back(Phase::Commit(CommitStep::Nop));
+        }
+    }
+
+    CompiledSyscall { name, phases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Pid;
+    use crate::process::{Action, LogicCtx, SyscallResult};
+    use crate::vfs::InodeMeta;
+
+    fn test_proc(pretouch: bool) -> Process {
+        Process::new(
+            Pid(1),
+            "t".into(),
+            Uid(0),
+            Gid(0),
+            Box::new(|_: &LogicCtx, _: Option<&SyscallResult>| Action::Exit),
+            pretouch,
+        )
+    }
+
+    fn test_vfs() -> Vfs {
+        let mut vfs = Vfs::new();
+        let meta = InodeMeta {
+            uid: Uid(0),
+            gid: Gid(0),
+            mode: 0o755,
+        };
+        vfs.mkdir("/d", meta).unwrap();
+        vfs.create_file("/d/f", meta).unwrap();
+        vfs
+    }
+
+    fn cpu_total_us(c: &CompiledSyscall) -> f64 {
+        c.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Cpu { dur, .. } => dur.as_micros_f64(),
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn cold_page_inserts_trap_once() {
+        let mut p = test_proc(false);
+        let vfs = test_vfs();
+        let sems = SemTable::new();
+        let costs = CostModel::default();
+        let req = SyscallRequest::Unlink { path: "/d/f".into() };
+        let first = compile(&req, &mut p, &vfs, &sems, &costs, 1.0);
+        assert!(
+            matches!(first.phases.front(), Some(Phase::Cpu { kind: CpuKind::Trap, .. })),
+            "first unlink must trap"
+        );
+        let second = compile(&req, &mut p, &vfs, &sems, &costs, 1.0);
+        assert!(
+            !second
+                .phases
+                .iter()
+                .any(|ph| matches!(ph, Phase::Cpu { kind: CpuKind::Trap, .. })),
+            "page now mapped"
+        );
+    }
+
+    #[test]
+    fn unlink_warms_symlink_shared_page() {
+        let mut p = test_proc(false);
+        let vfs = test_vfs();
+        let sems = SemTable::new();
+        let costs = CostModel::default();
+        compile(
+            &SyscallRequest::Unlink { path: "/d/f".into() },
+            &mut p,
+            &vfs,
+            &sems,
+            &costs,
+            1.0,
+        );
+        let sym = compile(
+            &SyscallRequest::Symlink {
+                target: "/x".into(),
+                linkpath: "/d/l".into(),
+            },
+            &mut p,
+            &vfs,
+            &sems,
+            &costs,
+            1.0,
+        );
+        assert!(!sym
+            .phases
+            .iter()
+            .any(|ph| matches!(ph, Phase::Cpu { kind: CpuKind::Trap, .. })));
+    }
+
+    #[test]
+    fn pretouched_process_never_traps() {
+        let mut p = test_proc(true);
+        let vfs = test_vfs();
+        let sems = SemTable::new();
+        let costs = CostModel::default();
+        for req in [
+            SyscallRequest::Stat { path: "/d/f".into() },
+            SyscallRequest::Unlink { path: "/d/f".into() },
+            SyscallRequest::Rename {
+                from: "/d/f".into(),
+                to: "/d/g".into(),
+            },
+        ] {
+            let c = compile(&req, &mut p, &vfs, &sems, &costs, 1.0);
+            assert!(!c
+                .phases
+                .iter()
+                .any(|ph| matches!(ph, Phase::Cpu { kind: CpuKind::Trap, .. })));
+        }
+    }
+
+    #[test]
+    fn stat_inflates_under_contention() {
+        let mut p = test_proc(true);
+        let vfs = test_vfs();
+        let costs = CostModel {
+            stat_contention_factor: 6.5,
+            ..CostModel::default()
+        };
+        let req = SyscallRequest::Stat { path: "/d/f".into() };
+
+        let free = compile(&req, &mut p, &vfs, &SemTable::new(), &costs, 1.0);
+        let mut sems = SemTable::new();
+        let dsem = vfs.dir_sem_of("/d/f").unwrap();
+        sems.acquire_or_enqueue(dsem, Pid(99));
+        let contended = compile(&req, &mut p, &vfs, &sems, &costs, 1.0);
+        let free_us = cpu_total_us(&free);
+        let cont_us = cpu_total_us(&contended);
+        assert!((free_us - 4.5).abs() < 0.01, "free stat {free_us}");
+        assert!((cont_us - 26.5).abs() < 0.01, "contended stat {cont_us}");
+    }
+
+    #[test]
+    fn rename_installs_name_before_release() {
+        let mut p = test_proc(true);
+        let vfs = test_vfs();
+        let c = compile(
+            &SyscallRequest::Rename {
+                from: "/d/f".into(),
+                to: "/d/g".into(),
+            },
+            &mut p,
+            &vfs,
+            &SemTable::new(),
+            &CostModel::default(),
+            1.0,
+        );
+        let commit_idx = c
+            .phases
+            .iter()
+            .position(|ph| matches!(ph, Phase::Commit(CommitStep::RenameCommit { .. })))
+            .expect("has commit");
+        let release_idx = c
+            .phases
+            .iter()
+            .position(|ph| matches!(ph, Phase::Release(_)))
+            .expect("has release");
+        assert!(commit_idx < release_idx, "name visible while sem held");
+        // Both CPU segments around the commit exist (visible + tail).
+        assert!(matches!(c.phases[commit_idx - 1], Phase::Cpu { .. }));
+        assert!(matches!(c.phases[commit_idx + 1], Phase::Cpu { .. }));
+    }
+
+    #[test]
+    fn rename_same_dir_takes_one_lock() {
+        let mut p = test_proc(true);
+        let vfs = test_vfs();
+        let c = compile(
+            &SyscallRequest::Rename {
+                from: "/d/f".into(),
+                to: "/d/g".into(),
+            },
+            &mut p,
+            &vfs,
+            &SemTable::new(),
+            &CostModel::default(),
+            1.0,
+        );
+        let acquires = c
+            .phases
+            .iter()
+            .filter(|ph| matches!(ph, Phase::Acquire(_)))
+            .count();
+        assert_eq!(acquires, 1);
+    }
+
+    #[test]
+    fn rename_cross_dir_takes_ordered_locks() {
+        let mut p = test_proc(true);
+        let mut vfs = test_vfs();
+        let meta = InodeMeta {
+            uid: Uid(0),
+            gid: Gid(0),
+            mode: 0o755,
+        };
+        vfs.mkdir("/e", meta).unwrap();
+        let c = compile(
+            &SyscallRequest::Rename {
+                from: "/d/f".into(),
+                to: "/e/f".into(),
+            },
+            &mut p,
+            &vfs,
+            &SemTable::new(),
+            &CostModel::default(),
+            1.0,
+        );
+        let locks: Vec<SemId> = c
+            .phases
+            .iter()
+            .filter_map(|ph| match ph {
+                Phase::Acquire(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(locks.len(), 2);
+        assert!(locks[0] < locks[1], "sorted acquisition order");
+        let releases = c
+            .phases
+            .iter()
+            .filter(|ph| matches!(ph, Phase::Release(_)))
+            .count();
+        assert_eq!(releases, 2);
+    }
+
+    #[test]
+    fn missing_parent_compiles_to_failure() {
+        let mut p = test_proc(true);
+        let vfs = test_vfs();
+        let c = compile(
+            &SyscallRequest::Unlink {
+                path: "/nope/f".into(),
+            },
+            &mut p,
+            &vfs,
+            &SemTable::new(),
+            &CostModel::default(),
+            1.0,
+        );
+        assert!(c
+            .phases
+            .iter()
+            .any(|ph| matches!(ph, Phase::Commit(CommitStep::Fail(OsError::Enoent)))));
+        assert!(!c.phases.iter().any(|ph| matches!(ph, Phase::Acquire(_))));
+    }
+
+    #[test]
+    fn speed_factor_scales_costs() {
+        let mut p = test_proc(true);
+        let vfs = test_vfs();
+        let costs = CostModel::default();
+        let req = SyscallRequest::Stat { path: "/d/f".into() };
+        let ref_speed = compile(&req, &mut p, &vfs, &SemTable::new(), &costs, 1.0);
+        let smp = compile(&req, &mut p, &vfs, &SemTable::new(), &costs, 2.0);
+        assert!((cpu_total_us(&smp) - 2.0 * cpu_total_us(&ref_speed)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_cost_proportional_to_bytes() {
+        let mut p = test_proc(true);
+        let vfs = test_vfs();
+        let costs = CostModel::default();
+        let small = compile(
+            &SyscallRequest::Write { fd: Fd(3), bytes: 1024 },
+            &mut p,
+            &vfs,
+            &SemTable::new(),
+            &costs,
+            1.0,
+        );
+        let big = compile(
+            &SyscallRequest::Write {
+                fd: Fd(3),
+                bytes: 1024 * 100,
+            },
+            &mut p,
+            &vfs,
+            &SemTable::new(),
+            &costs,
+            1.0,
+        );
+        assert!(cpu_total_us(&big) > 50.0 * cpu_total_us(&small));
+    }
+
+    #[test]
+    fn sleep_blocks_without_cpu() {
+        let mut p = test_proc(true);
+        let vfs = test_vfs();
+        let c = compile(
+            &SyscallRequest::Sleep {
+                duration: SimDuration::from_micros(50),
+            },
+            &mut p,
+            &vfs,
+            &SemTable::new(),
+            &CostModel::default(),
+            1.0,
+        );
+        assert!(c
+            .phases
+            .iter()
+            .any(|ph| matches!(ph, Phase::Blocked(d) if d.as_micros_f64() == 50.0)));
+    }
+}

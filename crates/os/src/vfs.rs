@@ -1,0 +1,913 @@
+//! The simulated virtual filesystem.
+//!
+//! This layer implements Unix *semantics* — inodes, directories, symbolic
+//! links, path resolution, ownership and permission metadata. All operations
+//! here are instantaneous; the syscall engine (`crate::syscall`) wraps them
+//! in timed phases and semaphore acquisition, which is where the race
+//! conditions live.
+//!
+//! Every inode carries the id of the kernel semaphore that serializes
+//! mutations under it; for entries of a directory, the **parent directory's
+//! semaphore** is the contention point — matching the paper's observation
+//! that the victim's `chmod`/`chown` and the attacker's `unlink`/`symlink`
+//! "compete for the same semaphore".
+
+use crate::error::OsError;
+use crate::ids::{Gid, Ino, SemId, Uid};
+use std::collections::BTreeMap;
+
+/// Maximum symlink traversals before `ELOOP`, matching Linux's nested-link
+/// limit.
+pub const MAX_SYMLINK_DEPTH: usize = 8;
+
+/// What an inode is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InodeKind {
+    /// A regular file with `size` bytes of (unmaterialized) data.
+    Regular {
+        /// Current size in bytes.
+        size: u64,
+    },
+    /// A directory.
+    Directory {
+        /// Name → inode map. `BTreeMap` keeps iteration deterministic.
+        entries: BTreeMap<String, Ino>,
+    },
+    /// A symbolic link to `target`.
+    Symlink {
+        /// Link target path (absolute or relative).
+        target: String,
+    },
+}
+
+/// Ownership and mode metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InodeMeta {
+    /// Owning user.
+    pub uid: Uid,
+    /// Owning group.
+    pub gid: Gid,
+    /// Permission bits (0o777-style; enforcement is advisory in the model).
+    pub mode: u32,
+}
+
+/// One inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// This inode's number.
+    pub ino: Ino,
+    /// File/directory/symlink payload.
+    pub kind: InodeKind,
+    /// Ownership and mode.
+    pub meta: InodeMeta,
+    /// The kernel semaphore serializing mutations of this inode (for a
+    /// directory: of its entries).
+    pub sem: SemId,
+    /// Link count (directory entries referencing this inode).
+    pub nlink: u32,
+}
+
+impl Inode {
+    /// Returns the directory entry map.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTDIR` if this is not a directory.
+    pub fn entries(&self) -> Result<&BTreeMap<String, Ino>, OsError> {
+        match &self.kind {
+            InodeKind::Directory { entries } => Ok(entries),
+            _ => Err(OsError::Enotdir),
+        }
+    }
+
+    fn entries_mut(&mut self) -> Result<&mut BTreeMap<String, Ino>, OsError> {
+        match &mut self.kind {
+            InodeKind::Directory { entries } => Ok(entries),
+            _ => Err(OsError::Enotdir),
+        }
+    }
+
+    /// File size in bytes (0 for non-regular files).
+    pub fn size(&self) -> u64 {
+        match &self.kind {
+            InodeKind::Regular { size } => *size,
+            _ => 0,
+        }
+    }
+
+    /// Whether this inode is a symlink.
+    pub fn is_symlink(&self) -> bool {
+        matches!(self.kind, InodeKind::Symlink { .. })
+    }
+
+    /// Whether this inode is a directory.
+    pub fn is_dir(&self) -> bool {
+        matches!(self.kind, InodeKind::Directory { .. })
+    }
+}
+
+/// The result of `stat`-like metadata queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatBuf {
+    /// Inode number.
+    pub ino: Ino,
+    /// Owning user.
+    pub uid: Uid,
+    /// Owning group.
+    pub gid: Gid,
+    /// Permission bits.
+    pub mode: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// True if the stat'ed object itself is a symlink (only possible via
+    /// `lstat`).
+    pub is_symlink: bool,
+    /// True if the object is a directory.
+    pub is_dir: bool,
+}
+
+/// The outcome of resolving a path down to its parent directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolved {
+    /// The parent directory's inode.
+    pub parent: Ino,
+    /// The final path component.
+    pub name: String,
+    /// The inode the final component currently binds to, if any. This is the
+    /// binding **at resolution time** — a TOCTTOU-susceptible datum by
+    /// design.
+    pub ino: Option<Ino>,
+}
+
+/// The simulated filesystem tree.
+#[derive(Debug, Clone)]
+pub struct Vfs {
+    inodes: Vec<Option<Inode>>,
+    root: Ino,
+    next_sem: u32,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vfs {
+    /// A filesystem containing only a root directory owned by root.
+    pub fn new() -> Self {
+        let mut vfs = Vfs {
+            inodes: Vec::new(),
+            root: Ino(0),
+            next_sem: 0,
+        };
+        let root = vfs.alloc(
+            InodeKind::Directory {
+                entries: BTreeMap::new(),
+            },
+            InodeMeta {
+                uid: Uid::ROOT,
+                gid: Gid::ROOT,
+                mode: 0o755,
+            },
+        );
+        vfs.root = root;
+        vfs
+    }
+
+    /// The root directory's inode number.
+    pub fn root(&self) -> Ino {
+        self.root
+    }
+
+    /// Total live inodes.
+    pub fn inode_count(&self) -> usize {
+        self.inodes.iter().filter(|i| i.is_some()).count()
+    }
+
+    fn alloc(&mut self, kind: InodeKind, meta: InodeMeta) -> Ino {
+        let ino = Ino(self.inodes.len() as u32);
+        let sem = SemId(self.next_sem);
+        self.next_sem += 1;
+        self.inodes.push(Some(Inode {
+            ino,
+            kind,
+            meta,
+            sem,
+            nlink: 1,
+        }));
+        ino
+    }
+
+    /// Immutable access to an inode.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if the inode was freed or never existed.
+    pub fn inode(&self, ino: Ino) -> Result<&Inode, OsError> {
+        self.inodes
+            .get(ino.index())
+            .and_then(|i| i.as_ref())
+            .ok_or(OsError::Enoent)
+    }
+
+    fn inode_mut(&mut self, ino: Ino) -> Result<&mut Inode, OsError> {
+        self.inodes
+            .get_mut(ino.index())
+            .and_then(|i| i.as_mut())
+            .ok_or(OsError::Enoent)
+    }
+
+    /// The semaphore guarding the directory that contains `path`'s final
+    /// component (resolving intermediate symlinks). This is what mutating
+    /// syscalls acquire.
+    ///
+    /// # Errors
+    ///
+    /// Standard resolution errors (`ENOENT`, `ENOTDIR`, `ELOOP`).
+    pub fn dir_sem_of(&self, path: &str) -> Result<SemId, OsError> {
+        let r = self.resolve(path, SymlinkPolicy::NoFollowLast)?;
+        Ok(self.inode(r.parent)?.sem)
+    }
+
+    /// The semaphore guarding the **file inode** a path currently resolves
+    /// to. This is what attribute mutations (`chmod`, `chown`) and the
+    /// truncation half of `unlink` serialize on — Linux 2.6's per-inode
+    /// `i_sem`, the "same semaphore" of the paper's Section 3.4.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors, or `ENOENT` if the final component is dangling.
+    pub fn file_sem_of(&self, path: &str, follow_last: bool) -> Result<SemId, OsError> {
+        let policy = if follow_last {
+            SymlinkPolicy::FollowLast
+        } else {
+            SymlinkPolicy::NoFollowLast
+        };
+        let r = self.resolve(path, policy)?;
+        let ino = r.ino.ok_or(OsError::Enoent)?;
+        Ok(self.inode(ino)?.sem)
+    }
+
+    /// Resolves `path` to its parent directory and final component.
+    ///
+    /// `policy` controls whether a symlink in the **final** component is
+    /// followed (intermediate symlinks are always followed). With
+    /// `FollowLast`, following continues until a non-symlink or a dangling
+    /// name is reached.
+    ///
+    /// # Errors
+    ///
+    /// * `EINVAL` — empty or non-absolute path;
+    /// * `ENOENT` — a missing intermediate component;
+    /// * `ENOTDIR` — an intermediate component is not a directory;
+    /// * `ELOOP` — more than [`MAX_SYMLINK_DEPTH`] symlink traversals.
+    pub fn resolve(&self, path: &str, policy: SymlinkPolicy) -> Result<Resolved, OsError> {
+        self.resolve_depth(path, policy, 0)
+    }
+
+    fn resolve_depth(
+        &self,
+        path: &str,
+        policy: SymlinkPolicy,
+        depth: usize,
+    ) -> Result<Resolved, OsError> {
+        if depth > MAX_SYMLINK_DEPTH {
+            return Err(OsError::Eloop);
+        }
+        if !path.starts_with('/') {
+            return Err(OsError::Einval);
+        }
+        let components: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        if components.is_empty() {
+            // "/" itself: treat the root as its own parent with no name —
+            // callers that need the root use `root()` directly.
+            return Err(OsError::Einval);
+        }
+        let mut dir = self.root;
+        for (i, comp) in components.iter().enumerate() {
+            let is_last = i + 1 == components.len();
+            if is_last {
+                let entries = self.inode(dir)?.entries()?;
+                let bound = entries.get(*comp).copied();
+                if let (SymlinkPolicy::FollowLast, Some(ino)) = (policy, bound) {
+                    if let InodeKind::Symlink { target } = &self.inode(ino)?.kind {
+                        let target = target.clone();
+                        return self.resolve_depth(&target, policy, depth + 1);
+                    }
+                }
+                return Ok(Resolved {
+                    parent: dir,
+                    name: (*comp).to_string(),
+                    ino: bound,
+                });
+            }
+            let entries = self.inode(dir)?.entries()?;
+            let next = *entries.get(*comp).ok_or(OsError::Enoent)?;
+            let next_inode = self.inode(next)?;
+            match &next_inode.kind {
+                InodeKind::Directory { .. } => dir = next,
+                InodeKind::Symlink { target } => {
+                    // Follow the intermediate symlink, then continue with the
+                    // remaining components appended.
+                    let rest = components[i + 1..].join("/");
+                    let mut redirected = target.clone();
+                    if !redirected.ends_with('/') {
+                        redirected.push('/');
+                    }
+                    redirected.push_str(&rest);
+                    return self.resolve_depth(&redirected, policy, depth + 1);
+                }
+                InodeKind::Regular { .. } => return Err(OsError::Enotdir),
+            }
+        }
+        unreachable!("loop always returns on the last component");
+    }
+
+    /// `stat(2)`: metadata of what `path` resolves to, following symlinks.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors, or `ENOENT` for a dangling final component.
+    pub fn stat(&self, path: &str) -> Result<StatBuf, OsError> {
+        let r = self.resolve(path, SymlinkPolicy::FollowLast)?;
+        let ino = r.ino.ok_or(OsError::Enoent)?;
+        Ok(self.statbuf(ino, false))
+    }
+
+    /// `lstat(2)`: like [`stat`](Self::stat) but does not follow a final
+    /// symlink.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors, or `ENOENT` for a dangling final component.
+    pub fn lstat(&self, path: &str) -> Result<StatBuf, OsError> {
+        let r = self.resolve(path, SymlinkPolicy::NoFollowLast)?;
+        let ino = r.ino.ok_or(OsError::Enoent)?;
+        let is_symlink = self.inode(ino)?.is_symlink();
+        Ok(self.statbuf(ino, is_symlink))
+    }
+
+    fn statbuf(&self, ino: Ino, is_symlink: bool) -> StatBuf {
+        let inode = self.inode(ino).expect("statbuf of live inode");
+        StatBuf {
+            ino,
+            uid: inode.meta.uid,
+            gid: inode.meta.gid,
+            mode: inode.meta.mode,
+            size: inode.size(),
+            is_symlink,
+            is_dir: inode.is_dir(),
+        }
+    }
+
+    /// `readlink(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if the path is dangling; `EINVAL` if it is not a symlink.
+    pub fn readlink(&self, path: &str) -> Result<String, OsError> {
+        let r = self.resolve(path, SymlinkPolicy::NoFollowLast)?;
+        let ino = r.ino.ok_or(OsError::Enoent)?;
+        match &self.inode(ino)?.kind {
+            InodeKind::Symlink { target } => Ok(target.clone()),
+            _ => Err(OsError::Einval),
+        }
+    }
+
+    /// `mkdir(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if the name is taken; resolution errors otherwise.
+    pub fn mkdir(&mut self, path: &str, meta: InodeMeta) -> Result<Ino, OsError> {
+        let r = self.resolve(path, SymlinkPolicy::NoFollowLast)?;
+        if r.ino.is_some() {
+            return Err(OsError::Eexist);
+        }
+        let ino = self.alloc(
+            InodeKind::Directory {
+                entries: BTreeMap::new(),
+            },
+            meta,
+        );
+        self.inode_mut(r.parent)?
+            .entries_mut()?
+            .insert(r.name, ino);
+        Ok(ino)
+    }
+
+    /// Creates a regular file (the commit step of `open(O_CREAT)`), owned by
+    /// `meta.uid`. Follows a final symlink like `open` does: creating
+    /// through a dangling symlink creates the *target*.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` if the name is bound to a directory; resolution errors
+    /// otherwise.
+    pub fn create_file(&mut self, path: &str, meta: InodeMeta) -> Result<Ino, OsError> {
+        let r = self.resolve(path, SymlinkPolicy::FollowLast)?;
+        match r.ino {
+            Some(existing) => {
+                let node = self.inode_mut(existing)?;
+                match &mut node.kind {
+                    InodeKind::Regular { size } => {
+                        // O_TRUNC semantics: reuse the inode, drop the data.
+                        *size = 0;
+                        Ok(existing)
+                    }
+                    InodeKind::Directory { .. } => Err(OsError::Eisdir),
+                    InodeKind::Symlink { .. } => {
+                        unreachable!("FollowLast never yields a final symlink")
+                    }
+                }
+            }
+            None => {
+                let ino = self.alloc(InodeKind::Regular { size: 0 }, meta);
+                self.inode_mut(r.parent)?
+                    .entries_mut()?
+                    .insert(r.name, ino);
+                Ok(ino)
+            }
+        }
+    }
+
+    /// Opens an existing file, following symlinks.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if dangling; `EISDIR` for directories.
+    pub fn open_existing(&self, path: &str) -> Result<Ino, OsError> {
+        let r = self.resolve(path, SymlinkPolicy::FollowLast)?;
+        let ino = r.ino.ok_or(OsError::Enoent)?;
+        if self.inode(ino)?.is_dir() {
+            return Err(OsError::Eisdir);
+        }
+        Ok(ino)
+    }
+
+    /// Appends `bytes` to the file at inode `ino`.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if the inode is not a regular file (it may have been unlinked
+    /// and replaced — writes go to the *inode*, so an open fd keeps writing
+    /// to the original object, exactly as on Unix).
+    pub fn append(&mut self, ino: Ino, bytes: u64) -> Result<u64, OsError> {
+        let node = self.inode_mut(ino)?;
+        match &mut node.kind {
+            InodeKind::Regular { size } => {
+                *size += bytes;
+                Ok(*size)
+            }
+            _ => Err(OsError::Ebadf),
+        }
+    }
+
+    /// `symlink(2)`: binds `linkpath` to a new symlink inode pointing at
+    /// `target`. Does not follow a final symlink at `linkpath`.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if `linkpath` is taken.
+    pub fn symlink(&mut self, target: &str, linkpath: &str, owner: (Uid, Gid)) -> Result<Ino, OsError> {
+        let r = self.resolve(linkpath, SymlinkPolicy::NoFollowLast)?;
+        if r.ino.is_some() {
+            return Err(OsError::Eexist);
+        }
+        let ino = self.alloc(
+            InodeKind::Symlink {
+                target: target.to_string(),
+            },
+            InodeMeta {
+                uid: owner.0,
+                gid: owner.1,
+                mode: 0o777,
+            },
+        );
+        self.inode_mut(r.parent)?
+            .entries_mut()?
+            .insert(r.name, ino);
+        Ok(ino)
+    }
+
+    /// The detach half of `unlink(2)`: removes the directory entry and
+    /// returns the detached inode number together with the file size (the
+    /// syscall engine charges the truncation tail proportional to it).
+    /// Does not follow a final symlink.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if dangling; `EISDIR` for directories (use `rmdir`).
+    pub fn unlink_detach(&mut self, path: &str) -> Result<(Ino, u64), OsError> {
+        let r = self.resolve(path, SymlinkPolicy::NoFollowLast)?;
+        let ino = r.ino.ok_or(OsError::Enoent)?;
+        if self.inode(ino)?.is_dir() {
+            return Err(OsError::Eisdir);
+        }
+        let size = self.inode(ino)?.size();
+        self.inode_mut(r.parent)?.entries_mut()?.remove(&r.name);
+        let node = self.inode_mut(ino)?;
+        node.nlink = node.nlink.saturating_sub(1);
+        // The inode itself lingers (an open fd may still reference it); a
+        // zero-nlink inode with no fs name is the Unix "orphan".
+        Ok((ino, size))
+    }
+
+    /// `rmdir(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if dangling, `ENOTDIR` if not a directory, `ENOTEMPTY` if
+    /// the directory has entries.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), OsError> {
+        let r = self.resolve(path, SymlinkPolicy::NoFollowLast)?;
+        let ino = r.ino.ok_or(OsError::Enoent)?;
+        let node = self.inode(ino)?;
+        if !node.is_dir() {
+            return Err(OsError::Enotdir);
+        }
+        if !node.entries()?.is_empty() {
+            return Err(OsError::Enotempty);
+        }
+        self.inode_mut(r.parent)?.entries_mut()?.remove(&r.name);
+        self.inodes[ino.index()] = None;
+        Ok(())
+    }
+
+    /// `rename(2)`: atomically re-binds `to` to the inode currently bound at
+    /// `from`, removing `from`. Neither final component follows symlinks.
+    /// An existing `to` is replaced (its inode is orphaned), per POSIX.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if `from` is dangling; resolution errors otherwise.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), OsError> {
+        let rf = self.resolve(from, SymlinkPolicy::NoFollowLast)?;
+        let src = rf.ino.ok_or(OsError::Enoent)?;
+        let rt = self.resolve(to, SymlinkPolicy::NoFollowLast)?;
+        if let Some(replaced) = rt.ino {
+            if replaced == src {
+                return Ok(()); // rename onto itself is a no-op
+            }
+            let node = self.inode_mut(replaced)?;
+            node.nlink = node.nlink.saturating_sub(1);
+        }
+        self.inode_mut(rf.parent)?.entries_mut()?.remove(&rf.name);
+        self.inode_mut(rt.parent)?.entries_mut()?.insert(rt.name, src);
+        Ok(())
+    }
+
+    /// `chmod(2)`: follows symlinks — the crux of symlink attacks.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if dangling.
+    pub fn chmod(&mut self, path: &str, mode: u32) -> Result<Ino, OsError> {
+        let r = self.resolve(path, SymlinkPolicy::FollowLast)?;
+        let ino = r.ino.ok_or(OsError::Enoent)?;
+        self.inode_mut(ino)?.meta.mode = mode;
+        Ok(ino)
+    }
+
+    /// `chown(2)`: follows symlinks — this is how vi and gedit are tricked
+    /// into handing `/etc/passwd` to the attacker.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if dangling.
+    pub fn chown(&mut self, path: &str, uid: Uid, gid: Gid) -> Result<Ino, OsError> {
+        let r = self.resolve(path, SymlinkPolicy::FollowLast)?;
+        let ino = r.ino.ok_or(OsError::Enoent)?;
+        let node = self.inode_mut(ino)?;
+        node.meta.uid = uid;
+        node.meta.gid = gid;
+        Ok(ino)
+    }
+
+    /// Checks the standard VFS invariants; used by property tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // 1. Every directory entry points at a live inode.
+        // 2. nlink of every live file equals the number of directory entries
+        //    referencing it (directories excluded from this simple model).
+        let mut refcount: std::collections::HashMap<Ino, u32> = std::collections::HashMap::new();
+        for inode in self.inodes.iter().flatten() {
+            if let InodeKind::Directory { entries } = &inode.kind {
+                for (name, target) in entries {
+                    if self.inode(*target).is_err() {
+                        return Err(format!(
+                            "dangling entry {name:?} -> {target} in {}",
+                            inode.ino
+                        ));
+                    }
+                    *refcount.entry(*target).or_insert(0) += 1;
+                }
+            }
+        }
+        for inode in self.inodes.iter().flatten() {
+            if inode.is_dir() {
+                continue;
+            }
+            let refs = refcount.get(&inode.ino).copied().unwrap_or(0);
+            if refs != inode.nlink {
+                return Err(format!(
+                    "{}: nlink {} but {} directory references",
+                    inode.ino, inode.nlink, refs
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether path resolution follows a symlink in the final component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymlinkPolicy {
+    /// Follow a final symlink (`stat`, `open`, `chmod`, `chown`, `truncate`).
+    FollowLast,
+    /// Do not follow a final symlink (`lstat`, `unlink`, `rename`,
+    /// `symlink`, `readlink`).
+    NoFollowLast,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(uid: u32) -> InodeMeta {
+        InodeMeta {
+            uid: Uid(uid),
+            gid: Gid(uid),
+            mode: 0o644,
+        }
+    }
+
+    fn setup() -> Vfs {
+        let mut vfs = Vfs::new();
+        vfs.mkdir("/etc", meta(0)).unwrap();
+        vfs.create_file("/etc/passwd", meta(0)).unwrap();
+        vfs.mkdir("/home", meta(0)).unwrap();
+        vfs.mkdir("/home/user", meta(1000)).unwrap();
+        vfs
+    }
+
+    #[test]
+    fn create_and_stat() {
+        let mut vfs = setup();
+        vfs.create_file("/home/user/doc.txt", meta(1000)).unwrap();
+        let st = vfs.stat("/home/user/doc.txt").unwrap();
+        assert_eq!(st.uid, Uid(1000));
+        assert_eq!(st.size, 0);
+        assert!(!st.is_dir);
+        assert!(!st.is_symlink);
+    }
+
+    #[test]
+    fn create_existing_truncates() {
+        let mut vfs = setup();
+        let ino = vfs.create_file("/home/user/f", meta(1000)).unwrap();
+        vfs.append(ino, 500).unwrap();
+        assert_eq!(vfs.stat("/home/user/f").unwrap().size, 500);
+        let again = vfs.create_file("/home/user/f", meta(0)).unwrap();
+        assert_eq!(again, ino, "same inode reused");
+        assert_eq!(vfs.stat("/home/user/f").unwrap().size, 0, "truncated");
+        // Ownership unchanged by O_TRUNC reuse.
+        assert_eq!(vfs.stat("/home/user/f").unwrap().uid, Uid(1000));
+    }
+
+    #[test]
+    fn resolution_errors() {
+        let vfs = setup();
+        assert_eq!(vfs.stat("/nope/x"), Err(OsError::Enoent));
+        assert_eq!(vfs.stat("relative"), Err(OsError::Einval));
+        assert_eq!(vfs.stat("/etc/passwd/inside"), Err(OsError::Enotdir));
+        assert_eq!(vfs.stat("/etc/missing"), Err(OsError::Enoent));
+    }
+
+    #[test]
+    fn stat_follows_symlink_lstat_does_not() {
+        let mut vfs = setup();
+        vfs.symlink("/etc/passwd", "/home/user/link", (Uid(1000), Gid(1000)))
+            .unwrap();
+        let st = vfs.stat("/home/user/link").unwrap();
+        assert_eq!(st.uid, Uid::ROOT, "followed to /etc/passwd");
+        assert!(!st.is_symlink);
+        let lst = vfs.lstat("/home/user/link").unwrap();
+        assert!(lst.is_symlink);
+        assert_eq!(lst.uid, Uid(1000));
+    }
+
+    #[test]
+    fn symlink_chain_and_loop() {
+        let mut vfs = setup();
+        vfs.symlink("/b", "/a", (Uid(0), Gid(0))).unwrap();
+        vfs.symlink("/a", "/b", (Uid(0), Gid(0))).unwrap();
+        assert_eq!(vfs.stat("/a"), Err(OsError::Eloop));
+
+        let mut vfs2 = setup();
+        vfs2.symlink("/etc/passwd", "/l1", (Uid(0), Gid(0))).unwrap();
+        vfs2.symlink("/l1", "/l2", (Uid(0), Gid(0))).unwrap();
+        assert_eq!(vfs2.stat("/l2").unwrap().uid, Uid::ROOT);
+    }
+
+    #[test]
+    fn intermediate_symlink_followed() {
+        let mut vfs = setup();
+        vfs.symlink("/home/user", "/u", (Uid(0), Gid(0))).unwrap();
+        vfs.create_file("/u/f.txt", meta(1000)).unwrap();
+        assert!(vfs.stat("/home/user/f.txt").is_ok());
+    }
+
+    #[test]
+    fn dangling_symlink_stat_fails_lstat_succeeds() {
+        let mut vfs = setup();
+        vfs.symlink("/nothing/here", "/dang", (Uid(0), Gid(0))).unwrap();
+        assert_eq!(vfs.stat("/dang"), Err(OsError::Enoent));
+        assert!(vfs.lstat("/dang").unwrap().is_symlink);
+        assert_eq!(vfs.readlink("/dang").unwrap(), "/nothing/here");
+    }
+
+    #[test]
+    fn readlink_of_non_symlink_is_einval() {
+        let vfs = setup();
+        assert_eq!(vfs.readlink("/etc/passwd"), Err(OsError::Einval));
+    }
+
+    #[test]
+    fn unlink_detach_removes_name_keeps_inode() {
+        let mut vfs = setup();
+        let ino = vfs.create_file("/home/user/f", meta(1000)).unwrap();
+        vfs.append(ino, 2048).unwrap();
+        let (detached, size) = vfs.unlink_detach("/home/user/f").unwrap();
+        assert_eq!(detached, ino);
+        assert_eq!(size, 2048);
+        assert_eq!(vfs.stat("/home/user/f"), Err(OsError::Enoent));
+        // Inode still addressable (an open fd would still write to it).
+        assert!(vfs.inode(ino).is_ok());
+        assert_eq!(vfs.inode(ino).unwrap().nlink, 0);
+    }
+
+    #[test]
+    fn unlink_does_not_follow_symlink() {
+        let mut vfs = setup();
+        vfs.symlink("/etc/passwd", "/home/user/link", (Uid(1000), Gid(1000)))
+            .unwrap();
+        vfs.unlink_detach("/home/user/link").unwrap();
+        // The symlink is gone; its target is untouched.
+        assert!(vfs.stat("/etc/passwd").is_ok());
+        assert_eq!(vfs.lstat("/home/user/link"), Err(OsError::Enoent));
+    }
+
+    #[test]
+    fn unlink_of_directory_is_eisdir() {
+        let mut vfs = setup();
+        assert_eq!(vfs.unlink_detach("/home/user"), Err(OsError::Eisdir));
+    }
+
+    #[test]
+    fn rename_rebinds_and_replaces() {
+        let mut vfs = setup();
+        let a = vfs.create_file("/home/user/a", meta(0)).unwrap();
+        let b = vfs.create_file("/home/user/b", meta(1000)).unwrap();
+        vfs.rename("/home/user/a", "/home/user/b").unwrap();
+        assert_eq!(vfs.stat("/home/user/b").unwrap().ino, a);
+        assert_eq!(vfs.stat("/home/user/a"), Err(OsError::Enoent));
+        assert_eq!(vfs.inode(b).unwrap().nlink, 0, "replaced inode orphaned");
+    }
+
+    #[test]
+    fn rename_missing_source() {
+        let mut vfs = setup();
+        assert_eq!(
+            vfs.rename("/home/user/none", "/home/user/x"),
+            Err(OsError::Enoent)
+        );
+    }
+
+    #[test]
+    fn rename_onto_self_is_noop() {
+        let mut vfs = setup();
+        let ino = vfs.create_file("/home/user/same", meta(0)).unwrap();
+        vfs.rename("/home/user/same", "/home/user/same").unwrap();
+        assert_eq!(vfs.stat("/home/user/same").unwrap().ino, ino);
+        vfs.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn chown_follows_symlink_the_attack_crux() {
+        let mut vfs = setup();
+        // Attacker has replaced the editor's file with a symlink...
+        vfs.symlink("/etc/passwd", "/home/user/doc", (Uid(1000), Gid(1000)))
+            .unwrap();
+        // ...and the root editor chowns "its" file back to the user.
+        vfs.chown("/home/user/doc", Uid(1000), Gid(1000)).unwrap();
+        let pw = vfs.stat("/etc/passwd").unwrap();
+        assert_eq!(pw.uid, Uid(1000), "/etc/passwd handed to the attacker");
+    }
+
+    #[test]
+    fn chmod_follows_symlink() {
+        let mut vfs = setup();
+        vfs.symlink("/etc/passwd", "/s", (Uid(0), Gid(0))).unwrap();
+        vfs.chmod("/s", 0o600).unwrap();
+        assert_eq!(vfs.stat("/etc/passwd").unwrap().mode, 0o600);
+    }
+
+    #[test]
+    fn chown_enoent_when_name_missing() {
+        let mut vfs = setup();
+        assert_eq!(
+            vfs.chown("/home/user/ghost", Uid(1), Gid(1)),
+            Err(OsError::Enoent)
+        );
+    }
+
+    #[test]
+    fn append_to_unlinked_inode_still_works() {
+        let mut vfs = setup();
+        let ino = vfs.create_file("/home/user/f", meta(0)).unwrap();
+        vfs.unlink_detach("/home/user/f").unwrap();
+        // Unix semantics: an open fd writes to the orphan happily.
+        assert_eq!(vfs.append(ino, 100).unwrap(), 100);
+    }
+
+    #[test]
+    fn mkdir_and_rmdir() {
+        let mut vfs = setup();
+        vfs.mkdir("/home/user/sub", meta(1000)).unwrap();
+        assert!(vfs.stat("/home/user/sub").unwrap().is_dir);
+        assert_eq!(vfs.mkdir("/home/user/sub", meta(0)), Err(OsError::Eexist));
+        vfs.create_file("/home/user/sub/f", meta(0)).unwrap();
+        assert_eq!(vfs.rmdir("/home/user/sub"), Err(OsError::Enotempty));
+        vfs.unlink_detach("/home/user/sub/f").unwrap();
+        vfs.rmdir("/home/user/sub").unwrap();
+        assert_eq!(vfs.stat("/home/user/sub"), Err(OsError::Enoent));
+    }
+
+    #[test]
+    fn rmdir_non_directory_is_enotdir() {
+        let mut vfs = setup();
+        assert_eq!(vfs.rmdir("/etc/passwd"), Err(OsError::Enotdir));
+    }
+
+    #[test]
+    fn symlink_eexist() {
+        let mut vfs = setup();
+        assert_eq!(
+            vfs.symlink("/x", "/etc/passwd", (Uid(0), Gid(0))),
+            Err(OsError::Eexist)
+        );
+    }
+
+    #[test]
+    fn create_through_dangling_symlink_creates_target() {
+        let mut vfs = setup();
+        vfs.symlink("/home/user/real", "/home/user/via", (Uid(0), Gid(0)))
+            .unwrap();
+        vfs.create_file("/home/user/via", meta(0)).unwrap();
+        assert!(vfs.stat("/home/user/real").is_ok(), "created the target");
+        assert!(vfs.lstat("/home/user/via").unwrap().is_symlink);
+    }
+
+    #[test]
+    fn dir_sem_is_parent_directory_semaphore() {
+        let vfs = setup();
+        let etc_sem = vfs
+            .inode(vfs.resolve("/etc", SymlinkPolicy::NoFollowLast).unwrap().ino.unwrap())
+            .unwrap()
+            .sem;
+        assert_eq!(vfs.dir_sem_of("/etc/passwd").unwrap(), etc_sem);
+        // Two names in the same directory share the contention point.
+        assert_eq!(
+            vfs.dir_sem_of("/home/user/a").unwrap(),
+            vfs.dir_sem_of("/home/user/b").unwrap()
+        );
+        // Names in different directories do not.
+        assert_ne!(
+            vfs.dir_sem_of("/etc/passwd").unwrap(),
+            vfs.dir_sem_of("/home/user/a").unwrap()
+        );
+    }
+
+    #[test]
+    fn invariants_hold_through_op_sequence() {
+        let mut vfs = setup();
+        vfs.create_file("/home/user/a", meta(0)).unwrap();
+        vfs.symlink("/etc/passwd", "/home/user/s", (Uid(1000), Gid(1000)))
+            .unwrap();
+        vfs.rename("/home/user/a", "/home/user/b").unwrap();
+        vfs.unlink_detach("/home/user/s").unwrap();
+        vfs.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn root_resolution_is_einval() {
+        let vfs = setup();
+        assert_eq!(vfs.stat("/"), Err(OsError::Einval));
+        assert_eq!(vfs.stat(""), Err(OsError::Einval));
+    }
+}

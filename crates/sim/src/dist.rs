@@ -1,0 +1,254 @@
+//! Sampling distributions over simulated durations.
+//!
+//! The OS model draws syscall costs, background-activity inter-arrival times
+//! and durations from these distributions. All sampling is driven by
+//! [`SimRng`] so simulations stay deterministic.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A distribution over durations.
+///
+/// The variants cover everything the paper's phenomena need: fixed costs,
+/// uniform jitter, Gaussian measurement-style noise (truncated at zero) and
+/// exponential inter-arrival/holding times for Poisson background activity.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_sim::dist::DurationDist;
+/// use tocttou_sim::rng::SimRng;
+/// use tocttou_sim::time::SimDuration;
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let d = DurationDist::normal_us(41.1, 2.73);
+/// let sample = d.sample(&mut rng);
+/// assert!(sample > SimDuration::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurationDist {
+    /// Always the same duration.
+    Constant(SimDuration),
+    /// Uniform over `[lo, hi]`.
+    Uniform(SimDuration, SimDuration),
+    /// Gaussian with the given mean and standard deviation (in microseconds),
+    /// truncated below at zero. Matches how the paper reports L and D
+    /// (mean ± stdev).
+    NormalUs {
+        /// Mean in microseconds.
+        mean: f64,
+        /// Standard deviation in microseconds.
+        stdev: f64,
+    },
+    /// Exponential with the given mean (in microseconds). Used for Poisson
+    /// background kernel activity.
+    ExpUs {
+        /// Mean in microseconds.
+        mean: f64,
+    },
+}
+
+impl DurationDist {
+    /// A constant distribution of `us` microseconds.
+    pub fn const_us(us: f64) -> Self {
+        DurationDist::Constant(SimDuration::from_micros_f64(us))
+    }
+
+    /// A uniform distribution over `[lo_us, hi_us]` microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo_us > hi_us`.
+    pub fn uniform_us(lo_us: f64, hi_us: f64) -> Self {
+        assert!(lo_us <= hi_us, "uniform bounds out of order");
+        DurationDist::Uniform(
+            SimDuration::from_micros_f64(lo_us),
+            SimDuration::from_micros_f64(hi_us),
+        )
+    }
+
+    /// A zero-truncated Gaussian with `mean`/`stdev` microseconds.
+    pub fn normal_us(mean: f64, stdev: f64) -> Self {
+        DurationDist::NormalUs { mean, stdev }
+    }
+
+    /// An exponential distribution with mean `mean` microseconds.
+    pub fn exp_us(mean: f64) -> Self {
+        DurationDist::ExpUs { mean }
+    }
+
+    /// The distribution's mean, in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        match self {
+            DurationDist::Constant(d) => d.as_micros_f64(),
+            DurationDist::Uniform(lo, hi) => (lo.as_micros_f64() + hi.as_micros_f64()) / 2.0,
+            DurationDist::NormalUs { mean, .. } => mean.max(0.0),
+            DurationDist::ExpUs { mean } => mean.max(0.0),
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            DurationDist::Constant(d) => *d,
+            DurationDist::Uniform(lo, hi) => {
+                let lo_n = lo.as_nanos();
+                let hi_n = hi.as_nanos();
+                SimDuration::from_nanos(rng.range_inclusive(lo_n, hi_n))
+            }
+            DurationDist::NormalUs { mean, stdev } => {
+                let z = sample_standard_normal(rng);
+                SimDuration::from_micros_f64(mean + stdev * z)
+            }
+            DurationDist::ExpUs { mean } => {
+                SimDuration::from_micros_f64(sample_exponential_us(rng, *mean))
+            }
+        }
+    }
+
+    /// Returns a copy of the distribution with every duration scaled by
+    /// `factor` (machine speed scaling: a 2× slower machine doubles costs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        match self {
+            DurationDist::Constant(d) => DurationDist::Constant(d.mul_f64(factor)),
+            DurationDist::Uniform(lo, hi) => {
+                DurationDist::Uniform(lo.mul_f64(factor), hi.mul_f64(factor))
+            }
+            DurationDist::NormalUs { mean, stdev } => DurationDist::NormalUs {
+                mean: mean * factor,
+                stdev: stdev * factor,
+            },
+            DurationDist::ExpUs { mean } => DurationDist::ExpUs {
+                mean: mean * factor,
+            },
+        }
+    }
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+///
+/// Deliberately uses the one-value form (discarding the paired sample) to
+/// keep the generator stateless.
+pub fn sample_standard_normal(rng: &mut SimRng) -> f64 {
+    // Avoid ln(0): nudge u1 away from zero.
+    let u1 = (rng.next_f64()).max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// One exponential sample with the given mean, in microseconds.
+pub fn sample_exponential_us(rng: &mut SimRng, mean_us: f64) -> f64 {
+    if mean_us <= 0.0 {
+        return 0.0;
+    }
+    let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+    -mean_us * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(dist: &DurationDist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let total: f64 = (0..n).map(|_| dist.sample(&mut rng).as_micros_f64()).sum();
+        total / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = DurationDist::const_us(5.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), SimDuration::from_micros(5));
+        }
+        assert_eq!(d.mean_us(), 5.0);
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let d = DurationDist::uniform_us(10.0, 20.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            let s = d.sample(&mut rng).as_micros_f64();
+            assert!((10.0..=20.0).contains(&s));
+        }
+        assert!((mean_of(&d, 20_000, 3) - 15.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_matches_parameters() {
+        let d = DurationDist::normal_us(41.1, 2.73);
+        let m = mean_of(&d, 50_000, 4);
+        assert!((m - 41.1).abs() < 0.1, "mean {m}");
+        // Stdev check.
+        let mut rng = SimRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| d.sample(&mut rng).as_micros_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((var.sqrt() - 2.73).abs() < 0.1, "stdev {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_truncates_at_zero() {
+        let d = DurationDist::normal_us(0.5, 10.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            // from_micros_f64 clamps negatives to zero.
+            let _ = d.sample(&mut rng); // must not panic
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = DurationDist::exp_us(100.0);
+        let m = mean_of(&d, 100_000, 6);
+        assert!((m - 100.0).abs() < 2.0, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_nonpositive_mean_is_zero() {
+        let mut rng = SimRng::seed_from_u64(7);
+        assert_eq!(sample_exponential_us(&mut rng, 0.0), 0.0);
+        assert_eq!(sample_exponential_us(&mut rng, -3.0), 0.0);
+    }
+
+    #[test]
+    fn scaling_scales_all_variants() {
+        let mut rng = SimRng::seed_from_u64(8);
+        assert_eq!(
+            DurationDist::const_us(5.0).scaled(2.0).sample(&mut rng),
+            SimDuration::from_micros(10)
+        );
+        let u = DurationDist::uniform_us(1.0, 2.0).scaled(3.0);
+        let s = u.sample(&mut rng).as_micros_f64();
+        assert!((3.0..=6.0).contains(&s));
+        assert!((DurationDist::normal_us(10.0, 1.0).scaled(0.5).mean_us() - 5.0).abs() < 1e-9);
+        assert!((DurationDist::exp_us(4.0).scaled(2.0).mean_us() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn uniform_bad_bounds_panic() {
+        let _ = DurationDist::uniform_us(5.0, 1.0);
+    }
+}

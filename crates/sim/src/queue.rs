@@ -1,0 +1,269 @@
+//! A stable (FIFO-on-tie) discrete-event queue.
+//!
+//! Determinism is a core requirement of the simulator: the same seed must
+//! produce the same trace, byte for byte. `std`'s `BinaryHeap` is not stable
+//! for equal keys, so [`EventQueue`] pairs every entry with a monotonically
+//! increasing sequence number — events scheduled for the same instant pop in
+//! the order they were pushed.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then
+        // lowest-sequence) entry is the maximum.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timed events.
+///
+/// Events with equal timestamps are returned in insertion order.
+/// Cancellation is O(1) via [`EventId`]s: the queue tracks the set of
+/// *live* (pushed, not yet popped or cancelled) ids, so cancelling an event
+/// that already fired is a reliable no-op rather than a bookkeeping hazard.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_sim::queue::EventQueue;
+/// use tocttou_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// let first = q.push(SimTime::from_nanos(10), "early");
+/// q.push(SimTime::from_nanos(10), "early-2");
+/// q.cancel(first);
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early-2")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Ids that are pushed and neither popped nor cancelled. Entries whose
+    /// id is absent are tombstones skipped lazily at pop/peek time.
+    live: HashSet<EventId>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: HashSet::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns a handle that can be
+    /// passed to [`cancel`](Self::cancel).
+    pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry {
+            at,
+            seq,
+            id,
+            payload,
+        });
+        self.live.insert(id);
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending (and is now guaranteed
+    /// never to be returned by [`pop`](Self::pop)); `false` if it had
+    /// already fired or been cancelled — in which case nothing changes.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id)
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// entries.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.live.remove(&entry.id) {
+                return Some((entry.at, entry.payload));
+            }
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending (non-cancelled) event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled tombstones off the top so the peeked time is live.
+        while let Some(top) = self.heap.peek() {
+            if self.live.contains(&top.id) {
+                return Some(top.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.live.len())
+            .field("scheduled_total", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 'a');
+        q.push(t(2), 'b');
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.pop(), Some((t(2), 'b')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_after_delivery_is_noop_and_keeps_len_consistent() {
+        // Regression: cancelling an id that already popped must not disturb
+        // the pending count.
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 'a');
+        q.push(t(2), 'b');
+        assert_eq!(q.pop(), Some((t(1), 'a')));
+        assert!(!q.cancel(a), "already delivered");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), 'b')));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 'a');
+        q.push(t(9), 'z');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(9)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        q.push(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 'a');
+        q.push(t(5), 'b');
+        assert_eq!(q.pop(), Some((t(5), 'b')));
+        q.push(t(7), 'c');
+        q.push(t(10), 'd');
+        assert_eq!(q.pop(), Some((t(7), 'c')));
+        assert_eq!(q.pop(), Some((t(10), 'a')), "earlier-pushed same-time first");
+        assert_eq!(q.pop(), Some((t(10), 'd')));
+    }
+
+    #[test]
+    fn cancel_then_push_reuses_nothing() {
+        // Ids are never reused, so a stale handle can't cancel a new event.
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 'a');
+        q.cancel(a);
+        let b = q.push(t(1), 'b');
+        assert_ne!(a, b);
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), Some((t(1), 'b')));
+    }
+}

@@ -1,0 +1,232 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must be reproducible across platforms and toolchain
+//! versions, so it uses a self-contained **xoshiro256\*\*** generator seeded
+//! through SplitMix64 (the construction recommended by the xoshiro authors)
+//! rather than depending on the `rand` crate's unstable-by-version `StdRng`.
+//! `rand` is still used in tests/benches where cross-version stability does
+//! not matter.
+
+/// A deterministic xoshiro256\*\* PRNG.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.next_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed, expanded via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's method: rejection only in the biased low region.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        if lo == hi {
+            return lo;
+        }
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// A Bernoulli trial with probability `p` of `true`.
+    ///
+    /// `p` is clamped to `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Forks an independent child generator; deterministic given the parent
+    /// state. Useful for giving each Monte-Carlo round its own stream.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(123);
+        let mut b = SimRng::seed_from_u64(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge");
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // Pin the exact output so accidental algorithm changes are caught:
+        // reproducibility across versions is a documented guarantee.
+        let mut r = SimRng::seed_from_u64(0);
+        let v: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            v,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_bounds_and_coverage() {
+        let mut r = SimRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let x = r.next_below(7);
+            assert!(x < 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn range_inclusive_endpoints() {
+        let mut r = SimRng::seed_from_u64(77);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2_000 {
+            let x = r.range_inclusive(10, 13);
+            assert!((10..=13).contains(&x));
+            lo_seen |= x == 10;
+            hi_seen |= x == 13;
+        }
+        assert!(lo_seen && hi_seen);
+        assert_eq!(r.range_inclusive(4, 4), 4);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| r.bernoulli(0.0)));
+        assert!((0..100).all(|_| r.bernoulli(1.0)));
+        // Out-of-range p is clamped rather than panicking.
+        assert!(!(0..100).any(|_| r.bernoulli(-5.0)));
+        assert!((0..100).all(|_| r.bernoulli(2.0)));
+    }
+
+    #[test]
+    fn bernoulli_rate_roughly_matches_p() {
+        let mut r = SimRng::seed_from_u64(42);
+        let hits = (0..100_000).filter(|_| r.bernoulli(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SimRng::seed_from_u64(8);
+        let mut parent2 = SimRng::seed_from_u64(8);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        // Parent stream continues past the fork identically.
+        assert_eq!(parent1.next_u64(), parent2.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SimRng::seed_from_u64(1).next_below(0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Structured event tracing.
+//!
+//! The paper's methodology rests on "detailed event analysis" — microsecond
+//! timelines of syscall entry/exit, semaphore blocking and context switches
+//! (Figures 8 and 10). [`Trace`] is a generic, optionally bounded, append-only
+//! buffer of timestamped records that the OS layer fills with its own event
+//! type and the analysis layer consumes.
+
+use crate::time::SimTime;
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord<E> {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// The event payload.
+    pub event: E,
+}
+
+/// An append-only buffer of timestamped events.
+///
+/// A capacity bound can be set to avoid unbounded memory growth in long
+/// Monte-Carlo runs; when full, the **oldest** records are dropped (ring
+/// behaviour) and [`Trace::dropped`] counts how many were lost. Records are
+/// always returned in chronological (append) order.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_sim::trace::Trace;
+/// use tocttou_sim::time::SimTime;
+///
+/// let mut trace = Trace::unbounded();
+/// trace.record(SimTime::from_nanos(5), "hello");
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.iter().next().unwrap().event, "hello");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace<E> {
+    records: std::collections::VecDeque<TraceRecord<E>>,
+    capacity: Option<usize>,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl<E> Default for Trace<E> {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl<E> Trace<E> {
+    /// A trace with no capacity bound.
+    pub fn unbounded() -> Self {
+        Trace {
+            records: std::collections::VecDeque::new(),
+            capacity: None,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A trace that retains at most `capacity` most-recent records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            records: std::collections::VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A trace that records nothing (for Monte-Carlo runs where only the
+    /// outcome matters). `len()` stays zero and appends are free.
+    pub fn disabled() -> Self {
+        Trace {
+            records: std::collections::VecDeque::new(),
+            capacity: None,
+            dropped: 0,
+            enabled: false,
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event at time `at`.
+    pub fn record(&mut self, at: SimTime, event: E) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if self.records.len() == cap {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.records.push_back(TraceRecord { at, event });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records were evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates records in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord<E>> {
+        self.records.iter()
+    }
+
+    /// Consumes the trace, returning records in chronological order.
+    pub fn into_vec(self) -> Vec<TraceRecord<E>> {
+        self.records.into_iter().collect()
+    }
+
+    /// Removes all records (the drop counter is retained).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Finds the first record matching `pred`, in chronological order.
+    pub fn find<P: FnMut(&TraceRecord<E>) -> bool>(
+        &self,
+        mut pred: P,
+    ) -> Option<&TraceRecord<E>> {
+        self.records.iter().find(|r| pred(r))
+    }
+}
+
+impl<'a, E> IntoIterator for &'a Trace<E> {
+    type Item = &'a TraceRecord<E>;
+    type IntoIter = std::collections::vec_deque::Iter<'a, TraceRecord<E>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::unbounded();
+        tr.record(t(1), 'a');
+        tr.record(t(2), 'b');
+        let events: Vec<char> = tr.iter().map(|r| r.event).collect();
+        assert_eq!(events, vec!['a', 'b']);
+    }
+
+    #[test]
+    fn bounded_evicts_oldest() {
+        let mut tr = Trace::bounded(2);
+        tr.record(t(1), 1);
+        tr.record(t(2), 2);
+        tr.record(t(3), 3);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 1);
+        let kept: Vec<i32> = tr.iter().map(|r| r.event).collect();
+        assert_eq!(kept, vec![2, 3]);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut tr = Trace::disabled();
+        tr.record(t(1), "x");
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn find_first_match() {
+        let mut tr = Trace::unbounded();
+        tr.record(t(1), 10);
+        tr.record(t(2), 20);
+        tr.record(t(3), 20);
+        let found = tr.find(|r| r.event == 20).unwrap();
+        assert_eq!(found.at, t(2));
+        assert!(tr.find(|r| r.event == 99).is_none());
+    }
+
+    #[test]
+    fn into_vec_preserves_order() {
+        let mut tr = Trace::unbounded();
+        for i in 0..5 {
+            tr.record(t(i), i);
+        }
+        let v = tr.into_vec();
+        assert_eq!(v.len(), 5);
+        assert!(v.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::<u8>::bounded(0);
+    }
+
+    #[test]
+    fn clear_retains_drop_count() {
+        let mut tr = Trace::bounded(1);
+        tr.record(t(1), 1);
+        tr.record(t(2), 2);
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 1);
+    }
+}

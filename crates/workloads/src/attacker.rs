@@ -1,0 +1,643 @@
+//! The attacker programs.
+//!
+//! Three implementations from the paper:
+//!
+//! * [`AttackerV1`] — Figures 2 and 4: spin on `stat(target)`; when the file
+//!   turns up root-owned, `unlink` it and `symlink` the privileged file in
+//!   its place. Its first `unlink` through a cold libc page costs a
+//!   page-fault trap (Section 6.2.1).
+//! * [`AttackerV2`] — Figure 9: call `unlink`/`symlink` on **every**
+//!   iteration (on a dummy name when the window is closed), so the wrapper
+//!   pages are warm before the window opens; only the file name is switched
+//!   when the window appears (Section 6.2.2).
+//! * [`PipelinedDetector`]/[`PipelinedLinker`] — Section 7: split detection+`unlink` and
+//!   `symlink` across two threads on different CPUs; `symlink` overlaps the
+//!   truncation tail of `unlink`.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use tocttou_os::process::{Action, LogicCtx, ProcessLogic, SyscallRequest, SyscallResult};
+use tocttou_sim::dist::sample_standard_normal;
+use tocttou_sim::rng::SimRng;
+use tocttou_sim::time::SimDuration;
+
+/// Shared attacker timing/path parameters.
+///
+/// Durations are machine-absolute microsecond values, calibrated per
+/// scenario from the paper's measured D values (Table 1: vi SMP D ≈ 41 µs;
+/// Table 2: gedit SMP D ≈ 33 µs; Section 6.2: multi-core D ≈ 22 µs).
+#[derive(Debug, Clone)]
+pub struct AttackerConfig {
+    /// The victim's file to watch and replace.
+    pub target: String,
+    /// The privileged file to redirect the victim's `chown` to.
+    pub privileged: String,
+    /// The dummy path (in the attacker's own directory) that v2 unlinks and
+    /// symlinks while the window is closed.
+    pub dummy: String,
+    /// User-space computation from a non-detecting `stat` return to the next
+    /// `stat` (loop bookkeeping).
+    pub loop_gap: SimDuration,
+    /// User-space computation from a detecting `stat` return to the `unlink`
+    /// call (the ownership check and variable shuffling).
+    pub check_gap: SimDuration,
+    /// Initial delay before the first iteration (stagger at round start).
+    pub start_delay: SimDuration,
+    /// Gaussian jitter (stdev, µs) applied to each sampled gap — real user
+    /// loops are not cycle-exact.
+    pub jitter_us: f64,
+}
+
+impl AttackerConfig {
+    fn sample_gap(&self, base: SimDuration, rng: &mut SimRng) -> SimDuration {
+        if self.jitter_us <= 0.0 {
+            return base;
+        }
+        let jittered = base.as_micros_f64() + self.jitter_us * sample_standard_normal(rng);
+        SimDuration::from_micros_f64(jittered)
+    }
+}
+
+impl AttackerConfig {
+    /// Parameters matching the vi SMP attacks of Table 1 (detection period
+    /// D ≈ 41 µs at SMP speed).
+    pub fn vi_smp(target: impl Into<String>, privileged: impl Into<String>) -> Self {
+        AttackerConfig {
+            target: target.into(),
+            privileged: privileged.into(),
+            dummy: "/home/user/.attack/dummy".into(),
+            loop_gap: SimDuration::from_micros(33),
+            check_gap: SimDuration::from_micros(2),
+            start_delay: SimDuration::from_micros(1),
+            jitter_us: 1.0,
+        }
+    }
+
+    /// Parameters matching the gedit SMP attacks of Table 2 (D ≈ 33 µs).
+    pub fn gedit_smp(target: impl Into<String>, privileged: impl Into<String>) -> Self {
+        AttackerConfig {
+            target: target.into(),
+            privileged: privileged.into(),
+            dummy: "/home/user/.attack/dummy".into(),
+            loop_gap: SimDuration::from_micros(25),
+            check_gap: SimDuration::from_micros(12),
+            start_delay: SimDuration::from_micros(1),
+            jitter_us: 1.0,
+        }
+    }
+
+    /// Parameters matching the multi-core attacks of Section 6.2 (the 11 µs
+    /// check of Figure 8 for v1; v2 uses [`Self::gedit_multicore_v2`]).
+    pub fn gedit_multicore_v1(target: impl Into<String>, privileged: impl Into<String>) -> Self {
+        AttackerConfig {
+            target: target.into(),
+            privileged: privileged.into(),
+            dummy: "/home/user/.attack/dummy".into(),
+            loop_gap: SimDuration::from_micros(12),
+            check_gap: SimDuration::from_micros(11),
+            start_delay: SimDuration::from_micros(1),
+            jitter_us: 1.0,
+        }
+    }
+
+    /// Parameters for the improved program of Figure 9 on the multi-core
+    /// (2 µs stat→unlink gap — Figure 10).
+    pub fn gedit_multicore_v2(target: impl Into<String>, privileged: impl Into<String>) -> Self {
+        AttackerConfig {
+            target: target.into(),
+            privileged: privileged.into(),
+            dummy: "/home/user/.attack/dummy".into(),
+            loop_gap: SimDuration::from_micros(2),
+            check_gap: SimDuration::from_nanos(1_500),
+            start_delay: SimDuration::from_micros(1),
+            jitter_us: 1.0,
+        }
+    }
+}
+
+fn detected(last: Option<&SyscallResult>) -> bool {
+    last.and_then(|r| r.stat())
+        .is_some_and(|st| st.uid.0 == 0 && st.gid.0 == 0 && !st.is_symlink)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V1State {
+    Start,
+    Stat,
+    Decide,
+    Unlink,
+    Symlink,
+    Done,
+}
+
+/// The attacker of Figures 2/4: detect, then `unlink` + `symlink`.
+///
+/// Spawn it with `pretouch_libc = false` to reproduce the paper's page-fault
+/// behaviour (the first `unlink` traps inside the window).
+#[derive(Debug)]
+pub struct AttackerV1 {
+    cfg: AttackerConfig,
+    state: V1State,
+    rng: SimRng,
+}
+
+impl AttackerV1 {
+    /// Creates the attacker; `seed` drives its loop-timing jitter.
+    pub fn new(cfg: AttackerConfig, seed: u64) -> Self {
+        AttackerV1 {
+            cfg,
+            state: V1State::Start,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ProcessLogic for AttackerV1 {
+    fn next_action(&mut self, _ctx: &LogicCtx, last: Option<&SyscallResult>) -> Action {
+        match self.state {
+            V1State::Start => {
+                self.state = V1State::Stat;
+                Action::Compute(self.cfg.start_delay)
+            }
+            V1State::Stat => {
+                self.state = V1State::Decide;
+                Action::Syscall(SyscallRequest::Stat {
+                    path: self.cfg.target.clone(),
+                })
+            }
+            V1State::Decide => {
+                if detected(last) {
+                    self.state = V1State::Unlink;
+                    Action::Compute(self.cfg.sample_gap(self.cfg.check_gap, &mut self.rng))
+                } else {
+                    self.state = V1State::Stat;
+                    Action::Compute(self.cfg.sample_gap(self.cfg.loop_gap, &mut self.rng))
+                }
+            }
+            V1State::Unlink => {
+                self.state = V1State::Symlink;
+                Action::Syscall(SyscallRequest::Unlink {
+                    path: self.cfg.target.clone(),
+                })
+            }
+            V1State::Symlink => {
+                self.state = V1State::Done;
+                Action::Syscall(SyscallRequest::Symlink {
+                    target: self.cfg.privileged.clone(),
+                    linkpath: self.cfg.target.clone(),
+                })
+            }
+            V1State::Done => Action::Exit,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V2State {
+    Start,
+    Stat,
+    Decide,
+    Unlink,
+    Symlink,
+    AfterSymlink,
+}
+
+/// The improved attacker of Figure 9: `unlink`/`symlink` run every
+/// iteration (against `dummy` while the window is closed), so the libc
+/// wrapper pages are warm when the window opens and only the file name is
+/// switched.
+#[derive(Debug)]
+pub struct AttackerV2 {
+    cfg: AttackerConfig,
+    state: V2State,
+    fname_is_target: bool,
+    rng: SimRng,
+}
+
+impl AttackerV2 {
+    /// Creates the attacker; `seed` drives its loop-timing jitter.
+    pub fn new(cfg: AttackerConfig, seed: u64) -> Self {
+        AttackerV2 {
+            cfg,
+            state: V2State::Start,
+            fname_is_target: false,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    fn fname(&self) -> String {
+        if self.fname_is_target {
+            self.cfg.target.clone()
+        } else {
+            self.cfg.dummy.clone()
+        }
+    }
+}
+
+impl ProcessLogic for AttackerV2 {
+    fn next_action(&mut self, _ctx: &LogicCtx, last: Option<&SyscallResult>) -> Action {
+        match self.state {
+            V2State::Start => {
+                self.state = V2State::Stat;
+                Action::Compute(self.cfg.start_delay)
+            }
+            V2State::Stat => {
+                self.state = V2State::Decide;
+                Action::Syscall(SyscallRequest::Stat {
+                    path: self.cfg.target.clone(),
+                })
+            }
+            V2State::Decide => {
+                self.fname_is_target = detected(last);
+                self.state = V2State::Unlink;
+                Action::Compute(self.cfg.sample_gap(self.cfg.check_gap, &mut self.rng))
+            }
+            V2State::Unlink => {
+                self.state = V2State::Symlink;
+                Action::Syscall(SyscallRequest::Unlink { path: self.fname() })
+            }
+            V2State::Symlink => {
+                self.state = V2State::AfterSymlink;
+                Action::Syscall(SyscallRequest::Symlink {
+                    target: self.cfg.privileged.clone(),
+                    linkpath: self.fname(),
+                })
+            }
+            V2State::AfterSymlink => {
+                if self.fname_is_target {
+                    Action::Exit
+                } else {
+                    self.state = V2State::Stat;
+                    Action::Compute(self.cfg.sample_gap(self.cfg.loop_gap, &mut self.rng))
+                }
+            }
+        }
+    }
+}
+
+/// Shared flag between the two threads of the pipelined attacker.
+pub type AttackFlag = Rc<Cell<bool>>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DetectState {
+    Start,
+    Stat,
+    Decide,
+    Unlink,
+    Done,
+}
+
+/// Thread 1 of the Section 7 pipelined attacker: detection + `unlink`.
+///
+/// On detection it raises the shared [`AttackFlag`] *before* calling
+/// `unlink`, so the symlink thread can enter the kernel concurrently.
+pub struct PipelinedDetector {
+    cfg: AttackerConfig,
+    flag: AttackFlag,
+    state: DetectState,
+    rng: SimRng,
+}
+
+impl PipelinedDetector {
+    /// Creates thread 1 with its shared flag; `seed` drives loop jitter.
+    pub fn new(cfg: AttackerConfig, flag: AttackFlag, seed: u64) -> Self {
+        PipelinedDetector {
+            cfg,
+            flag,
+            state: DetectState::Start,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ProcessLogic for PipelinedDetector {
+    fn next_action(&mut self, _ctx: &LogicCtx, last: Option<&SyscallResult>) -> Action {
+        match self.state {
+            DetectState::Start => {
+                self.state = DetectState::Stat;
+                Action::Compute(self.cfg.start_delay)
+            }
+            DetectState::Stat => {
+                self.state = DetectState::Decide;
+                Action::Syscall(SyscallRequest::Stat {
+                    path: self.cfg.target.clone(),
+                })
+            }
+            DetectState::Decide => {
+                if detected(last) {
+                    self.flag.set(true);
+                    self.state = DetectState::Unlink;
+                    Action::Compute(self.cfg.sample_gap(self.cfg.check_gap, &mut self.rng))
+                } else {
+                    self.state = DetectState::Stat;
+                    Action::Compute(self.cfg.sample_gap(self.cfg.loop_gap, &mut self.rng))
+                }
+            }
+            DetectState::Unlink => {
+                self.state = DetectState::Done;
+                Action::Syscall(SyscallRequest::Unlink {
+                    path: self.cfg.target.clone(),
+                })
+            }
+            DetectState::Done => Action::Exit,
+        }
+    }
+}
+
+/// Thread 2 of the pipelined attacker: polls the flag and fires `symlink`.
+///
+/// If the symlink races ahead of the unlink's detach (the name still
+/// exists), the `EEXIST` failure is absorbed and the call retried — the
+/// second attempt queues behind the unlink on the directory semaphore and
+/// lands immediately after the detach, overlapping the truncation tail.
+pub struct PipelinedLinker {
+    cfg: AttackerConfig,
+    flag: AttackFlag,
+    poll_gap: SimDuration,
+    fired: bool,
+}
+
+impl PipelinedLinker {
+    /// Creates thread 2 with the shared flag and its polling period.
+    pub fn new(cfg: AttackerConfig, flag: AttackFlag, poll_gap: SimDuration) -> Self {
+        PipelinedLinker {
+            cfg,
+            flag,
+            poll_gap,
+            fired: false,
+        }
+    }
+}
+
+impl ProcessLogic for PipelinedLinker {
+    fn next_action(&mut self, _ctx: &LogicCtx, last: Option<&SyscallResult>) -> Action {
+        if self.fired {
+            let succeeded = last.is_some_and(|r| r.is_ok());
+            if succeeded {
+                return Action::Exit;
+            }
+            // Raced ahead of the detach (EEXIST) — retry shortly.
+            self.fired = false;
+            return Action::Compute(self.poll_gap);
+        }
+        if self.flag.get() {
+            self.fired = true;
+            Action::Syscall(SyscallRequest::Symlink {
+                target: self.cfg.privileged.clone(),
+                linkpath: self.cfg.target.clone(),
+            })
+        } else {
+            Action::Compute(self.poll_gap)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tocttou_os::ids::{Gid, Uid};
+    use tocttou_os::machine::MachineSpec;
+    use tocttou_os::prelude::*;
+    use tocttou_sim::time::SimTime;
+
+    fn setup() -> Kernel {
+        let mut k = Kernel::new(MachineSpec::multicore_pentium_d().quiet(), 11);
+        let root = InodeMeta {
+            uid: Uid::ROOT,
+            gid: Gid::ROOT,
+            mode: 0o755,
+        };
+        let user = InodeMeta {
+            uid: Uid(1000),
+            gid: Gid(1000),
+            mode: 0o755,
+        };
+        k.vfs_mut().mkdir("/etc", root).unwrap();
+        k.vfs_mut().create_file("/etc/passwd", root).unwrap();
+        k.vfs_mut().mkdir("/home", root).unwrap();
+        k.vfs_mut().mkdir("/home/user", user).unwrap();
+        k.vfs_mut().mkdir("/home/user/.attack", user).unwrap();
+        k
+    }
+
+    fn cfg() -> AttackerConfig {
+        AttackerConfig::vi_smp("/home/user/doc", "/etc/passwd")
+    }
+
+    #[test]
+    fn v1_attacks_an_open_window_immediately() {
+        let mut k = setup();
+        // The window is already open: the target exists and is root-owned.
+        k.vfs_mut()
+            .create_file(
+                "/home/user/doc",
+                InodeMeta {
+                    uid: Uid::ROOT,
+                    gid: Gid::ROOT,
+                    mode: 0o644,
+                },
+            )
+            .unwrap();
+        let pid = k.spawn(
+            "attacker",
+            Uid(1000),
+            Gid(1000),
+            false,
+            Box::new(AttackerV1::new(cfg(), 1)),
+        );
+        k.run_until_exit(pid, SimTime::from_millis(10));
+        let l = k.vfs().lstat("/home/user/doc").unwrap();
+        assert!(l.is_symlink, "target replaced by symlink");
+        assert_eq!(k.vfs().readlink("/home/user/doc").unwrap(), "/etc/passwd");
+        // Exactly one trap: the cold unlink/symlink page.
+        let traps = k
+            .trace()
+            .iter()
+            .filter(|r| matches!(r.event, OsEvent::Trap { .. }))
+            .count();
+        assert!(traps >= 1, "cold attacker trapped");
+    }
+
+    #[test]
+    fn v1_spins_while_window_closed() {
+        let mut k = setup();
+        // Target owned by the user: no window.
+        k.vfs_mut()
+            .create_file(
+                "/home/user/doc",
+                InodeMeta {
+                    uid: Uid(1000),
+                    gid: Gid(1000),
+                    mode: 0o644,
+                },
+            )
+            .unwrap();
+        let pid = k.spawn(
+            "attacker",
+            Uid(1000),
+            Gid(1000),
+            false,
+            Box::new(AttackerV1::new(cfg(), 1)),
+        );
+        let outcome = k.run_until_exit(pid, SimTime::from_millis(5));
+        assert_eq!(outcome, RunOutcome::TimedOut, "spins forever");
+        assert!(!k.vfs().lstat("/home/user/doc").unwrap().is_symlink);
+        // Many stats were issued.
+        let stats = k
+            .trace()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    OsEvent::SyscallEnter {
+                        call: SyscallName::Stat,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(stats > 50, "spinning: {stats} stats");
+    }
+
+    #[test]
+    fn v1_does_not_attack_an_existing_symlink() {
+        // After a successful attack the target is a root-owned... no — a
+        // user-owned symlink; but even a root-owned symlink (lstat view)
+        // must not retrigger: the check is uid==0 on the *followed* target
+        // only when it is a regular file.
+        let mut k = setup();
+        k.vfs_mut()
+            .symlink("/etc/passwd", "/home/user/doc", (Uid(1000), Gid(1000)))
+            .unwrap();
+        let pid = k.spawn(
+            "attacker",
+            Uid(1000),
+            Gid(1000),
+            false,
+            Box::new(AttackerV1::new(cfg(), 1)),
+        );
+        // stat follows the symlink to root-owned /etc/passwd; the paper's
+        // program would fire here (stat doesn't see symlinks) — and so does
+        // ours, faithfully. It unlinks the symlink and re-links it.
+        k.run_until_exit(pid, SimTime::from_millis(5));
+        assert_eq!(k.vfs().stat("/etc/passwd").unwrap().uid, Uid::ROOT);
+    }
+
+    #[test]
+    fn v2_prewarms_on_dummy_and_switches_to_target() {
+        let mut k = setup();
+        k.vfs_mut()
+            .create_file(
+                "/home/user/doc",
+                InodeMeta {
+                    uid: Uid(1000),
+                    gid: Gid(1000),
+                    mode: 0o644,
+                },
+            )
+            .unwrap();
+        let mut c = AttackerConfig::gedit_multicore_v2("/home/user/doc", "/etc/passwd");
+        c.dummy = "/home/user/.attack/dummy".into();
+        let pid = k.spawn(
+            "attacker2",
+            Uid(1000),
+            Gid(1000),
+            false,
+            Box::new(AttackerV2::new(c, 2)),
+        );
+        // Let it idle-loop a while: dummy gets symlinked/unlinked repeatedly.
+        k.run_until(|k| k.now() >= SimTime::from_micros(500), SimTime::from_secs(1));
+        let dummy_ops = k
+            .trace()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    &r.event,
+                    OsEvent::SyscallEnter {
+                        call: SyscallName::Unlink | SyscallName::Symlink,
+                        path: Some(p),
+                        ..
+                    } if p.contains("dummy")
+                )
+            })
+            .count();
+        assert!(dummy_ops >= 4, "dummy churn: {dummy_ops}");
+
+        // Now open the window: chown the target to root.
+        k.vfs_mut().chown("/home/user/doc", Uid::ROOT, Gid::ROOT).unwrap();
+        k.run_until_exit(pid, SimTime::from_millis(10));
+        assert!(k.vfs().lstat("/home/user/doc").unwrap().is_symlink);
+        // All traps happened on the dummy path, before the attack: the
+        // attack-path unlink was warm. Verify no trap occurs after the
+        // window opened.
+        let window_open_at = k
+            .trace()
+            .iter()
+            .filter(|r| matches!(r.event, OsEvent::Trap { .. }))
+            .map(|r| r.at)
+            .max();
+        assert!(
+            window_open_at.is_none_or(|t| t < SimTime::from_micros(500)),
+            "no trap inside the window"
+        );
+    }
+
+    #[test]
+    fn pipelined_symlink_overlaps_unlink_truncation() {
+        let mut k = setup();
+        // A large root-owned target: unlink's truncation tail is long.
+        let ino = k
+            .vfs_mut()
+            .create_file(
+                "/home/user/doc",
+                InodeMeta {
+                    uid: Uid::ROOT,
+                    gid: Gid::ROOT,
+                    mode: 0o644,
+                },
+            )
+            .unwrap();
+        k.vfs_mut().append(ino, 500 * 1024).unwrap();
+
+        let flag: AttackFlag = Rc::new(Cell::new(false));
+        let c = cfg();
+        let t1 = k.spawn(
+            "detector",
+            Uid(1000),
+            Gid(1000),
+            true,
+            Box::new(PipelinedDetector::new(c.clone(), flag.clone(), 3)),
+        );
+        let t2 = k.spawn(
+            "linker",
+            Uid(1000),
+            Gid(1000),
+            true,
+            Box::new(PipelinedLinker::new(c, flag, SimDuration::from_micros(1))),
+        );
+        k.run_until_all_exit(&[t1, t2], SimTime::from_millis(50));
+
+        // Extract event times: symlink must COMMIT before unlink EXITS.
+        let mut symlink_commit = None;
+        let mut unlink_exit = None;
+        for r in k.trace().iter() {
+            match &r.event {
+                OsEvent::Commit {
+                    call: SyscallName::Symlink,
+                    ..
+                } => symlink_commit = Some(r.at),
+                OsEvent::SyscallExit {
+                    call: SyscallName::Unlink,
+                    ..
+                } => unlink_exit = Some(r.at),
+                _ => {}
+            }
+        }
+        let (sc, ue) = (symlink_commit.unwrap(), unlink_exit.unwrap());
+        assert!(
+            sc < ue,
+            "pipelined symlink ({sc}) finished before unlink returned ({ue})"
+        );
+        assert!(k.vfs().lstat("/home/user/doc").unwrap().is_symlink);
+    }
+}

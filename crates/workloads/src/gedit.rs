@@ -1,0 +1,373 @@
+//! The gedit 2.8.3 save sequence (paper Figure 3 and Section 2.2).
+//!
+//! When gedit (running as root) saves a file owned by a normal user it:
+//!
+//! 1. writes the buffer to a temporary scratch file (created by root);
+//! 2. backs up the original (rename to `backup`);
+//! 3. `rename`s the scratch file onto the original name;
+//! 4. `chmod`s the file back to the original mode;
+//! 5. `chown`s it back to the original user.
+//!
+//! The `<rename, chown>` window (steps 3–5) does **not** contain the file
+//! write, so it is tens of microseconds long regardless of file size —
+//! unattackable on a uniprocessor (Section 4.2), yet up to 83 % attackable
+//! on the SMP (Section 6.1). The decisive parameter is the computation gap
+//! between `rename` and `chmod`: 43 µs on the SMP testbed, 3 µs on the
+//! multi-core (Section 6.2.1).
+
+use tocttou_os::ids::{Fd, Gid, Uid};
+use tocttou_os::process::{Action, LogicCtx, ProcessLogic, SyscallRequest, SyscallResult};
+use tocttou_sim::dist::DurationDist;
+use tocttou_sim::rng::SimRng;
+use tocttou_sim::time::SimDuration;
+
+/// Configuration for a [`GeditSave`] victim.
+#[derive(Debug, Clone)]
+pub struct GeditConfig {
+    /// The document being saved (the paper's `real_filename`).
+    pub real: String,
+    /// The scratch file (the paper's `temp_filename`).
+    pub temp: String,
+    /// The backup name for the original.
+    pub backup: String,
+    /// Size of the buffer written, in bytes.
+    pub file_size: u64,
+    /// Write-loop granularity in bytes.
+    pub chunk: u64,
+    /// The original owner, restored by the final chown.
+    pub owner: (Uid, Gid),
+    /// Original mode, restored by chmod.
+    pub mode: u32,
+    /// "Editing" time before the save starts.
+    pub prologue: DurationDist,
+    /// User-space computation between rename and chmod — the paper's key
+    /// machine-dependent gap (43 µs SMP, 3 µs multi-core).
+    pub rename_chmod_gap: SimDuration,
+    /// Computation between chmod and chown.
+    pub chmod_chown_gap: SimDuration,
+    /// Computation between the other save syscalls.
+    pub inter_call_gap: SimDuration,
+    /// Gaussian jitter (stdev, µs) applied to each gap sample.
+    pub gap_jitter_us: f64,
+}
+
+impl GeditConfig {
+    /// A configuration with SMP-calibrated defaults (43 µs rename→chmod gap).
+    pub fn new(
+        real: impl Into<String>,
+        temp: impl Into<String>,
+        backup: impl Into<String>,
+        file_size: u64,
+    ) -> Self {
+        GeditConfig {
+            real: real.into(),
+            temp: temp.into(),
+            backup: backup.into(),
+            file_size,
+            chunk: 64 * 1024,
+            owner: (Uid(1000), Gid(1000)),
+            mode: 0o644,
+            prologue: DurationDist::uniform_us(0.0, 200.0),
+            rename_chmod_gap: SimDuration::from_micros(43),
+            chmod_chown_gap: SimDuration::from_micros(1),
+            inter_call_gap: SimDuration::from_micros(10),
+            gap_jitter_us: 1.0,
+        }
+    }
+
+    /// Switches to the multi-core timing (3 µs rename→chmod gap).
+    pub fn with_multicore_gaps(mut self) -> Self {
+        self.rename_chmod_gap = SimDuration::from_micros(3);
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GeditState {
+    Prologue,
+    CreateTemp,
+    Write,
+    GapBeforeClose,
+    Close,
+    GapBeforeBackup,
+    BackupOriginal,
+    GapBeforeRename,
+    RenameIntoPlace,
+    GapBeforeChmod,
+    Chmod,
+    GapBeforeChown,
+    Chown,
+    Done,
+}
+
+/// The gedit save-sequence victim program.
+#[derive(Debug)]
+pub struct GeditSave {
+    cfg: GeditConfig,
+    state: GeditState,
+    written: u64,
+    fd: Option<Fd>,
+    rng: SimRng,
+}
+
+impl GeditSave {
+    /// Creates the victim; `seed` randomizes the editing prologue and gap
+    /// jitter.
+    pub fn new(cfg: GeditConfig, seed: u64) -> Self {
+        GeditSave {
+            cfg,
+            state: GeditState::Prologue,
+            written: 0,
+            fd: None,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    fn gap(&mut self, base: SimDuration) -> SimDuration {
+        if self.cfg.gap_jitter_us <= 0.0 {
+            return base;
+        }
+        let jittered = base.as_micros_f64()
+            + self.cfg.gap_jitter_us * tocttou_sim::dist::sample_standard_normal(&mut self.rng);
+        SimDuration::from_micros_f64(jittered)
+    }
+}
+
+impl ProcessLogic for GeditSave {
+    #[allow(clippy::only_used_in_recursion)]
+    fn next_action(&mut self, ctx: &LogicCtx, last: Option<&SyscallResult>) -> Action {
+        match self.state {
+            GeditState::Prologue => {
+                self.state = GeditState::CreateTemp;
+                Action::Compute(self.cfg.prologue.sample(&mut self.rng))
+            }
+            GeditState::CreateTemp => {
+                self.state = GeditState::Write;
+                Action::Syscall(SyscallRequest::OpenCreate {
+                    path: self.cfg.temp.clone(),
+                })
+            }
+            GeditState::Write => {
+                if self.fd.is_none() {
+                    self.fd = last.and_then(|r| r.fd());
+                    debug_assert!(self.fd.is_some(), "creat must return an fd");
+                }
+                if self.written >= self.cfg.file_size {
+                    self.state = GeditState::GapBeforeClose;
+                    return self.next_action(ctx, None);
+                }
+                let remaining = self.cfg.file_size - self.written;
+                let bytes = remaining.min(self.cfg.chunk.max(1));
+                self.written += bytes;
+                Action::Syscall(SyscallRequest::Write {
+                    fd: self.fd.expect("fd present while writing"),
+                    bytes,
+                })
+            }
+            GeditState::GapBeforeClose => {
+                self.state = GeditState::Close;
+                let g = self.gap(self.cfg.inter_call_gap);
+                Action::Compute(g)
+            }
+            GeditState::Close => {
+                self.state = GeditState::GapBeforeBackup;
+                Action::Syscall(SyscallRequest::Close {
+                    fd: self.fd.expect("fd open"),
+                })
+            }
+            GeditState::GapBeforeBackup => {
+                self.state = GeditState::BackupOriginal;
+                let g = self.gap(self.cfg.inter_call_gap);
+                Action::Compute(g)
+            }
+            GeditState::BackupOriginal => {
+                self.state = GeditState::GapBeforeRename;
+                Action::Syscall(SyscallRequest::Rename {
+                    from: self.cfg.real.clone(),
+                    to: self.cfg.backup.clone(),
+                })
+            }
+            GeditState::GapBeforeRename => {
+                self.state = GeditState::RenameIntoPlace;
+                let g = self.gap(self.cfg.inter_call_gap);
+                Action::Compute(g)
+            }
+            GeditState::RenameIntoPlace => {
+                self.state = GeditState::GapBeforeChmod;
+                Action::Syscall(SyscallRequest::Rename {
+                    from: self.cfg.temp.clone(),
+                    to: self.cfg.real.clone(),
+                })
+            }
+            GeditState::GapBeforeChmod => {
+                self.state = GeditState::Chmod;
+                let g = self.gap(self.cfg.rename_chmod_gap);
+                Action::Compute(g)
+            }
+            GeditState::Chmod => {
+                self.state = GeditState::GapBeforeChown;
+                Action::Syscall(SyscallRequest::Chmod {
+                    path: self.cfg.real.clone(),
+                    mode: self.cfg.mode,
+                })
+            }
+            GeditState::GapBeforeChown => {
+                self.state = GeditState::Chown;
+                let g = self.gap(self.cfg.chmod_chown_gap);
+                Action::Compute(g)
+            }
+            GeditState::Chown => {
+                self.state = GeditState::Done;
+                Action::Syscall(SyscallRequest::Chown {
+                    path: self.cfg.real.clone(),
+                    uid: self.cfg.owner.0,
+                    gid: self.cfg.owner.1,
+                })
+            }
+            GeditState::Done => Action::Exit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tocttou_os::machine::MachineSpec;
+    use tocttou_os::prelude::*;
+    use tocttou_sim::time::SimTime;
+
+    fn setup_kernel() -> Kernel {
+        let mut k = Kernel::new(MachineSpec::smp_xeon().quiet(), 1);
+        let root = InodeMeta {
+            uid: Uid::ROOT,
+            gid: Gid::ROOT,
+            mode: 0o755,
+        };
+        let user = InodeMeta {
+            uid: Uid(1000),
+            gid: Gid(1000),
+            mode: 0o644,
+        };
+        k.vfs_mut().mkdir("/home", root).unwrap();
+        k.vfs_mut().mkdir("/home/user", user).unwrap();
+        let ino = k.vfs_mut().create_file("/home/user/doc.txt", user).unwrap();
+        k.vfs_mut().append(ino, 2048).unwrap();
+        k
+    }
+
+    fn cfg(size: u64) -> GeditConfig {
+        GeditConfig::new(
+            "/home/user/doc.txt",
+            "/home/user/.goutputstream",
+            "/home/user/doc.txt~",
+            size,
+        )
+    }
+
+    #[test]
+    fn save_sequence_completes_with_correct_final_state() {
+        let mut k = setup_kernel();
+        let pid = k.spawn(
+            "gedit",
+            Uid::ROOT,
+            Gid::ROOT,
+            true,
+            Box::new(GeditSave::new(cfg(8192), 2)),
+        );
+        let outcome = k.run_until_exit(pid, SimTime::from_secs(2));
+        assert_eq!(outcome, RunOutcome::StopConditionMet);
+        let saved = k.vfs().stat("/home/user/doc.txt").unwrap();
+        assert_eq!(saved.size, 8192);
+        assert_eq!(saved.uid, Uid(1000));
+        assert_eq!(saved.mode, 0o644);
+        assert_eq!(k.vfs().stat("/home/user/doc.txt~").unwrap().size, 2048);
+        assert!(k.vfs().stat("/home/user/.goutputstream").is_err(), "temp consumed");
+        k.vfs().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn window_does_not_scale_with_file_size() {
+        // The defining contrast with vi: rename→chown window is independent
+        // of file size because the write happens *before* the window.
+        let window_of = |size: u64| {
+            let mut k = setup_kernel();
+            let mut c = cfg(size);
+            c.prologue = DurationDist::const_us(0.0);
+            let pid = k.spawn(
+                "gedit",
+                Uid::ROOT,
+                Gid::ROOT,
+                true,
+                Box::new(GeditSave::new(c, 4)),
+            );
+            k.run_until_exit(pid, SimTime::from_secs(5));
+            let mut rename_into_place = None;
+            let mut chown_enter = None;
+            for r in k.trace().iter() {
+                match &r.event {
+                    OsEvent::SyscallEnter {
+                        call: SyscallName::Rename,
+                        path: Some(p),
+                        ..
+                    } if p == "/home/user/doc.txt" => rename_into_place = Some(r.at),
+                    OsEvent::SyscallEnter {
+                        call: SyscallName::Chown,
+                        ..
+                    } => chown_enter = Some(r.at),
+                    _ => {}
+                }
+            }
+            (chown_enter.unwrap() - rename_into_place.unwrap()).as_micros_f64()
+        };
+        let w_small = window_of(1024);
+        let w_large = window_of(1024 * 1024);
+        assert!((w_small - w_large).abs() < 2.0, "{w_small} vs {w_large}");
+        // Rename 60 + gap 43 + chmod ~12 + gap 1 ≈ 120 µs at SMP speed.
+        assert!((100.0..160.0).contains(&w_small), "window {w_small}");
+    }
+
+    #[test]
+    fn multicore_gap_variant() {
+        let c = cfg(1024).with_multicore_gaps();
+        assert_eq!(c.rename_chmod_gap, SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn mid_window_file_is_root_owned() {
+        let mut k = setup_kernel();
+        let mut c = cfg(1024);
+        c.prologue = DurationDist::const_us(0.0);
+        // Freeze just after the rename commit: the doc belongs to root.
+        let pid = k.spawn(
+            "gedit",
+            Uid::ROOT,
+            Gid::ROOT,
+            true,
+            Box::new(GeditSave::new(c, 6)),
+        );
+        // The save performs two renames (backup, then temp→real); the window
+        // opens at the second rename's commit.
+        k.run_until(
+            |k| {
+                k.trace()
+                    .iter()
+                    .filter(|r| {
+                        matches!(
+                            &r.event,
+                            OsEvent::Commit {
+                                call: SyscallName::Rename,
+                                ..
+                            }
+                        )
+                    })
+                    .count()
+                    == 2
+            },
+            SimTime::from_secs(1),
+        );
+        let st = k.vfs().stat("/home/user/doc.txt").unwrap();
+        assert_eq!(st.uid, Uid::ROOT, "window open: root owns the document");
+        k.run_until_exit(pid, SimTime::from_secs(1));
+        assert_eq!(k.vfs().stat("/home/user/doc.txt").unwrap().uid, Uid(1000));
+    }
+}

@@ -1,0 +1,48 @@
+//! # tocttou-workloads — victims and attackers from the DSN'07 paper
+//!
+//! Faithful `ProcessLogic` transcriptions of the programs studied in
+//! *"Multiprocessors May Reduce System Dependability under File-Based Race
+//! Condition Attacks"* (Wei & Pu, DSN 2007):
+//!
+//! * [`vi::ViSave`] — the vi 6.1 save sequence with its `<open, chown>`
+//!   window (Figure 1);
+//! * [`gedit::GeditSave`] — the gedit 2.8.3 save sequence with its
+//!   `<rename, chown>` window (Figure 3);
+//! * [`attacker::AttackerV1`] — the basic detect-then-swap attacker
+//!   (Figures 2 and 4);
+//! * [`attacker::AttackerV2`] — the page-fault-free attacker (Figure 9);
+//! * [`attacker::PipelinedDetector`]/[`attacker::PipelinedLinker`] — the
+//!   two-thread pipelined attacker (Section 7);
+//! * [`scenario::Scenario`] — named machine+victim+attacker bundles for
+//!   every experiment in the paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use tocttou_workloads::scenario::Scenario;
+//!
+//! // One Monte-Carlo round of the Table 2 experiment (gedit on the SMP).
+//! let round = Scenario::gedit_smp(2048).run_round(7);
+//! assert!(round.victim_exited);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacker;
+pub mod gedit;
+pub mod generic;
+pub mod maze;
+pub mod rpm;
+pub mod scenario;
+pub mod sendmail;
+pub mod vi;
+
+pub use attacker::{AttackerConfig, AttackerV1, AttackerV2, PipelinedDetector, PipelinedLinker};
+pub use gedit::{GeditConfig, GeditSave};
+pub use generic::{GenericConfig, GenericVictim};
+pub use maze::{run_maze_round, vi_uniprocessor_maze, Maze};
+pub use rpm::{RpmConfig, RpmInstall};
+pub use sendmail::{SendmailConfig, SendmailDeliver};
+pub use scenario::{AttackerSpec, Layout, RoundHandles, RoundResult, Scenario, VictimSpec};
+pub use vi::{ViConfig, ViSave};

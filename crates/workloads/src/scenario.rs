@@ -1,0 +1,639 @@
+//! Named experiment scenarios: machine + victim + attacker + filesystem
+//! layout, matching the paper's evaluation sections.
+//!
+//! A [`Scenario`] is a *template*; each Monte-Carlo round instantiates a
+//! fresh kernel from it with a round-specific seed via [`Scenario::build`],
+//! runs it, and reads the outcome ([`Scenario::run_round`]).
+
+use crate::attacker::{
+    AttackFlag, AttackerConfig, AttackerV1, AttackerV2, PipelinedDetector, PipelinedLinker,
+};
+use crate::gedit::{GeditConfig, GeditSave};
+use crate::vi::{ViConfig, ViSave};
+use std::cell::Cell;
+use std::rc::Rc;
+use tocttou_os::ids::{Gid, Pid, Uid};
+use tocttou_os::kernel::Kernel;
+use tocttou_os::defense::DefensePolicy;
+use tocttou_os::machine::MachineSpec;
+use tocttou_os::vfs::InodeMeta;
+use tocttou_sim::dist::DurationDist;
+use tocttou_sim::rng::SimRng;
+use tocttou_sim::time::{SimDuration, SimTime};
+
+/// Canonical filesystem layout for the attack experiments.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// The privileged file the attacker wants (`/etc/passwd`).
+    pub passwd: String,
+    /// The user's home directory.
+    pub home: String,
+    /// The document the root editor saves.
+    pub doc: String,
+    /// The editor's backup name.
+    pub backup: String,
+    /// gedit's scratch file.
+    pub temp: String,
+    /// The attacker's private directory (for v2's dummy).
+    pub attack_dir: String,
+    /// v2's dummy path.
+    pub dummy: String,
+    /// The attacker's uid/gid.
+    pub attacker: (Uid, Gid),
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout {
+            passwd: "/etc/passwd".into(),
+            home: "/home/user".into(),
+            doc: "/home/user/doc.txt".into(),
+            backup: "/home/user/doc.txt~".into(),
+            temp: "/home/user/.goutputstream".into(),
+            attack_dir: "/home/user/.attack".into(),
+            dummy: "/home/user/.attack/dummy".into(),
+            attacker: (Uid(1000), Gid(1000)),
+        }
+    }
+}
+
+/// Which victim program a scenario runs.
+#[derive(Debug, Clone)]
+pub enum VictimSpec {
+    /// vi 6.1 (Section 2.1).
+    Vi(ViConfig),
+    /// gedit 2.8.3 (Section 2.2).
+    Gedit(GeditConfig),
+}
+
+/// Which attacker program a scenario runs.
+#[derive(Debug, Clone)]
+pub enum AttackerSpec {
+    /// Figure 2/4's program (cold libc pages: traps at first unlink).
+    V1(AttackerConfig),
+    /// Figure 9's pre-warming program.
+    V2(AttackerConfig),
+    /// Section 7's two-thread pipelined program.
+    Pipelined {
+        /// Shared timing/path parameters.
+        cfg: AttackerConfig,
+        /// Flag-polling period of the symlink thread.
+        poll_gap: SimDuration,
+    },
+}
+
+/// A complete, named experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name, used in reports.
+    pub name: String,
+    /// Machine profile.
+    pub machine: MachineSpec,
+    /// Victim program.
+    pub victim: VictimSpec,
+    /// Attacker program.
+    pub attacker: AttackerSpec,
+    /// Filesystem layout.
+    pub layout: Layout,
+    /// Wall-clock cap per round.
+    pub max_round: SimDuration,
+    /// Kernel TOCTTOU defense policy (default: off, like the paper's
+    /// kernels).
+    pub defense: DefensePolicy,
+}
+
+/// A built round, ready to run (or already run).
+pub struct RoundHandles {
+    /// The machine.
+    pub kernel: Kernel,
+    /// The victim's pid.
+    pub victim: Pid,
+    /// Attacker pids (two for the pipelined attacker).
+    pub attackers: Vec<Pid>,
+}
+
+/// The outcome of one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundResult {
+    /// True iff the privileged file ended up owned by the attacker — the
+    /// paper's success criterion.
+    pub success: bool,
+    /// Whether the victim completed its save within the round cap.
+    pub victim_exited: bool,
+    /// Simulated time consumed.
+    pub elapsed: SimDuration,
+}
+
+impl Scenario {
+    /// Instantiates a kernel for one round. `seed` drives every stochastic
+    /// element (background activity, victim prologue). Tracing is enabled
+    /// iff `traced`.
+    pub fn build(&self, seed: u64, traced: bool) -> RoundHandles {
+        self.build_with(seed, traced, |_| {})
+    }
+
+    /// Like [`Scenario::build`], with an extra filesystem-setup hook run
+    /// after the standard layout is populated (maze chains, pre-seeded
+    /// files, …).
+    pub fn build_with(
+        &self,
+        seed: u64,
+        traced: bool,
+        extra_fs: impl FnOnce(&mut Kernel),
+    ) -> RoundHandles {
+        let mut root_rng = SimRng::seed_from_u64(seed);
+        let mut kernel = Kernel::new(self.machine.clone(), root_rng.next_u64());
+        kernel.set_defense(self.defense);
+        if !traced {
+            kernel.disable_trace();
+        }
+        self.populate_base_fs(&mut kernel);
+        extra_fs(&mut kernel);
+        self.populate_doc(&mut kernel);
+
+        let victim_seed = root_rng.next_u64();
+        let victim = match &self.victim {
+            VictimSpec::Vi(cfg) => kernel.spawn(
+                "vi",
+                Uid::ROOT,
+                Gid::ROOT,
+                true, // long-running editor: libc fully mapped
+                Box::new(ViSave::new(cfg.clone(), victim_seed)),
+            ),
+            VictimSpec::Gedit(cfg) => kernel.spawn(
+                "gedit",
+                Uid::ROOT,
+                Gid::ROOT,
+                true,
+                Box::new(GeditSave::new(cfg.clone(), victim_seed)),
+            ),
+        };
+
+        let (auid, agid) = self.layout.attacker;
+        let attacker_seed = root_rng.next_u64();
+        let attackers = match &self.attacker {
+            AttackerSpec::V1(cfg) => vec![kernel.spawn(
+                "attacker-v1",
+                auid,
+                agid,
+                false, // freshly exec'ed: cold libc pages
+                Box::new(AttackerV1::new(cfg.clone(), attacker_seed)),
+            )],
+            AttackerSpec::V2(cfg) => vec![kernel.spawn(
+                "attacker-v2",
+                auid,
+                agid,
+                false,
+                Box::new(AttackerV2::new(cfg.clone(), attacker_seed)),
+            )],
+            AttackerSpec::Pipelined { cfg, poll_gap } => {
+                let flag: AttackFlag = Rc::new(Cell::new(false));
+                let t1 = kernel.spawn(
+                    "attacker-detect",
+                    auid,
+                    agid,
+                    true, // Section 7 builds on the warmed v2 insight
+                    Box::new(PipelinedDetector::new(cfg.clone(), flag.clone(), attacker_seed)),
+                );
+                let t2 = kernel.spawn(
+                    "attacker-link",
+                    auid,
+                    agid,
+                    true,
+                    Box::new(PipelinedLinker::new(cfg.clone(), flag, *poll_gap)),
+                );
+                vec![t1, t2]
+            }
+        };
+
+        RoundHandles {
+            kernel,
+            victim,
+            attackers,
+        }
+    }
+
+    fn populate_base_fs(&self, kernel: &mut Kernel) {
+        let root = InodeMeta {
+            uid: Uid::ROOT,
+            gid: Gid::ROOT,
+            mode: 0o755,
+        };
+        let (auid, agid) = self.layout.attacker;
+        let user = InodeMeta {
+            uid: auid,
+            gid: agid,
+            mode: 0o755,
+        };
+        let vfs = kernel.vfs_mut();
+        vfs.mkdir("/etc", root).expect("layout: /etc");
+        vfs.create_file(&self.layout.passwd, root).expect("layout: passwd");
+        vfs.mkdir("/home", root).expect("layout: /home");
+        vfs.mkdir(&self.layout.home, user).expect("layout: home");
+        vfs.mkdir(&self.layout.attack_dir, user).expect("layout: attack dir");
+    }
+
+    fn populate_doc(&self, kernel: &mut Kernel) {
+        let (auid, agid) = self.layout.attacker;
+        // The document exists and belongs to the attacker before the save.
+        let doc_meta = InodeMeta {
+            uid: auid,
+            gid: agid,
+            mode: 0o644,
+        };
+        let vfs = kernel.vfs_mut();
+        let ino = vfs.create_file(&self.layout.doc, doc_meta).expect("layout: doc");
+        let size = match &self.victim {
+            VictimSpec::Vi(c) => c.file_size,
+            VictimSpec::Gedit(c) => c.file_size,
+        };
+        vfs.append(ino, size).expect("layout: doc content");
+    }
+
+    /// Runs one untraced round and reports the outcome.
+    pub fn run_round(&self, seed: u64) -> RoundResult {
+        let mut handles = self.build(seed, false);
+        self.finish_round(&mut handles)
+    }
+
+    /// Runs one traced round; returns the outcome and the kernel (whose
+    /// trace backs event analysis and timelines).
+    pub fn run_traced(&self, seed: u64) -> (RoundResult, RoundHandles) {
+        let mut handles = self.build(seed, true);
+        let result = self.finish_round(&mut handles);
+        (result, handles)
+    }
+
+    /// Runs a built round to completion (victim exit plus a grace period
+    /// for in-flight attacker calls) and reads the outcome. Public so
+    /// custom-built rounds ([`Scenario::build_with`]) can reuse the
+    /// standard round protocol.
+    pub fn finish_round(&self, handles: &mut RoundHandles) -> RoundResult {
+        let deadline = SimTime::ZERO + self.max_round;
+        let outcome = handles.kernel.run_until_exit(handles.victim, deadline);
+        // Give the attacker a short grace period to finish in-flight calls
+        // (so traces contain complete timelines).
+        let victim_exited = outcome == tocttou_os::kernel::RunOutcome::StopConditionMet;
+        if victim_exited {
+            let grace = handles.kernel.now() + SimDuration::from_millis(2);
+            let attackers = handles.attackers.clone();
+            handles.kernel.run_until(
+                move |k| {
+                    attackers
+                        .iter()
+                        .all(|&p| k.state_of(p) == tocttou_os::process::ProcState::Exited)
+                },
+                grace.min(deadline),
+            );
+        }
+        let passwd = handles
+            .kernel
+            .vfs()
+            .stat(&self.layout.passwd)
+            .expect("passwd exists");
+        RoundResult {
+            success: passwd.uid == self.layout.attacker.0,
+            victim_exited,
+            elapsed: handles.kernel.now().saturating_since(SimTime::ZERO),
+        }
+    }
+
+    // ---- named paper scenarios -------------------------------------------
+
+    /// Section 4.1 / Figure 6: vi on the uniprocessor. The editing prologue
+    /// is uniform over a full time slice so the save starts at a random
+    /// slice phase.
+    pub fn vi_uniprocessor(file_size: u64) -> Scenario {
+        let layout = Layout::default();
+        let machine = MachineSpec::uniprocessor();
+        let mut vi = ViConfig::new(&layout.doc, &layout.backup, file_size);
+        vi.owner = layout.attacker;
+        vi.prologue = DurationDist::uniform_us(0.0, machine.timeslice.as_micros_f64());
+        let attacker = AttackerConfig::vi_smp(&layout.doc, &layout.passwd);
+        Scenario {
+            name: format!("vi-uniprocessor-{}B", file_size),
+            machine,
+            victim: VictimSpec::Vi(vi),
+            attacker: AttackerSpec::V1(attacker),
+            layout,
+            max_round: SimDuration::from_secs(2),
+            defense: DefensePolicy::Off,
+        }
+    }
+
+    /// Section 5 / Figure 7 / Table 1: vi on the 2-way SMP.
+    pub fn vi_smp(file_size: u64) -> Scenario {
+        let layout = Layout::default();
+        let mut vi = ViConfig::new(&layout.doc, &layout.backup, file_size);
+        vi.owner = layout.attacker;
+        let attacker = AttackerConfig::vi_smp(&layout.doc, &layout.passwd);
+        Scenario {
+            name: format!("vi-smp-{}B", file_size),
+            machine: MachineSpec::smp_xeon(),
+            victim: VictimSpec::Vi(vi),
+            attacker: AttackerSpec::V1(attacker),
+            layout,
+            max_round: SimDuration::from_secs(2),
+            defense: DefensePolicy::Off,
+        }
+    }
+
+    /// Section 4.2: gedit on the uniprocessor (the no-success baseline).
+    pub fn gedit_uniprocessor(file_size: u64) -> Scenario {
+        let layout = Layout::default();
+        let machine = MachineSpec::uniprocessor();
+        let mut gedit = GeditConfig::new(&layout.doc, &layout.temp, &layout.backup, file_size);
+        gedit.owner = layout.attacker;
+        gedit.prologue = DurationDist::uniform_us(0.0, machine.timeslice.as_micros_f64());
+        let mut attacker = AttackerConfig::gedit_smp(&layout.doc, &layout.passwd);
+        attacker.dummy = layout.dummy.clone();
+        Scenario {
+            name: format!("gedit-uniprocessor-{}B", file_size),
+            machine,
+            victim: VictimSpec::Gedit(gedit),
+            attacker: AttackerSpec::V1(attacker),
+            layout,
+            max_round: SimDuration::from_secs(2),
+            defense: DefensePolicy::Off,
+        }
+    }
+
+    /// Section 6.1 / Table 2: gedit on the 2-way SMP (43 µs rename→chmod
+    /// gap; observed success ≈ 83 %).
+    pub fn gedit_smp(file_size: u64) -> Scenario {
+        let layout = Layout::default();
+        let mut gedit = GeditConfig::new(&layout.doc, &layout.temp, &layout.backup, file_size);
+        gedit.owner = layout.attacker;
+        let mut attacker = AttackerConfig::gedit_smp(&layout.doc, &layout.passwd);
+        attacker.dummy = layout.dummy.clone();
+        Scenario {
+            name: format!("gedit-smp-{}B", file_size),
+            machine: MachineSpec::smp_xeon(),
+            victim: VictimSpec::Gedit(gedit),
+            attacker: AttackerSpec::V1(attacker),
+            layout,
+            max_round: SimDuration::from_secs(2),
+            defense: DefensePolicy::Off,
+        }
+    }
+
+    fn multicore_gedit_machine() -> MachineSpec {
+        let mut machine = MachineSpec::multicore_pentium_d();
+        // Section 6.2's event analyses (Figures 8 and 10) show a ~55 µs
+        // rename on this machine/filesystem, with the new name observable
+        // only late in the call (Figure 10's detecting stat starts 27 µs in
+        // and samples near the rename's end).
+        machine.costs.rename_us = 55.0;
+        machine.costs.rename_visible_frac = 0.88;
+        machine
+    }
+
+    /// Section 6.2.1 / Figure 8: gedit on the multi-core with attacker v1
+    /// (3 µs victim gap vs 17 µs attacker gap: near-certain failure).
+    pub fn gedit_multicore_v1(file_size: u64) -> Scenario {
+        let layout = Layout::default();
+        let mut gedit = GeditConfig::new(&layout.doc, &layout.temp, &layout.backup, file_size)
+            .with_multicore_gaps();
+        gedit.owner = layout.attacker;
+        let mut attacker = AttackerConfig::gedit_multicore_v1(&layout.doc, &layout.passwd);
+        attacker.dummy = layout.dummy.clone();
+        Scenario {
+            name: format!("gedit-multicore-v1-{}B", file_size),
+            machine: Self::multicore_gedit_machine(),
+            victim: VictimSpec::Gedit(gedit),
+            attacker: AttackerSpec::V1(attacker),
+            layout,
+            max_round: SimDuration::from_secs(2),
+            defense: DefensePolicy::Off,
+        }
+    }
+
+    /// Section 6.2.2 / Figures 9–10: gedit on the multi-core with the
+    /// improved attacker v2 ("we begin to see many successes").
+    pub fn gedit_multicore_v2(file_size: u64) -> Scenario {
+        let layout = Layout::default();
+        let mut gedit = GeditConfig::new(&layout.doc, &layout.temp, &layout.backup, file_size)
+            .with_multicore_gaps();
+        gedit.owner = layout.attacker;
+        let mut attacker = AttackerConfig::gedit_multicore_v2(&layout.doc, &layout.passwd);
+        attacker.dummy = layout.dummy.clone();
+        Scenario {
+            name: format!("gedit-multicore-v2-{}B", file_size),
+            machine: Self::multicore_gedit_machine(),
+            victim: VictimSpec::Gedit(gedit),
+            attacker: AttackerSpec::V2(attacker),
+            layout,
+            max_round: SimDuration::from_secs(2),
+            defense: DefensePolicy::Off,
+        }
+    }
+
+    /// Section 7 / Figure 11: the pipelined two-thread attacker against a
+    /// vi save of the given size on the multi-core (the long unlink
+    /// truncation tail is what the second thread overlaps).
+    pub fn pipelined_attack(file_size: u64) -> Scenario {
+        let layout = Layout::default();
+        let mut vi = ViConfig::new(&layout.doc, &layout.backup, file_size);
+        vi.owner = layout.attacker;
+        let attacker = AttackerConfig::vi_smp(&layout.doc, &layout.passwd);
+        Scenario {
+            name: format!("pipelined-{}B", file_size),
+            machine: MachineSpec::multicore_pentium_d(),
+            victim: VictimSpec::Vi(vi),
+            attacker: AttackerSpec::Pipelined {
+                cfg: attacker,
+                poll_gap: SimDuration::from_micros(1),
+            },
+            layout,
+            max_round: SimDuration::from_secs(2),
+            defense: DefensePolicy::Off,
+        }
+    }
+
+    /// Returns the scenario with the given kernel defense policy — the
+    /// Section 8 counterfactual ("what if the kernel guarded check-use
+    /// invariants?").
+    pub fn with_defense(mut self, policy: DefensePolicy) -> Scenario {
+        self.defense = policy;
+        if policy != DefensePolicy::Off {
+            self.name = format!("{}+edgi", self.name);
+        }
+        self
+    }
+
+    /// The same attack as [`Self::pipelined_attack`] but with the normal
+    /// sequential attacker, for the Figure 11 comparison.
+    pub fn sequential_attack(file_size: u64) -> Scenario {
+        let mut s = Self::pipelined_attack(file_size);
+        s.name = format!("sequential-{}B", file_size);
+        if let AttackerSpec::Pipelined { cfg, .. } = s.attacker {
+            s.attacker = AttackerSpec::V1(cfg);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_build_and_round_runs() {
+        for scenario in [
+            Scenario::vi_smp(20 * 1024),
+            Scenario::gedit_smp(2048),
+            Scenario::gedit_multicore_v1(2048),
+            Scenario::gedit_multicore_v2(2048),
+        ] {
+            let r = scenario.run_round(1);
+            assert!(r.victim_exited, "{}: victim must finish", scenario.name);
+            assert!(r.elapsed > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn vi_smp_succeeds_reliably() {
+        let scenario = Scenario::vi_smp(100 * 1024);
+        let successes = (0..20)
+            .filter(|&i| scenario.run_round(1000 + i).success)
+            .count();
+        assert!(successes >= 19, "vi SMP ~100%: got {successes}/20");
+    }
+
+    #[test]
+    fn vi_uniprocessor_rarely_succeeds_small_file() {
+        let scenario = Scenario::vi_uniprocessor(100 * 1024);
+        let successes = (0..30)
+            .filter(|&i| scenario.run_round(2000 + i).success)
+            .count();
+        // ~1.7 % expected; 30 rounds should see at most a couple.
+        assert!(successes <= 3, "uniprocessor vi ~2%: got {successes}/30");
+    }
+
+    #[test]
+    fn gedit_uniprocessor_never_succeeds() {
+        let scenario = Scenario::gedit_uniprocessor(2048);
+        let successes = (0..30)
+            .filter(|&i| scenario.run_round(3000 + i).success)
+            .count();
+        assert_eq!(successes, 0, "gedit uniprocessor must be 0%");
+    }
+
+    #[test]
+    fn gedit_smp_succeeds_often() {
+        let scenario = Scenario::gedit_smp(2048);
+        let successes = (0..40)
+            .filter(|&i| scenario.run_round(4000 + i).success)
+            .count();
+        // Paper: ~83 %. Accept a generous band for 40 rounds.
+        assert!(
+            (24..=40).contains(&successes),
+            "gedit SMP ~83%: got {successes}/40"
+        );
+    }
+
+    #[test]
+    fn gedit_multicore_v1_fails_v2_succeeds_sometimes() {
+        let v1 = Scenario::gedit_multicore_v1(2048);
+        let v1_successes = (0..30)
+            .filter(|&i| v1.run_round(5000 + i).success)
+            .count();
+        assert!(v1_successes <= 1, "v1 multicore ~0%: got {v1_successes}/30");
+
+        let v2 = Scenario::gedit_multicore_v2(2048);
+        let v2_successes = (0..30)
+            .filter(|&i| v2.run_round(6000 + i).success)
+            .count();
+        assert!(
+            v2_successes >= 4,
+            "v2 multicore 'many successes': got {v2_successes}/30"
+        );
+    }
+
+    #[test]
+    fn traced_round_produces_events() {
+        let (r, handles) = Scenario::gedit_smp(2048).run_traced(7);
+        assert!(r.victim_exited);
+        assert!(handles.kernel.trace().len() > 20);
+    }
+
+    #[test]
+    fn deterministic_rounds() {
+        let s = Scenario::gedit_smp(2048);
+        assert_eq!(s.run_round(42), s.run_round(42));
+        let v = Scenario::vi_smp(1);
+        assert_eq!(v.run_round(43), v.run_round(43));
+    }
+}
+
+#[cfg(test)]
+mod defense_tests {
+    use super::*;
+    use tocttou_os::defense::DefensePolicy;
+
+    #[test]
+    fn edgi_defense_stops_every_attack() {
+        // The Section 8 counterfactual: with check-use invariants guarded,
+        // none of the paper's attacks gives away the privileged file.
+        for scenario in [
+            Scenario::vi_smp(100 * 1024).with_defense(DefensePolicy::Edgi),
+            Scenario::vi_smp(1).with_defense(DefensePolicy::Edgi),
+            Scenario::gedit_smp(2048).with_defense(DefensePolicy::Edgi),
+            Scenario::gedit_multicore_v2(2048).with_defense(DefensePolicy::Edgi),
+        ] {
+            for seed in 0..15 {
+                let r = scenario.run_round(seed);
+                assert!(
+                    !r.success,
+                    "{} seed {seed}: defense must hold",
+                    scenario.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn defense_denies_instead_of_chowning() {
+        // When the attack would have landed, the victim's chown is denied
+        // (EACCES) and the denial is visible in the defense stats.
+        let scenario = Scenario::vi_smp(100 * 1024).with_defense(DefensePolicy::Edgi);
+        let mut denied = 0;
+        for seed in 0..10 {
+            let (r, handles) = scenario.run_traced(seed);
+            assert!(!r.success);
+            denied += handles.kernel.defense().denials();
+        }
+        assert!(denied >= 8, "most rounds should trip the guard: {denied}");
+    }
+
+    #[test]
+    fn defense_does_not_break_benign_saves() {
+        // Without an attacker interfering, the guarded save completes and
+        // ownership is restored normally (no false positives).
+        use tocttou_os::prelude::*;
+        let scenario = Scenario::vi_smp(50 * 1024).with_defense(DefensePolicy::Edgi);
+        let mut handles = scenario.build(3, false);
+        // Run only the victim (ignore the attacker by removing its work:
+        // simplest is to let it run — but to test benignity we use a fresh
+        // kernel without attacker).
+        let mut kernel = Kernel::new(scenario.machine.clone(), 9);
+        kernel.set_defense(DefensePolicy::Edgi);
+        let meta_root = InodeMeta { uid: Uid::ROOT, gid: Gid::ROOT, mode: 0o755 };
+        let meta_user = InodeMeta { uid: Uid(1000), gid: Gid(1000), mode: 0o644 };
+        kernel.vfs_mut().mkdir("/home", meta_root).unwrap();
+        kernel.vfs_mut().mkdir("/home/user", meta_user).unwrap();
+        kernel.vfs_mut().create_file("/home/user/doc.txt", meta_user).unwrap();
+        let cfg = crate::vi::ViConfig::new("/home/user/doc.txt", "/home/user/doc.txt~", 4096);
+        let pid = kernel.spawn("vi", Uid::ROOT, Gid::ROOT, true, Box::new(crate::vi::ViSave::new(cfg, 1)));
+        kernel.run_until_exit(pid, SimTime::from_secs(1));
+        assert_eq!(
+            kernel.vfs().stat("/home/user/doc.txt").unwrap().uid,
+            Uid(1000),
+            "benign save restored ownership"
+        );
+        assert_eq!(kernel.defense().denials(), 0, "no false positives");
+        // Keep the built-but-unused handles alive to silence lints.
+        let _ = handles.kernel.now();
+        let _ = &mut handles;
+    }
+}

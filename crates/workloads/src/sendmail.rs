@@ -1,0 +1,335 @@
+//! The sendmail mailbox-append victim — the paper's *introductory* example
+//! (Section 1).
+//!
+//! "sendmail … used to check for a specific attribute of a mailbox file
+//! (e.g., it is not a symbolic link) before appending new messages. …
+//! if an attacker (the mailbox owner) is able to replace his/her mailbox
+//! file with a symbolic link to /etc/passwd between the checking and
+//! appending steps … sendmail may be tricked into appending emails to
+//! /etc/passwd. If successful, an attack message containing a syntactically
+//! correct /etc/passwd entry would give the attacker root access."
+//!
+//! Unlike vi/gedit (ownership attacks), this is an **integrity** attack:
+//! success means the privileged file *grew* by the appended message.
+
+use tocttou_os::ids::Fd;
+use tocttou_os::process::{Action, LogicCtx, ProcessLogic, RetVal, SyscallRequest, SyscallResult};
+use tocttou_sim::dist::DurationDist;
+use tocttou_sim::rng::SimRng;
+use tocttou_sim::time::SimDuration;
+
+/// Configuration for a [`SendmailDeliver`] victim.
+#[derive(Debug, Clone)]
+pub struct SendmailConfig {
+    /// The mailbox being delivered to.
+    pub mailbox: String,
+    /// Bytes of the message appended.
+    pub message_bytes: u64,
+    /// Mean computation between the `lstat` check and the `open` (queue
+    /// processing, header formatting — the `<lstat, open>` window). Each
+    /// delivery samples uniformly in ±50 % of this, as real header work
+    /// varies per message.
+    pub check_open_gap: SimDuration,
+    /// Idle time before delivery starts.
+    pub prologue: DurationDist,
+}
+
+impl SendmailConfig {
+    /// Defaults: a 1 KB message and a generous (header-formatting) gap.
+    pub fn new(mailbox: impl Into<String>) -> Self {
+        SendmailConfig {
+            mailbox: mailbox.into(),
+            message_bytes: 1024,
+            check_open_gap: SimDuration::from_micros(200),
+            prologue: DurationDist::uniform_us(0.0, 100.0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MailState {
+    Prologue,
+    Check,
+    Decide,
+    Gap,
+    Open,
+    Append,
+    Close,
+    Done,
+}
+
+/// The sendmail delivery sequence: `lstat` (refuse symlinks), compute,
+/// `open`, `write` (append the message), `close`.
+///
+/// The check is *correct at check time* — a mailbox that is already a
+/// symlink is refused — which is exactly why the attack must race the
+/// window instead of planting the link early.
+#[derive(Debug)]
+pub struct SendmailDeliver {
+    cfg: SendmailConfig,
+    state: MailState,
+    fd: Option<Fd>,
+    rng: SimRng,
+    /// Whether delivery was refused by the check (mailbox was a symlink).
+    refused: bool,
+}
+
+impl SendmailDeliver {
+    /// Creates the victim; `seed` randomizes the prologue.
+    pub fn new(cfg: SendmailConfig, seed: u64) -> Self {
+        SendmailDeliver {
+            cfg,
+            state: MailState::Prologue,
+            fd: None,
+            rng: SimRng::seed_from_u64(seed),
+            refused: false,
+        }
+    }
+
+    /// True if the check refused delivery (no TOCTTOU opportunity taken).
+    pub fn refused(&self) -> bool {
+        self.refused
+    }
+}
+
+impl ProcessLogic for SendmailDeliver {
+    fn next_action(&mut self, _ctx: &LogicCtx, last: Option<&SyscallResult>) -> Action {
+        match self.state {
+            MailState::Prologue => {
+                self.state = MailState::Check;
+                Action::Compute(self.cfg.prologue.sample(&mut self.rng))
+            }
+            MailState::Check => {
+                self.state = MailState::Decide;
+                Action::Syscall(SyscallRequest::Lstat {
+                    path: self.cfg.mailbox.clone(),
+                })
+            }
+            MailState::Decide => {
+                let ok = last
+                    .and_then(|r| r.stat())
+                    .is_some_and(|st| !st.is_symlink && !st.is_dir);
+                if ok {
+                    self.state = MailState::Gap;
+                    Action::Compute(SimDuration::ZERO)
+                } else {
+                    // The invariant check fired: refuse delivery.
+                    self.refused = true;
+                    self.state = MailState::Done;
+                    Action::Exit
+                }
+            }
+            MailState::Gap => {
+                self.state = MailState::Open;
+                let mean = self.cfg.check_open_gap.as_micros_f64();
+                let jittered = DurationDist::uniform_us(mean * 0.5, mean * 1.5)
+                    .sample(&mut self.rng);
+                Action::Compute(jittered)
+            }
+            MailState::Open => {
+                self.state = MailState::Append;
+                Action::Syscall(SyscallRequest::Open {
+                    path: self.cfg.mailbox.clone(),
+                })
+            }
+            MailState::Append => {
+                self.fd = last.and_then(|r| match &r.ret {
+                    Ok(RetVal::Fd(fd)) => Some(*fd),
+                    _ => None,
+                });
+                match self.fd {
+                    Some(fd) => {
+                        self.state = MailState::Close;
+                        Action::Syscall(SyscallRequest::Write {
+                            fd,
+                            bytes: self.cfg.message_bytes,
+                        })
+                    }
+                    None => {
+                        // Mailbox vanished between check and open.
+                        self.refused = true;
+                        self.state = MailState::Done;
+                        Action::Exit
+                    }
+                }
+            }
+            MailState::Close => {
+                self.state = MailState::Done;
+                Action::Syscall(SyscallRequest::Close {
+                    fd: self.fd.expect("fd open"),
+                })
+            }
+            MailState::Done => Action::Exit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tocttou_core::stats::SuccessCounter;
+    use tocttou_os::machine::MachineSpec;
+    use tocttou_os::prelude::*;
+    use tocttou_sim::time::SimTime;
+
+    fn setup(machine: MachineSpec, seed: u64) -> Kernel {
+        let mut k = Kernel::new(machine, seed);
+        let root = InodeMeta {
+            uid: Uid::ROOT,
+            gid: Gid::ROOT,
+            mode: 0o755,
+        };
+        let user = InodeMeta {
+            uid: Uid(1000),
+            gid: Gid(1000),
+            mode: 0o755,
+        };
+        k.vfs_mut().mkdir("/etc", root).unwrap();
+        let pw = k
+            .vfs_mut()
+            .create_file(
+                "/etc/passwd",
+                InodeMeta {
+                    uid: Uid::ROOT,
+                    gid: Gid::ROOT,
+                    mode: 0o644,
+                },
+            )
+            .unwrap();
+        k.vfs_mut().append(pw, 1000).unwrap();
+        k.vfs_mut().mkdir("/var", root).unwrap();
+        k.vfs_mut().mkdir("/var/mail", user).unwrap();
+        // The attacker's mailbox: a regular file owned by... the mailbox is
+        // the attacker's; root's sendmail delivers into it.
+        let mb = k
+            .vfs_mut()
+            .create_file(
+                "/var/mail/attacker",
+                InodeMeta {
+                    uid: Uid(1000),
+                    gid: Gid(1000),
+                    mode: 0o600,
+                },
+            )
+            .unwrap();
+        k.vfs_mut().append(mb, 100).unwrap();
+        k
+    }
+
+    #[test]
+    fn benign_delivery_appends_to_the_mailbox() {
+        let mut k = setup(MachineSpec::smp_xeon().quiet(), 1);
+        let cfg = SendmailConfig::new("/var/mail/attacker");
+        let pid = k.spawn(
+            "sendmail",
+            Uid::ROOT,
+            Gid::ROOT,
+            true,
+            Box::new(SendmailDeliver::new(cfg, 2)),
+        );
+        k.run_until_exit(pid, SimTime::from_millis(100));
+        assert_eq!(k.vfs().stat("/var/mail/attacker").unwrap().size, 100 + 1024);
+        assert_eq!(k.vfs().stat("/etc/passwd").unwrap().size, 1000, "untouched");
+    }
+
+    #[test]
+    fn pre_planted_symlink_is_refused_by_the_check() {
+        // The check WORKS when the link is already there — that's why the
+        // attack needs the race.
+        let mut k = setup(MachineSpec::smp_xeon().quiet(), 3);
+        k.vfs_mut().unlink_detach("/var/mail/attacker").unwrap();
+        k.vfs_mut()
+            .symlink("/etc/passwd", "/var/mail/attacker", (Uid(1000), Gid(1000)))
+            .unwrap();
+        let cfg = SendmailConfig::new("/var/mail/attacker");
+        let pid = k.spawn(
+            "sendmail",
+            Uid::ROOT,
+            Gid::ROOT,
+            true,
+            Box::new(SendmailDeliver::new(cfg, 4)),
+        );
+        k.run_until_exit(pid, SimTime::from_millis(100));
+        assert_eq!(
+            k.vfs().stat("/etc/passwd").unwrap().size,
+            1000,
+            "delivery refused, passwd intact"
+        );
+    }
+
+    /// The Section 1 story end to end: on the SMP, an attacker racing the
+    /// `<lstat, open>` window gets its forged entry appended to
+    /// /etc/passwd.
+    #[test]
+    fn smp_race_appends_to_passwd() {
+        let mut wins = SuccessCounter::new();
+        for seed in 0..25 {
+            let mut k = setup(MachineSpec::smp_xeon().quiet(), seed);
+            let cfg = SendmailConfig::new("/var/mail/attacker");
+            let vpid = k.spawn(
+                "sendmail",
+                Uid::ROOT,
+                Gid::ROOT,
+                true,
+                Box::new(SendmailDeliver::new(cfg, seed)),
+            );
+            // The sendmail attacker watches for the delivery moment; the
+            // mailbox is its own (owner uid 1000), so detection here is
+            // simply "the window is the lstat→open gap": the classic attack
+            // flips the link continuously. Model it with v2-style churn on
+            // the mailbox name itself: swap in a symlink, swap back.
+            struct Flipper {
+                mailbox: String,
+                phase: u8,
+            }
+            impl ProcessLogic for Flipper {
+                fn next_action(
+                    &mut self,
+                    _ctx: &LogicCtx,
+                    _last: Option<&SyscallResult>,
+                ) -> Action {
+                    // Alternate: unlink mailbox + link to passwd; then
+                    // restore a regular file; repeat. Half the time the name
+                    // is a symlink — if the open lands then, the append goes
+                    // to /etc/passwd.
+                    let action = match self.phase % 4 {
+                        0 => Action::Syscall(SyscallRequest::Unlink {
+                            path: self.mailbox.clone(),
+                        }),
+                        1 => Action::Syscall(SyscallRequest::Symlink {
+                            target: "/etc/passwd".into(),
+                            linkpath: self.mailbox.clone(),
+                        }),
+                        2 => Action::Syscall(SyscallRequest::Unlink {
+                            path: self.mailbox.clone(),
+                        }),
+                        _ => Action::Syscall(SyscallRequest::OpenCreate {
+                            path: self.mailbox.clone(),
+                        }),
+                    };
+                    self.phase = self.phase.wrapping_add(1);
+                    action
+                }
+            }
+            k.spawn(
+                "flipper",
+                Uid(1000),
+                Gid(1000),
+                true,
+                Box::new(Flipper {
+                    mailbox: "/var/mail/attacker".into(),
+                    phase: 0,
+                }),
+            );
+            k.run_until_exit(vpid, SimTime::from_millis(100));
+            wins.record(k.vfs().stat("/etc/passwd").unwrap().size > 1000);
+        }
+        // The flip race lands a meaningful fraction of deliveries (the
+        // link is present ~25 % of the flip cycle; check-passing rounds
+        // land the open uniformly over the cycle).
+        assert!(
+            wins.rate() >= 0.12,
+            "some deliveries must append to passwd: {wins}"
+        );
+    }
+}

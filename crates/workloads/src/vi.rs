@@ -1,0 +1,375 @@
+//! The vi 6.1 save sequence (paper Figure 1 and Section 2.1).
+//!
+//! When vi (running as root) saves a file owned by a normal user it:
+//!
+//! 1. renames the original file to a backup name;
+//! 2. `creat`s a new file under the original name — **owned by root**;
+//! 3. writes the whole edit buffer to it;
+//! 4. closes it;
+//! 5. `chown`s it back to the original user.
+//!
+//! Steps 2–5 form the `<open, chown>` vulnerability window, whose length is
+//! dominated by the file write — which is why Figure 6/7's results depend on
+//! file size.
+
+use tocttou_os::ids::{Fd, Gid, Uid};
+use tocttou_os::process::{Action, LogicCtx, ProcessLogic, SyscallRequest, SyscallResult};
+use tocttou_sim::dist::DurationDist;
+use tocttou_sim::rng::SimRng;
+use tocttou_sim::time::SimDuration;
+
+/// Configuration for a [`ViSave`] victim.
+///
+/// Durations are machine-absolute microsecond values (they model user-space
+/// computation of the victim binary on the experiment machine and are not
+/// rescaled by the simulator).
+#[derive(Debug, Clone)]
+pub struct ViConfig {
+    /// The file being saved (the paper's `wfname`).
+    pub wfname: String,
+    /// The backup name the original is renamed to.
+    pub backup: String,
+    /// Size of the edit buffer written out, in bytes.
+    pub file_size: u64,
+    /// Write-loop granularity in bytes (vi writes through a buffer).
+    pub chunk: u64,
+    /// The original owner, restored by the final chown.
+    pub owner: (Uid, Gid),
+    /// "Editing" time before the save starts. For uniprocessor experiments
+    /// this is uniform over a full time slice so the save begins at a
+    /// uniformly random slice phase.
+    pub prologue: DurationDist,
+    /// User-space computation between consecutive save syscalls.
+    pub inter_call_gap: SimDuration,
+    /// Computation between `close` and `chown` (the tail of the window).
+    pub post_close_gap: SimDuration,
+    /// Gaussian jitter (stdev, µs) applied to each gap sample.
+    pub gap_jitter_us: f64,
+    /// Slow-storage model (the paper's Section 1 enhancement: "using slow
+    /// storage devices (e.g. floppy disks)"): after every chunk write, the
+    /// victim blocks on device I/O for this long. `None` = page-cache-only
+    /// writes, the paper's main experiments.
+    pub write_block: Option<SimDuration>,
+}
+
+impl ViConfig {
+    /// A configuration with the calibrated defaults (gaps matched to the
+    /// paper's Table 1: a 1-byte save yields L ≈ 62 µs on the SMP profile).
+    pub fn new(wfname: impl Into<String>, backup: impl Into<String>, file_size: u64) -> Self {
+        ViConfig {
+            wfname: wfname.into(),
+            backup: backup.into(),
+            file_size,
+            chunk: 64 * 1024,
+            owner: (Uid(1000), Gid(1000)),
+            prologue: DurationDist::uniform_us(0.0, 200.0),
+            inter_call_gap: SimDuration::from_micros(10),
+            post_close_gap: SimDuration::from_micros(76),
+            gap_jitter_us: 2.0,
+            write_block: None,
+        }
+    }
+
+    /// Enables the slow-storage model with the given per-chunk I/O stall.
+    pub fn on_slow_storage(mut self, block: SimDuration) -> Self {
+        self.write_block = Some(block);
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ViState {
+    Prologue,
+    RenameToBackup,
+    GapBeforeCreate,
+    Create,
+    Write,
+    IoStall,
+    GapBeforeClose,
+    Close,
+    GapBeforeChown,
+    Chown,
+    Done,
+}
+
+/// The vi save-sequence victim program.
+#[derive(Debug)]
+pub struct ViSave {
+    cfg: ViConfig,
+    state: ViState,
+    written: u64,
+    fd: Option<Fd>,
+    rng: SimRng,
+}
+
+impl ViSave {
+    /// Creates the victim; `seed` randomizes the editing prologue and gap
+    /// jitter.
+    pub fn new(cfg: ViConfig, seed: u64) -> Self {
+        ViSave {
+            cfg,
+            state: ViState::Prologue,
+            written: 0,
+            fd: None,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    fn gap(&mut self, base: SimDuration) -> SimDuration {
+        if self.cfg.gap_jitter_us <= 0.0 {
+            return base;
+        }
+        let jittered = base.as_micros_f64()
+            + self.cfg.gap_jitter_us * tocttou_sim::dist::sample_standard_normal(&mut self.rng);
+        SimDuration::from_micros_f64(jittered)
+    }
+}
+
+impl ProcessLogic for ViSave {
+    #[allow(clippy::only_used_in_recursion)]
+    fn next_action(&mut self, _ctx: &LogicCtx, last: Option<&SyscallResult>) -> Action {
+        match self.state {
+            ViState::Prologue => {
+                self.state = ViState::RenameToBackup;
+                Action::Compute(self.cfg.prologue.sample(&mut self.rng))
+            }
+            ViState::RenameToBackup => {
+                self.state = ViState::GapBeforeCreate;
+                Action::Syscall(SyscallRequest::Rename {
+                    from: self.cfg.wfname.clone(),
+                    to: self.cfg.backup.clone(),
+                })
+            }
+            ViState::GapBeforeCreate => {
+                self.state = ViState::Create;
+                let g = self.gap(self.cfg.inter_call_gap);
+                Action::Compute(g)
+            }
+            ViState::Create => {
+                self.state = ViState::Write;
+                Action::Syscall(SyscallRequest::OpenCreate {
+                    path: self.cfg.wfname.clone(),
+                })
+            }
+            ViState::Write => {
+                if self.fd.is_none() {
+                    self.fd = last.and_then(|r| r.fd());
+                    debug_assert!(self.fd.is_some(), "creat must return an fd");
+                }
+                if self.written >= self.cfg.file_size {
+                    self.state = ViState::GapBeforeClose;
+                    return self.next_action(_ctx, None);
+                }
+                let remaining = self.cfg.file_size - self.written;
+                let bytes = remaining.min(self.cfg.chunk.max(1));
+                self.written += bytes;
+                if self.cfg.write_block.is_some() {
+                    self.state = ViState::IoStall;
+                }
+                Action::Syscall(SyscallRequest::Write {
+                    fd: self.fd.expect("fd present while writing"),
+                    bytes,
+                })
+            }
+            ViState::IoStall => {
+                self.state = ViState::Write;
+                Action::Syscall(SyscallRequest::Sleep {
+                    duration: self.cfg.write_block.expect("stall only when configured"),
+                })
+            }
+            ViState::GapBeforeClose => {
+                self.state = ViState::Close;
+                let g = self.gap(self.cfg.inter_call_gap);
+                Action::Compute(g)
+            }
+            ViState::Close => {
+                self.state = ViState::GapBeforeChown;
+                Action::Syscall(SyscallRequest::Close {
+                    fd: self.fd.expect("fd open"),
+                })
+            }
+            ViState::GapBeforeChown => {
+                self.state = ViState::Chown;
+                let g = self.gap(self.cfg.post_close_gap);
+                Action::Compute(g)
+            }
+            ViState::Chown => {
+                self.state = ViState::Done;
+                Action::Syscall(SyscallRequest::Chown {
+                    path: self.cfg.wfname.clone(),
+                    uid: self.cfg.owner.0,
+                    gid: self.cfg.owner.1,
+                })
+            }
+            ViState::Done => Action::Exit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tocttou_os::machine::MachineSpec;
+    use tocttou_os::prelude::*;
+    use tocttou_sim::time::SimTime;
+
+    fn setup_kernel() -> Kernel {
+        let mut k = Kernel::new(MachineSpec::smp_xeon().quiet(), 1);
+        let root = InodeMeta {
+            uid: Uid::ROOT,
+            gid: Gid::ROOT,
+            mode: 0o755,
+        };
+        let user = InodeMeta {
+            uid: Uid(1000),
+            gid: Gid(1000),
+            mode: 0o644,
+        };
+        k.vfs_mut().mkdir("/home", root).unwrap();
+        k.vfs_mut().mkdir("/home/user", user).unwrap();
+        let ino = k.vfs_mut().create_file("/home/user/doc.txt", user).unwrap();
+        k.vfs_mut().append(ino, 4096).unwrap();
+        k
+    }
+
+    #[test]
+    fn save_sequence_completes_with_correct_final_state() {
+        let mut k = setup_kernel();
+        let cfg = ViConfig::new("/home/user/doc.txt", "/home/user/doc.txt~", 100 * 1024);
+        let pid = k.spawn(
+            "vi",
+            Uid::ROOT,
+            Gid::ROOT,
+            true,
+            Box::new(ViSave::new(cfg, 9)),
+        );
+        let outcome = k.run_until_exit(pid, SimTime::from_secs(2));
+        assert_eq!(outcome, RunOutcome::StopConditionMet);
+        // Backup holds the old content; new file has the new size and the
+        // user's ownership restored.
+        let backup = k.vfs().stat("/home/user/doc.txt~").unwrap();
+        assert_eq!(backup.size, 4096);
+        let saved = k.vfs().stat("/home/user/doc.txt").unwrap();
+        assert_eq!(saved.size, 100 * 1024);
+        assert_eq!(saved.uid, Uid(1000), "ownership restored");
+        k.vfs().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn window_exists_file_owned_by_root_between_creat_and_chown() {
+        let mut k = setup_kernel();
+        let cfg = ViConfig::new("/home/user/doc.txt", "/home/user/doc.txt~", 1024 * 1024);
+        let pid = k.spawn(
+            "vi",
+            Uid::ROOT,
+            Gid::ROOT,
+            true,
+            Box::new(ViSave::new(cfg, 3)),
+        );
+        // Run until mid-write (a 1 MB write at SMP speed takes ~17 ms; stop
+        // at 5 ms, well inside the window).
+        k.run_until(
+            |k| k.now() >= SimTime::from_millis(5),
+            SimTime::from_secs(2),
+        );
+        let st = k.vfs().stat("/home/user/doc.txt").unwrap();
+        assert_eq!(st.uid, Uid::ROOT, "mid-window the file belongs to root");
+        // Finish: ownership restored.
+        k.run_until_exit(pid, SimTime::from_secs(2));
+        assert_eq!(k.vfs().stat("/home/user/doc.txt").unwrap().uid, Uid(1000));
+    }
+
+    #[test]
+    fn window_length_scales_with_file_size() {
+        let window_of = |size: u64| {
+            let mut k = setup_kernel();
+            let mut cfg = ViConfig::new("/home/user/doc.txt", "/home/user/doc.txt~", size);
+            cfg.prologue = DurationDist::const_us(0.0);
+            let pid = k.spawn(
+                "vi",
+                Uid::ROOT,
+                Gid::ROOT,
+                true,
+                Box::new(ViSave::new(cfg, 5)),
+            );
+            k.run_until_exit(pid, SimTime::from_secs(5));
+            // Window = creat commit .. chown enter, from the trace.
+            let mut creat_commit = None;
+            let mut chown_enter = None;
+            for r in k.trace().iter() {
+                match &r.event {
+                    OsEvent::Commit {
+                        call: SyscallName::OpenCreate,
+                        ..
+                    } => creat_commit = Some(r.at),
+                    OsEvent::SyscallEnter {
+                        call: SyscallName::Chown,
+                        ..
+                    } => chown_enter = Some(r.at),
+                    _ => {}
+                }
+            }
+            (chown_enter.unwrap() - creat_commit.unwrap()).as_micros_f64()
+        };
+        let w1 = window_of(1);
+        let w100k = window_of(100 * 1024);
+        let w1m = window_of(1024 * 1024);
+        // 1-byte window ≈ the calibrated ~97 µs baseline (Table 1's L ≈ 62
+        // plus the detection/attack allowance).
+        assert!((80.0..130.0).contains(&w1), "1-byte window {w1}");
+        // 17 µs/KB at SMP speed.
+        assert!((1_500.0..2_100.0).contains(&w100k), "100 KB window {w100k}");
+        assert!((16_000.0..19_500.0).contains(&w1m), "1 MB window {w1m}");
+    }
+}
+
+#[cfg(test)]
+mod slow_storage_tests {
+    use super::*;
+    use crate::attacker::{AttackerConfig, AttackerV1};
+    use tocttou_core::stats::SuccessCounter;
+    use tocttou_os::machine::MachineSpec;
+    use tocttou_os::prelude::*;
+    use tocttou_sim::time::SimTime;
+
+    /// Section 1's classic victim-slowing trick: on slow storage the victim
+    /// blocks mid-window, so even the uniprocessor attacker wins almost
+    /// every round (P(suspended) → 1).
+    #[test]
+    fn slow_storage_makes_uniprocessor_attack_reliable() {
+        let run_round = |seed: u64, slow: bool| -> bool {
+            let mut k = Kernel::new(MachineSpec::uniprocessor().quiet(), seed);
+            let root = InodeMeta { uid: Uid::ROOT, gid: Gid::ROOT, mode: 0o755 };
+            let user = InodeMeta { uid: Uid(1000), gid: Gid(1000), mode: 0o755 };
+            k.vfs_mut().mkdir("/etc", root).unwrap();
+            k.vfs_mut().create_file("/etc/passwd", root).unwrap();
+            k.vfs_mut().mkdir("/home", root).unwrap();
+            k.vfs_mut().mkdir("/home/user", user).unwrap();
+            k.vfs_mut().create_file("/home/user/doc.txt", user).unwrap();
+            let mut cfg = ViConfig::new("/home/user/doc.txt", "/home/user/doc.txt~", 128 * 1024);
+            cfg.chunk = 16 * 1024;
+            if slow {
+                cfg = cfg.on_slow_storage(SimDuration::from_millis(2));
+            }
+            let vpid = k.spawn("vi", Uid::ROOT, Gid::ROOT, true, Box::new(ViSave::new(cfg, seed)));
+            let atk = AttackerConfig::vi_smp("/home/user/doc.txt", "/etc/passwd");
+            k.spawn(
+                "attacker",
+                Uid(1000),
+                Gid(1000),
+                false,
+                Box::new(AttackerV1::new(atk, seed ^ 0xAA)),
+            );
+            k.run_until_exit(vpid, SimTime::from_secs(2));
+            k.vfs().stat("/etc/passwd").unwrap().uid == Uid(1000)
+        };
+        let mut fast = SuccessCounter::new();
+        let mut slow = SuccessCounter::new();
+        for seed in 0..25 {
+            fast.record(run_round(seed, false));
+            slow.record(run_round(seed, true));
+        }
+        assert!(slow.rate() > 0.9, "slow storage: {slow}");
+        assert!(fast.rate() < 0.3, "page-cache writes: {fast}");
+    }
+}

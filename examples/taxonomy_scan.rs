@@ -1,0 +1,56 @@
+//! Enumerate the TOCTTOU pair taxonomy — the paper's "224 kinds of
+//! TOCTTOU vulnerabilities" for Linux — and evaluate the model across the
+//! laxity spectrum for a generic pair.
+//!
+//! ```text
+//! cargo run --release --example taxonomy_scan
+//! ```
+
+use tocttou::core::model::{classify, success_rate, RaceRegime};
+use tocttou::core::taxonomy::{enumerate_pairs, FsCall, TocttouPair};
+
+fn main() {
+    let pairs = enumerate_pairs();
+    println!(
+        "TOCTTOU pair taxonomy: {} check calls × {} use calls = {} pairs\n",
+        FsCall::CHECK_SET.len(),
+        FsCall::USE_SET.len(),
+        pairs.len()
+    );
+
+    println!("check set: {}", name_list(&FsCall::CHECK_SET));
+    println!("use set:   {}\n", name_list(&FsCall::USE_SET));
+
+    for (pair, what) in [
+        (TocttouPair::vi(), "vi 6.1 saving a file (Figure 1)"),
+        (TocttouPair::gedit(), "gedit 2.8.3 saving a file (Figure 3)"),
+        (TocttouPair::sendmail(), "classic sendmail mailbox append"),
+    ] {
+        println!("{pair:<18} — {what}");
+    }
+
+    println!("\nLaxity spectrum for an attacker with D = 33 µs:");
+    println!("{:>10} {:>12} {:>12}", "L (µs)", "regime", "P(success)");
+    for l in [-20.0, 0.0, 5.0, 11.6, 25.0, 33.0, 100.0, 17_000.0] {
+        let regime = classify(l, 33.0);
+        let p = success_rate(l, 33.0);
+        let regime_name = match regime {
+            RaceRegime::Hopeless => "hopeless",
+            RaceRegime::Contended => "contended",
+            RaceRegime::Dominated => "dominated",
+        };
+        println!("{l:>10.1} {regime_name:>12} {:>11.1}%", p * 100.0);
+    }
+    println!(
+        "\nAny pair whose victim leaves L > 0 is exploitable on a multiprocessor;\n\
+         with L ≥ D the attack is statistically certain (formula (1), Section 3.4)."
+    );
+}
+
+fn name_list(calls: &[FsCall]) -> String {
+    calls
+        .iter()
+        .map(|c| c.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}

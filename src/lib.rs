@@ -1,0 +1,45 @@
+//! # tocttou — reproduction of "Multiprocessors May Reduce System
+//! Dependability under File-Based Race Condition Attacks" (DSN 2007)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the probabilistic model (Equation 1, the L/D
+//!   laxity formula), TOCTTOU pair taxonomy, statistics;
+//! * [`os`] — a deterministic multiprocessor Unix simulator
+//!   (scheduler, FIFO semaphores, VFS, syscall engine, page-fault traps,
+//!   background kernel activity);
+//! * [`workloads`] — vi/gedit victims and the paper's
+//!   three attacker programs, bundled into named scenarios;
+//! * [`experiments`] — Monte-Carlo reproduction of
+//!   every table and figure, plus paper-style ASCII event timelines;
+//! * [`lab`] — a native real-syscall race laboratory.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tocttou::workloads::Scenario;
+//! use tocttou::core::model::{MeasuredUs, MultiprocessorScenario};
+//!
+//! // Simulate one Table 2 round (gedit on the 2-way SMP)...
+//! let round = Scenario::gedit_smp(2048).run_round(7);
+//!
+//! // ...and ask the model what it expects for the measured L/D regime.
+//! let model = MultiprocessorScenario {
+//!     l: MeasuredUs::new(11.6, 3.89),
+//!     d: MeasuredUs::new(32.7, 2.83),
+//!     p_suspended: 0.0,
+//!     p_interference: 0.0,
+//! };
+//! assert!(model.success_probability().value() > 0.0);
+//! assert!(round.victim_exited);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tocttou_core as core;
+pub use tocttou_experiments as experiments;
+pub use tocttou_sim as sim;
+pub use tocttou_lab as lab;
+pub use tocttou_os as os;
+pub use tocttou_workloads as workloads;

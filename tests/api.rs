@@ -1,0 +1,122 @@
+//! Public-API conformance checks (Rust API guidelines):
+//! common traits are implemented eagerly (C-COMMON-TRAITS), data types are
+//! `Send`/`Sync` where expected (C-SEND-SYNC), errors are well-behaved
+//! (C-GOOD-ERR), and `Debug` output is never empty (C-DEBUG-NONEMPTY).
+
+use tocttou::core::model::{Equation1, MeasuredUs, Probability};
+use tocttou::core::stats::{OnlineStats, SuccessCounter, Summary};
+use tocttou::core::taxonomy::{FsCall, TocttouPair};
+use tocttou::os::{CostModel, MachineSpec, OsError, Pid, StatBuf, Uid};
+use tocttou::sim::dist::DurationDist;
+use tocttou::sim::rng::SimRng;
+use tocttou::sim::time::{SimDuration, SimTime};
+use tocttou::workloads::Scenario;
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_clone_debug<T: Clone + std::fmt::Debug>() {}
+
+#[test]
+fn data_types_are_send_and_sync() {
+    assert_send_sync::<SimTime>();
+    assert_send_sync::<SimDuration>();
+    assert_send_sync::<SimRng>();
+    assert_send_sync::<DurationDist>();
+    assert_send_sync::<OnlineStats>();
+    assert_send_sync::<SuccessCounter>();
+    assert_send_sync::<MeasuredUs>();
+    assert_send_sync::<Probability>();
+    assert_send_sync::<Equation1>();
+    assert_send_sync::<TocttouPair>();
+    assert_send_sync::<FsCall>();
+    assert_send_sync::<OsError>();
+    assert_send_sync::<MachineSpec>();
+    assert_send_sync::<CostModel>();
+    assert_send_sync::<StatBuf>();
+    // Scenario templates cross threads (parallel Monte-Carlo farms).
+    assert_send_sync::<Scenario>();
+}
+
+#[test]
+fn common_traits_are_implemented() {
+    assert_clone_debug::<SimTime>();
+    assert_clone_debug::<MachineSpec>();
+    assert_clone_debug::<Scenario>();
+    assert_clone_debug::<TocttouPair>();
+    // Copy + ordering where it makes sense.
+    fn assert_copy_ord<T: Copy + Ord>() {}
+    assert_copy_ord::<SimTime>();
+    assert_copy_ord::<SimDuration>();
+    assert_copy_ord::<Pid>();
+    assert_copy_ord::<Uid>();
+    assert_copy_ord::<TocttouPair>();
+    // Default where a neutral value exists.
+    fn assert_default<T: Default>() {}
+    assert_default::<SimTime>();
+    assert_default::<OnlineStats>();
+    assert_default::<SuccessCounter>();
+    assert_default::<CostModel>();
+}
+
+#[test]
+fn errors_are_std_errors_with_nonempty_display() {
+    fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<OsError>();
+    assert_error::<tocttou::core::model::InvalidProbability>();
+    assert_error::<tocttou::core::taxonomy::InvalidPair>();
+    assert!(!OsError::Eloop.to_string().is_empty());
+    assert!(!tocttou::core::model::InvalidProbability(2.0)
+        .to_string()
+        .is_empty());
+}
+
+#[test]
+fn debug_output_is_never_empty() {
+    let reprs = [
+        format!("{:?}", SimTime::from_micros(5)),
+        format!("{:?}", SimRng::seed_from_u64(1)),
+        format!("{:?}", OnlineStats::new()),
+        format!("{:?}", MachineSpec::smp_xeon()),
+        format!("{:?}", Scenario::vi_smp(1)),
+        format!("{:?}", TocttouPair::vi()),
+        format!("{:?}", OsError::Enoent),
+    ];
+    for r in reprs {
+        assert!(!r.is_empty());
+    }
+}
+
+#[test]
+fn display_forms_are_human_readable() {
+    assert_eq!(TocttouPair::gedit().to_string(), "<rename, chown>");
+    assert_eq!(OsError::Eacces.to_string(), "EACCES (permission denied)");
+    assert_eq!(SimDuration::from_micros(42).to_string(), "42.000us");
+    let summary = Summary {
+        count: 3,
+        mean: 61.6,
+        stdev: 3.78,
+        min: 57.0,
+        max: 65.0,
+    };
+    assert!(summary.to_string().contains("61.6"));
+}
+
+#[test]
+fn serde_roundtrips_for_data_structures() {
+    // C-SERDE: results and model parameters serialize cleanly.
+    let m = MeasuredUs::new(61.6, 3.78);
+    let json = serde_json::to_string(&m).unwrap();
+    let back: MeasuredUs = serde_json::from_str(&json).unwrap();
+    assert_eq!(m, back);
+
+    let pair = TocttouPair::vi();
+    let json = serde_json::to_string(&pair).unwrap();
+    let back: TocttouPair = serde_json::from_str(&json).unwrap();
+    assert_eq!(pair, back);
+
+    let mut c = SuccessCounter::new();
+    c.record(true);
+    c.record(false);
+    let json = serde_json::to_string(&c).unwrap();
+    let back: SuccessCounter = serde_json::from_str(&json).unwrap();
+    assert_eq!(c, back);
+}

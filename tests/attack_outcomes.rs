@@ -1,0 +1,130 @@
+//! End-to-end reproduction assertions: every headline number of the paper,
+//! exercised through the public facade.
+
+use tocttou::experiments::{observe, run_mc, McConfig, WindowKind};
+use tocttou::workloads::Scenario;
+
+const ROUNDS: u64 = 120;
+
+fn rate(scenario: &Scenario, seed: u64) -> f64 {
+    run_mc(
+        scenario,
+        &McConfig {
+            rounds: ROUNDS,
+            base_seed: seed,
+            collect_ld: false,
+        },
+    )
+    .rate
+}
+
+/// Section 5: vi on the SMP succeeds for every file size, 20 KB–1 MB.
+#[test]
+fn vi_smp_always_succeeds_across_sizes() {
+    for size_kb in [20u64, 250, 1000] {
+        let r = rate(&Scenario::vi_smp(size_kb * 1024), 0x51 + size_kb);
+        assert!(r > 0.97, "{size_kb} KB: {r}");
+    }
+}
+
+/// Table 1: even 1-byte files are attacked with ~96 % success on the SMP.
+#[test]
+fn vi_smp_one_byte_near_but_not_certain() {
+    let r = rate(&Scenario::vi_smp(1), 0x52);
+    assert!(r > 0.9, "high: {r}");
+}
+
+/// Figure 6: uniprocessor vi success is low and grows with file size.
+#[test]
+fn vi_uniprocessor_low_and_rising() {
+    let small = rate(&Scenario::vi_uniprocessor(100 * 1024), 0x53);
+    let large = rate(&Scenario::vi_uniprocessor(1024 * 1024), 0x54);
+    assert!(small < 0.10, "100 KB: {small}");
+    assert!((0.08..0.30).contains(&large), "1 MB: {large}");
+    assert!(large > small);
+}
+
+/// Section 4.2: gedit on a uniprocessor never succeeds.
+#[test]
+fn gedit_uniprocessor_is_zero() {
+    let r = rate(&Scenario::gedit_uniprocessor(2048), 0x55);
+    assert_eq!(r, 0.0);
+}
+
+/// Section 6.1: gedit on the SMP succeeds most of the time (~83 %).
+#[test]
+fn gedit_smp_high_success() {
+    let r = rate(&Scenario::gedit_smp(2048), 0x56);
+    assert!((0.65..0.95).contains(&r), "{r}");
+}
+
+/// Section 6.2: v1 fails on the multi-core; v2 sees many successes.
+#[test]
+fn multicore_v1_vs_v2_contrast() {
+    let v1 = rate(&Scenario::gedit_multicore_v1(2048), 0x57);
+    let v2 = rate(&Scenario::gedit_multicore_v2(2048), 0x58);
+    assert!(v1 < 0.05, "v1: {v1}");
+    assert!(v2 > 0.25, "v2: {v2}");
+    assert!(v2 > v1 + 0.25, "the page fault is decisive: {v1} vs {v2}");
+}
+
+/// Section 7: the pipelined attacker also wins rounds end to end (its
+/// symlink lands while unlink truncates).
+#[test]
+fn pipelined_attack_wins_rounds() {
+    let r = rate(&Scenario::pipelined_attack(100 * 1024), 0x59);
+    assert!(r > 0.9, "pipelined: {r}");
+}
+
+/// A successful attack leaves a consistent filesystem: the passwd inode is
+/// attacker-owned, the doc is a symlink, the backup holds the old content,
+/// and VFS invariants hold.
+#[test]
+fn successful_round_postconditions() {
+    let scenario = Scenario::vi_smp(50 * 1024);
+    for seed in 0..10 {
+        let (result, handles) = scenario.run_traced(seed);
+        handles.kernel.vfs().check_invariants().unwrap();
+        if !result.success {
+            continue;
+        }
+        let vfs = handles.kernel.vfs();
+        let passwd = vfs.stat("/etc/passwd").unwrap();
+        assert_eq!(passwd.uid.0, 1000);
+        assert!(vfs.lstat("/home/user/doc.txt").unwrap().is_symlink);
+        assert_eq!(
+            vfs.readlink("/home/user/doc.txt").unwrap(),
+            "/etc/passwd"
+        );
+        assert!(vfs.stat("/home/user/doc.txt~").is_ok(), "backup intact");
+        return;
+    }
+    panic!("no successful round among 10 seeds of vi_smp");
+}
+
+/// The window-observation machinery agrees with round outcomes: whenever a
+/// gedit SMP round succeeds, the attacker must have detected the window.
+#[test]
+fn detection_is_necessary_for_success() {
+    let scenario = Scenario::gedit_smp(2048);
+    let mut successes = 0;
+    for seed in 100..140 {
+        let (result, handles) = scenario.run_traced(seed);
+        let obs = observe(
+            handles.kernel.trace(),
+            handles.victim,
+            handles.attackers[0],
+            WindowKind::GeditRename,
+            "/home/user/doc.txt",
+        )
+        .expect("window opens every round");
+        if result.success {
+            successes += 1;
+            assert!(
+                obs.t1.is_some(),
+                "seed {seed}: success without detection is impossible"
+            );
+        }
+    }
+    assert!(successes > 10, "enough successes to make the check meaningful");
+}

@@ -1,0 +1,95 @@
+//! Reproducibility guarantees: identical seeds must yield identical
+//! results — traces, outcomes and aggregate statistics — across every
+//! scenario type. Without this the experiment numbers are not auditable.
+
+use tocttou::experiments::{run_mc, McConfig};
+use tocttou::os::OsEvent;
+use tocttou::workloads::Scenario;
+
+fn trace_fingerprint(scenario: &Scenario, seed: u64) -> (u64, usize, Vec<String>) {
+    let (result, handles) = scenario.run_traced(seed);
+    let events: Vec<String> = handles
+        .kernel
+        .trace()
+        .iter()
+        .map(|r| format!("{} {:?}", r.at.as_nanos(), r.event))
+        .collect();
+    (
+        result.success as u64,
+        events.len(),
+        events,
+    )
+}
+
+#[test]
+fn identical_seeds_identical_traces() {
+    for scenario in [
+        Scenario::vi_smp(1),
+        Scenario::gedit_smp(2048),
+        Scenario::gedit_multicore_v2(2048),
+        Scenario::pipelined_attack(100 * 1024),
+    ] {
+        let a = trace_fingerprint(&scenario, 0xFEED);
+        let b = trace_fingerprint(&scenario, 0xFEED);
+        assert_eq!(a.0, b.0, "{}: outcome differs", scenario.name);
+        assert_eq!(a.1, b.1, "{}: trace length differs", scenario.name);
+        assert_eq!(a.2, b.2, "{}: trace contents differ", scenario.name);
+    }
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let scenario = Scenario::gedit_smp(2048);
+    let a = trace_fingerprint(&scenario, 1);
+    let b = trace_fingerprint(&scenario, 2);
+    assert_ne!(a.2, b.2, "different seeds should perturb the trace");
+}
+
+#[test]
+fn mc_batches_are_reproducible() {
+    let scenario = Scenario::vi_smp(20 * 1024);
+    let cfg = McConfig {
+        rounds: 25,
+        base_seed: 77,
+        collect_ld: true,
+    };
+    let a = run_mc(&scenario, &cfg);
+    let b = run_mc(&scenario, &cfg);
+    assert_eq!(a.successes, b.successes);
+    assert_eq!(a.l.map(|l| l.mean.to_bits()), b.l.map(|l| l.mean.to_bits()));
+    assert_eq!(a.d.map(|d| d.mean.to_bits()), b.d.map(|d| d.mean.to_bits()));
+}
+
+#[test]
+fn trace_is_chronological_and_complete() {
+    let scenario = Scenario::gedit_smp(2048);
+    let (_, handles) = scenario.run_traced(42);
+    let trace = handles.kernel.trace();
+    let mut last = 0u64;
+    let mut spawns = 0;
+    let mut exits = 0;
+    for r in trace.iter() {
+        assert!(r.at.as_nanos() >= last, "trace out of order");
+        last = r.at.as_nanos();
+        match r.event {
+            OsEvent::Spawn { .. } => spawns += 1,
+            OsEvent::Exit { .. } => exits += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(spawns, 2, "victim + attacker spawned");
+    assert!(exits >= 1, "at least the victim exits");
+    // Every syscall enter has a matching exit for exited processes.
+    let enters = trace
+        .iter()
+        .filter(|r| matches!(r.event, OsEvent::SyscallEnter { .. }))
+        .count();
+    let exits_sc = trace
+        .iter()
+        .filter(|r| matches!(r.event, OsEvent::SyscallExit { .. }))
+        .count();
+    assert!(
+        enters >= exits_sc && enters - exits_sc <= 2,
+        "balanced syscall events: {enters} enters, {exits_sc} exits"
+    );
+}

@@ -1,0 +1,157 @@
+//! Cross-crate validation: the closed-form model (Equation 1 / formula (1))
+//! against Monte-Carlo simulation outcomes — the reproduction is only sound
+//! if the paper's model actually describes the simulator's mechanics.
+
+use tocttou::core::model::{MultiprocessorScenario, UniprocessorScenario};
+use tocttou::experiments::{run_mc, McConfig};
+use tocttou::workloads::Scenario;
+
+/// The Section 3.2 uniprocessor prediction (window/timeslice) must track
+/// the simulated vi attack success within a few points across sizes.
+#[test]
+fn uniprocessor_model_tracks_simulation() {
+    for (size_kb, rounds) in [(200u64, 250u64), (800, 250)] {
+        let scenario = Scenario::vi_uniprocessor(size_kb * 1024);
+        let mc = run_mc(
+            &scenario,
+            &McConfig {
+                rounds,
+                base_seed: 0xAB0 + size_kb,
+                collect_ld: false,
+            },
+        );
+        let window_us = 17.0 * size_kb as f64 + 100.0;
+        let model = UniprocessorScenario {
+            window_us,
+            timeslice_us: 100_000.0,
+            p_block: 0.0,
+            p_attacker_ready: 1.0,
+            p_attack_completes: 1.0,
+        }
+        .success_probability()
+        .value();
+        assert!(
+            (model - mc.rate).abs() < 0.06,
+            "{size_kb} KB: model {model:.3} vs simulated {:.3}",
+            mc.rate
+        );
+    }
+}
+
+/// The multiprocessor prediction built from *measured* L/D must track the
+/// simulated success rate for the vi SMP experiments (where the paper's
+/// estimators are unbiased).
+#[test]
+fn multiprocessor_model_tracks_simulation_for_vi() {
+    let scenario = Scenario::vi_smp(1);
+    let mc = run_mc(
+        &scenario,
+        &McConfig {
+            rounds: 120,
+            base_seed: 0xBEE,
+            collect_ld: true,
+        },
+    );
+    let (l, d) = (mc.l.unwrap(), mc.d.unwrap());
+    let model = MultiprocessorScenario {
+        l,
+        d,
+        p_suspended: 0.0,
+        p_interference: 0.04, // calibrated background interference
+    }
+    .success_probability()
+    .value();
+    assert!(
+        (model - mc.rate).abs() < 0.08,
+        "model {model:.3} vs simulated {:.3} (L {}, D {})",
+        mc.rate,
+        l,
+        d
+    );
+}
+
+/// Table 2's defining property: for gedit the paper's conservative t1
+/// estimator makes the formula (1) prediction undershoot observation.
+#[test]
+fn gedit_prediction_undershoots_like_the_paper() {
+    let scenario = Scenario::gedit_smp(2048);
+    let mc = run_mc(
+        &scenario,
+        &McConfig {
+            rounds: 120,
+            base_seed: 0xCAFE,
+            collect_ld: true,
+        },
+    );
+    let predicted = mc.predicted_rate_ld.expect("L/D measured");
+    assert!(
+        predicted + 0.15 < mc.rate,
+        "prediction {predicted:.3} should sit well below observation {:.3}",
+        mc.rate
+    );
+    // And the regime matches Table 2: L < D.
+    let (l, d) = (mc.l.unwrap(), mc.d.unwrap());
+    assert!(l.mean < d.mean, "L {} < D {}", l.mean, d.mean);
+}
+
+/// The dependability delta (the paper's conclusion) holds end to end:
+/// multiprocessor rates dominate uniprocessor rates for both victims.
+#[test]
+fn dependability_is_reduced_on_multiprocessors() {
+    let cases = [
+        (Scenario::vi_uniprocessor(200 * 1024), Scenario::vi_smp(200 * 1024)),
+        (Scenario::gedit_uniprocessor(2048), Scenario::gedit_smp(2048)),
+    ];
+    for (uni, multi) in cases {
+        let uni_mc = run_mc(
+            &uni,
+            &McConfig {
+                rounds: 60,
+                base_seed: 0xD00D,
+                collect_ld: false,
+            },
+        );
+        let multi_mc = run_mc(
+            &multi,
+            &McConfig {
+                rounds: 60,
+                base_seed: 0xD00D,
+                collect_ld: false,
+            },
+        );
+        assert!(
+            multi_mc.rate > uni_mc.rate + 0.5,
+            "{}: {:.2} vs {}: {:.2}",
+            uni.name,
+            uni_mc.rate,
+            multi.name,
+            multi_mc.rate
+        );
+    }
+}
+
+/// Equation 1's uniprocessor bound (P ≤ P(victim suspended)) holds for the
+/// simulated uniprocessor runs: success never exceeds window/timeslice by
+/// more than sampling noise.
+#[test]
+fn uniprocessor_upper_bound_respected() {
+    let scenario = Scenario::vi_uniprocessor(400 * 1024);
+    let mc = run_mc(
+        &scenario,
+        &McConfig {
+            rounds: 300,
+            base_seed: 0xE44,
+            collect_ld: false,
+        },
+    );
+    let p_suspended_bound = (17.0 * 400.0 + 100.0) / 100_000.0;
+    // Allow the Wilson upper CI to brush the bound, not blow through it.
+    assert!(
+        mc.rate_ci95.0 < p_suspended_bound + 0.03,
+        "rate {:.3} CI [{:.3},{:.3}] vs bound {:.3}",
+        mc.rate,
+        mc.rate_ci95.0,
+        mc.rate_ci95.1,
+        p_suspended_bound
+    );
+}
