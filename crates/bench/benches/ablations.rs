@@ -11,8 +11,8 @@
 //! * **rename visibility** — make the name visible only at rename's end and
 //!   gedit's SMP window shrinks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Once;
+use tocttou_bench::harness::{criterion_group, criterion_main, Criterion};
 use tocttou_bench::quick_rate;
 use tocttou_workloads::scenario::Scenario;
 

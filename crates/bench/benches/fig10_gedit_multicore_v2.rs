@@ -2,8 +2,8 @@
 //!
 //! Prints the reproduced event timeline, then benchmarks a traced v2 round.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Once;
+use tocttou_bench::harness::{criterion_group, criterion_main, Criterion};
 use tocttou_experiments::figures::fig10;
 use tocttou_workloads::scenario::Scenario;
 

@@ -4,8 +4,8 @@
 //! benchmarks both attacker variants end to end for a mid-size file —
 //! *simulated attack latency* is exactly the quantity the figure compares.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Once;
+use tocttou_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tocttou_experiments::figures::fig11;
 use tocttou_workloads::scenario::Scenario;
 

@@ -3,8 +3,8 @@
 //! Prints the reproduced sweep (reduced rounds), then benchmarks the cost
 //! of one uniprocessor round at two representative sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Once;
+use tocttou_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tocttou_experiments::figures::fig6;
 use tocttou_workloads::scenario::Scenario;
 
@@ -16,6 +16,7 @@ fn bench(c: &mut Criterion) {
             sizes_kb: vec![100, 300, 500, 700, 1000],
             rounds: 120,
             seed: 0xF6,
+            jobs: 0, // headline print only — use every core
         });
         println!("\n{out}");
     });

@@ -3,8 +3,8 @@
 //! Prints the reproduced L/D sweep, then benchmarks a traced round plus the
 //! L/D extraction pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Once;
+use tocttou_bench::harness::{criterion_group, criterion_main, Criterion};
 use tocttou_experiments::extract::{observe, WindowKind};
 use tocttou_experiments::figures::fig7;
 use tocttou_workloads::scenario::Scenario;
@@ -17,6 +17,7 @@ fn bench(c: &mut Criterion) {
             sizes_kb: vec![20, 200, 400, 600, 800, 1000],
             rounds: 6,
             seed: 0xF7,
+            jobs: 0, // headline print only — use every core
         });
         println!("\n{out}");
     });

@@ -3,8 +3,8 @@
 //! Prints the reproduced event timeline, then benchmarks a traced v1 round
 //! (the figure's raw material).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Once;
+use tocttou_bench::harness::{criterion_group, criterion_main, Criterion};
 use tocttou_experiments::figures::fig8;
 use tocttou_workloads::scenario::Scenario;
 
@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
         let out = fig8::run(&fig8::Config::default());
         println!("\n{out}");
         let rate = tocttou_bench::quick_rate(&Scenario::gedit_multicore_v1(2048), 60, 0x81);
-        println!("v1 multi-core success over 60 rounds: {:.1}% (paper: ~0%)", rate * 100.0);
+        println!(
+            "v1 multi-core success over 60 rounds: {:.1}% (paper: ~0%)",
+            rate * 100.0
+        );
     });
 
     let scenario = Scenario::gedit_multicore_v1(2048);

@@ -1,0 +1,236 @@
+//! Monte-Carlo engine throughput: the machine-readable performance
+//! baseline for the batch engine (`run_mc`).
+//!
+//! Measures a 500-round `vi_smp` batch — the paper's Figure 6/7 unit of
+//! work — across the `jobs` ladder (1/2/4/auto), the fresh-per-round path
+//! against the pooled engine, and heap allocations per round, then writes
+//! the results to `BENCH_monte_carlo.json` at the repository root.
+//!
+//! Byte-identity between the serial and parallel batches is asserted here
+//! on every run: `run_mc` guarantees the same `McOutcome` for every
+//! `jobs` value, so the ladder rows all describe the *same* computation.
+//!
+//! Timing uses best-of-N batches: the benches run on shared, noisy CI
+//! hosts, and the minimum over many repetitions is the standard estimator
+//! for "how fast is this code when the machine isn't busy".
+
+use std::time::Instant;
+use tocttou_bench::alloc_count::{self, CountingAlloc};
+use tocttou_experiments::monte_carlo::{effective_jobs, run_mc, McConfig};
+use tocttou_workloads::scenario::Scenario;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Rounds per batch, matching the paper's Figure 6 sample size.
+const ROUNDS: u64 = 500;
+/// Timed repetitions per configuration (best-of).
+const REPS: usize = 30;
+/// vi file size for the benched scenario.
+const FILE_SIZE: u64 = 100 * 1024;
+/// Base seed for every batch (identical work across configurations).
+const BASE_SEED: u64 = 0xBE5C;
+
+/// The pre-optimization engine throughput on the reference host, measured
+/// from this repository's tree before the round-pooling and hot-path work
+/// (fresh `run_round` loop, same scenario/size/host, same best-of
+/// methodology). Recorded here so the JSON can report how much faster the
+/// shipped engine is than the code it replaced; re-measure and update when
+/// benching on different hardware.
+const PREOPT_BASELINE_ROUNDS_PER_SEC: f64 = 41_600.0;
+
+#[derive(serde::Serialize)]
+struct LadderRow {
+    jobs: usize,
+    effective_jobs: usize,
+    rounds_per_sec: f64,
+    speedup_vs_jobs1: f64,
+    outcome_bytes_identical_to_serial: bool,
+}
+
+#[derive(serde::Serialize)]
+struct EngineRow {
+    rounds_per_sec: f64,
+    allocs_per_round: f64,
+    alloc_bytes_per_round: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    scenario: String,
+    rounds: u64,
+    base_seed: u64,
+    collect_ld: bool,
+    host_cpus: usize,
+    note: String,
+    jobs_ladder: Vec<LadderRow>,
+    fresh_per_round: EngineRow,
+    pooled_engine: EngineRow,
+    pooled_vs_fresh_speedup: f64,
+    preopt_baseline_rounds_per_sec: f64,
+    speedup_vs_preopt_baseline: f64,
+}
+
+/// Best-of-`reps` wall time for each closure, with the repetitions
+/// interleaved across closures (rep 0 of every config, then rep 1, ...)
+/// so a noisy stretch on a shared host penalizes all configurations
+/// equally instead of whichever one it happened to land on.
+fn best_of_interleaved(reps: usize, fs: &mut [Box<dyn FnMut() + '_>]) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; fs.len()];
+    for _ in 0..reps {
+        for (i, f) in fs.iter_mut().enumerate() {
+            let t = Instant::now();
+            f();
+            best[i] = best[i].min(t.elapsed().as_secs_f64());
+        }
+    }
+    best
+}
+
+/// Allocation counters around one untimed run of `f`.
+fn allocs_of(rounds: u64, f: impl FnOnce()) -> (f64, f64) {
+    let before = alloc_count::snapshot();
+    f();
+    let d = alloc_count::snapshot().since(before);
+    (
+        d.calls as f64 / rounds as f64,
+        d.bytes as f64 / rounds as f64,
+    )
+}
+
+fn main() {
+    let scenario = Scenario::vi_smp(FILE_SIZE);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Timed runs use collect_ld: false so the numbers measure the engine
+    // itself (and match how the pre-optimization baseline was taken); the
+    // byte-identity assertion below runs in both collect_ld modes.
+    let cfg = |jobs: usize| McConfig {
+        rounds: ROUNDS,
+        base_seed: BASE_SEED,
+        collect_ld: false,
+        jobs,
+    };
+
+    // Byte-identity across the jobs ladder (the tentpole invariant),
+    // checked with and without lifetime-distribution collection.
+    let serial_json = serde_json::to_string(&run_mc(&scenario, &cfg(1))).unwrap();
+    let serial_ld_json = {
+        let mut c = cfg(1);
+        c.collect_ld = true;
+        serde_json::to_string(&run_mc(&scenario, &c)).unwrap()
+    };
+
+    const JOBS_LADDER: [usize; 4] = [1, 2, 4, 0];
+    let mut identity = Vec::new();
+    for jobs in JOBS_LADDER {
+        let c = cfg(jobs);
+        let mut c_ld = cfg(jobs);
+        c_ld.collect_ld = true;
+        let identical = serde_json::to_string(&run_mc(&scenario, &c)).unwrap() == serial_json
+            && serde_json::to_string(&run_mc(&scenario, &c_ld)).unwrap() == serial_ld_json;
+        assert!(
+            identical,
+            "jobs={jobs} produced a different McOutcome than jobs=1"
+        );
+        identity.push(identical);
+    }
+
+    // Time the jobs ladder plus the fresh-per-round path (new kernel +
+    // VFS every round) in one interleaved pass.
+    let mut timed: Vec<Box<dyn FnMut() + '_>> = JOBS_LADDER
+        .iter()
+        .map(|&jobs| {
+            let c = cfg(jobs);
+            let scenario = &scenario;
+            Box::new(move || {
+                std::hint::black_box(run_mc(scenario, &c));
+            }) as Box<dyn FnMut() + '_>
+        })
+        .collect();
+    timed.push(Box::new(|| {
+        for i in 0..ROUNDS {
+            std::hint::black_box(scenario.run_round(BASE_SEED + i));
+        }
+    }));
+    let secs = best_of_interleaved(REPS, &mut timed);
+    drop(timed);
+
+    let jobs1_rps = ROUNDS as f64 / secs[0];
+    let mut ladder = Vec::new();
+    for (i, &jobs) in JOBS_LADDER.iter().enumerate() {
+        let rps = ROUNDS as f64 / secs[i];
+        println!(
+            "mc/jobs={jobs:<2} {rps:>10.0} rounds/s  (x{:.2} vs jobs=1)",
+            rps / jobs1_rps
+        );
+        ladder.push(LadderRow {
+            jobs,
+            effective_jobs: effective_jobs(jobs, ROUNDS),
+            rounds_per_sec: rps,
+            speedup_vs_jobs1: rps / jobs1_rps,
+            outcome_bytes_identical_to_serial: identity[i],
+        });
+    }
+
+    // Allocation profiles (untimed single passes), and the pooled engine's
+    // time, which is the ladder's jobs=1 row.
+    let fresh_secs = secs[JOBS_LADDER.len()];
+    let pooled_secs = secs[0];
+    let (fresh_allocs, fresh_bytes) = allocs_of(ROUNDS, || {
+        for i in 0..ROUNDS {
+            std::hint::black_box(scenario.run_round(BASE_SEED + i));
+        }
+    });
+    let (pooled_allocs, pooled_bytes) = allocs_of(ROUNDS, || {
+        std::hint::black_box(run_mc(&scenario, &cfg(1)));
+    });
+
+    let fresh_rps = ROUNDS as f64 / fresh_secs;
+    let pooled_rps = ROUNDS as f64 / pooled_secs;
+    println!("mc/fresh  {fresh_rps:>10.0} rounds/s  ({fresh_allocs:.1} allocs/round)");
+    println!("mc/pooled {pooled_rps:>10.0} rounds/s  ({pooled_allocs:.1} allocs/round)");
+    println!(
+        "mc/pooled vs pre-optimization baseline: x{:.2}",
+        pooled_rps / PREOPT_BASELINE_ROUNDS_PER_SEC
+    );
+
+    let report = Report {
+        scenario: format!("vi_smp({FILE_SIZE})"),
+        rounds: ROUNDS,
+        base_seed: BASE_SEED,
+        collect_ld: false,
+        host_cpus,
+        note: format!(
+            "Best-of-{REPS} timings. This host exposes {host_cpus} CPU(s); \
+             thread-level speedup in the jobs ladder requires multiple cores, \
+             so on a single-core host the ladder shows parity (identical \
+             results, thread overhead only) and the engine speedup comes \
+             from per-round buffer reuse and hot-path allocation removal, \
+             reported against the recorded pre-optimization baseline."
+        ),
+        jobs_ladder: ladder,
+        fresh_per_round: EngineRow {
+            rounds_per_sec: fresh_rps,
+            allocs_per_round: fresh_allocs,
+            alloc_bytes_per_round: fresh_bytes,
+        },
+        pooled_engine: EngineRow {
+            rounds_per_sec: pooled_rps,
+            allocs_per_round: pooled_allocs,
+            alloc_bytes_per_round: pooled_bytes,
+        },
+        pooled_vs_fresh_speedup: fresh_secs / pooled_secs,
+        preopt_baseline_rounds_per_sec: PREOPT_BASELINE_ROUNDS_PER_SEC,
+        speedup_vs_preopt_baseline: pooled_rps / PREOPT_BASELINE_ROUNDS_PER_SEC,
+    };
+
+    let out = format!(
+        "{}/../../BENCH_monte_carlo.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write(&out, json + "\n").unwrap();
+    println!("wrote {out}");
+}

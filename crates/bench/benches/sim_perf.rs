@@ -2,7 +2,7 @@
 //! evaluation cost and Monte-Carlo round latency. These bound how many
 //! reproduction rounds a CI budget can afford.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tocttou_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use tocttou_core::model::{expected_success_rate, MeasuredUs};
 use tocttou_os::prelude::*;
 use tocttou_sim::queue::EventQueue;
@@ -68,13 +68,18 @@ fn bench_kernel_events(c: &mut Criterion) {
                 Box::new(move |_: &LogicCtx, _: Option<&SyscallResult>| {
                     flip = !flip;
                     if flip {
-                        Action::Syscall(SyscallRequest::Stat { path: "/d/f".into() })
+                        Action::Syscall(SyscallRequest::Stat {
+                            path: "/d/f".into(),
+                        })
                     } else {
                         Action::Compute(tocttou_sim::time::SimDuration::from_micros(2))
                     }
                 }),
             );
-            k.run_until(|k| k.now() >= SimTime::from_millis(1), SimTime::from_millis(2));
+            k.run_until(
+                |k| k.now() >= SimTime::from_millis(1),
+                SimTime::from_millis(2),
+            );
             k.events_processed()
         })
     });
@@ -105,9 +110,7 @@ fn bench_round_latency(c: &mut Criterion) {
 fn bench_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_perf/model");
     group.bench_function("expected_success_rate", |b| {
-        b.iter(|| {
-            expected_success_rate(MeasuredUs::new(61.6, 3.78), MeasuredUs::new(41.1, 2.73))
-        })
+        b.iter(|| expected_success_rate(MeasuredUs::new(61.6, 3.78), MeasuredUs::new(41.1, 2.73)))
     });
     group.finish();
 }

@@ -3,8 +3,8 @@
 //! Prints the reproduced table (reduced rounds), then benchmarks the
 //! 1-byte round, the smallest complete attack the simulator runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Once;
+use tocttou_bench::harness::{criterion_group, criterion_main, Criterion};
 use tocttou_experiments::figures::table1;
 use tocttou_workloads::scenario::Scenario;
 
@@ -16,6 +16,7 @@ fn bench(c: &mut Criterion) {
             rounds: 120,
             seed: 0x71,
             p_interference: 0.04,
+            jobs: 0, // headline print only — use every core
         });
         println!("\n{out}");
     });

@@ -2,8 +2,8 @@
 //!
 //! Prints the reproduced table, then benchmarks one gedit SMP round.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Once;
+use tocttou_bench::harness::{criterion_group, criterion_main, Criterion};
 use tocttou_experiments::figures::table2;
 use tocttou_workloads::scenario::Scenario;
 
@@ -15,6 +15,7 @@ fn bench(c: &mut Criterion) {
             rounds: 120,
             seed: 0x72,
             file_size: 2048,
+            jobs: 0, // headline print only — use every core
         });
         println!("\n{out}");
     });

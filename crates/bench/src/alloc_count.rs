@@ -1,0 +1,99 @@
+//! A counting global allocator.
+//!
+//! Wraps the system allocator and keeps process-wide counters of
+//! allocation calls and bytes requested, so benches can report how much
+//! heap churn a code path causes. Install it in a bench binary with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: tocttou_bench::alloc_count::CountingAlloc =
+//!     tocttou_bench::alloc_count::CountingAlloc;
+//! ```
+//!
+//! Counters are monotonically increasing; measure a region by differencing
+//! [`snapshot`] values around it. The counts are exact on a single thread
+//! and merely consistent (relaxed atomics) across threads — good enough
+//! for the orders-of-magnitude comparisons the benches make.
+
+// The one unsafe impl in this crate: delegating GlobalAlloc to System.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// The counting allocator; a unit type so it can be `static`.
+pub struct CountingAlloc;
+
+// SAFETY: pure delegation to `System`; the counters are side effects that
+// never touch the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// A point-in-time reading of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Allocation calls (alloc + realloc) so far.
+    pub calls: u64,
+    /// Bytes requested so far.
+    pub bytes: u64,
+}
+
+impl Snapshot {
+    /// Counter deltas from `earlier` to `self`.
+    pub fn since(&self, earlier: Snapshot) -> Snapshot {
+        Snapshot {
+            calls: self.calls - earlier.calls,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// Reads the current counters.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        calls: ALLOC_CALLS.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_differences() {
+        let a = Snapshot {
+            calls: 10,
+            bytes: 100,
+        };
+        let b = Snapshot {
+            calls: 25,
+            bytes: 164,
+        };
+        assert_eq!(
+            b.since(a),
+            Snapshot {
+                calls: 15,
+                bytes: 64
+            }
+        );
+    }
+}

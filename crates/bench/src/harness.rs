@@ -1,0 +1,259 @@
+//! A minimal Criterion-shaped timing harness.
+//!
+//! Each benchmark runs one warm-up call to calibrate how many iterations
+//! fit a ~5 ms sample, then times `sample_size` such samples and reports
+//! the median, minimum, and maximum per-iteration latency (plus
+//! element/byte throughput when requested). Results print as aligned rows
+//! so `cargo bench` output stays grep-able.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-sample throughput annotation, mirroring Criterion's.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements are processed per iteration.
+    Elements(u64),
+    /// `n` bytes are processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a displayable parameter (e.g. an input size).
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    sample_count: usize,
+    /// Filled by `iter`: (iterations, wall time) per sample.
+    samples: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating how many calls fit one ~5 ms sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push((iters, t.elapsed()));
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/id` label.
+    pub label: String,
+    /// Median per-iteration latency, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration latency, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration latency, nanoseconds.
+    pub max_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The harness entry point; collects every measurement of a bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// All measurements taken so far, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling options.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_count: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.record(&id, &b.samples);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_count: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        self.record(&id, &b.samples);
+    }
+
+    fn record(&mut self, id: &BenchmarkId, samples: &[(u64, Duration)]) {
+        let label = format!("{}/{}", self.name, id.0);
+        if samples.is_empty() {
+            println!("{label:<44} (no samples — closure never called iter)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = samples
+            .iter()
+            .map(|&(iters, d)| d.as_nanos() as f64 / iters as f64)
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[per_iter.len() / 2];
+        let m = Measurement {
+            label: label.clone(),
+            median_ns: median,
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            samples: per_iter.len(),
+        };
+        let tput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.0} elem/s", n as f64 / (median / 1e9))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.0} B/s", n as f64 / (median / 1e9))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<44} median {:>12}  [{} .. {}]{}",
+            fmt_ns(m.median_ns),
+            fmt_ns(m.min_ns),
+            fmt_ns(m.max_ns),
+            tput
+        );
+        self.criterion.measurements.push(m);
+    }
+
+    /// Ends the group (kept for Criterion API parity; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into one registration function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($func:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $($func(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary from registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $($group(&mut c);)+
+            eprintln!("{} benchmarks measured", c.measurements.len());
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::from_parameter(42), &7u64, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements.len(), 2);
+        assert_eq!(c.measurements[0].label, "t/noop");
+        assert_eq!(c.measurements[1].label, "t/42");
+        assert!(c.measurements[0].median_ns > 0.0);
+        assert!(c.measurements[0].min_ns <= c.measurements[0].max_ns);
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.000 s");
+    }
+}

@@ -1,19 +1,33 @@
 //! # tocttou-bench — benchmark-harness support
 //!
-//! Shared helpers for the Criterion benchmarks under `benches/`, one per
-//! table/figure of the paper (each prints its reduced reproduction rows
-//! once, then measures per-round simulation cost), plus simulator
-//! performance and ablation benches.
+//! A small self-contained timing harness for the benchmarks under
+//! `benches/`, one per table/figure of the paper (each prints its reduced
+//! reproduction rows once, then measures per-round simulation cost), plus
+//! simulator performance, ablation, and Monte-Carlo throughput benches.
+//!
+//! The [`harness`] module exposes a deliberately Criterion-shaped API
+//! (`Criterion`, `benchmark_group`, `bench_function`, the
+//! `criterion_group!`/`criterion_main!` macros) so the bench files read
+//! like any other Rust bench suite, but it is implemented in-repo: the
+//! container has no registry access, and the benches only need medians and
+//! throughput numbers, not Criterion's full statistical machinery.
+//!
+//! [`alloc_count`] provides a counting [`std::alloc::GlobalAlloc`] wrapper
+//! used by the `monte_carlo` bench to show how many heap allocations the
+//! pooled round engine saves.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::Once;
 use tocttou_core::stats::SuccessCounter;
 use tocttou_workloads::scenario::Scenario;
 
+pub mod alloc_count;
+pub mod harness;
+
 /// Runs `f` exactly once per process (used to print reproduction rows at
-/// bench start without polluting every Criterion iteration).
+/// bench start without polluting every timed iteration).
 pub fn print_once(once: &'static Once, f: impl FnOnce()) {
     once.call_once(f);
 }

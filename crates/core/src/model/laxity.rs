@@ -71,7 +71,10 @@ impl MeasuredUs {
     ///
     /// Panics if `stdev` is negative or either value is non-finite.
     pub fn new(mean: f64, stdev: f64) -> Self {
-        assert!(mean.is_finite() && stdev.is_finite(), "non-finite measurement");
+        assert!(
+            mean.is_finite() && stdev.is_finite(),
+            "non-finite measurement"
+        );
         assert!(stdev >= 0.0, "standard deviation must be non-negative");
         MeasuredUs { mean, stdev }
     }

@@ -65,10 +65,7 @@ impl UniprocessorScenario {
     /// Combines the slice-expiry probability with the voluntary-block
     /// probability as independent causes.
     pub fn p_suspended(&self) -> Probability {
-        assert!(
-            self.timeslice_us > 0.0,
-            "time slice must be positive"
-        );
+        assert!(self.timeslice_us > 0.0, "time slice must be positive");
         let p_slice = (self.window_us.max(0.0) / self.timeslice_us).min(1.0);
         let p = 1.0 - (1.0 - p_slice) * (1.0 - self.p_block.clamp(0.0, 1.0));
         Probability::saturating(p)

@@ -371,11 +371,8 @@ mod tests {
         let s: OnlineStats = data.iter().copied().collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.population_variance() - 4.0).abs() < 1e-12);
-        let naive_sample_var = data
-            .iter()
-            .map(|x| (x - 5.0) * (x - 5.0))
-            .sum::<f64>()
-            / (data.len() - 1) as f64;
+        let naive_sample_var =
+            data.iter().map(|x| (x - 5.0) * (x - 5.0)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((s.sample_variance() - naive_sample_var).abs() < 1e-12);
     }
 

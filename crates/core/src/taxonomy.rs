@@ -308,7 +308,11 @@ mod tests {
 
     #[test]
     fn named_vulnerabilities_are_valid_pairs() {
-        for pair in [TocttouPair::vi(), TocttouPair::gedit(), TocttouPair::sendmail()] {
+        for pair in [
+            TocttouPair::vi(),
+            TocttouPair::gedit(),
+            TocttouPair::sendmail(),
+        ] {
             assert!(pair.check().can_check());
             assert!(pair.use_call().can_use());
             assert!(enumerate_pairs().contains(&pair));

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <exhibit>... [--rounds N] [--seed S] [--out DIR]
+//! repro <exhibit>... [--rounds N] [--seed S] [--jobs J] [--out DIR]
 //!
 //! exhibits: fig6 fig7 table1 table2 fig8 fig10 fig11 headline defense pairs maze lddist all
 //! ```
@@ -21,6 +21,7 @@ struct Args {
     exhibits: Vec<String>,
     rounds: Option<u64>,
     seed: Option<u64>,
+    jobs: Option<usize>,
     out: String,
 }
 
@@ -28,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
     let mut exhibits = Vec::new();
     let mut rounds = None;
     let mut seed = None;
+    let mut jobs = None;
     let mut out = "target/experiments".to_string();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -40,11 +42,15 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 seed = Some(v.parse().map_err(|e| format!("--seed: {e}"))?);
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = Some(v.parse().map_err(|e| format!("--jobs: {e}"))?);
+            }
             "--out" => {
                 out = it.next().ok_or("--out needs a value")?;
             }
             "--help" | "-h" => {
-                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|pairs|all>... [--rounds N] [--seed S] [--out DIR]".into());
+                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|pairs|all>... [--rounds N] [--seed S] [--jobs J] [--out DIR]".into());
             }
             name if !name.starts_with('-') => exhibits.push(name.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -57,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         exhibits,
         rounds,
         seed,
+        jobs,
         out,
     })
 }
@@ -82,6 +89,9 @@ fn main() {
         if let Some(s) = args.seed {
             cfg.seed = s;
         }
+        if let Some(j) = args.jobs {
+            cfg.jobs = j;
+        }
         let out = headline::run(&cfg);
         println!("{out}");
         report.add("headline", &out).expect("write headline");
@@ -93,6 +103,9 @@ fn main() {
         }
         if let Some(s) = args.seed {
             cfg.seed = s;
+        }
+        if let Some(j) = args.jobs {
+            cfg.jobs = j;
         }
         let out = fig6::run(&cfg);
         println!("{out}");
@@ -107,12 +120,20 @@ fn main() {
             &[
                 Series {
                     label: "observed".into(),
-                    points: out.rows.iter().map(|r| (r.size_kb as f64, r.observed)).collect(),
+                    points: out
+                        .rows
+                        .iter()
+                        .map(|r| (r.size_kb as f64, r.observed))
+                        .collect(),
                     color: "#d62728".into(),
                 },
                 Series {
                     label: "model (window/timeslice)".into(),
-                    points: out.rows.iter().map(|r| (r.size_kb as f64, r.model)).collect(),
+                    points: out
+                        .rows
+                        .iter()
+                        .map(|r| (r.size_kb as f64, r.model))
+                        .collect(),
                     color: "#1f77b4".into(),
                 },
             ],
@@ -127,6 +148,9 @@ fn main() {
         if let Some(s) = args.seed {
             cfg.seed = s;
         }
+        if let Some(j) = args.jobs {
+            cfg.jobs = j;
+        }
         let out = fig7::run(&cfg);
         println!("{out}");
         report.add("fig7", &out).expect("write fig7");
@@ -140,12 +164,20 @@ fn main() {
             &[
                 Series {
                     label: "L".into(),
-                    points: out.rows.iter().map(|r| (r.size_kb as f64, r.l_us)).collect(),
+                    points: out
+                        .rows
+                        .iter()
+                        .map(|r| (r.size_kb as f64, r.l_us))
+                        .collect(),
                     color: "#d62728".into(),
                 },
                 Series {
                     label: "D".into(),
-                    points: out.rows.iter().map(|r| (r.size_kb as f64, r.d_us)).collect(),
+                    points: out
+                        .rows
+                        .iter()
+                        .map(|r| (r.size_kb as f64, r.d_us))
+                        .collect(),
                     color: "#1f77b4".into(),
                 },
             ],
@@ -160,6 +192,9 @@ fn main() {
         if let Some(s) = args.seed {
             cfg.seed = s;
         }
+        if let Some(j) = args.jobs {
+            cfg.jobs = j;
+        }
         let out = table1::run(&cfg);
         println!("{out}");
         report.add("table1", &out).expect("write table1");
@@ -171,6 +206,9 @@ fn main() {
         }
         if let Some(s) = args.seed {
             cfg.seed = s;
+        }
+        if let Some(j) = args.jobs {
+            cfg.jobs = j;
         }
         let out = table2::run(&cfg);
         println!("{out}");
@@ -194,8 +232,7 @@ fn main() {
         let out = fig10::run(&cfg);
         println!("{out}");
         report.add("fig10", &out).expect("write fig10");
-        std::fs::write(report.dir().join("fig10.svg"), &out.timeline_svg)
-            .expect("write fig10.svg");
+        std::fs::write(report.dir().join("fig10.svg"), &out.timeline_svg).expect("write fig10.svg");
     }
     if wants("fig11") {
         let mut cfg = fig11::Config::default();
@@ -211,9 +248,24 @@ fn main() {
             .map(|r| BarRow {
                 label: format!("{} KB {}", r.size_kb, r.variant),
                 spans: vec![
-                    (r.stat.start_us, r.stat.end_us, "#999999".into(), "stat".into()),
-                    (r.unlink.start_us, r.unlink.end_us, "#d62728".into(), "unlink".into()),
-                    (r.symlink.start_us, r.symlink.end_us, "#1f77b4".into(), "symlink".into()),
+                    (
+                        r.stat.start_us,
+                        r.stat.end_us,
+                        "#999999".into(),
+                        "stat".into(),
+                    ),
+                    (
+                        r.unlink.start_us,
+                        r.unlink.end_us,
+                        "#d62728".into(),
+                        "unlink".into(),
+                    ),
+                    (
+                        r.symlink.start_us,
+                        r.symlink.end_us,
+                        "#1f77b4".into(),
+                        "symlink".into(),
+                    ),
                 ],
             })
             .collect();
@@ -235,6 +287,9 @@ fn main() {
         }
         if let Some(s) = args.seed {
             cfg.seed = s;
+        }
+        if let Some(j) = args.jobs {
+            cfg.jobs = j;
         }
         let out = defense::run(&cfg);
         println!("{out}");
@@ -285,7 +340,11 @@ fn main() {
             },
             &[Series {
                 label: "observed".into(),
-                points: out.rows.iter().map(|r| (r.depth as f64, r.observed)).collect(),
+                points: out
+                    .rows
+                    .iter()
+                    .map(|r| (r.depth as f64, r.observed))
+                    .collect(),
                 color: "#d62728".into(),
             }],
         );

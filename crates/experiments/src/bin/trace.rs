@@ -1,7 +1,7 @@
 //! `trace` — render the event timeline of one scenario round.
 //!
 //! ```text
-//! trace <scenario> [--seed S] [--width W] [--find success|failure]
+//! trace <scenario> [--seed S] [--width W] [--find success|failure] [--jobs J]
 //!
 //! scenarios: vi-uni vi-smp vi-smp-1b gedit-uni gedit-smp gedit-mc-v1
 //!            gedit-mc-v2 pipelined
@@ -9,7 +9,8 @@
 //!
 //! Prints the round outcome and a Figure 8/10-style ASCII timeline of the
 //! victim and attacker(s). With `--find`, seeds are scanned (from `--seed`)
-//! until a round with the requested outcome turns up.
+//! until a round with the requested outcome turns up; `--jobs` fans the
+//! scan across worker threads and still reports the lowest matching seed.
 
 use tocttou_experiments::timeline::Timeline;
 use tocttou_sim::time::{SimDuration, SimTime};
@@ -29,16 +30,49 @@ fn scenario_by_name(name: &str) -> Option<Scenario> {
     })
 }
 
+/// Scans `count` seeds from `start` for the first round whose success flag
+/// equals `wanted`, fanning contiguous chunks across `jobs` threads. The
+/// lowest matching seed wins regardless of thread count, because the first
+/// match of the lowest-numbered chunk with any match is the global first.
+fn scan_seeds(
+    scenario: &Scenario,
+    start: u64,
+    count: u64,
+    wanted: bool,
+    jobs: usize,
+) -> Option<u64> {
+    let jobs = tocttou_experiments::monte_carlo::effective_jobs(jobs, count);
+    if jobs <= 1 {
+        return (start..start + count).find(|&s| scenario.run_round(s).success == wanted);
+    }
+    let chunk = count.div_ceil(jobs as u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs as u64)
+            .map(|w| {
+                let lo = start + w * chunk;
+                let hi = (lo + chunk).min(start + count);
+                scope.spawn(move || (lo..hi).find(|&s| scenario.run_round(s).success == wanted))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("seed-scan worker panicked"))
+            .next()
+    })
+}
+
 fn main() {
     let mut name = None;
     let mut seed = 1u64;
     let mut width = 110usize;
     let mut find: Option<bool> = None;
+    let mut jobs = 1usize;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--width" => width = it.next().and_then(|v| v.parse().ok()).unwrap_or(width),
+            "--jobs" => jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or(jobs),
             "--find" => {
                 find = match it.next().as_deref() {
                     Some("success") => Some(true),
@@ -48,7 +82,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: trace <vi-uni|vi-smp|vi-smp-1b|gedit-uni|gedit-smp|gedit-mc-v1|gedit-mc-v2|pipelined> [--seed S] [--width W] [--find success|failure]"
+                    "usage: trace <vi-uni|vi-smp|vi-smp-1b|gedit-uni|gedit-smp|gedit-mc-v1|gedit-mc-v2|pipelined> [--seed S] [--width W] [--find success|failure] [--jobs J]"
                 );
                 return;
             }
@@ -69,30 +103,30 @@ fn main() {
             let (r, h) = scenario.run_traced(seed);
             (r, h, seed)
         }
-        Some(wanted) => {
-            let mut found = None;
-            for s in seed..seed + 500 {
+        Some(wanted) => match scan_seeds(&scenario, seed, 500, wanted, jobs) {
+            Some(s) => {
                 let (r, h) = scenario.run_traced(s);
-                if r.success == wanted {
-                    found = Some((r, h, s));
-                    break;
-                }
+                (r, h, s)
             }
-            match found {
-                Some(f) => f,
-                None => {
-                    eprintln!("no {} round within 500 seeds", if wanted { "successful" } else { "failed" });
-                    std::process::exit(1);
-                }
+            None => {
+                eprintln!(
+                    "no {} round within 500 seeds",
+                    if wanted { "successful" } else { "failed" }
+                );
+                std::process::exit(1);
             }
-        }
+        },
     };
 
     println!(
         "{} seed {}: {} after {}",
         scenario.name,
         used_seed,
-        if result.success { "ATTACK SUCCEEDED" } else { "attack failed" },
+        if result.success {
+            "ATTACK SUCCEEDED"
+        } else {
+            "attack failed"
+        },
         result.elapsed
     );
     // Window the chart around the victim's save (skip the idle prologue).

@@ -210,11 +210,7 @@ pub fn observe(
                         pid,
                         call: SyscallName::Stat,
                         ..
-                    } if *pid == attacker
-                        && detect_enter.is_none_or(|t| r.at <= t) =>
-                    {
-                        Some(r.at)
-                    }
+                    } if *pid == attacker && detect_enter.is_none_or(|t| r.at <= t) => Some(r.at),
                     _ => None,
                 })
                 .collect();
@@ -265,11 +261,12 @@ fn commit_after_enter(
             } if *p == pid && *c == call => {
                 in_matching_call = path.is_none() || ep.as_deref() == path;
             }
-            OsEvent::Commit { pid: p, call: c } if *p == pid && *c == call
-                && in_matching_call => {
-                    return Some(r.at);
-                }
-            OsEvent::SyscallExit { pid: p, call: c, .. } if *p == pid && *c == call => {
+            OsEvent::Commit { pid: p, call: c } if *p == pid && *c == call && in_matching_call => {
+                return Some(r.at);
+            }
+            OsEvent::SyscallExit {
+                pid: p, call: c, ..
+            } if *p == pid && *c == call => {
                 in_matching_call = false;
             }
             _ => {}

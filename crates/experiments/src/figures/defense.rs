@@ -18,6 +18,9 @@ pub struct Config {
     pub rounds: u64,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for each Monte-Carlo batch (`1` = serial,
+    /// `0` = auto); results are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for Config {
@@ -25,6 +28,7 @@ impl Default for Config {
         Config {
             rounds: 120,
             seed: 13_0001,
+            jobs: 1,
         }
     }
 }
@@ -75,6 +79,7 @@ pub fn run(cfg: &Config) -> Output {
                 rounds: cfg.rounds,
                 base_seed: cfg.seed,
                 collect_ld: false,
+                jobs: cfg.jobs,
             },
         )
         .rate;
@@ -85,6 +90,7 @@ pub fn run(cfg: &Config) -> Output {
                 rounds: cfg.rounds,
                 base_seed: cfg.seed,
                 collect_ld: false,
+                jobs: cfg.jobs,
             },
         )
         .rate;
@@ -134,6 +140,7 @@ mod tests {
         let out = run(&Config {
             rounds: 25,
             seed: 5,
+            jobs: 1,
         });
         assert_eq!(out.rows.len(), 5);
         for r in &out.rows {

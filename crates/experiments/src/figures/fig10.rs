@@ -191,7 +191,11 @@ impl std::fmt::Display for Output {
             self.stat_to_unlink_us.map_or("n/a".into(), |v| format!("{v:.1}")),
             self.t1_into_rename_us.map_or("n/a".into(), |v| format!("{v:.1}")),
         )?;
-        writeln!(f, "attack outcome: {}", if self.success { "SUCCESS" } else { "FAILURE" })?;
+        writeln!(
+            f,
+            "attack outcome: {}",
+            if self.success { "SUCCESS" } else { "FAILURE" }
+        )?;
         write!(f, "{}", self.timeline)
     }
 }

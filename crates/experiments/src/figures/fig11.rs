@@ -200,7 +200,11 @@ pub fn run(cfg: &Config) -> Output {
             Uid(1000),
             Gid(1000),
             true,
-            Box::new(PipelinedDetector::new(attack_cfg.clone(), flag.clone(), cfg.seed)),
+            Box::new(PipelinedDetector::new(
+                attack_cfg.clone(),
+                flag.clone(),
+                cfg.seed,
+            )),
         );
         let t2 = kernel.spawn(
             "link",
@@ -269,9 +273,17 @@ impl std::fmt::Display for Output {
                 r.attack_end_us()
             )?;
         }
-        for size in self.rows.iter().map(|r| r.size_kb).collect::<std::collections::BTreeSet<_>>() {
+        for size in self
+            .rows
+            .iter()
+            .map(|r| r.size_kb)
+            .collect::<std::collections::BTreeSet<_>>()
+        {
             if let Some(s) = self.speedup(size) {
-                writeln!(f, "{size} KB: attack completes {s:.1}× sooner when pipelined")?;
+                writeln!(
+                    f,
+                    "{size} KB: attack completes {s:.1}× sooner when pipelined"
+                )?;
             }
         }
         Ok(())

@@ -20,6 +20,9 @@ pub struct Config {
     pub rounds: u64,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for each Monte-Carlo batch (`1` = serial,
+    /// `0` = auto); results are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for Config {
@@ -28,6 +31,7 @@ impl Default for Config {
             sizes_kb: (1..=10).map(|i| i * 100).collect(),
             rounds: 200,
             seed: 6_0001,
+            jobs: 1,
         }
     }
 }
@@ -66,6 +70,7 @@ pub fn run(cfg: &Config) -> Output {
                 rounds: 3,
                 base_seed: cfg.seed ^ 0x5a5a,
                 collect_ld: true,
+                jobs: cfg.jobs,
             },
         );
         let window_us = probe.window_us.unwrap_or(0.0);
@@ -85,6 +90,7 @@ pub fn run(cfg: &Config) -> Output {
                 rounds: cfg.rounds,
                 base_seed: cfg.seed + size_kb,
                 collect_ld: false,
+                jobs: cfg.jobs,
             },
         );
         rows.push(Row {
@@ -135,6 +141,7 @@ mod tests {
             sizes_kb: vec![100, 1000],
             rounds: 120,
             seed: 42,
+            jobs: 1,
         });
         assert_eq!(out.rows.len(), 2);
         let small = &out.rows[0];

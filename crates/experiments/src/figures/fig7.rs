@@ -19,6 +19,9 @@ pub struct Config {
     pub rounds: u64,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for each Monte-Carlo batch (`1` = serial,
+    /// `0` = auto); results are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for Config {
@@ -27,6 +30,7 @@ impl Default for Config {
             sizes_kb: (1..=25).map(|i| i * 40).collect(),
             rounds: 10,
             seed: 7_0001,
+            jobs: 1,
         }
     }
 }
@@ -66,6 +70,7 @@ pub fn run(cfg: &Config) -> Output {
                 rounds: cfg.rounds,
                 base_seed: cfg.seed + size_kb,
                 collect_ld: true,
+                jobs: cfg.jobs,
             },
         );
         let (l, d) = match (mc.l, mc.d) {
@@ -144,13 +149,19 @@ mod tests {
             sizes_kb: vec![40, 400, 1000],
             rounds: 5,
             seed: 3,
+            jobs: 1,
         });
         assert_eq!(out.rows.len(), 3);
         let slope = out.l_slope_us_per_kb();
         assert!((14.0..20.0).contains(&slope), "L slope {slope} µs/KB");
         // D flat around 41 µs across the sweep.
         for r in &out.rows {
-            assert!((33.0..49.0).contains(&r.d_us), "D {} at {} KB", r.d_us, r.size_kb);
+            assert!(
+                (33.0..49.0).contains(&r.d_us),
+                "D {} at {} KB",
+                r.d_us,
+                r.size_kb
+            );
             assert!(r.observed > 0.9, "success ~100% at {} KB", r.size_kb);
             assert!(r.l_us > r.d_us, "L > D everywhere (Section 5)");
         }

@@ -78,7 +78,10 @@ pub fn run(cfg: &Config) -> Output {
             }
             // A detected failure without the blocked unlink is still a
             // better fallback than a non-detecting round.
-            if fallback.as_ref().is_none_or(|f| f.success || f.victim_gap_us.is_none()) {
+            if fallback
+                .as_ref()
+                .is_none_or(|f| f.success || f.victim_gap_us.is_none())
+            {
                 fallback = Some(out);
                 continue;
             }
@@ -147,9 +150,7 @@ fn render(
                 unlink_enter.get_or_insert(r.at);
                 pending_unlink = true;
             }
-            OsEvent::SemEnqueue { pid, .. }
-                if *pid == handles.attackers[0] && pending_unlink =>
-            {
+            OsEvent::SemEnqueue { pid, .. } if *pid == handles.attackers[0] && pending_unlink => {
                 unlink_blocked = true;
             }
             OsEvent::SyscallExit {
@@ -203,7 +204,11 @@ impl std::fmt::Display for Output {
                 .map_or("n/a".into(), |v| format!("{v:.1}")),
             self.unlink_blocked
         )?;
-        writeln!(f, "attack outcome: {}", if self.success { "SUCCESS" } else { "FAILURE" })?;
+        writeln!(
+            f,
+            "attack outcome: {}",
+            if self.success { "SUCCESS" } else { "FAILURE" }
+        )?;
         write!(f, "{}", self.timeline)
     }
 }
@@ -221,7 +226,9 @@ mod tests {
         assert!(!out.success, "v1 on the multi-core fails");
         let vg = out.victim_gap_us.expect("victim gap measured");
         assert!(vg < 8.0, "victim gap {vg} ≈ 3 µs");
-        let ag = out.attacker_stat_to_unlink_us.expect("attacker gap measured");
+        let ag = out
+            .attacker_stat_to_unlink_us
+            .expect("attacker gap measured");
         assert!(ag > vg, "attacker slower than victim: {ag} vs {vg}");
         assert!(out.timeline.contains("gedit"));
         assert!(out.timeline.contains("attacker"));

@@ -15,6 +15,9 @@ pub struct Config {
     pub rounds: u64,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for each Monte-Carlo batch (`1` = serial,
+    /// `0` = auto); results are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for Config {
@@ -22,6 +25,7 @@ impl Default for Config {
         Config {
             rounds: 200,
             seed: 12_0001,
+            jobs: 1,
         }
     }
 }
@@ -55,6 +59,7 @@ pub fn run(cfg: &Config) -> Output {
                 rounds: cfg.rounds,
                 base_seed: cfg.seed + salt,
                 collect_ld: false,
+                jobs: cfg.jobs,
             },
         )
         .rate
@@ -116,6 +121,7 @@ mod tests {
         let out = run(&Config {
             rounds: 40,
             seed: 2,
+            jobs: 1,
         });
         for r in &out.rows {
             assert!(

@@ -149,13 +149,12 @@ mod tests {
 
         // vi's L mass is concentrated around 62 µs: the modal bin of the
         // [0, 100) histogram sits in the 55–70 range.
-        let (mode_idx, _) = vi
-            .l
-            .bins()
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap();
+        let (mode_idx, _) =
+            vi.l.bins()
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .unwrap();
         let (lo, hi) = vi.l.bin_edges(mode_idx);
         assert!(lo >= 50.0 && hi <= 75.0, "vi L mode in [{lo}, {hi})");
 

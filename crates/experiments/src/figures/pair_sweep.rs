@@ -146,8 +146,7 @@ fn run_pair(pair: TocttouPair, cfg: &Config) -> Row {
         if passwd.uid != Uid::ROOT || passwd.mode != 0o644 {
             privileged_compromised += 1;
         }
-        if k
-            .vfs()
+        if k.vfs()
             .lstat("/home/user/f")
             .map(|st| st.is_symlink)
             .unwrap_or(false)

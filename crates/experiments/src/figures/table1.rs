@@ -23,6 +23,9 @@ pub struct Config {
     /// the background-activity spec; the paper attributes the 4 % shortfall
     /// to "other processes" denying the attacker its CPU).
     pub p_interference: f64,
+    /// Worker threads for each Monte-Carlo batch (`1` = serial,
+    /// `0` = auto); results are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for Config {
@@ -31,6 +34,7 @@ impl Default for Config {
             rounds: 200,
             seed: 1_0001,
             p_interference: 0.04,
+            jobs: 1,
         }
     }
 }
@@ -65,6 +69,7 @@ pub fn run(cfg: &Config) -> Output {
             rounds: cfg.rounds,
             base_seed: cfg.seed,
             collect_ld: true,
+            jobs: cfg.jobs,
         },
     );
     let l = mc.l.expect("vi SMP rounds always detect");
@@ -98,8 +103,16 @@ impl std::fmt::Display for Output {
             "Table 1 — vi SMP attack, 1-byte file (paper: L = 61.6 ± 3.78, D = 41.1 ± 2.73, ~96%)"
         )?;
         writeln!(f, "{:>22} {:>16} {:>10}", "", "Average", "Stdev")?;
-        writeln!(f, "{:>22} {:>16.1} {:>10.2}", "L (µs)", self.l.mean, self.l.stdev)?;
-        writeln!(f, "{:>22} {:>16.1} {:>10.2}", "D (µs)", self.d.mean, self.d.stdev)?;
+        writeln!(
+            f,
+            "{:>22} {:>16.1} {:>10.2}",
+            "L (µs)", self.l.mean, self.l.stdev
+        )?;
+        writeln!(
+            f,
+            "{:>22} {:>16.1} {:>10.2}",
+            "D (µs)", self.d.mean, self.d.stdev
+        )?;
         writeln!(
             f,
             "observed success: {:.1}% [{:.1}%, {:.1}%] over {} rounds",
@@ -128,6 +141,7 @@ mod tests {
             rounds: 60,
             seed: 5,
             p_interference: 0.04,
+            jobs: 1,
         });
         // L and D in the paper's ballpark, with L > D.
         assert!((50.0..75.0).contains(&out.l.mean), "L {}", out.l.mean);

@@ -22,6 +22,9 @@ pub struct Config {
     pub seed: u64,
     /// File size in bytes (the window is size-independent for gedit).
     pub file_size: u64,
+    /// Worker threads for each Monte-Carlo batch (`1` = serial,
+    /// `0` = auto); results are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for Config {
@@ -30,6 +33,7 @@ impl Default for Config {
             rounds: 200,
             seed: 2_0001,
             file_size: 2048,
+            jobs: 1,
         }
     }
 }
@@ -62,6 +66,7 @@ pub fn run(cfg: &Config) -> Output {
             rounds: cfg.rounds,
             base_seed: cfg.seed,
             collect_ld: true,
+            jobs: cfg.jobs,
         },
     );
     let l = mc.l.expect("gedit SMP rounds mostly detect");
@@ -84,8 +89,16 @@ impl std::fmt::Display for Output {
             "Table 2 — gedit SMP attack (paper: L = 11.6 ± 3.89, D = 32.7 ± 2.83; predicted ~35% vs observed ~83%)"
         )?;
         writeln!(f, "{:>22} {:>16} {:>10}", "", "Average", "Stdev")?;
-        writeln!(f, "{:>22} {:>16.1} {:>10.2}", "L (µs)", self.l.mean, self.l.stdev)?;
-        writeln!(f, "{:>22} {:>16.1} {:>10.2}", "D (µs)", self.d.mean, self.d.stdev)?;
+        writeln!(
+            f,
+            "{:>22} {:>16.1} {:>10.2}",
+            "L (µs)", self.l.mean, self.l.stdev
+        )?;
+        writeln!(
+            f,
+            "{:>22} {:>16.1} {:>10.2}",
+            "D (µs)", self.d.mean, self.d.stdev
+        )?;
         writeln!(
             f,
             "formula(1) prediction from measured L/D: {:.1}% (conservative t1, as in the paper)",
@@ -113,10 +126,14 @@ mod tests {
             rounds: 80,
             seed: 11,
             file_size: 2048,
+            jobs: 1,
         });
         // D in the paper's ballpark; L small.
         assert!((25.0..45.0).contains(&out.d.mean), "D {}", out.d.mean);
-        assert!(out.l.mean < out.d.mean, "L < D as measured (contended regime)");
+        assert!(
+            out.l.mean < out.d.mean,
+            "L < D as measured (contended regime)"
+        );
         // Observed high (paper ~83 %).
         assert!(out.observed > 0.6, "observed {}", out.observed);
         // The table's headline: the measured-L prediction under-shoots the

@@ -3,12 +3,26 @@
 //! Runs N independent rounds of a [`Scenario`] with per-round seeds derived
 //! from a base seed, accumulating the success rate and (optionally) the
 //! paper's L/D statistics from traced rounds.
+//!
+//! ## Parallel batches
+//!
+//! Rounds are independent by construction (round *i* is fully determined
+//! by `base_seed + i`), so [`run_mc`] fans them across
+//! [`McConfig::jobs`] worker threads. Each worker simulates a contiguous
+//! block of rounds on its own recycled [`KernelPool`], emitting one
+//! small observation record per round; the calling thread then folds the
+//! observations **in round order** through the same accumulators the
+//! serial loop uses. Because the floating-point reduction order is
+//! identical, the outcome is bit-for-bit the same for every `jobs` value
+//! — `jobs` trades wall-clock for cores, never results.
 
 use crate::extract::{observe, window_length_us, WindowKind};
 use serde::Serialize;
-use tocttou_core::analysis::LdEstimator;
+use tocttou_core::analysis::{LdEstimator, LdSample};
 use tocttou_core::model::MeasuredUs;
 use tocttou_core::stats::{OnlineStats, SuccessCounter};
+use tocttou_os::kernel::KernelPool;
+use tocttou_os::vfs::Vfs;
 use tocttou_workloads::scenario::{Scenario, VictimSpec};
 
 /// Options for a Monte-Carlo batch.
@@ -21,6 +35,11 @@ pub struct McConfig {
     /// Whether to trace rounds and extract L/D (slower; needed for
     /// Figure 7 and Tables 1–2).
     pub collect_ld: bool,
+    /// Worker threads to fan rounds across. `1` (the default) runs the
+    /// classic serial loop on the calling thread; `0` auto-detects the
+    /// machine's parallelism. The outcome is bit-identical for every
+    /// value.
+    pub jobs: usize,
 }
 
 impl Default for McConfig {
@@ -29,8 +48,30 @@ impl Default for McConfig {
             rounds: 200,
             base_seed: 0x7061_7065,
             collect_ld: false,
+            jobs: 1,
         }
     }
+}
+
+impl McConfig {
+    /// Returns the config with `jobs` worker threads (`0` = auto).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// Resolves a requested job count: `0` means auto-detect, and more
+/// workers than rounds is pointless.
+pub fn effective_jobs(jobs: usize, rounds: u64) -> usize {
+    let requested = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    requested.clamp(1, rounds.max(1).min(usize::MAX as u64) as usize)
 }
 
 /// Aggregated results of a Monte-Carlo batch.
@@ -119,35 +160,126 @@ pub fn window_kind_of(scenario: &Scenario) -> WindowKind {
 /// standard deviations (±3.78 µs for L over 1-byte runs) show such rounds
 /// were not part of its averages; a symmetric 5 % trim removes them without
 /// cherry-picking.
+///
+/// Exact contract, for `n` samples sorted by `l_us` ascending:
+/// `cut = floor(n * frac)` samples are dropped from *each* tail, keeping
+/// the middle `n - 2*cut` — unless `n <= 2*cut`, in which case trimming
+/// would leave nothing (or is degenerate) and **all `n` samples are kept
+/// untrimmed**. At 5 % that means batches of up to 19 samples are never
+/// trimmed (cut = 0), a 20-sample batch loses exactly its extreme L on
+/// each side (cut = 1), and the cut stays 1 until n = 40.
 const LD_TRIM_FRAC: f64 = 0.05;
 
-/// Runs the batch.
-pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
-    let mut counter = SuccessCounter::new();
-    let mut samples: Vec<tocttou_core::analysis::LdSample> = Vec::new();
-    let mut windows = OnlineStats::new();
-    let kind = window_kind_of(scenario);
-    for i in 0..cfg.rounds {
-        let seed = cfg.base_seed.wrapping_add(i);
-        if cfg.collect_ld {
-            let (result, handles) = scenario.run_traced(seed);
-            counter.record(result.success);
-            if let Some(obs) = observe(
-                handles.kernel.trace(),
-                handles.victim,
-                handles.attackers[0],
-                kind,
-                &scenario.layout.doc,
-            ) {
-                windows.push(window_length_us(&obs));
-                if let Some(sample) = obs.ld_sample() {
-                    samples.push(sample);
-                }
-            }
-        } else {
-            counter.record(scenario.run_round(seed).success);
+/// What one round contributes to the batch statistics. Workers produce
+/// these; the calling thread folds them in round order.
+struct RoundObs {
+    success: bool,
+    window_us: Option<f64>,
+    sample: Option<LdSample>,
+}
+
+/// Simulates one round on pooled buffers and extracts its observation.
+fn run_one_round(
+    scenario: &Scenario,
+    template: &Vfs,
+    pool: KernelPool,
+    seed: u64,
+    kind: WindowKind,
+    collect_ld: bool,
+) -> (RoundObs, KernelPool) {
+    let mut handles = scenario.build_pooled(seed, collect_ld, template, pool);
+    let result = scenario.finish_round(&mut handles);
+    let mut obs = RoundObs {
+        success: result.success,
+        window_us: None,
+        sample: None,
+    };
+    if collect_ld {
+        if let Some(o) = observe(
+            handles.kernel.trace(),
+            handles.victim,
+            handles.attackers[0],
+            kind,
+            &scenario.layout.doc,
+        ) {
+            obs.window_us = Some(window_length_us(&o));
+            obs.sample = o.ld_sample();
         }
     }
+    (obs, handles.kernel.recycle())
+}
+
+/// Runs the batch.
+///
+/// With `cfg.jobs > 1` the rounds are simulated on worker threads; the
+/// outcome is bit-identical to the serial (`jobs = 1`) run — see the
+/// module docs for why.
+pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
+    let kind = window_kind_of(scenario);
+    let template = scenario.template_vfs();
+    let jobs = effective_jobs(cfg.jobs, cfg.rounds);
+
+    let mut counter = SuccessCounter::new();
+    let mut samples: Vec<LdSample> = Vec::new();
+    let mut windows = OnlineStats::new();
+    // The single fold used by both paths: per-round op order on the
+    // accumulators is what makes serial and parallel runs bit-identical.
+    let mut fold = |obs: RoundObs| {
+        counter.record(obs.success);
+        if let Some(w) = obs.window_us {
+            windows.push(w);
+        }
+        if let Some(s) = obs.sample {
+            samples.push(s);
+        }
+    };
+
+    if jobs <= 1 {
+        let mut pool = KernelPool::new();
+        for i in 0..cfg.rounds {
+            let seed = cfg.base_seed.wrapping_add(i);
+            let (obs, returned) =
+                run_one_round(scenario, &template, pool, seed, kind, cfg.collect_ld);
+            pool = returned;
+            fold(obs);
+        }
+    } else {
+        // One contiguous block of rounds per worker; blocks come back in
+        // worker order, so flattening yields observations in round order.
+        let block = cfg.rounds.div_ceil(jobs as u64);
+        let blocks: Vec<(u64, u64)> = (0..jobs as u64)
+            .map(|w| (w * block, ((w + 1) * block).min(cfg.rounds)))
+            .filter(|(start, end)| start < end)
+            .collect();
+        let per_block: Vec<Vec<RoundObs>> = std::thread::scope(|scope| {
+            let template = &template;
+            let handles: Vec<_> = blocks
+                .iter()
+                .map(|&(start, end)| {
+                    scope.spawn(move || {
+                        let mut pool = KernelPool::new();
+                        let mut out = Vec::with_capacity((end - start) as usize);
+                        for i in start..end {
+                            let seed = cfg.base_seed.wrapping_add(i);
+                            let (obs, returned) =
+                                run_one_round(scenario, template, pool, seed, kind, cfg.collect_ld);
+                            pool = returned;
+                            out.push(obs);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("Monte-Carlo worker panicked"))
+                .collect()
+        });
+        for obs in per_block.into_iter().flatten() {
+            fold(obs);
+        }
+    }
+
     let ld = trimmed_estimator(samples, LD_TRIM_FRAC);
     McOutcome::from_parts(scenario, counter, ld, windows)
 }
@@ -179,6 +311,7 @@ mod tests {
                 rounds: 10,
                 base_seed: 1,
                 collect_ld: false,
+                jobs: 1,
             },
         );
         assert_eq!(out.rounds, 10);
@@ -195,6 +328,7 @@ mod tests {
                 rounds: 30,
                 base_seed: 100,
                 collect_ld: true,
+                jobs: 1,
             },
         );
         let l = out.l.expect("L collected");
@@ -213,10 +347,90 @@ mod tests {
             rounds: 15,
             base_seed: 9,
             collect_ld: false,
+            jobs: 1,
         };
         let a = run_mc(&s, &cfg);
         let b = run_mc(&s, &cfg);
         assert_eq!(a.successes, b.successes);
+    }
+
+    #[test]
+    fn parallel_jobs_match_serial_bitwise() {
+        let s = Scenario::vi_smp(1);
+        let base = McConfig {
+            rounds: 24,
+            base_seed: 4242,
+            collect_ld: true,
+            jobs: 1,
+        };
+        let serial = run_mc(&s, &base);
+        for jobs in [2, 3, 4] {
+            let par = run_mc(&s, &base.clone().with_jobs(jobs));
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&par).unwrap(),
+                "jobs={jobs} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_jobs_clamps_and_autodetects() {
+        assert_eq!(effective_jobs(1, 100), 1);
+        assert_eq!(effective_jobs(8, 3), 3, "never more workers than rounds");
+        assert_eq!(effective_jobs(4, 0), 1, "zero rounds still needs one job");
+        assert!(effective_jobs(0, 1000) >= 1, "auto-detect is at least 1");
+    }
+
+    /// `n` samples with L = 0, 1, ..., n-1 µs (already distinct and
+    /// sortable), D constant.
+    fn samples(n: usize) -> Vec<tocttou_core::analysis::LdSample> {
+        (0..n)
+            .map(|i| tocttou_core::analysis::LdSample {
+                l_us: i as f64,
+                d_us: 10.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trim_keeps_everything_below_the_first_cut() {
+        // floor(n * 0.05) = 0 for n < 20, so nothing is trimmed.
+        for n in [0usize, 1, 2] {
+            let est = trimmed_estimator(samples(n), LD_TRIM_FRAC);
+            assert_eq!(est.count(), n as u64, "n={n} must keep all samples");
+        }
+    }
+
+    #[test]
+    fn trim_boundary_at_twenty_samples() {
+        // n = 20 is the first batch size where floor(n * 0.05) = 1: the
+        // single smallest and single largest L are dropped.
+        let est = trimmed_estimator(samples(20), LD_TRIM_FRAC);
+        assert_eq!(est.count(), 18);
+        let (l, _) = est.raw();
+        // L values 1..=18 survive; their mean pins down *which* samples
+        // were dropped, not just how many.
+        assert!((l.mean() - 9.5).abs() < 1e-12, "kept middle: {}", l.mean());
+
+        // n = 21 still has cut = 1 (floor(1.05)).
+        let est = trimmed_estimator(samples(21), LD_TRIM_FRAC);
+        assert_eq!(est.count(), 19);
+        let (l, _) = est.raw();
+        assert!((l.mean() - 10.0).abs() < 1e-12, "kept 1..=19: {}", l.mean());
+    }
+
+    #[test]
+    fn trim_degenerate_cut_keeps_all() {
+        // When n <= 2*cut the trim would leave nothing; the contract is
+        // to keep every sample instead.
+        let est = trimmed_estimator(samples(2), 0.5);
+        assert_eq!(est.count(), 2, "n == 2*cut keeps all");
+        let est = trimmed_estimator(samples(1), 1.0);
+        assert_eq!(est.count(), 1, "n < 2*cut impossible to trim, keeps all");
+        // One above the degenerate point trims normally again.
+        let est = trimmed_estimator(samples(3), 0.5);
+        assert_eq!(est.count(), 1, "n = 3, cut = 1 keeps the median");
     }
 
     #[test]
@@ -228,6 +442,7 @@ mod tests {
                 rounds: 5,
                 base_seed: 2,
                 collect_ld: false,
+                jobs: 1,
             },
         );
         let text = out.to_string();

@@ -50,7 +50,9 @@ const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 55.0;
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
@@ -96,7 +98,10 @@ fn fmt_tick(v: f64) -> String {
 ///
 /// Panics if every series is empty.
 pub fn line_chart(cfg: &ChartConfig, series: &[Series]) -> String {
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "line chart needs at least one point");
     let (mut x_lo, mut x_hi) = all
         .iter()
@@ -198,7 +203,12 @@ pub fn line_chart(cfg: &ChartConfig, series: &[Series]) -> String {
             .iter()
             .enumerate()
             .map(|(i, &(x, y))| {
-                format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, sx(x), sy(y))
+                format!(
+                    "{}{:.1},{:.1}",
+                    if i == 0 { "M" } else { "L" },
+                    sx(x),
+                    sy(y)
+                )
             })
             .collect();
         out.push_str(&format!(
@@ -408,7 +418,10 @@ mod tests {
         assert!(ticks.contains(&0.0));
         assert!(ticks.contains(&1000.0));
         for w in ticks.windows(2) {
-            assert!((w[1] - w[0] - (ticks[1] - ticks[0])).abs() < 1e-9, "even spacing");
+            assert!(
+                (w[1] - w[0] - (ticks[1] - ticks[0])).abs() < 1e-9,
+                "even spacing"
+            );
         }
         assert!(nice_ticks(5.0, 5.0, 4).len() == 1, "degenerate range");
     }

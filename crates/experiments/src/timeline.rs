@@ -137,11 +137,7 @@ impl Timeline {
                 spans,
             });
         }
-        Timeline {
-            lanes,
-            origin,
-            end,
-        }
+        Timeline { lanes, origin, end }
     }
 
     /// Converts the timeline into [`crate::svg::BarRow`]s (µs relative to
@@ -311,12 +307,7 @@ mod tests {
     fn spans_clip_to_window() {
         let s = Scenario::gedit_smp(2048);
         let (_, h) = s.run_traced(31_003);
-        let tl = Timeline::from_trace(
-            h.kernel.trace(),
-            &[(h.victim, "gedit")],
-            t(100),
-            t(200),
-        );
+        let tl = Timeline::from_trace(h.kernel.trace(), &[(h.victim, "gedit")], t(100), t(200));
         for span in &tl.lanes[0].spans {
             assert!(span.start >= t(100));
             assert!(span.end <= h.kernel.now());

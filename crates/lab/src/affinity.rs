@@ -2,8 +2,8 @@
 //!
 //! The whole point of the paper is what changes when the attacker gets a
 //! *dedicated* CPU, so the native lab pins its victim and attacker threads
-//! to distinct cores where the host allows. This is the one place the
-//! workspace needs `libc`: `std` exposes no affinity API.
+//! to distinct cores where the host allows. `std` exposes no affinity API,
+//! so this sits on the raw `sched_setaffinity` binding in [`crate::sys`].
 
 /// Number of CPUs currently available to this process.
 pub fn online_cpus() -> usize {
@@ -18,25 +18,15 @@ pub fn online_cpus() -> usize {
 /// process lacks permission; callers on constrained hosts should treat this
 /// as advisory.
 pub fn pin_current_thread(cpu: usize) -> std::io::Result<()> {
-    // SAFETY: CPU_* macros are implemented as pure bit manipulation on a
-    // zeroed cpu_set_t; sched_setaffinity with pid 0 affects the calling
-    // thread and reads exactly `size_of::<cpu_set_t>()` bytes.
-    unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        libc::CPU_ZERO(&mut set);
-        if cpu >= libc::CPU_SETSIZE as usize {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "cpu index out of range",
-            ));
-        }
-        libc::CPU_SET(cpu, &mut set);
-        let rc = libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
-        if rc != 0 {
-            return Err(std::io::Error::last_os_error());
-        }
+    if cpu >= crate::sys::CPU_SETSIZE {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "cpu index out of range",
+        ));
     }
-    Ok(())
+    let mut set = crate::sys::cpu_set_t::empty();
+    set.set(cpu);
+    crate::sys::set_current_thread_affinity(&set)
 }
 
 /// Picks the (victim, attacker) CPU pair: distinct CPUs when the machine

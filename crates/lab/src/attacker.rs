@@ -111,8 +111,7 @@ mod tests {
     }
 
     fn is_root() -> bool {
-        // SAFETY: geteuid has no preconditions.
-        unsafe { libc::geteuid() == 0 }
+        crate::sys::euid_is_root()
     }
 
     #[test]
@@ -235,16 +234,14 @@ mod pipelined_tests {
     use super::*;
 
     fn scratch(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("tocttou-pipe-{}-{name}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("tocttou-pipe-{}-{name}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
     }
 
     fn is_root() -> bool {
-        // SAFETY: geteuid has no preconditions.
-        unsafe { libc::geteuid() == 0 }
+        crate::sys::euid_is_root()
     }
 
     #[test]

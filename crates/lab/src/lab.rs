@@ -97,8 +97,7 @@ impl std::fmt::Display for LabReport {
 
 /// Whether the current process is root.
 pub fn is_root() -> bool {
-    // SAFETY: geteuid has no preconditions.
-    unsafe { libc::geteuid() == 0 }
+    crate::sys::euid_is_root()
 }
 
 /// Runs the laboratory.

@@ -9,8 +9,8 @@
 //! The privileged target is always a **stand-in file** inside the scratch
 //! directory — never the real `/etc/passwd`.
 //!
-//! * [`affinity`] — `sched_setaffinity` wrappers (the crate's reason for
-//!   depending on `libc`);
+//! * [`affinity`] — `sched_setaffinity` wrappers over the raw bindings
+//!   in [`sys`];
 //! * [`victim`] — native vi/gedit save emulators (Figures 1 and 3);
 //! * [`attacker`] — native attacker loops (Figures 2/4 and 9);
 //! * [`lab`] — the round driver and report.
@@ -26,12 +26,13 @@
 //! ```
 
 #![warn(missing_docs)]
-// `unsafe` is confined to the libc affinity/uid calls.
+// `unsafe` is confined to the raw OS bindings in `sys`.
 
 pub mod affinity;
 pub mod attacker;
 pub mod lab;
 pub mod measure;
+pub mod sys;
 pub mod victim;
 
 pub use affinity::{online_cpus, pick_cpu_pair, pin_current_thread};

@@ -34,7 +34,11 @@ impl std::fmt::Display for SyscallCosts {
             "native syscall costs (median of {} iterations):",
             self.iterations
         )?;
-        writeln!(f, "  stat            {:>8.2} µs (paper calibration: 4)", self.stat_us)?;
+        writeln!(
+            f,
+            "  stat            {:>8.2} µs (paper calibration: 4)",
+            self.stat_us
+        )?;
         writeln!(
             f,
             "  unlink (empty)  {:>8.2} µs (paper calibration: ~7.5)",
@@ -46,8 +50,16 @@ impl std::fmt::Display for SyscallCosts {
             self.sized_bytes / 1024,
             self.unlink_sized_us
         )?;
-        writeln!(f, "  symlink         {:>8.2} µs (paper calibration: 4)", self.symlink_us)?;
-        writeln!(f, "  rename          {:>8.2} µs (paper calibration: 30–55)", self.rename_us)
+        writeln!(
+            f,
+            "  symlink         {:>8.2} µs (paper calibration: 4)",
+            self.symlink_us
+        )?;
+        writeln!(
+            f,
+            "  rename          {:>8.2} µs (paper calibration: 30–55)",
+            self.rename_us
+        )
     }
 }
 

@@ -1,0 +1,78 @@
+//! Raw OS bindings for the lab.
+//!
+//! The build environment has no registry access, so instead of the `libc`
+//! crate this module declares the two POSIX functions the lab actually
+//! needs: `sched_setaffinity` for CPU pinning and `geteuid` for the
+//! root check.
+
+#![allow(non_camel_case_types)]
+
+/// Mirror of glibc's `cpu_set_t`: a [`CPU_SETSIZE`]-bit CPU mask.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; CPU_SETSIZE / 64],
+}
+
+/// Number of CPUs representable in a [`cpu_set_t`] (glibc default).
+pub const CPU_SETSIZE: usize = 1024;
+
+impl cpu_set_t {
+    /// An empty CPU mask (`CPU_ZERO`).
+    pub fn empty() -> Self {
+        cpu_set_t {
+            bits: [0; CPU_SETSIZE / 64],
+        }
+    }
+
+    /// Adds `cpu` to the mask (`CPU_SET`); `cpu` must be below
+    /// [`CPU_SETSIZE`].
+    pub fn set(&mut self, cpu: usize) {
+        self.bits[cpu / 64] |= 1 << (cpu % 64);
+    }
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const cpu_set_t) -> i32;
+}
+
+#[cfg(unix)]
+extern "C" {
+    fn geteuid() -> u32;
+}
+
+/// Pins the calling thread to the CPUs in `set`.
+#[cfg(target_os = "linux")]
+pub fn set_current_thread_affinity(set: &cpu_set_t) -> std::io::Result<()> {
+    // SAFETY: pid 0 means the calling thread; the kernel reads exactly
+    // `cpusetsize` bytes from the mask, which lives on the caller's stack
+    // for the duration of the call.
+    let rc = unsafe { sched_setaffinity(0, std::mem::size_of::<cpu_set_t>(), set) };
+    if rc != 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Pinning is Linux-specific; elsewhere it is reported as unsupported.
+#[cfg(not(target_os = "linux"))]
+pub fn set_current_thread_affinity(_set: &cpu_set_t) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "CPU affinity is only supported on Linux",
+    ))
+}
+
+/// Whether the process runs with an effective UID of root.
+#[cfg(unix)]
+pub fn euid_is_root() -> bool {
+    // SAFETY: geteuid takes no arguments and cannot fail.
+    unsafe { geteuid() == 0 }
+}
+
+/// Off Unix there is no euid; report non-root.
+#[cfg(not(unix))]
+pub fn euid_is_root() -> bool {
+    false
+}

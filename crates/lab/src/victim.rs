@@ -100,8 +100,11 @@ pub fn gedit_save(cfg: &SaveConfig) -> SaveOutcome {
         }
         fs::rename(&cfg.doc, &cfg.backup)?;
         fs::rename(&cfg.temp, &cfg.doc)?; // window opens
-        // chmod follows symlinks, like the real gedit's.
-        fs::set_permissions(&cfg.doc, std::os::unix::fs::PermissionsExt::from_mode(0o644))?;
+                                          // chmod follows symlinks, like the real gedit's.
+        fs::set_permissions(
+            &cfg.doc,
+            std::os::unix::fs::PermissionsExt::from_mode(0o644),
+        )?;
         chown_path(&cfg.doc, cfg.owner.0, cfg.owner.1)?; // window closes
         Ok(())
     })();
@@ -123,15 +126,15 @@ mod tests {
     use std::os::unix::fs::MetadataExt;
 
     fn scratch(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("tocttou-victim-{}-{name}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("tocttou-victim-{}-{name}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
     }
 
     fn is_root() -> bool {
-        // SAFETY: geteuid has no preconditions.
-        unsafe { libc::geteuid() == 0 }
+        crate::sys::euid_is_root()
     }
 
     #[test]

@@ -24,7 +24,8 @@ use crate::event::OsEvent;
 use crate::ids::{CpuId, Gid, Pid, Uid};
 use crate::machine::MachineSpec;
 use crate::process::{
-    Action, LogicCtx, PendingSyscall, ProcState, Process, ProcessLogic, RetVal, SyscallResult,
+    Action, LogicCtx, PendingSyscall, ProcBuffers, ProcState, Process, ProcessLogic, RetVal,
+    SyscallResult,
 };
 use crate::sem::SemTable;
 use crate::syscall::{compile, CommitStep, CpuKind, Phase};
@@ -69,6 +70,37 @@ pub enum RunOutcome {
     Quiescent,
 }
 
+/// Reusable kernel buffers for Monte-Carlo round pools.
+///
+/// One machine per round means one set of heap structures per round —
+/// event queue, trace buffer, process and ready vectors, semaphore and
+/// filesystem tables. A pool keeps those allocations alive between rounds:
+/// [`Kernel::with_pool`] boots a machine on recycled buffers and
+/// [`Kernel::recycle`] tears it back down into the pool. Every buffer is
+/// restored to an observably-fresh state on reuse (sequence counters
+/// restart, tables empty), so pooled rounds are bit-identical to rounds on
+/// a brand-new kernel.
+#[derive(Default)]
+pub struct KernelPool {
+    queue: EventQueue<Event>,
+    trace: Trace<OsEvent>,
+    procs: Vec<Process>,
+    cpus: Vec<Cpu>,
+    ready: VecDeque<Pid>,
+    sems: SemTable,
+    vfs: Vfs,
+    /// Per-process containers harvested from the previous round's
+    /// processes, handed back out by `spawn`.
+    spare: Vec<ProcBuffers>,
+}
+
+impl KernelPool {
+    /// An empty pool; buffers grow on first use and are then retained.
+    pub fn new() -> Self {
+        KernelPool::default()
+    }
+}
+
 /// The simulated machine kernel.
 pub struct Kernel {
     spec: MachineSpec,
@@ -84,6 +116,7 @@ pub struct Kernel {
     live: usize,
     events_processed: u64,
     defense: DefenseState,
+    spare: Vec<ProcBuffers>,
 }
 
 impl Kernel {
@@ -93,38 +126,80 @@ impl Kernel {
     ///
     /// Panics if the spec fails validation.
     pub fn new(spec: MachineSpec, seed: u64) -> Self {
+        Self::with_pool(spec, seed, KernelPool::new())
+    }
+
+    /// Boots a machine from `spec` on the buffers of `pool`, consuming it.
+    ///
+    /// Behaves exactly like [`Kernel::new`] — the pool only donates
+    /// allocations. Pair with [`Kernel::recycle`] to run many rounds on
+    /// one set of buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn with_pool(spec: MachineSpec, seed: u64, mut pool: KernelPool) -> Self {
         spec.validate().expect("machine spec must be valid");
+        pool.queue.clear();
+        pool.trace.reset();
+        pool.trace.enable();
+        for p in pool.procs.drain(..) {
+            pool.spare.push(p.into_buffers());
+        }
+        pool.ready.clear();
+        pool.sems.reset();
+        pool.cpus.clear();
+        pool.cpus.resize_with(spec.cpus, Cpu::default);
+        pool.vfs.reset();
         let mut kernel = Kernel {
-            cpus: (0..spec.cpus).map(|_| Cpu::default()).collect(),
+            cpus: pool.cpus,
             spec,
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: pool.queue,
             rng: SimRng::seed_from_u64(seed),
-            procs: Vec::new(),
-            ready: VecDeque::new(),
-            sems: SemTable::new(),
-            vfs: Vfs::new(),
-            trace: Trace::unbounded(),
+            procs: pool.procs,
+            ready: pool.ready,
+            sems: pool.sems,
+            vfs: pool.vfs,
+            trace: pool.trace,
             live: 0,
             events_processed: 0,
             defense: DefenseState::default(),
+            spare: pool.spare,
         };
         // Arm background activity per CPU.
         if kernel.spec.background.is_active() {
             for c in 0..kernel.cpus.len() {
                 let delay = kernel.sample_bg_interarrival();
-                kernel
-                    .queue
-                    .push(kernel.now + delay, Event::BgArrive { cpu: CpuId(c as u16) });
+                kernel.queue.push(
+                    kernel.now + delay,
+                    Event::BgArrive {
+                        cpu: CpuId(c as u16),
+                    },
+                );
             }
         }
         kernel
     }
 
+    /// Tears the kernel down into its reusable buffers.
+    pub fn recycle(self) -> KernelPool {
+        KernelPool {
+            queue: self.queue,
+            trace: self.trace,
+            procs: self.procs,
+            cpus: self.cpus,
+            ready: self.ready,
+            sems: self.sems,
+            vfs: self.vfs,
+            spare: self.spare,
+        }
+    }
+
     /// Disables tracing (for Monte-Carlo runs where only the outcome
     /// matters). Must be called before spawning for a fully silent run.
     pub fn disable_trace(&mut self) {
-        self.trace = Trace::disabled();
+        self.trace.disable();
     }
 
     fn sample_bg_interarrival(&mut self) -> SimDuration {
@@ -210,16 +285,19 @@ impl Kernel {
         logic: Box<dyn ProcessLogic>,
     ) -> Pid {
         let pid = Pid(self.procs.len() as u32);
-        let proc_ = Process::new(pid, name.to_string(), uid, gid, logic, pretouch_libc);
+        let buffers = self.spare.pop().unwrap_or_default();
+        let proc_ = Process::new(pid, name, uid, gid, logic, pretouch_libc, buffers);
         self.procs.push(proc_);
         self.live += 1;
-        self.trace.record(
-            self.now,
-            OsEvent::Spawn {
-                pid,
-                name: name.to_string(),
-            },
-        );
+        if self.trace.is_enabled() {
+            self.trace.record(
+                self.now,
+                OsEvent::Spawn {
+                    pid,
+                    name: name.to_string(),
+                },
+            );
+        }
         self.make_ready(pid);
         pid
     }
@@ -402,19 +480,35 @@ impl Kernel {
     /// Drives `pid` (which must be Running) through zero-time phases until
     /// it either starts a timed phase, blocks, or exits.
     fn advance(&mut self, pid: Pid) {
+        // A peeked `Cpu` phase stays queued (PhaseEnd pops it later); every
+        // other phase is popped and owned here, so commit steps move out of
+        // the deque instead of being cloned — they carry path strings, and
+        // this loop runs for every event of every round.
+        enum Front {
+            Exhausted,
+            StartCpu(SimDuration, CpuKind),
+            Own(Phase),
+        }
         for _ in 0..MAX_ZERO_TIME_STEPS {
             debug_assert!(matches!(
                 self.procs[pid.index()].state,
                 ProcState::Running(_)
             ));
-            let front = self.procs[pid.index()].phases.front().cloned();
+            let front = {
+                let phases = &mut self.procs[pid.index()].phases;
+                match phases.front() {
+                    None => Front::Exhausted,
+                    Some(&Phase::Cpu { dur, kind }) => Front::StartCpu(dur, kind),
+                    Some(_) => Front::Own(phases.pop_front().expect("front exists")),
+                }
+            };
             match front {
-                None => {
+                Front::Exhausted => {
                     if !self.finish_action_and_fetch_next(pid) {
                         return; // exited
                     }
                 }
-                Some(Phase::Cpu { dur, kind }) => {
+                Front::StartCpu(dur, kind) => {
                     if kind == CpuKind::Trap {
                         self.trace.record(self.now, OsEvent::Trap { pid, dur });
                     }
@@ -424,24 +518,31 @@ impl Kernel {
                     p.phase_event = Some(ev);
                     return;
                 }
-                Some(Phase::Acquire(sem)) => {
-                    self.procs[pid.index()].phases.pop_front();
+                Front::Own(Phase::Cpu { .. }) => unreachable!("cpu phases are peeked"),
+                Front::Own(Phase::Acquire(sem)) => {
                     if self.sems.acquire_or_enqueue(sem, pid) {
-                        self.trace.record(self.now, OsEvent::SemAcquire { pid, sem });
+                        self.trace
+                            .record(self.now, OsEvent::SemAcquire { pid, sem });
                         // continue with next phase
                     } else {
-                        self.trace.record(self.now, OsEvent::SemEnqueue { pid, sem });
+                        self.trace
+                            .record(self.now, OsEvent::SemEnqueue { pid, sem });
                         self.procs[pid.index()].state = ProcState::BlockedSem(sem);
                         self.release_cpu_of_blocked(pid);
                         return;
                     }
                 }
-                Some(Phase::Release(sem)) => {
-                    self.procs[pid.index()].phases.pop_front();
-                    self.trace.record(self.now, OsEvent::SemRelease { pid, sem });
+                Front::Own(Phase::Release(sem)) => {
+                    self.trace
+                        .record(self.now, OsEvent::SemRelease { pid, sem });
                     if let Some(next_holder) = self.sems.release(sem, pid) {
-                        self.trace
-                            .record(self.now, OsEvent::SemAcquire { pid: next_holder, sem });
+                        self.trace.record(
+                            self.now,
+                            OsEvent::SemAcquire {
+                                pid: next_holder,
+                                sem,
+                            },
+                        );
                         debug_assert_eq!(
                             self.procs[next_holder.index()].state,
                             ProcState::BlockedSem(sem)
@@ -449,12 +550,10 @@ impl Kernel {
                         self.make_ready(next_holder);
                     }
                 }
-                Some(Phase::Commit(step)) => {
-                    self.procs[pid.index()].phases.pop_front();
+                Front::Own(Phase::Commit(step)) => {
                     self.execute_commit(pid, step);
                 }
-                Some(Phase::Blocked(dur)) => {
-                    self.procs[pid.index()].phases.pop_front();
+                Front::Own(Phase::Blocked(dur)) => {
                     self.trace.record(self.now, OsEvent::BlockTimed { pid });
                     self.procs[pid.index()].state = ProcState::BlockedTimed;
                     self.queue.push(self.now + dur, Event::TimedWake { pid });
@@ -520,49 +619,50 @@ impl Kernel {
 
         match action {
             Action::Compute(dur) => {
-                self.procs[pid.index()].phases = VecDeque::from([Phase::Cpu {
+                let phases = &mut self.procs[pid.index()].phases;
+                phases.clear();
+                phases.push_back(Phase::Cpu {
                     dur,
                     kind: CpuKind::User,
-                }]);
+                });
                 true
             }
             Action::Syscall(req) => {
-                self.trace.record(
-                    self.now,
-                    OsEvent::SyscallEnter {
-                        pid,
-                        call: req.name(),
-                        path: req.primary_path().map(str::to_owned),
-                    },
-                );
-                let p = &mut self.procs[pid.index()];
-                let compiled = compile(
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        self.now,
+                        OsEvent::SyscallEnter {
+                            pid,
+                            call: req.name(),
+                            path: req.primary_path().map(str::to_owned),
+                        },
+                    );
+                }
+                // Compile into the process's own phase buffer, reusing its
+                // allocation across syscalls.
+                let mut phases = std::mem::take(&mut self.procs[pid.index()].phases);
+                let name = compile(
                     &req,
-                    p,
+                    &mut self.procs[pid.index()],
                     &self.vfs,
                     &self.sems,
                     &self.spec.costs,
                     self.spec.speed_factor,
+                    &mut phases,
                 );
                 let p = &mut self.procs[pid.index()];
-                p.pending = Some(PendingSyscall {
-                    name: compiled.name,
-                    ret: None,
-                });
-                p.phases = compiled.phases;
+                p.pending = Some(PendingSyscall { name, ret: None });
+                p.phases = phases;
                 true
             }
             Action::Marker(label) => {
                 self.trace.record(self.now, OsEvent::Marker { pid, label });
-                self.procs[pid.index()].phases = VecDeque::new();
+                self.procs[pid.index()].phases.clear();
                 true
             }
             Action::Exit => {
                 let held = self.sems.held_by(pid);
-                assert!(
-                    held.is_empty(),
-                    "{pid} exited holding semaphores {held:?}"
-                );
+                assert!(held.is_empty(), "{pid} exited holding semaphores {held:?}");
                 self.trace.record(self.now, OsEvent::Exit { pid });
                 self.defense.forget_process(pid);
                 self.procs[pid.index()].state = ProcState::Exited;
@@ -699,13 +799,10 @@ impl Kernel {
                 }
             }
             CommitStep::SymlinkCreate { target, linkpath } => {
-                let r = self
-                    .vfs
-                    .symlink(&target, &linkpath, (uid, gid))
-                    .map(|_| {
-                        self.defense.record_mutation(pid, &linkpath);
-                        RetVal::Unit
-                    });
+                let r = self.vfs.symlink(&target, &linkpath, (uid, gid)).map(|_| {
+                    self.defense.record_mutation(pid, &linkpath);
+                    RetVal::Unit
+                });
                 self.set_ret(pid, r);
             }
             CommitStep::RenameCommit { from, to } => {

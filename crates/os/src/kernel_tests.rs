@@ -50,11 +50,7 @@ impl crate::process::ProcessLogic for Script {
         if let Some(r) = last {
             self.results.borrow_mut().push(r.clone());
         }
-        let a = self
-            .actions
-            .get(self.at)
-            .cloned()
-            .unwrap_or(Action::Exit);
+        let a = self.actions.get(self.at).cloned().unwrap_or(Action::Exit);
         self.at += 1;
         a
     }
@@ -65,13 +61,21 @@ fn single_process_runs_script_and_time_advances() {
     let mut k = quiet_kernel(MachineSpec::multicore_pentium_d());
     let (script, results) = Script::new(vec![
         Action::Compute(SimDuration::from_micros(10)),
-        Action::Syscall(SyscallRequest::OpenCreate { path: "/d/f".into() }),
-        Action::Syscall(SyscallRequest::Stat { path: "/d/f".into() }),
+        Action::Syscall(SyscallRequest::OpenCreate {
+            path: "/d/f".into(),
+        }),
+        Action::Syscall(SyscallRequest::Stat {
+            path: "/d/f".into(),
+        }),
     ]);
     let pid = k.spawn("p", Uid::ROOT, Gid::ROOT, true, Box::new(script));
     let outcome = k.run_until_exit(pid, SimTime::from_millis(100));
     assert_eq!(outcome, RunOutcome::StopConditionMet);
-    assert!(k.now() > SimTime::from_micros(25), "time advanced: {}", k.now());
+    assert!(
+        k.now() > SimTime::from_micros(25),
+        "time advanced: {}",
+        k.now()
+    );
     let results = results.borrow();
     assert_eq!(results.len(), 2);
     assert!(results[0].fd().is_some(), "creat returned an fd");
@@ -83,7 +87,9 @@ fn single_process_runs_script_and_time_advances() {
 fn exited_process_leaves_filesystem_changes() {
     let mut k = quiet_kernel(MachineSpec::smp_xeon());
     let (script, _) = Script::new(vec![
-        Action::Syscall(SyscallRequest::OpenCreate { path: "/d/a".into() }),
+        Action::Syscall(SyscallRequest::OpenCreate {
+            path: "/d/a".into(),
+        }),
         Action::Syscall(SyscallRequest::Symlink {
             target: "/d/a".into(),
             linkpath: "/d/l".into(),
@@ -97,7 +103,10 @@ fn exited_process_leaves_filesystem_changes() {
     k.run_until_exit(pid, SimTime::from_millis(100));
     assert!(k.vfs().lstat("/d/l").unwrap().is_symlink);
     assert!(k.vfs().stat("/d/b").is_ok());
-    assert!(k.vfs().stat("/d/a").is_err(), "renamed away, symlink dangling");
+    assert!(
+        k.vfs().stat("/d/a").is_err(),
+        "renamed away, symlink dangling"
+    );
     k.vfs().check_invariants().unwrap();
 }
 
@@ -122,7 +131,10 @@ fn two_processes_share_one_cpu_by_timeslice() {
         .iter()
         .filter(|r| matches!(r.event, crate::event::OsEvent::Preempt { .. }))
         .count();
-    assert!(preempts >= 3, "expected interleaving, got {preempts} preempts");
+    assert!(
+        preempts >= 3,
+        "expected interleaving, got {preempts} preempts"
+    );
 }
 
 #[test]
@@ -211,10 +223,10 @@ fn marker_and_trace_capture() {
     ]);
     let pid = k.spawn("m", Uid(1), Gid(1), true, Box::new(s));
     k.run_until_exit(pid, SimTime::from_millis(10));
-    assert!(k
-        .trace()
-        .iter()
-        .any(|r| matches!(r.event, crate::event::OsEvent::Marker { label: "hello", .. })));
+    assert!(k.trace().iter().any(|r| matches!(
+        r.event,
+        crate::event::OsEvent::Marker { label: "hello", .. }
+    )));
 }
 
 #[test]
@@ -252,7 +264,9 @@ fn determinism_same_seed_same_trace_length_and_time() {
         k.vfs_mut().mkdir("/d", root_meta()).unwrap();
         let (a, _) = Script::new(vec![
             Action::Compute(SimDuration::from_micros(100)),
-            Action::Syscall(SyscallRequest::OpenCreate { path: "/d/x".into() }),
+            Action::Syscall(SyscallRequest::OpenCreate {
+                path: "/d/x".into(),
+            }),
             Action::Syscall(SyscallRequest::Chown {
                 path: "/d/x".into(),
                 uid: Uid(5),
@@ -291,16 +305,13 @@ fn miniature_tocttou_race_succeeds_on_smp() {
     let mut k = quiet_kernel(MachineSpec::smp_xeon());
     k.vfs_mut().mkdir("/etc", root_meta()).unwrap();
     k.vfs_mut().create_file("/etc/passwd", root_meta()).unwrap();
-    k.vfs_mut()
-        .mkdir(
-            "/home",
-            root_meta(),
-        )
-        .unwrap();
+    k.vfs_mut().mkdir("/home", root_meta()).unwrap();
 
     // Victim: creat /home/doc (as root), "write" for 500 µs, chown to user.
     let (victim, _) = Script::new(vec![
-        Action::Syscall(SyscallRequest::OpenCreate { path: "/home/doc".into() }),
+        Action::Syscall(SyscallRequest::OpenCreate {
+            path: "/home/doc".into(),
+        }),
         Action::Compute(SimDuration::from_micros(500)),
         Action::Syscall(SyscallRequest::Chown {
             path: "/home/doc".into(),
@@ -319,7 +330,9 @@ fn miniature_tocttou_race_succeeds_on_smp() {
             match self.phase {
                 0 => {
                     self.phase = 1;
-                    Action::Syscall(SyscallRequest::Stat { path: "/home/doc".into() })
+                    Action::Syscall(SyscallRequest::Stat {
+                        path: "/home/doc".into(),
+                    })
                 }
                 1 => {
                     let detected = last
@@ -327,7 +340,9 @@ fn miniature_tocttou_race_succeeds_on_smp() {
                         .is_some_and(|st| st.uid.is_root());
                     if detected {
                         self.phase = 2;
-                        Action::Syscall(SyscallRequest::Unlink { path: "/home/doc".into() })
+                        Action::Syscall(SyscallRequest::Unlink {
+                            path: "/home/doc".into(),
+                        })
                     } else {
                         self.phase = 0;
                         Action::Compute(SimDuration::from_micros(5))
@@ -369,7 +384,9 @@ fn miniature_tocttou_race_fails_on_uniprocessor() {
 
     let (victim, _) = Script::new(vec![
         Action::Compute(SimDuration::from_micros(100)),
-        Action::Syscall(SyscallRequest::OpenCreate { path: "/home/doc".into() }),
+        Action::Syscall(SyscallRequest::OpenCreate {
+            path: "/home/doc".into(),
+        }),
         Action::Compute(SimDuration::from_micros(500)),
         Action::Syscall(SyscallRequest::Chown {
             path: "/home/doc".into(),
@@ -386,7 +403,9 @@ fn miniature_tocttou_race_fails_on_uniprocessor() {
         match spin_phase {
             0 => {
                 spin_phase = 1;
-                Action::Syscall(SyscallRequest::Stat { path: "/home/doc".into() })
+                Action::Syscall(SyscallRequest::Stat {
+                    path: "/home/doc".into(),
+                })
             }
             _ => {
                 let detected = last
@@ -434,8 +453,12 @@ fn trap_fires_once_for_cold_attacker() {
     k.vfs_mut().create_file("/d/f", root_meta()).unwrap();
     k.vfs_mut().create_file("/d/g", root_meta()).unwrap();
     let (s, _) = Script::new(vec![
-        Action::Syscall(SyscallRequest::Unlink { path: "/d/f".into() }),
-        Action::Syscall(SyscallRequest::Unlink { path: "/d/g".into() }),
+        Action::Syscall(SyscallRequest::Unlink {
+            path: "/d/f".into(),
+        }),
+        Action::Syscall(SyscallRequest::Unlink {
+            path: "/d/g".into(),
+        }),
     ]);
     // NOT pretouched: first unlink must trap.
     let pid = k.spawn("cold", Uid::ROOT, Gid::ROOT, false, Box::new(s));
@@ -489,7 +512,9 @@ fn defense_denial_is_traced() {
 
     // Victim: stat (check), long window, chown (use).
     let (victim, results) = Script::new(vec![
-        Action::Syscall(SyscallRequest::Stat { path: "/d/f".into() }),
+        Action::Syscall(SyscallRequest::Stat {
+            path: "/d/f".into(),
+        }),
         Action::Compute(SimDuration::from_micros(300)),
         Action::Syscall(SyscallRequest::Chown {
             path: "/d/f".into(),
@@ -501,7 +526,9 @@ fn defense_denial_is_traced() {
     // Interloper rebinds the name inside the window.
     let (attacker, _) = Script::new(vec![
         Action::Compute(SimDuration::from_micros(50)),
-        Action::Syscall(SyscallRequest::Unlink { path: "/d/f".into() }),
+        Action::Syscall(SyscallRequest::Unlink {
+            path: "/d/f".into(),
+        }),
         Action::Syscall(SyscallRequest::Symlink {
             target: "/d/elsewhere".into(),
             linkpath: "/d/f".into(),

@@ -187,7 +187,12 @@ mod tests {
         assert!(MachineSpec::multicore_pentium_d().is_multiprocessor());
         // Only the multi-core machine inflates contended stats.
         assert_eq!(MachineSpec::smp_xeon().costs.stat_contention_factor, 1.0);
-        assert!(MachineSpec::multicore_pentium_d().costs.stat_contention_factor > 1.0);
+        assert!(
+            MachineSpec::multicore_pentium_d()
+                .costs
+                .stat_contention_factor
+                > 1.0
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@ use crate::error::OsError;
 use crate::ids::{CpuId, Fd, Gid, Ino, Pid, SemId, Uid};
 use crate::syscall::Phase;
 use crate::vfs::StatBuf;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use tocttou_sim::time::{SimDuration, SimTime};
 
 /// Read-only context handed to [`ProcessLogic::next_action`].
@@ -43,28 +44,28 @@ pub enum SyscallRequest {
     /// `stat(path)` — follows symlinks.
     Stat {
         /// Path to stat.
-        path: String,
+        path: Arc<str>,
     },
     /// `lstat(path)` — does not follow a final symlink.
     Lstat {
         /// Path to lstat.
-        path: String,
+        path: Arc<str>,
     },
     /// `access(path, mode)` — permission probe; follows symlinks. The
     /// classic sendmail-era check call.
     Access {
         /// Path to probe.
-        path: String,
+        path: Arc<str>,
     },
     /// `open(path, O_CREAT|O_WRONLY|O_TRUNC)` — creates or truncates.
     OpenCreate {
         /// Path to create.
-        path: String,
+        path: Arc<str>,
     },
     /// `open(path, O_RDWR)` of an existing file.
     Open {
         /// Path to open.
-        path: String,
+        path: Arc<str>,
     },
     /// `write(fd, …)` of `bytes` bytes.
     Write {
@@ -81,33 +82,33 @@ pub enum SyscallRequest {
     /// `unlink(path)`.
     Unlink {
         /// Path to unlink.
-        path: String,
+        path: Arc<str>,
     },
     /// `symlink(target, linkpath)`.
     Symlink {
         /// Link target contents.
-        target: String,
+        target: Arc<str>,
         /// Where to create the link.
-        linkpath: String,
+        linkpath: Arc<str>,
     },
     /// `rename(from, to)`.
     Rename {
         /// Source name.
-        from: String,
+        from: Arc<str>,
         /// Destination name.
-        to: String,
+        to: Arc<str>,
     },
     /// `chmod(path, mode)` — follows symlinks.
     Chmod {
         /// Path whose mode to change.
-        path: String,
+        path: Arc<str>,
         /// New permission bits.
         mode: u32,
     },
     /// `chown(path, uid, gid)` — follows symlinks.
     Chown {
         /// Path whose owner to change.
-        path: String,
+        path: Arc<str>,
         /// New owner.
         uid: Uid,
         /// New group.
@@ -116,12 +117,12 @@ pub enum SyscallRequest {
     /// `mkdir(path)`.
     Mkdir {
         /// Directory to create.
-        path: String,
+        path: Arc<str>,
     },
     /// `readlink(path)`.
     Readlink {
         /// Symlink to read.
-        path: String,
+        path: Arc<str>,
     },
     /// `nanosleep(duration)` — blocks without consuming CPU.
     Sleep {
@@ -351,6 +352,35 @@ impl LibcPage {
     ];
 }
 
+/// A tiny set of [`LibcPage`]s stored as a bitmask.
+///
+/// Syscall compilation consults the mapped-page set once per call; with
+/// only five pages a `u8` beats a `HashSet` (no hashing, no heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PageSet(u8);
+
+impl PageSet {
+    pub(crate) fn empty() -> Self {
+        PageSet(0)
+    }
+
+    pub(crate) fn all() -> Self {
+        let mut s = PageSet(0);
+        for p in LibcPage::ALL {
+            s.insert(p);
+        }
+        s
+    }
+
+    pub(crate) fn contains(&self, page: &LibcPage) -> bool {
+        self.0 & (1 << (*page as u8)) != 0
+    }
+
+    pub(crate) fn insert(&mut self, page: LibcPage) {
+        self.0 |= 1 << (page as u8);
+    }
+}
+
 /// A simulated process (kernel-internal bookkeeping).
 pub(crate) struct Process {
     pub(crate) pid: Pid,
@@ -373,8 +403,10 @@ pub(crate) struct Process {
     /// Open file descriptors.
     pub(crate) fds: HashMap<Fd, Ino>,
     pub(crate) next_fd: u32,
-    /// Mapped libc wrapper pages (page-fault model).
-    pub(crate) mapped_pages: HashSet<LibcPage>,
+    /// Mapped libc wrapper pages (page-fault model), as a bitmask indexed
+    /// by [`LibcPage`] discriminant — checked on every syscall compile, so
+    /// it avoids hashing.
+    pub(crate) mapped_pages: PageSet,
     /// Remaining time slice when preempted/paused.
     pub(crate) slice_remaining: SimDuration,
 }
@@ -385,36 +417,62 @@ pub(crate) struct PendingSyscall {
     pub(crate) ret: Option<Result<RetVal, OsError>>,
 }
 
+/// Recycled per-process containers, harvested when a pooled kernel is
+/// rebooted and donated back to the next round's spawns. Everything is
+/// cleared before reuse, so a process built on spare buffers is
+/// indistinguishable from one built on fresh ones — only the allocations
+/// are shared.
+#[derive(Debug, Default)]
+pub(crate) struct ProcBuffers {
+    pub(crate) phases: VecDeque<Phase>,
+    pub(crate) fds: HashMap<Fd, Ino>,
+    pub(crate) name: String,
+}
+
 impl Process {
     pub(crate) fn new(
         pid: Pid,
-        name: String,
+        name: &str,
         uid: Uid,
         gid: Gid,
         logic: Box<dyn ProcessLogic>,
         pretouch_libc: bool,
+        mut buffers: ProcBuffers,
     ) -> Self {
         let mapped_pages = if pretouch_libc {
-            LibcPage::ALL.into_iter().collect()
+            PageSet::all()
         } else {
-            HashSet::new()
+            PageSet::empty()
         };
+        buffers.phases.clear();
+        buffers.fds.clear();
+        buffers.name.clear();
+        buffers.name.push_str(name);
         Process {
             pid,
-            name,
+            name: buffers.name,
             uid,
             gid,
             logic,
             state: ProcState::Ready,
-            phases: VecDeque::new(),
+            phases: buffers.phases,
             phase_event: None,
             phase_started: SimTime::ZERO,
             pending: None,
             last_result: None,
-            fds: HashMap::new(),
+            fds: buffers.fds,
             next_fd: 3, // 0..2 are the conventional std streams
             mapped_pages,
             slice_remaining: SimDuration::ZERO,
+        }
+    }
+
+    /// Tears this process down into its reusable containers.
+    pub(crate) fn into_buffers(self) -> ProcBuffers {
+        ProcBuffers {
+            phases: self.phases,
+            fds: self.fds,
+            name: self.name,
         }
     }
 
@@ -452,7 +510,10 @@ mod tests {
         };
         assert_eq!(r.name(), SyscallName::Chown);
         assert_eq!(r.primary_path(), Some("/etc/passwd"));
-        let w = SyscallRequest::Write { fd: Fd(3), bytes: 10 };
+        let w = SyscallRequest::Write {
+            fd: Fd(3),
+            bytes: 10,
+        };
         assert_eq!(w.primary_path(), None);
         let s = SyscallRequest::Symlink {
             target: "/etc/passwd".into(),
@@ -513,11 +574,12 @@ mod tests {
     fn fd_allocation_is_monotonic() {
         let mut p = Process::new(
             Pid(1),
-            "t".into(),
+            "t",
             Uid(0),
             Gid(0),
             Box::new(|_: &LogicCtx, _: Option<&SyscallResult>| Action::Exit),
             true,
+            ProcBuffers::default(),
         );
         let a = p.alloc_fd(Ino(1));
         let b = p.alloc_fd(Ino(2));

@@ -52,9 +52,7 @@ impl SemTable {
 
     /// Number of queued waiters.
     pub fn waiter_count(&self, sem: SemId) -> usize {
-        self.sems
-            .get(sem.index())
-            .map_or(0, |s| s.waiters.len())
+        self.sems.get(sem.index()).map_or(0, |s| s.waiters.len())
     }
 
     /// Attempts to acquire; on contention the caller is appended to the FIFO
@@ -105,6 +103,20 @@ impl SemTable {
         state.waiters.len() != before
     }
 
+    /// Releases every semaphore and empties all wait queues, retaining
+    /// allocated capacity.
+    ///
+    /// A reset table is observably identical to a fresh one (slots are
+    /// created lazily and an idle slot answers every query like a missing
+    /// one), so round pools can recycle tables without affecting
+    /// determinism.
+    pub fn reset(&mut self) {
+        for s in &mut self.sems {
+            s.holder = None;
+            s.waiters.clear();
+        }
+    }
+
     /// All semaphores currently held by `pid` (used to assert clean exits).
     pub fn held_by(&self, pid: Pid) -> Vec<SemId> {
         self.sems
@@ -119,6 +131,18 @@ impl SemTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reset_behaves_like_fresh_table() {
+        let mut t = SemTable::new();
+        assert!(t.acquire_or_enqueue(SemId(2), Pid(1)));
+        assert!(!t.acquire_or_enqueue(SemId(2), Pid(2)));
+        t.reset();
+        assert!(!t.is_held(SemId(2)));
+        assert_eq!(t.waiter_count(SemId(2)), 0);
+        assert!(t.held_by(Pid(1)).is_empty());
+        assert!(t.acquire_or_enqueue(SemId(2), Pid(3)), "slot reusable");
+    }
 
     #[test]
     fn uncontended_acquire() {
@@ -148,7 +172,10 @@ mod tests {
     fn independent_semaphores() {
         let mut t = SemTable::new();
         assert!(t.acquire_or_enqueue(SemId(0), Pid(1)));
-        assert!(t.acquire_or_enqueue(SemId(1), Pid(2)), "different sem is free");
+        assert!(
+            t.acquire_or_enqueue(SemId(1), Pid(2)),
+            "different sem is free"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::process::{LibcPage, Process, SyscallName, SyscallRequest};
 use crate::sem::SemTable;
 use crate::vfs::Vfs;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use tocttou_sim::time::SimDuration;
 
 /// What kind of CPU time a [`Phase::Cpu`] burns (for tracing).
@@ -61,19 +62,19 @@ pub enum CommitStep {
     /// Sample `stat`/`lstat` results (mid-call: the sample point).
     StatSample {
         /// Path to sample.
-        path: String,
+        path: Arc<str>,
         /// Follow a final symlink?
         follow: bool,
     },
     /// Create/truncate a regular file and allocate an fd (owner = caller).
     CreateFile {
         /// Path to create.
-        path: String,
+        path: Arc<str>,
     },
     /// Open an existing file and allocate an fd.
     OpenExisting {
         /// Path to open.
-        path: String,
+        path: Arc<str>,
     },
     /// Append bytes through an fd.
     Append {
@@ -92,34 +93,34 @@ pub enum CommitStep {
     /// `Release`.
     UnlinkDetach {
         /// Path to unlink.
-        path: String,
+        path: Arc<str>,
     },
     /// Create a symlink.
     SymlinkCreate {
         /// Target stored in the link.
-        target: String,
+        target: Arc<str>,
         /// Name to bind.
-        linkpath: String,
+        linkpath: Arc<str>,
     },
     /// Install the new name of a rename **while still holding the
     /// semaphore** (the mid-rename visibility point).
     RenameCommit {
         /// Source name.
-        from: String,
+        from: Arc<str>,
         /// Destination name.
-        to: String,
+        to: Arc<str>,
     },
     /// Apply chmod.
     Chmod {
         /// Path (symlinks followed).
-        path: String,
+        path: Arc<str>,
         /// New mode.
         mode: u32,
     },
     /// Apply chown.
     Chown {
         /// Path (symlinks followed).
-        path: String,
+        path: Arc<str>,
         /// New owner.
         uid: Uid,
         /// New group.
@@ -128,12 +129,12 @@ pub enum CommitStep {
     /// Create a directory.
     Mkdir {
         /// Path to create.
-        path: String,
+        path: Arc<str>,
     },
     /// Read a symlink target.
     Readlink {
         /// Symlink path.
-        path: String,
+        path: Arc<str>,
     },
     /// Record success with no VFS effect (sleep).
     Nop,
@@ -142,21 +143,15 @@ pub enum CommitStep {
     Fail(OsError),
 }
 
-/// A compiled syscall: its trace name and phase list.
-#[derive(Debug)]
-pub struct CompiledSyscall {
-    /// Trace name.
-    pub name: SyscallName,
-    /// Phases to execute, front first.
-    pub phases: VecDeque<Phase>,
-}
-
 fn us(costs_us: f64, speed: f64) -> SimDuration {
     SimDuration::from_micros_f64(costs_us * speed)
 }
 
 /// Compiles `req` into phases for `proc_`, inserting a page-fault trap if
-/// the wrapper page is unmapped (and mapping it).
+/// the wrapper page is unmapped (and mapping it). The phases are written
+/// into `phases` (cleared first) so the kernel can reuse one deque per
+/// process instead of allocating per syscall; the syscall's trace name is
+/// returned.
 ///
 /// `speed` is the machine's `speed_factor`; all [`CostModel`] values are
 /// multiplied by it. The semaphore targets are resolved against the current
@@ -169,9 +164,10 @@ pub(crate) fn compile(
     sems: &SemTable,
     costs: &CostModel,
     speed: f64,
-) -> CompiledSyscall {
+    phases: &mut VecDeque<Phase>,
+) -> SyscallName {
     let name = req.name();
-    let mut phases: VecDeque<Phase> = VecDeque::new();
+    phases.clear();
 
     // Page-fault trap for a cold libc wrapper page (Section 6.2.1).
     if let Some(page) = LibcPage::for_call(name) {
@@ -237,7 +233,7 @@ pub(crate) fn compile(
             });
         }
         SyscallRequest::OpenCreate { path } => {
-            if let Some(sem) = dir_sem(path, &mut phases) {
+            if let Some(sem) = dir_sem(path, phases) {
                 phases.push_back(Phase::Acquire(sem));
                 // The new entry becomes visible at the end of the create work
                 // (commit), then the semaphore is released.
@@ -254,7 +250,9 @@ pub(crate) fn compile(
                 dur: us(costs.open_existing_us, speed),
                 kind: CpuKind::Kernel,
             });
-            phases.push_back(Phase::Commit(CommitStep::OpenExisting { path: path.clone() }));
+            phases.push_back(Phase::Commit(CommitStep::OpenExisting {
+                path: path.clone(),
+            }));
         }
         SyscallRequest::Write { fd, bytes } => {
             phases.push_back(Phase::Cpu {
@@ -303,7 +301,7 @@ pub(crate) fn compile(
             }
         }
         SyscallRequest::Symlink { target, linkpath } => {
-            if let Some(sem) = dir_sem(linkpath, &mut phases) {
+            if let Some(sem) = dir_sem(linkpath, phases) {
                 phases.push_back(Phase::Acquire(sem));
                 phases.push_back(Phase::Cpu {
                     dur: us(costs.symlink_us, speed),
@@ -387,37 +385,35 @@ pub(crate) fn compile(
                 Err(e) => phases.push_back(Phase::Commit(CommitStep::Fail(e))),
             }
         }
-        SyscallRequest::Chown { path, uid, gid } => {
-            match vfs.file_sem_of(path, true) {
-                Ok(sem) => {
-                    phases.push_back(Phase::Acquire(sem));
-                    phases.push_back(Phase::Cpu {
-                        dur: us(costs.chown_us, speed),
-                        kind: CpuKind::Kernel,
-                    });
-                    phases.push_back(Phase::Commit(CommitStep::Chown {
-                        path: path.clone(),
-                        uid: *uid,
-                        gid: *gid,
-                    }));
-                    phases.push_back(Phase::Release(sem));
-                }
-                Err(OsError::Enoent) => {
-                    phases.push_back(Phase::Cpu {
-                        dur: us(costs.stat_resolve_us, speed),
-                        kind: CpuKind::Kernel,
-                    });
-                    phases.push_back(Phase::Commit(CommitStep::Chown {
-                        path: path.clone(),
-                        uid: *uid,
-                        gid: *gid,
-                    }));
-                }
-                Err(e) => phases.push_back(Phase::Commit(CommitStep::Fail(e))),
+        SyscallRequest::Chown { path, uid, gid } => match vfs.file_sem_of(path, true) {
+            Ok(sem) => {
+                phases.push_back(Phase::Acquire(sem));
+                phases.push_back(Phase::Cpu {
+                    dur: us(costs.chown_us, speed),
+                    kind: CpuKind::Kernel,
+                });
+                phases.push_back(Phase::Commit(CommitStep::Chown {
+                    path: path.clone(),
+                    uid: *uid,
+                    gid: *gid,
+                }));
+                phases.push_back(Phase::Release(sem));
             }
-        }
+            Err(OsError::Enoent) => {
+                phases.push_back(Phase::Cpu {
+                    dur: us(costs.stat_resolve_us, speed),
+                    kind: CpuKind::Kernel,
+                });
+                phases.push_back(Phase::Commit(CommitStep::Chown {
+                    path: path.clone(),
+                    uid: *uid,
+                    gid: *gid,
+                }));
+            }
+            Err(e) => phases.push_back(Phase::Commit(CommitStep::Fail(e))),
+        },
         SyscallRequest::Mkdir { path } => {
-            if let Some(sem) = dir_sem(path, &mut phases) {
+            if let Some(sem) = dir_sem(path, phases) {
                 phases.push_back(Phase::Acquire(sem));
                 phases.push_back(Phase::Cpu {
                     dur: us(costs.mkdir_us, speed),
@@ -440,7 +436,7 @@ pub(crate) fn compile(
         }
     }
 
-    CompiledSyscall { name, phases }
+    name
 }
 
 #[cfg(test)]
@@ -453,11 +449,12 @@ mod tests {
     fn test_proc(pretouch: bool) -> Process {
         Process::new(
             Pid(1),
-            "t".into(),
+            "t",
             Uid(0),
             Gid(0),
             Box::new(|_: &LogicCtx, _: Option<&SyscallResult>| Action::Exit),
             pretouch,
+            crate::process::ProcBuffers::default(),
         )
     }
 
@@ -471,6 +468,28 @@ mod tests {
         vfs.mkdir("/d", meta).unwrap();
         vfs.create_file("/d/f", meta).unwrap();
         vfs
+    }
+
+    /// The pre-reuse return shape, reconstructed so the tests below can
+    /// keep asserting on an owned phase list.
+    struct CompiledSyscall {
+        #[allow(dead_code)]
+        name: SyscallName,
+        phases: VecDeque<Phase>,
+    }
+
+    /// Shadows `super::compile` with the old 6-argument signature.
+    fn compile(
+        req: &SyscallRequest,
+        proc_: &mut Process,
+        vfs: &Vfs,
+        sems: &SemTable,
+        costs: &CostModel,
+        speed: f64,
+    ) -> CompiledSyscall {
+        let mut phases = VecDeque::new();
+        let name = super::compile(req, proc_, vfs, sems, costs, speed, &mut phases);
+        CompiledSyscall { name, phases }
     }
 
     fn cpu_total_us(c: &CompiledSyscall) -> f64 {
@@ -489,18 +508,29 @@ mod tests {
         let vfs = test_vfs();
         let sems = SemTable::new();
         let costs = CostModel::default();
-        let req = SyscallRequest::Unlink { path: "/d/f".into() };
+        let req = SyscallRequest::Unlink {
+            path: "/d/f".into(),
+        };
         let first = compile(&req, &mut p, &vfs, &sems, &costs, 1.0);
         assert!(
-            matches!(first.phases.front(), Some(Phase::Cpu { kind: CpuKind::Trap, .. })),
+            matches!(
+                first.phases.front(),
+                Some(Phase::Cpu {
+                    kind: CpuKind::Trap,
+                    ..
+                })
+            ),
             "first unlink must trap"
         );
         let second = compile(&req, &mut p, &vfs, &sems, &costs, 1.0);
         assert!(
-            !second
-                .phases
-                .iter()
-                .any(|ph| matches!(ph, Phase::Cpu { kind: CpuKind::Trap, .. })),
+            !second.phases.iter().any(|ph| matches!(
+                ph,
+                Phase::Cpu {
+                    kind: CpuKind::Trap,
+                    ..
+                }
+            )),
             "page now mapped"
         );
     }
@@ -512,7 +542,9 @@ mod tests {
         let sems = SemTable::new();
         let costs = CostModel::default();
         compile(
-            &SyscallRequest::Unlink { path: "/d/f".into() },
+            &SyscallRequest::Unlink {
+                path: "/d/f".into(),
+            },
             &mut p,
             &vfs,
             &sems,
@@ -530,10 +562,13 @@ mod tests {
             &costs,
             1.0,
         );
-        assert!(!sym
-            .phases
-            .iter()
-            .any(|ph| matches!(ph, Phase::Cpu { kind: CpuKind::Trap, .. })));
+        assert!(!sym.phases.iter().any(|ph| matches!(
+            ph,
+            Phase::Cpu {
+                kind: CpuKind::Trap,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -543,18 +578,25 @@ mod tests {
         let sems = SemTable::new();
         let costs = CostModel::default();
         for req in [
-            SyscallRequest::Stat { path: "/d/f".into() },
-            SyscallRequest::Unlink { path: "/d/f".into() },
+            SyscallRequest::Stat {
+                path: "/d/f".into(),
+            },
+            SyscallRequest::Unlink {
+                path: "/d/f".into(),
+            },
             SyscallRequest::Rename {
                 from: "/d/f".into(),
                 to: "/d/g".into(),
             },
         ] {
             let c = compile(&req, &mut p, &vfs, &sems, &costs, 1.0);
-            assert!(!c
-                .phases
-                .iter()
-                .any(|ph| matches!(ph, Phase::Cpu { kind: CpuKind::Trap, .. })));
+            assert!(!c.phases.iter().any(|ph| matches!(
+                ph,
+                Phase::Cpu {
+                    kind: CpuKind::Trap,
+                    ..
+                }
+            )));
         }
     }
 
@@ -566,7 +608,9 @@ mod tests {
             stat_contention_factor: 6.5,
             ..CostModel::default()
         };
-        let req = SyscallRequest::Stat { path: "/d/f".into() };
+        let req = SyscallRequest::Stat {
+            path: "/d/f".into(),
+        };
 
         let free = compile(&req, &mut p, &vfs, &SemTable::new(), &costs, 1.0);
         let mut sems = SemTable::new();
@@ -698,7 +742,9 @@ mod tests {
         let mut p = test_proc(true);
         let vfs = test_vfs();
         let costs = CostModel::default();
-        let req = SyscallRequest::Stat { path: "/d/f".into() };
+        let req = SyscallRequest::Stat {
+            path: "/d/f".into(),
+        };
         let ref_speed = compile(&req, &mut p, &vfs, &SemTable::new(), &costs, 1.0);
         let smp = compile(&req, &mut p, &vfs, &SemTable::new(), &costs, 2.0);
         assert!((cpu_total_us(&smp) - 2.0 * cpu_total_us(&ref_speed)).abs() < 1e-9);
@@ -710,7 +756,10 @@ mod tests {
         let vfs = test_vfs();
         let costs = CostModel::default();
         let small = compile(
-            &SyscallRequest::Write { fd: Fd(3), bytes: 1024 },
+            &SyscallRequest::Write {
+                fd: Fd(3),
+                bytes: 1024,
+            },
             &mut p,
             &vfs,
             &SemTable::new(),

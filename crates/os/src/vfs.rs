@@ -175,6 +175,27 @@ impl Vfs {
         vfs
     }
 
+    /// Restores the filesystem to its just-created state (a lone root
+    /// directory owned by root), retaining allocated capacity.
+    ///
+    /// Inode and semaphore numbering restart from zero, so a reset
+    /// filesystem is observably identical to [`Vfs::new`] — round pools
+    /// rely on this for bit-identical reuse.
+    pub fn reset(&mut self) {
+        self.inodes.clear();
+        self.next_sem = 0;
+        self.root = self.alloc(
+            InodeKind::Directory {
+                entries: BTreeMap::new(),
+            },
+            InodeMeta {
+                uid: Uid::ROOT,
+                gid: Gid::ROOT,
+                mode: 0o755,
+            },
+        );
+    }
+
     /// The root directory's inode number.
     pub fn root(&self) -> Ino {
         self.root
@@ -226,7 +247,7 @@ impl Vfs {
     ///
     /// Standard resolution errors (`ENOENT`, `ENOTDIR`, `ELOOP`).
     pub fn dir_sem_of(&self, path: &str) -> Result<SemId, OsError> {
-        let r = self.resolve(path, SymlinkPolicy::NoFollowLast)?;
+        let r = self.resolve_lean(path, SymlinkPolicy::NoFollowLast)?;
         Ok(self.inode(r.parent)?.sem)
     }
 
@@ -244,7 +265,7 @@ impl Vfs {
         } else {
             SymlinkPolicy::NoFollowLast
         };
-        let r = self.resolve(path, policy)?;
+        let r = self.resolve_lean(path, policy)?;
         let ino = r.ino.ok_or(OsError::Enoent)?;
         Ok(self.inode(ino)?.sem)
     }
@@ -263,7 +284,15 @@ impl Vfs {
     /// * `ENOTDIR` — an intermediate component is not a directory;
     /// * `ELOOP` — more than [`MAX_SYMLINK_DEPTH`] symlink traversals.
     pub fn resolve(&self, path: &str, policy: SymlinkPolicy) -> Result<Resolved, OsError> {
-        self.resolve_depth(path, policy, 0)
+        self.resolve_depth(path, policy, 0, true)
+    }
+
+    /// [`resolve`](Self::resolve) without materialising the final component
+    /// (`Resolved::name` comes back empty). Read-only lookups — `stat`,
+    /// `open`, semaphore resolution — run once or more per simulated
+    /// syscall, and skipping the name `String` keeps them allocation-free.
+    fn resolve_lean(&self, path: &str, policy: SymlinkPolicy) -> Result<Resolved, OsError> {
+        self.resolve_depth(path, policy, 0, false)
     }
 
     fn resolve_depth(
@@ -271,6 +300,7 @@ impl Vfs {
         path: &str,
         policy: SymlinkPolicy,
         depth: usize,
+        want_name: bool,
     ) -> Result<Resolved, OsError> {
         if depth > MAX_SYMLINK_DEPTH {
             return Err(OsError::Eloop);
@@ -278,45 +308,50 @@ impl Vfs {
         if !path.starts_with('/') {
             return Err(OsError::Einval);
         }
-        let components: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
-        if components.is_empty() {
+        let mut components = path.split('/').filter(|c| !c.is_empty()).peekable();
+        if components.peek().is_none() {
             // "/" itself: treat the root as its own parent with no name —
             // callers that need the root use `root()` directly.
             return Err(OsError::Einval);
         }
         let mut dir = self.root;
-        for (i, comp) in components.iter().enumerate() {
-            let is_last = i + 1 == components.len();
+        while let Some(comp) = components.next() {
+            let is_last = components.peek().is_none();
             if is_last {
                 let entries = self.inode(dir)?.entries()?;
-                let bound = entries.get(*comp).copied();
+                let bound = entries.get(comp).copied();
                 if let (SymlinkPolicy::FollowLast, Some(ino)) = (policy, bound) {
                     if let InodeKind::Symlink { target } = &self.inode(ino)?.kind {
                         let target = target.clone();
-                        return self.resolve_depth(&target, policy, depth + 1);
+                        return self.resolve_depth(&target, policy, depth + 1, want_name);
                     }
                 }
                 return Ok(Resolved {
                     parent: dir,
-                    name: (*comp).to_string(),
+                    name: if want_name {
+                        comp.to_string()
+                    } else {
+                        String::new()
+                    },
                     ino: bound,
                 });
             }
             let entries = self.inode(dir)?.entries()?;
-            let next = *entries.get(*comp).ok_or(OsError::Enoent)?;
+            let next = *entries.get(comp).ok_or(OsError::Enoent)?;
             let next_inode = self.inode(next)?;
             match &next_inode.kind {
                 InodeKind::Directory { .. } => dir = next,
                 InodeKind::Symlink { target } => {
                     // Follow the intermediate symlink, then continue with the
                     // remaining components appended.
-                    let rest = components[i + 1..].join("/");
                     let mut redirected = target.clone();
-                    if !redirected.ends_with('/') {
-                        redirected.push('/');
+                    for rest in components {
+                        if !redirected.ends_with('/') {
+                            redirected.push('/');
+                        }
+                        redirected.push_str(rest);
                     }
-                    redirected.push_str(&rest);
-                    return self.resolve_depth(&redirected, policy, depth + 1);
+                    return self.resolve_depth(&redirected, policy, depth + 1, want_name);
                 }
                 InodeKind::Regular { .. } => return Err(OsError::Enotdir),
             }
@@ -391,9 +426,7 @@ impl Vfs {
             },
             meta,
         );
-        self.inode_mut(r.parent)?
-            .entries_mut()?
-            .insert(r.name, ino);
+        self.inode_mut(r.parent)?.entries_mut()?.insert(r.name, ino);
         Ok(ino)
     }
 
@@ -424,9 +457,7 @@ impl Vfs {
             }
             None => {
                 let ino = self.alloc(InodeKind::Regular { size: 0 }, meta);
-                self.inode_mut(r.parent)?
-                    .entries_mut()?
-                    .insert(r.name, ino);
+                self.inode_mut(r.parent)?.entries_mut()?.insert(r.name, ino);
                 Ok(ino)
             }
         }
@@ -470,7 +501,12 @@ impl Vfs {
     /// # Errors
     ///
     /// `EEXIST` if `linkpath` is taken.
-    pub fn symlink(&mut self, target: &str, linkpath: &str, owner: (Uid, Gid)) -> Result<Ino, OsError> {
+    pub fn symlink(
+        &mut self,
+        target: &str,
+        linkpath: &str,
+        owner: (Uid, Gid),
+    ) -> Result<Ino, OsError> {
         let r = self.resolve(linkpath, SymlinkPolicy::NoFollowLast)?;
         if r.ino.is_some() {
             return Err(OsError::Eexist);
@@ -485,9 +521,7 @@ impl Vfs {
                 mode: 0o777,
             },
         );
-        self.inode_mut(r.parent)?
-            .entries_mut()?
-            .insert(r.name, ino);
+        self.inode_mut(r.parent)?.entries_mut()?.insert(r.name, ino);
         Ok(ino)
     }
 
@@ -554,7 +588,9 @@ impl Vfs {
             node.nlink = node.nlink.saturating_sub(1);
         }
         self.inode_mut(rf.parent)?.entries_mut()?.remove(&rf.name);
-        self.inode_mut(rt.parent)?.entries_mut()?.insert(rt.name, src);
+        self.inode_mut(rt.parent)?
+            .entries_mut()?
+            .insert(rt.name, src);
         Ok(())
     }
 
@@ -564,7 +600,7 @@ impl Vfs {
     ///
     /// `ENOENT` if dangling.
     pub fn chmod(&mut self, path: &str, mode: u32) -> Result<Ino, OsError> {
-        let r = self.resolve(path, SymlinkPolicy::FollowLast)?;
+        let r = self.resolve_lean(path, SymlinkPolicy::FollowLast)?;
         let ino = r.ino.ok_or(OsError::Enoent)?;
         self.inode_mut(ino)?.meta.mode = mode;
         Ok(ino)
@@ -577,7 +613,7 @@ impl Vfs {
     ///
     /// `ENOENT` if dangling.
     pub fn chown(&mut self, path: &str, uid: Uid, gid: Gid) -> Result<Ino, OsError> {
-        let r = self.resolve(path, SymlinkPolicy::FollowLast)?;
+        let r = self.resolve_lean(path, SymlinkPolicy::FollowLast)?;
         let ino = r.ino.ok_or(OsError::Enoent)?;
         let node = self.inode_mut(ino)?;
         node.meta.uid = uid;
@@ -709,7 +745,8 @@ mod tests {
         assert_eq!(vfs.stat("/a"), Err(OsError::Eloop));
 
         let mut vfs2 = setup();
-        vfs2.symlink("/etc/passwd", "/l1", (Uid(0), Gid(0))).unwrap();
+        vfs2.symlink("/etc/passwd", "/l1", (Uid(0), Gid(0)))
+            .unwrap();
         vfs2.symlink("/l1", "/l2", (Uid(0), Gid(0))).unwrap();
         assert_eq!(vfs2.stat("/l2").unwrap().uid, Uid::ROOT);
     }
@@ -725,7 +762,8 @@ mod tests {
     #[test]
     fn dangling_symlink_stat_fails_lstat_succeeds() {
         let mut vfs = setup();
-        vfs.symlink("/nothing/here", "/dang", (Uid(0), Gid(0))).unwrap();
+        vfs.symlink("/nothing/here", "/dang", (Uid(0), Gid(0)))
+            .unwrap();
         assert_eq!(vfs.stat("/dang"), Err(OsError::Enoent));
         assert!(vfs.lstat("/dang").unwrap().is_symlink);
         assert_eq!(vfs.readlink("/dang").unwrap(), "/nothing/here");
@@ -877,7 +915,12 @@ mod tests {
     fn dir_sem_is_parent_directory_semaphore() {
         let vfs = setup();
         let etc_sem = vfs
-            .inode(vfs.resolve("/etc", SymlinkPolicy::NoFollowLast).unwrap().ino.unwrap())
+            .inode(
+                vfs.resolve("/etc", SymlinkPolicy::NoFollowLast)
+                    .unwrap()
+                    .ino
+                    .unwrap(),
+            )
             .unwrap()
             .sem;
         assert_eq!(vfs.dir_sem_of("/etc/passwd").unwrap(), etc_sem);

@@ -1,0 +1,331 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate vendors the *shape* of serde that the workspace actually uses:
+//! a [`Serialize`]/[`Deserialize`] trait pair over a small JSON-like
+//! [`Value`] model, plus `#[derive(Serialize, Deserialize)]` macros
+//! (re-exported from the companion `serde_derive` proc-macro crate).
+//!
+//! The data model mirrors serde_json's conventions for the subset the
+//! workspace needs:
+//!
+//! * named structs serialize as objects with fields in declaration order;
+//! * newtype structs are transparent (serialize as their inner value);
+//! * wider tuple structs and tuples serialize as arrays;
+//! * fieldless enum variants serialize as their name, as a string;
+//! * `Option` serializes as `null` / the inner value;
+//! * non-finite floats serialize as `null` (JSON has no NaN/inf).
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree: the intermediate representation both traits
+/// speak.
+///
+/// Object keys keep insertion order so serialized output is deterministic
+/// and mirrors field declaration order, like `serde_json`'s
+/// `preserve_order` mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept apart so `u64::MAX` survives).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, accepting any numeric representation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the shape a
+/// [`Deserialize`] implementation expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A new error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                let u = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(u).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                let i = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(i).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::msg("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(DeError::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(DeError::msg("tuple length mismatch"));
+                        }
+                        Ok(($($t::deserialize_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::msg("expected array for tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_get_and_numeric_views() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(3)),
+            ("b".into(), Value::Float(1.5)),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("b").and_then(Value::as_f64), Some(1.5));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize_value(&42u64.serialize_value()), Ok(42));
+        assert_eq!(bool::deserialize_value(&true.serialize_value()), Ok(true));
+        assert_eq!(f64::deserialize_value(&1.25f64.serialize_value()), Ok(1.25));
+        let pair = (1.0f64, 2.0f64);
+        assert_eq!(
+            <(f64, f64)>::deserialize_value(&pair.serialize_value()),
+            Ok(pair)
+        );
+        let opt: Option<u32> = None;
+        assert_eq!(opt.serialize_value(), Value::Null);
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes the workspace actually contains, without a parser dependency:
+//!
+//! * structs with named fields → JSON objects (declaration order);
+//! * newtype (single-field tuple) structs → transparent;
+//! * wider tuple structs → arrays;
+//! * unit structs → `null`;
+//! * enums whose variants are all fieldless → the variant name as a string.
+//!
+//! `#[serde(...)]` helper attributes are accepted and ignored, except that
+//! `#[serde(transparent)]` matches the built-in newtype behaviour. Generic
+//! types and data-carrying enums are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    FieldlessEnum { variants: Vec<String> },
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("compile_error tokens")
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("generated impl tokens")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "cannot derive for generic type `{name}`: the vendored serde_derive supports only non-generic items"
+        ));
+    }
+
+    if kind == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::NamedStruct {
+                    fields: parse_named_fields(g.stream())?,
+                },
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                shape: Shape::TupleStruct {
+                    arity: count_tuple_fields(g.stream()),
+                },
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                shape: Shape::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name: name.clone(),
+                shape: Shape::FieldlessEnum {
+                    variants: parse_fieldless_variants(&name, g.stream())?,
+                },
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        }
+    }
+}
+
+/// Advances `pos` past outer attributes (`#[...]`) and a visibility
+/// qualifier (`pub`, `pub(...)`).
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
+            return Err(format!("expected field name, found {:?}", tokens.get(pos)));
+        };
+        fields.push(id.to_string());
+        pos += 1;
+        if !matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err("expected `:` after field name".into());
+        }
+        pos += 1;
+        // Skip the type: everything up to a top-level comma. Generic
+        // argument lists are skipped by angle-bracket depth counting.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            pos += 1;
+        }
+        pos += 1; // past the comma (or the end)
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not introduce a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+/// Variant names of a fieldless enum body.
+fn parse_fieldless_variants(enum_name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
+            return Err(format!(
+                "expected variant name in `{enum_name}`, found {:?}",
+                tokens.get(pos)
+            ));
+        };
+        variants.push(id.to_string());
+        pos += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Group(_))) {
+            return Err(format!(
+                "cannot derive for `{enum_name}`: variant `{}` carries data; the vendored serde_derive supports only fieldless enums",
+                variants.last().expect("just pushed")
+            ));
+        }
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        while pos < tokens.len()
+            && !matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+        {
+            pos += 1;
+        }
+        pos += 1; // past the comma (or the end)
+    }
+    Ok(variants)
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            "::serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct { arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::FieldlessEnum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(value.get({f:?}).ok_or_else(|| ::serde::DeError::msg(concat!(\"missing field `\", {f:?}, \"`\")))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity: 1 } => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(value)?))"
+        ),
+        Shape::TupleStruct { arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                         ::std::result::Result::Ok({name}({inits})),\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::msg(\"expected array of length {arity}\")),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::FieldlessEnum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {},\n\
+                         other => ::std::result::Result::Err(::serde::DeError::msg(format!(\"unknown variant `{{other}}`\"))),\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::msg(\"expected string for enum\")),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

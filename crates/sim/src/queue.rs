@@ -8,7 +8,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,9 +68,15 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    /// Ids that are pushed and neither popped nor cancelled. Entries whose
-    /// id is absent are tombstones skipped lazily at pop/peek time.
-    live: HashSet<EventId>,
+    /// Liveness bitmap indexed by sequence number: bit set ⇔ the event is
+    /// pushed and neither popped nor cancelled. Heap entries whose bit is
+    /// clear are tombstones skipped lazily at pop/peek time. Sequence
+    /// numbers are dense (0, 1, 2, …), so a bitmap replaces the obvious
+    /// `HashSet<EventId>` — the queue sits on the simulator's hottest path
+    /// and the hash-per-push/pop/peek showed up in Monte-Carlo profiles.
+    live_bits: Vec<u64>,
+    /// Number of set bits in `live_bits`.
+    live_count: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -85,7 +91,28 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            live: HashSet::new(),
+            live_bits: Vec::new(),
+            live_count: 0,
+        }
+    }
+
+    fn is_live(&self, id: EventId) -> bool {
+        let (word, bit) = (id.0 / 64, id.0 % 64);
+        self.live_bits
+            .get(word as usize)
+            .is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Clears the liveness bit; returns whether it was set.
+    fn take_live(&mut self, id: EventId) -> bool {
+        let (word, bit) = (id.0 / 64, id.0 % 64);
+        match self.live_bits.get_mut(word as usize) {
+            Some(w) if *w & (1 << bit) != 0 => {
+                *w &= !(1 << bit);
+                self.live_count -= 1;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -101,7 +128,12 @@ impl<E> EventQueue<E> {
             id,
             payload,
         });
-        self.live.insert(id);
+        let (word, bit) = (seq / 64, seq % 64);
+        if word as usize >= self.live_bits.len() {
+            self.live_bits.resize(word as usize + 1, 0);
+        }
+        self.live_bits[word as usize] |= 1 << bit;
+        self.live_count += 1;
         id
     }
 
@@ -111,14 +143,14 @@ impl<E> EventQueue<E> {
     /// never to be returned by [`pop`](Self::pop)); `false` if it had
     /// already fired or been cancelled — in which case nothing changes.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id)
+        self.take_live(id)
     }
 
     /// Removes and returns the earliest pending event, skipping cancelled
     /// entries.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.live.remove(&entry.id) {
+            if self.take_live(entry.id) {
                 return Some((entry.at, entry.payload));
             }
         }
@@ -129,7 +161,7 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drain cancelled tombstones off the top so the peeked time is live.
         while let Some(top) = self.heap.peek() {
-            if self.live.contains(&top.id) {
+            if self.is_live(top.id) {
                 return Some(top.at);
             }
             self.heap.pop();
@@ -137,21 +169,35 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Removes every pending event and resets the sequence counter,
+    /// retaining allocated capacity.
+    ///
+    /// Monte-Carlo round pools reuse one queue across many simulated
+    /// rounds; after `clear` the queue is observably identical to a fresh
+    /// one (same FIFO-on-tie numbering from zero), so pooled rounds stay
+    /// bit-identical to rounds run on a new queue.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.live_bits.fill(0);
+        self.live_count = 0;
+        self.next_seq = 0;
+    }
+
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live_count
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live_count == 0
     }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.live.len())
+            .field("pending", &self.live_count)
             .field("scheduled_total", &self.next_seq)
             .finish()
     }
@@ -251,8 +297,29 @@ mod tests {
         q.push(t(7), 'c');
         q.push(t(10), 'd');
         assert_eq!(q.pop(), Some((t(7), 'c')));
-        assert_eq!(q.pop(), Some((t(10), 'a')), "earlier-pushed same-time first");
+        assert_eq!(
+            q.pop(),
+            Some((t(10), 'a')),
+            "earlier-pushed same-time first"
+        );
         assert_eq!(q.pop(), Some((t(10), 'd')));
+    }
+
+    #[test]
+    fn clear_restores_fresh_queue_semantics() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 'a');
+        q.push(t(2), 'b');
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert!(!q.cancel(a), "pre-clear handles are dead");
+        // Sequence numbering restarts, so tie-breaking matches a new queue.
+        q.push(t(5), 'x');
+        let fresh = q.push(t(5), 'y');
+        assert_eq!(fresh, EventId(1), "seq counter restarted");
+        assert_eq!(q.pop(), Some((t(5), 'x')));
+        assert_eq!(q.pop(), Some((t(5), 'y')));
     }
 
     #[test]

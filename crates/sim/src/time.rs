@@ -314,7 +314,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_nanos(1)),
             Some(SimTime::from_nanos(1))
@@ -323,10 +325,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration = [1u64, 2, 3]
-            .into_iter()
-            .map(SimDuration::from_micros)
-            .sum();
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::from_micros).sum();
         assert_eq!(total, SimDuration::from_micros(6));
     }
 }

@@ -131,15 +131,39 @@ impl<E> Trace<E> {
     }
 
     /// Removes all records (the drop counter is retained).
+    ///
+    /// `clear` is for readers that consume a trace in slices mid-run and
+    /// still want the lifetime eviction total afterwards; use
+    /// [`Trace::reset`] to recycle a buffer for an unrelated run.
     pub fn clear(&mut self) {
         self.records.clear();
     }
 
+    /// Removes all records *and* zeroes the drop counter, retaining
+    /// allocated capacity and the capacity bound.
+    ///
+    /// This returns the trace to its just-constructed state, so a pooled
+    /// buffer reused across Monte-Carlo rounds reports per-round drop
+    /// accounting: after a `reset`, `dropped() + len()` equals the number
+    /// of records pushed since that `reset`.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+
+    /// Turns recording on (pooled buffers are re-enabled between rounds).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Turns recording off without discarding the buffer; appends become
+    /// free no-ops, as with [`Trace::disabled`].
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
     /// Finds the first record matching `pred`, in chronological order.
-    pub fn find<P: FnMut(&TraceRecord<E>) -> bool>(
-        &self,
-        mut pred: P,
-    ) -> Option<&TraceRecord<E>> {
+    pub fn find<P: FnMut(&TraceRecord<E>) -> bool>(&self, mut pred: P) -> Option<&TraceRecord<E>> {
         self.records.iter().find(|r| pred(r))
     }
 }
@@ -225,5 +249,58 @@ mod tests {
         tr.clear();
         assert!(tr.is_empty());
         assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_drop_count_and_keeps_bound() {
+        let mut tr = Trace::bounded(2);
+        tr.record(t(1), 1);
+        tr.record(t(2), 2);
+        tr.record(t(3), 3);
+        assert_eq!(tr.dropped(), 1);
+        tr.reset();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
+        // The capacity bound survives a reset.
+        tr.record(t(4), 4);
+        tr.record(t(5), 5);
+        tr.record(t(6), 6);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    fn bounded_drop_accounting_over_reuse_cycles() {
+        // The pooled-reuse invariant: within each reset-delimited cycle,
+        // dropped() + len() equals the records pushed that cycle — no
+        // record is lost to bookkeeping when a buffer is recycled.
+        let mut tr = Trace::bounded(3);
+        for cycle in 0..4u64 {
+            let pushed = 2 + cycle * 3; // 2, 5, 8, 11 pushes per cycle
+            for i in 0..pushed {
+                tr.record(t(i), i);
+            }
+            assert_eq!(
+                tr.dropped() + tr.len() as u64,
+                pushed,
+                "cycle {cycle}: drop accounting must cover every push"
+            );
+            assert_eq!(tr.len() as u64, pushed.min(3));
+            tr.reset();
+            assert_eq!(tr.dropped(), 0);
+            assert!(tr.is_empty());
+        }
+    }
+
+    #[test]
+    fn disable_enable_toggle_recording_in_place() {
+        let mut tr = Trace::unbounded();
+        tr.record(t(1), 1);
+        tr.disable();
+        tr.record(t(2), 2);
+        assert_eq!(tr.len(), 1, "disabled appends are dropped");
+        tr.enable();
+        tr.record(t(3), 3);
+        assert_eq!(tr.len(), 2);
     }
 }

@@ -16,6 +16,7 @@
 
 use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::Arc;
 use tocttou_os::process::{Action, LogicCtx, ProcessLogic, SyscallRequest, SyscallResult};
 use tocttou_sim::dist::sample_standard_normal;
 use tocttou_sim::rng::SimRng;
@@ -29,12 +30,12 @@ use tocttou_sim::time::SimDuration;
 #[derive(Debug, Clone)]
 pub struct AttackerConfig {
     /// The victim's file to watch and replace.
-    pub target: String,
+    pub target: Arc<str>,
     /// The privileged file to redirect the victim's `chown` to.
-    pub privileged: String,
+    pub privileged: Arc<str>,
     /// The dummy path (in the attacker's own directory) that v2 unlinks and
     /// symlinks while the window is closed.
-    pub dummy: String,
+    pub dummy: Arc<str>,
     /// User-space computation from a non-detecting `stat` return to the next
     /// `stat` (loop bookkeeping).
     pub loop_gap: SimDuration,
@@ -61,7 +62,7 @@ impl AttackerConfig {
 impl AttackerConfig {
     /// Parameters matching the vi SMP attacks of Table 1 (detection period
     /// D ≈ 41 µs at SMP speed).
-    pub fn vi_smp(target: impl Into<String>, privileged: impl Into<String>) -> Self {
+    pub fn vi_smp(target: impl Into<Arc<str>>, privileged: impl Into<Arc<str>>) -> Self {
         AttackerConfig {
             target: target.into(),
             privileged: privileged.into(),
@@ -74,7 +75,7 @@ impl AttackerConfig {
     }
 
     /// Parameters matching the gedit SMP attacks of Table 2 (D ≈ 33 µs).
-    pub fn gedit_smp(target: impl Into<String>, privileged: impl Into<String>) -> Self {
+    pub fn gedit_smp(target: impl Into<Arc<str>>, privileged: impl Into<Arc<str>>) -> Self {
         AttackerConfig {
             target: target.into(),
             privileged: privileged.into(),
@@ -88,7 +89,10 @@ impl AttackerConfig {
 
     /// Parameters matching the multi-core attacks of Section 6.2 (the 11 µs
     /// check of Figure 8 for v1; v2 uses [`Self::gedit_multicore_v2`]).
-    pub fn gedit_multicore_v1(target: impl Into<String>, privileged: impl Into<String>) -> Self {
+    pub fn gedit_multicore_v1(
+        target: impl Into<Arc<str>>,
+        privileged: impl Into<Arc<str>>,
+    ) -> Self {
         AttackerConfig {
             target: target.into(),
             privileged: privileged.into(),
@@ -102,7 +106,10 @@ impl AttackerConfig {
 
     /// Parameters for the improved program of Figure 9 on the multi-core
     /// (2 µs stat→unlink gap — Figure 10).
-    pub fn gedit_multicore_v2(target: impl Into<String>, privileged: impl Into<String>) -> Self {
+    pub fn gedit_multicore_v2(
+        target: impl Into<Arc<str>>,
+        privileged: impl Into<Arc<str>>,
+    ) -> Self {
         AttackerConfig {
             target: target.into(),
             privileged: privileged.into(),
@@ -225,7 +232,7 @@ impl AttackerV2 {
         }
     }
 
-    fn fname(&self) -> String {
+    fn fname(&self) -> Arc<str> {
         if self.fname_is_target {
             self.cfg.target.clone()
         } else {
@@ -546,7 +553,10 @@ mod tests {
             Box::new(AttackerV2::new(c, 2)),
         );
         // Let it idle-loop a while: dummy gets symlinked/unlinked repeatedly.
-        k.run_until(|k| k.now() >= SimTime::from_micros(500), SimTime::from_secs(1));
+        k.run_until(
+            |k| k.now() >= SimTime::from_micros(500),
+            SimTime::from_secs(1),
+        );
         let dummy_ops = k
             .trace()
             .iter()
@@ -564,7 +574,9 @@ mod tests {
         assert!(dummy_ops >= 4, "dummy churn: {dummy_ops}");
 
         // Now open the window: chown the target to root.
-        k.vfs_mut().chown("/home/user/doc", Uid::ROOT, Gid::ROOT).unwrap();
+        k.vfs_mut()
+            .chown("/home/user/doc", Uid::ROOT, Gid::ROOT)
+            .unwrap();
         k.run_until_exit(pid, SimTime::from_millis(10));
         assert!(k.vfs().lstat("/home/user/doc").unwrap().is_symlink);
         // All traps happened on the dummy path, before the attack: the

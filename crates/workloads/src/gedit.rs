@@ -15,6 +15,7 @@
 //! between `rename` and `chmod`: 43 µs on the SMP testbed, 3 µs on the
 //! multi-core (Section 6.2.1).
 
+use std::sync::Arc;
 use tocttou_os::ids::{Fd, Gid, Uid};
 use tocttou_os::process::{Action, LogicCtx, ProcessLogic, SyscallRequest, SyscallResult};
 use tocttou_sim::dist::DurationDist;
@@ -25,11 +26,11 @@ use tocttou_sim::time::SimDuration;
 #[derive(Debug, Clone)]
 pub struct GeditConfig {
     /// The document being saved (the paper's `real_filename`).
-    pub real: String,
+    pub real: Arc<str>,
     /// The scratch file (the paper's `temp_filename`).
-    pub temp: String,
+    pub temp: Arc<str>,
     /// The backup name for the original.
-    pub backup: String,
+    pub backup: Arc<str>,
     /// Size of the buffer written, in bytes.
     pub file_size: u64,
     /// Write-loop granularity in bytes.
@@ -54,9 +55,9 @@ pub struct GeditConfig {
 impl GeditConfig {
     /// A configuration with SMP-calibrated defaults (43 µs rename→chmod gap).
     pub fn new(
-        real: impl Into<String>,
-        temp: impl Into<String>,
-        backup: impl Into<String>,
+        real: impl Into<Arc<str>>,
+        temp: impl Into<Arc<str>>,
+        backup: impl Into<Arc<str>>,
         file_size: u64,
     ) -> Self {
         GeditConfig {
@@ -281,7 +282,10 @@ mod tests {
         assert_eq!(saved.uid, Uid(1000));
         assert_eq!(saved.mode, 0o644);
         assert_eq!(k.vfs().stat("/home/user/doc.txt~").unwrap().size, 2048);
-        assert!(k.vfs().stat("/home/user/.goutputstream").is_err(), "temp consumed");
+        assert!(
+            k.vfs().stat("/home/user/.goutputstream").is_err(),
+            "temp consumed"
+        );
         k.vfs().check_invariants().unwrap();
     }
 

@@ -12,6 +12,7 @@
 //! reports which pairs are runnable. The sweep experiments report coverage
 //! explicitly rather than silently skipping.
 
+use std::sync::Arc;
 use tocttou_core::taxonomy::{FsCall, TocttouPair};
 use tocttou_os::ids::{Gid, Uid};
 use tocttou_os::process::{Action, LogicCtx, ProcessLogic, SyscallRequest, SyscallResult};
@@ -25,9 +26,9 @@ pub struct GenericConfig {
     /// The pair to exercise.
     pub pair: TocttouPair,
     /// The file name checked and used.
-    pub path: String,
+    pub path: Arc<str>,
     /// A secondary name (rename/link destinations).
-    pub aux_path: String,
+    pub aux_path: Arc<str>,
     /// Computation between check and use — the vulnerability window.
     pub window: SimDuration,
     /// Owner handed over by ownership-changing use calls.
@@ -38,10 +39,10 @@ pub struct GenericConfig {
 
 impl GenericConfig {
     /// A window of `window_us` µs over `path`.
-    pub fn new(pair: TocttouPair, path: impl Into<String>, window_us: f64) -> Self {
+    pub fn new(pair: TocttouPair, path: impl Into<Arc<str>>, window_us: f64) -> Self {
         let path = path.into();
         GenericConfig {
-            aux_path: format!("{path}.aux"),
+            aux_path: format!("{path}.aux").into(),
             pair,
             path,
             window: SimDuration::from_micros_f64(window_us),
@@ -82,8 +83,14 @@ impl GenericVictim {
     /// Whether both calls of `pair` are expressible on the simulator's
     /// syscall surface.
     pub fn supports(pair: TocttouPair) -> bool {
-        call_as_check(pair.check(), "/x", "/y").is_some()
-            && call_as_use(pair.use_call(), "/x", "/y", (Uid(0), Gid(0))).is_some()
+        call_as_check(pair.check(), &Arc::from("/x"), &Arc::from("/y")).is_some()
+            && call_as_use(
+                pair.use_call(),
+                &Arc::from("/x"),
+                &Arc::from("/y"),
+                (Uid(0), Gid(0)),
+            )
+            .is_some()
     }
 
     /// Every taxonomy pair the simulator can run.
@@ -96,8 +103,8 @@ impl GenericVictim {
 }
 
 /// The check-role rendering of a call, if expressible.
-fn call_as_check(call: FsCall, path: &str, aux: &str) -> Option<SyscallRequest> {
-    let path = path.to_string();
+fn call_as_check(call: FsCall, path: &Arc<str>, aux: &Arc<str>) -> Option<SyscallRequest> {
+    let path = path.clone();
     Some(match call {
         // Observation checks.
         FsCall::Stat => SyscallRequest::Stat { path },
@@ -108,11 +115,11 @@ fn call_as_check(call: FsCall, path: &str, aux: &str) -> Option<SyscallRequest> 
         FsCall::Open | FsCall::Creat | FsCall::Mknod => SyscallRequest::OpenCreate { path },
         FsCall::Mkdir => SyscallRequest::Mkdir { path },
         FsCall::Symlink | FsCall::Link => SyscallRequest::Symlink {
-            target: aux.to_string(),
+            target: aux.clone(),
             linkpath: path,
         },
         FsCall::Rename => SyscallRequest::Rename {
-            from: aux.to_string(),
+            from: aux.clone(),
             to: path,
         },
         _ => return None,
@@ -122,11 +129,11 @@ fn call_as_check(call: FsCall, path: &str, aux: &str) -> Option<SyscallRequest> 
 /// The use-role rendering of a call, if expressible.
 fn call_as_use(
     call: FsCall,
-    path: &str,
-    aux: &str,
+    path: &Arc<str>,
+    aux: &Arc<str>,
     owner: (Uid, Gid),
 ) -> Option<SyscallRequest> {
-    let path = path.to_string();
+    let path = path.clone();
     Some(match call {
         FsCall::Chown => SyscallRequest::Chown {
             path,
@@ -139,10 +146,10 @@ fn call_as_use(
         FsCall::Unlink => SyscallRequest::Unlink { path },
         FsCall::Rename => SyscallRequest::Rename {
             from: path,
-            to: aux.to_string(),
+            to: aux.clone(),
         },
         FsCall::Symlink | FsCall::Link => SyscallRequest::Symlink {
-            target: aux.to_string(),
+            target: aux.clone(),
             linkpath: path,
         },
         FsCall::Mkdir => SyscallRequest::Mkdir { path },

@@ -43,6 +43,6 @@ pub use gedit::{GeditConfig, GeditSave};
 pub use generic::{GenericConfig, GenericVictim};
 pub use maze::{run_maze_round, vi_uniprocessor_maze, Maze};
 pub use rpm::{RpmConfig, RpmInstall};
-pub use sendmail::{SendmailConfig, SendmailDeliver};
 pub use scenario::{AttackerSpec, Layout, RoundHandles, RoundResult, Scenario, VictimSpec};
+pub use sendmail::{SendmailConfig, SendmailDeliver};
 pub use vi::{ViConfig, ViSave};

@@ -74,11 +74,11 @@ pub fn vi_uniprocessor_maze(file_size: u64, depth: usize, per_component_us: f64)
     scenario.layout.doc = maze.doc.clone();
     scenario.layout.backup = maze.backup.clone();
     if let VictimSpec::Vi(cfg) = &mut scenario.victim {
-        cfg.wfname = maze.doc.clone();
-        cfg.backup = maze.backup.clone();
+        cfg.wfname = maze.doc.as_str().into();
+        cfg.backup = maze.backup.as_str().into();
     }
     if let crate::scenario::AttackerSpec::V1(cfg) = &mut scenario.attacker {
-        cfg.target = maze.doc.clone();
+        cfg.target = maze.doc.as_str().into();
     }
     scenario
 }

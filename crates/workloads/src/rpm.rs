@@ -13,6 +13,7 @@
 //! to sleep mid-window, handing the CPU to whoever is ready — on any number
 //! of processors.
 
+use std::sync::Arc;
 use tocttou_os::ids::{Fd, Gid, Uid};
 use tocttou_os::process::{Action, LogicCtx, ProcessLogic, SyscallRequest, SyscallResult};
 use tocttou_sim::dist::DurationDist;
@@ -23,7 +24,7 @@ use tocttou_sim::time::SimDuration;
 #[derive(Debug, Clone)]
 pub struct RpmConfig {
     /// The helper/script file materialized during installation.
-    pub helper: String,
+    pub helper: Arc<str>,
     /// Helper size in bytes.
     pub file_size: u64,
     /// The package's owner, applied by the final chown.
@@ -38,7 +39,7 @@ pub struct RpmConfig {
 
 impl RpmConfig {
     /// Defaults modeled on a package-database flush of a few milliseconds.
-    pub fn new(helper: impl Into<String>, file_size: u64) -> Self {
+    pub fn new(helper: impl Into<Arc<str>>, file_size: u64) -> Self {
         RpmConfig {
             helper: helper.into(),
             file_size,

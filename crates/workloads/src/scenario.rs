@@ -12,11 +12,11 @@ use crate::gedit::{GeditConfig, GeditSave};
 use crate::vi::{ViConfig, ViSave};
 use std::cell::Cell;
 use std::rc::Rc;
-use tocttou_os::ids::{Gid, Pid, Uid};
-use tocttou_os::kernel::Kernel;
 use tocttou_os::defense::DefensePolicy;
+use tocttou_os::ids::{Gid, Pid, Uid};
+use tocttou_os::kernel::{Kernel, KernelPool};
 use tocttou_os::machine::MachineSpec;
-use tocttou_os::vfs::InodeMeta;
+use tocttou_os::vfs::{InodeMeta, Vfs};
 use tocttou_sim::dist::DurationDist;
 use tocttou_sim::rng::SimRng;
 use tocttou_sim::time::{SimDuration, SimTime};
@@ -147,10 +147,55 @@ impl Scenario {
         if !traced {
             kernel.disable_trace();
         }
-        self.populate_base_fs(&mut kernel);
+        self.populate_base_fs(kernel.vfs_mut());
         extra_fs(&mut kernel);
-        self.populate_doc(&mut kernel);
+        self.populate_doc(kernel.vfs_mut());
+        self.spawn_workloads(kernel, &mut root_rng)
+    }
 
+    /// Builds the scenario's initial filesystem image — the standard
+    /// layout plus the pre-existing document — as a standalone [`Vfs`].
+    ///
+    /// Populating this image costs a dozen path resolutions; Monte-Carlo
+    /// drivers build it **once** per batch and hand it to
+    /// [`Scenario::build_pooled`], which clones it into each round instead
+    /// of re-resolving. The clone is state-identical to in-place
+    /// population (same inode and semaphore numbering), so rounds built
+    /// either way behave bit-identically.
+    pub fn template_vfs(&self) -> Vfs {
+        let mut vfs = Vfs::new();
+        self.populate_base_fs(&mut vfs);
+        self.populate_doc(&mut vfs);
+        vfs
+    }
+
+    /// Instantiates one round from a prebuilt filesystem `template` on the
+    /// recycled buffers of `pool` — the fast path for Monte-Carlo batches.
+    ///
+    /// Equivalent to [`Scenario::build`] (the template stands in for the
+    /// standard population, the pool only donates allocations); pair with
+    /// [`Kernel::recycle`] to thread one pool through many rounds.
+    pub fn build_pooled(
+        &self,
+        seed: u64,
+        traced: bool,
+        template: &Vfs,
+        pool: KernelPool,
+    ) -> RoundHandles {
+        let mut root_rng = SimRng::seed_from_u64(seed);
+        let mut kernel = Kernel::with_pool(self.machine.clone(), root_rng.next_u64(), pool);
+        kernel.set_defense(self.defense);
+        if !traced {
+            kernel.disable_trace();
+        }
+        kernel.vfs_mut().clone_from(template);
+        self.spawn_workloads(kernel, &mut root_rng)
+    }
+
+    /// Spawns the victim and attacker processes into a prepared kernel
+    /// (common tail of every build path; process ordering fixes pids and
+    /// therefore determinism).
+    fn spawn_workloads(&self, mut kernel: Kernel, root_rng: &mut SimRng) -> RoundHandles {
         let victim_seed = root_rng.next_u64();
         let victim = match &self.victim {
             VictimSpec::Vi(cfg) => kernel.spawn(
@@ -193,7 +238,11 @@ impl Scenario {
                     auid,
                     agid,
                     true, // Section 7 builds on the warmed v2 insight
-                    Box::new(PipelinedDetector::new(cfg.clone(), flag.clone(), attacker_seed)),
+                    Box::new(PipelinedDetector::new(
+                        cfg.clone(),
+                        flag.clone(),
+                        attacker_seed,
+                    )),
                 );
                 let t2 = kernel.spawn(
                     "attacker-link",
@@ -213,7 +262,7 @@ impl Scenario {
         }
     }
 
-    fn populate_base_fs(&self, kernel: &mut Kernel) {
+    fn populate_base_fs(&self, vfs: &mut Vfs) {
         let root = InodeMeta {
             uid: Uid::ROOT,
             gid: Gid::ROOT,
@@ -225,15 +274,16 @@ impl Scenario {
             gid: agid,
             mode: 0o755,
         };
-        let vfs = kernel.vfs_mut();
         vfs.mkdir("/etc", root).expect("layout: /etc");
-        vfs.create_file(&self.layout.passwd, root).expect("layout: passwd");
+        vfs.create_file(&self.layout.passwd, root)
+            .expect("layout: passwd");
         vfs.mkdir("/home", root).expect("layout: /home");
         vfs.mkdir(&self.layout.home, user).expect("layout: home");
-        vfs.mkdir(&self.layout.attack_dir, user).expect("layout: attack dir");
+        vfs.mkdir(&self.layout.attack_dir, user)
+            .expect("layout: attack dir");
     }
 
-    fn populate_doc(&self, kernel: &mut Kernel) {
+    fn populate_doc(&self, vfs: &mut Vfs) {
         let (auid, agid) = self.layout.attacker;
         // The document exists and belongs to the attacker before the save.
         let doc_meta = InodeMeta {
@@ -241,8 +291,9 @@ impl Scenario {
             gid: agid,
             mode: 0o644,
         };
-        let vfs = kernel.vfs_mut();
-        let ino = vfs.create_file(&self.layout.doc, doc_meta).expect("layout: doc");
+        let ino = vfs
+            .create_file(&self.layout.doc, doc_meta)
+            .expect("layout: doc");
         let size = match &self.victim {
             VictimSpec::Vi(c) => c.file_size,
             VictimSpec::Gedit(c) => c.file_size,
@@ -262,6 +313,20 @@ impl Scenario {
         let mut handles = self.build(seed, true);
         let result = self.finish_round(&mut handles);
         (result, handles)
+    }
+
+    /// Runs one untraced round on recycled buffers, returning the outcome
+    /// and the pool for the next round. Behaves exactly like
+    /// [`Scenario::run_round`], only faster in a loop.
+    pub fn run_round_pooled(
+        &self,
+        seed: u64,
+        template: &Vfs,
+        pool: KernelPool,
+    ) -> (RoundResult, KernelPool) {
+        let mut handles = self.build_pooled(seed, false, template, pool);
+        let result = self.finish_round(&mut handles);
+        (result, handles.kernel.recycle())
     }
 
     /// Runs a built round to completion (victim exit plus a grace period
@@ -306,10 +371,10 @@ impl Scenario {
     pub fn vi_uniprocessor(file_size: u64) -> Scenario {
         let layout = Layout::default();
         let machine = MachineSpec::uniprocessor();
-        let mut vi = ViConfig::new(&layout.doc, &layout.backup, file_size);
+        let mut vi = ViConfig::new(layout.doc.as_str(), layout.backup.as_str(), file_size);
         vi.owner = layout.attacker;
         vi.prologue = DurationDist::uniform_us(0.0, machine.timeslice.as_micros_f64());
-        let attacker = AttackerConfig::vi_smp(&layout.doc, &layout.passwd);
+        let attacker = AttackerConfig::vi_smp(layout.doc.as_str(), layout.passwd.as_str());
         Scenario {
             name: format!("vi-uniprocessor-{}B", file_size),
             machine,
@@ -324,9 +389,9 @@ impl Scenario {
     /// Section 5 / Figure 7 / Table 1: vi on the 2-way SMP.
     pub fn vi_smp(file_size: u64) -> Scenario {
         let layout = Layout::default();
-        let mut vi = ViConfig::new(&layout.doc, &layout.backup, file_size);
+        let mut vi = ViConfig::new(layout.doc.as_str(), layout.backup.as_str(), file_size);
         vi.owner = layout.attacker;
-        let attacker = AttackerConfig::vi_smp(&layout.doc, &layout.passwd);
+        let attacker = AttackerConfig::vi_smp(layout.doc.as_str(), layout.passwd.as_str());
         Scenario {
             name: format!("vi-smp-{}B", file_size),
             machine: MachineSpec::smp_xeon(),
@@ -342,11 +407,16 @@ impl Scenario {
     pub fn gedit_uniprocessor(file_size: u64) -> Scenario {
         let layout = Layout::default();
         let machine = MachineSpec::uniprocessor();
-        let mut gedit = GeditConfig::new(&layout.doc, &layout.temp, &layout.backup, file_size);
+        let mut gedit = GeditConfig::new(
+            layout.doc.as_str(),
+            layout.temp.as_str(),
+            layout.backup.as_str(),
+            file_size,
+        );
         gedit.owner = layout.attacker;
         gedit.prologue = DurationDist::uniform_us(0.0, machine.timeslice.as_micros_f64());
-        let mut attacker = AttackerConfig::gedit_smp(&layout.doc, &layout.passwd);
-        attacker.dummy = layout.dummy.clone();
+        let mut attacker = AttackerConfig::gedit_smp(layout.doc.as_str(), layout.passwd.as_str());
+        attacker.dummy = layout.dummy.as_str().into();
         Scenario {
             name: format!("gedit-uniprocessor-{}B", file_size),
             machine,
@@ -362,10 +432,15 @@ impl Scenario {
     /// gap; observed success ≈ 83 %).
     pub fn gedit_smp(file_size: u64) -> Scenario {
         let layout = Layout::default();
-        let mut gedit = GeditConfig::new(&layout.doc, &layout.temp, &layout.backup, file_size);
+        let mut gedit = GeditConfig::new(
+            layout.doc.as_str(),
+            layout.temp.as_str(),
+            layout.backup.as_str(),
+            file_size,
+        );
         gedit.owner = layout.attacker;
-        let mut attacker = AttackerConfig::gedit_smp(&layout.doc, &layout.passwd);
-        attacker.dummy = layout.dummy.clone();
+        let mut attacker = AttackerConfig::gedit_smp(layout.doc.as_str(), layout.passwd.as_str());
+        attacker.dummy = layout.dummy.as_str().into();
         Scenario {
             name: format!("gedit-smp-{}B", file_size),
             machine: MachineSpec::smp_xeon(),
@@ -392,11 +467,17 @@ impl Scenario {
     /// (3 µs victim gap vs 17 µs attacker gap: near-certain failure).
     pub fn gedit_multicore_v1(file_size: u64) -> Scenario {
         let layout = Layout::default();
-        let mut gedit = GeditConfig::new(&layout.doc, &layout.temp, &layout.backup, file_size)
-            .with_multicore_gaps();
+        let mut gedit = GeditConfig::new(
+            layout.doc.as_str(),
+            layout.temp.as_str(),
+            layout.backup.as_str(),
+            file_size,
+        )
+        .with_multicore_gaps();
         gedit.owner = layout.attacker;
-        let mut attacker = AttackerConfig::gedit_multicore_v1(&layout.doc, &layout.passwd);
-        attacker.dummy = layout.dummy.clone();
+        let mut attacker =
+            AttackerConfig::gedit_multicore_v1(layout.doc.as_str(), layout.passwd.as_str());
+        attacker.dummy = layout.dummy.as_str().into();
         Scenario {
             name: format!("gedit-multicore-v1-{}B", file_size),
             machine: Self::multicore_gedit_machine(),
@@ -412,11 +493,17 @@ impl Scenario {
     /// improved attacker v2 ("we begin to see many successes").
     pub fn gedit_multicore_v2(file_size: u64) -> Scenario {
         let layout = Layout::default();
-        let mut gedit = GeditConfig::new(&layout.doc, &layout.temp, &layout.backup, file_size)
-            .with_multicore_gaps();
+        let mut gedit = GeditConfig::new(
+            layout.doc.as_str(),
+            layout.temp.as_str(),
+            layout.backup.as_str(),
+            file_size,
+        )
+        .with_multicore_gaps();
         gedit.owner = layout.attacker;
-        let mut attacker = AttackerConfig::gedit_multicore_v2(&layout.doc, &layout.passwd);
-        attacker.dummy = layout.dummy.clone();
+        let mut attacker =
+            AttackerConfig::gedit_multicore_v2(layout.doc.as_str(), layout.passwd.as_str());
+        attacker.dummy = layout.dummy.as_str().into();
         Scenario {
             name: format!("gedit-multicore-v2-{}B", file_size),
             machine: Self::multicore_gedit_machine(),
@@ -433,9 +520,9 @@ impl Scenario {
     /// truncation tail is what the second thread overlaps).
     pub fn pipelined_attack(file_size: u64) -> Scenario {
         let layout = Layout::default();
-        let mut vi = ViConfig::new(&layout.doc, &layout.backup, file_size);
+        let mut vi = ViConfig::new(layout.doc.as_str(), layout.backup.as_str(), file_size);
         vi.owner = layout.attacker;
-        let attacker = AttackerConfig::vi_smp(&layout.doc, &layout.passwd);
+        let attacker = AttackerConfig::vi_smp(layout.doc.as_str(), layout.passwd.as_str());
         Scenario {
             name: format!("pipelined-{}B", file_size),
             machine: MachineSpec::multicore_pentium_d(),
@@ -535,15 +622,11 @@ mod tests {
     #[test]
     fn gedit_multicore_v1_fails_v2_succeeds_sometimes() {
         let v1 = Scenario::gedit_multicore_v1(2048);
-        let v1_successes = (0..30)
-            .filter(|&i| v1.run_round(5000 + i).success)
-            .count();
+        let v1_successes = (0..30).filter(|&i| v1.run_round(5000 + i).success).count();
         assert!(v1_successes <= 1, "v1 multicore ~0%: got {v1_successes}/30");
 
         let v2 = Scenario::gedit_multicore_v2(2048);
-        let v2_successes = (0..30)
-            .filter(|&i| v2.run_round(6000 + i).success)
-            .count();
+        let v2_successes = (0..30).filter(|&i| v2.run_round(6000 + i).success).count();
         assert!(
             v2_successes >= 4,
             "v2 multicore 'many successes': got {v2_successes}/30"
@@ -563,6 +646,42 @@ mod tests {
         assert_eq!(s.run_round(42), s.run_round(42));
         let v = Scenario::vi_smp(1);
         assert_eq!(v.run_round(43), v.run_round(43));
+    }
+
+    #[test]
+    fn pooled_rounds_match_plain_rounds_exactly() {
+        // The fast path (template VFS + recycled kernel buffers) must be
+        // observably identical to building every round from scratch —
+        // the parallel Monte-Carlo engine's correctness rests on this.
+        for scenario in [Scenario::vi_smp(1), Scenario::gedit_smp(2048)] {
+            let template = scenario.template_vfs();
+            let mut pool = KernelPool::new();
+            for seed in 0..12 {
+                let plain = scenario.run_round(seed);
+                let (pooled, returned) = scenario.run_round_pooled(seed, &template, pool);
+                pool = returned;
+                assert_eq!(plain, pooled, "{} seed {seed}", scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn template_vfs_matches_populated_kernel() {
+        let scenario = Scenario::gedit_smp(2048);
+        let template = scenario.template_vfs();
+        // Same entries, same inode numbering as the in-kernel population.
+        let handles = scenario.build(5, false);
+        for path in [
+            &scenario.layout.passwd,
+            &scenario.layout.home,
+            &scenario.layout.doc,
+            &scenario.layout.attack_dir,
+        ] {
+            let a = template.stat(path).expect("template entry");
+            let b = handles.kernel.vfs().stat(path).expect("kernel entry");
+            assert_eq!(a.ino, b.ino, "{path}");
+            assert_eq!(a.uid, b.uid, "{path}");
+        }
     }
 }
 
@@ -618,13 +737,30 @@ mod defense_tests {
         // kernel without attacker).
         let mut kernel = Kernel::new(scenario.machine.clone(), 9);
         kernel.set_defense(DefensePolicy::Edgi);
-        let meta_root = InodeMeta { uid: Uid::ROOT, gid: Gid::ROOT, mode: 0o755 };
-        let meta_user = InodeMeta { uid: Uid(1000), gid: Gid(1000), mode: 0o644 };
+        let meta_root = InodeMeta {
+            uid: Uid::ROOT,
+            gid: Gid::ROOT,
+            mode: 0o755,
+        };
+        let meta_user = InodeMeta {
+            uid: Uid(1000),
+            gid: Gid(1000),
+            mode: 0o644,
+        };
         kernel.vfs_mut().mkdir("/home", meta_root).unwrap();
         kernel.vfs_mut().mkdir("/home/user", meta_user).unwrap();
-        kernel.vfs_mut().create_file("/home/user/doc.txt", meta_user).unwrap();
+        kernel
+            .vfs_mut()
+            .create_file("/home/user/doc.txt", meta_user)
+            .unwrap();
         let cfg = crate::vi::ViConfig::new("/home/user/doc.txt", "/home/user/doc.txt~", 4096);
-        let pid = kernel.spawn("vi", Uid::ROOT, Gid::ROOT, true, Box::new(crate::vi::ViSave::new(cfg, 1)));
+        let pid = kernel.spawn(
+            "vi",
+            Uid::ROOT,
+            Gid::ROOT,
+            true,
+            Box::new(crate::vi::ViSave::new(cfg, 1)),
+        );
         kernel.run_until_exit(pid, SimTime::from_secs(1));
         assert_eq!(
             kernel.vfs().stat("/home/user/doc.txt").unwrap().uid,

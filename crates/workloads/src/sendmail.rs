@@ -12,6 +12,7 @@
 //! Unlike vi/gedit (ownership attacks), this is an **integrity** attack:
 //! success means the privileged file *grew* by the appended message.
 
+use std::sync::Arc;
 use tocttou_os::ids::Fd;
 use tocttou_os::process::{Action, LogicCtx, ProcessLogic, RetVal, SyscallRequest, SyscallResult};
 use tocttou_sim::dist::DurationDist;
@@ -22,7 +23,7 @@ use tocttou_sim::time::SimDuration;
 #[derive(Debug, Clone)]
 pub struct SendmailConfig {
     /// The mailbox being delivered to.
-    pub mailbox: String,
+    pub mailbox: Arc<str>,
     /// Bytes of the message appended.
     pub message_bytes: u64,
     /// Mean computation between the `lstat` check and the `open` (queue
@@ -36,7 +37,7 @@ pub struct SendmailConfig {
 
 impl SendmailConfig {
     /// Defaults: a 1 KB message and a generous (header-formatting) gap.
-    pub fn new(mailbox: impl Into<String>) -> Self {
+    pub fn new(mailbox: impl Into<Arc<str>>) -> Self {
         SendmailConfig {
             mailbox: mailbox.into(),
             message_bytes: 1024,
@@ -122,8 +123,8 @@ impl ProcessLogic for SendmailDeliver {
             MailState::Gap => {
                 self.state = MailState::Open;
                 let mean = self.cfg.check_open_gap.as_micros_f64();
-                let jittered = DurationDist::uniform_us(mean * 0.5, mean * 1.5)
-                    .sample(&mut self.rng);
+                let jittered =
+                    DurationDist::uniform_us(mean * 0.5, mean * 1.5).sample(&mut self.rng);
                 Action::Compute(jittered)
             }
             MailState::Open => {
@@ -279,7 +280,7 @@ mod tests {
             // flips the link continuously. Model it with v2-style churn on
             // the mailbox name itself: swap in a symlink, swap back.
             struct Flipper {
-                mailbox: String,
+                mailbox: Arc<str>,
                 phase: u8,
             }
             impl ProcessLogic for Flipper {

@@ -12,6 +12,7 @@
 //! dominated by the file write — which is why Figure 6/7's results depend on
 //! file size.
 
+use std::sync::Arc;
 use tocttou_os::ids::{Fd, Gid, Uid};
 use tocttou_os::process::{Action, LogicCtx, ProcessLogic, SyscallRequest, SyscallResult};
 use tocttou_sim::dist::DurationDist;
@@ -26,9 +27,9 @@ use tocttou_sim::time::SimDuration;
 #[derive(Debug, Clone)]
 pub struct ViConfig {
     /// The file being saved (the paper's `wfname`).
-    pub wfname: String,
+    pub wfname: Arc<str>,
     /// The backup name the original is renamed to.
-    pub backup: String,
+    pub backup: Arc<str>,
     /// Size of the edit buffer written out, in bytes.
     pub file_size: u64,
     /// Write-loop granularity in bytes (vi writes through a buffer).
@@ -55,7 +56,7 @@ pub struct ViConfig {
 impl ViConfig {
     /// A configuration with the calibrated defaults (gaps matched to the
     /// paper's Table 1: a 1-byte save yields L ≈ 62 µs on the SMP profile).
-    pub fn new(wfname: impl Into<String>, backup: impl Into<String>, file_size: u64) -> Self {
+    pub fn new(wfname: impl Into<Arc<str>>, backup: impl Into<Arc<str>>, file_size: u64) -> Self {
         ViConfig {
             wfname: wfname.into(),
             backup: backup.into(),
@@ -339,8 +340,16 @@ mod slow_storage_tests {
     fn slow_storage_makes_uniprocessor_attack_reliable() {
         let run_round = |seed: u64, slow: bool| -> bool {
             let mut k = Kernel::new(MachineSpec::uniprocessor().quiet(), seed);
-            let root = InodeMeta { uid: Uid::ROOT, gid: Gid::ROOT, mode: 0o755 };
-            let user = InodeMeta { uid: Uid(1000), gid: Gid(1000), mode: 0o755 };
+            let root = InodeMeta {
+                uid: Uid::ROOT,
+                gid: Gid::ROOT,
+                mode: 0o755,
+            };
+            let user = InodeMeta {
+                uid: Uid(1000),
+                gid: Gid(1000),
+                mode: 0o755,
+            };
             k.vfs_mut().mkdir("/etc", root).unwrap();
             k.vfs_mut().create_file("/etc/passwd", root).unwrap();
             k.vfs_mut().mkdir("/home", root).unwrap();
@@ -351,7 +360,13 @@ mod slow_storage_tests {
             if slow {
                 cfg = cfg.on_slow_storage(SimDuration::from_millis(2));
             }
-            let vpid = k.spawn("vi", Uid::ROOT, Gid::ROOT, true, Box::new(ViSave::new(cfg, seed)));
+            let vpid = k.spawn(
+                "vi",
+                Uid::ROOT,
+                Gid::ROOT,
+                true,
+                Box::new(ViSave::new(cfg, seed)),
+            );
             let atk = AttackerConfig::vi_smp("/home/user/doc.txt", "/etc/passwd");
             k.spawn(
                 "attacker",

@@ -50,7 +50,11 @@ fn main() {
 
     for (victim, attacker, label) in [
         (NativeVictim::Vi, NativeAttacker::V1, "vi + attacker v1"),
-        (NativeVictim::Gedit, NativeAttacker::V2, "gedit + attacker v2"),
+        (
+            NativeVictim::Gedit,
+            NativeAttacker::V2,
+            "gedit + attacker v2",
+        ),
     ] {
         let report = run_lab(&LabConfig {
             victim,

@@ -58,9 +58,7 @@ fn main() {
         uni_obs.rate() * 100.0,
         smp_obs.rate() * 100.0,
     );
-    println!(
-        "\npaper:      uniprocessor ~9%      multiprocessor 100%   (Figure 6 / Section 5)"
-    );
+    println!("\npaper:      uniprocessor ~9%      multiprocessor 100%   (Figure 6 / Section 5)");
     println!(
         "\nThe same attacker program gains a dedicated CPU and the race stops\n\
          being a lottery — \"multiprocessors may reduce system dependability\"."

@@ -61,7 +61,7 @@ struct Flipper {
 
 impl ProcessLogic for Flipper {
     fn next_action(&mut self, _ctx: &LogicCtx, _last: Option<&SyscallResult>) -> Action {
-        let mailbox = "/var/mail/attacker".to_string();
+        let mailbox: std::sync::Arc<str> = "/var/mail/attacker".into();
         let action = match self.phase % 4 {
             0 | 2 => Action::Syscall(SyscallRequest::Unlink { path: mailbox }),
             1 => Action::Syscall(SyscallRequest::Symlink {
@@ -103,13 +103,17 @@ fn main() {
         k.run_until_exit(vpid, SimTime::from_millis(100));
         let grew = k.vfs().stat("/etc/passwd").unwrap().size > 1000;
         outcomes.record(grew);
-        if !grew && k.vfs().stat("/var/mail/attacker").map(|m| m.size).unwrap_or(100) == 100 {
+        if !grew
+            && k.vfs()
+                .stat("/var/mail/attacker")
+                .map(|m| m.size)
+                .unwrap_or(100)
+                == 100
+        {
             refused += 1;
         }
     }
-    println!(
-        "over {deliveries} deliveries on the SMP: {outcomes} forged appends to /etc/passwd"
-    );
+    println!("over {deliveries} deliveries on the SMP: {outcomes} forged appends to /etc/passwd");
     println!("({refused} deliveries were refused or missed by the flip)");
     println!(
         "\nA forged line in /etc/passwd is a root account — the 30-year-old\n\

@@ -18,6 +18,7 @@ fn main() {
         sizes_kb: (1..=10).map(|i| i * 100).collect(),
         rounds,
         seed: 0xF166,
+        jobs: 0, // use every core for the sweep
     });
     println!("{out6}");
 
@@ -26,6 +27,7 @@ fn main() {
         sizes_kb: vec![20, 100, 200, 400, 600, 800, 1000],
         rounds: (rounds / 10).max(3),
         seed: 0xF167,
+        jobs: 0, // use every core for the sweep
     });
     println!("{out7}");
 

@@ -39,7 +39,7 @@
 
 pub use tocttou_core as core;
 pub use tocttou_experiments as experiments;
-pub use tocttou_sim as sim;
 pub use tocttou_lab as lab;
 pub use tocttou_os as os;
+pub use tocttou_sim as sim;
 pub use tocttou_workloads as workloads;

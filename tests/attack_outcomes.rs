@@ -13,6 +13,7 @@ fn rate(scenario: &Scenario, seed: u64) -> f64 {
             rounds: ROUNDS,
             base_seed: seed,
             collect_ld: false,
+            jobs: 1,
         },
     )
     .rate
@@ -92,10 +93,7 @@ fn successful_round_postconditions() {
         let passwd = vfs.stat("/etc/passwd").unwrap();
         assert_eq!(passwd.uid.0, 1000);
         assert!(vfs.lstat("/home/user/doc.txt").unwrap().is_symlink);
-        assert_eq!(
-            vfs.readlink("/home/user/doc.txt").unwrap(),
-            "/etc/passwd"
-        );
+        assert_eq!(vfs.readlink("/home/user/doc.txt").unwrap(), "/etc/passwd");
         assert!(vfs.stat("/home/user/doc.txt~").is_ok(), "backup intact");
         return;
     }
@@ -126,5 +124,8 @@ fn detection_is_necessary_for_success() {
             );
         }
     }
-    assert!(successes > 10, "enough successes to make the check meaningful");
+    assert!(
+        successes > 10,
+        "enough successes to make the check meaningful"
+    );
 }

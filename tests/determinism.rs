@@ -14,11 +14,7 @@ fn trace_fingerprint(scenario: &Scenario, seed: u64) -> (u64, usize, Vec<String>
         .iter()
         .map(|r| format!("{} {:?}", r.at.as_nanos(), r.event))
         .collect();
-    (
-        result.success as u64,
-        events.len(),
-        events,
-    )
+    (result.success as u64, events.len(), events)
 }
 
 #[test]
@@ -52,12 +48,43 @@ fn mc_batches_are_reproducible() {
         rounds: 25,
         base_seed: 77,
         collect_ld: true,
+        jobs: 1,
     };
     let a = run_mc(&scenario, &cfg);
     let b = run_mc(&scenario, &cfg);
     assert_eq!(a.successes, b.successes);
     assert_eq!(a.l.map(|l| l.mean.to_bits()), b.l.map(|l| l.mean.to_bits()));
     assert_eq!(a.d.map(|d| d.mean.to_bits()), b.d.map(|d| d.mean.to_bits()));
+}
+
+/// Regression guard for the parallel engine: `jobs` must never change the
+/// outcome. Workers return per-round observations that the caller folds in
+/// round order through the same accumulators as the serial path, so the
+/// whole `McOutcome` — success counts, trimmed L/D estimates, window
+/// stats — must serialize to the exact same bytes at any thread count,
+/// with and without L/D collection.
+#[test]
+fn mc_jobs_never_change_the_outcome() {
+    for scenario in [Scenario::vi_smp(20 * 1024), Scenario::gedit_smp(2048)] {
+        for collect_ld in [false, true] {
+            let base = McConfig {
+                rounds: 25,
+                base_seed: 0xD15C,
+                collect_ld,
+                jobs: 1,
+            };
+            let serial = serde_json::to_string(&run_mc(&scenario, &base)).unwrap();
+            for jobs in [2, 3, 4, 0] {
+                let par = serde_json::to_string(&run_mc(&scenario, &base.clone().with_jobs(jobs)))
+                    .unwrap();
+                assert_eq!(
+                    serial, par,
+                    "{}: jobs={jobs} (collect_ld={collect_ld}) diverged from serial",
+                    scenario.name
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -61,7 +61,9 @@ fn defense_denials_only_under_attack() {
         Box::new(move |_: &LogicCtx, _: Option<&SyscallResult>| {
             steps += 1;
             match steps {
-                1 => Action::Syscall(SyscallRequest::Stat { path: "/d/f".into() }),
+                1 => Action::Syscall(SyscallRequest::Stat {
+                    path: "/d/f".into(),
+                }),
                 2 => Action::Syscall(SyscallRequest::Chown {
                     path: "/d/f".into(),
                     uid: Uid(5),
@@ -89,7 +91,10 @@ fn maze_and_defense() {
 
     let guarded = deep.with_defense(DefensePolicy::Edgi);
     for seed in 0..20 {
-        assert!(!run_maze_round(&guarded, seed).success, "defense holds in the maze");
+        assert!(
+            !run_maze_round(&guarded, seed).success,
+            "defense holds in the maze"
+        );
     }
 }
 
@@ -120,7 +125,10 @@ fn rpm_always_suspended_bound() {
             Uid::ROOT,
             Gid::ROOT,
             true,
-            Box::new(RpmInstall::new(RpmConfig::new("/var/tmp/helper", 4096), seed)),
+            Box::new(RpmInstall::new(
+                RpmConfig::new("/var/tmp/helper", 4096),
+                seed,
+            )),
         );
         k.spawn(
             "attacker",
@@ -167,7 +175,10 @@ fn defense_stops_rpm_attack() {
             Uid::ROOT,
             Gid::ROOT,
             true,
-            Box::new(RpmInstall::new(RpmConfig::new("/var/tmp/helper", 4096), seed)),
+            Box::new(RpmInstall::new(
+                RpmConfig::new("/var/tmp/helper", 4096),
+                seed,
+            )),
         );
         k.spawn(
             "attacker",

@@ -36,8 +36,8 @@ fn step_strategy() -> impl Strategy<Value = Step> {
     ]
 }
 
-fn path(i: u8) -> String {
-    format!("/d{}/f{}", i % 2, i % 8)
+fn path(i: u8) -> std::sync::Arc<str> {
+    format!("/d{}/f{}", i % 2, i % 8).into()
 }
 
 struct Scripted {

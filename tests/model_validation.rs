@@ -18,6 +18,7 @@ fn uniprocessor_model_tracks_simulation() {
                 rounds,
                 base_seed: 0xAB0 + size_kb,
                 collect_ld: false,
+                jobs: 1,
             },
         );
         let window_us = 17.0 * size_kb as f64 + 100.0;
@@ -50,6 +51,7 @@ fn multiprocessor_model_tracks_simulation_for_vi() {
             rounds: 120,
             base_seed: 0xBEE,
             collect_ld: true,
+            jobs: 1,
         },
     );
     let (l, d) = (mc.l.unwrap(), mc.d.unwrap());
@@ -81,6 +83,7 @@ fn gedit_prediction_undershoots_like_the_paper() {
             rounds: 120,
             base_seed: 0xCAFE,
             collect_ld: true,
+            jobs: 1,
         },
     );
     let predicted = mc.predicted_rate_ld.expect("L/D measured");
@@ -99,8 +102,14 @@ fn gedit_prediction_undershoots_like_the_paper() {
 #[test]
 fn dependability_is_reduced_on_multiprocessors() {
     let cases = [
-        (Scenario::vi_uniprocessor(200 * 1024), Scenario::vi_smp(200 * 1024)),
-        (Scenario::gedit_uniprocessor(2048), Scenario::gedit_smp(2048)),
+        (
+            Scenario::vi_uniprocessor(200 * 1024),
+            Scenario::vi_smp(200 * 1024),
+        ),
+        (
+            Scenario::gedit_uniprocessor(2048),
+            Scenario::gedit_smp(2048),
+        ),
     ];
     for (uni, multi) in cases {
         let uni_mc = run_mc(
@@ -109,6 +118,7 @@ fn dependability_is_reduced_on_multiprocessors() {
                 rounds: 60,
                 base_seed: 0xD00D,
                 collect_ld: false,
+                jobs: 1,
             },
         );
         let multi_mc = run_mc(
@@ -117,6 +127,7 @@ fn dependability_is_reduced_on_multiprocessors() {
                 rounds: 60,
                 base_seed: 0xD00D,
                 collect_ld: false,
+                jobs: 1,
             },
         );
         assert!(
@@ -142,6 +153,7 @@ fn uniprocessor_upper_bound_respected() {
             rounds: 300,
             base_seed: 0xE44,
             collect_ld: false,
+            jobs: 1,
         },
     );
     let p_suspended_bound = (17.0 * 400.0 + 100.0) / 100_000.0;
