@@ -3,8 +3,10 @@
 //!
 //! Measures a 500-round `vi_smp` batch — the paper's Figure 6/7 unit of
 //! work — across the `jobs` ladder (1/2/4/auto), the fresh-per-round path
-//! against the pooled engine, and heap allocations per round, then writes
-//! the results to `BENCH_monte_carlo.json` at the repository root.
+//! against the pooled engine, heap allocations per round, and the cost of
+//! the always-on race detector (detector-on vs `without_detector()` on the
+//! pooled `jobs=0` configuration), then writes the results to
+//! `BENCH_monte_carlo.json` at the repository root.
 //!
 //! Byte-identity between the serial and parallel batches is asserted here
 //! on every run: `run_mc` guarantees the same `McOutcome` for every
@@ -56,6 +58,16 @@ struct EngineRow {
 }
 
 #[derive(serde::Serialize)]
+struct DetectorOverheadRow {
+    jobs: usize,
+    detector_on_rounds_per_sec: f64,
+    detector_off_rounds_per_sec: f64,
+    /// `on_time / off_time - 1`: the fraction of wall time the passive
+    /// detector adds to the pooled engine. Budget: <= 0.15.
+    overhead_frac: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     scenario: String,
     rounds: u64,
@@ -67,6 +79,7 @@ struct Report {
     fresh_per_round: EngineRow,
     pooled_engine: EngineRow,
     pooled_vs_fresh_speedup: f64,
+    detector_overhead: DetectorOverheadRow,
     preopt_baseline_rounds_per_sec: f64,
     speedup_vs_preopt_baseline: f64,
 }
@@ -100,6 +113,10 @@ fn allocs_of(rounds: u64, f: impl FnOnce()) -> (f64, f64) {
 
 fn main() {
     let scenario = Scenario::vi_smp(FILE_SIZE);
+    // Same scenario with the detector disarmed, for the overhead row. The
+    // detector never perturbs simulated time, so only wall time differs.
+    let mut undetected = Scenario::vi_smp(FILE_SIZE);
+    undetected.machine = undetected.machine.without_detector();
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -154,6 +171,10 @@ fn main() {
             std::hint::black_box(scenario.run_round(BASE_SEED + i));
         }
     }));
+    // Detector-off twin of the pooled jobs=0 row, for the overhead figure.
+    timed.push(Box::new(|| {
+        std::hint::black_box(run_mc(&undetected, &cfg(0)));
+    }));
     let secs = best_of_interleaved(REPS, &mut timed);
     drop(timed);
 
@@ -196,6 +217,25 @@ fn main() {
         pooled_rps / PREOPT_BASELINE_ROUNDS_PER_SEC
     );
 
+    // Detector overhead on the pooled jobs=0 configuration: compare the
+    // auto-jobs row (detector on, last ladder entry) against the
+    // detector-off twin timed in the same interleaved pass.
+    let on_secs = secs[JOBS_LADDER.len() - 1];
+    let off_secs = secs[JOBS_LADDER.len() + 1];
+    let detector_overhead = DetectorOverheadRow {
+        jobs: 0,
+        detector_on_rounds_per_sec: ROUNDS as f64 / on_secs,
+        detector_off_rounds_per_sec: ROUNDS as f64 / off_secs,
+        overhead_frac: on_secs / off_secs - 1.0,
+    };
+    println!(
+        "mc/detector jobs=0 on {:>10.0} rounds/s, off {:>10.0} rounds/s  \
+         (overhead {:+.1}%)",
+        detector_overhead.detector_on_rounds_per_sec,
+        detector_overhead.detector_off_rounds_per_sec,
+        detector_overhead.overhead_frac * 100.0
+    );
+
     let report = Report {
         scenario: format!("vi_smp({FILE_SIZE})"),
         rounds: ROUNDS,
@@ -222,6 +262,7 @@ fn main() {
             alloc_bytes_per_round: pooled_bytes,
         },
         pooled_vs_fresh_speedup: fresh_secs / pooled_secs,
+        detector_overhead,
         preopt_baseline_rounds_per_sec: PREOPT_BASELINE_ROUNDS_PER_SEC,
         speedup_vs_preopt_baseline: pooled_rps / PREOPT_BASELINE_ROUNDS_PER_SEC,
     };

@@ -3,7 +3,11 @@
 //! ```text
 //! repro <exhibit>... [--rounds N] [--seed S] [--jobs J] [--out DIR]
 //!
-//! exhibits: fig6 fig7 table1 table2 fig8 fig10 fig11 headline defense pairs maze lddist all
+//! exhibits: fig6 fig7 table1 table2 fig8 fig10 fig11 headline defense detect
+//!           pairs maze lddist all
+//!
+//! `--detect` is shorthand for the `detect` exhibit (the passive race
+//! detector scored against Monte-Carlo ground truth).
 //! ```
 //!
 //! Each exhibit prints its rows to stdout and writes `<exhibit>.json` plus a
@@ -11,7 +15,8 @@
 //! `target/experiments`).
 
 use tocttou_experiments::figures::{
-    defense, fig10, fig11, fig6, fig7, fig8, headline, ld_dist, maze, pair_sweep, table1, table2,
+    defense, detect, fig10, fig11, fig6, fig7, fig8, headline, ld_dist, maze, pair_sweep, table1,
+    table2,
 };
 use tocttou_experiments::report::Report;
 use tocttou_experiments::svg::{line_chart, span_chart, BarRow, ChartConfig, Series};
@@ -49,8 +54,9 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = it.next().ok_or("--out needs a value")?;
             }
+            "--detect" => exhibits.push("detect".to_string()),
             "--help" | "-h" => {
-                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|pairs|all>... [--rounds N] [--seed S] [--jobs J] [--out DIR]".into());
+                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|detect|pairs|maze|lddist|all>... [--detect] [--rounds N] [--seed S] [--jobs J] [--out DIR]".into());
             }
             name if !name.starts_with('-') => exhibits.push(name.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -294,6 +300,21 @@ fn main() {
         let out = defense::run(&cfg);
         println!("{out}");
         report.add("defense", &out).expect("write defense");
+    }
+    if wants("detect") {
+        let mut cfg = detect::Config::default();
+        if let Some(r) = args.rounds {
+            cfg.rounds = r;
+        }
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        if let Some(j) = args.jobs {
+            cfg.jobs = j;
+        }
+        let out = detect::run(&cfg);
+        println!("{out}");
+        report.add("detect", &out).expect("write detect");
     }
     if wants("pairs") {
         let mut cfg = pair_sweep::Config::default();

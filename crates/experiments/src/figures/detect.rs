@@ -1,0 +1,171 @@
+//! Detector evaluation: precision/recall against Monte-Carlo ground truth.
+//!
+//! The kernel's passive race detector (`tocttou-os::detect`) flags a round
+//! when a use commits on an interposed check/use window. Ground truth is
+//! the Monte-Carlo engine's per-round success verdict (did `/etc/passwd`
+//! end up attacker-owned?). This exhibit scores the detector per scenario
+//! — precision, recall, mean detection latency — next to the measured
+//! laxity `L` and detection cost `D` of the same rounds, so the detector's
+//! reaction time can be read against the window it has to react in.
+
+use crate::monte_carlo::{run_mc, McConfig};
+use serde::Serialize;
+use tocttou_workloads::scenario::Scenario;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Rounds per scenario.
+    pub rounds: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads for each Monte-Carlo batch (`1` = serial,
+    /// `0` = auto); results are identical for every value.
+    pub jobs: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            rounds: 120,
+            seed: 0xDE7EC7,
+            jobs: 1,
+        }
+    }
+}
+
+/// One scenario's detector scorecard.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Scenario name.
+    pub scenario: String,
+    /// Ground-truth attack success rate.
+    pub rate: f64,
+    /// Rounds the detector flagged.
+    pub flagged_rounds: u64,
+    /// TP / (TP + FP), `None` when nothing was flagged.
+    pub precision: Option<f64>,
+    /// TP / (TP + FN), `None` when nothing succeeded.
+    pub recall: Option<f64>,
+    /// Mean detection latency (µs): first event's use commit minus the
+    /// interposed mutation.
+    pub latency_us: Option<f64>,
+    /// Measured mean laxity L (µs).
+    pub l_us: Option<f64>,
+    /// Measured mean detection cost D (µs).
+    pub d_us: Option<f64>,
+}
+
+/// The detector scorecard table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Output {
+    /// Per-scenario rows.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the detector evaluation.
+pub fn run(cfg: &Config) -> Output {
+    let scenarios = [
+        Scenario::vi_smp(100 * 1024),
+        Scenario::vi_smp(1),
+        Scenario::gedit_smp(2048),
+        Scenario::gedit_multicore_v2(2048),
+    ];
+    let mut rows = Vec::new();
+    for scenario in scenarios {
+        let out = run_mc(
+            &scenario,
+            &McConfig {
+                rounds: cfg.rounds,
+                base_seed: cfg.seed,
+                collect_ld: true,
+                jobs: cfg.jobs,
+            },
+        );
+        rows.push(Row {
+            scenario: out.scenario.clone(),
+            rate: out.rate,
+            flagged_rounds: out.flagged_rounds,
+            precision: out.detector_precision,
+            recall: out.detector_recall,
+            latency_us: out.detection_latency_us,
+            l_us: out.l.map(|l| l.mean),
+            d_us: out.d.map(|d| d.mean),
+        });
+    }
+    Output { rows }
+}
+
+fn opt(v: Option<f64>, scale: f64) -> String {
+    match v {
+        Some(v) => format!("{:.1}", v * scale),
+        None => "—".to_string(),
+    }
+}
+
+impl std::fmt::Display for Output {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Detect — passive kernel race detector vs Monte-Carlo ground truth"
+        )?;
+        writeln!(
+            f,
+            "{:>28} {:>7} {:>8} {:>10} {:>8} {:>12} {:>8} {:>8}",
+            "scenario", "rate", "flagged", "precision", "recall", "latency(µs)", "L(µs)", "D(µs)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>28} {:>6.1}% {:>8} {:>9}% {:>7}% {:>12} {:>8} {:>8}",
+                r.scenario,
+                r.rate * 100.0,
+                r.flagged_rounds,
+                opt(r.precision, 100.0),
+                opt(r.recall, 100.0),
+                opt(r.latency_us, 1.0),
+                opt(r.l_us, 1.0),
+                opt(r.d_us, 1.0),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_scores_every_scenario() {
+        let out = run(&Config {
+            rounds: 25,
+            seed: 5,
+            jobs: 1,
+        });
+        assert_eq!(out.rows.len(), 4);
+        for r in &out.rows {
+            assert!(r.rate > 0.2, "{}: attack must work", r.scenario);
+            assert!(r.flagged_rounds > 0, "{}: detector must fire", r.scenario);
+            let recall = r.recall.expect("successes exist");
+            assert!(
+                recall >= 0.99,
+                "{}: every success must be detected, recall {recall}",
+                r.scenario
+            );
+            let precision = r.precision.expect("flagged rounds exist");
+            assert!(
+                precision >= 0.9,
+                "{}: precision {precision} below floor",
+                r.scenario
+            );
+            assert!(
+                r.latency_us.unwrap() > 0.0,
+                "{}: latency must be positive",
+                r.scenario
+            );
+        }
+        let text = out.to_string();
+        assert!(text.contains("precision"), "{text}");
+    }
+}

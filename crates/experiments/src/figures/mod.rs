@@ -11,11 +11,13 @@
 //! | [`fig11`] | Figure 11 — pipelined vs sequential attacker |
 //! | [`headline`] | the abstract's uniprocessor-vs-multiprocessor summary |
 //! | [`defense`] | Section 8 counterfactual: the EDGI guard zeroes every attack |
+//! | [`detect`] | passive race detector scored against Monte-Carlo ground truth |
 //! | [`pair_sweep`] | the `<check, use>` taxonomy swept against the SMP attacker |
 //! | [`maze`] | pathname-maze amplification of the uniprocessor attack |
 //! | [`ld_dist`] | per-round L/D distributions behind Tables 1–2 |
 
 pub mod defense;
+pub mod detect;
 pub mod fig10;
 pub mod fig11;
 pub mod fig6;

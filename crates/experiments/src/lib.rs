@@ -9,7 +9,8 @@
 //! * [`extract`] — trace → (t1, D, t3) → L/D per Sections 3.4/6.1;
 //! * [`timeline`] — Figure 8/10-style two-lane event charts;
 //! * [`figures`] — one module per exhibit (Fig 6, Fig 7, Table 1, Table 2,
-//!   Fig 8, Fig 10, Fig 11, plus the headline comparison);
+//!   Fig 8, Fig 10, Fig 11, the headline comparison, and the detector
+//!   precision/recall scorecard);
 //! * [`report`] — text + JSON artifact writing;
 //! * [`svg`] — dependency-free SVG rendering of the figure shapes.
 //!

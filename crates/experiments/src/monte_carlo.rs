@@ -21,8 +21,10 @@ use serde::Serialize;
 use tocttou_core::analysis::{LdEstimator, LdSample};
 use tocttou_core::model::MeasuredUs;
 use tocttou_core::stats::{OnlineStats, SuccessCounter};
+use tocttou_os::detect::DetectionEvent;
 use tocttou_os::kernel::KernelPool;
 use tocttou_os::vfs::Vfs;
+use tocttou_sim::trace::Trace;
 use tocttou_workloads::scenario::{Scenario, VictimSpec};
 
 /// Options for a Monte-Carlo batch.
@@ -61,6 +63,51 @@ impl McConfig {
     }
 }
 
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Starting accumulator for [`detection_fingerprint_of`] and
+/// [`chain_detection_fingerprints`] (the FNV-1a offset basis).
+pub const DETECTION_FINGERPRINT_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Order-sensitive FNV-1a fingerprint of one round's detection stream,
+/// covering every field of every event (count, order, timestamps, pids,
+/// paths, calls, blocked flags). Two streams collide only if they are
+/// byte-for-byte identical in practice, so equality of fingerprints is the
+/// determinism evidence `tests/determinism.rs` relies on.
+pub fn detection_fingerprint_of(trace: &Trace<DetectionEvent>) -> u64 {
+    let mut h = DETECTION_FINGERPRINT_SEED;
+    for r in trace.iter() {
+        let e = &r.event;
+        h = fnv1a(h, &r.at.as_nanos().to_le_bytes());
+        h = fnv1a(h, e.pair.check().name().as_bytes());
+        h = fnv1a(h, e.pair.use_call().name().as_bytes());
+        h = fnv1a(h, &e.victim.0.to_le_bytes());
+        h = fnv1a(h, &e.attacker.0.to_le_bytes());
+        h = fnv1a(h, e.path.as_bytes());
+        h = fnv1a(h, &e.t_check.as_nanos().to_le_bytes());
+        h = fnv1a(h, &e.t_use.as_nanos().to_le_bytes());
+        h = fnv1a(h, e.mutation.name().as_bytes());
+        h = fnv1a(h, &e.t_mutation.as_nanos().to_le_bytes());
+        h = fnv1a(h, &[e.blocked as u8]);
+    }
+    h
+}
+
+/// Folds one round's detection fingerprint into a batch accumulator.
+/// Order-sensitive: folding rounds in a different order yields a different
+/// value, which is exactly what pins the cross-`jobs` event order down.
+pub fn chain_detection_fingerprints(acc: u64, round_fingerprint: u64) -> u64 {
+    fnv1a(acc, &round_fingerprint.to_le_bytes())
+}
+
 /// Resolves a requested job count: `0` means auto-detect, and more
 /// workers than rounds is pointless.
 pub fn effective_jobs(jobs: usize, rounds: u64) -> usize {
@@ -97,6 +144,64 @@ pub struct McOutcome {
     pub window_us: Option<f64>,
     /// Formula (1) evaluated at the measured mean L and D.
     pub predicted_rate_ld: Option<f64>,
+    /// Rounds the passive kernel race detector flagged (≥ 1
+    /// [`DetectionEvent`]). Distinct from `detected_rounds`, which counts
+    /// the *attacker's* window sightings.
+    pub flagged_rounds: u64,
+    /// Flagged rounds where the attack also succeeded (ground truth).
+    pub detector_true_positives: u64,
+    /// Flagged rounds where the attack did not succeed.
+    pub detector_false_positives: u64,
+    /// Successful rounds the detector missed.
+    pub detector_false_negatives: u64,
+    /// TP / (TP + FP), when any round was flagged.
+    pub detector_precision: Option<f64>,
+    /// TP / (TP + FN), when any round succeeded.
+    pub detector_recall: Option<f64>,
+    /// Mean detection latency (µs): first event's `t_use − t_mutation`,
+    /// averaged over flagged rounds.
+    pub detection_latency_us: Option<f64>,
+    /// Chained [`detection_fingerprint_of`] over every round, in round
+    /// order — the batch-level identity of the full detection stream.
+    pub detection_fingerprint: u64,
+}
+
+/// Round-level detector accumulators, folded in round order alongside the
+/// success counter.
+#[derive(Debug, Clone, Default)]
+struct DetectorTally {
+    flagged: u64,
+    tp: u64,
+    fp: u64,
+    fn_: u64,
+    latency: OnlineStats,
+    fingerprint: u64,
+}
+
+impl DetectorTally {
+    fn new() -> Self {
+        DetectorTally {
+            fingerprint: DETECTION_FINGERPRINT_SEED,
+            ..DetectorTally::default()
+        }
+    }
+
+    fn fold(&mut self, obs: &RoundObs) {
+        if obs.flagged {
+            self.flagged += 1;
+            if obs.success {
+                self.tp += 1;
+            } else {
+                self.fp += 1;
+            }
+        } else if obs.success {
+            self.fn_ += 1;
+        }
+        if let Some(lat) = obs.detect_latency_us {
+            self.latency.push(lat);
+        }
+        self.fingerprint = chain_detection_fingerprints(self.fingerprint, obs.detect_fingerprint);
+    }
 }
 
 impl McOutcome {
@@ -105,6 +210,7 @@ impl McOutcome {
         counter: SuccessCounter,
         ld: LdEstimator,
         windows: OnlineStats,
+        detector: DetectorTally,
     ) -> Self {
         let (l, d) = match ld.estimates() {
             Some((l, d)) => (Some(l), Some(d)),
@@ -121,6 +227,16 @@ impl McOutcome {
             detected_rounds: ld.count(),
             window_us: (windows.count() > 0).then(|| windows.mean()),
             predicted_rate_ld: ld.predicted_success_rate(),
+            flagged_rounds: detector.flagged,
+            detector_true_positives: detector.tp,
+            detector_false_positives: detector.fp,
+            detector_false_negatives: detector.fn_,
+            detector_precision: (detector.flagged > 0)
+                .then(|| detector.tp as f64 / detector.flagged as f64),
+            detector_recall: (counter.successes() > 0)
+                .then(|| detector.tp as f64 / counter.successes() as f64),
+            detection_latency_us: (detector.latency.count() > 0).then(|| detector.latency.mean()),
+            detection_fingerprint: detector.fingerprint,
         }
     }
 }
@@ -176,6 +292,12 @@ struct RoundObs {
     success: bool,
     window_us: Option<f64>,
     sample: Option<LdSample>,
+    /// Whether the kernel's passive detector emitted at least one event.
+    flagged: bool,
+    /// `t_use − t_mutation` of the first detection event (µs).
+    detect_latency_us: Option<f64>,
+    /// [`detection_fingerprint_of`] the round's detection stream.
+    detect_fingerprint: u64,
 }
 
 /// Simulates one round on pooled buffers and extracts its observation.
@@ -189,10 +311,17 @@ fn run_one_round(
 ) -> (RoundObs, KernelPool) {
     let mut handles = scenario.build_pooled(seed, collect_ld, template, pool);
     let result = scenario.finish_round(&mut handles);
+    let detections = handles.kernel.detections();
     let mut obs = RoundObs {
         success: result.success,
         window_us: None,
         sample: None,
+        flagged: !detections.is_empty(),
+        detect_latency_us: detections
+            .iter()
+            .next()
+            .map(|r| r.event.latency().as_micros_f64()),
+        detect_fingerprint: detection_fingerprint_of(detections),
     };
     if collect_ld {
         if let Some(o) = observe(
@@ -222,10 +351,12 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
     let mut counter = SuccessCounter::new();
     let mut samples: Vec<LdSample> = Vec::new();
     let mut windows = OnlineStats::new();
+    let mut detector = DetectorTally::new();
     // The single fold used by both paths: per-round op order on the
     // accumulators is what makes serial and parallel runs bit-identical.
     let mut fold = |obs: RoundObs| {
         counter.record(obs.success);
+        detector.fold(&obs);
         if let Some(w) = obs.window_us {
             windows.push(w);
         }
@@ -281,7 +412,7 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
     }
 
     let ld = trimmed_estimator(samples, LD_TRIM_FRAC);
-    McOutcome::from_parts(scenario, counter, ld, windows)
+    McOutcome::from_parts(scenario, counter, ld, windows, detector)
 }
 
 /// Builds an estimator from samples with a symmetric fraction trimmed from
@@ -431,6 +562,44 @@ mod tests {
         // One above the degenerate point trims normally again.
         let est = trimmed_estimator(samples(3), 0.5);
         assert_eq!(est.count(), 1, "n = 3, cut = 1 keeps the median");
+    }
+
+    #[test]
+    fn detector_verdicts_fold_into_outcome() {
+        let s = Scenario::vi_smp(20 * 1024);
+        let out = run_mc(
+            &s,
+            &McConfig {
+                rounds: 15,
+                base_seed: 3,
+                collect_ld: false,
+                jobs: 1,
+            },
+        );
+        assert!(out.flagged_rounds > 0, "vi SMP rounds must be flagged");
+        assert_eq!(
+            out.detector_true_positives + out.detector_false_positives,
+            out.flagged_rounds
+        );
+        assert_eq!(
+            out.detector_true_positives + out.detector_false_negatives,
+            out.successes
+        );
+        assert!(out.detector_precision.is_some());
+        assert!(out.detection_latency_us.unwrap() > 0.0);
+        assert_ne!(
+            out.detection_fingerprint, DETECTION_FINGERPRINT_SEED,
+            "non-empty stream must move the fingerprint"
+        );
+    }
+
+    #[test]
+    fn detection_fingerprint_is_order_sensitive() {
+        let a = chain_detection_fingerprints(DETECTION_FINGERPRINT_SEED, 1);
+        let a = chain_detection_fingerprints(a, 2);
+        let b = chain_detection_fingerprints(DETECTION_FINGERPRINT_SEED, 2);
+        let b = chain_detection_fingerprints(b, 1);
+        assert_ne!(a, b, "swapping rounds must change the chained value");
     }
 
     #[test]

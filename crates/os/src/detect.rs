@@ -1,0 +1,431 @@
+//! A passive, always-on TOCTTOU race detector.
+//!
+//! Where [`defense`](crate::defense) *enforces* check-use invariants (EDGI
+//! denies the violated use), this module only *watches*: it tracks the
+//! check/use window each process opens on each pathname and, when a use
+//! commits after another process mutated the name binding inside the
+//! window, emits a structured [`DetectionEvent`] into the kernel's typed
+//! detection trace. The event names the `<check, use>` pair from the
+//! paper's 224-pair taxonomy ([`tocttou_core::taxonomy`]), both principals,
+//! the window `[t_check, t_use]`, and the interposed namespace mutation.
+//!
+//! The detector is wired into the same syscall **commit** points as the
+//! defense, so the two always agree on what constitutes a window:
+//!
+//! * **check** commits (`stat`/`lstat`/`access` samples, `creat`, `open`,
+//!   the into-place `rename`) open or refresh the window `(pid, path)`;
+//! * **namespace mutations** (`creat`, `unlink`, `symlink`, `rename`) by a
+//!   *different* process interpose on every open window for the path — the
+//!   first interposition is kept, since it is the one that broke the
+//!   invariant;
+//! * **use** commits (`open`, `chmod`, `chown`) on an interposed window
+//!   emit a [`DetectionEvent`]; with EDGI active the denied use still
+//!   emits, flagged [`DetectionEvent::blocked`].
+//!
+//! The kernel reports only **materialized** races: a use that the VFS
+//! itself rejects (typically `ENOENT`, because the victim's call landed in
+//! the attacker's unlink→symlink gap) consumed no stale binding — the race
+//! denied the victim service but never acted on the broken invariant, so
+//! no event is emitted. This is what keeps round-level precision against
+//! attack-success ground truth near 1.0 instead of counting every
+//! near-miss. The one exception is a use denied by the *defense*: EDGI
+//! blocking a use is itself proof the window was consumed maliciously, so
+//! the denial emits a `blocked` event.
+//!
+//! Detection is passive: it never alters scheduling, syscall results or
+//! timing, so arming it cannot perturb the experiments it observes.
+
+use crate::ids::Pid;
+use crate::process::SyscallName;
+use std::sync::Arc;
+use tocttou_core::taxonomy::{FsCall, TocttouPair};
+use tocttou_sim::time::SimTime;
+use tocttou_sim::trace::Trace;
+
+/// One detected check-use race, emitted at the moment the use committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionEvent {
+    /// The `<check, use>` pair from the taxonomy.
+    pub pair: TocttouPair,
+    /// The process whose window was raced (it issued check and use).
+    pub victim: Pid,
+    /// The process whose namespace mutation interposed.
+    pub attacker: Pid,
+    /// The contested pathname.
+    pub path: Arc<str>,
+    /// When the victim's check established the invariant.
+    pub t_check: SimTime,
+    /// When the victim's use consumed the (broken) invariant.
+    pub t_use: SimTime,
+    /// The interposed namespace mutation.
+    pub mutation: FsCall,
+    /// When the mutation committed.
+    pub t_mutation: SimTime,
+    /// Whether an active defense denied the use (the detector still saw
+    /// the race; enforcement and observation agree on the window).
+    pub blocked: bool,
+}
+
+impl DetectionEvent {
+    /// Detection latency: time from the interposed mutation to the use
+    /// commit that made the race observable.
+    pub fn latency(&self) -> tocttou_sim::time::SimDuration {
+        self.t_use.saturating_since(self.t_mutation)
+    }
+}
+
+impl std::fmt::Display for DetectionEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} victim={} attacker={} check@{}ns {}@{}ns use@{}ns{}",
+            self.pair,
+            self.path,
+            self.victim,
+            self.attacker,
+            self.t_check.as_nanos(),
+            self.mutation,
+            self.t_mutation.as_nanos(),
+            self.t_use.as_nanos(),
+            if self.blocked { " blocked" } else { "" },
+        )
+    }
+}
+
+/// Maps a kernel syscall onto the taxonomy call it embodies at a commit
+/// point. `write`/`close`/`nanosleep` touch no pathname and have no
+/// taxonomy role.
+pub fn fs_call_of(name: SyscallName) -> Option<FsCall> {
+    Some(match name {
+        SyscallName::Stat => FsCall::Stat,
+        SyscallName::Lstat => FsCall::Lstat,
+        SyscallName::Access => FsCall::Access,
+        SyscallName::OpenCreate => FsCall::Creat,
+        SyscallName::Open => FsCall::Open,
+        SyscallName::Unlink => FsCall::Unlink,
+        SyscallName::Symlink => FsCall::Symlink,
+        SyscallName::Rename => FsCall::Rename,
+        SyscallName::Chmod => FsCall::Chmod,
+        SyscallName::Chown => FsCall::Chown,
+        SyscallName::Mkdir => FsCall::Mkdir,
+        SyscallName::Readlink => FsCall::Readlink,
+        SyscallName::Write | SyscallName::Close | SyscallName::Sleep => return None,
+    })
+}
+
+/// The first namespace mutation that landed inside a window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Interposition {
+    by: Pid,
+    call: FsCall,
+    at: SimTime,
+}
+
+/// An open check-use window: the `(owner, path)` name it watches, the
+/// check that opened it and the interposition that broke it, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Window {
+    owner: Pid,
+    path: Arc<str>,
+    check: FsCall,
+    t_check: SimTime,
+    interposed: Option<Interposition>,
+}
+
+/// Window identity: the common case re-checks the very same `Arc` the
+/// process has been passing all round, so a pointer compare usually
+/// settles it before the string compare runs.
+fn same_path(a: &Arc<str>, b: &Arc<str>) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
+
+/// The detector's window table.
+///
+/// Mirrors [`DefenseState`](crate::defense::DefenseState) bookkeeping
+/// exactly — same check sites, same mutation sites, same use sites, same
+/// re-check-clears-violation rule — but reports instead of denying.
+///
+/// The table is a plain `Vec` scanned linearly: a round opens a handful of
+/// windows at most, the hot operation is the attacker's stat spin
+/// re-checking the same name thousands of times, and a pointer-fast-path
+/// scan over four entries beats hashing the pathname every time. Insertion
+/// order is deterministic, so interposition bookkeeping needs no tie-break.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorState {
+    enabled: bool,
+    windows: Vec<Window>,
+}
+
+impl DetectorState {
+    /// A detector table; when `enabled` is false every hook is a no-op.
+    pub fn new(enabled: bool) -> Self {
+        DetectorState {
+            enabled,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Whether the detector is armed.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of open windows (for tests).
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// A check commit by `pid` on `path`: opens (or refreshes) the window,
+    /// clearing any previous interposition — a fresh check re-establishes
+    /// the invariant, exactly as a re-check clears an EDGI violation.
+    pub fn record_check(&mut self, pid: Pid, path: &Arc<str>, check: FsCall, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(check.can_check(), "{check} hooked as a check");
+        if let Some(w) = self
+            .windows
+            .iter_mut()
+            .find(|w| w.owner == pid && same_path(&w.path, path))
+        {
+            w.check = check;
+            w.t_check = now;
+            w.interposed = None;
+        } else {
+            self.windows.push(Window {
+                owner: pid,
+                path: path.clone(),
+                check,
+                t_check: now,
+                interposed: None,
+            });
+        }
+    }
+
+    /// A namespace mutation of `path` committed by `by`: interposes on
+    /// every *other* process's open window for the path. Only the first
+    /// interposition is kept — it is the one that broke the invariant.
+    pub fn record_mutation(&mut self, by: Pid, path: &str, call: FsCall, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        for window in self.windows.iter_mut() {
+            if window.owner != by && window.path.as_ref() == path && window.interposed.is_none() {
+                window.interposed = Some(Interposition { by, call, at: now });
+            }
+        }
+    }
+
+    /// A use commit by `pid` on `path`: if the window was interposed, emit
+    /// a [`DetectionEvent`] into `out`. The window stays interposed until
+    /// the process re-checks (a save sequence issues several uses under one
+    /// invariant, and each consumes the same broken window).
+    pub fn record_use(
+        &mut self,
+        pid: Pid,
+        path: &Arc<str>,
+        use_call: FsCall,
+        now: SimTime,
+        blocked: bool,
+        out: &mut Trace<DetectionEvent>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(use_call.can_use(), "{use_call} hooked as a use");
+        let Some(window) = self
+            .windows
+            .iter()
+            .find(|w| w.owner == pid && same_path(&w.path, path))
+        else {
+            return;
+        };
+        let Some(ix) = &window.interposed else {
+            return;
+        };
+        let pair = TocttouPair::new(window.check, use_call)
+            .expect("detector hooks only record taxonomy-valid roles");
+        out.record(
+            now,
+            DetectionEvent {
+                pair,
+                victim: pid,
+                attacker: ix.by,
+                path: path.clone(),
+                t_check: window.t_check,
+                t_use: now,
+                mutation: ix.call,
+                t_mutation: ix.at,
+                blocked,
+            },
+        );
+    }
+
+    /// Drops every window owned by an exiting process.
+    pub fn forget_process(&mut self, pid: Pid) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.retain(|w| w.owner != pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    fn arc(s: &str) -> Arc<str> {
+        s.into()
+    }
+
+    #[test]
+    fn disabled_detector_is_silent_and_free() {
+        let mut d = DetectorState::new(false);
+        let mut out = Trace::unbounded();
+        let p = arc("/doc");
+        d.record_check(Pid(1), &p, FsCall::Creat, t(1));
+        d.record_mutation(Pid(2), &p, FsCall::Unlink, t(2));
+        d.record_use(Pid(1), &p, FsCall::Chown, t(3), false, &mut out);
+        assert_eq!(d.window_count(), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn interposed_use_emits_the_vi_shaped_event() {
+        let mut d = DetectorState::new(true);
+        let mut out = Trace::unbounded();
+        let p = arc("/home/user/doc.txt");
+        d.record_check(Pid(0), &p, FsCall::Creat, t(10));
+        d.record_mutation(Pid(1), &p, FsCall::Unlink, t(20));
+        d.record_mutation(Pid(1), &p, FsCall::Symlink, t(25));
+        d.record_use(Pid(0), &p, FsCall::Chown, t(40), false, &mut out);
+        assert_eq!(out.len(), 1);
+        let e = &out.iter().next().unwrap().event;
+        assert_eq!(
+            e.pair,
+            TocttouPair::new(FsCall::Creat, FsCall::Chown).unwrap()
+        );
+        assert_eq!(e.victim, Pid(0));
+        assert_eq!(e.attacker, Pid(1));
+        assert_eq!(e.t_check, t(10));
+        assert_eq!(
+            (e.mutation, e.t_mutation),
+            (FsCall::Unlink, t(20)),
+            "first interposition wins"
+        );
+        assert_eq!(e.t_use, t(40));
+        assert!(!e.blocked);
+        assert_eq!(e.latency(), tocttou_sim::time::SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn own_mutations_never_interpose() {
+        let mut d = DetectorState::new(true);
+        let mut out = Trace::unbounded();
+        let p = arc("/doc");
+        d.record_check(Pid(1), &p, FsCall::Rename, t(1));
+        d.record_mutation(Pid(1), &p, FsCall::Rename, t(2));
+        d.record_use(Pid(1), &p, FsCall::Chmod, t(3), false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn recheck_clears_the_interposition() {
+        let mut d = DetectorState::new(true);
+        let mut out = Trace::unbounded();
+        let p = arc("/doc");
+        d.record_check(Pid(1), &p, FsCall::Stat, t(1));
+        d.record_mutation(Pid(2), &p, FsCall::Unlink, t(2));
+        d.record_check(Pid(1), &p, FsCall::Stat, t(3));
+        d.record_use(Pid(1), &p, FsCall::Open, t(4), false, &mut out);
+        assert!(out.is_empty(), "fresh invariant holds");
+    }
+
+    #[test]
+    fn window_stays_broken_across_uses_until_recheck() {
+        let mut d = DetectorState::new(true);
+        let mut out = Trace::unbounded();
+        let p = arc("/doc");
+        d.record_check(Pid(1), &p, FsCall::Rename, t(1));
+        d.record_mutation(Pid(2), &p, FsCall::Symlink, t(2));
+        d.record_use(Pid(1), &p, FsCall::Chmod, t(3), false, &mut out);
+        d.record_use(Pid(1), &p, FsCall::Chown, t(4), false, &mut out);
+        assert_eq!(out.len(), 2, "chmod and chown both consume the window");
+    }
+
+    #[test]
+    fn use_without_window_or_on_other_path_is_silent() {
+        let mut d = DetectorState::new(true);
+        let mut out = Trace::unbounded();
+        d.record_use(
+            Pid(1),
+            &arc("/nowhere"),
+            FsCall::Chown,
+            t(1),
+            false,
+            &mut out,
+        );
+        d.record_check(Pid(1), &arc("/doc"), FsCall::Stat, t(2));
+        d.record_mutation(Pid(2), &arc("/other"), FsCall::Unlink, t(3));
+        d.record_use(Pid(1), &arc("/doc"), FsCall::Open, t(4), false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn exit_clears_windows() {
+        let mut d = DetectorState::new(true);
+        d.record_check(Pid(1), &arc("/a"), FsCall::Stat, t(1));
+        d.record_check(Pid(1), &arc("/b"), FsCall::Stat, t(1));
+        d.record_check(Pid(2), &arc("/c"), FsCall::Stat, t(1));
+        d.forget_process(Pid(1));
+        assert_eq!(d.window_count(), 1);
+    }
+
+    #[test]
+    fn blocked_uses_are_flagged() {
+        let mut d = DetectorState::new(true);
+        let mut out = Trace::unbounded();
+        let p = arc("/doc");
+        d.record_check(Pid(1), &p, FsCall::Creat, t(1));
+        d.record_mutation(Pid(2), &p, FsCall::Unlink, t(2));
+        d.record_use(Pid(1), &p, FsCall::Chown, t(3), true, &mut out);
+        let e = &out.iter().next().unwrap().event;
+        assert!(e.blocked);
+        assert!(e.to_string().contains("blocked"), "{e}");
+    }
+
+    #[test]
+    fn fs_call_mapping_covers_every_pathful_syscall() {
+        assert_eq!(fs_call_of(SyscallName::Stat), Some(FsCall::Stat));
+        assert_eq!(fs_call_of(SyscallName::Lstat), Some(FsCall::Lstat));
+        assert_eq!(fs_call_of(SyscallName::Access), Some(FsCall::Access));
+        assert_eq!(fs_call_of(SyscallName::OpenCreate), Some(FsCall::Creat));
+        assert_eq!(fs_call_of(SyscallName::Open), Some(FsCall::Open));
+        assert_eq!(fs_call_of(SyscallName::Rename), Some(FsCall::Rename));
+        assert_eq!(fs_call_of(SyscallName::Write), None);
+        assert_eq!(fs_call_of(SyscallName::Sleep), None);
+    }
+
+    #[test]
+    fn display_form_is_grep_friendly() {
+        let e = DetectionEvent {
+            pair: TocttouPair::vi(),
+            victim: Pid(0),
+            attacker: Pid(1),
+            path: arc("/etc/passwd"),
+            t_check: t(1),
+            t_use: t(3),
+            mutation: FsCall::Unlink,
+            t_mutation: t(2),
+            blocked: false,
+        };
+        let s = e.to_string();
+        assert!(s.contains("<open, chown>"), "{s}");
+        assert!(s.contains("/etc/passwd"), "{s}");
+        assert!(s.contains("unlink@2000ns"), "{s}");
+    }
+}

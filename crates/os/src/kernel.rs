@@ -19,6 +19,7 @@
 //! context switch, mirroring interrupt semantics.
 
 use crate::defense::{DefensePolicy, DefenseState};
+use crate::detect::{fs_call_of, DetectionEvent, DetectorState};
 use crate::error::OsError;
 use crate::event::OsEvent;
 use crate::ids::{CpuId, Gid, Pid, Uid};
@@ -31,6 +32,7 @@ use crate::sem::SemTable;
 use crate::syscall::{compile, CommitStep, CpuKind, Phase};
 use crate::vfs::{InodeMeta, Vfs};
 use std::collections::VecDeque;
+use tocttou_core::taxonomy::FsCall;
 use tocttou_sim::queue::{EventId, EventQueue};
 use tocttou_sim::rng::SimRng;
 use tocttou_sim::time::{SimDuration, SimTime};
@@ -84,6 +86,7 @@ pub enum RunOutcome {
 pub struct KernelPool {
     queue: EventQueue<Event>,
     trace: Trace<OsEvent>,
+    detections: Trace<DetectionEvent>,
     procs: Vec<Process>,
     cpus: Vec<Cpu>,
     ready: VecDeque<Pid>,
@@ -116,6 +119,8 @@ pub struct Kernel {
     live: usize,
     events_processed: u64,
     defense: DefenseState,
+    detector: DetectorState,
+    detections: Trace<DetectionEvent>,
     spare: Vec<ProcBuffers>,
 }
 
@@ -143,6 +148,8 @@ impl Kernel {
         pool.queue.clear();
         pool.trace.reset();
         pool.trace.enable();
+        pool.detections.reset();
+        pool.detections.enable();
         for p in pool.procs.drain(..) {
             pool.spare.push(p.into_buffers());
         }
@@ -151,6 +158,7 @@ impl Kernel {
         pool.cpus.clear();
         pool.cpus.resize_with(spec.cpus, Cpu::default);
         pool.vfs.reset();
+        let detect = spec.detect;
         let mut kernel = Kernel {
             cpus: pool.cpus,
             spec,
@@ -165,6 +173,8 @@ impl Kernel {
             live: 0,
             events_processed: 0,
             defense: DefenseState::default(),
+            detector: DetectorState::new(detect),
+            detections: pool.detections,
             spare: pool.spare,
         };
         // Arm background activity per CPU.
@@ -187,6 +197,7 @@ impl Kernel {
         KernelPool {
             queue: self.queue,
             trace: self.trace,
+            detections: self.detections,
             procs: self.procs,
             cpus: self.cpus,
             ready: self.ready,
@@ -198,6 +209,9 @@ impl Kernel {
 
     /// Disables tracing (for Monte-Carlo runs where only the outcome
     /// matters). Must be called before spawning for a fully silent run.
+    /// The detection trace is unaffected: the detector stays armed (and
+    /// its events recorded) even in silent runs, so detector verdicts are
+    /// available on every Monte-Carlo round.
     pub fn disable_trace(&mut self) {
         self.trace.disable();
     }
@@ -268,6 +282,12 @@ impl Kernel {
     /// The defense state (for inspecting denial counts).
     pub fn defense(&self) -> &DefenseState {
         &self.defense
+    }
+
+    /// The typed detection trace: every TOCTTOU race the passive detector
+    /// observed this round, in commit order. See [`crate::detect`].
+    pub fn detections(&self) -> &Trace<DetectionEvent> {
+        &self.detections
     }
 
     /// Creates a process owned by `uid:gid` running `logic`.
@@ -665,6 +685,7 @@ impl Kernel {
                 assert!(held.is_empty(), "{pid} exited holding semaphores {held:?}");
                 self.trace.record(self.now, OsEvent::Exit { pid });
                 self.defense.forget_process(pid);
+                self.detector.forget_process(pid);
                 self.procs[pid.index()].state = ProcState::Exited;
                 self.live -= 1;
                 // Release the CPU (the process is running right now).
@@ -734,12 +755,24 @@ impl Kernel {
                 };
                 self.defense
                     .record_check(pid, &path, r.as_ref().ok().map(|st| st.ino));
+                // stat/lstat/access compile to the same sample; recover the
+                // taxonomy call from the syscall in flight.
+                let check = self.procs[pid.index()]
+                    .pending
+                    .as_ref()
+                    .and_then(|p| fs_call_of(p.name))
+                    .unwrap_or(FsCall::Stat);
+                self.detector.record_check(pid, &path, check, self.now);
                 self.set_ret(pid, r.map(RetVal::Stat));
             }
             CommitStep::CreateFile { path } => {
                 let r = self.vfs.create_file(&path, meta).map(|ino| {
                     self.defense.record_mutation(pid, &path);
                     self.defense.record_check(pid, &path, Some(ino));
+                    self.detector
+                        .record_mutation(pid, &path, FsCall::Creat, self.now);
+                    self.detector
+                        .record_check(pid, &path, FsCall::Creat, self.now);
                     let fd = self.procs[pid.index()].alloc_fd(ino);
                     RetVal::Fd(fd)
                 });
@@ -747,11 +780,30 @@ impl Kernel {
             }
             CommitStep::OpenExisting { path } => {
                 if !self.defense.allow_use(pid, &path) {
+                    self.detector.record_use(
+                        pid,
+                        &path,
+                        FsCall::Open,
+                        self.now,
+                        true,
+                        &mut self.detections,
+                    );
                     self.deny(pid);
                     return;
                 }
                 let r = self.vfs.open_existing(&path).map(|ino| {
                     self.defense.record_check(pid, &path, Some(ino));
+                    // Emit before the re-check below refreshes the window.
+                    self.detector.record_use(
+                        pid,
+                        &path,
+                        FsCall::Open,
+                        self.now,
+                        false,
+                        &mut self.detections,
+                    );
+                    self.detector
+                        .record_check(pid, &path, FsCall::Open, self.now);
                     let fd = self.procs[pid.index()].alloc_fd(ino);
                     RetVal::Fd(fd)
                 });
@@ -776,6 +828,8 @@ impl Kernel {
                 match self.vfs.unlink_detach(&path) {
                     Ok((_ino, size)) => {
                         self.defense.record_mutation(pid, &path);
+                        self.detector
+                            .record_mutation(pid, &path, FsCall::Unlink, self.now);
                         // Truncation tail goes after the Release that is now
                         // at the queue front.
                         let tail = self
@@ -801,6 +855,8 @@ impl Kernel {
             CommitStep::SymlinkCreate { target, linkpath } => {
                 let r = self.vfs.symlink(&target, &linkpath, (uid, gid)).map(|_| {
                     self.defense.record_mutation(pid, &linkpath);
+                    self.detector
+                        .record_mutation(pid, &linkpath, FsCall::Symlink, self.now);
                     RetVal::Unit
                 });
                 self.set_ret(pid, r);
@@ -810,24 +866,66 @@ impl Kernel {
                     self.defense.record_mutation(pid, &from);
                     self.defense.record_mutation(pid, &to);
                     self.defense.record_check(pid, &to, None);
+                    self.detector
+                        .record_mutation(pid, &from, FsCall::Rename, self.now);
+                    self.detector
+                        .record_mutation(pid, &to, FsCall::Rename, self.now);
+                    self.detector
+                        .record_check(pid, &to, FsCall::Rename, self.now);
                     RetVal::Unit
                 });
                 self.set_ret(pid, r);
             }
             CommitStep::Chmod { path, mode } => {
                 if !self.defense.allow_use(pid, &path) {
+                    self.detector.record_use(
+                        pid,
+                        &path,
+                        FsCall::Chmod,
+                        self.now,
+                        true,
+                        &mut self.detections,
+                    );
                     self.deny(pid);
                     return;
                 }
                 let r = self.vfs.chmod(&path, mode).map(|_| RetVal::Unit);
+                if r.is_ok() {
+                    self.detector.record_use(
+                        pid,
+                        &path,
+                        FsCall::Chmod,
+                        self.now,
+                        false,
+                        &mut self.detections,
+                    );
+                }
                 self.set_ret(pid, r);
             }
             CommitStep::Chown { path, uid, gid } => {
                 if !self.defense.allow_use(pid, &path) {
+                    self.detector.record_use(
+                        pid,
+                        &path,
+                        FsCall::Chown,
+                        self.now,
+                        true,
+                        &mut self.detections,
+                    );
                     self.deny(pid);
                     return;
                 }
                 let r = self.vfs.chown(&path, uid, gid).map(|_| RetVal::Unit);
+                if r.is_ok() {
+                    self.detector.record_use(
+                        pid,
+                        &path,
+                        FsCall::Chown,
+                        self.now,
+                        false,
+                        &mut self.detections,
+                    );
+                }
                 self.set_ret(pid, r);
             }
             CommitStep::Mkdir { path } => {

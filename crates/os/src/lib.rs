@@ -15,6 +15,8 @@
 //!   cost a page-fault trap — [`syscall`];
 //! * **Poisson background kernel activity** that pauses user processes —
 //!   part of [`machine`];
+//! * a **passive, always-on TOCTTOU race detector** watching check/use
+//!   windows at syscall commit points — [`detect`];
 //! * a **structured trace** of every scheduling/semaphore/syscall event for
 //!   paper-style microsecond timelines — [`event`].
 //!
@@ -59,6 +61,7 @@
 
 pub mod costs;
 pub mod defense;
+pub mod detect;
 pub mod error;
 pub mod event;
 pub mod ids;
@@ -71,6 +74,7 @@ pub mod vfs;
 
 pub use costs::CostModel;
 pub use defense::{DefensePolicy, DefenseState};
+pub use detect::{DetectionEvent, DetectorState};
 pub use error::OsError;
 pub use event::OsEvent;
 pub use ids::{CpuId, Fd, Gid, Ino, Pid, SemId, Uid};

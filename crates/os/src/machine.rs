@@ -67,6 +67,11 @@ pub struct MachineSpec {
     /// Syscall cost model (reference-speed values; `speed_factor` is applied
     /// by the kernel at phase-compilation time).
     pub costs: CostModel,
+    /// Whether the passive TOCTTOU race detector ([`crate::detect`]) is
+    /// armed. On by default for every profile — detection is free of
+    /// simulated-time side effects — and disabled only to measure the
+    /// detector's host-time overhead (see [`MachineSpec::without_detector`]).
+    pub detect: bool,
 }
 
 impl MachineSpec {
@@ -80,6 +85,7 @@ impl MachineSpec {
             timeslice: SimDuration::from_millis(100),
             background: BackgroundSpec::calibrated(),
             costs: CostModel::default(),
+            detect: true,
         }
     }
 
@@ -95,6 +101,7 @@ impl MachineSpec {
             timeslice: SimDuration::from_millis(100),
             background: BackgroundSpec::calibrated(),
             costs: CostModel::default(),
+            detect: true,
         }
     }
 
@@ -116,6 +123,7 @@ impl MachineSpec {
             timeslice: SimDuration::from_millis(100),
             background: BackgroundSpec::calibrated(),
             costs,
+            detect: true,
         }
     }
 
@@ -123,6 +131,15 @@ impl MachineSpec {
     /// deterministic single-trace event analyses like Figures 8 and 10).
     pub fn quiet(mut self) -> Self {
         self.background = BackgroundSpec::quiet();
+        self
+    }
+
+    /// Returns the profile with the passive race detector disarmed. Only
+    /// useful for measuring detector overhead in the bench harness;
+    /// detection never perturbs simulated time, so experiment results are
+    /// identical either way.
+    pub fn without_detector(mut self) -> Self {
+        self.detect = false;
         self
     }
 
@@ -212,6 +229,20 @@ mod tests {
         let q = MachineSpec::smp_xeon().quiet();
         assert!(!q.background.is_active());
         assert!(MachineSpec::smp_xeon().background.is_active());
+    }
+
+    #[test]
+    fn detector_is_on_by_default_and_removable() {
+        for m in [
+            MachineSpec::uniprocessor(),
+            MachineSpec::smp_xeon(),
+            MachineSpec::multicore_pentium_d(),
+        ] {
+            assert!(m.detect, "{}: detector must default on", m.name);
+            let off = m.without_detector();
+            assert!(!off.detect);
+            off.validate().expect("detector-off profile stays valid");
+        }
     }
 
     #[test]

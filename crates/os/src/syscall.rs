@@ -14,6 +14,12 @@
 //! * a first call through an unmapped libc wrapper page inserts a 6 µs trap
 //!   (page fault) ahead of the syscall — the difference between attacker
 //!   programs v1 and v2 (Section 6.2).
+//!
+//! The [`Phase::Commit`] steps are also the observation points for both the
+//! EDGI defense ([`crate::defense`]) and the passive race detector
+//! ([`crate::detect`]): a commit is the instant a syscall's namespace
+//! effect becomes visible, so hooking commits gives both subsystems the
+//! exact serialization order the simulated VFS itself saw.
 
 use crate::costs::CostModel;
 use crate::error::OsError;

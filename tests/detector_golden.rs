@@ -1,0 +1,47 @@
+//! Golden-trace regression test: the detection timeline of one fixed-seed
+//! vi-on-SMP round is pinned to a checked-in snapshot. Any change to
+//! detector hook placement, event fields or simulator timing shows up here
+//! as a readable diff instead of a silent drift.
+
+use std::fmt::Write as _;
+use tocttou::workloads::Scenario;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/detector_vi_smp.txt"
+);
+const SEED: u64 = 0xD07;
+
+fn timeline() -> String {
+    let scenario = Scenario::vi_smp(100 * 1024);
+    let mut handles = scenario.build(SEED, false);
+    let result = scenario.finish_round(&mut handles);
+    let mut s = String::new();
+    let _ = writeln!(s, "# scenario={} seed={SEED:#x}", scenario.name);
+    let _ = writeln!(s, "# success={}", result.success);
+    for rec in handles.kernel.detections().iter() {
+        let _ = writeln!(s, "{} {}", rec.at.as_nanos(), rec.event);
+    }
+    s
+}
+
+#[test]
+fn vi_smp_detection_timeline_matches_golden() {
+    let got = timeline();
+    assert!(
+        got.contains("chown"),
+        "sanity: the fixed-seed round must produce a detection:\n{got}"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).expect("re-bless golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {GOLDEN}: {e}"));
+    assert_eq!(
+        got, want,
+        "\ndetection timeline diverged from the snapshot at\n  {GOLDEN}\n\
+         If the change is intentional, re-bless it with:\n  \
+         UPDATE_GOLDEN=1 cargo test --test detector_golden\n"
+    );
+}

@@ -2,7 +2,11 @@
 //! results — traces, outcomes and aggregate statistics — across every
 //! scenario type. Without this the experiment numbers are not auditable.
 
+use tocttou::experiments::monte_carlo::{
+    chain_detection_fingerprints, detection_fingerprint_of, DETECTION_FINGERPRINT_SEED,
+};
 use tocttou::experiments::{run_mc, McConfig};
+use tocttou::os::kernel::KernelPool;
 use tocttou::os::OsEvent;
 use tocttou::workloads::Scenario;
 
@@ -80,6 +84,60 @@ fn mc_jobs_never_change_the_outcome() {
                 assert_eq!(
                     serial, par,
                     "{}: jobs={jobs} (collect_ld={collect_ld}) diverged from serial",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+/// The detection-event stream must be bit-identical across `jobs` values:
+/// every round's event count, order and fields are hashed into an
+/// order-sensitive fingerprint, the per-round fingerprints are chained in
+/// round order, and `run_mc` at any thread count must land on the exact
+/// value a hand-rolled serial loop computes. Covers both `collect_ld`
+/// modes, since tracing changes the kernel's buffer reuse pattern.
+#[test]
+fn detection_stream_identical_across_jobs() {
+    for scenario in [Scenario::vi_smp(20 * 1024), Scenario::gedit_smp(2048)] {
+        for collect_ld in [false, true] {
+            let cfg = McConfig {
+                rounds: 25,
+                base_seed: 0xD15C,
+                collect_ld,
+                jobs: 1,
+            };
+            // Serial reference: rebuild each round exactly as run_mc does
+            // (pooled buffers, per-round seeds) and chain the stream
+            // fingerprints by hand.
+            let template = scenario.template_vfs();
+            let mut pool = KernelPool::new();
+            let mut expected = DETECTION_FINGERPRINT_SEED;
+            let mut expected_flagged = 0u64;
+            for i in 0..cfg.rounds {
+                let seed = cfg.base_seed.wrapping_add(i);
+                let mut handles = scenario.build_pooled(seed, collect_ld, &template, pool);
+                scenario.finish_round(&mut handles);
+                let det = handles.kernel.detections();
+                expected_flagged += u64::from(!det.is_empty());
+                expected = chain_detection_fingerprints(expected, detection_fingerprint_of(det));
+                pool = handles.kernel.recycle();
+            }
+            assert_ne!(
+                expected, DETECTION_FINGERPRINT_SEED,
+                "{}: reference stream must not be empty",
+                scenario.name
+            );
+            for jobs in [1, 2, 4, 0] {
+                let out = run_mc(&scenario, &cfg.clone().with_jobs(jobs));
+                assert_eq!(
+                    out.detection_fingerprint, expected,
+                    "{}: jobs={jobs} (collect_ld={collect_ld}) detection stream diverged",
+                    scenario.name
+                );
+                assert_eq!(
+                    out.flagged_rounds, expected_flagged,
+                    "{}: jobs={jobs} (collect_ld={collect_ld}) flagged-round count diverged",
                     scenario.name
                 );
             }
