@@ -4,9 +4,10 @@
 //! Measures a 500-round `vi_smp` batch — the paper's Figure 6/7 unit of
 //! work — across the `jobs` ladder (1/2/4/auto), the fresh-per-round path
 //! against the pooled engine, heap allocations per round, and the cost of
-//! the always-on race detector (detector-on vs `without_detector()` on the
-//! pooled `jobs=0` configuration), then writes the results to
-//! `BENCH_monte_carlo.json` at the repository root.
+//! the two always-on observers: the race detector (vs `without_detector()`)
+//! and the kernel metrics (vs `without_metrics()`), both on the pooled
+//! `jobs=0` configuration. Results go to `BENCH_monte_carlo.json` at the
+//! repository root; the metrics row is asserted against its 5% budget.
 //!
 //! Byte-identity between the serial and parallel batches is asserted here
 //! on every run: `run_mc` guarantees the same `McOutcome` for every
@@ -68,6 +69,17 @@ struct DetectorOverheadRow {
 }
 
 #[derive(serde::Serialize)]
+struct MetricsOverheadRow {
+    jobs: usize,
+    metrics_on_rounds_per_sec: f64,
+    metrics_off_rounds_per_sec: f64,
+    /// `on_time / off_time - 1`: the fraction of wall time the always-on
+    /// kernel metrics (counters + latency histograms + per-round snapshot
+    /// fold) add to the pooled engine. Budget: <= 0.05.
+    overhead_frac: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     scenario: String,
     rounds: u64,
@@ -80,6 +92,7 @@ struct Report {
     pooled_engine: EngineRow,
     pooled_vs_fresh_speedup: f64,
     detector_overhead: DetectorOverheadRow,
+    metrics_overhead: MetricsOverheadRow,
     preopt_baseline_rounds_per_sec: f64,
     speedup_vs_preopt_baseline: f64,
 }
@@ -117,6 +130,9 @@ fn main() {
     // detector never perturbs simulated time, so only wall time differs.
     let mut undetected = Scenario::vi_smp(FILE_SIZE);
     undetected.machine = undetected.machine.without_detector();
+    // And with the kernel metrics stripped, for the metrics-overhead row.
+    let mut unmetered = Scenario::vi_smp(FILE_SIZE);
+    unmetered.machine = unmetered.machine.without_metrics();
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -174,6 +190,10 @@ fn main() {
     // Detector-off twin of the pooled jobs=0 row, for the overhead figure.
     timed.push(Box::new(|| {
         std::hint::black_box(run_mc(&undetected, &cfg(0)));
+    }));
+    // Metrics-off twin, same configuration.
+    timed.push(Box::new(|| {
+        std::hint::black_box(run_mc(&unmetered, &cfg(0)));
     }));
     let secs = best_of_interleaved(REPS, &mut timed);
     drop(timed);
@@ -236,6 +256,27 @@ fn main() {
         detector_overhead.overhead_frac * 100.0
     );
 
+    // Metrics overhead, same methodology as the detector row.
+    let metrics_off_secs = secs[JOBS_LADDER.len() + 2];
+    let metrics_overhead = MetricsOverheadRow {
+        jobs: 0,
+        metrics_on_rounds_per_sec: ROUNDS as f64 / on_secs,
+        metrics_off_rounds_per_sec: ROUNDS as f64 / metrics_off_secs,
+        overhead_frac: on_secs / metrics_off_secs - 1.0,
+    };
+    println!(
+        "mc/metrics  jobs=0 on {:>10.0} rounds/s, off {:>10.0} rounds/s  \
+         (overhead {:+.1}%)",
+        metrics_overhead.metrics_on_rounds_per_sec,
+        metrics_overhead.metrics_off_rounds_per_sec,
+        metrics_overhead.overhead_frac * 100.0
+    );
+    assert!(
+        metrics_overhead.overhead_frac <= 0.05,
+        "kernel metrics exceed their 5% overhead budget: {:+.1}%",
+        metrics_overhead.overhead_frac * 100.0
+    );
+
     let report = Report {
         scenario: format!("vi_smp({FILE_SIZE})"),
         rounds: ROUNDS,
@@ -263,6 +304,7 @@ fn main() {
         },
         pooled_vs_fresh_speedup: fresh_secs / pooled_secs,
         detector_overhead,
+        metrics_overhead,
         preopt_baseline_rounds_per_sec: PREOPT_BASELINE_ROUNDS_PER_SEC,
         speedup_vs_preopt_baseline: pooled_rps / PREOPT_BASELINE_ROUNDS_PER_SEC,
     };

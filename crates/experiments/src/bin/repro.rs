@@ -4,19 +4,22 @@
 //! repro <exhibit>... [--rounds N] [--seed S] [--jobs J] [--out DIR]
 //!
 //! exhibits: fig6 fig7 table1 table2 fig8 fig10 fig11 headline defense detect
-//!           pairs maze lddist all
+//!           profile pairs maze lddist all
 //!
 //! `--detect` is shorthand for the `detect` exhibit (the passive race
-//! detector scored against Monte-Carlo ground truth).
+//! detector scored against Monte-Carlo ground truth); `--profile` likewise
+//! selects the kernel observability scorecard (semaphore contention,
+//! syscall latency, scheduler counters).
 //! ```
 //!
 //! Each exhibit prints its rows to stdout and writes `<exhibit>.json` plus a
 //! combined `REPORT.md` under the output directory (default
 //! `target/experiments`).
 
+use tocttou_experiments::cli::CommonArgs;
 use tocttou_experiments::figures::{
-    defense, detect, fig10, fig11, fig6, fig7, fig8, headline, ld_dist, maze, pair_sweep, table1,
-    table2,
+    defense, detect, fig10, fig11, fig6, fig7, fig8, headline, ld_dist, maze, pair_sweep, profile,
+    table1, table2,
 };
 use tocttou_experiments::report::Report;
 use tocttou_experiments::svg::{line_chart, span_chart, BarRow, ChartConfig, Series};
@@ -24,39 +27,27 @@ use tocttou_experiments::svg::{line_chart, span_chart, BarRow, ChartConfig, Seri
 #[derive(Debug)]
 struct Args {
     exhibits: Vec<String>,
-    rounds: Option<u64>,
-    seed: Option<u64>,
-    jobs: Option<usize>,
+    common: CommonArgs,
     out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut exhibits = Vec::new();
-    let mut rounds = None;
-    let mut seed = None;
-    let mut jobs = None;
+    let mut common = CommonArgs::default();
     let mut out = "target/experiments".to_string();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        if common.accept(&arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
-            "--rounds" => {
-                let v = it.next().ok_or("--rounds needs a value")?;
-                rounds = Some(v.parse().map_err(|e| format!("--rounds: {e}"))?);
-            }
-            "--seed" => {
-                let v = it.next().ok_or("--seed needs a value")?;
-                seed = Some(v.parse().map_err(|e| format!("--seed: {e}"))?);
-            }
-            "--jobs" => {
-                let v = it.next().ok_or("--jobs needs a value")?;
-                jobs = Some(v.parse().map_err(|e| format!("--jobs: {e}"))?);
-            }
             "--out" => {
                 out = it.next().ok_or("--out needs a value")?;
             }
             "--detect" => exhibits.push("detect".to_string()),
+            "--profile" => exhibits.push("profile".to_string()),
             "--help" | "-h" => {
-                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|detect|pairs|maze|lddist|all>... [--detect] [--rounds N] [--seed S] [--jobs J] [--out DIR]".into());
+                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|detect|profile|pairs|maze|lddist|all>... [--detect] [--profile] [--rounds N] [--seed S] [--jobs J] [--out DIR]".into());
             }
             name if !name.starts_with('-') => exhibits.push(name.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -67,9 +58,7 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         exhibits,
-        rounds,
-        seed,
-        jobs,
+        common,
         out,
     })
 }
@@ -89,30 +78,16 @@ fn main() {
 
     if wants("headline") {
         let mut cfg = headline::Config::default();
-        if let Some(r) = args.rounds {
-            cfg.rounds = r;
-        }
-        if let Some(s) = args.seed {
-            cfg.seed = s;
-        }
-        if let Some(j) = args.jobs {
-            cfg.jobs = j;
-        }
+        args.common
+            .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
         let out = headline::run(&cfg);
         println!("{out}");
         report.add("headline", &out).expect("write headline");
     }
     if wants("fig6") {
         let mut cfg = fig6::Config::default();
-        if let Some(r) = args.rounds {
-            cfg.rounds = r;
-        }
-        if let Some(s) = args.seed {
-            cfg.seed = s;
-        }
-        if let Some(j) = args.jobs {
-            cfg.jobs = j;
-        }
+        args.common
+            .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
         let out = fig6::run(&cfg);
         println!("{out}");
         report.add("fig6", &out).expect("write fig6");
@@ -148,13 +123,13 @@ fn main() {
     }
     if wants("fig7") {
         let mut cfg = fig7::Config::default();
-        if let Some(r) = args.rounds {
+        if let Some(r) = args.common.rounds {
             cfg.rounds = (r / 10).max(3);
         }
-        if let Some(s) = args.seed {
+        if let Some(s) = args.common.seed {
             cfg.seed = s;
         }
-        if let Some(j) = args.jobs {
+        if let Some(j) = args.common.jobs {
             cfg.jobs = j;
         }
         let out = fig7::run(&cfg);
@@ -192,37 +167,23 @@ fn main() {
     }
     if wants("table1") {
         let mut cfg = table1::Config::default();
-        if let Some(r) = args.rounds {
-            cfg.rounds = r;
-        }
-        if let Some(s) = args.seed {
-            cfg.seed = s;
-        }
-        if let Some(j) = args.jobs {
-            cfg.jobs = j;
-        }
+        args.common
+            .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
         let out = table1::run(&cfg);
         println!("{out}");
         report.add("table1", &out).expect("write table1");
     }
     if wants("table2") {
         let mut cfg = table2::Config::default();
-        if let Some(r) = args.rounds {
-            cfg.rounds = r;
-        }
-        if let Some(s) = args.seed {
-            cfg.seed = s;
-        }
-        if let Some(j) = args.jobs {
-            cfg.jobs = j;
-        }
+        args.common
+            .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
         let out = table2::run(&cfg);
         println!("{out}");
         report.add("table2", &out).expect("write table2");
     }
     if wants("fig8") {
         let mut cfg = fig8::Config::default();
-        if let Some(s) = args.seed {
+        if let Some(s) = args.common.seed {
             cfg.seed = s;
         }
         let out = fig8::run(&cfg);
@@ -232,7 +193,7 @@ fn main() {
     }
     if wants("fig10") {
         let mut cfg = fig10::Config::default();
-        if let Some(s) = args.seed {
+        if let Some(s) = args.common.seed {
             cfg.seed = s;
         }
         let out = fig10::run(&cfg);
@@ -242,7 +203,7 @@ fn main() {
     }
     if wants("fig11") {
         let mut cfg = fig11::Config::default();
-        if let Some(s) = args.seed {
+        if let Some(s) = args.common.seed {
             cfg.seed = s;
         }
         let out = fig11::run(&cfg);
@@ -288,40 +249,34 @@ fn main() {
 
     if wants("defense") {
         let mut cfg = defense::Config::default();
-        if let Some(r) = args.rounds {
-            cfg.rounds = r;
-        }
-        if let Some(s) = args.seed {
-            cfg.seed = s;
-        }
-        if let Some(j) = args.jobs {
-            cfg.jobs = j;
-        }
+        args.common
+            .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
         let out = defense::run(&cfg);
         println!("{out}");
         report.add("defense", &out).expect("write defense");
     }
     if wants("detect") {
         let mut cfg = detect::Config::default();
-        if let Some(r) = args.rounds {
-            cfg.rounds = r;
-        }
-        if let Some(s) = args.seed {
-            cfg.seed = s;
-        }
-        if let Some(j) = args.jobs {
-            cfg.jobs = j;
-        }
+        args.common
+            .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
         let out = detect::run(&cfg);
         println!("{out}");
         report.add("detect", &out).expect("write detect");
     }
+    if wants("profile") {
+        let mut cfg = profile::Config::default();
+        args.common
+            .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
+        let out = profile::run(&cfg);
+        println!("{out}");
+        report.add("profile", &out).expect("write profile");
+    }
     if wants("pairs") {
         let mut cfg = pair_sweep::Config::default();
-        if let Some(r) = args.rounds {
+        if let Some(r) = args.common.rounds {
             cfg.rounds = (r / 20).max(2);
         }
-        if let Some(s) = args.seed {
+        if let Some(s) = args.common.seed {
             cfg.seed = s;
         }
         let out = pair_sweep::run(&cfg);
@@ -331,10 +286,10 @@ fn main() {
 
     if wants("lddist") {
         let mut cfg = ld_dist::Config::default();
-        if let Some(r) = args.rounds {
+        if let Some(r) = args.common.rounds {
             cfg.rounds = r;
         }
-        if let Some(s) = args.seed {
+        if let Some(s) = args.common.seed {
             cfg.seed = s;
         }
         let out = ld_dist::run(&cfg);
@@ -343,10 +298,10 @@ fn main() {
     }
     if wants("maze") {
         let mut cfg = maze::Config::default();
-        if let Some(r) = args.rounds {
+        if let Some(r) = args.common.rounds {
             cfg.rounds = r;
         }
-        if let Some(s) = args.seed {
+        if let Some(s) = args.common.seed {
             cfg.seed = s;
         }
         let out = maze::run(&cfg);

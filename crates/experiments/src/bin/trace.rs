@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! trace <scenario> [--seed S] [--width W] [--find success|failure] [--jobs J]
+//!                  [--export PATH]
 //!
 //! scenarios: vi-uni vi-smp vi-smp-1b gedit-uni gedit-smp gedit-mc-v1
 //!            gedit-mc-v2 pipelined
@@ -11,7 +12,11 @@
 //! victim and attacker(s). With `--find`, seeds are scanned (from `--seed`)
 //! until a round with the requested outcome turns up; `--jobs` fans the
 //! scan across worker threads and still reports the lowest matching seed.
+//! `--export` additionally writes the round as JSONL — header, every kernel
+//! event, every detection, and the round's metrics snapshot.
 
+use tocttou_experiments::cli::CommonArgs;
+use tocttou_experiments::export::export_jsonl;
 use tocttou_experiments::timeline::Timeline;
 use tocttou_sim::time::{SimDuration, SimTime};
 use tocttou_workloads::scenario::Scenario;
@@ -63,16 +68,23 @@ fn scan_seeds(
 
 fn main() {
     let mut name = None;
-    let mut seed = 1u64;
+    let mut common = CommonArgs::default();
     let mut width = 110usize;
     let mut find: Option<bool> = None;
-    let mut jobs = 1usize;
+    let mut export: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        match common.accept(&arg, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
         match arg.as_str() {
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--width" => width = it.next().and_then(|v| v.parse().ok()).unwrap_or(width),
-            "--jobs" => jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or(jobs),
+            "--export" => export = it.next(),
             "--find" => {
                 find = match it.next().as_deref() {
                     Some("success") => Some(true),
@@ -82,13 +94,16 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: trace <vi-uni|vi-smp|vi-smp-1b|gedit-uni|gedit-smp|gedit-mc-v1|gedit-mc-v2|pipelined> [--seed S] [--width W] [--find success|failure] [--jobs J]"
+                    "usage: trace <vi-uni|vi-smp|vi-smp-1b|gedit-uni|gedit-smp|gedit-mc-v1|gedit-mc-v2|pipelined> [--seed S] [--width W] [--find success|failure] [--jobs J] [--export PATH]"
                 );
                 return;
             }
             other => name = Some(other.to_string()),
         }
     }
+    // A timeline shows one round; `--rounds` exists only for flag parity.
+    let seed = common.seed.unwrap_or(1);
+    let jobs = common.jobs.unwrap_or(1);
     let Some(name) = name else {
         eprintln!("missing scenario name (try --help)");
         std::process::exit(2);
@@ -149,4 +164,19 @@ fn main() {
     }
     let tl = Timeline::from_trace(handles.kernel.trace(), &procs, origin, handles.kernel.now());
     print!("{}", tl.render_ascii(width));
+
+    if let Some(path) = export {
+        let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut w = std::io::BufWriter::new(file);
+        let lines = export_jsonl(&mut w, &scenario.name, used_seed, &handles.kernel)
+            .and_then(|n| std::io::Write::flush(&mut w).map(|()| n))
+            .unwrap_or_else(|e| {
+                eprintln!("export to {path} failed: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("exported {lines} JSONL records to {path}");
+    }
 }

@@ -1,0 +1,118 @@
+//! Shared command-line flag parsing for the `repro` and `trace` binaries.
+//!
+//! Both binaries accept the same Monte-Carlo knobs (`--rounds`, `--seed`,
+//! `--jobs`); [`CommonArgs`] parses them once so the two argument loops
+//! cannot drift apart. Each binary keeps its own loop for its private
+//! flags and calls [`CommonArgs::accept`] first.
+
+/// The `--rounds` / `--seed` / `--jobs` flags shared by both binaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// `--rounds N`, if given.
+    pub rounds: Option<u64>,
+    /// `--seed N`, if given.
+    pub seed: Option<u64>,
+    /// `--jobs N` (`0` = auto-detect), if given.
+    pub jobs: Option<usize>,
+}
+
+impl CommonArgs {
+    /// Consumes `arg` (and its value from `rest`) if it is one of the
+    /// shared flags. Returns `Ok(true)` when the flag was recognized,
+    /// `Ok(false)` when the caller should handle it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message when a recognized flag is missing its
+    /// value or the value does not parse.
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        rest: &mut dyn Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--rounds" => {
+                self.rounds = Some(parse_value(arg, rest)?);
+                Ok(true)
+            }
+            "--seed" => {
+                self.seed = Some(parse_value(arg, rest)?);
+                Ok(true)
+            }
+            "--jobs" => {
+                self.jobs = Some(parse_value(arg, rest)?);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Overwrites a config's fields with whichever flags were given.
+    pub fn apply(&self, rounds: &mut u64, seed: &mut u64, jobs: &mut usize) {
+        if let Some(r) = self.rounds {
+            *rounds = r;
+        }
+        if let Some(s) = self.seed {
+            *seed = s;
+        }
+        if let Some(j) = self.jobs {
+            *jobs = j;
+        }
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(
+    flag: &str,
+    rest: &mut dyn Iterator<Item = String>,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = rest.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|e| format!("invalid {flag} value {raw:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<(CommonArgs, Vec<String>), String> {
+        let mut common = CommonArgs::default();
+        let mut leftover = Vec::new();
+        let mut it = tokens.iter().map(|s| s.to_string());
+        while let Some(arg) = it.next() {
+            if !common.accept(&arg, &mut it)? {
+                leftover.push(arg);
+            }
+        }
+        Ok((common, leftover))
+    }
+
+    #[test]
+    fn accepts_all_three_flags_and_passes_others_through() {
+        let (c, rest) = parse(&[
+            "vi-smp", "--rounds", "40", "--seed", "7", "--jobs", "0", "--width",
+        ])
+        .unwrap();
+        assert_eq!(c.rounds, Some(40));
+        assert_eq!(c.seed, Some(7));
+        assert_eq!(c.jobs, Some(0));
+        assert_eq!(rest, ["vi-smp", "--width"]);
+    }
+
+    #[test]
+    fn apply_overwrites_only_given_flags() {
+        let (c, _) = parse(&["--jobs", "4"]).unwrap();
+        let (mut rounds, mut seed, mut jobs) = (120u64, 0xD07u64, 1usize);
+        c.apply(&mut rounds, &mut seed, &mut jobs);
+        assert_eq!((rounds, seed, jobs), (120, 0xD07, 4));
+    }
+
+    #[test]
+    fn missing_or_bad_values_are_reported() {
+        assert!(parse(&["--rounds"]).unwrap_err().contains("--rounds"));
+        let err = parse(&["--seed", "xyzzy"]).unwrap_err();
+        assert!(err.contains("--seed") && err.contains("xyzzy"), "{err}");
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`headline`] | the abstract's uniprocessor-vs-multiprocessor summary |
 //! | [`defense`] | Section 8 counterfactual: the EDGI guard zeroes every attack |
 //! | [`detect`] | passive race detector scored against Monte-Carlo ground truth |
+//! | [`profile`] | kernel observability scorecard: sem contention, syscall latency, scheduler counters |
 //! | [`pair_sweep`] | the `<check, use>` taxonomy swept against the SMP attacker |
 //! | [`maze`] | pathname-maze amplification of the uniprocessor attack |
 //! | [`ld_dist`] | per-round L/D distributions behind Tables 1–2 |
@@ -27,5 +28,6 @@ pub mod headline;
 pub mod ld_dist;
 pub mod maze;
 pub mod pair_sweep;
+pub mod profile;
 pub mod table1;
 pub mod table2;

@@ -9,9 +9,12 @@
 //! * [`extract`] — trace → (t1, D, t3) → L/D per Sections 3.4/6.1;
 //! * [`timeline`] — Figure 8/10-style two-lane event charts;
 //! * [`figures`] — one module per exhibit (Fig 6, Fig 7, Table 1, Table 2,
-//!   Fig 8, Fig 10, Fig 11, the headline comparison, and the detector
-//!   precision/recall scorecard);
+//!   Fig 8, Fig 10, Fig 11, the headline comparison, the detector
+//!   precision/recall scorecard, and the kernel profiling scorecard);
 //! * [`report`] — text + JSON artifact writing;
+//! * [`export`] — JSONL export of traces, detections and metrics;
+//! * [`cli`] — the `--rounds`/`--seed`/`--jobs` flags shared by the
+//!   binaries;
 //! * [`svg`] — dependency-free SVG rendering of the figure shapes.
 //!
 //! The `repro` binary drives everything:
@@ -23,6 +26,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod export;
 pub mod extract;
 pub mod figures;
 pub mod monte_carlo;
@@ -30,6 +35,8 @@ pub mod report;
 pub mod svg;
 pub mod timeline;
 
+pub use cli::CommonArgs;
+pub use export::export_jsonl;
 pub use extract::{observe, AttackObservation, WindowKind};
 pub use monte_carlo::{run_mc, McConfig, McOutcome};
 pub use report::Report;

@@ -23,6 +23,7 @@ use tocttou_core::model::MeasuredUs;
 use tocttou_core::stats::{OnlineStats, SuccessCounter};
 use tocttou_os::detect::DetectionEvent;
 use tocttou_os::kernel::KernelPool;
+use tocttou_os::metrics::MetricsSnapshot;
 use tocttou_os::vfs::Vfs;
 use tocttou_sim::trace::Trace;
 use tocttou_workloads::scenario::{Scenario, VictimSpec};
@@ -164,6 +165,11 @@ pub struct McOutcome {
     /// Chained [`detection_fingerprint_of`] over every round, in round
     /// order — the batch-level identity of the full detection stream.
     pub detection_fingerprint: u64,
+    /// Kernel metrics summed over every round: scheduler counters plus
+    /// syscall/semaphore/run-queue latency histograms. The merge is pure
+    /// integer accumulation over key-sorted histograms, so the aggregate
+    /// is bit-identical at any [`McConfig::jobs`] value.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Round-level detector accumulators, folded in round order alongside the
@@ -211,6 +217,7 @@ impl McOutcome {
         ld: LdEstimator,
         windows: OnlineStats,
         detector: DetectorTally,
+        metrics: MetricsSnapshot,
     ) -> Self {
         let (l, d) = match ld.estimates() {
             Some((l, d)) => (Some(l), Some(d)),
@@ -237,6 +244,7 @@ impl McOutcome {
                 .then(|| detector.tp as f64 / counter.successes() as f64),
             detection_latency_us: (detector.latency.count() > 0).then(|| detector.latency.mean()),
             detection_fingerprint: detector.fingerprint,
+            metrics,
         }
     }
 }
@@ -301,6 +309,12 @@ struct RoundObs {
 }
 
 /// Simulates one round on pooled buffers and extracts its observation.
+///
+/// The round's kernel metrics aren't extracted here: the pool is created
+/// with [`KernelPool::retain_metrics`], so they accumulate in place across
+/// the worker's rounds and the caller snapshots the total once per block —
+/// zero per-round cost, bit-identical to a per-round fold (the merge is
+/// pure integer accumulation).
 fn run_one_round(
     scenario: &Scenario,
     template: &Vfs,
@@ -352,8 +366,12 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
     let mut samples: Vec<LdSample> = Vec::new();
     let mut windows = OnlineStats::new();
     let mut detector = DetectorTally::new();
+    let mut metrics = MetricsSnapshot::default();
     // The single fold used by both paths: per-round op order on the
     // accumulators is what makes serial and parallel runs bit-identical.
+    // (Kernel metrics don't ride this fold: their merge is order-
+    // *independent* integer accumulation, so each worker keeps one running
+    // aggregate and the block aggregates combine at the end.)
     let mut fold = |obs: RoundObs| {
         counter.record(obs.success);
         detector.fold(&obs);
@@ -366,7 +384,7 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
     };
 
     if jobs <= 1 {
-        let mut pool = KernelPool::new();
+        let mut pool = KernelPool::new().retain_metrics();
         for i in 0..cfg.rounds {
             let seed = cfg.base_seed.wrapping_add(i);
             let (obs, returned) =
@@ -374,6 +392,7 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
             pool = returned;
             fold(obs);
         }
+        pool.metrics().accumulate_into(&mut metrics);
     } else {
         // One contiguous block of rounds per worker; blocks come back in
         // worker order, so flattening yields observations in round order.
@@ -382,13 +401,13 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
             .map(|w| (w * block, ((w + 1) * block).min(cfg.rounds)))
             .filter(|(start, end)| start < end)
             .collect();
-        let per_block: Vec<Vec<RoundObs>> = std::thread::scope(|scope| {
+        let per_block: Vec<(Vec<RoundObs>, MetricsSnapshot)> = std::thread::scope(|scope| {
             let template = &template;
             let handles: Vec<_> = blocks
                 .iter()
                 .map(|&(start, end)| {
                     scope.spawn(move || {
-                        let mut pool = KernelPool::new();
+                        let mut pool = KernelPool::new().retain_metrics();
                         let mut out = Vec::with_capacity((end - start) as usize);
                         for i in start..end {
                             let seed = cfg.base_seed.wrapping_add(i);
@@ -397,7 +416,7 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
                             pool = returned;
                             out.push(obs);
                         }
-                        out
+                        (out, pool.metrics().snapshot())
                     })
                 })
                 .collect();
@@ -406,13 +425,16 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
                 .map(|h| h.join().expect("Monte-Carlo worker panicked"))
                 .collect()
         });
-        for obs in per_block.into_iter().flatten() {
-            fold(obs);
+        for (block_obs, block_metrics) in per_block {
+            metrics.merge(&block_metrics);
+            for obs in block_obs {
+                fold(obs);
+            }
         }
     }
 
     let ld = trimmed_estimator(samples, LD_TRIM_FRAC);
-    McOutcome::from_parts(scenario, counter, ld, windows, detector)
+    McOutcome::from_parts(scenario, counter, ld, windows, detector, metrics)
 }
 
 /// Builds an estimator from samples with a symmetric fraction trimmed from
@@ -448,6 +470,28 @@ mod tests {
         assert_eq!(out.rounds, 10);
         assert!(out.rate > 0.9, "vi SMP ~100%: {}", out.rate);
         assert!(out.l.is_none(), "no L/D without collect_ld");
+        // Metrics ride along on every batch.
+        assert!(out.metrics.counters.context_switches >= 10 * 2);
+        assert!(out.metrics.counters.vfs_ops > 0);
+        assert!(out.metrics.total_samples() > 0);
+    }
+
+    #[test]
+    fn metrics_off_profile_folds_to_empty() {
+        let mut s = Scenario::vi_smp(20 * 1024);
+        s.machine = s.machine.without_metrics();
+        let out = run_mc(
+            &s,
+            &McConfig {
+                rounds: 5,
+                base_seed: 1,
+                collect_ld: false,
+                jobs: 1,
+            },
+        );
+        assert!(out.rate > 0.9, "stripping metrics must not change results");
+        assert_eq!(out.metrics.counters.context_switches, 0);
+        assert!(out.metrics.hists.is_empty());
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct Timeline {
     pub origin: SimTime,
     /// Time of the chart's right edge.
     pub end: SimTime,
+    /// Records the source trace evicted before this timeline was built
+    /// (non-zero only for bounded traces). A chart missing its earliest
+    /// spans says so instead of silently starting late.
+    pub dropped: u64,
 }
 
 impl Timeline {
@@ -137,7 +141,12 @@ impl Timeline {
                 spans,
             });
         }
-        Timeline { lanes, origin, end }
+        Timeline {
+            lanes,
+            origin,
+            end,
+            dropped: trace.dropped(),
+        }
     }
 
     /// Converts the timeline into [`crate::svg::BarRow`]s (µs relative to
@@ -178,7 +187,8 @@ impl Timeline {
     /// Renders the timeline as fixed-width ASCII art, paper-figure style.
     ///
     /// Each lane is two rows: a bar row (`=` executing, `~` blocked, `!`
-    /// trap) and a label row naming each span at its start column.
+    /// trap) and a label row naming each span at its start column. A
+    /// bounded trace that evicted records gets a leading warning line.
     pub fn render_ascii(&self, width: usize) -> String {
         let width = width.max(20);
         let span_cols = |s: &Span| -> (usize, usize) {
@@ -197,6 +207,12 @@ impl Timeline {
             .unwrap_or(4)
             .max(4);
         let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "[incomplete: {} earliest trace records evicted by the bounded buffer]\n",
+                self.dropped
+            ));
+        }
         for lane in &self.lanes {
             let mut bar = vec![b' '; width];
             let mut labels = vec![b' '; width];
@@ -312,6 +328,26 @@ mod tests {
             assert!(span.start >= t(100));
             assert!(span.end <= h.kernel.now());
         }
+    }
+
+    #[test]
+    fn bounded_trace_drops_are_surfaced() {
+        let mut trace: Trace<OsEvent> = Trace::bounded(4);
+        for i in 0..10 {
+            trace.record(t(i + 1), OsEvent::Wake { pid: Pid(0) });
+        }
+        let tl = Timeline::from_trace(&trace, &[(Pid(0), "p")], SimTime::ZERO, t(20));
+        assert_eq!(tl.dropped, 6);
+        let text = tl.render_ascii(40);
+        assert!(
+            text.starts_with("[incomplete: 6 earliest trace records"),
+            "{text}"
+        );
+
+        let unbounded: Trace<OsEvent> = Trace::default();
+        let tl = Timeline::from_trace(&unbounded, &[], SimTime::ZERO, t(20));
+        assert_eq!(tl.dropped, 0);
+        assert!(!tl.render_ascii(40).contains("incomplete"));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::error::OsError;
 use crate::event::OsEvent;
 use crate::ids::{CpuId, Gid, Pid, Uid};
 use crate::machine::MachineSpec;
+use crate::metrics::KernelMetrics;
 use crate::process::{
     Action, LogicCtx, PendingSyscall, ProcBuffers, ProcState, Process, ProcessLogic, RetVal,
     SyscallResult,
@@ -92,6 +93,7 @@ pub struct KernelPool {
     ready: VecDeque<Pid>,
     sems: SemTable,
     vfs: Vfs,
+    metrics: KernelMetrics,
     /// Per-process containers harvested from the previous round's
     /// processes, handed back out by `spawn`.
     spare: Vec<ProcBuffers>,
@@ -101,6 +103,25 @@ impl KernelPool {
     /// An empty pool; buffers grow on first use and are then retained.
     pub fn new() -> Self {
         KernelPool::default()
+    }
+
+    /// Makes the pooled [`KernelMetrics`] accumulate **across rounds**
+    /// instead of restarting at zero on each [`Kernel::with_pool`].
+    ///
+    /// Metrics are pure integer sums, so N rounds accumulated in place are
+    /// bit-identical to N per-round snapshots merged — this just skips the
+    /// per-round fold. Batch drivers read the total off the retired pool
+    /// with [`metrics`](Self::metrics) when the loop ends. The exception to
+    /// the pool's "observably fresh on reuse" rule, and deliberately so.
+    pub fn retain_metrics(mut self) -> Self {
+        self.metrics.set_retain(true);
+        self
+    }
+
+    /// The pooled metrics accumulator (the across-rounds total when
+    /// [`retain_metrics`](Self::retain_metrics) is active).
+    pub fn metrics(&self) -> &KernelMetrics {
+        &self.metrics
     }
 }
 
@@ -121,6 +142,7 @@ pub struct Kernel {
     defense: DefenseState,
     detector: DetectorState,
     detections: Trace<DetectionEvent>,
+    metrics: KernelMetrics,
     spare: Vec<ProcBuffers>,
 }
 
@@ -158,6 +180,7 @@ impl Kernel {
         pool.cpus.clear();
         pool.cpus.resize_with(spec.cpus, Cpu::default);
         pool.vfs.reset();
+        pool.metrics.reset(spec.metrics);
         let detect = spec.detect;
         let mut kernel = Kernel {
             cpus: pool.cpus,
@@ -175,6 +198,7 @@ impl Kernel {
             defense: DefenseState::default(),
             detector: DetectorState::new(detect),
             detections: pool.detections,
+            metrics: pool.metrics,
             spare: pool.spare,
         };
         // Arm background activity per CPU.
@@ -203,6 +227,7 @@ impl Kernel {
             ready: self.ready,
             sems: self.sems,
             vfs: self.vfs,
+            metrics: self.metrics,
             spare: self.spare,
         }
     }
@@ -288,6 +313,12 @@ impl Kernel {
     /// observed this round, in commit order. See [`crate::detect`].
     pub fn detections(&self) -> &Trace<DetectionEvent> {
         &self.detections
+    }
+
+    /// The observability layer: scheduler counters and latency histograms
+    /// accumulated since boot. See [`crate::metrics`].
+    pub fn metrics(&self) -> &KernelMetrics {
+        &self.metrics
     }
 
     /// Creates a process owned by `uid:gid` running `logic`.
@@ -394,7 +425,9 @@ impl Kernel {
     }
 
     fn make_ready(&mut self, pid: Pid) {
+        self.procs[pid.index()].ready_since = self.now;
         if let Some(cpu) = self.idle_cpu() {
+            self.metrics.on_idle_wake();
             self.dispatch(pid, cpu);
         } else {
             self.procs[pid.index()].state = ProcState::Ready;
@@ -404,6 +437,13 @@ impl Kernel {
 
     fn dispatch(&mut self, pid: Pid, cpu: CpuId) {
         debug_assert!(self.cpus[cpu.index()].running.is_none());
+        {
+            let p = &mut self.procs[pid.index()];
+            let migrated = p.last_cpu.is_some_and(|prev| prev != cpu);
+            let queued = self.now.saturating_since(p.ready_since);
+            p.last_cpu = Some(cpu);
+            self.metrics.on_dispatch(migrated, queued);
+        }
         self.cpus[cpu.index()].running = Some(pid);
         self.procs[pid.index()].state = ProcState::Running(cpu);
         self.procs[pid.index()].slice_remaining = self.spec.timeslice;
@@ -432,7 +472,9 @@ impl Kernel {
         // Preempt: charge the elapsed part of the current CPU phase.
         self.pause_current_phase(pid);
         self.trace.record(self.now, OsEvent::Preempt { pid, cpu });
+        self.metrics.on_preempt();
         self.procs[pid.index()].state = ProcState::Ready;
+        self.procs[pid.index()].ready_since = self.now;
         self.ready.push_back(pid);
         self.cpus[cpu.index()].running = None;
         let next = self.ready.pop_front().expect("checked non-empty");
@@ -531,6 +573,9 @@ impl Kernel {
                 Front::StartCpu(dur, kind) => {
                     if kind == CpuKind::Trap {
                         self.trace.record(self.now, OsEvent::Trap { pid, dur });
+                        // Counts trap-phase starts; like the trace, a
+                        // preempted trap phase counts again on resume.
+                        self.metrics.on_trap();
                     }
                     let p = &mut self.procs[pid.index()];
                     p.phase_started = self.now;
@@ -543,10 +588,12 @@ impl Kernel {
                     if self.sems.acquire_or_enqueue(sem, pid) {
                         self.trace
                             .record(self.now, OsEvent::SemAcquire { pid, sem });
+                        self.metrics.on_sem_acquired(sem, self.now);
                         // continue with next phase
                     } else {
                         self.trace
                             .record(self.now, OsEvent::SemEnqueue { pid, sem });
+                        self.procs[pid.index()].sem_wait_since = self.now;
                         self.procs[pid.index()].state = ProcState::BlockedSem(sem);
                         self.release_cpu_of_blocked(pid);
                         return;
@@ -555,6 +602,7 @@ impl Kernel {
                 Front::Own(Phase::Release(sem)) => {
                     self.trace
                         .record(self.now, OsEvent::SemRelease { pid, sem });
+                    self.metrics.on_sem_released(sem, self.now);
                     if let Some(next_holder) = self.sems.release(sem, pid) {
                         self.trace.record(
                             self.now,
@@ -563,6 +611,11 @@ impl Kernel {
                                 sem,
                             },
                         );
+                        let waited = self
+                            .now
+                            .saturating_since(self.procs[next_holder.index()].sem_wait_since);
+                        self.metrics.on_sem_wait(sem, waited);
+                        self.metrics.on_sem_acquired(sem, self.now);
                         debug_assert_eq!(
                             self.procs[next_holder.index()].state,
                             ProcState::BlockedSem(sem)
@@ -612,6 +665,8 @@ impl Kernel {
         // Close out a completed syscall.
         if let Some(pending) = self.procs[pid.index()].pending.take() {
             let ret = pending.ret.unwrap_or(Ok(RetVal::Unit));
+            self.metrics
+                .on_syscall_exit(pending.name, self.now.saturating_since(pending.entered));
             self.trace.record(
                 self.now,
                 OsEvent::SyscallExit {
@@ -671,7 +726,11 @@ impl Kernel {
                     &mut phases,
                 );
                 let p = &mut self.procs[pid.index()];
-                p.pending = Some(PendingSyscall { name, ret: None });
+                p.pending = Some(PendingSyscall {
+                    name,
+                    ret: None,
+                    entered: self.now,
+                });
                 p.phases = phases;
                 true
             }
@@ -728,6 +787,7 @@ impl Kernel {
 
     /// Denies the in-flight use call under the active defense policy.
     fn deny(&mut self, pid: Pid) {
+        self.metrics.on_edgi_denial();
         if let Some(pending) = self.procs[pid.index()].pending.as_ref() {
             let call = pending.name;
             self.trace
@@ -737,6 +797,7 @@ impl Kernel {
     }
 
     fn execute_commit(&mut self, pid: Pid, step: CommitStep) {
+        self.metrics.on_vfs_op();
         let (uid, gid) = {
             let p = &self.procs[pid.index()];
             (p.uid, p.gid)

@@ -17,6 +17,9 @@
 //!   part of [`machine`];
 //! * a **passive, always-on TOCTTOU race detector** watching check/use
 //!   windows at syscall commit points — [`detect`];
+//! * an **observability layer** of scheduler counters and latency
+//!   histograms (syscall duration, semaphore wait/hold, run-queue delay)
+//!   fed from the same commit points — [`metrics`];
 //! * a **structured trace** of every scheduling/semaphore/syscall event for
 //!   paper-style microsecond timelines — [`event`].
 //!
@@ -67,6 +70,7 @@ pub mod event;
 pub mod ids;
 pub mod kernel;
 pub mod machine;
+pub mod metrics;
 pub mod process;
 pub mod sem;
 pub mod syscall;
@@ -80,6 +84,7 @@ pub use event::OsEvent;
 pub use ids::{CpuId, Fd, Gid, Ino, Pid, SemId, Uid};
 pub use kernel::{Kernel, RunOutcome};
 pub use machine::{BackgroundSpec, MachineSpec};
+pub use metrics::{KernelMetrics, MetricId, MetricsSnapshot, SchedCounters};
 pub use process::{
     Action, LogicCtx, ProcState, ProcessLogic, RetVal, SyscallName, SyscallRequest, SyscallResult,
 };
@@ -92,6 +97,7 @@ pub mod prelude {
     pub use crate::ids::{CpuId, Fd, Gid, Ino, Pid, SemId, Uid};
     pub use crate::kernel::{Kernel, RunOutcome};
     pub use crate::machine::{BackgroundSpec, MachineSpec};
+    pub use crate::metrics::{KernelMetrics, MetricId, MetricsSnapshot, SchedCounters};
     pub use crate::process::{
         Action, LogicCtx, ProcState, ProcessLogic, RetVal, SyscallName, SyscallRequest,
         SyscallResult,

@@ -72,6 +72,11 @@ pub struct MachineSpec {
     /// simulated-time side effects — and disabled only to measure the
     /// detector's host-time overhead (see [`MachineSpec::without_detector`]).
     pub detect: bool,
+    /// Whether the kernel observability layer ([`crate::metrics`]) is
+    /// recording. On by default — like the detector, metrics never perturb
+    /// simulated time — and disabled only to measure the layer's host-time
+    /// overhead (see [`MachineSpec::without_metrics`]).
+    pub metrics: bool,
 }
 
 impl MachineSpec {
@@ -86,6 +91,7 @@ impl MachineSpec {
             background: BackgroundSpec::calibrated(),
             costs: CostModel::default(),
             detect: true,
+            metrics: true,
         }
     }
 
@@ -102,6 +108,7 @@ impl MachineSpec {
             background: BackgroundSpec::calibrated(),
             costs: CostModel::default(),
             detect: true,
+            metrics: true,
         }
     }
 
@@ -124,6 +131,7 @@ impl MachineSpec {
             background: BackgroundSpec::calibrated(),
             costs,
             detect: true,
+            metrics: true,
         }
     }
 
@@ -140,6 +148,15 @@ impl MachineSpec {
     /// identical either way.
     pub fn without_detector(mut self) -> Self {
         self.detect = false;
+        self
+    }
+
+    /// Returns the profile with the observability layer stripped. Only
+    /// useful for measuring metrics overhead in the bench harness; metrics
+    /// never perturb simulated time, so experiment results are identical
+    /// either way.
+    pub fn without_metrics(mut self) -> Self {
+        self.metrics = false;
         self
     }
 
@@ -242,6 +259,20 @@ mod tests {
             let off = m.without_detector();
             assert!(!off.detect);
             off.validate().expect("detector-off profile stays valid");
+        }
+    }
+
+    #[test]
+    fn metrics_are_on_by_default_and_removable() {
+        for m in [
+            MachineSpec::uniprocessor(),
+            MachineSpec::smp_xeon(),
+            MachineSpec::multicore_pentium_d(),
+        ] {
+            assert!(m.metrics, "{}: metrics must default on", m.name);
+            let off = m.without_metrics();
+            assert!(!off.metrics);
+            off.validate().expect("metrics-off profile stays valid");
         }
     }
 

@@ -1,0 +1,551 @@
+//! Kernel observability: scheduler counters and latency histograms.
+//!
+//! The paper's argument runs through measured kernel internals — how long a
+//! victim's check-to-use window stays open, how often the attacker blocks
+//! on a per-inode `i_sem`, how the scheduler places wakeups on idle CPUs.
+//! This module makes those internals first-class: a [`KernelMetrics`]
+//! instance lives inside every [`Kernel`](crate::kernel::Kernel) and is fed
+//! by cheap, branch-gated hooks at the scheduler, semaphore, trap, VFS and
+//! syscall commit points. Nothing in the hot path allocates: counters are
+//! plain `u64`s, histograms are `Copy` arrays, and per-semaphore slots live
+//! in a `Vec` that a pooled kernel retains across rounds.
+//!
+//! At the end of a round, [`KernelMetrics::accumulate_into`] folds the
+//! accumulator into a running [`MetricsSnapshot`] (or
+//! [`snapshot`](KernelMetrics::snapshot) produces a standalone one). The
+//! merge is pure integer accumulation over key-sorted histograms —
+//! commutative and associative, so the Monte-Carlo engine combines
+//! per-worker aggregates into a bit-identical result at any `--jobs`
+//! value, and in the steady state the per-round fold allocates nothing.
+//!
+//! Metrics default **on** (see [`MachineSpec::metrics`]); the bench strips
+//! them with [`MachineSpec::without_metrics`] to measure overhead against a
+//! ≤5% budget.
+//!
+//! [`MachineSpec::metrics`]: crate::machine::MachineSpec::metrics
+//! [`MachineSpec::without_metrics`]: crate::machine::MachineSpec::without_metrics
+
+use crate::ids::SemId;
+use crate::process::SyscallName;
+use serde::{Serialize, Value};
+use tocttou_sim::metrics::LatencyHistogram;
+use tocttou_sim::time::{SimDuration, SimTime};
+
+/// Monotonic scheduler/kernel event counters for one kernel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SchedCounters {
+    /// Dispatches of a process onto a CPU.
+    pub context_switches: u64,
+    /// Dispatches onto a different CPU than the process last ran on.
+    pub cpu_migrations: u64,
+    /// Wakeups placed directly on an idle CPU (the multiprocessor
+    /// mechanism behind the paper's Section 6 findings).
+    pub idle_wakes: u64,
+    /// Time-slice preemptions that moved a running process back to the
+    /// ready queue.
+    pub preemptions: u64,
+    /// Page-fault trap phases executed (cold libc wrapper pages).
+    pub traps: u64,
+    /// VFS commit steps executed on behalf of syscalls.
+    pub vfs_ops: u64,
+    /// Syscalls denied by the EDGI defense.
+    pub edgi_denials: u64,
+}
+
+impl SchedCounters {
+    fn merge(&mut self, other: &SchedCounters) {
+        self.context_switches += other.context_switches;
+        self.cpu_migrations += other.cpu_migrations;
+        self.idle_wakes += other.idle_wakes;
+        self.preemptions += other.preemptions;
+        self.traps += other.traps;
+        self.vfs_ops += other.vfs_ops;
+        self.edgi_denials += other.edgi_denials;
+    }
+}
+
+/// Index of the run-queue-delay histogram in the [`MetricId`] key space,
+/// right after the per-syscall block.
+const RUN_QUEUE_KEY: u32 = SyscallName::ALL.len() as u32;
+/// First key of the per-semaphore block (wait/hold interleaved).
+const FIRST_SEM_KEY: u32 = RUN_QUEUE_KEY + 1;
+
+/// A dense, totally ordered key identifying one latency histogram in a
+/// [`MetricsSnapshot`].
+///
+/// Layout: syscalls occupy `0..15` (by [`SyscallName::index`]), the
+/// run-queue delay histogram is next, then each semaphore contributes a
+/// wait/hold pair. The total order is what makes snapshot merging a simple
+/// sorted-list walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// The run-queue (dispatch) delay histogram.
+    pub const RUN_QUEUE: MetricId = MetricId(RUN_QUEUE_KEY);
+
+    /// The duration histogram for one syscall name.
+    #[inline]
+    pub const fn syscall(name: SyscallName) -> MetricId {
+        MetricId(name.index() as u32)
+    }
+
+    /// The wait-time histogram of one semaphore.
+    #[inline]
+    pub const fn sem_wait(sem: SemId) -> MetricId {
+        MetricId(FIRST_SEM_KEY + 2 * sem.0)
+    }
+
+    /// The hold-time histogram of one semaphore.
+    #[inline]
+    pub const fn sem_hold(sem: SemId) -> MetricId {
+        MetricId(FIRST_SEM_KEY + 2 * sem.0 + 1)
+    }
+
+    /// The syscall this key refers to, if it is a syscall histogram.
+    pub fn as_syscall(self) -> Option<SyscallName> {
+        SyscallName::ALL.get(self.0 as usize).copied()
+    }
+
+    /// The `(semaphore, is_hold)` pair, if this is a semaphore histogram.
+    pub fn as_sem(self) -> Option<(SemId, bool)> {
+        let rel = self.0.checked_sub(FIRST_SEM_KEY)?;
+        Some((SemId(rel / 2), rel % 2 == 1))
+    }
+
+    /// A stable human-readable label (`"syscall/stat"`, `"run_queue"`,
+    /// `"sem/3/wait"`), used by the JSONL export.
+    pub fn label(self) -> String {
+        if let Some(name) = self.as_syscall() {
+            format!("syscall/{name}")
+        } else if self == MetricId::RUN_QUEUE {
+            "run_queue".to_owned()
+        } else {
+            let (sem, hold) = self.as_sem().expect("key space is exhaustive");
+            format!("sem/{}/{}", sem.0, if hold { "hold" } else { "wait" })
+        }
+    }
+}
+
+/// Per-semaphore histogram slot inside [`KernelMetrics`].
+#[derive(Debug, Clone, Copy)]
+struct SemSlot {
+    wait: LatencyHistogram,
+    hold: LatencyHistogram,
+    /// When the current holder acquired the semaphore.
+    hold_since: SimTime,
+}
+
+impl SemSlot {
+    const EMPTY: SemSlot = SemSlot {
+        wait: LatencyHistogram::new(),
+        hold: LatencyHistogram::new(),
+        hold_since: SimTime::ZERO,
+    };
+}
+
+/// The live, kernel-resident metrics accumulator.
+///
+/// Every hook is gated on `enabled`: a kernel built from
+/// [`without_metrics`](crate::machine::MachineSpec::without_metrics) pays
+/// one predictable branch per event and nothing else.
+#[derive(Debug, Clone)]
+pub struct KernelMetrics {
+    enabled: bool,
+    /// Survive [`reset`](Self::reset): accumulate across pooled rounds
+    /// instead of starting each round at zero (see
+    /// [`KernelPool::retain_metrics`](crate::kernel::KernelPool::retain_metrics)).
+    retain: bool,
+    counters: SchedCounters,
+    syscalls: [LatencyHistogram; SyscallName::ALL.len()],
+    run_queue: LatencyHistogram,
+    /// Indexed by [`SemId::index`]; grown lazily, capacity retained by the
+    /// kernel pool across rounds.
+    sems: Vec<SemSlot>,
+}
+
+impl Default for KernelMetrics {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl KernelMetrics {
+    /// A fresh accumulator.
+    pub fn new(enabled: bool) -> Self {
+        KernelMetrics {
+            enabled,
+            retain: false,
+            counters: SchedCounters::default(),
+            syscalls: [LatencyHistogram::new(); SyscallName::ALL.len()],
+            run_queue: LatencyHistogram::new(),
+            sems: Vec::new(),
+        }
+    }
+
+    /// Clears all state for reuse by a pooled kernel, keeping the
+    /// per-semaphore `Vec`'s capacity.
+    ///
+    /// A retaining accumulator (see
+    /// [`KernelPool::retain_metrics`](crate::kernel::KernelPool::retain_metrics))
+    /// keeps its data: everything here is a pure integer sum, so
+    /// accumulating N rounds in place is bit-identical to snapshotting and
+    /// merging each round — and costs nothing per round.
+    pub(crate) fn reset(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if self.retain {
+            return;
+        }
+        self.counters = SchedCounters::default();
+        self.syscalls = [LatencyHistogram::new(); SyscallName::ALL.len()];
+        self.run_queue = LatencyHistogram::new();
+        self.sems.clear();
+    }
+
+    /// Makes [`reset`](Self::reset) keep accumulated data (pooled batch
+    /// loops accumulate across rounds and snapshot once at the end).
+    pub(crate) fn set_retain(&mut self, retain: bool) {
+        self.retain = retain;
+    }
+
+    /// Whether hooks are recording.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The scheduler counters.
+    #[inline]
+    pub fn counters(&self) -> &SchedCounters {
+        &self.counters
+    }
+
+    /// The duration histogram for one syscall.
+    pub fn syscall_hist(&self, name: SyscallName) -> &LatencyHistogram {
+        &self.syscalls[name.index()]
+    }
+
+    /// The run-queue (ready-to-dispatch) delay histogram.
+    pub fn run_queue_hist(&self) -> &LatencyHistogram {
+        &self.run_queue
+    }
+
+    /// The wait-time histogram for a semaphore, if it has been touched.
+    pub fn sem_wait_hist(&self, sem: SemId) -> Option<&LatencyHistogram> {
+        self.sems.get(sem.index()).map(|s| &s.wait)
+    }
+
+    /// The hold-time histogram for a semaphore, if it has been touched.
+    pub fn sem_hold_hist(&self, sem: SemId) -> Option<&LatencyHistogram> {
+        self.sems.get(sem.index()).map(|s| &s.hold)
+    }
+
+    #[inline]
+    fn sem_slot(&mut self, sem: SemId) -> &mut SemSlot {
+        let idx = sem.index();
+        if idx >= self.sems.len() {
+            self.sems.resize(idx + 1, SemSlot::EMPTY);
+        }
+        &mut self.sems[idx]
+    }
+
+    // --- hooks (called from the kernel hot path; all gated) ---------------
+
+    #[inline]
+    pub(crate) fn on_dispatch(&mut self, migrated: bool, queued: SimDuration) {
+        if !self.enabled {
+            return;
+        }
+        self.counters.context_switches += 1;
+        self.counters.cpu_migrations += u64::from(migrated);
+        self.run_queue.record(queued);
+    }
+
+    #[inline]
+    pub(crate) fn on_idle_wake(&mut self) {
+        if self.enabled {
+            self.counters.idle_wakes += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_preempt(&mut self) {
+        if self.enabled {
+            self.counters.preemptions += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_trap(&mut self) {
+        if self.enabled {
+            self.counters.traps += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_vfs_op(&mut self) {
+        if self.enabled {
+            self.counters.vfs_ops += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_edgi_denial(&mut self) {
+        if self.enabled {
+            self.counters.edgi_denials += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_syscall_exit(&mut self, name: SyscallName, latency: SimDuration) {
+        if self.enabled {
+            self.syscalls[name.index()].record(latency);
+        }
+    }
+
+    /// A contended acquire completed: `waited` is enqueue-to-handoff.
+    #[inline]
+    pub(crate) fn on_sem_wait(&mut self, sem: SemId, waited: SimDuration) {
+        if self.enabled {
+            self.sem_slot(sem).wait.record(waited);
+        }
+    }
+
+    /// A process became the holder (uncontended or via handoff).
+    #[inline]
+    pub(crate) fn on_sem_acquired(&mut self, sem: SemId, now: SimTime) {
+        if self.enabled {
+            self.sem_slot(sem).hold_since = now;
+        }
+    }
+
+    /// The holder released the semaphore.
+    #[inline]
+    pub(crate) fn on_sem_released(&mut self, sem: SemId, now: SimTime) {
+        if self.enabled {
+            let slot = self.sem_slot(sem);
+            let held = now.saturating_since(slot.hold_since);
+            slot.hold.record(held);
+        }
+    }
+
+    /// Condenses the accumulator into a mergeable, key-sorted snapshot.
+    ///
+    /// Only non-empty histograms are kept, so a typical round costs one
+    /// small `Vec` allocation.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        self.accumulate_into(&mut snap);
+        snap
+    }
+
+    /// Folds the live accumulator straight into `acc`, skipping the
+    /// intermediate snapshot.
+    ///
+    /// This is the Monte-Carlo engine's per-round fast path: in the steady
+    /// state (same scenario, so the same metric keys every round) it
+    /// allocates nothing — every histogram merges in place through one
+    /// monotone cursor walk over `acc`'s key-sorted list.
+    pub fn accumulate_into(&self, acc: &mut MetricsSnapshot) {
+        acc.counters.merge(&self.counters);
+        let mut cursor = 0usize;
+        let mut fold = |key: MetricId, h: &LatencyHistogram| {
+            while cursor < acc.hists.len() && acc.hists[cursor].0 < key {
+                cursor += 1;
+            }
+            if cursor < acc.hists.len() && acc.hists[cursor].0 == key {
+                acc.hists[cursor].1.merge(h);
+            } else {
+                acc.hists.insert(cursor, (key, *h));
+            }
+            cursor += 1;
+        };
+        for name in SyscallName::ALL {
+            let h = &self.syscalls[name.index()];
+            if !h.is_empty() {
+                fold(MetricId::syscall(name), h);
+            }
+        }
+        if !self.run_queue.is_empty() {
+            fold(MetricId::RUN_QUEUE, &self.run_queue);
+        }
+        for (i, slot) in self.sems.iter().enumerate() {
+            let sem = SemId(i as u32);
+            if !slot.wait.is_empty() {
+                fold(MetricId::sem_wait(sem), &slot.wait);
+            }
+            if !slot.hold.is_empty() {
+                fold(MetricId::sem_hold(sem), &slot.hold);
+            }
+        }
+    }
+}
+
+/// A condensed, mergeable copy of one kernel run's metrics.
+///
+/// `hists` is sorted by [`MetricId`] and holds only non-empty histograms;
+/// [`merge`](Self::merge) is a sorted-list union with integer accumulation,
+/// so folding snapshots is order-independent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Summed scheduler counters.
+    pub counters: SchedCounters,
+    /// Key-sorted non-empty histograms.
+    pub hists: Vec<(MetricId, LatencyHistogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` into `self` (commutative and associative).
+    ///
+    /// Runs in place: in the steady state where `other`'s keys are already
+    /// present (every round of one scenario touches the same metrics) this
+    /// allocates nothing — one monotone cursor walk, histogram merges into
+    /// existing slots, and an insertion only when a genuinely new key shows
+    /// up.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.counters.merge(&other.counters);
+        let mut cursor = 0usize;
+        for &(key, ref hist) in &other.hists {
+            while cursor < self.hists.len() && self.hists[cursor].0 < key {
+                cursor += 1;
+            }
+            if cursor < self.hists.len() && self.hists[cursor].0 == key {
+                self.hists[cursor].1.merge(hist);
+            } else {
+                self.hists.insert(cursor, (key, *hist));
+            }
+            cursor += 1;
+        }
+    }
+
+    /// Looks up one histogram by key.
+    pub fn hist(&self, id: MetricId) -> Option<&LatencyHistogram> {
+        self.hists
+            .binary_search_by_key(&id, |&(k, _)| k)
+            .ok()
+            .map(|i| &self.hists[i].1)
+    }
+
+    /// Total number of latency samples across all histograms.
+    pub fn total_samples(&self) -> u64 {
+        self.hists.iter().map(|(_, h)| h.count()).sum()
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn serialize_value(&self) -> Value {
+        let hists = self
+            .hists
+            .iter()
+            .map(|(id, h)| {
+                let mut fields = vec![("key".to_owned(), Value::Str(id.label()))];
+                match h.serialize_value() {
+                    Value::Object(inner) => fields.extend(inner),
+                    other => fields.push(("hist".to_owned(), other)),
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".into(), self.counters.serialize_value()),
+            ("hists".into(), Value::Array(hists)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn metric_id_key_space_round_trips() {
+        for name in SyscallName::ALL {
+            let id = MetricId::syscall(name);
+            assert_eq!(id.as_syscall(), Some(name));
+            assert_eq!(id.as_sem(), None);
+            assert_eq!(id.label(), format!("syscall/{name}"));
+        }
+        assert_eq!(MetricId::RUN_QUEUE.as_syscall(), None);
+        assert_eq!(MetricId::RUN_QUEUE.label(), "run_queue");
+        let w = MetricId::sem_wait(SemId(3));
+        let h = MetricId::sem_hold(SemId(3));
+        assert!(MetricId::RUN_QUEUE < w && w < h && h < MetricId::sem_wait(SemId(4)));
+        assert_eq!(w.as_sem(), Some((SemId(3), false)));
+        assert_eq!(h.as_sem(), Some((SemId(3), true)));
+        assert_eq!(w.label(), "sem/3/wait");
+        assert_eq!(h.label(), "sem/3/hold");
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let mut m = KernelMetrics::new(false);
+        m.on_dispatch(true, us(5));
+        m.on_idle_wake();
+        m.on_syscall_exit(SyscallName::Stat, us(4));
+        m.on_sem_acquired(SemId(0), SimTime::ZERO);
+        m.on_sem_released(SemId(0), SimTime::from_micros(9));
+        let snap = m.snapshot();
+        assert_eq!(snap.counters, SchedCounters::default());
+        assert!(snap.hists.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_key_sorted_and_skips_empty() {
+        let mut m = KernelMetrics::new(true);
+        m.on_sem_acquired(SemId(2), SimTime::ZERO);
+        m.on_sem_released(SemId(2), SimTime::from_micros(7));
+        m.on_syscall_exit(SyscallName::Unlink, us(30));
+        m.on_dispatch(false, us(0));
+        let snap = m.snapshot();
+        let keys: Vec<_> = snap.hists.iter().map(|&(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 3, "only touched histograms appear");
+        assert_eq!(snap.hist(MetricId::sem_hold(SemId(2))).unwrap().count(), 1);
+        assert_eq!(snap.hist(MetricId::sem_wait(SemId(2))), None);
+        assert_eq!(snap.total_samples(), 3);
+    }
+
+    #[test]
+    fn merge_is_order_independent_across_disjoint_and_shared_keys() {
+        let mut a = KernelMetrics::new(true);
+        a.on_syscall_exit(SyscallName::Stat, us(4));
+        a.on_dispatch(true, us(1));
+        let mut b = KernelMetrics::new(true);
+        b.on_syscall_exit(SyscallName::Stat, us(8));
+        b.on_sem_wait(SemId(0), us(12));
+        b.on_preempt();
+
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counters.context_switches, 1);
+        assert_eq!(ab.counters.preemptions, 1);
+        assert_eq!(
+            ab.hist(MetricId::syscall(SyscallName::Stat))
+                .unwrap()
+                .count(),
+            2
+        );
+        assert_eq!(ab.hist(MetricId::sem_wait(SemId(0))).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn hold_time_spans_acquire_to_release() {
+        let mut m = KernelMetrics::new(true);
+        m.on_sem_acquired(SemId(1), SimTime::from_micros(10));
+        m.on_sem_released(SemId(1), SimTime::from_micros(25));
+        let h = m.sem_hold_hist(SemId(1)).unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum_ns(), 15_000);
+        assert!(m.sem_wait_hist(SemId(1)).unwrap().is_empty());
+    }
+}

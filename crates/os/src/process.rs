@@ -196,6 +196,35 @@ pub enum SyscallName {
     Sleep,
 }
 
+impl SyscallName {
+    /// Every syscall name, in declaration order. `ALL[name.index()]` is the
+    /// identity — the metrics layer uses this to key fixed-size per-syscall
+    /// histogram arrays.
+    pub const ALL: [SyscallName; 15] = [
+        SyscallName::Stat,
+        SyscallName::Lstat,
+        SyscallName::Access,
+        SyscallName::OpenCreate,
+        SyscallName::Open,
+        SyscallName::Write,
+        SyscallName::Close,
+        SyscallName::Unlink,
+        SyscallName::Symlink,
+        SyscallName::Rename,
+        SyscallName::Chmod,
+        SyscallName::Chown,
+        SyscallName::Mkdir,
+        SyscallName::Readlink,
+        SyscallName::Sleep,
+    ];
+
+    /// Dense index of this name in [`SyscallName::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
 impl std::fmt::Display for SyscallName {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -409,12 +438,20 @@ pub(crate) struct Process {
     pub(crate) mapped_pages: PageSet,
     /// Remaining time slice when preempted/paused.
     pub(crate) slice_remaining: SimDuration,
+    /// The CPU this process last ran on (metrics: migration detection).
+    pub(crate) last_cpu: Option<CpuId>,
+    /// When this process last became runnable (metrics: run-queue delay).
+    pub(crate) ready_since: SimTime,
+    /// When this process last blocked on a semaphore (metrics: wait time).
+    pub(crate) sem_wait_since: SimTime,
 }
 
 /// Kernel-side record of an in-flight syscall.
 pub(crate) struct PendingSyscall {
     pub(crate) name: SyscallName,
     pub(crate) ret: Option<Result<RetVal, OsError>>,
+    /// When the call entered the kernel (metrics: syscall latency).
+    pub(crate) entered: SimTime,
 }
 
 /// Recycled per-process containers, harvested when a pooled kernel is
@@ -464,6 +501,9 @@ impl Process {
             next_fd: 3, // 0..2 are the conventional std streams
             mapped_pages,
             slice_remaining: SimDuration::ZERO,
+            last_cpu: None,
+            ready_since: SimTime::ZERO,
+            sem_wait_since: SimTime::ZERO,
         }
     }
 

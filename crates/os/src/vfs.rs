@@ -145,6 +145,9 @@ pub struct Vfs {
     inodes: Vec<Option<Inode>>,
     root: Ino,
     next_sem: u32,
+    /// `Some` only while semaphore-label recording is on (see
+    /// [`Vfs::record_sem_labels`]); `None` costs nothing per allocation.
+    sem_labels: Option<Vec<(SemId, String)>>,
 }
 
 impl Default for Vfs {
@@ -160,6 +163,7 @@ impl Vfs {
             inodes: Vec::new(),
             root: Ino(0),
             next_sem: 0,
+            sem_labels: None,
         };
         let root = vfs.alloc(
             InodeKind::Directory {
@@ -184,6 +188,9 @@ impl Vfs {
     pub fn reset(&mut self) {
         self.inodes.clear();
         self.next_sem = 0;
+        if let Some(labels) = &mut self.sem_labels {
+            labels.clear();
+        }
         self.root = self.alloc(
             InodeKind::Directory {
                 entries: BTreeMap::new(),
@@ -206,6 +213,23 @@ impl Vfs {
         self.inodes.iter().filter(|i| i.is_some()).count()
     }
 
+    /// Starts recording, for every inode allocated **from now on**, the
+    /// path its semaphore was created under. Off by default so the
+    /// Monte-Carlo hot path never pays for the strings; the profiler
+    /// enables it on a single replay round to resolve semaphore ids that
+    /// belong to inodes unlinked before the round ends (e.g. the symlink
+    /// an attacker plants and the victim's rename then replaces).
+    pub fn record_sem_labels(&mut self) {
+        self.sem_labels.get_or_insert_with(Vec::new);
+    }
+
+    /// The `(semaphore, creation path)` pairs recorded since
+    /// [`Vfs::record_sem_labels`] was called (empty when recording is
+    /// off). A semaphore appears at most once: ids are never reused.
+    pub fn sem_labels(&self) -> &[(SemId, String)] {
+        self.sem_labels.as_deref().unwrap_or(&[])
+    }
+
     fn alloc(&mut self, kind: InodeKind, meta: InodeMeta) -> Ino {
         let ino = Ino(self.inodes.len() as u32);
         let sem = SemId(self.next_sem);
@@ -218,6 +242,14 @@ impl Vfs {
             nlink: 1,
         }));
         ino
+    }
+
+    fn label_sem(&mut self, ino: Ino, path: &str) {
+        if let Some(labels) = &mut self.sem_labels {
+            if let Some(Some(inode)) = self.inodes.get(ino.index()) {
+                labels.push((inode.sem, path.to_owned()));
+            }
+        }
     }
 
     /// Immutable access to an inode.
@@ -427,6 +459,7 @@ impl Vfs {
             meta,
         );
         self.inode_mut(r.parent)?.entries_mut()?.insert(r.name, ino);
+        self.label_sem(ino, path);
         Ok(ino)
     }
 
@@ -458,6 +491,7 @@ impl Vfs {
             None => {
                 let ino = self.alloc(InodeKind::Regular { size: 0 }, meta);
                 self.inode_mut(r.parent)?.entries_mut()?.insert(r.name, ino);
+                self.label_sem(ino, path);
                 Ok(ino)
             }
         }
@@ -522,6 +556,7 @@ impl Vfs {
             },
         );
         self.inode_mut(r.parent)?.entries_mut()?.insert(r.name, ino);
+        self.label_sem(ino, linkpath);
         Ok(ino)
     }
 

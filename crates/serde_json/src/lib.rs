@@ -8,7 +8,10 @@
 
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
+
+/// Re-export of the shared data model, mirroring `serde_json::Value`.
+pub use serde::Value;
 
 /// Error type for JSON serialization and parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]

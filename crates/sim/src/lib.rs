@@ -13,7 +13,10 @@
 //! * [`dist`] — duration distributions (constant/uniform/normal/exponential)
 //!   for syscall costs and background kernel activity ([`DurationDist`]);
 //! * [`trace`] — a generic, optionally bounded, timestamped event buffer
-//!   ([`Trace`]) backing the paper-style microsecond event analysis.
+//!   ([`Trace`]) backing the paper-style microsecond event analysis;
+//! * [`metrics`] — fixed-bucket log2 latency histograms
+//!   ([`LatencyHistogram`]) with an order-independent merge, the substrate
+//!   of the kernel observability layer.
 //!
 //! Everything here is deterministic: given the same seed and the same inputs,
 //! a simulation produces the same trace, byte for byte. That property is
@@ -43,12 +46,14 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use dist::DurationDist;
+pub use metrics::LatencyHistogram;
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

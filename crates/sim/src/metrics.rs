@@ -1,0 +1,302 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! The kernel observability layer records every latency sample (syscall
+//! duration, semaphore wait/hold time, run-queue delay) into a
+//! [`LatencyHistogram`]: 32 power-of-two buckets over nanoseconds, plus
+//! exact count/sum/min/max. Everything is integer arithmetic, so merging
+//! two histograms is **commutative and associative** — per-round snapshots
+//! folded in any order produce bit-identical aggregates, which is what lets
+//! the parallel Monte-Carlo engine report the same metrics at any `--jobs`
+//! value.
+//!
+//! # Examples
+//!
+//! ```
+//! use tocttou_sim::metrics::LatencyHistogram;
+//! use tocttou_sim::SimDuration;
+//!
+//! let mut h = LatencyHistogram::new();
+//! h.record(SimDuration::from_micros(3));
+//! h.record(SimDuration::from_micros(40));
+//! assert_eq!(h.count(), 2);
+//! assert_eq!(h.max_ns(), Some(40_000));
+//! assert!(h.quantile_ns(0.5).unwrap() >= 3_000);
+//! ```
+
+use crate::time::SimDuration;
+use serde::{Serialize, Value};
+
+/// Number of buckets: bucket 0 holds exact zeros, buckets `1..=30` hold
+/// samples in `[2^(i-1), 2^i)` nanoseconds, and bucket 31 is open-ended.
+pub const BUCKETS: usize = 32;
+
+/// A log2-bucketed latency histogram over nanoseconds.
+///
+/// All state is plain integers, so [`merge`](LatencyHistogram::merge) is
+/// order-independent and the struct is `Copy` (no allocation anywhere on
+/// the record path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[inline]
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// The bucket index a sample of `ns` nanoseconds falls into.
+    #[inline]
+    pub fn bucket_index(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            ((64 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive `[lo, hi]` nanosecond range covered by bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= BUCKETS`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        assert!(i < BUCKETS, "bucket index out of range");
+        match i {
+            0 => (0, 0),
+            _ if i == BUCKETS - 1 => (1 << (BUCKETS - 2), u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.buckets[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds `other` into `self`.
+    ///
+    /// Pure integer accumulation: commutative, associative, and identical
+    /// to having recorded both sample streams into one histogram.
+    #[inline]
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples, in nanoseconds (saturating).
+    #[inline]
+    pub const fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Smallest recorded sample, if any.
+    #[inline]
+    pub fn min_ns(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.min_ns)
+    }
+
+    /// Largest recorded sample, if any.
+    #[inline]
+    pub fn max_ns(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.max_ns)
+    }
+
+    /// Mean sample in nanoseconds, if any.
+    pub fn mean_ns(&self) -> Option<f64> {
+        (!self.is_empty()).then(|| self.sum_ns as f64 / self.count as f64)
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`), in nanoseconds.
+    ///
+    /// Walks the cumulative bucket counts to the bucket holding the
+    /// `ceil(q * count)`-th sample and returns that bucket's upper edge,
+    /// clamped to the exact observed `[min, max]` range. Resolution is one
+    /// power of two — plenty for a profiling scorecard.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                let (_, hi) = Self::bucket_range(i);
+                return Some(hi.clamp(self.min_ns, self.max_ns));
+            }
+        }
+        Some(self.max_ns)
+    }
+
+    /// The raw bucket counts.
+    #[inline]
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+}
+
+impl Serialize for LatencyHistogram {
+    fn serialize_value(&self) -> Value {
+        // Trailing zero buckets carry no information; trimming them keeps
+        // JSONL lines short without losing mergeability.
+        let upper = self
+            .buckets
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |i| i + 1);
+        let buckets = self.buckets[..upper]
+            .iter()
+            .map(|&b| Value::UInt(b))
+            .collect();
+        Value::Object(vec![
+            ("count".into(), Value::UInt(self.count)),
+            ("sum_ns".into(), Value::UInt(self.sum_ns)),
+            ("min_ns".into(), self.min_ns().serialize_value()),
+            ("max_ns".into(), self.max_ns().serialize_value()),
+            ("buckets".into(), Value::Array(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimDuration {
+        SimDuration::from_nanos(n)
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2), 2);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 3);
+        // Every bucket's claimed range round-trips through bucket_index.
+        for i in 0..BUCKETS {
+            let (lo, hi) = LatencyHistogram::bucket_range(i);
+            assert_eq!(LatencyHistogram::bucket_index(lo), i, "lo edge of {i}");
+            assert_eq!(LatencyHistogram::bucket_index(hi), i, "hi edge of {i}");
+        }
+        // Ranges tile the u64 line with no gaps or overlaps.
+        for i in 1..BUCKETS {
+            let (_, prev_hi) = LatencyHistogram::bucket_range(i - 1);
+            let (lo, _) = LatencyHistogram::bucket_range(i);
+            assert_eq!(lo, prev_hi + 1, "gap before bucket {i}");
+        }
+        // The top bucket is open-ended.
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_tracks_exact_stats() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min_ns(), None);
+        assert_eq!(h.quantile_ns(0.5), None);
+        for v in [5, 1_000, 0, 77] {
+            h.record(ns(v));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_ns(), 1_082);
+        assert_eq!(h.min_ns(), Some(0));
+        assert_eq!(h.max_ns(), Some(1_000));
+        assert_eq!(h.mean_ns(), Some(270.5));
+    }
+
+    #[test]
+    fn quantiles_are_bracketed_by_min_and_max() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1_000 {
+            h.record(ns(v));
+        }
+        let p50 = h.quantile_ns(0.5).unwrap();
+        let p95 = h.quantile_ns(0.95).unwrap();
+        assert!(p50 >= 500 && p50 <= 1_000, "p50 = {p50}");
+        assert!(p95 >= p50);
+        assert_eq!(h.quantile_ns(1.0), Some(1_000));
+        assert_eq!(h.quantile_ns(0.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn merge_equals_single_recorder() {
+        let xs = [0u64, 3, 9, 1 << 20, u64::MAX, 42, 42];
+        let mut whole = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for (i, &v) in xs.iter().enumerate() {
+            whole.record(ns(v));
+            if i % 2 == 0 {
+                left.record(ns(v));
+            } else {
+                right.record(ns(v));
+            }
+        }
+        let mut lr = left;
+        lr.merge(&right);
+        let mut rl = right;
+        rl.merge(&left);
+        assert_eq!(lr, whole);
+        assert_eq!(rl, whole, "merge must be commutative");
+    }
+
+    #[test]
+    fn serializes_with_trimmed_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(ns(6)); // bucket 3
+        let v = h.serialize_value();
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(1));
+        match v.get("buckets").unwrap() {
+            Value::Array(items) => assert_eq!(items.len(), 4),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(
+            LatencyHistogram::new().serialize_value().get("min_ns"),
+            Some(&Value::Null)
+        );
+    }
+}

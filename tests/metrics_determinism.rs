@@ -1,0 +1,110 @@
+//! The aggregate kernel metrics must be a pure function of (scenario,
+//! rounds, base seed) — independent of worker-thread count and of whether
+//! lifetime distributions are collected alongside. `run_mc` folds each
+//! round's `MetricsSnapshot` in round order through a commutative,
+//! associative, all-integer merge, so every `jobs` value must land on the
+//! exact same bytes a hand-rolled serial loop computes.
+
+use tocttou::experiments::{run_mc, McConfig};
+use tocttou::os::kernel::KernelPool;
+use tocttou::os::metrics::MetricsSnapshot;
+use tocttou::workloads::Scenario;
+
+/// Replays `run_mc`'s rounds by hand (pooled buffers, per-round seeds)
+/// and merges the per-round snapshots in round order.
+fn serial_reference(scenario: &Scenario, cfg: &McConfig) -> MetricsSnapshot {
+    let template = scenario.template_vfs();
+    let mut pool = KernelPool::new();
+    let mut merged = MetricsSnapshot::default();
+    for i in 0..cfg.rounds {
+        let seed = cfg.base_seed.wrapping_add(i);
+        let mut handles = scenario.build_pooled(seed, cfg.collect_ld, &template, pool);
+        scenario.finish_round(&mut handles);
+        merged.merge(&handles.kernel.metrics().snapshot());
+        pool = handles.kernel.recycle();
+    }
+    merged
+}
+
+#[test]
+fn metrics_identical_across_jobs_ladder() {
+    for scenario in [Scenario::vi_smp(20 * 1024), Scenario::gedit_smp(2048)] {
+        for collect_ld in [false, true] {
+            let cfg = McConfig {
+                rounds: 25,
+                base_seed: 0x3E7A1C5,
+                collect_ld,
+                jobs: 1,
+            };
+            let expected = serial_reference(&scenario, &cfg);
+            assert!(
+                expected.total_samples() > 0,
+                "{}: reference metrics must not be empty",
+                scenario.name
+            );
+            let expected_json = serde_json::to_string(&expected).unwrap();
+            for jobs in [1, 2, 4, 0] {
+                let out = run_mc(&scenario, &cfg.clone().with_jobs(jobs));
+                let got = serde_json::to_string(&out.metrics).unwrap();
+                assert_eq!(
+                    expected_json, got,
+                    "{}: jobs={jobs} (collect_ld={collect_ld}) metrics diverged",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_survive_outcome_serialization() {
+    let scenario = Scenario::vi_smp(1);
+    let out = run_mc(
+        &scenario,
+        &McConfig {
+            rounds: 10,
+            base_seed: 9,
+            collect_ld: false,
+            jobs: 0,
+        },
+    );
+    let json = serde_json::to_string(&out).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let metrics = value.get("metrics").expect("McOutcome serializes metrics");
+    let counters = metrics.get("counters").expect("counters present");
+    assert!(
+        counters
+            .get("context_switches")
+            .and_then(|v| v.as_u64())
+            .is_some_and(|n| n > 0),
+        "context switches recorded: {json}"
+    );
+    assert!(
+        metrics
+            .get("hists")
+            .is_some_and(|h| matches!(h, serde_json::Value::Array(a) if !a.is_empty())),
+        "latency histograms recorded"
+    );
+}
+
+#[test]
+fn disabling_metrics_changes_observability_not_physics() {
+    let mut stripped = Scenario::vi_smp(20 * 1024);
+    stripped.machine = stripped.machine.without_metrics();
+    let on = Scenario::vi_smp(20 * 1024);
+    let cfg = McConfig {
+        rounds: 15,
+        base_seed: 0xFACE,
+        collect_ld: false,
+        jobs: 1,
+    };
+    let with = run_mc(&on, &cfg);
+    let without = run_mc(&stripped, &cfg);
+    assert_eq!(
+        with.successes, without.successes,
+        "metrics must never perturb simulated time"
+    );
+    assert!(with.metrics.total_samples() > 0);
+    assert_eq!(without.metrics.total_samples(), 0);
+    assert_eq!(without.metrics.counters.context_switches, 0);
+}

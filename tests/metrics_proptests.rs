@@ -1,0 +1,141 @@
+//! Property tests for the metrics layer's algebra. The parallel
+//! Monte-Carlo engine is only deterministic because histogram and
+//! snapshot merging are commutative, associative and lossless — these
+//! tests pin exactly those laws on arbitrary inputs.
+
+use proptest::prelude::*;
+use tocttou::sim::metrics::{LatencyHistogram, BUCKETS};
+use tocttou::sim::time::SimDuration;
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &ns in samples {
+        h.record(SimDuration::from_nanos(ns));
+    }
+    h
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix tiny, bucket-edge and huge durations.
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..64,
+            (0u32..63).prop_map(|s| 1u64 << s),
+            (0u32..63).prop_map(|s| (1u64 << s).wrapping_sub(1)),
+            any::<u64>(),
+        ],
+        0..50,
+    )
+}
+
+proptest! {
+    /// merge(a, b) == merge(b, a), field for field.
+    #[test]
+    fn merge_is_commutative(xs in samples(), ys in samples()) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a + b) + c == a + (b + c).
+    #[test]
+    fn merge_is_associative(xs in samples(), ys in samples(), zs in samples()) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging two halves loses nothing relative to recording the
+    /// concatenation into a single histogram.
+    #[test]
+    fn merge_equals_single_recorder(xs in samples(), ys in samples()) {
+        let mut merged = hist_of(&xs);
+        merged.merge(&hist_of(&ys));
+        let all: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    /// The empty histogram is the merge identity.
+    #[test]
+    fn empty_is_identity(xs in samples()) {
+        let a = hist_of(&xs);
+        let mut merged = a;
+        merged.merge(&LatencyHistogram::new());
+        prop_assert_eq!(merged, a);
+        let mut other = LatencyHistogram::new();
+        other.merge(&a);
+        prop_assert_eq!(other, a);
+    }
+
+    /// Every recorded sample lands in the bucket whose range contains it,
+    /// and count/min/max/sum are exact.
+    #[test]
+    fn samples_land_in_their_bucket(ns in any::<u64>()) {
+        let i = LatencyHistogram::bucket_index(ns);
+        let (lo, hi) = LatencyHistogram::bucket_range(i);
+        prop_assert!(lo <= ns && ns <= hi, "{ns} outside bucket {i} [{lo}, {hi}]");
+        let h = hist_of(&[ns]);
+        prop_assert_eq!(h.buckets()[i], 1);
+        prop_assert_eq!(h.count(), 1);
+        prop_assert_eq!(h.min_ns(), Some(ns));
+        prop_assert_eq!(h.max_ns(), Some(ns));
+        prop_assert_eq!(h.sum_ns(), ns);
+    }
+
+    /// Quantiles are bracketed by the observed extremes for any q.
+    #[test]
+    fn quantiles_stay_in_range(xs in samples(), q in 0.0f64..=1.0) {
+        let h = hist_of(&xs);
+        match h.quantile_ns(q) {
+            None => prop_assert!(h.is_empty()),
+            Some(v) => {
+                prop_assert!(v >= h.min_ns().unwrap());
+                prop_assert!(v <= h.max_ns().unwrap());
+            }
+        }
+    }
+}
+
+/// The buckets tile `u64` exactly: consecutive ranges touch, the first
+/// starts at 0, and the last is open-ended.
+#[test]
+fn bucket_ranges_tile_u64() {
+    assert_eq!(LatencyHistogram::bucket_range(0).0, 0);
+    for i in 0..BUCKETS - 1 {
+        let (_, hi) = LatencyHistogram::bucket_range(i);
+        let (next_lo, _) = LatencyHistogram::bucket_range(i + 1);
+        assert_eq!(hi + 1, next_lo, "gap between buckets {i} and {}", i + 1);
+    }
+    assert_eq!(LatencyHistogram::bucket_range(BUCKETS - 1).1, u64::MAX);
+}
+
+/// Boundary values map to the buckets their ranges advertise.
+#[test]
+fn bucket_boundaries_are_exact() {
+    for (ns, expect) in [
+        (0u64, 0usize),
+        (1, 1),
+        (2, 2),
+        (3, 2),
+        (4, 3),
+        (1 << 29, 30),
+        ((1 << 30) - 1, 30),
+        (1 << 30, 31),
+        (u64::MAX, 31),
+    ] {
+        assert_eq!(
+            LatencyHistogram::bucket_index(ns),
+            expect,
+            "bucket_index({ns})"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Golden-scorecard regression test: the rendered kernel profile of a
+//! fixed-seed vi-on-SMP Monte-Carlo batch is pinned to a checked-in
+//! snapshot. Any change to metrics hook placement, histogram bucketing,
+//! quantile math or simulator timing shows up here as a readable diff
+//! instead of a silent drift.
+
+use tocttou::experiments::figures::profile;
+use tocttou::workloads::Scenario;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/profile_vi_smp.txt"
+);
+
+fn scorecard() -> String {
+    let scenario = Scenario::vi_smp(100 * 1024);
+    let cfg = profile::Config {
+        rounds: 24,
+        seed: 0xD07,
+        jobs: 1,
+    };
+    let row = profile::profile_scenario(&scenario, &cfg);
+    format!(
+        "# scenario={} seed={:#x} rounds={}\n{row}",
+        scenario.name, cfg.seed, cfg.rounds
+    )
+}
+
+#[test]
+fn vi_smp_profile_matches_golden() {
+    let got = scorecard();
+    assert!(
+        got.contains("syscall latency"),
+        "sanity: the scorecard must include the latency table:\n{got}"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).expect("re-bless golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {GOLDEN}: {e}"));
+    assert_eq!(
+        got, want,
+        "\nprofile scorecard diverged from the snapshot at\n  {GOLDEN}\n\
+         If the change is intentional, re-bless it with:\n  \
+         UPDATE_GOLDEN=1 cargo test --test profile_golden\n"
+    );
+}
