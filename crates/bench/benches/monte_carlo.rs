@@ -19,7 +19,11 @@
 
 use std::time::Instant;
 use tocttou_bench::alloc_count::{self, CountingAlloc};
+use tocttou_experiments::grid::{Family, GridKind};
 use tocttou_experiments::monte_carlo::{effective_jobs, run_mc, McConfig};
+use tocttou_experiments::sweep::{run_sweep, SweepConfig};
+use tocttou_sim::queue::{oracle::HeapEventQueue, EventQueue};
+use tocttou_sim::{SimDuration, SimTime};
 use tocttou_workloads::scenario::Scenario;
 
 #[global_allocator]
@@ -46,6 +50,10 @@ const PREOPT_BASELINE_ROUNDS_PER_SEC: f64 = 41_600.0;
 struct LadderRow {
     jobs: usize,
     effective_jobs: usize,
+    /// CPUs the host exposed when this row was measured. Speedup over the
+    /// serial row is only meaningful when this is > 1; byte-identity holds
+    /// regardless.
+    host_cpus: usize,
     rounds_per_sec: f64,
     speedup_vs_jobs1: f64,
     outcome_bytes_identical_to_serial: bool,
@@ -80,6 +88,60 @@ struct MetricsOverheadRow {
 }
 
 #[derive(serde::Serialize)]
+struct TemplateForkRow {
+    /// Microseconds to build the template VFS from scratch
+    /// (`template_vfs`), best-of timing, amortized per build.
+    rebuild_us: f64,
+    /// Microseconds to clone the shared base and stamp the document
+    /// (`template_vfs_from_base`), same methodology.
+    fork_us: f64,
+    fork_vs_rebuild_speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct QueueRegimeRow {
+    /// Steady-state backlog held in the queue during the run.
+    pending: u64,
+    wheel_mops_per_sec: f64,
+    heap_mops_per_sec: f64,
+    wheel_vs_heap_speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct QueueMicroRow {
+    /// Events driven through each queue (half pushes, half pops, in the
+    /// kernel's pop-earliest/push-later pattern).
+    ops: u64,
+    /// Backlog sized like a simulated kernel's (a few timers per CPU):
+    /// lives entirely in the wheel queue's front buffer.
+    kernel_depth: QueueRegimeRow,
+    /// Backlog two orders of magnitude past the front buffer, where the
+    /// hierarchical wheel itself carries the load.
+    large_depth: QueueRegimeRow,
+}
+
+#[derive(serde::Serialize)]
+struct SweepThroughputRow {
+    grid: String,
+    points: usize,
+    rounds_per_point: u64,
+    jobs: usize,
+    host_cpus: usize,
+    /// Grid points completed per second by one `run_sweep` call (template
+    /// forked per point, shared worker pool).
+    sweep_points_per_sec: f64,
+    /// Same grid driven by the pre-sweep shape: an independent `run_mc`
+    /// call per point at the same `jobs`.
+    per_point_run_mc_points_per_sec: f64,
+    sweep_vs_loop_speedup: f64,
+    /// Every per-point `McOutcome` serialized byte-identical to its
+    /// standalone `run_mc` twin at `base_seed + salt`. Asserted.
+    outcomes_bytes_identical_to_run_mc: bool,
+    template_fork: TemplateForkRow,
+    queue_micro: QueueMicroRow,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     scenario: String,
     rounds: u64,
@@ -93,6 +155,7 @@ struct Report {
     pooled_vs_fresh_speedup: f64,
     detector_overhead: DetectorOverheadRow,
     metrics_overhead: MetricsOverheadRow,
+    sweep_throughput: SweepThroughputRow,
     preopt_baseline_rounds_per_sec: f64,
     speedup_vs_preopt_baseline: f64,
 }
@@ -111,6 +174,55 @@ fn best_of_interleaved(reps: usize, fs: &mut [Box<dyn FnMut() + '_>]) -> Vec<f64
         }
     }
     best
+}
+
+/// Cheap deterministic pseudo-random stream for the queue micro-bench.
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 33
+}
+
+/// Wall seconds to drive `ops` operations (half pops, half pushes) through
+/// the timing-wheel queue with a steady backlog of `pending` events, in
+/// the kernel's pattern: pop the earliest event, schedule a successor a
+/// short pseudo-random delay later. Duplicated for the heap oracle below
+/// because the two queues are distinct types with identical inherent APIs.
+fn wheel_queue_secs(ops: u64, pending: u64) -> f64 {
+    let mut x = 0x5EEDu64;
+    let t = Instant::now();
+    let mut q = EventQueue::new();
+    for i in 0..pending {
+        q.push(SimTime::from_nanos(lcg(&mut x) % 1_000_000), i);
+    }
+    let mut done = 0u64;
+    while done < ops {
+        let (at, id) = q.pop().unwrap();
+        q.push(at + SimDuration::from_nanos(1 + lcg(&mut x) % 100_000), id);
+        done += 2;
+    }
+    std::hint::black_box(q.len());
+    t.elapsed().as_secs_f64()
+}
+
+/// [`wheel_queue_secs`] against the pre-timing-wheel binary-heap queue
+/// (`queue::oracle`, compiled via the `queue-oracle` feature).
+fn heap_queue_secs(ops: u64, pending: u64) -> f64 {
+    let mut x = 0x5EEDu64;
+    let t = Instant::now();
+    let mut q = HeapEventQueue::new();
+    for i in 0..pending {
+        q.push(SimTime::from_nanos(lcg(&mut x) % 1_000_000), i);
+    }
+    let mut done = 0u64;
+    while done < ops {
+        let (at, id) = q.pop().unwrap();
+        q.push(at + SimDuration::from_nanos(1 + lcg(&mut x) % 100_000), id);
+        done += 2;
+    }
+    std::hint::black_box(q.len());
+    t.elapsed().as_secs_f64()
 }
 
 /// Allocation counters around one untimed run of `f`.
@@ -209,6 +321,7 @@ fn main() {
         ladder.push(LadderRow {
             jobs,
             effective_jobs: effective_jobs(jobs, ROUNDS),
+            host_cpus,
             rounds_per_sec: rps,
             speedup_vs_jobs1: rps / jobs1_rps,
             outcome_bytes_identical_to_serial: identity[i],
@@ -277,6 +390,156 @@ fn main() {
         metrics_overhead.overhead_frac * 100.0
     );
 
+    // --- Sweep throughput: one run_sweep over an 8-point D grid against
+    // the pre-sweep shape (an independent run_mc call per point), same
+    // jobs. Byte-identity of every per-point outcome is asserted on every
+    // run; the >=2x speedup target only applies on multi-core hosts (on
+    // one CPU the sweep's shared pool and template forking still win, but
+    // point-boundary idleness — the speedup's main source — cannot occur).
+    const SWEEP_POINTS: usize = 8;
+    const SWEEP_ROUNDS: u64 = 120;
+    const SWEEP_SEED: u64 = 0x5EE9;
+    const SWEEP_REPS: usize = 12;
+    let sweep_jobs = 0usize;
+    let sweep_cfg = SweepConfig {
+        grid: GridKind::D.build(Family::GeditSmp, 2048, SWEEP_POINTS),
+        rounds: SWEEP_ROUNDS,
+        base_seed: SWEEP_SEED,
+        collect_ld: false,
+        jobs: sweep_jobs,
+    };
+
+    let sweep_out = run_sweep(&sweep_cfg);
+    let mut sweep_identical = true;
+    for (p, sp) in sweep_cfg.grid.points.iter().zip(&sweep_out.points) {
+        let c = McConfig {
+            rounds: SWEEP_ROUNDS,
+            base_seed: SWEEP_SEED + p.seed_salt,
+            collect_ld: false,
+            jobs: sweep_jobs,
+        };
+        let standalone = serde_json::to_string(&run_mc(&p.scenario(), &c)).unwrap();
+        let in_sweep = serde_json::to_string(&sp.outcome).unwrap();
+        assert!(
+            standalone == in_sweep,
+            "sweep point {:?} differs from its standalone run_mc twin",
+            sp.point
+        );
+        sweep_identical &= standalone == in_sweep;
+    }
+
+    let mut sweep_timed: Vec<Box<dyn FnMut() + '_>> = vec![
+        Box::new(|| {
+            std::hint::black_box(run_sweep(&sweep_cfg));
+        }),
+        Box::new(|| {
+            for p in &sweep_cfg.grid.points {
+                let c = McConfig {
+                    rounds: SWEEP_ROUNDS,
+                    base_seed: SWEEP_SEED + p.seed_salt,
+                    collect_ld: false,
+                    jobs: sweep_jobs,
+                };
+                std::hint::black_box(run_mc(&p.scenario(), &c));
+            }
+        }),
+    ];
+    let sweep_secs = best_of_interleaved(SWEEP_REPS, &mut sweep_timed);
+    drop(sweep_timed);
+    let sweep_pps = SWEEP_POINTS as f64 / sweep_secs[0];
+    let loop_pps = SWEEP_POINTS as f64 / sweep_secs[1];
+    let sweep_speedup = sweep_secs[1] / sweep_secs[0];
+    println!(
+        "mc/sweep   {sweep_pps:>10.1} points/s vs per-point loop {loop_pps:>10.1} points/s  \
+         (x{sweep_speedup:.2})"
+    );
+    if host_cpus > 1 {
+        assert!(
+            sweep_speedup >= 2.0,
+            "run_sweep should finish the D grid >=2x faster than the \
+             per-point run_mc loop on a {host_cpus}-CPU host, got x{sweep_speedup:.2}"
+        );
+    } else {
+        println!(
+            "mc/sweep   single-CPU host: >=2x speedup assertion skipped (identity still asserted)"
+        );
+    }
+
+    // Template fork vs rebuild (the per-point setup cost run_sweep
+    // amortizes): build the 100 KB vi template from scratch vs clone the
+    // shared base and stamp the document.
+    const TPL_ITERS: u64 = 40;
+    let mut tpl_timed: Vec<Box<dyn FnMut() + '_>> = vec![
+        Box::new(|| {
+            for _ in 0..TPL_ITERS {
+                std::hint::black_box(scenario.template_vfs());
+            }
+        }),
+        Box::new(|| {
+            let base = scenario.base_vfs();
+            for _ in 0..TPL_ITERS {
+                std::hint::black_box(scenario.template_vfs_from_base(&base));
+            }
+        }),
+    ];
+    let tpl_secs = best_of_interleaved(5, &mut tpl_timed);
+    drop(tpl_timed);
+    let rebuild_us = tpl_secs[0] / TPL_ITERS as f64 * 1e6;
+    let fork_us = tpl_secs[1] / TPL_ITERS as f64 * 1e6;
+    println!(
+        "mc/template rebuild {rebuild_us:>8.1} us, fork {fork_us:>8.1} us  (x{:.2})",
+        rebuild_us / fork_us
+    );
+
+    // Timing wheel vs the old binary-heap queue, steady-state
+    // pop-earliest/push-later pattern, in the two regimes the simulator
+    // cares about: a kernel-sized backlog (front-buffer resident) and a
+    // backlog deep enough that the wheel carries it.
+    const QUEUE_OPS: u64 = 2_000_000;
+    let queue_regime = |pending: u64| {
+        let wheel_best = (0..3)
+            .map(|_| wheel_queue_secs(QUEUE_OPS, pending))
+            .fold(f64::INFINITY, f64::min);
+        let heap_best = (0..3)
+            .map(|_| heap_queue_secs(QUEUE_OPS, pending))
+            .fold(f64::INFINITY, f64::min);
+        let row = QueueRegimeRow {
+            pending,
+            wheel_mops_per_sec: QUEUE_OPS as f64 / wheel_best / 1e6,
+            heap_mops_per_sec: QUEUE_OPS as f64 / heap_best / 1e6,
+            wheel_vs_heap_speedup: heap_best / wheel_best,
+        };
+        println!(
+            "mc/queue   pending={pending:<5} wheel {:>6.1} Mops/s, heap {:>6.1} Mops/s  (x{:.2})",
+            row.wheel_mops_per_sec, row.heap_mops_per_sec, row.wheel_vs_heap_speedup
+        );
+        row
+    };
+    let queue_kernel_depth = queue_regime(16);
+    let queue_large_depth = queue_regime(4096);
+
+    let sweep_throughput = SweepThroughputRow {
+        grid: format!("gedit-smp-2048B, D x0.25..2 ({SWEEP_POINTS} points)"),
+        points: SWEEP_POINTS,
+        rounds_per_point: SWEEP_ROUNDS,
+        jobs: sweep_jobs,
+        host_cpus,
+        sweep_points_per_sec: sweep_pps,
+        per_point_run_mc_points_per_sec: loop_pps,
+        sweep_vs_loop_speedup: sweep_speedup,
+        outcomes_bytes_identical_to_run_mc: sweep_identical,
+        template_fork: TemplateForkRow {
+            rebuild_us,
+            fork_us,
+            fork_vs_rebuild_speedup: rebuild_us / fork_us,
+        },
+        queue_micro: QueueMicroRow {
+            ops: QUEUE_OPS,
+            kernel_depth: queue_kernel_depth,
+            large_depth: queue_large_depth,
+        },
+    };
+
     let report = Report {
         scenario: format!("vi_smp({FILE_SIZE})"),
         rounds: ROUNDS,
@@ -305,6 +568,7 @@ fn main() {
         pooled_vs_fresh_speedup: fresh_secs / pooled_secs,
         detector_overhead,
         metrics_overhead,
+        sweep_throughput,
         preopt_baseline_rounds_per_sec: PREOPT_BASELINE_ROUNDS_PER_SEC,
         speedup_vs_preopt_baseline: pooled_rps / PREOPT_BASELINE_ROUNDS_PER_SEC,
     };

@@ -1,9 +1,15 @@
-//! Shared command-line flag parsing for the `repro` and `trace` binaries.
+//! Shared command-line flag parsing for the `repro`, `trace` and `sweep`
+//! binaries.
 //!
-//! Both binaries accept the same Monte-Carlo knobs (`--rounds`, `--seed`,
-//! `--jobs`); [`CommonArgs`] parses them once so the two argument loops
-//! cannot drift apart. Each binary keeps its own loop for its private
-//! flags and calls [`CommonArgs::accept`] first.
+//! All three binaries accept the same Monte-Carlo knobs (`--rounds`,
+//! `--seed`, `--jobs`); [`CommonArgs`] parses them once so the argument
+//! loops cannot drift apart. The `sweep` binary's grid axes
+//! (`--grid`/`--family`/`--size-kb`/`--points`) follow the same pattern
+//! through [`GridArgs`] rather than a third hand-rolled parser. Each
+//! binary keeps its own loop for its private flags and calls the shared
+//! `accept` methods first.
+
+use crate::grid::{Family, Grid, GridKind};
 
 /// The `--rounds` / `--seed` / `--jobs` flags shared by both binaries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,6 +67,83 @@ impl CommonArgs {
     }
 }
 
+/// The grid-axis flags of the `sweep` binary: `--grid`, `--family`,
+/// `--size-kb`, `--points`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GridArgs {
+    /// `--grid <d|size|cpus|pipelined>`, if given.
+    pub grid: Option<GridKind>,
+    /// `--family <name>` (see [`Family::name`]), if given.
+    pub family: Option<Family>,
+    /// `--size-kb N` document size for non-size grids, if given.
+    pub size_kb: Option<u64>,
+    /// `--points N` grid resolution, if given.
+    pub points: Option<usize>,
+}
+
+impl GridArgs {
+    /// Consumes `arg` (and its value from `rest`) if it is one of the
+    /// grid flags, mirroring [`CommonArgs::accept`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message when a recognized flag is missing
+    /// its value or the value does not parse.
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        rest: &mut dyn Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--grid" => {
+                let raw: String = parse_value(arg, rest)?;
+                self.grid = Some(GridKind::parse(&raw).ok_or_else(|| {
+                    format!("invalid --grid value {raw:?}: expected d, size, cpus or pipelined")
+                })?);
+                Ok(true)
+            }
+            "--family" => {
+                let raw: String = parse_value(arg, rest)?;
+                self.family = Some(Family::parse(&raw).ok_or_else(|| {
+                    let names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+                    format!(
+                        "invalid --family value {raw:?}: expected one of {}",
+                        names.join(", ")
+                    )
+                })?);
+                Ok(true)
+            }
+            "--size-kb" => {
+                self.size_kb = Some(parse_value(arg, rest)?);
+                Ok(true)
+            }
+            "--points" => {
+                self.points = Some(parse_value(arg, rest)?);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Builds the requested grid, filling unset flags with defaults
+    /// (family `gedit-smp`, the family's default file size, 8 points).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when `--grid` was never given.
+    pub fn build_grid(&self) -> Result<Grid, String> {
+        let kind = self
+            .grid
+            .ok_or("missing --grid <d|size|cpus|pipelined>".to_string())?;
+        let family = self.family.unwrap_or(Family::GeditSmp);
+        let file_size = self
+            .size_kb
+            .map(|kb| kb * 1024)
+            .unwrap_or_else(|| family.default_file_size());
+        Ok(kind.build(family, file_size, self.points.unwrap_or(8)))
+    }
+}
+
 fn parse_value<T: std::str::FromStr>(
     flag: &str,
     rest: &mut dyn Iterator<Item = String>,
@@ -114,5 +197,63 @@ mod tests {
         assert!(parse(&["--rounds"]).unwrap_err().contains("--rounds"));
         let err = parse(&["--seed", "xyzzy"]).unwrap_err();
         assert!(err.contains("--seed") && err.contains("xyzzy"), "{err}");
+    }
+
+    fn parse_grid(tokens: &[&str]) -> Result<(GridArgs, Vec<String>), String> {
+        let mut args = GridArgs::default();
+        let mut leftover = Vec::new();
+        let mut it = tokens.iter().map(|s| s.to_string());
+        while let Some(arg) = it.next() {
+            if !args.accept(&arg, &mut it)? {
+                leftover.push(arg);
+            }
+        }
+        Ok((args, leftover))
+    }
+
+    #[test]
+    fn grid_args_accept_all_axes() {
+        let (g, rest) = parse_grid(&[
+            "--grid",
+            "d",
+            "--family",
+            "vi-smp",
+            "--size-kb",
+            "40",
+            "--points",
+            "4",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(g.grid, Some(GridKind::D));
+        assert_eq!(g.family, Some(Family::ViSmp));
+        assert_eq!(g.size_kb, Some(40));
+        assert_eq!(g.points, Some(4));
+        assert_eq!(rest, ["--json"]);
+        let grid = g.build_grid().unwrap();
+        assert_eq!(grid.len(), 4);
+        assert!(grid.points.iter().all(|p| p.file_size == 40 * 1024));
+    }
+
+    #[test]
+    fn grid_args_reject_unknown_axis_and_family() {
+        let err = parse_grid(&["--grid", "bogus"]).unwrap_err();
+        assert!(err.contains("--grid") && err.contains("bogus"), "{err}");
+        let err = parse_grid(&["--family", "emacs"]).unwrap_err();
+        assert!(err.contains("gedit-smp"), "lists valid names: {err}");
+    }
+
+    #[test]
+    fn grid_defaults_fill_in() {
+        let (g, _) = parse_grid(&["--grid", "d"]).unwrap();
+        let grid = g.build_grid().unwrap();
+        assert_eq!(grid.len(), 8, "default 8 points");
+        assert!(
+            grid.points
+                .iter()
+                .all(|p| p.family == Family::GeditSmp && p.file_size == 2048),
+            "defaults: gedit-smp at its default size"
+        );
+        assert!(GridArgs::default().build_grid().is_err(), "--grid required");
     }
 }

@@ -6,10 +6,10 @@
 //! within the victim's time slice, so
 //! `P(success) ≈ P(victim suspended) ≈ window / timeslice`.
 
-use crate::monte_carlo::{run_mc, McConfig};
+use crate::grid::{Family, Grid, GridPoint};
+use crate::sweep::{run_sweep, SweepConfig};
 use serde::Serialize;
 use tocttou_core::model::UniprocessorScenario;
-use tocttou_workloads::scenario::Scenario;
 
 /// Sweep parameters.
 #[derive(Debug, Clone)]
@@ -59,21 +59,39 @@ pub struct Output {
 }
 
 /// Runs the Figure 6 reproduction.
+///
+/// Two sweeps over the same size ladder share one engine each: a short
+/// traced probe per size measures the vulnerability window (essentially
+/// deterministic, so 3 rounds suffice — all probes use the same base seed
+/// `seed ^ 0x5a5a`, salt 0, as the pre-sweep loop did), then the main
+/// untraced sweep measures the success rate with the historical
+/// `seed + size_kb` per-size seeds via salt = size_kb.
 pub fn run(cfg: &Config) -> Output {
+    let probe_grid = Grid::from_points(
+        cfg.sizes_kb
+            .iter()
+            .map(|&kb| GridPoint::new(Family::ViUniprocessor, kb * 1024))
+            .collect(),
+    );
+    let probes = run_sweep(&SweepConfig {
+        grid: probe_grid,
+        rounds: 3,
+        base_seed: cfg.seed ^ 0x5a5a,
+        collect_ld: true,
+        jobs: cfg.jobs,
+    });
+    let main = run_sweep(&SweepConfig {
+        grid: Grid::file_size_kb_sweep(Family::ViUniprocessor, &cfg.sizes_kb),
+        rounds: cfg.rounds,
+        base_seed: cfg.seed,
+        collect_ld: false,
+        jobs: cfg.jobs,
+    });
     let mut rows = Vec::new();
-    for &size_kb in &cfg.sizes_kb {
-        let scenario = Scenario::vi_uniprocessor(size_kb * 1024);
-        // Measure the window length once (it is essentially deterministic).
-        let probe = run_mc(
-            &scenario,
-            &McConfig {
-                rounds: 3,
-                base_seed: cfg.seed ^ 0x5a5a,
-                collect_ld: true,
-                jobs: cfg.jobs,
-            },
-        );
-        let window_us = probe.window_us.unwrap_or(0.0);
+    for (probe, sp) in probes.points.iter().zip(&main.points) {
+        let size_kb = sp.point.file_size / 1024;
+        let window_us = probe.outcome.window_us.unwrap_or(0.0);
+        let scenario = Family::ViUniprocessor.build(sp.point.file_size);
         let timeslice_us = scenario.machine.timeslice.as_micros_f64();
         let model = UniprocessorScenario {
             window_us,
@@ -84,15 +102,7 @@ pub fn run(cfg: &Config) -> Output {
         }
         .success_probability()
         .value();
-        let mc = run_mc(
-            &scenario,
-            &McConfig {
-                rounds: cfg.rounds,
-                base_seed: cfg.seed + size_kb,
-                collect_ld: false,
-                jobs: cfg.jobs,
-            },
-        );
+        let mc = &sp.outcome;
         rows.push(Row {
             size_kb,
             observed: mc.rate,

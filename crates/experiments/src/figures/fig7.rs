@@ -6,9 +6,9 @@
 //! while D stays flat around 41 µs, so L ≫ D and the success rate is 100 %
 //! across the sweep (Section 5).
 
-use crate::monte_carlo::{run_mc, McConfig};
+use crate::grid::{Family, Grid};
+use crate::sweep::{run_sweep, SweepConfig};
 use serde::Serialize;
-use tocttou_workloads::scenario::Scenario;
 
 /// Sweep parameters.
 #[derive(Debug, Clone)]
@@ -60,25 +60,28 @@ pub struct Output {
 }
 
 /// Runs the Figure 7 reproduction.
+///
+/// The whole size ladder goes through one [`run_sweep`] call (shared
+/// worker pool, template forked per size); each point's seed salt is its
+/// size in KB, so the per-size results are identical to the historical
+/// per-size `run_mc` loop at `base_seed = seed + size_kb`.
 pub fn run(cfg: &Config) -> Output {
+    let sweep = run_sweep(&SweepConfig {
+        grid: Grid::file_size_kb_sweep(Family::ViSmp, &cfg.sizes_kb),
+        rounds: cfg.rounds,
+        base_seed: cfg.seed,
+        collect_ld: true,
+        jobs: cfg.jobs,
+    });
     let mut rows = Vec::new();
-    for &size_kb in &cfg.sizes_kb {
-        let scenario = Scenario::vi_smp(size_kb * 1024);
-        let mc = run_mc(
-            &scenario,
-            &McConfig {
-                rounds: cfg.rounds,
-                base_seed: cfg.seed + size_kb,
-                collect_ld: true,
-                jobs: cfg.jobs,
-            },
-        );
+    for sp in &sweep.points {
+        let mc = &sp.outcome;
         let (l, d) = match (mc.l, mc.d) {
             (Some(l), Some(d)) => (l, d),
             _ => continue,
         };
         rows.push(Row {
-            size_kb,
+            size_kb: sp.point.file_size / 1024,
             l_us: l.mean,
             l_stdev: l.stdev,
             d_us: d.mean,

@@ -12,7 +12,9 @@
 //! scheduler counters — side by side with the Monte-Carlo success rate the
 //! same rounds produced.
 
-use crate::monte_carlo::{run_mc, McConfig};
+use crate::grid::{Family, Grid, GridPoint};
+use crate::monte_carlo::{run_mc, McConfig, McOutcome};
+use crate::sweep::{run_sweep, SweepConfig};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use tocttou_os::ids::SemId;
@@ -177,7 +179,17 @@ pub fn profile_scenario(scenario: &Scenario, cfg: &Config) -> ScenarioProfile {
             jobs: cfg.jobs,
         },
     );
-    let labels = sem_labels(scenario, cfg.seed);
+    condense(scenario, cfg.seed, out)
+}
+
+/// Condenses one batch's aggregated metrics into a [`ScenarioProfile`].
+///
+/// Shared by [`profile_scenario`] (standalone `run_mc`) and [`run`] (the
+/// sweep-engine path); both feed it the same `McOutcome` bytes, so the
+/// profile is identical either way — the `profile_golden` fixture pins
+/// this.
+fn condense(scenario: &Scenario, seed: u64, out: McOutcome) -> ScenarioProfile {
+    let labels = sem_labels(scenario, seed);
     let mut syscalls = Vec::new();
     let mut run_queue = hist_row("run_queue".into(), &LatencyHistogram::new());
     // Gather wait/hold pairs per semaphore before ranking.
@@ -226,15 +238,32 @@ pub fn profile_scenario(scenario: &Scenario, cfg: &Config) -> ScenarioProfile {
 
 /// Runs the profiler across the four standard attack scenarios (the same
 /// set the detector scorecard uses).
+///
+/// The four batches run as one [`run_sweep`] grid — shared worker pool,
+/// snapshot/forked templates — with salt 0 everywhere, so each scenario
+/// still sees base seed `cfg.seed` and its profile matches a standalone
+/// [`profile_scenario`] call byte for byte.
 pub fn run(cfg: &Config) -> Output {
-    let scenarios = [
-        Scenario::vi_smp(100 * 1024),
-        Scenario::vi_smp(1),
-        Scenario::gedit_smp(2048),
-        Scenario::gedit_multicore_v2(2048),
-    ];
+    let grid = Grid::from_points(vec![
+        GridPoint::new(Family::ViSmp, 100 * 1024),
+        GridPoint::new(Family::ViSmp, 1),
+        GridPoint::new(Family::GeditSmp, 2048),
+        GridPoint::new(Family::GeditMulticoreV2, 2048),
+    ]);
+    let sweep = run_sweep(&SweepConfig {
+        grid: grid.clone(),
+        rounds: cfg.rounds,
+        base_seed: cfg.seed,
+        collect_ld: false,
+        jobs: cfg.jobs,
+    });
     Output {
-        rows: scenarios.iter().map(|s| profile_scenario(s, cfg)).collect(),
+        rows: grid
+            .points
+            .iter()
+            .zip(sweep.points)
+            .map(|(point, sp)| condense(&point.scenario(), cfg.seed, sp.outcome))
+            .collect(),
     }
 }
 

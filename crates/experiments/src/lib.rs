@@ -11,6 +11,11 @@
 //! * [`figures`] — one module per exhibit (Fig 6, Fig 7, Table 1, Table 2,
 //!   Fig 8, Fig 10, Fig 11, the headline comparison, the detector
 //!   precision/recall scorecard, and the kernel profiling scorecard);
+//! * [`grid`] — shared parameter-grid construction (family × file size ×
+//!   detection period × CPU count × pipelined switch);
+//! * [`sweep`] — the grid-parallel sweep engine: whole grids on one
+//!   shared worker pool with snapshot/forked templates, per-point
+//!   outcomes bit-identical to standalone [`monte_carlo::run_mc`];
 //! * [`report`] — text + JSON artifact writing;
 //! * [`export`] — JSONL export of traces, detections and metrics;
 //! * [`cli`] — the `--rounds`/`--seed`/`--jobs` flags shared by the
@@ -22,6 +27,12 @@
 //! ```text
 //! cargo run -p tocttou-experiments --release --bin repro -- all --rounds 200
 //! ```
+//!
+//! and the `sweep` binary runs one grid directly:
+//!
+//! ```text
+//! cargo run -p tocttou-experiments --release --bin sweep -- --grid d --points 8
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,14 +41,18 @@ pub mod cli;
 pub mod export;
 pub mod extract;
 pub mod figures;
+pub mod grid;
 pub mod monte_carlo;
 pub mod report;
 pub mod svg;
+pub mod sweep;
 pub mod timeline;
 
 pub use cli::CommonArgs;
 pub use export::export_jsonl;
 pub use extract::{observe, AttackObservation, WindowKind};
+pub use grid::{Family, Grid, GridKind, GridPoint};
 pub use monte_carlo::{run_mc, McConfig, McOutcome};
 pub use report::Report;
+pub use sweep::{run_sweep, SweepConfig, SweepOutcome};
 pub use timeline::{Lane, Span, SpanKind, Timeline};

@@ -296,7 +296,7 @@ const LD_TRIM_FRAC: f64 = 0.05;
 
 /// What one round contributes to the batch statistics. Workers produce
 /// these; the calling thread folds them in round order.
-struct RoundObs {
+pub(crate) struct RoundObs {
     success: bool,
     window_us: Option<f64>,
     sample: Option<LdSample>,
@@ -308,6 +308,66 @@ struct RoundObs {
     detect_fingerprint: u64,
 }
 
+/// The per-point accumulator shared by [`run_mc`] and the sweep engine
+/// (`crate::sweep`).
+///
+/// Byte-identity across drivers and `jobs` values hinges on two rules this
+/// type centralizes: [`RoundObs`] records are folded **in round order**
+/// (the floating-point reduction order is part of the result), while
+/// kernel metrics merge through [`merge_metrics`](Self::merge_metrics) in
+/// any order (pure integer accumulation over key-sorted histograms).
+/// Any driver that honors those two rules produces the same [`McOutcome`]
+/// bit for bit, regardless of how it partitions or schedules the rounds.
+pub(crate) struct PointAcc {
+    counter: SuccessCounter,
+    samples: Vec<LdSample>,
+    windows: OnlineStats,
+    detector: DetectorTally,
+    metrics: MetricsSnapshot,
+}
+
+impl PointAcc {
+    pub(crate) fn new() -> Self {
+        PointAcc {
+            counter: SuccessCounter::new(),
+            samples: Vec::new(),
+            windows: OnlineStats::new(),
+            detector: DetectorTally::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Folds one round's observation. Must be called in round order.
+    pub(crate) fn fold(&mut self, obs: RoundObs) {
+        self.counter.record(obs.success);
+        self.detector.fold(&obs);
+        if let Some(w) = obs.window_us {
+            self.windows.push(w);
+        }
+        if let Some(s) = obs.sample {
+            self.samples.push(s);
+        }
+    }
+
+    /// Merges one worker block's kernel-metrics aggregate. Order-free.
+    pub(crate) fn merge_metrics(&mut self, block: &MetricsSnapshot) {
+        self.metrics.merge(block);
+    }
+
+    /// Trims the L/D samples and condenses everything into the outcome.
+    pub(crate) fn finish(self, scenario: &Scenario) -> McOutcome {
+        let ld = trimmed_estimator(self.samples, LD_TRIM_FRAC);
+        McOutcome::from_parts(
+            scenario,
+            self.counter,
+            ld,
+            self.windows,
+            self.detector,
+            self.metrics,
+        )
+    }
+}
+
 /// Simulates one round on pooled buffers and extracts its observation.
 ///
 /// The round's kernel metrics aren't extracted here: the pool is created
@@ -315,7 +375,7 @@ struct RoundObs {
 /// the worker's rounds and the caller snapshots the total once per block —
 /// zero per-round cost, bit-identical to a per-round fold (the merge is
 /// pure integer accumulation).
-fn run_one_round(
+pub(crate) fn run_one_round(
     scenario: &Scenario,
     template: &Vfs,
     pool: KernelPool,
@@ -362,26 +422,12 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
     let template = scenario.template_vfs();
     let jobs = effective_jobs(cfg.jobs, cfg.rounds);
 
-    let mut counter = SuccessCounter::new();
-    let mut samples: Vec<LdSample> = Vec::new();
-    let mut windows = OnlineStats::new();
-    let mut detector = DetectorTally::new();
-    let mut metrics = MetricsSnapshot::default();
     // The single fold used by both paths: per-round op order on the
     // accumulators is what makes serial and parallel runs bit-identical.
     // (Kernel metrics don't ride this fold: their merge is order-
     // *independent* integer accumulation, so each worker keeps one running
     // aggregate and the block aggregates combine at the end.)
-    let mut fold = |obs: RoundObs| {
-        counter.record(obs.success);
-        detector.fold(&obs);
-        if let Some(w) = obs.window_us {
-            windows.push(w);
-        }
-        if let Some(s) = obs.sample {
-            samples.push(s);
-        }
-    };
+    let mut acc = PointAcc::new();
 
     if jobs <= 1 {
         let mut pool = KernelPool::new().retain_metrics();
@@ -390,9 +436,9 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
             let (obs, returned) =
                 run_one_round(scenario, &template, pool, seed, kind, cfg.collect_ld);
             pool = returned;
-            fold(obs);
+            acc.fold(obs);
         }
-        pool.metrics().accumulate_into(&mut metrics);
+        acc.merge_metrics(&pool.metrics().snapshot());
     } else {
         // One contiguous block of rounds per worker; blocks come back in
         // worker order, so flattening yields observations in round order.
@@ -426,15 +472,14 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
                 .collect()
         });
         for (block_obs, block_metrics) in per_block {
-            metrics.merge(&block_metrics);
+            acc.merge_metrics(&block_metrics);
             for obs in block_obs {
-                fold(obs);
+                acc.fold(obs);
             }
         }
     }
 
-    let ld = trimmed_estimator(samples, LD_TRIM_FRAC);
-    McOutcome::from_parts(scenario, counter, ld, windows, detector, metrics)
+    acc.finish(scenario)
 }
 
 /// Builds an estimator from samples with a symmetric fraction trimmed from

@@ -1,0 +1,374 @@
+//! The grid-parallel sweep engine.
+//!
+//! [`run_sweep`] runs a whole parameter [`Grid`] — every figure is one —
+//! through a single shared worker pool, instead of calling
+//! [`run_mc`](crate::monte_carlo::run_mc) once per grid point. Three
+//! things make it the fast path:
+//!
+//! * **Template built once, snapshot/forked per point.** The base
+//!   filesystem image (directories, `/etc/passwd`, the attack directory)
+//!   depends on no swept parameter, so it is populated a single time and
+//!   each point's template is a cheap clone-plus-document fork
+//!   ([`Scenario::template_vfs_from_base`]) — state-identical to a full
+//!   per-point build, as the fork-equivalence tests assert.
+//! * **One worker pool for the whole grid.** `(point × round-block)` work
+//!   items feed `jobs` long-lived workers through a shared atomic cursor,
+//!   so threads never drain at point boundaries and each worker's
+//!   recycled [`KernelPool`] stays warm across points. The per-point
+//!   `run_mc` loop, by contrast, spawns and joins a fresh pool of threads
+//!   — and cold kernel pools — for every point.
+//! * **Bit-identical outcomes anyway.** Each point's rounds still fold in
+//!   round order and its kernel metrics still merge through pure integer
+//!   accumulation ([`PointAcc`] centralizes both rules), so every
+//!   per-point [`McOutcome`] is byte-for-byte what a standalone
+//!   `run_mc(point.scenario(), McConfig { base_seed: base + salt, .. })`
+//!   returns — at any `jobs` value on either side. The jobs-ladder and
+//!   per-point identity tests in `tests/sweep_determinism.rs` and the
+//!   `sweep_throughput` bench row hold this line.
+//!
+//! Workers drain their pool's retained metrics at work-item boundaries
+//! ([`KernelPool::drain_metrics`]), which is what lets one pool serve
+//! many points without cross-contaminating their metric folds.
+
+use crate::grid::{Grid, PointDesc};
+use crate::monte_carlo::{effective_jobs, run_one_round, McOutcome, PointAcc};
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tocttou_os::kernel::KernelPool;
+use tocttou_os::metrics::MetricsSnapshot;
+use tocttou_workloads::scenario::Scenario;
+
+use crate::extract::WindowKind;
+use crate::monte_carlo::window_kind_of;
+
+/// Options for one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// The parameter grid to cover.
+    pub grid: Grid,
+    /// Monte-Carlo rounds per grid point.
+    pub rounds: u64,
+    /// Sweep-level base seed; point *p* runs rounds at
+    /// `base_seed + p.seed_salt + i`.
+    pub base_seed: u64,
+    /// Whether to trace rounds and extract L/D at every point.
+    pub collect_ld: bool,
+    /// Worker threads shared by the whole grid (`0` = auto, `1` =
+    /// serial). Results are bit-identical for every value.
+    pub jobs: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            grid: Grid::default(),
+            rounds: 200,
+            base_seed: 0x7061_7065,
+            collect_ld: false,
+            jobs: 1,
+        }
+    }
+}
+
+/// One grid point's result.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Which point this is.
+    pub point: PointDesc,
+    /// The point's Monte-Carlo outcome — byte-identical to a standalone
+    /// [`run_mc`](crate::monte_carlo::run_mc) call on
+    /// `point.scenario()` with base seed `sweep base + salt`.
+    pub outcome: McOutcome,
+}
+
+/// The whole sweep's results.
+///
+/// Deliberately excludes the `jobs` knob: serialized outcomes are compared
+/// across the jobs ladder byte for byte, so only result-bearing fields
+/// belong here.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepOutcome {
+    /// Rounds per point.
+    pub rounds_per_point: u64,
+    /// The sweep-level base seed.
+    pub base_seed: u64,
+    /// Whether L/D extraction was on.
+    pub collect_ld: bool,
+    /// Per-point results, in grid order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// One `(grid point, round block)` unit of work.
+struct WorkItem {
+    point: usize,
+    start: u64,
+    end: u64,
+}
+
+/// A finished work item, tagged with its item index for deterministic
+/// reassembly.
+struct ItemResult {
+    item: usize,
+    point: usize,
+    obs: Vec<crate::monte_carlo::RoundObs>,
+    metrics: MetricsSnapshot,
+}
+
+/// Runs every grid point's Monte-Carlo batch on one shared worker pool.
+///
+/// See the [module docs](self) for the template-fork and scheduling
+/// design and the byte-identity guarantee.
+pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
+    let points = &cfg.grid.points;
+    let scenarios: Vec<Scenario> = points.iter().map(|p| p.scenario()).collect();
+    let kinds: Vec<WindowKind> = scenarios.iter().map(window_kind_of).collect();
+
+    // Build the swept-parameter-independent base image once and fork it
+    // per point. (All grid points share the default layout and attacker
+    // identity — `fork_matches_full_template_build` pins the equivalence.)
+    let templates: Vec<tocttou_os::vfs::Vfs> = match scenarios.first() {
+        None => Vec::new(),
+        Some(first) => {
+            let base = first.base_vfs();
+            scenarios
+                .iter()
+                .map(|s| s.template_vfs_from_base(&base))
+                .collect()
+        }
+    };
+
+    let total_rounds = cfg.rounds.saturating_mul(points.len() as u64);
+    let jobs = effective_jobs(cfg.jobs, total_rounds);
+
+    let mut accs: Vec<PointAcc> = points.iter().map(|_| PointAcc::new()).collect();
+
+    if jobs <= 1 {
+        // Serial: one pool serves every point; metrics drain at point
+        // boundaries so each fold starts from zero like a fresh pool.
+        let mut pool = KernelPool::new().retain_metrics();
+        for (p, scenario) in scenarios.iter().enumerate() {
+            let point_seed = cfg.base_seed.wrapping_add(points[p].seed_salt);
+            for i in 0..cfg.rounds {
+                let (obs, returned) = run_one_round(
+                    scenario,
+                    &templates[p],
+                    pool,
+                    point_seed.wrapping_add(i),
+                    kinds[p],
+                    cfg.collect_ld,
+                );
+                pool = returned;
+                accs[p].fold(obs);
+            }
+            accs[p].merge_metrics(&pool.drain_metrics());
+        }
+    } else {
+        // Same per-point block partition run_mc uses, flattened across
+        // the grid; identity doesn't depend on the partition (metrics
+        // merge is order-free, observations refold in round order below),
+        // but matching it keeps block sizes familiar.
+        let block = cfg.rounds.div_ceil(jobs as u64);
+        let mut items = Vec::new();
+        for p in 0..points.len() {
+            let mut start = 0;
+            while start < cfg.rounds {
+                let end = (start + block).min(cfg.rounds);
+                items.push(WorkItem {
+                    point: p,
+                    start,
+                    end,
+                });
+                start = end;
+            }
+        }
+
+        let next = AtomicUsize::new(0);
+        let results: Vec<ItemResult> = std::thread::scope(|scope| {
+            let (items, scenarios, templates, kinds, next) =
+                (&items, &scenarios, &templates, &kinds, &next);
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(move || {
+                        // One long-lived recycled pool per worker, shared
+                        // across every item (and so every point) it claims.
+                        let mut pool = KernelPool::new().retain_metrics();
+                        let mut done = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(idx) else { break };
+                            let p = item.point;
+                            let point_seed = cfg.base_seed.wrapping_add(points[p].seed_salt);
+                            let mut obs = Vec::with_capacity((item.end - item.start) as usize);
+                            for i in item.start..item.end {
+                                let (o, returned) = run_one_round(
+                                    &scenarios[p],
+                                    &templates[p],
+                                    pool,
+                                    point_seed.wrapping_add(i),
+                                    kinds[p],
+                                    cfg.collect_ld,
+                                );
+                                pool = returned;
+                                obs.push(o);
+                            }
+                            done.push(ItemResult {
+                                item: idx,
+                                point: p,
+                                obs,
+                                metrics: pool.drain_metrics(),
+                            });
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+
+        // Reassemble deterministically: items were created in ascending
+        // round order per point, so folding in item order restores each
+        // point's round order no matter which worker ran what when.
+        let mut slots: Vec<Option<ItemResult>> = (0..items.len()).map(|_| None).collect();
+        for r in results {
+            let idx = r.item;
+            slots[idx] = Some(r);
+        }
+        for slot in slots {
+            let r = slot.expect("every work item completes");
+            accs[r.point].merge_metrics(&r.metrics);
+            for o in r.obs {
+                accs[r.point].fold(o);
+            }
+        }
+    }
+
+    SweepOutcome {
+        rounds_per_point: cfg.rounds,
+        base_seed: cfg.base_seed,
+        collect_ld: cfg.collect_ld,
+        points: accs
+            .into_iter()
+            .zip(&scenarios)
+            .zip(points)
+            .map(|((acc, scenario), point)| SweepPoint {
+                point: point.describe(),
+                outcome: acc.finish(scenario),
+            })
+            .collect(),
+    }
+}
+
+impl std::fmt::Display for SweepOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Sweep — {} points × {} rounds (base seed {:#x})",
+            self.points.len(),
+            self.rounds_per_point,
+            self.base_seed
+        )?;
+        for p in &self.points {
+            writeln!(f, "  {}", p.outcome)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Family, GridPoint};
+    use crate::monte_carlo::{run_mc, McConfig};
+
+    fn small_grid() -> Grid {
+        Grid::from_points(vec![
+            GridPoint::new(Family::ViSmp, 20 * 1024).with_salt(3),
+            GridPoint::new(Family::GeditSmp, 2048).with_salt(7),
+            GridPoint::new(Family::GeditSmp, 2048)
+                .with_d_scale(0.5)
+                .with_salt(11),
+        ])
+    }
+
+    #[test]
+    fn sweep_points_match_standalone_run_mc() {
+        let cfg = SweepConfig {
+            grid: small_grid(),
+            rounds: 8,
+            base_seed: 0xABCD,
+            collect_ld: true,
+            jobs: 1,
+        };
+        let sweep = run_sweep(&cfg);
+        assert_eq!(sweep.points.len(), 3);
+        for (point, sp) in cfg.grid.points.iter().zip(&sweep.points) {
+            let standalone = run_mc(
+                &point.scenario(),
+                &McConfig {
+                    rounds: cfg.rounds,
+                    base_seed: cfg.base_seed + point.seed_salt,
+                    collect_ld: cfg.collect_ld,
+                    jobs: 1,
+                },
+            );
+            assert_eq!(
+                serde_json::to_string(&sp.outcome).unwrap(),
+                serde_json::to_string(&standalone).unwrap(),
+                "{}: sweep point diverged from run_mc",
+                standalone.scenario
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_jobs() {
+        let base = SweepConfig {
+            grid: small_grid(),
+            rounds: 9,
+            base_seed: 91,
+            collect_ld: false,
+            jobs: 1,
+        };
+        let serial = serde_json::to_string(&run_sweep(&base)).unwrap();
+        for jobs in [2, 3, 5] {
+            let par = run_sweep(&SweepConfig {
+                jobs,
+                ..base.clone()
+            });
+            assert_eq!(
+                serial,
+                serde_json::to_string(&par).unwrap(),
+                "jobs={jobs} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_grid_yields_empty_outcome() {
+        let out = run_sweep(&SweepConfig {
+            grid: Grid::default(),
+            rounds: 5,
+            base_seed: 1,
+            collect_ld: false,
+            jobs: 4,
+        });
+        assert!(out.points.is_empty());
+    }
+
+    #[test]
+    fn display_lists_every_point() {
+        let out = run_sweep(&SweepConfig {
+            grid: Grid::pipelined_pair(512),
+            rounds: 2,
+            base_seed: 5,
+            collect_ld: false,
+            jobs: 2,
+        });
+        let text = out.to_string();
+        assert!(text.contains("2 points"), "{text}");
+        assert!(text.contains("pipelined-512B"), "{text}");
+    }
+}

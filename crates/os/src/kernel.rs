@@ -123,6 +123,20 @@ impl KernelPool {
     pub fn metrics(&self) -> &KernelMetrics {
         &self.metrics
     }
+
+    /// Snapshots the accumulated metrics and clears them — even under
+    /// [`retain_metrics`](Self::retain_metrics) — so the pool can roll
+    /// straight into the next batch from zero.
+    ///
+    /// The sweep engine's shared worker pools use this at work-item
+    /// boundaries: each `(grid point, round block)` item drains its own
+    /// metrics total, keeping per-point folds bit-identical to a dedicated
+    /// per-point pool while never tearing the pool itself down.
+    pub fn drain_metrics(&mut self) -> crate::metrics::MetricsSnapshot {
+        let snap = self.metrics.snapshot();
+        self.metrics.clear_data();
+        snap
+    }
 }
 
 /// The simulated machine kernel.

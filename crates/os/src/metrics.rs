@@ -202,6 +202,18 @@ impl KernelMetrics {
         self.sems.clear();
     }
 
+    /// Clears accumulated data even when the accumulator is retaining.
+    ///
+    /// Sweep work items share one pool across grid points; between items
+    /// the accumulated metrics are snapshotted and then wiped here so the
+    /// next point starts from zero, exactly like a fresh pool.
+    pub(crate) fn clear_data(&mut self) {
+        self.counters = SchedCounters::default();
+        self.syscalls = [LatencyHistogram::new(); SyscallName::ALL.len()];
+        self.run_queue = LatencyHistogram::new();
+        self.sems.clear();
+    }
+
     /// Makes [`reset`](Self::reset) keep accumulated data (pooled batch
     /// loops accumulate across rounds and snapshot once at the end).
     pub(crate) fn set_retain(&mut self, retain: bool) {

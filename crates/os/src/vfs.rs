@@ -140,7 +140,12 @@ pub struct Resolved {
 }
 
 /// The simulated filesystem tree.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares full observable state (inode table, semaphore
+/// numbering, recorded labels); the sweep fork-equivalence tests use it to
+/// prove that a snapshot/forked template is indistinguishable from one
+/// built from scratch.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Vfs {
     inodes: Vec<Option<Inode>>,
     root: Ino,

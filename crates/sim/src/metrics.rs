@@ -256,7 +256,7 @@ mod tests {
         }
         let p50 = h.quantile_ns(0.5).unwrap();
         let p95 = h.quantile_ns(0.95).unwrap();
-        assert!(p50 >= 500 && p50 <= 1_000, "p50 = {p50}");
+        assert!((500..=1_000).contains(&p50), "p50 = {p50}");
         assert!(p95 >= p50);
         assert_eq!(h.quantile_ns(1.0), Some(1_000));
         assert_eq!(h.quantile_ns(0.0).unwrap(), 1);

@@ -169,6 +169,38 @@ impl Scenario {
         vfs
     }
 
+    /// Builds only the standard filesystem layout — everything in
+    /// [`template_vfs`](Self::template_vfs) *except* the pre-existing
+    /// document.
+    ///
+    /// The base layout depends only on [`Layout`] and the attacker's
+    /// identity, not on any swept parameter (file size, detection period,
+    /// CPU count, attacker variant), so one base image can be shared by an
+    /// entire parameter grid and forked per point with
+    /// [`template_vfs_from_base`](Self::template_vfs_from_base).
+    pub fn base_vfs(&self) -> Vfs {
+        let mut vfs = Vfs::new();
+        self.populate_base_fs(&mut vfs);
+        vfs
+    }
+
+    /// Snapshot/forks a per-point template from a shared `base` image
+    /// (built by [`base_vfs`](Self::base_vfs)): clones the base and adds
+    /// this scenario's document on top.
+    ///
+    /// The document is the *last* inode the full build creates, so the
+    /// fork reproduces [`template_vfs`](Self::template_vfs) exactly —
+    /// same inode and semaphore numbering — as long as `base` came from a
+    /// scenario with the same [`Layout`] and attacker identity. The sweep
+    /// engine leans on this to skip the base-layout path resolutions at
+    /// every grid point; `fork_matches_full_template_build` and the
+    /// cross-seed fork-equivalence test pin the guarantee down.
+    pub fn template_vfs_from_base(&self, base: &Vfs) -> Vfs {
+        let mut vfs = base.clone();
+        self.populate_doc(&mut vfs);
+        vfs
+    }
+
     /// Instantiates one round from a prebuilt filesystem `template` on the
     /// recycled buffers of `pool` — the fast path for Monte-Carlo batches.
     ///
@@ -681,6 +713,37 @@ mod tests {
             let b = handles.kernel.vfs().stat(path).expect("kernel entry");
             assert_eq!(a.ino, b.ino, "{path}");
             assert_eq!(a.uid, b.uid, "{path}");
+        }
+    }
+
+    #[test]
+    fn fork_matches_full_template_build() {
+        // One shared base image must fork into templates state-identical
+        // to full per-scenario builds — across families, file sizes, and
+        // attacker variants (everything a sweep grid varies).
+        let scenarios = [
+            Scenario::vi_smp(100 * 1024),
+            Scenario::vi_smp(1),
+            Scenario::vi_uniprocessor(40 * 1024),
+            Scenario::gedit_smp(2048),
+            Scenario::gedit_multicore_v1(2048),
+            Scenario::gedit_multicore_v2(2048),
+            Scenario::pipelined_attack(512),
+        ];
+        let base = scenarios[0].base_vfs();
+        for scenario in &scenarios {
+            assert_eq!(
+                base,
+                scenario.base_vfs(),
+                "{}: base image must not depend on swept parameters",
+                scenario.name
+            );
+            assert_eq!(
+                scenario.template_vfs_from_base(&base),
+                scenario.template_vfs(),
+                "{}: forked template diverged from full build",
+                scenario.name
+            );
         }
     }
 }

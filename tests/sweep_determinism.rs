@@ -1,0 +1,109 @@
+//! The sweep engine's identity guarantees: `run_sweep` must produce
+//! byte-identical results at any worker count, every per-point outcome
+//! must match a standalone `run_mc` at the same effective seed, and the
+//! forked template each point starts from must be indistinguishable from
+//! a from-scratch template build. These hold on any host — a single-CPU
+//! machine loses the sweep's speedup, never its results — so nothing
+//! here is gated on core count.
+
+use tocttou::experiments::grid::{Family, GridKind};
+use tocttou::experiments::sweep::{run_sweep, SweepConfig};
+use tocttou::experiments::{run_mc, McConfig};
+use tocttou::os::kernel::KernelPool;
+use tocttou::workloads::Scenario;
+
+fn d_sweep_config(jobs: usize) -> SweepConfig {
+    SweepConfig {
+        grid: GridKind::D.build(Family::GeditSmp, 2048, 6),
+        rounds: 40,
+        base_seed: 0xD15C,
+        collect_ld: true,
+        jobs,
+    }
+}
+
+/// The jobs ladder: one worker, several workers, and auto must serialize
+/// to the same bytes. Work items finish in nondeterministic wall-clock
+/// order; the engine's deterministic reassembly is what this pins.
+#[test]
+fn sweep_outcome_byte_identical_across_jobs() {
+    let baseline =
+        serde_json::to_string(&run_sweep(&d_sweep_config(1))).expect("sweep outcome serializes");
+    for jobs in [2, 4, 0] {
+        let other = serde_json::to_string(&run_sweep(&d_sweep_config(jobs)))
+            .expect("sweep outcome serializes");
+        assert_eq!(
+            baseline, other,
+            "run_sweep must be byte-identical at jobs=1 vs jobs={jobs}"
+        );
+    }
+}
+
+/// Every point of a sweep must equal a standalone `run_mc` of the same
+/// scenario at `base_seed + seed_salt` — the sweep's shared pools and
+/// forked templates are invisible in the results.
+#[test]
+fn sweep_points_match_standalone_run_mc() {
+    let cfg = d_sweep_config(2);
+    let sweep = run_sweep(&cfg);
+    assert_eq!(sweep.points.len(), cfg.grid.points.len());
+    for (grid_point, sweep_point) in cfg.grid.points.iter().zip(&sweep.points) {
+        let standalone = run_mc(
+            &grid_point.scenario(),
+            &McConfig {
+                rounds: cfg.rounds,
+                base_seed: cfg.base_seed.wrapping_add(grid_point.seed_salt),
+                collect_ld: cfg.collect_ld,
+                jobs: 1,
+            },
+        );
+        assert_eq!(
+            serde_json::to_string(&sweep_point.outcome).expect("outcome serializes"),
+            serde_json::to_string(&standalone).expect("outcome serializes"),
+            "sweep point {:?} must serialize identically to standalone run_mc",
+            sweep_point.point,
+        );
+    }
+}
+
+/// Rounds seeded from a forked template (`template_vfs_from_base`) must
+/// behave exactly like rounds seeded from a from-scratch template
+/// (`template_vfs`), across seeds and scenario families. This is the
+/// equivalence the sweep's per-point fork leans on.
+#[test]
+fn forked_template_rounds_equal_full_template_rounds() {
+    for scenario in [Scenario::gedit_smp(2048), Scenario::vi_smp(20 * 1024)] {
+        let full = scenario.template_vfs();
+        let base = scenario.base_vfs();
+        let forked = scenario.template_vfs_from_base(&base);
+        let mut pool_full = KernelPool::new();
+        let mut pool_forked = KernelPool::new();
+        for seed in [0u64, 1, 7, 0xABCD, u64::MAX / 3] {
+            let (a, pf) = scenario.run_round_pooled(seed, &full, pool_full);
+            let (b, pk) = scenario.run_round_pooled(seed, &forked, pool_forked);
+            pool_full = pf;
+            pool_forked = pk;
+            assert_eq!(
+                (a.success, a.victim_exited, a.elapsed),
+                (b.success, b.victim_exited, b.elapsed),
+                "{}: seed {seed} diverges between forked and full templates",
+                scenario.name,
+            );
+        }
+    }
+}
+
+/// A sweep over an empty grid is legal and returns no points (the CLI
+/// rejects zero-point requests, but the engine itself must not panic).
+#[test]
+fn empty_grid_sweeps_to_empty_outcome() {
+    let cfg = SweepConfig {
+        grid: tocttou::experiments::grid::Grid::from_points(Vec::new()),
+        rounds: 10,
+        base_seed: 1,
+        collect_ld: false,
+        jobs: 0,
+    };
+    let out = run_sweep(&cfg);
+    assert!(out.points.is_empty());
+}
