@@ -17,6 +17,7 @@ fn bench(c: &mut Criterion) {
             rounds: 120,
             seed: 0xF6,
             jobs: 0, // headline print only — use every core
+            cold: false,
         });
         println!("\n{out}");
     });

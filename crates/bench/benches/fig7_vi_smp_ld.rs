@@ -18,6 +18,7 @@ fn bench(c: &mut Criterion) {
             rounds: 6,
             seed: 0xF7,
             jobs: 0, // headline print only — use every core
+            cold: false,
         });
         println!("\n{out}");
     });

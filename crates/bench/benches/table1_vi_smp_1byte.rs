@@ -17,6 +17,7 @@ fn bench(c: &mut Criterion) {
             seed: 0x71,
             p_interference: 0.04,
             jobs: 0, // headline print only — use every core
+            cold: false,
         });
         println!("\n{out}");
     });

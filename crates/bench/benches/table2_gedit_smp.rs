@@ -16,6 +16,7 @@ fn bench(c: &mut Criterion) {
             seed: 0x72,
             file_size: 2048,
             jobs: 0, // headline print only — use every core
+            cold: false,
         });
         println!("\n{out}");
     });

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <exhibit>... [--rounds N] [--seed S] [--jobs J] [--out DIR]
+//! repro <exhibit>... [--rounds N] [--seed S] [--jobs J] [--cold] [--out DIR]
 //!
 //! exhibits: fig6 fig7 table1 table2 fig8 fig10 fig11 headline defense detect
 //!           profile pairs maze lddist all
@@ -47,7 +47,7 @@ fn parse_args() -> Result<Args, String> {
             "--detect" => exhibits.push("detect".to_string()),
             "--profile" => exhibits.push("profile".to_string()),
             "--help" | "-h" => {
-                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|detect|profile|pairs|maze|lddist|all>... [--detect] [--profile] [--rounds N] [--seed S] [--jobs J] [--out DIR]".into());
+                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|detect|profile|pairs|maze|lddist|all>... [--detect] [--profile] [--rounds N] [--seed S] [--jobs J] [--cold] [--out DIR]".into());
             }
             name if !name.starts_with('-') => exhibits.push(name.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -80,6 +80,7 @@ fn main() {
         let mut cfg = headline::Config::default();
         args.common
             .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
+        cfg.cold = args.common.cold;
         let out = headline::run(&cfg);
         println!("{out}");
         report.add("headline", &out).expect("write headline");
@@ -88,6 +89,7 @@ fn main() {
         let mut cfg = fig6::Config::default();
         args.common
             .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
+        cfg.cold = args.common.cold;
         let out = fig6::run(&cfg);
         println!("{out}");
         report.add("fig6", &out).expect("write fig6");
@@ -132,6 +134,7 @@ fn main() {
         if let Some(j) = args.common.jobs {
             cfg.jobs = j;
         }
+        cfg.cold = args.common.cold;
         let out = fig7::run(&cfg);
         println!("{out}");
         report.add("fig7", &out).expect("write fig7");
@@ -169,6 +172,7 @@ fn main() {
         let mut cfg = table1::Config::default();
         args.common
             .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
+        cfg.cold = args.common.cold;
         let out = table1::run(&cfg);
         println!("{out}");
         report.add("table1", &out).expect("write table1");
@@ -177,6 +181,7 @@ fn main() {
         let mut cfg = table2::Config::default();
         args.common
             .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
+        cfg.cold = args.common.cold;
         let out = table2::run(&cfg);
         println!("{out}");
         report.add("table2", &out).expect("write table2");
@@ -251,6 +256,7 @@ fn main() {
         let mut cfg = defense::Config::default();
         args.common
             .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
+        cfg.cold = args.common.cold;
         let out = defense::run(&cfg);
         println!("{out}");
         report.add("defense", &out).expect("write defense");
@@ -259,6 +265,7 @@ fn main() {
         let mut cfg = detect::Config::default();
         args.common
             .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
+        cfg.cold = args.common.cold;
         let out = detect::run(&cfg);
         println!("{out}");
         report.add("detect", &out).expect("write detect");
@@ -267,6 +274,7 @@ fn main() {
         let mut cfg = profile::Config::default();
         args.common
             .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
+        cfg.cold = args.common.cold;
         let out = profile::run(&cfg);
         println!("{out}");
         report.add("profile", &out).expect("write profile");

@@ -4,7 +4,7 @@
 //! ```text
 //! sweep --grid <d|size|cpus|pipelined> [--family F] [--size-kb N]
 //!       [--points N] [--rounds N] [--seed S] [--jobs J] [--out DIR]
-//!       [--collect-ld]
+//!       [--collect-ld] [--cold]
 //!
 //! axes:     d         detection-period scales 0.25×..2× (Formula (1))
 //!           size      file-size ladder (Figure 7's axis)
@@ -50,7 +50,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: sweep --grid <d|size|cpus|pipelined> [--family F] [--size-kb N] \
-                     [--points N] [--rounds N] [--seed S] [--jobs J] [--out DIR] [--collect-ld]"
+                     [--points N] [--rounds N] [--seed S] [--jobs J] [--out DIR] [--collect-ld] \
+                     [--cold]"
                         .into(),
                 );
             }
@@ -86,6 +87,7 @@ fn main() {
         base_seed: 0x7061_7065,
         collect_ld: args.collect_ld,
         jobs: 1,
+        cold: args.common.cold,
     };
     args.common
         .apply(&mut cfg.rounds, &mut cfg.base_seed, &mut cfg.jobs);

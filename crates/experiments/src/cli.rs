@@ -11,7 +11,8 @@
 
 use crate::grid::{Family, Grid, GridKind};
 
-/// The `--rounds` / `--seed` / `--jobs` flags shared by both binaries.
+/// The `--rounds` / `--seed` / `--jobs` / `--cold` flags shared by both
+/// binaries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommonArgs {
     /// `--rounds N`, if given.
@@ -20,6 +21,9 @@ pub struct CommonArgs {
     pub seed: Option<u64>,
     /// `--jobs N` (`0` = auto-detect), if given.
     pub jobs: Option<usize>,
+    /// `--cold`: run every round from a cold boot instead of the warm
+    /// checkpoint — the byte-identical oracle path (slower, same results).
+    pub cold: bool,
 }
 
 impl CommonArgs {
@@ -47,6 +51,10 @@ impl CommonArgs {
             }
             "--jobs" => {
                 self.jobs = Some(parse_value(arg, rest)?);
+                Ok(true)
+            }
+            "--cold" => {
+                self.cold = true;
                 Ok(true)
             }
             _ => Ok(false),

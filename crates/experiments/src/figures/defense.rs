@@ -21,6 +21,9 @@ pub struct Config {
     /// Worker threads for each Monte-Carlo batch (`1` = serial,
     /// `0` = auto); results are identical for every value.
     pub jobs: usize,
+    /// Run every round from a cold boot instead of the warm checkpoint
+    /// (the byte-identical oracle path; slower, same results).
+    pub cold: bool,
 }
 
 impl Default for Config {
@@ -29,6 +32,7 @@ impl Default for Config {
             rounds: 120,
             seed: 13_0001,
             jobs: 1,
+            cold: false,
         }
     }
 }
@@ -80,6 +84,7 @@ pub fn run(cfg: &Config) -> Output {
                 base_seed: cfg.seed,
                 collect_ld: false,
                 jobs: cfg.jobs,
+                cold: cfg.cold,
             },
         )
         .rate;
@@ -91,6 +96,7 @@ pub fn run(cfg: &Config) -> Output {
                 base_seed: cfg.seed,
                 collect_ld: false,
                 jobs: cfg.jobs,
+                cold: cfg.cold,
             },
         )
         .rate;
@@ -141,6 +147,7 @@ mod tests {
             rounds: 25,
             seed: 5,
             jobs: 1,
+            cold: false,
         });
         assert_eq!(out.rows.len(), 5);
         for r in &out.rows {

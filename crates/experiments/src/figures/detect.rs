@@ -22,6 +22,9 @@ pub struct Config {
     /// Worker threads for each Monte-Carlo batch (`1` = serial,
     /// `0` = auto); results are identical for every value.
     pub jobs: usize,
+    /// Run every round from a cold boot instead of the warm checkpoint
+    /// (the byte-identical oracle path; slower, same results).
+    pub cold: bool,
 }
 
 impl Default for Config {
@@ -30,6 +33,7 @@ impl Default for Config {
             rounds: 120,
             seed: 0xDE7EC7,
             jobs: 1,
+            cold: false,
         }
     }
 }
@@ -80,6 +84,7 @@ pub fn run(cfg: &Config) -> Output {
                 base_seed: cfg.seed,
                 collect_ld: true,
                 jobs: cfg.jobs,
+                cold: cfg.cold,
             },
         );
         rows.push(Row {
@@ -142,6 +147,7 @@ mod tests {
             rounds: 25,
             seed: 5,
             jobs: 1,
+            cold: false,
         });
         assert_eq!(out.rows.len(), 4);
         for r in &out.rows {

@@ -23,6 +23,9 @@ pub struct Config {
     /// Worker threads for each Monte-Carlo batch (`1` = serial,
     /// `0` = auto); results are identical for every value.
     pub jobs: usize,
+    /// Run every round from a cold boot instead of the warm checkpoint
+    /// (the byte-identical oracle path; slower, same results).
+    pub cold: bool,
 }
 
 impl Default for Config {
@@ -32,6 +35,7 @@ impl Default for Config {
             rounds: 200,
             seed: 6_0001,
             jobs: 1,
+            cold: false,
         }
     }
 }
@@ -79,6 +83,7 @@ pub fn run(cfg: &Config) -> Output {
         base_seed: cfg.seed ^ 0x5a5a,
         collect_ld: true,
         jobs: cfg.jobs,
+        cold: cfg.cold,
     });
     let main = run_sweep(&SweepConfig {
         grid: Grid::file_size_kb_sweep(Family::ViUniprocessor, &cfg.sizes_kb),
@@ -86,6 +91,7 @@ pub fn run(cfg: &Config) -> Output {
         base_seed: cfg.seed,
         collect_ld: false,
         jobs: cfg.jobs,
+        cold: cfg.cold,
     });
     let mut rows = Vec::new();
     for (probe, sp) in probes.points.iter().zip(&main.points) {
@@ -152,6 +158,7 @@ mod tests {
             rounds: 120,
             seed: 42,
             jobs: 1,
+            cold: false,
         });
         assert_eq!(out.rows.len(), 2);
         let small = &out.rows[0];

@@ -22,6 +22,9 @@ pub struct Config {
     /// Worker threads for each Monte-Carlo batch (`1` = serial,
     /// `0` = auto); results are identical for every value.
     pub jobs: usize,
+    /// Run every round from a cold boot instead of the warm checkpoint
+    /// (the byte-identical oracle path; slower, same results).
+    pub cold: bool,
 }
 
 impl Default for Config {
@@ -31,6 +34,7 @@ impl Default for Config {
             rounds: 10,
             seed: 7_0001,
             jobs: 1,
+            cold: false,
         }
     }
 }
@@ -72,6 +76,7 @@ pub fn run(cfg: &Config) -> Output {
         base_seed: cfg.seed,
         collect_ld: true,
         jobs: cfg.jobs,
+        cold: cfg.cold,
     });
     let mut rows = Vec::new();
     for sp in &sweep.points {
@@ -153,6 +158,7 @@ mod tests {
             rounds: 5,
             seed: 3,
             jobs: 1,
+            cold: false,
         });
         assert_eq!(out.rows.len(), 3);
         let slope = out.l_slope_us_per_kb();

@@ -18,6 +18,9 @@ pub struct Config {
     /// Worker threads for each Monte-Carlo batch (`1` = serial,
     /// `0` = auto); results are identical for every value.
     pub jobs: usize,
+    /// Run every round from a cold boot instead of the warm checkpoint
+    /// (the byte-identical oracle path; slower, same results).
+    pub cold: bool,
 }
 
 impl Default for Config {
@@ -26,6 +29,7 @@ impl Default for Config {
             rounds: 200,
             seed: 12_0001,
             jobs: 1,
+            cold: false,
         }
     }
 }
@@ -60,6 +64,7 @@ pub fn run(cfg: &Config) -> Output {
                 base_seed: cfg.seed + salt,
                 collect_ld: false,
                 jobs: cfg.jobs,
+                cold: cfg.cold,
             },
         )
         .rate
@@ -122,6 +127,7 @@ mod tests {
             rounds: 40,
             seed: 2,
             jobs: 1,
+            cold: false,
         });
         for r in &out.rows {
             assert!(

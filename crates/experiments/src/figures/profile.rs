@@ -32,6 +32,9 @@ pub struct Config {
     /// Worker threads per Monte-Carlo batch (`1` = serial, `0` = auto);
     /// the profile is identical for every value.
     pub jobs: usize,
+    /// Run every round from a cold boot instead of the warm checkpoint
+    /// (the byte-identical oracle path; slower, same results).
+    pub cold: bool,
 }
 
 impl Default for Config {
@@ -40,6 +43,7 @@ impl Default for Config {
             rounds: 120,
             seed: 0x0B5E_47E5, // "observes"
             jobs: 1,
+            cold: false,
         }
     }
 }
@@ -177,6 +181,7 @@ pub fn profile_scenario(scenario: &Scenario, cfg: &Config) -> ScenarioProfile {
             base_seed: cfg.seed,
             collect_ld: false,
             jobs: cfg.jobs,
+            cold: cfg.cold,
         },
     );
     condense(scenario, cfg.seed, out)
@@ -256,6 +261,7 @@ pub fn run(cfg: &Config) -> Output {
         base_seed: cfg.seed,
         collect_ld: false,
         jobs: cfg.jobs,
+        cold: cfg.cold,
     });
     Output {
         rows: grid
@@ -359,6 +365,7 @@ mod tests {
             rounds: 20,
             seed: 11,
             jobs: 1,
+            cold: false,
         });
         assert_eq!(out.rows.len(), 4);
         for r in &out.rows {
@@ -400,6 +407,7 @@ mod tests {
             rounds: 16,
             seed: 77,
             jobs: 1,
+            cold: false,
         };
         let a = profile_scenario(&scenario, &cfg1);
         let b = profile_scenario(&scenario, &Config { jobs: 4, ..cfg1 });

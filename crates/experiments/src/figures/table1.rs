@@ -26,6 +26,9 @@ pub struct Config {
     /// Worker threads for each Monte-Carlo batch (`1` = serial,
     /// `0` = auto); results are identical for every value.
     pub jobs: usize,
+    /// Run every round from a cold boot instead of the warm checkpoint
+    /// (the byte-identical oracle path; slower, same results).
+    pub cold: bool,
 }
 
 impl Default for Config {
@@ -35,6 +38,7 @@ impl Default for Config {
             seed: 1_0001,
             p_interference: 0.04,
             jobs: 1,
+            cold: false,
         }
     }
 }
@@ -70,6 +74,7 @@ pub fn run(cfg: &Config) -> Output {
             base_seed: cfg.seed,
             collect_ld: true,
             jobs: cfg.jobs,
+            cold: cfg.cold,
         },
     );
     let l = mc.l.expect("vi SMP rounds always detect");
@@ -142,6 +147,7 @@ mod tests {
             seed: 5,
             p_interference: 0.04,
             jobs: 1,
+            cold: false,
         });
         // L and D in the paper's ballpark, with L > D.
         assert!((50.0..75.0).contains(&out.l.mean), "L {}", out.l.mean);

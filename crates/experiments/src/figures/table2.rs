@@ -25,6 +25,9 @@ pub struct Config {
     /// Worker threads for each Monte-Carlo batch (`1` = serial,
     /// `0` = auto); results are identical for every value.
     pub jobs: usize,
+    /// Run every round from a cold boot instead of the warm checkpoint
+    /// (the byte-identical oracle path; slower, same results).
+    pub cold: bool,
 }
 
 impl Default for Config {
@@ -34,6 +37,7 @@ impl Default for Config {
             seed: 2_0001,
             file_size: 2048,
             jobs: 1,
+            cold: false,
         }
     }
 }
@@ -67,6 +71,7 @@ pub fn run(cfg: &Config) -> Output {
             base_seed: cfg.seed,
             collect_ld: true,
             jobs: cfg.jobs,
+            cold: cfg.cold,
         },
     );
     let l = mc.l.expect("gedit SMP rounds mostly detect");
@@ -127,6 +132,7 @@ mod tests {
             seed: 11,
             file_size: 2048,
             jobs: 1,
+            cold: false,
         });
         // D in the paper's ballpark; L small.
         assert!((25.0..45.0).contains(&out.d.mean), "D {}", out.d.mean);

@@ -22,7 +22,7 @@ use tocttou_core::analysis::{LdEstimator, LdSample};
 use tocttou_core::model::MeasuredUs;
 use tocttou_core::stats::{OnlineStats, SuccessCounter};
 use tocttou_os::detect::DetectionEvent;
-use tocttou_os::kernel::KernelPool;
+use tocttou_os::kernel::{Checkpoint, KernelPool};
 use tocttou_os::metrics::MetricsSnapshot;
 use tocttou_os::vfs::Vfs;
 use tocttou_sim::trace::Trace;
@@ -43,6 +43,13 @@ pub struct McConfig {
     /// machine's parallelism. The outcome is bit-identical for every
     /// value.
     pub jobs: usize,
+    /// Cold-boot every round instead of resuming from the warm
+    /// checkpoint. The warm path (the default, `false`) simulates the
+    /// seed-independent prefix once per batch and restores it per round;
+    /// the cold path re-simulates it every round and is kept as the
+    /// **oracle**: outcomes are byte-identical either way, asserted by
+    /// `tests/checkpoint_determinism.rs`.
+    pub cold: bool,
 }
 
 impl Default for McConfig {
@@ -52,6 +59,7 @@ impl Default for McConfig {
             base_seed: 0x7061_7065,
             collect_ld: false,
             jobs: 1,
+            cold: false,
         }
     }
 }
@@ -60,6 +68,13 @@ impl McConfig {
     /// Returns the config with `jobs` worker threads (`0` = auto).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Returns the config running every round from a cold boot (the
+    /// warm-checkpoint oracle path).
+    pub fn with_cold(mut self, cold: bool) -> Self {
+        self.cold = cold;
         self
     }
 }
@@ -368,6 +383,35 @@ impl PointAcc {
     }
 }
 
+/// How each round's kernel is instantiated: resumed from a shared warm
+/// [`Checkpoint`] (the default), or cold-booted from the filesystem
+/// template (the oracle, [`McConfig::cold`]). Both paths produce
+/// byte-identical rounds; `Warm` skips the seed-independent boot prefix.
+#[derive(Clone, Copy)]
+pub(crate) enum RoundBoot<'a> {
+    /// Resume from the batch's warm checkpoint.
+    Warm(&'a Checkpoint),
+    /// Cold-boot from the filesystem template.
+    Cold(&'a Vfs),
+}
+
+impl<'a> RoundBoot<'a> {
+    /// Picks the boot mode for a batch: one warm checkpoint per batch
+    /// unless the config demands the cold oracle.
+    pub(crate) fn for_batch(
+        scenario: &Scenario,
+        template: &'a Vfs,
+        ck: &'a mut Option<Checkpoint>,
+        cold: bool,
+    ) -> Self {
+        if cold {
+            RoundBoot::Cold(template)
+        } else {
+            RoundBoot::Warm(ck.insert(scenario.round_checkpoint(template)))
+        }
+    }
+}
+
 /// Simulates one round on pooled buffers and extracts its observation.
 ///
 /// The round's kernel metrics aren't extracted here: the pool is created
@@ -377,13 +421,16 @@ impl PointAcc {
 /// pure integer accumulation).
 pub(crate) fn run_one_round(
     scenario: &Scenario,
-    template: &Vfs,
+    boot: RoundBoot<'_>,
     pool: KernelPool,
     seed: u64,
     kind: WindowKind,
     collect_ld: bool,
 ) -> (RoundObs, KernelPool) {
-    let mut handles = scenario.build_pooled(seed, collect_ld, template, pool);
+    let mut handles = match boot {
+        RoundBoot::Warm(ck) => scenario.build_from_checkpoint(ck, seed, collect_ld, pool),
+        RoundBoot::Cold(template) => scenario.build_pooled(seed, collect_ld, template, pool),
+    };
     let result = scenario.finish_round(&mut handles);
     let detections = handles.kernel.detections();
     let mut obs = RoundObs {
@@ -420,6 +467,8 @@ pub(crate) fn run_one_round(
 pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
     let kind = window_kind_of(scenario);
     let template = scenario.template_vfs();
+    let mut ck = None;
+    let boot = RoundBoot::for_batch(scenario, &template, &mut ck, cfg.cold);
     let jobs = effective_jobs(cfg.jobs, cfg.rounds);
 
     // The single fold used by both paths: per-round op order on the
@@ -433,8 +482,7 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
         let mut pool = KernelPool::new().retain_metrics();
         for i in 0..cfg.rounds {
             let seed = cfg.base_seed.wrapping_add(i);
-            let (obs, returned) =
-                run_one_round(scenario, &template, pool, seed, kind, cfg.collect_ld);
+            let (obs, returned) = run_one_round(scenario, boot, pool, seed, kind, cfg.collect_ld);
             pool = returned;
             acc.fold(obs);
         }
@@ -448,7 +496,6 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
             .filter(|(start, end)| start < end)
             .collect();
         let per_block: Vec<(Vec<RoundObs>, MetricsSnapshot)> = std::thread::scope(|scope| {
-            let template = &template;
             let handles: Vec<_> = blocks
                 .iter()
                 .map(|&(start, end)| {
@@ -458,7 +505,7 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
                         for i in start..end {
                             let seed = cfg.base_seed.wrapping_add(i);
                             let (obs, returned) =
-                                run_one_round(scenario, template, pool, seed, kind, cfg.collect_ld);
+                                run_one_round(scenario, boot, pool, seed, kind, cfg.collect_ld);
                             pool = returned;
                             out.push(obs);
                         }
@@ -510,6 +557,7 @@ mod tests {
                 base_seed: 1,
                 collect_ld: false,
                 jobs: 1,
+                cold: false,
             },
         );
         assert_eq!(out.rounds, 10);
@@ -532,6 +580,7 @@ mod tests {
                 base_seed: 1,
                 collect_ld: false,
                 jobs: 1,
+                cold: false,
             },
         );
         assert!(out.rate > 0.9, "stripping metrics must not change results");
@@ -549,6 +598,7 @@ mod tests {
                 base_seed: 100,
                 collect_ld: true,
                 jobs: 1,
+                cold: false,
             },
         );
         let l = out.l.expect("L collected");
@@ -568,6 +618,7 @@ mod tests {
             base_seed: 9,
             collect_ld: false,
             jobs: 1,
+            cold: false,
         };
         let a = run_mc(&s, &cfg);
         let b = run_mc(&s, &cfg);
@@ -582,6 +633,7 @@ mod tests {
             base_seed: 4242,
             collect_ld: true,
             jobs: 1,
+            cold: false,
         };
         let serial = run_mc(&s, &base);
         for jobs in [2, 3, 4] {
@@ -663,6 +715,7 @@ mod tests {
                 base_seed: 3,
                 collect_ld: false,
                 jobs: 1,
+                cold: false,
             },
         );
         assert!(out.flagged_rounds > 0, "vi SMP rounds must be flagged");
@@ -701,6 +754,7 @@ mod tests {
                 base_seed: 2,
                 collect_ld: false,
                 jobs: 1,
+                cold: false,
             },
         );
         let text = out.to_string();

@@ -31,10 +31,10 @@
 //! many points without cross-contaminating their metric folds.
 
 use crate::grid::{Grid, PointDesc};
-use crate::monte_carlo::{effective_jobs, run_one_round, McOutcome, PointAcc};
+use crate::monte_carlo::{effective_jobs, run_one_round, McOutcome, PointAcc, RoundBoot};
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use tocttou_os::kernel::KernelPool;
+use tocttou_os::kernel::{Checkpoint, KernelPool};
 use tocttou_os::metrics::MetricsSnapshot;
 use tocttou_workloads::scenario::Scenario;
 
@@ -56,6 +56,10 @@ pub struct SweepConfig {
     /// Worker threads shared by the whole grid (`0` = auto, `1` =
     /// serial). Results are bit-identical for every value.
     pub jobs: usize,
+    /// Cold-boot every round instead of resuming each point's warm
+    /// checkpoint — the oracle path, byte-identical to the warm default
+    /// (see [`McConfig::cold`](crate::monte_carlo::McConfig::cold)).
+    pub cold: bool,
 }
 
 impl Default for SweepConfig {
@@ -66,6 +70,7 @@ impl Default for SweepConfig {
             base_seed: 0x7061_7065,
             collect_ld: false,
             jobs: 1,
+            cold: false,
         }
     }
 }
@@ -137,6 +142,26 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
         }
     };
 
+    // One warm checkpoint per point (unless the cold oracle is requested):
+    // each point's seed-independent prefix — boot, defense, forked
+    // template — is simulated once here and restored per round. The
+    // checkpoints are `Send + Sync`, so every worker resumes from the same
+    // shared instances.
+    let checkpoints: Vec<Checkpoint> = if cfg.cold {
+        Vec::new()
+    } else {
+        scenarios
+            .iter()
+            .zip(&templates)
+            .map(|(s, t)| s.round_checkpoint(t))
+            .collect()
+    };
+    let boots: Vec<RoundBoot<'_>> = if cfg.cold {
+        templates.iter().map(RoundBoot::Cold).collect()
+    } else {
+        checkpoints.iter().map(RoundBoot::Warm).collect()
+    };
+
     let total_rounds = cfg.rounds.saturating_mul(points.len() as u64);
     let jobs = effective_jobs(cfg.jobs, total_rounds);
 
@@ -151,7 +176,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
             for i in 0..cfg.rounds {
                 let (obs, returned) = run_one_round(
                     scenario,
-                    &templates[p],
+                    boots[p],
                     pool,
                     point_seed.wrapping_add(i),
                     kinds[p],
@@ -182,11 +207,16 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
             }
         }
 
+        // Never spawn more workers than there are items to claim: a tiny
+        // `--rounds` grid can yield fewer items than `jobs` (the block
+        // partition caps items per point), and a worker with no item to
+        // claim would be spawned only to exit.
+        let workers = jobs.min(items.len());
         let next = AtomicUsize::new(0);
         let results: Vec<ItemResult> = std::thread::scope(|scope| {
-            let (items, scenarios, templates, kinds, next) =
-                (&items, &scenarios, &templates, &kinds, &next);
-            let handles: Vec<_> = (0..jobs)
+            let (items, scenarios, boots, kinds, next) =
+                (&items, &scenarios, &boots, &kinds, &next);
+            let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(move || {
                         // One long-lived recycled pool per worker, shared
@@ -202,7 +232,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
                             for i in item.start..item.end {
                                 let (o, returned) = run_one_round(
                                     &scenarios[p],
-                                    &templates[p],
+                                    boots[p],
                                     pool,
                                     point_seed.wrapping_add(i),
                                     kinds[p],
@@ -301,6 +331,7 @@ mod tests {
             base_seed: 0xABCD,
             collect_ld: true,
             jobs: 1,
+            cold: false,
         };
         let sweep = run_sweep(&cfg);
         assert_eq!(sweep.points.len(), 3);
@@ -312,6 +343,7 @@ mod tests {
                     base_seed: cfg.base_seed + point.seed_salt,
                     collect_ld: cfg.collect_ld,
                     jobs: 1,
+                    cold: false,
                 },
             );
             assert_eq!(
@@ -331,6 +363,7 @@ mod tests {
             base_seed: 91,
             collect_ld: false,
             jobs: 1,
+            cold: false,
         };
         let serial = serde_json::to_string(&run_sweep(&base)).unwrap();
         for jobs in [2, 3, 5] {
@@ -354,6 +387,7 @@ mod tests {
             base_seed: 1,
             collect_ld: false,
             jobs: 4,
+            cold: false,
         });
         assert!(out.points.is_empty());
     }
@@ -366,6 +400,7 @@ mod tests {
             base_seed: 5,
             collect_ld: false,
             jobs: 2,
+            cold: false,
         });
         let text = out.to_string();
         assert!(text.contains("2 points"), "{text}");

@@ -170,6 +170,28 @@ impl DetectorState {
         self.enabled
     }
 
+    /// Rearms the table for a fresh round, dropping every window while
+    /// retaining the `Vec`'s capacity.
+    ///
+    /// Pooled kernels call this on every boot and checkpoint restore so
+    /// window state can never leak from one round into the next — a reset
+    /// detector is observably identical to [`DetectorState::new`].
+    pub fn reset(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        self.windows.clear();
+    }
+
+    /// Overwrites this table with `source`'s full state (enabled flag and
+    /// open windows), reusing this table's allocation where possible.
+    ///
+    /// This is the checkpoint-restore path: the restored detector comes
+    /// *only* from the checkpoint, never from whatever the pooled buffer
+    /// held before.
+    pub(crate) fn restore_from(&mut self, source: &DetectorState) {
+        self.enabled = source.enabled;
+        self.windows.clone_from(&source.windows);
+    }
+
     /// Number of open windows (for tests).
     pub fn window_count(&self) -> usize {
         self.windows.len()

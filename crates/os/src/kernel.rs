@@ -34,7 +34,7 @@ use crate::syscall::{compile, CommitStep, CpuKind, Phase};
 use crate::vfs::{InodeMeta, Vfs};
 use std::collections::VecDeque;
 use tocttou_core::taxonomy::FsCall;
-use tocttou_sim::queue::{EventId, EventQueue};
+use tocttou_sim::queue::{EventId, EventQueue, QueueSnapshot};
 use tocttou_sim::rng::SimRng;
 use tocttou_sim::time::{SimDuration, SimTime};
 use tocttou_sim::trace::Trace;
@@ -53,7 +53,7 @@ enum Event {
     BgEnd { cpu: CpuId },
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Cpu {
     running: Option<Pid>,
     bg_active: bool,
@@ -94,9 +94,96 @@ pub struct KernelPool {
     sems: SemTable,
     vfs: Vfs,
     metrics: KernelMetrics,
+    detector: DetectorState,
     /// Per-process containers harvested from the previous round's
     /// processes, handed back out by `spawn`.
     spare: Vec<ProcBuffers>,
+}
+
+/// A warm-boot checkpoint: the machine frozen at the **divergence point**,
+/// i.e. after everything seed-independent (boot, defense policy, template
+/// filesystem) and before the first event whose timing draws from the
+/// per-round RNG (background arming, process spawning).
+///
+/// Produced by [`Kernel::checkpoint`] on a [`Kernel::boot_unarmed`]
+/// machine; consumed any number of times by [`Checkpoint::boot`]. The
+/// filesystem is captured through the VFS's structural-sharing
+/// copy-on-write representation, so both taking and restoring a checkpoint
+/// cost O(inode count) reference bumps, not a deep copy — and the
+/// checkpoint is `Send + Sync`, so parallel Monte-Carlo workers share one
+/// immutable checkpoint across threads.
+#[derive(Clone)]
+pub struct Checkpoint {
+    spec: MachineSpec,
+    now: SimTime,
+    queue: QueueSnapshot<Event>,
+    cpus: Vec<Cpu>,
+    ready: VecDeque<Pid>,
+    sems: SemTable,
+    vfs: Vfs,
+    live: usize,
+    events_processed: u64,
+    defense: DefenseState,
+    detector: DetectorState,
+}
+
+impl Checkpoint {
+    /// Boots a machine from this checkpoint on the buffers of `pool`, then
+    /// arms background activity with a fresh RNG seeded from `seed`.
+    ///
+    /// The result is byte-identical to [`Kernel::with_pool`] with the same
+    /// `seed` followed by the same pre-spawn setup the checkpointed kernel
+    /// received: the restored queue is empty with its sequence counter at
+    /// zero, so the background arrival events drawn here get the exact
+    /// sequence numbers (and therefore tie-breaking order) of a cold boot.
+    ///
+    /// Per-round state that rides in the pool — event queue, traces,
+    /// detector windows, metrics accumulators — is reset explicitly here;
+    /// the restored machine takes that state *only* from the checkpoint,
+    /// never from whatever round previously used the pool.
+    pub fn boot(&self, seed: u64, mut pool: KernelPool) -> Kernel {
+        pool.queue.restore(&self.queue);
+        pool.trace.reset();
+        pool.trace.enable();
+        pool.detections.reset();
+        pool.detections.enable();
+        for p in pool.procs.drain(..) {
+            pool.spare.push(p.into_buffers());
+        }
+        pool.ready.clone_from(&self.ready);
+        pool.sems.clone_from(&self.sems);
+        pool.cpus.clone_from(&self.cpus);
+        pool.vfs.clone_from(&self.vfs);
+        pool.metrics.reset(self.spec.metrics);
+        pool.detector.restore_from(&self.detector);
+        let mut kernel = Kernel {
+            cpus: pool.cpus,
+            spec: self.spec.clone(),
+            now: self.now,
+            queue: pool.queue,
+            rng: SimRng::seed_from_u64(seed),
+            procs: pool.procs,
+            ready: pool.ready,
+            sems: pool.sems,
+            vfs: pool.vfs,
+            trace: pool.trace,
+            live: self.live,
+            events_processed: self.events_processed,
+            defense: self.defense.clone(),
+            detector: pool.detector,
+            detections: pool.detections,
+            metrics: pool.metrics,
+            spare: pool.spare,
+            bg_armed: false,
+        };
+        kernel.arm_background();
+        kernel
+    }
+
+    /// The machine spec the checkpointed kernel was booted from.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.spec
+    }
 }
 
 impl KernelPool {
@@ -158,6 +245,10 @@ pub struct Kernel {
     detections: Trace<DetectionEvent>,
     metrics: KernelMetrics,
     spare: Vec<ProcBuffers>,
+    /// Whether the per-CPU background arrival events have been armed.
+    /// Arming draws from the per-round RNG, so it marks the divergence
+    /// point: a [`Checkpoint`] may only be taken while this is `false`.
+    bg_armed: bool,
 }
 
 impl Kernel {
@@ -179,7 +270,26 @@ impl Kernel {
     /// # Panics
     ///
     /// Panics if the spec fails validation.
-    pub fn with_pool(spec: MachineSpec, seed: u64, mut pool: KernelPool) -> Self {
+    pub fn with_pool(spec: MachineSpec, seed: u64, pool: KernelPool) -> Self {
+        let mut kernel = Self::boot_unarmed(spec, seed, pool);
+        kernel.arm_background();
+        kernel
+    }
+
+    /// Boots a machine whose background activity has **not** been armed
+    /// yet, i.e. before the first per-round RNG draw. This is the state a
+    /// warm-boot [`Checkpoint`] is taken in: everything seed-independent
+    /// (boot, defense policy, filesystem template) can be staged on such a
+    /// kernel and snapshotted, and [`Checkpoint::boot`] later replays the
+    /// arming with the real round seed.
+    ///
+    /// The RNG is seeded but untouched; a kernel used only to produce a
+    /// checkpoint can pass any seed here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn boot_unarmed(spec: MachineSpec, seed: u64, mut pool: KernelPool) -> Self {
         spec.validate().expect("machine spec must be valid");
         pool.queue.clear();
         pool.trace.reset();
@@ -195,8 +305,8 @@ impl Kernel {
         pool.cpus.resize_with(spec.cpus, Cpu::default);
         pool.vfs.reset();
         pool.metrics.reset(spec.metrics);
-        let detect = spec.detect;
-        let mut kernel = Kernel {
+        pool.detector.reset(spec.detect);
+        Kernel {
             cpus: pool.cpus,
             spec,
             now: SimTime::ZERO,
@@ -210,24 +320,32 @@ impl Kernel {
             live: 0,
             events_processed: 0,
             defense: DefenseState::default(),
-            detector: DetectorState::new(detect),
+            detector: pool.detector,
             detections: pool.detections,
             metrics: pool.metrics,
             spare: pool.spare,
-        };
-        // Arm background activity per CPU.
-        if kernel.spec.background.is_active() {
-            for c in 0..kernel.cpus.len() {
-                let delay = kernel.sample_bg_interarrival();
-                kernel.queue.push(
-                    kernel.now + delay,
+            bg_armed: false,
+        }
+    }
+
+    /// Arms the per-CPU background arrival events, drawing one exponential
+    /// inter-arrival sample per CPU from the kernel RNG. The first
+    /// RNG-dependent events of a round; everything before this call is
+    /// seed-independent.
+    fn arm_background(&mut self) {
+        debug_assert!(!self.bg_armed, "background activity armed twice");
+        self.bg_armed = true;
+        if self.spec.background.is_active() {
+            for c in 0..self.cpus.len() {
+                let delay = self.sample_bg_interarrival();
+                self.queue.push(
+                    self.now + delay,
                     Event::BgArrive {
                         cpu: CpuId(c as u16),
                     },
                 );
             }
         }
-        kernel
     }
 
     /// Tears the kernel down into its reusable buffers.
@@ -242,7 +360,47 @@ impl Kernel {
             sems: self.sems,
             vfs: self.vfs,
             metrics: self.metrics,
+            detector: self.detector,
             spare: self.spare,
+        }
+    }
+
+    /// Captures the machine at the divergence point: the full deterministic
+    /// prefix — booted scheduler, per-CPU state, semaphore tables, defense
+    /// policy and the copy-on-write filesystem — frozen just before the
+    /// first per-round RNG draw. [`Checkpoint::boot`] restores it in
+    /// O(changed state) and re-runs only the seed-dependent part, producing
+    /// a machine byte-identical to a cold [`Kernel::with_pool`] boot given
+    /// the same subsequent setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if background activity has already been armed or a process
+    /// has been spawned — both consume the per-round RNG, so the machine is
+    /// past the divergence point and no longer seed-independent. (Process
+    /// logic is also deliberately not cloneable.)
+    pub fn checkpoint(&self) -> Checkpoint {
+        assert!(
+            !self.bg_armed,
+            "checkpoint must be taken before background activity is armed \
+             (boot via Kernel::boot_unarmed)"
+        );
+        assert!(
+            self.procs.is_empty(),
+            "checkpoint must be taken before any process is spawned"
+        );
+        Checkpoint {
+            spec: self.spec.clone(),
+            now: self.now,
+            queue: self.queue.snapshot(),
+            cpus: self.cpus.clone(),
+            ready: self.ready.clone(),
+            sems: self.sems.clone(),
+            vfs: self.vfs.clone(),
+            live: self.live,
+            events_processed: self.events_processed,
+            defense: self.defense.clone(),
+            detector: self.detector.clone(),
         }
     }
 

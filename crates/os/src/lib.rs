@@ -82,7 +82,7 @@ pub use detect::{DetectionEvent, DetectorState};
 pub use error::OsError;
 pub use event::OsEvent;
 pub use ids::{CpuId, Fd, Gid, Ino, Pid, SemId, Uid};
-pub use kernel::{Kernel, RunOutcome};
+pub use kernel::{Checkpoint, Kernel, KernelPool, RunOutcome};
 pub use machine::{BackgroundSpec, MachineSpec};
 pub use metrics::{KernelMetrics, MetricId, MetricsSnapshot, SchedCounters};
 pub use process::{
@@ -95,7 +95,7 @@ pub mod prelude {
     pub use crate::error::OsError;
     pub use crate::event::OsEvent;
     pub use crate::ids::{CpuId, Fd, Gid, Ino, Pid, SemId, Uid};
-    pub use crate::kernel::{Kernel, RunOutcome};
+    pub use crate::kernel::{Checkpoint, Kernel, KernelPool, RunOutcome};
     pub use crate::machine::{BackgroundSpec, MachineSpec};
     pub use crate::metrics::{KernelMetrics, MetricId, MetricsSnapshot, SchedCounters};
     pub use crate::process::{

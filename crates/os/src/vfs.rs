@@ -15,6 +15,7 @@
 use crate::error::OsError;
 use crate::ids::{Gid, Ino, SemId, Uid};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Maximum symlink traversals before `ELOOP`, matching Linux's nested-link
 /// limit.
@@ -141,13 +142,22 @@ pub struct Resolved {
 
 /// The simulated filesystem tree.
 ///
+/// The inode table is a structural-sharing copy-on-write store: each slot
+/// holds an `Arc<Inode>`, so [`Clone`] (and `clone_from` against a
+/// template) is O(#inodes) reference-count bumps instead of a deep copy,
+/// and the first mutation of an inode in a fork clones just that inode
+/// ([`Arc::make_mut`]). Forks therefore alias the template's storage
+/// without ever being able to mutate it — the warm-boot checkpoint
+/// machinery restores a filesystem in O(changed inodes).
+///
 /// `PartialEq` compares full observable state (inode table, semaphore
-/// numbering, recorded labels); the sweep fork-equivalence tests use it to
-/// prove that a snapshot/forked template is indistinguishable from one
-/// built from scratch.
+/// numbering, recorded labels — `Arc<Inode>` equality is structural);
+/// the sweep fork-equivalence tests use it to prove that a
+/// snapshot/forked template is indistinguishable from one built from
+/// scratch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Vfs {
-    inodes: Vec<Option<Inode>>,
+    inodes: Vec<Option<Arc<Inode>>>,
     root: Ino,
     next_sem: u32,
     /// `Some` only while semaphore-label recording is on (see
@@ -239,13 +249,13 @@ impl Vfs {
         let ino = Ino(self.inodes.len() as u32);
         let sem = SemId(self.next_sem);
         self.next_sem += 1;
-        self.inodes.push(Some(Inode {
+        self.inodes.push(Some(Arc::new(Inode {
             ino,
             kind,
             meta,
             sem,
             nlink: 1,
-        }));
+        })));
         ino
     }
 
@@ -265,14 +275,18 @@ impl Vfs {
     pub fn inode(&self, ino: Ino) -> Result<&Inode, OsError> {
         self.inodes
             .get(ino.index())
-            .and_then(|i| i.as_ref())
+            .and_then(|i| i.as_deref())
             .ok_or(OsError::Enoent)
     }
 
+    /// Mutable access via copy-on-write: an inode still shared with a
+    /// template (or another fork) is cloned on this first write, so
+    /// mutations never reach an aliased filesystem.
     fn inode_mut(&mut self, ino: Ino) -> Result<&mut Inode, OsError> {
         self.inodes
             .get_mut(ino.index())
             .and_then(|i| i.as_mut())
+            .map(Arc::make_mut)
             .ok_or(OsError::Enoent)
     }
 
@@ -992,5 +1006,109 @@ mod tests {
         let vfs = setup();
         assert_eq!(vfs.stat("/"), Err(OsError::Einval));
         assert_eq!(vfs.stat(""), Err(OsError::Einval));
+    }
+
+    #[test]
+    fn fork_mutations_stay_out_of_the_template() {
+        let template = setup();
+        let mut fork = template.clone();
+        fork.chown("/etc/passwd", Uid(1000), Gid(1000)).unwrap();
+        fork.unlink_detach("/etc/passwd").unwrap();
+        fork.symlink("/etc/passwd", "/home/user/planted", (Uid(1000), Gid(1000)))
+            .unwrap();
+        assert_eq!(template.stat("/etc/passwd").unwrap().uid, Uid::ROOT);
+        assert_eq!(
+            template.lstat("/home/user/planted"),
+            Err(OsError::Enoent),
+            "fork-created names invisible in the template"
+        );
+        assert_eq!(&template, &setup(), "template bit-unchanged");
+    }
+
+    mod cow {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One mutating VFS operation over a small closed path set
+        /// (indices into [`PATHS`]); failing ops are fine — they exercise
+        /// the resolution paths without mutating anything.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Create(usize),
+            Append(usize, u64),
+            Symlink(usize, usize),
+            Unlink(usize),
+            Rename(usize, usize),
+            Chmod(usize, u32),
+            Chown(usize, u32),
+            Mkdir(usize),
+            Rmdir(usize),
+        }
+
+        const PATHS: [&str; 6] = [
+            "/etc/passwd",
+            "/home/user/doc",
+            "/home/user/link",
+            "/home/user/tmp",
+            "/home/user/sub",
+            "/etc/shadow",
+        ];
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            let p = || 0usize..PATHS.len();
+            prop_oneof![
+                p().prop_map(Op::Create),
+                (p(), 1u64..4096).prop_map(|(i, n)| Op::Append(i, n)),
+                (p(), p()).prop_map(|(t, l)| Op::Symlink(t, l)),
+                p().prop_map(Op::Unlink),
+                (p(), p()).prop_map(|(f, t)| Op::Rename(f, t)),
+                (p(), 0u32..0o1000).prop_map(|(i, m)| Op::Chmod(i, m)),
+                (p(), 0u32..3000).prop_map(|(i, u)| Op::Chown(i, u)),
+                p().prop_map(Op::Mkdir),
+                p().prop_map(Op::Rmdir),
+            ]
+        }
+
+        fn apply(vfs: &mut Vfs, op: &Op) {
+            match op {
+                Op::Create(p) => drop(vfs.create_file(PATHS[*p], meta(1000))),
+                Op::Append(p, n) => {
+                    if let Ok(st) = vfs.stat(PATHS[*p]) {
+                        let _ = vfs.append(st.ino, *n);
+                    }
+                }
+                Op::Symlink(t, l) => {
+                    let _ = vfs.symlink(PATHS[*t], PATHS[*l], (Uid(1000), Gid(1000)));
+                }
+                Op::Unlink(p) => drop(vfs.unlink_detach(PATHS[*p])),
+                Op::Rename(f, t) => drop(vfs.rename(PATHS[*f], PATHS[*t])),
+                Op::Chmod(p, m) => drop(vfs.chmod(PATHS[*p], *m)),
+                Op::Chown(p, u) => drop(vfs.chown(PATHS[*p], Uid(*u), Gid(*u))),
+                Op::Mkdir(p) => drop(vfs.mkdir(PATHS[*p], meta(1000))),
+                Op::Rmdir(p) => drop(vfs.rmdir(PATHS[*p])),
+            }
+        }
+
+        proptest! {
+            /// Aliasing safety of the copy-on-write inode store: a fork
+            /// behaves exactly like an independent deep copy (same final
+            /// state as replaying the ops on a standalone filesystem) and
+            /// the template it shares storage with stays bit-unchanged.
+            #[test]
+            fn fork_is_indistinguishable_from_a_deep_copy(
+                ops in proptest::collection::vec(op_strategy(), 1..40)
+            ) {
+                let template = setup();
+                let mut fork = template.clone();
+                let mut standalone = setup();
+                for op in &ops {
+                    apply(&mut fork, op);
+                    apply(&mut standalone, op);
+                }
+                prop_assert_eq!(&fork, &standalone, "fork diverged from deep-copy semantics");
+                prop_assert_eq!(&template, &setup(), "template mutated through fork aliasing");
+                prop_assert!(template.check_invariants().is_ok());
+            }
+        }
     }
 }

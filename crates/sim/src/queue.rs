@@ -621,6 +621,108 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// A frozen copy of an [`EventQueue`]'s pending events and sequence
+/// counter, produced by [`EventQueue::snapshot`] and consumed by
+/// [`EventQueue::restore`].
+///
+/// The snapshot is *behavioral*, not structural: it records the live
+/// `(deadline, sequence, payload)` triples plus the sequence counter,
+/// which together determine every future observable of the queue —
+/// delivery order (FIFO on ties via the sequence numbers), the ids the
+/// next pushes will hand out, and the fact that ids consumed before the
+/// snapshot stay dead (their liveness bits are *not* captured, so
+/// cancelling them after a restore still reports `false`). Which tier an
+/// entry happened to occupy (front buffer, wheel slot, `past`) is
+/// deliberately not recorded.
+#[derive(Debug, Clone)]
+pub struct QueueSnapshot<E> {
+    /// Live entries as `(at, seq, payload)`, in no particular order.
+    entries: Vec<(u64, u64, E)>,
+    /// Sequence counter at snapshot time; every captured `seq` is below it.
+    next_seq: u64,
+}
+
+impl<E> QueueSnapshot<E> {
+    /// Number of pending events captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the snapshot holds no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<E: Clone> EventQueue<E> {
+    /// Captures every pending (non-cancelled) event and the sequence
+    /// counter. Cost is O(pending + occupied slots); the queue is not
+    /// mutated.
+    pub fn snapshot(&self) -> QueueSnapshot<E> {
+        let mut entries = Vec::with_capacity(self.live_count);
+        let live = |e: &Entry<E>| {
+            let (word, bit) = (e.seq / 64, e.seq % 64);
+            self.live_bits
+                .get(word as usize)
+                .is_some_and(|w| w & (1 << bit) != 0)
+        };
+        for e in self.staging.iter().chain(&self.past) {
+            if live(e) {
+                entries.push((e.at, e.seq, e.payload.clone()));
+            }
+        }
+        for level in 0..LEVELS {
+            let mut occ = self.occupied[level];
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                for e in &self.slots[level * SLOTS + slot] {
+                    if live(e) {
+                        entries.push((e.at, e.seq, e.payload.clone()));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(entries.len(), self.live_count);
+        QueueSnapshot {
+            entries,
+            next_seq: self.next_seq,
+        }
+    }
+
+    /// Resets the queue to the state captured by `snap`, retaining
+    /// allocated capacity.
+    ///
+    /// After a restore the queue is observably identical to the queue the
+    /// snapshot was taken from: same delivery order, same ids from future
+    /// pushes, and ids that were already consumed before the snapshot
+    /// remain dead (cancelling one reports `false`). Cost is O(snapshot
+    /// size + previously occupied slots) — independent of how much history
+    /// the queue accumulated since.
+    pub fn restore(&mut self, snap: &QueueSnapshot<E>) {
+        self.clear();
+        self.next_seq = snap.next_seq;
+        let words = (snap.next_seq as usize).div_ceil(64);
+        if self.live_bits.len() < words {
+            self.live_bits.resize(words, 0);
+        }
+        for &(at, seq, ref payload) in &snap.entries {
+            debug_assert!(seq < snap.next_seq);
+            let (word, bit) = (seq / 64, seq % 64);
+            self.live_bits[word as usize] |= 1 << bit;
+            // The cursor is 0 after `clear`, so every deadline files
+            // directly into the wheel; which tier an entry lands in is
+            // unobservable (delivery order is `(at, seq)` across tiers).
+            self.file(Entry {
+                at,
+                seq,
+                payload: payload.clone(),
+            });
+        }
+        self.live_count = snap.entries.len();
+    }
+}
+
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
@@ -639,7 +741,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 /// [`EventQueue`].
 #[cfg(any(test, feature = "queue-oracle"))]
 pub mod oracle {
-    use super::EventId;
+    use super::{EventId, QueueSnapshot};
     use crate::time::SimTime;
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
@@ -781,6 +883,45 @@ pub mod oracle {
         /// True if no events are pending.
         pub fn is_empty(&self) -> bool {
             self.live_count == 0
+        }
+    }
+
+    impl<E: Clone> HeapEventQueue<E> {
+        /// Captures every pending event and the sequence counter,
+        /// mirroring [`EventQueue::snapshot`](super::EventQueue::snapshot).
+        pub fn snapshot(&self) -> QueueSnapshot<E> {
+            let mut entries = Vec::with_capacity(self.live_count);
+            for e in self.heap.iter() {
+                if self.is_live(e.id) {
+                    entries.push((e.at.as_nanos(), e.seq, e.payload.clone()));
+                }
+            }
+            QueueSnapshot {
+                entries,
+                next_seq: self.next_seq,
+            }
+        }
+
+        /// Resets the queue to the captured state, mirroring
+        /// [`EventQueue::restore`](super::EventQueue::restore).
+        pub fn restore(&mut self, snap: &QueueSnapshot<E>) {
+            self.clear();
+            self.next_seq = snap.next_seq;
+            let words = (snap.next_seq as usize).div_ceil(64);
+            if self.live_bits.len() < words {
+                self.live_bits.resize(words, 0);
+            }
+            for &(at, seq, ref payload) in &snap.entries {
+                let (word, bit) = (seq / 64, seq % 64);
+                self.live_bits[word as usize] |= 1 << bit;
+                self.heap.push(HeapEntry {
+                    at: SimTime::from_nanos(at),
+                    seq,
+                    id: EventId(seq),
+                    payload: payload.clone(),
+                });
+            }
+            self.live_count = snap.entries.len();
         }
     }
 }
@@ -987,6 +1128,70 @@ mod tests {
         assert_eq!(q.pop(), Some((t(60), 'b')));
     }
 
+    #[test]
+    fn snapshot_restore_replays_delivery_order_exactly() {
+        // Entries across all three tiers: wheel (spilled), staging, past.
+        let mut q = EventQueue::new();
+        for i in 0..40u64 {
+            q.push(t(1_000 + i * 64), i); // overflows staging into the wheel
+        }
+        q.push(t(2_000_000), 99);
+        assert_eq!(q.pop(), Some((t(1_000), 0)));
+        q.push(t(500), 77); // behind the cursor -> `past` after a spill
+        let snap = q.snapshot();
+        assert_eq!(snap.len(), q.len());
+        assert!(!snap.is_empty());
+
+        // Drain the original for the reference order, then restore and
+        // re-drain: the orders must match element for element.
+        let mut reference = Vec::new();
+        while let Some(ev) = q.pop() {
+            reference.push(ev);
+        }
+        q.restore(&snap);
+        assert_eq!(q.len(), snap.len());
+        let mut replay = Vec::new();
+        while let Some(ev) = q.pop() {
+            replay.push(ev);
+        }
+        assert_eq!(replay, reference);
+    }
+
+    #[test]
+    fn restore_preserves_seq_counter_and_dead_ids() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 'a');
+        let b = q.push(t(2), 'b');
+        assert_eq!(q.pop(), Some((t(1), 'a')));
+        q.cancel(b);
+        let snap = q.snapshot(); // empty, but next_seq is 2
+        assert!(snap.is_empty());
+        q.push(t(3), 'c');
+        q.restore(&snap);
+        assert!(q.is_empty());
+        assert!(!q.cancel(a), "pre-snapshot consumed ids stay dead");
+        assert!(!q.cancel(b), "pre-snapshot cancelled ids stay dead");
+        let c = q.push(t(5), 'x');
+        assert_eq!(c, EventId(2), "seq counter resumes at snapshot value");
+    }
+
+    #[test]
+    fn snapshot_excludes_cancelled_and_survives_multiple_restores() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 1);
+        let dead = q.push(t(20), 2);
+        q.push(t(30), 3);
+        q.cancel(dead);
+        let snap = q.snapshot();
+        assert_eq!(snap.len(), 2);
+        for _ in 0..3 {
+            q.restore(&snap);
+            assert_eq!(q.pop(), Some((t(10), 1)));
+            assert_eq!(q.pop(), Some((t(30), 3)));
+            assert_eq!(q.pop(), None);
+        }
+    }
+
     mod differential {
         use super::super::oracle::HeapEventQueue;
         use super::*;
@@ -1002,6 +1207,10 @@ mod tests {
             Pop,
             Peek,
             Clear,
+            /// Capture both queues' state.
+            Snapshot,
+            /// Rewind both queues to the last snapshot (no-op if none).
+            Restore,
         }
 
         fn op_strategy() -> impl Strategy<Value = Op> {
@@ -1018,12 +1227,23 @@ mod tests {
                 Just(Op::Pop),
                 Just(Op::Pop),
                 Just(Op::Pop),
-                Just(Op::Pop),
                 Just(Op::Peek),
                 Just(Op::Peek),
                 Just(Op::Clear),
+                Just(Op::Snapshot),
+                Just(Op::Restore),
             ]
         }
+
+        /// Last snapshot of both queues plus the id vectors valid at
+        /// snapshot time (post-snapshot ids are dead after restore,
+        /// exactly like post-clear handles).
+        type SavedState = (
+            QueueSnapshot<u64>,
+            QueueSnapshot<u64>,
+            Vec<EventId>,
+            Vec<EventId>,
+        );
 
         proptest! {
             /// The timing wheel and the heap oracle agree on every
@@ -1036,6 +1256,7 @@ mod tests {
                 let mut heap = HeapEventQueue::new();
                 let mut wheel_ids = Vec::new();
                 let mut heap_ids = Vec::new();
+                let mut saved: Option<SavedState> = None;
                 for op in ops {
                     match op {
                         Op::Push(at) => {
@@ -1061,6 +1282,20 @@ mod tests {
                             heap.clear();
                             wheel_ids.clear();
                             heap_ids.clear();
+                        }
+                        Op::Snapshot => {
+                            let (w, h) = (wheel.snapshot(), heap.snapshot());
+                            prop_assert_eq!(w.len(), h.len());
+                            prop_assert_eq!(w.len(), wheel.len());
+                            saved = Some((w, h, wheel_ids.clone(), heap_ids.clone()));
+                        }
+                        Op::Restore => {
+                            if let Some((w, h, wids, hids)) = &saved {
+                                wheel.restore(w);
+                                heap.restore(h);
+                                wheel_ids = wids.clone();
+                                heap_ids = hids.clone();
+                            }
                         }
                     }
                     prop_assert_eq!(wheel.len(), heap.len());

@@ -14,7 +14,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 use tocttou_os::defense::DefensePolicy;
 use tocttou_os::ids::{Gid, Pid, Uid};
-use tocttou_os::kernel::{Kernel, KernelPool};
+use tocttou_os::kernel::{Checkpoint, Kernel, KernelPool};
 use tocttou_os::machine::MachineSpec;
 use tocttou_os::vfs::{InodeMeta, Vfs};
 use tocttou_sim::dist::DurationDist;
@@ -221,6 +221,47 @@ impl Scenario {
             kernel.disable_trace();
         }
         kernel.vfs_mut().clone_from(template);
+        self.spawn_workloads(kernel, &mut root_rng)
+    }
+
+    /// Captures this scenario's **warm-boot checkpoint**: the machine
+    /// simulated once up to the divergence point — booted, defense policy
+    /// installed, filesystem `template` mounted — and frozen right before
+    /// the first per-round RNG draw (background arming / process spawning).
+    ///
+    /// Monte-Carlo drivers take the checkpoint once per batch and resume
+    /// every round from it with
+    /// [`build_from_checkpoint`](Self::build_from_checkpoint), skipping the
+    /// seed-independent prefix. The checkpoint is `Send + Sync`, so one
+    /// instance serves all parallel workers.
+    pub fn round_checkpoint(&self, template: &Vfs) -> Checkpoint {
+        // The seed is irrelevant: nothing before the checkpoint draws from
+        // the RNG, and `Checkpoint::boot` reseeds wholesale.
+        let mut kernel = Kernel::boot_unarmed(self.machine.clone(), 0, KernelPool::new());
+        kernel.set_defense(self.defense);
+        kernel.vfs_mut().clone_from(template);
+        kernel.checkpoint()
+    }
+
+    /// Instantiates one round by restoring the warm checkpoint `ck` onto
+    /// the recycled buffers of `pool` — the warm-boot fast path.
+    ///
+    /// Byte-identical to [`Scenario::build_pooled`] with the same `seed`
+    /// and the template the checkpoint was taken from: the root RNG seed
+    /// schedule, kernel event sequence numbers and pid assignment are all
+    /// reproduced exactly.
+    pub fn build_from_checkpoint(
+        &self,
+        ck: &Checkpoint,
+        seed: u64,
+        traced: bool,
+        pool: KernelPool,
+    ) -> RoundHandles {
+        let mut root_rng = SimRng::seed_from_u64(seed);
+        let mut kernel = ck.boot(root_rng.next_u64(), pool);
+        if !traced {
+            kernel.disable_trace();
+        }
         self.spawn_workloads(kernel, &mut root_rng)
     }
 

@@ -19,6 +19,7 @@ fn main() {
         rounds,
         seed: 0xF166,
         jobs: 0, // use every core for the sweep
+        cold: false,
     });
     println!("{out6}");
 
@@ -28,6 +29,7 @@ fn main() {
         rounds: (rounds / 10).max(3),
         seed: 0xF167,
         jobs: 0, // use every core for the sweep
+        cold: false,
     });
     println!("{out7}");
 

@@ -14,6 +14,7 @@ fn rate(scenario: &Scenario, seed: u64) -> f64 {
             base_seed: seed,
             collect_ld: false,
             jobs: 1,
+            cold: false,
         },
     )
     .rate

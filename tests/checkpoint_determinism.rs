@@ -1,0 +1,207 @@
+//! The warm-boot checkpoint's byte-identity guarantee: resuming rounds
+//! from a [`Checkpoint`] must be indistinguishable — trace bytes,
+//! detection streams, metrics folds, final filesystem state — from the
+//! cold boot path it replaces. The cold path stays available behind
+//! `McConfig::cold` / `SweepConfig::cold` precisely so it can serve as
+//! the oracle here. These hold on any host and at any worker count, so
+//! nothing is gated on core count.
+
+use tocttou::experiments::grid::{Family, GridKind};
+use tocttou::experiments::sweep::{run_sweep, SweepConfig};
+use tocttou::experiments::{run_mc, McConfig};
+use tocttou::os::kernel::KernelPool;
+use tocttou::workloads::Scenario;
+
+/// Full per-round evidence: the complete kernel trace rendered to
+/// strings, the detection stream likewise, the outcome and the final
+/// filesystem. Anything the round can observably produce is in here.
+fn round_evidence(
+    scenario: &Scenario,
+    handles: &mut tocttou::workloads::scenario::RoundHandles,
+) -> (Vec<String>, Vec<String>, bool, tocttou::os::Vfs) {
+    let result = scenario.finish_round(handles);
+    let trace: Vec<String> = handles
+        .kernel
+        .trace()
+        .iter()
+        .map(|r| format!("{} {:?}", r.at.as_nanos(), r.event))
+        .collect();
+    let detections: Vec<String> = handles
+        .kernel
+        .detections()
+        .iter()
+        .map(|r| format!("{} {:?}", r.at.as_nanos(), r.event))
+        .collect();
+    (
+        trace,
+        detections,
+        result.success,
+        handles.kernel.vfs().clone(),
+    )
+}
+
+/// The strongest oracle: a single traced round resumed from the warm
+/// checkpoint must replay the cold-booted round event for event —
+/// identical trace bytes, detection events and final VFS, not just
+/// identical aggregates.
+#[test]
+fn warm_round_replays_cold_round_exactly() {
+    for scenario in [
+        Scenario::vi_smp(1),
+        Scenario::vi_uniprocessor(100 * 1024),
+        Scenario::gedit_smp(2048),
+        Scenario::gedit_multicore_v2(2048),
+        Scenario::pipelined_attack(100 * 1024),
+    ] {
+        let template = scenario.template_vfs();
+        let ck = scenario.round_checkpoint(&template);
+        for seed in [0xFEEDu64, 1, 42] {
+            let mut cold = scenario.build_pooled(seed, true, &template, KernelPool::new());
+            let cold_ev = round_evidence(&scenario, &mut cold);
+            let mut warm = scenario.build_from_checkpoint(&ck, seed, true, KernelPool::new());
+            let warm_ev = round_evidence(&scenario, &mut warm);
+            assert_eq!(
+                cold_ev.0, warm_ev.0,
+                "{} seed {seed}: warm trace diverged from cold",
+                scenario.name
+            );
+            assert_eq!(
+                cold_ev.1, warm_ev.1,
+                "{} seed {seed}: warm detection stream diverged from cold",
+                scenario.name
+            );
+            assert_eq!(
+                cold_ev.2, warm_ev.2,
+                "{} seed {seed}: outcome",
+                scenario.name
+            );
+            assert_eq!(
+                cold_ev.3, warm_ev.3,
+                "{} seed {seed}: final filesystem diverged",
+                scenario.name
+            );
+        }
+    }
+}
+
+/// `run_mc` with the warm default must serialize to the same bytes as the
+/// cold oracle, across the jobs ladder and both `collect_ld` modes.
+#[test]
+fn mc_warm_matches_cold_across_jobs_ladder() {
+    for scenario in [Scenario::vi_smp(20 * 1024), Scenario::gedit_smp(2048)] {
+        for collect_ld in [false, true] {
+            let base = McConfig {
+                rounds: 20,
+                base_seed: 0xC0DE,
+                collect_ld,
+                jobs: 1,
+                cold: true,
+            };
+            let cold = serde_json::to_string(&run_mc(&scenario, &base)).unwrap();
+            for jobs in [1, 2, 4, 0] {
+                let warm = serde_json::to_string(&run_mc(
+                    &scenario,
+                    &base.clone().with_jobs(jobs).with_cold(false),
+                ))
+                .unwrap();
+                assert_eq!(
+                    cold, warm,
+                    "{}: warm jobs={jobs} (collect_ld={collect_ld}) diverged from cold oracle",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+/// Every one of the four sweep grids — D scale, file size, CPU count,
+/// pipelined — must produce byte-identical sweeps warm vs cold, serial
+/// and parallel.
+#[test]
+fn sweep_warm_matches_cold_on_all_four_grids() {
+    for (kind, family, file_size) in [
+        (GridKind::D, Family::GeditSmp, 2048),
+        (GridKind::Size, Family::ViSmp, 1024),
+        (GridKind::Cpus, Family::GeditSmp, 2048),
+        (GridKind::Pipelined, Family::GeditSmp, 2048),
+    ] {
+        let cfg = |cold: bool, jobs: usize| SweepConfig {
+            grid: kind.build(family, file_size, 3),
+            rounds: 8,
+            base_seed: 0x5EED,
+            collect_ld: true,
+            jobs,
+            cold,
+        };
+        let cold = serde_json::to_string(&run_sweep(&cfg(true, 1))).unwrap();
+        for jobs in [1, 3] {
+            let warm = serde_json::to_string(&run_sweep(&cfg(false, jobs))).unwrap();
+            assert_eq!(
+                cold, warm,
+                "{kind:?} grid: warm sweep (jobs={jobs}) diverged from cold oracle"
+            );
+        }
+    }
+}
+
+/// Satellite regression: state left in a pool by previous rounds — traces,
+/// detection streams, detector windows, queue backlogs, a mutated VFS —
+/// must be invisible to a round restored from a checkpoint. A worst-case
+/// poisoned pool (one that just ran a *different* scenario's traced round
+/// and was never cleaned) must yield the identical round a fresh pool
+/// does.
+#[test]
+fn poisoned_pool_cannot_change_a_restored_round() {
+    let scenario = Scenario::gedit_smp(2048);
+    let template = scenario.template_vfs();
+    let ck = scenario.round_checkpoint(&template);
+
+    // Reference: the round on a brand-new pool.
+    let mut clean = scenario.build_from_checkpoint(&ck, 7, true, KernelPool::new());
+    let clean_ev = round_evidence(&scenario, &mut clean);
+
+    // Poison a pool: run full traced rounds of a different scenario (other
+    // machine spec, other filesystem, detector windows, queue contents)
+    // and recycle the buffers without any cleaning.
+    let other = Scenario::vi_smp(100 * 1024);
+    let other_template = other.template_vfs();
+    let mut pool = KernelPool::new();
+    for seed in [999u64, 1000] {
+        let mut h = other.build_pooled(seed, true, &other_template, pool);
+        other.finish_round(&mut h);
+        pool = h.kernel.recycle();
+    }
+
+    let mut poisoned = scenario.build_from_checkpoint(&ck, 7, true, pool);
+    let poisoned_ev = round_evidence(&scenario, &mut poisoned);
+
+    assert_eq!(clean_ev.0, poisoned_ev.0, "trace leaked pool state");
+    assert_eq!(
+        clean_ev.1, poisoned_ev.1,
+        "detection stream leaked pool state"
+    );
+    assert_eq!(clean_ev.2, poisoned_ev.2, "outcome leaked pool state");
+    assert_eq!(clean_ev.3, poisoned_ev.3, "filesystem leaked pool state");
+}
+
+/// A checkpoint is immutable: restoring and running rounds from it many
+/// times (including through recycled pools) must keep yielding the same
+/// round, i.e. no round can write through the copy-on-write filesystem
+/// into the shared checkpoint.
+#[test]
+fn checkpoint_survives_repeated_restores() {
+    let scenario = Scenario::vi_smp(20 * 1024);
+    let template = scenario.template_vfs();
+    let ck = scenario.round_checkpoint(&template);
+    let mut first = None;
+    let mut pool = KernelPool::new();
+    for _ in 0..3 {
+        let mut h = scenario.build_from_checkpoint(&ck, 11, true, pool);
+        let ev = round_evidence(&scenario, &mut h);
+        pool = h.kernel.recycle();
+        match &first {
+            None => first = Some(ev),
+            Some(f) => assert_eq!(f, &ev, "restore mutated the shared checkpoint"),
+        }
+    }
+}

@@ -53,6 +53,7 @@ fn mc_batches_are_reproducible() {
         base_seed: 77,
         collect_ld: true,
         jobs: 1,
+        cold: false,
     };
     let a = run_mc(&scenario, &cfg);
     let b = run_mc(&scenario, &cfg);
@@ -76,6 +77,7 @@ fn mc_jobs_never_change_the_outcome() {
                 base_seed: 0xD15C,
                 collect_ld,
                 jobs: 1,
+                cold: false,
             };
             let serial = serde_json::to_string(&run_mc(&scenario, &base)).unwrap();
             for jobs in [2, 3, 4, 0] {
@@ -106,6 +108,7 @@ fn detection_stream_identical_across_jobs() {
                 base_seed: 0xD15C,
                 collect_ld,
                 jobs: 1,
+                cold: false,
             };
             // Serial reference: rebuild each round exactly as run_mc does
             // (pooled buffers, per-round seeds) and chain the stream

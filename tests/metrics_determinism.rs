@@ -35,6 +35,7 @@ fn metrics_identical_across_jobs_ladder() {
                 base_seed: 0x3E7A1C5,
                 collect_ld,
                 jobs: 1,
+                cold: false,
             };
             let expected = serial_reference(&scenario, &cfg);
             assert!(
@@ -66,6 +67,7 @@ fn metrics_survive_outcome_serialization() {
             base_seed: 9,
             collect_ld: false,
             jobs: 0,
+            cold: false,
         },
     );
     let json = serde_json::to_string(&out).unwrap();
@@ -97,6 +99,7 @@ fn disabling_metrics_changes_observability_not_physics() {
         base_seed: 0xFACE,
         collect_ld: false,
         jobs: 1,
+        cold: false,
     };
     let with = run_mc(&on, &cfg);
     let without = run_mc(&stripped, &cfg);

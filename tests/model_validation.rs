@@ -19,6 +19,7 @@ fn uniprocessor_model_tracks_simulation() {
                 base_seed: 0xAB0 + size_kb,
                 collect_ld: false,
                 jobs: 1,
+                cold: false,
             },
         );
         let window_us = 17.0 * size_kb as f64 + 100.0;
@@ -52,6 +53,7 @@ fn multiprocessor_model_tracks_simulation_for_vi() {
             base_seed: 0xBEE,
             collect_ld: true,
             jobs: 1,
+            cold: false,
         },
     );
     let (l, d) = (mc.l.unwrap(), mc.d.unwrap());
@@ -84,6 +86,7 @@ fn gedit_prediction_undershoots_like_the_paper() {
             base_seed: 0xCAFE,
             collect_ld: true,
             jobs: 1,
+            cold: false,
         },
     );
     let predicted = mc.predicted_rate_ld.expect("L/D measured");
@@ -119,6 +122,7 @@ fn dependability_is_reduced_on_multiprocessors() {
                 base_seed: 0xD00D,
                 collect_ld: false,
                 jobs: 1,
+                cold: false,
             },
         );
         let multi_mc = run_mc(
@@ -128,6 +132,7 @@ fn dependability_is_reduced_on_multiprocessors() {
                 base_seed: 0xD00D,
                 collect_ld: false,
                 jobs: 1,
+                cold: false,
             },
         );
         assert!(
@@ -154,6 +159,7 @@ fn uniprocessor_upper_bound_respected() {
             base_seed: 0xE44,
             collect_ld: false,
             jobs: 1,
+            cold: false,
         },
     );
     let p_suspended_bound = (17.0 * 400.0 + 100.0) / 100_000.0;

@@ -18,6 +18,7 @@ fn scorecard() -> String {
         rounds: 24,
         seed: 0xD07,
         jobs: 1,
+        cold: false,
     };
     let row = profile::profile_scenario(&scenario, &cfg);
     format!(

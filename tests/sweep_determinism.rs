@@ -19,6 +19,7 @@ fn d_sweep_config(jobs: usize) -> SweepConfig {
         base_seed: 0xD15C,
         collect_ld: true,
         jobs,
+        cold: false,
     }
 }
 
@@ -55,6 +56,7 @@ fn sweep_points_match_standalone_run_mc() {
                 base_seed: cfg.base_seed.wrapping_add(grid_point.seed_salt),
                 collect_ld: cfg.collect_ld,
                 jobs: 1,
+                cold: false,
             },
         );
         assert_eq!(
@@ -103,6 +105,7 @@ fn empty_grid_sweeps_to_empty_outcome() {
         base_seed: 1,
         collect_ld: false,
         jobs: 0,
+        cold: false,
     };
     let out = run_sweep(&cfg);
     assert!(out.points.is_empty());
