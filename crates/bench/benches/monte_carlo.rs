@@ -23,6 +23,8 @@ use tocttou_experiments::grid::{Family, GridKind};
 use tocttou_experiments::monte_carlo::{effective_jobs, run_mc, McConfig};
 use tocttou_experiments::sweep::{run_sweep, SweepConfig};
 use tocttou_os::kernel::KernelPool;
+use tocttou_os::vfs::{oracle::PathVfs, InodeMeta, Vfs};
+use tocttou_os::{Gid, Uid};
 use tocttou_sim::queue::{oracle::HeapEventQueue, EventQueue};
 use tocttou_sim::{SimDuration, SimTime};
 use tocttou_workloads::scenario::Scenario;
@@ -46,6 +48,19 @@ const BASE_SEED: u64 = 0xBE5C;
 /// shipped engine is than the code it replaced; re-measure and update when
 /// benching on different hardware.
 const PREOPT_BASELINE_ROUNDS_PER_SEC: f64 = 41_600.0;
+
+/// Pooled jobs=1 throughput on the reference host measured immediately
+/// before the VFS v2 rework (string-walking `BTreeMap` resolver, deep
+/// `clone_from` forks). The `vfs_resolve` row asserts the reworked engine
+/// does not regress against it; re-measure when benching on different
+/// hardware.
+const PRE_VFS2_POOLED_ROUNDS_PER_SEC: f64 = 103_500.0;
+
+/// The template restore cost measured immediately before the VFS v2
+/// rework on the reference host: `template_vfs_from_base` deep-copying
+/// the whole inode table via `clone_from`. The reworked O(1) fork must
+/// not cost more than the restore path it replaced.
+const PRE_VFS2_CLONE_FROM_US: f64 = 0.417;
 
 #[derive(serde::Serialize)]
 struct LadderRow {
@@ -97,6 +112,37 @@ struct TemplateForkRow {
     /// (`template_vfs_from_base`), same methodology.
     fork_us: f64,
     fork_vs_rebuild_speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct VfsResolveRow {
+    /// Components in the deep microbench path.
+    path_depth: usize,
+    /// ns per warm `stat` on the v2 resolver (interned components, cached
+    /// full-path split, dentry binary search — no string hashing).
+    v2_warm_stat_ns: f64,
+    /// ns per `stat` on the v1 oracle's component-by-component string walk
+    /// over `BTreeMap` directories.
+    v1_stat_ns: f64,
+    /// `v1_ns / v2_ns`. Target >= 1.5, asserted on multi-core hosts per
+    /// the ladder-row convention (single-core CI boxes are too noisy to
+    /// gate merges on a microbench ratio).
+    warm_vs_v1_speedup: f64,
+    /// Microseconds to fork the frozen 100 KB vi template VFS (one `Arc`
+    /// bump per shared table plus an empty overlay).
+    fork_us: f64,
+    /// Microseconds for the pooled-restore path: `clone_from` of the same
+    /// template into an existing fork, reusing its allocations.
+    clone_from_us: f64,
+    /// The deep-copy restore cost this fork replaced (pre-rework
+    /// `clone_from`, reference host). `fork_us` is asserted <= this on
+    /// multi-core hosts.
+    pre_vfs2_clone_from_us: f64,
+    /// Pooled jobs=1 rounds/s recorded before the VFS rework, on the
+    /// reference host.
+    pre_vfs2_pooled_rounds_per_sec: f64,
+    /// The same figure measured by this run — must not regress.
+    pooled_rounds_per_sec: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -179,6 +225,7 @@ struct Report {
     metrics_overhead: MetricsOverheadRow,
     checkpoint: CheckpointRow,
     sweep_throughput: SweepThroughputRow,
+    vfs_resolve: VfsResolveRow,
     preopt_baseline_rounds_per_sec: f64,
     speedup_vs_preopt_baseline: f64,
 }
@@ -604,6 +651,113 @@ fn main() {
         rebuild_us / fork_us
     );
 
+    // --- VFS v2 resolution microbench: one deep path stat'ed on the warm
+    // interned resolver vs the retired v1 string walker (`vfs::oracle`),
+    // plus the two template restore paths (O(1) fork vs pooled
+    // `clone_from`) and the pooled-throughput regression guard.
+    const DEEP_COMPS: [&str; 7] = ["v0", "v1", "v2", "v3", "v4", "v5", "v6"];
+    const DEEP_PATH: &str = "/v0/v1/v2/v3/v4/v5/v6/leaf";
+    const STAT_ITERS: u64 = 200_000;
+    let root_meta = InodeMeta {
+        uid: Uid::ROOT,
+        gid: Gid::ROOT,
+        mode: 0o755,
+    };
+    let (deep_v2, deep_v1) = {
+        let mut v2 = Vfs::new();
+        let mut v1 = PathVfs::new();
+        let mut prefix = String::new();
+        for comp in DEEP_COMPS {
+            prefix.push('/');
+            prefix.push_str(comp);
+            v2.mkdir(&prefix, root_meta).unwrap();
+            v1.mkdir(&prefix, root_meta).unwrap();
+        }
+        v2.create_file(DEEP_PATH, root_meta).unwrap();
+        v1.create_file(DEEP_PATH, root_meta).unwrap();
+        // The steady state the engine runs in: path interned and the
+        // full-path split cached at template-build time.
+        v2.warm_path(DEEP_PATH);
+        v2.freeze();
+        (v2, v1)
+    };
+    let mut stat_timed: Vec<Box<dyn FnMut() + '_>> = vec![
+        Box::new(|| {
+            for _ in 0..STAT_ITERS {
+                std::hint::black_box(deep_v2.stat(DEEP_PATH)).unwrap();
+            }
+        }),
+        Box::new(|| {
+            for _ in 0..STAT_ITERS {
+                std::hint::black_box(deep_v1.stat(DEEP_PATH)).unwrap();
+            }
+        }),
+    ];
+    let stat_secs = best_of_interleaved(10, &mut stat_timed);
+    drop(stat_timed);
+    let v2_warm_stat_ns = stat_secs[0] / STAT_ITERS as f64 * 1e9;
+    let v1_stat_ns = stat_secs[1] / STAT_ITERS as f64 * 1e9;
+    let warm_vs_v1 = v1_stat_ns / v2_warm_stat_ns;
+
+    const VFS_FORK_ITERS: u64 = 20_000;
+    let frozen = scenario.template_vfs();
+    let mut restore_target = frozen.clone();
+    let mut vfs_fork_timed: Vec<Box<dyn FnMut() + '_>> = vec![
+        Box::new(|| {
+            for _ in 0..VFS_FORK_ITERS {
+                std::hint::black_box(frozen.clone());
+            }
+        }),
+        Box::new(|| {
+            for _ in 0..VFS_FORK_ITERS {
+                restore_target.clone_from(&frozen);
+                std::hint::black_box(&restore_target);
+            }
+        }),
+    ];
+    let vfs_fork_secs = best_of_interleaved(10, &mut vfs_fork_timed);
+    drop(vfs_fork_timed);
+    let vfs_fork_us = vfs_fork_secs[0] / VFS_FORK_ITERS as f64 * 1e6;
+    let vfs_clone_from_us = vfs_fork_secs[1] / VFS_FORK_ITERS as f64 * 1e6;
+
+    println!(
+        "mc/vfs      warm stat {v2_warm_stat_ns:>7.1} ns vs v1 walk {v1_stat_ns:>7.1} ns  \
+         (x{warm_vs_v1:.2}); fork {vfs_fork_us:.3} us, clone_from {vfs_clone_from_us:.3} us"
+    );
+    if host_cpus > 1 {
+        assert!(
+            warm_vs_v1 >= 1.5,
+            "warm interned resolution should be >=1.5x the v1 string walk on the \
+             deep-path microbench, got x{warm_vs_v1:.2}"
+        );
+        assert!(
+            vfs_fork_us <= PRE_VFS2_CLONE_FROM_US,
+            "an O(1) template fork ({vfs_fork_us:.3} us) should not cost more than the \
+             deep-copy clone_from it replaced ({PRE_VFS2_CLONE_FROM_US:.3} us)"
+        );
+        assert!(
+            pooled_rps >= PRE_VFS2_POOLED_ROUNDS_PER_SEC * 0.95,
+            "pooled engine regressed vs the pre-VFS2 baseline: {pooled_rps:.0} < \
+             {PRE_VFS2_POOLED_ROUNDS_PER_SEC:.0} rounds/s"
+        );
+    } else {
+        println!(
+            "mc/vfs      single-CPU host: speedup/regression assertions skipped \
+             (differential identity is covered by the vfs_oracle suite)"
+        );
+    }
+    let vfs_resolve = VfsResolveRow {
+        path_depth: DEEP_COMPS.len() + 1,
+        v2_warm_stat_ns,
+        v1_stat_ns,
+        warm_vs_v1_speedup: warm_vs_v1,
+        fork_us: vfs_fork_us,
+        clone_from_us: vfs_clone_from_us,
+        pre_vfs2_clone_from_us: PRE_VFS2_CLONE_FROM_US,
+        pre_vfs2_pooled_rounds_per_sec: PRE_VFS2_POOLED_ROUNDS_PER_SEC,
+        pooled_rounds_per_sec: pooled_rps,
+    };
+
     // Timing wheel vs the old binary-heap queue, steady-state
     // pop-earliest/push-later pattern, in the two regimes the simulator
     // cares about: a kernel-sized backlog (front-buffer resident) and a
@@ -683,6 +837,7 @@ fn main() {
         metrics_overhead,
         checkpoint,
         sweep_throughput,
+        vfs_resolve,
         preopt_baseline_rounds_per_sec: PREOPT_BASELINE_ROUNDS_PER_SEC,
         speedup_vs_preopt_baseline: pooled_rps / PREOPT_BASELINE_ROUNDS_PER_SEC,
     };

@@ -2,7 +2,7 @@
 //! engine.
 //!
 //! ```text
-//! sweep --grid <d|size|cpus|pipelined> [--family F] [--size-kb N]
+//! sweep --grid <d|size|cpus|pipelined|swap> [--family F] [--size-kb N]
 //!       [--points N] [--rounds N] [--seed S] [--jobs J] [--out DIR]
 //!       [--collect-ld] [--cold]
 //!
@@ -10,8 +10,9 @@
 //!           size      file-size ladder (Figure 7's axis)
 //!           cpus      CPU counts 1, 2, 4, ...
 //!           pipelined pipelined vs sequential attacker (Figure 11)
+//!           swap      symlink vs hardlink swap pair
 //! families: vi-uni vi-smp gedit-uni gedit-smp gedit-mc-v1 gedit-mc-v2
-//!           pipelined
+//!           pipelined hardlink
 //! ```
 //!
 //! Prints the per-point success table to stdout and writes `sweep.json`
@@ -49,7 +50,7 @@ fn parse_args() -> Result<Args, String> {
             "--collect-ld" => collect_ld = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: sweep --grid <d|size|cpus|pipelined> [--family F] [--size-kb N] \
+                    "usage: sweep --grid <d|size|cpus|pipelined|swap> [--family F] [--size-kb N] \
                      [--points N] [--rounds N] [--seed S] [--jobs J] [--out DIR] [--collect-ld] \
                      [--cold]"
                         .into(),

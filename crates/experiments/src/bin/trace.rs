@@ -4,8 +4,8 @@
 //! trace <scenario> [--seed S] [--width W] [--find success|failure] [--jobs J]
 //!                  [--export PATH]
 //!
-//! scenarios: vi-uni vi-smp vi-smp-1b gedit-uni gedit-smp gedit-mc-v1
-//!            gedit-mc-v2 pipelined
+//! scenarios: vi-uni vi-smp vi-smp-1b vi-hardlink-smp gedit-uni gedit-smp
+//!            gedit-mc-v1 gedit-mc-v2 pipelined
 //! ```
 //!
 //! Prints the round outcome and a Figure 8/10-style ASCII timeline of the
@@ -26,6 +26,7 @@ fn scenario_by_name(name: &str) -> Option<Scenario> {
         "vi-uni" => Scenario::vi_uniprocessor(100 * 1024),
         "vi-smp" => Scenario::vi_smp(100 * 1024),
         "vi-smp-1b" => Scenario::vi_smp(1),
+        "vi-hardlink-smp" => Scenario::hardlink_vi_smp(100 * 1024),
         "gedit-uni" => Scenario::gedit_uniprocessor(2048),
         "gedit-smp" => Scenario::gedit_smp(2048),
         "gedit-mc-v1" => Scenario::gedit_multicore_v1(2048),
@@ -94,7 +95,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: trace <vi-uni|vi-smp|vi-smp-1b|gedit-uni|gedit-smp|gedit-mc-v1|gedit-mc-v2|pipelined> [--seed S] [--width W] [--find success|failure] [--jobs J] [--export PATH]"
+                    "usage: trace <vi-uni|vi-smp|vi-smp-1b|vi-hardlink-smp|gedit-uni|gedit-smp|gedit-mc-v1|gedit-mc-v2|pipelined> [--seed S] [--width W] [--find success|failure] [--jobs J] [--export PATH]"
                 );
                 return;
             }

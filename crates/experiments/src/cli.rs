@@ -79,7 +79,7 @@ impl CommonArgs {
 /// `--size-kb`, `--points`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GridArgs {
-    /// `--grid <d|size|cpus|pipelined>`, if given.
+    /// `--grid <d|size|cpus|pipelined|swap>`, if given.
     pub grid: Option<GridKind>,
     /// `--family <name>` (see [`Family::name`]), if given.
     pub family: Option<Family>,
@@ -142,7 +142,7 @@ impl GridArgs {
     pub fn build_grid(&self) -> Result<Grid, String> {
         let kind = self
             .grid
-            .ok_or("missing --grid <d|size|cpus|pipelined>".to_string())?;
+            .ok_or("missing --grid <d|size|cpus|pipelined|swap>".to_string())?;
         let family = self.family.unwrap_or(Family::GeditSmp);
         let file_size = self
             .size_kb

@@ -35,11 +35,14 @@ pub enum Family {
     GeditMulticoreV2,
     /// `Scenario::pipelined_attack` (Section 7 / Figure 11).
     PipelinedAttack,
+    /// `Scenario::hardlink_vi_smp` (hard-link swap: a second name of the
+    /// privileged inode instead of a symlink).
+    HardlinkSwap,
 }
 
 impl Family {
     /// Every family, in a stable order.
-    pub const ALL: [Family; 7] = [
+    pub const ALL: [Family; 8] = [
         Family::ViUniprocessor,
         Family::ViSmp,
         Family::GeditUniprocessor,
@@ -47,6 +50,7 @@ impl Family {
         Family::GeditMulticoreV1,
         Family::GeditMulticoreV2,
         Family::PipelinedAttack,
+        Family::HardlinkSwap,
     ];
 
     /// The CLI spelling (`--family` flag and sweep output).
@@ -59,6 +63,7 @@ impl Family {
             Family::GeditMulticoreV1 => "gedit-mc-v1",
             Family::GeditMulticoreV2 => "gedit-mc-v2",
             Family::PipelinedAttack => "pipelined",
+            Family::HardlinkSwap => "hardlink",
         }
     }
 
@@ -77,6 +82,7 @@ impl Family {
             Family::GeditMulticoreV1 => Scenario::gedit_multicore_v1(file_size),
             Family::GeditMulticoreV2 => Scenario::gedit_multicore_v2(file_size),
             Family::PipelinedAttack => Scenario::pipelined_attack(file_size),
+            Family::HardlinkSwap => Scenario::hardlink_vi_smp(file_size),
         }
     }
 
@@ -84,7 +90,7 @@ impl Family {
     /// paper's own exhibits use: ~100 KB vi saves, 2 KB gedit documents).
     pub fn default_file_size(self) -> u64 {
         match self {
-            Family::ViUniprocessor | Family::ViSmp => 100 * 1024,
+            Family::ViUniprocessor | Family::ViSmp | Family::HardlinkSwap => 100 * 1024,
             Family::PipelinedAttack => 512,
             _ => 2048,
         }
@@ -157,7 +163,7 @@ impl GridPoint {
         let mut s = self.family.build(self.file_size);
         if let Some(k) = self.d_scale {
             let cfg = match &mut s.attacker {
-                AttackerSpec::V1(cfg) | AttackerSpec::V2(cfg) => cfg,
+                AttackerSpec::V1(cfg) | AttackerSpec::V2(cfg) | AttackerSpec::Hardlink(cfg) => cfg,
                 AttackerSpec::Pipelined { cfg, .. } => cfg,
             };
             cfg.loop_gap = cfg.loop_gap.mul_f64(k);
@@ -295,6 +301,19 @@ impl Grid {
         }
     }
 
+    /// The swap-technique pair: the classic vi SMP **symlink** swap next
+    /// to its **hardlink** variant, same victim, machine, and document
+    /// size — isolating what the planted object (pointer vs second name)
+    /// changes about success rate and detectability.
+    pub fn swap_technique_pair(file_size: u64) -> Grid {
+        Grid {
+            points: vec![
+                GridPoint::new(Family::ViSmp, file_size).with_salt(0),
+                GridPoint::new(Family::HardlinkSwap, file_size).with_salt(1),
+            ],
+        }
+    }
+
     /// Number of points.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -317,6 +336,8 @@ pub enum GridKind {
     Cpus,
     /// Pipelined-vs-sequential pair.
     Pipelined,
+    /// Symlink-vs-hardlink swap pair.
+    Swap,
 }
 
 impl GridKind {
@@ -327,6 +348,7 @@ impl GridKind {
             "size" => Some(GridKind::Size),
             "cpus" => Some(GridKind::Cpus),
             "pipelined" => Some(GridKind::Pipelined),
+            "swap" => Some(GridKind::Swap),
             _ => None,
         }
     }
@@ -339,6 +361,8 @@ impl GridKind {
     /// * `Size` — Figure 7's ladder, `points` sizes of 40 KB steps.
     /// * `Cpus` — 1, 2, 4, … doubling up to `points` entries.
     /// * `Pipelined` — the Figure 11 pair (ignores `points`).
+    /// * `Swap` — the symlink-vs-hardlink pair (ignores `points` and
+    ///   `family`).
     pub fn build(self, family: Family, file_size: u64, points: usize) -> Grid {
         let n = points.max(1);
         match self {
@@ -361,6 +385,7 @@ impl GridKind {
                 Grid::cpu_sweep(family, file_size, &cpus)
             }
             GridKind::Pipelined => Grid::pipelined_pair(file_size),
+            GridKind::Swap => Grid::swap_technique_pair(file_size),
         }
     }
 }
@@ -393,7 +418,7 @@ mod tests {
             .with_d_scale(0.5)
             .scenario();
         let gap = |s: &Scenario| match &s.attacker {
-            AttackerSpec::V1(c) | AttackerSpec::V2(c) => c.loop_gap,
+            AttackerSpec::V1(c) | AttackerSpec::V2(c) | AttackerSpec::Hardlink(c) => c.loop_gap,
             AttackerSpec::Pipelined { cfg, .. } => cfg.loop_gap,
         };
         assert_eq!(gap(&halved), gap(&base).mul_f64(0.5));
@@ -457,5 +482,10 @@ mod tests {
             [1, 2, 4, 8]
         );
         assert_eq!(GridKind::Pipelined.build(Family::ViSmp, 512, 9).len(), 2);
+        let swap = GridKind::Swap.build(Family::ViSmp, 100 * 1024, 9);
+        assert_eq!(
+            swap.points.iter().map(|p| p.family).collect::<Vec<_>>(),
+            [Family::ViSmp, Family::HardlinkSwap]
+        );
     }
 }

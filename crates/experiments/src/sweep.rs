@@ -320,6 +320,7 @@ mod tests {
             GridPoint::new(Family::GeditSmp, 2048)
                 .with_d_scale(0.5)
                 .with_salt(11),
+            GridPoint::new(Family::HardlinkSwap, 20 * 1024).with_salt(13),
         ])
     }
 
@@ -334,7 +335,7 @@ mod tests {
             cold: false,
         };
         let sweep = run_sweep(&cfg);
-        assert_eq!(sweep.points.len(), 3);
+        assert_eq!(sweep.points.len(), 4);
         for (point, sp) in cfg.grid.points.iter().zip(&sweep.points) {
             let standalone = run_mc(
                 &point.scenario(),

@@ -56,6 +56,9 @@ pub struct CostModel {
     pub unlink_truncate_base_us: f64,
     /// `symlink` creation (holds the directory semaphore), µs.
     pub symlink_us: f64,
+    /// `link` (hard-link) creation — like `symlink` plus the source inode's
+    /// nlink bump (holds the directory semaphore), µs.
+    pub link_us: f64,
     /// Total `rename` duration while holding the directory semaphore, µs.
     pub rename_us: f64,
     /// Fraction of `rename` after which the new name is already visible to a
@@ -103,6 +106,7 @@ impl Default for CostModel {
             unlink_truncate_per_kb_us: 1.3,
             unlink_truncate_base_us: 1.5,
             symlink_us: 4.0,
+            link_us: 5.0,
             rename_us: 30.0,
             rename_visible_frac: 0.80,
             chmod_us: 5.0,
@@ -137,6 +141,7 @@ impl CostModel {
             ("unlink_truncate_per_kb_us", self.unlink_truncate_per_kb_us),
             ("unlink_truncate_base_us", self.unlink_truncate_base_us),
             ("symlink_us", self.symlink_us),
+            ("link_us", self.link_us),
             ("rename_us", self.rename_us),
             ("chmod_us", self.chmod_us),
             ("chown_us", self.chown_us),

@@ -109,6 +109,7 @@ pub fn fs_call_of(name: SyscallName) -> Option<FsCall> {
         SyscallName::Chown => FsCall::Chown,
         SyscallName::Mkdir => FsCall::Mkdir,
         SyscallName::Readlink => FsCall::Readlink,
+        SyscallName::Link => FsCall::Link,
         SyscallName::Write | SyscallName::Close | SyscallName::Sleep => return None,
     })
 }
@@ -345,6 +346,23 @@ mod tests {
     }
 
     #[test]
+    fn link_alone_interposes_a_window() {
+        let mut d = DetectorState::new(true);
+        let mut out = Trace::unbounded();
+        let p = arc("/home/user/doc.txt");
+        d.record_check(Pid(0), &p, FsCall::Stat, t(10));
+        d.record_mutation(Pid(1), &p, FsCall::Link, t(20));
+        d.record_use(Pid(0), &p, FsCall::Open, t(30), false, &mut out);
+        assert_eq!(out.len(), 1);
+        let e = &out.iter().next().unwrap().event;
+        assert_eq!(
+            (e.mutation, e.t_mutation),
+            (FsCall::Link, t(20)),
+            "a hardlink swap with no prior unlink reports the link itself"
+        );
+    }
+
+    #[test]
     fn own_mutations_never_interpose() {
         let mut d = DetectorState::new(true);
         let mut out = Trace::unbounded();
@@ -428,6 +446,7 @@ mod tests {
         assert_eq!(fs_call_of(SyscallName::OpenCreate), Some(FsCall::Creat));
         assert_eq!(fs_call_of(SyscallName::Open), Some(FsCall::Open));
         assert_eq!(fs_call_of(SyscallName::Rename), Some(FsCall::Rename));
+        assert_eq!(fs_call_of(SyscallName::Link), Some(FsCall::Link));
         assert_eq!(fs_call_of(SyscallName::Write), None);
         assert_eq!(fs_call_of(SyscallName::Sleep), None);
     }

@@ -1094,6 +1094,15 @@ impl Kernel {
                 });
                 self.set_ret(pid, r);
             }
+            CommitStep::LinkCreate { existing, linkpath } => {
+                let r = self.vfs.link(&existing, &linkpath).map(|_ino| {
+                    self.defense.record_mutation(pid, &linkpath);
+                    self.detector
+                        .record_mutation(pid, &linkpath, FsCall::Link, self.now);
+                    RetVal::Unit
+                });
+                self.set_ret(pid, r);
+            }
             CommitStep::RenameCommit { from, to } => {
                 let r = self.vfs.rename(&from, &to).map(|_| {
                     self.defense.record_mutation(pid, &from);

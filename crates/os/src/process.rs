@@ -129,6 +129,14 @@ pub enum SyscallRequest {
         /// How long to sleep.
         duration: SimDuration,
     },
+    /// `link(existing, linkpath)` — hard link; neither path follows a
+    /// final symlink.
+    Link {
+        /// Existing name of the inode to link.
+        existing: Arc<str>,
+        /// Where to create the new name.
+        linkpath: Arc<str>,
+    },
 }
 
 impl SyscallRequest {
@@ -150,6 +158,7 @@ impl SyscallRequest {
             SyscallRequest::Mkdir { .. } => SyscallName::Mkdir,
             SyscallRequest::Readlink { .. } => SyscallName::Readlink,
             SyscallRequest::Sleep { .. } => SyscallName::Sleep,
+            SyscallRequest::Link { .. } => SyscallName::Link,
         }
     }
 
@@ -166,7 +175,9 @@ impl SyscallRequest {
             | SyscallRequest::Chown { path, .. }
             | SyscallRequest::Mkdir { path }
             | SyscallRequest::Readlink { path } => Some(path),
-            SyscallRequest::Symlink { linkpath, .. } => Some(linkpath),
+            SyscallRequest::Symlink { linkpath, .. } | SyscallRequest::Link { linkpath, .. } => {
+                Some(linkpath)
+            }
             SyscallRequest::Rename { to, .. } => Some(to),
             SyscallRequest::Write { .. }
             | SyscallRequest::Close { .. }
@@ -194,13 +205,14 @@ pub enum SyscallName {
     Mkdir,
     Readlink,
     Sleep,
+    Link,
 }
 
 impl SyscallName {
     /// Every syscall name, in declaration order. `ALL[name.index()]` is the
     /// identity — the metrics layer uses this to key fixed-size per-syscall
     /// histogram arrays.
-    pub const ALL: [SyscallName; 15] = [
+    pub const ALL: [SyscallName; 16] = [
         SyscallName::Stat,
         SyscallName::Lstat,
         SyscallName::Access,
@@ -216,6 +228,7 @@ impl SyscallName {
         SyscallName::Mkdir,
         SyscallName::Readlink,
         SyscallName::Sleep,
+        SyscallName::Link,
     ];
 
     /// Dense index of this name in [`SyscallName::ALL`].
@@ -243,6 +256,7 @@ impl std::fmt::Display for SyscallName {
             SyscallName::Mkdir => "mkdir",
             SyscallName::Readlink => "readlink",
             SyscallName::Sleep => "nanosleep",
+            SyscallName::Link => "link",
         };
         f.write_str(s)
     }
@@ -357,7 +371,9 @@ impl LibcPage {
             SyscallName::Stat | SyscallName::Lstat | SyscallName::Access => {
                 Some(LibcPage::StatPage)
             }
-            SyscallName::Unlink | SyscallName::Symlink => Some(LibcPage::UnlinkSymlinkPage),
+            SyscallName::Unlink | SyscallName::Symlink | SyscallName::Link => {
+                Some(LibcPage::UnlinkSymlinkPage)
+            }
             SyscallName::OpenCreate | SyscallName::Open | SyscallName::Close => {
                 Some(LibcPage::OpenPage)
             }

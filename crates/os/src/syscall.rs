@@ -108,6 +108,14 @@ pub enum CommitStep {
         /// Name to bind.
         linkpath: Arc<str>,
     },
+    /// Create a hard link: bind `linkpath` to the inode `existing` names
+    /// and bump its link count.
+    LinkCreate {
+        /// Existing name of the inode.
+        existing: Arc<str>,
+        /// Name to bind.
+        linkpath: Arc<str>,
+    },
     /// Install the new name of a rename **while still holding the
     /// semaphore** (the mid-rename visibility point).
     RenameCommit {
@@ -318,6 +326,30 @@ pub(crate) fn compile(
                     linkpath: linkpath.clone(),
                 }));
                 phases.push_back(Phase::Release(sem));
+            }
+        }
+        SyscallRequest::Link { existing, linkpath } => {
+            // vfs_link locks the destination directory (entry insert) and
+            // the source inode (nlink bump) — same order as unlink:
+            // directory first, then inode.
+            match (vfs.dir_sem_of(linkpath), vfs.file_sem_of(existing, false)) {
+                (Ok(dir), Ok(file)) => {
+                    phases.push_back(Phase::Acquire(dir));
+                    phases.push_back(Phase::Acquire(file));
+                    phases.push_back(Phase::Cpu {
+                        dur: us(costs.link_us, speed),
+                        kind: CpuKind::Kernel,
+                    });
+                    phases.push_back(Phase::Commit(CommitStep::LinkCreate {
+                        existing: existing.clone(),
+                        linkpath: linkpath.clone(),
+                    }));
+                    phases.push_back(Phase::Release(dir));
+                    phases.push_back(Phase::Release(file));
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    phases.push_back(Phase::Commit(CommitStep::Fail(e)));
+                }
             }
         }
         SyscallRequest::Rename { from, to } => {

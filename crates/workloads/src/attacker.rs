@@ -199,6 +199,76 @@ impl ProcessLogic for AttackerV1 {
     }
 }
 
+/// The hardlink variant of [`AttackerV1`]: detect, then `unlink` +
+/// `link(privileged, target)`.
+///
+/// Where the symlink attacker plants a *pointer* the victim's `chown`
+/// follows, this one plants a second **name of the privileged inode
+/// itself** — `stat` on the planted name reports a root-owned regular file
+/// (`nlink = 2`), indistinguishable from the victim's own, and the
+/// victim's `chown` lands on the privileged inode with no symlink hop at
+/// all. Defeats symlink-only countermeasures; detectable through the
+/// taxonomy's `link` mutation.
+#[derive(Debug)]
+pub struct AttackerHardlink {
+    cfg: AttackerConfig,
+    state: V1State,
+    rng: SimRng,
+}
+
+impl AttackerHardlink {
+    /// Creates the attacker; `seed` drives its loop-timing jitter.
+    pub fn new(cfg: AttackerConfig, seed: u64) -> Self {
+        AttackerHardlink {
+            cfg,
+            state: V1State::Start,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ProcessLogic for AttackerHardlink {
+    fn next_action(&mut self, _ctx: &LogicCtx, last: Option<&SyscallResult>) -> Action {
+        match self.state {
+            V1State::Start => {
+                self.state = V1State::Stat;
+                Action::Compute(self.cfg.start_delay)
+            }
+            V1State::Stat => {
+                self.state = V1State::Decide;
+                Action::Syscall(SyscallRequest::Stat {
+                    path: self.cfg.target.clone(),
+                })
+            }
+            V1State::Decide => {
+                if detected(last) {
+                    self.state = V1State::Unlink;
+                    Action::Compute(self.cfg.sample_gap(self.cfg.check_gap, &mut self.rng))
+                } else {
+                    self.state = V1State::Stat;
+                    Action::Compute(self.cfg.sample_gap(self.cfg.loop_gap, &mut self.rng))
+                }
+            }
+            V1State::Unlink => {
+                // Reuses the v1 state machine; the `Symlink` state issues
+                // `link` here.
+                self.state = V1State::Symlink;
+                Action::Syscall(SyscallRequest::Unlink {
+                    path: self.cfg.target.clone(),
+                })
+            }
+            V1State::Symlink => {
+                self.state = V1State::Done;
+                Action::Syscall(SyscallRequest::Link {
+                    existing: self.cfg.privileged.clone(),
+                    linkpath: self.cfg.target.clone(),
+                })
+            }
+            V1State::Done => Action::Exit,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum V2State {
     Start,

@@ -6,7 +6,8 @@
 //! runs it, and reads the outcome ([`Scenario::run_round`]).
 
 use crate::attacker::{
-    AttackFlag, AttackerConfig, AttackerV1, AttackerV2, PipelinedDetector, PipelinedLinker,
+    AttackFlag, AttackerConfig, AttackerHardlink, AttackerV1, AttackerV2, PipelinedDetector,
+    PipelinedLinker,
 };
 use crate::gedit::{GeditConfig, GeditSave};
 use crate::vi::{ViConfig, ViSave};
@@ -73,6 +74,10 @@ pub enum AttackerSpec {
     V1(AttackerConfig),
     /// Figure 9's pre-warming program.
     V2(AttackerConfig),
+    /// The hardlink variant of v1: plants a second *name of the privileged
+    /// inode* instead of a symlink, so the victim's `chown` needs no link
+    /// traversal at all and symlink-only countermeasures see nothing.
+    Hardlink(AttackerConfig),
     /// Section 7's two-thread pipelined program.
     Pipelined {
         /// Shared timing/path parameters.
@@ -165,7 +170,9 @@ impl Scenario {
     pub fn template_vfs(&self) -> Vfs {
         let mut vfs = Vfs::new();
         self.populate_base_fs(&mut vfs);
+        self.warm_scenario_paths(&mut vfs);
         self.populate_doc(&mut vfs);
+        vfs.freeze();
         vfs
     }
 
@@ -181,7 +188,28 @@ impl Scenario {
     pub fn base_vfs(&self) -> Vfs {
         let mut vfs = Vfs::new();
         self.populate_base_fs(&mut vfs);
+        self.warm_scenario_paths(&mut vfs);
+        vfs.freeze();
         vfs
+    }
+
+    /// Pre-interns every [`Layout`] path into the image's name tables so
+    /// rounds forked from it resolve them without string hashing. Warming
+    /// order is fixed (it assigns interned name ids), and the warm set
+    /// depends only on the layout — never on swept parameters — so a
+    /// warmed base image stays shareable across a whole sweep grid.
+    fn warm_scenario_paths(&self, vfs: &mut Vfs) {
+        for path in [
+            &self.layout.passwd,
+            &self.layout.home,
+            &self.layout.doc,
+            &self.layout.backup,
+            &self.layout.temp,
+            &self.layout.attack_dir,
+            &self.layout.dummy,
+        ] {
+            vfs.warm_path(path);
+        }
     }
 
     /// Snapshot/forks a per-point template from a shared `base` image
@@ -198,6 +226,7 @@ impl Scenario {
     pub fn template_vfs_from_base(&self, base: &Vfs) -> Vfs {
         let mut vfs = base.clone();
         self.populate_doc(&mut vfs);
+        vfs.freeze();
         vfs
     }
 
@@ -303,6 +332,13 @@ impl Scenario {
                 agid,
                 false,
                 Box::new(AttackerV2::new(cfg.clone(), attacker_seed)),
+            )],
+            AttackerSpec::Hardlink(cfg) => vec![kernel.spawn(
+                "attacker-hardlink",
+                auid,
+                agid,
+                false, // freshly exec'ed, like v1
+                Box::new(AttackerHardlink::new(cfg.clone(), attacker_seed)),
             )],
             AttackerSpec::Pipelined { cfg, poll_gap } => {
                 let flag: AttackFlag = Rc::new(Cell::new(false));
@@ -610,6 +646,31 @@ impl Scenario {
         }
     }
 
+    /// The hardlink-swap attack: vi on the 2-way SMP with the attacker
+    /// planting a **hard link** to `/etc/passwd` instead of a symlink.
+    ///
+    /// Same detection loop and window as [`Self::vi_smp`], but the planted
+    /// name *is* the privileged inode — `stat` on it reports a root-owned
+    /// regular file with `nlink = 2`, and the victim's `chown` lands on
+    /// `/etc/passwd` without traversing any link. This is the classic
+    /// bypass of symlink-only TOCTTOU countermeasures; the detector still
+    /// sees it through the `link` namespace mutation.
+    pub fn hardlink_vi_smp(file_size: u64) -> Scenario {
+        let layout = Layout::default();
+        let mut vi = ViConfig::new(layout.doc.as_str(), layout.backup.as_str(), file_size);
+        vi.owner = layout.attacker;
+        let attacker = AttackerConfig::vi_smp(layout.doc.as_str(), layout.passwd.as_str());
+        Scenario {
+            name: format!("vi-hardlink-smp-{}B", file_size),
+            machine: MachineSpec::smp_xeon(),
+            victim: VictimSpec::Vi(vi),
+            attacker: AttackerSpec::Hardlink(attacker),
+            layout,
+            max_round: SimDuration::from_secs(2),
+            defense: DefensePolicy::Off,
+        }
+    }
+
     /// Returns the scenario with the given kernel defense policy — the
     /// Section 8 counterfactual ("what if the kernel guarded check-use
     /// invariants?").
@@ -658,6 +719,27 @@ mod tests {
             .filter(|&i| scenario.run_round(1000 + i).success)
             .count();
         assert!(successes >= 19, "vi SMP ~100%: got {successes}/20");
+    }
+
+    #[test]
+    fn hardlink_vi_smp_succeeds_reliably() {
+        // The hardlink swap exploits the same window as the symlink swap,
+        // so on the SMP it should land with comparable reliability — and
+        // when it does, /etc/passwd itself must carry the extra name.
+        let scenario = Scenario::hardlink_vi_smp(100 * 1024);
+        let mut successes = 0;
+        for i in 0..20 {
+            let (r, handles) = scenario.run_traced(1000 + i);
+            if r.success {
+                successes += 1;
+                let pw = handles.kernel.vfs().stat(&scenario.layout.passwd).unwrap();
+                let doc = handles.kernel.vfs().stat(&scenario.layout.doc).unwrap();
+                assert_eq!(doc.ino, pw.ino, "doc name aliases the passwd inode");
+                assert!(pw.nlink >= 2, "hardlink bumped the link count");
+                assert!(!doc.is_symlink, "no symlink involved");
+            }
+        }
+        assert!(successes >= 19, "hardlink vi SMP ~100%: got {successes}/20");
     }
 
     #[test]
@@ -770,6 +852,7 @@ mod tests {
             Scenario::gedit_multicore_v1(2048),
             Scenario::gedit_multicore_v2(2048),
             Scenario::pipelined_attack(512),
+            Scenario::hardlink_vi_smp(100 * 1024),
         ];
         let base = scenarios[0].base_vfs();
         for scenario in &scenarios {

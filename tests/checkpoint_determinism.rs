@@ -114,16 +114,17 @@ fn mc_warm_matches_cold_across_jobs_ladder() {
     }
 }
 
-/// Every one of the four sweep grids — D scale, file size, CPU count,
-/// pipelined — must produce byte-identical sweeps warm vs cold, serial
-/// and parallel.
+/// Every one of the five sweep grids — D scale, file size, CPU count,
+/// pipelined, symlink-vs-hardlink swap — must produce byte-identical
+/// sweeps warm vs cold, serial and parallel.
 #[test]
-fn sweep_warm_matches_cold_on_all_four_grids() {
+fn sweep_warm_matches_cold_on_all_grids() {
     for (kind, family, file_size) in [
         (GridKind::D, Family::GeditSmp, 2048),
         (GridKind::Size, Family::ViSmp, 1024),
         (GridKind::Cpus, Family::GeditSmp, 2048),
         (GridKind::Pipelined, Family::GeditSmp, 2048),
+        (GridKind::Swap, Family::ViSmp, 20 * 1024),
     ] {
         let cfg = |cold: bool, jobs: usize| SweepConfig {
             grid: kind.build(family, file_size, 3),

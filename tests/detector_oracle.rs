@@ -78,6 +78,59 @@ fn recall_is_one_and_precision_at_least_ninety_percent() {
     }
 }
 
+/// The hardlink-swap scenario: the planted object is a second *name of
+/// the privileged inode*, not a symlink, so nothing in the victim's
+/// resolution path looks suspicious — the race is visible only through
+/// the namespace mutations (`unlink`, then `link`) landing inside the
+/// window. The ground truth must be perfect on both axes: every
+/// successful round flagged (recall 1.0) and every flagged round a real
+/// success (precision 1.0), with the flag sitting on the contested
+/// document path. (The reported mutation is the attacker's `unlink` —
+/// the detector keeps the *first* interposition, the one that broke the
+/// invariant; the `link`-only interposition path is pinned down by the
+/// detector's unit suite.)
+#[test]
+fn hardlink_scenario_precision_and_recall_are_one() {
+    let scenario = Scenario::hardlink_vi_smp(100 * 1024);
+    let mut successes = 0u64;
+    let mut flagged = 0u64;
+    let mut mismatches: Vec<u64> = Vec::new();
+    for base in BASE_SEEDS {
+        for i in 0..ROUNDS_PER_SEED {
+            let seed = base + i;
+            let mut handles = scenario.build(seed, false);
+            let result = scenario.finish_round(&mut handles);
+            let flag = handles
+                .kernel
+                .detections()
+                .iter()
+                .any(|r| r.event.path.as_ref() == scenario.layout.doc);
+            successes += u64::from(result.success);
+            flagged += u64::from(flag);
+            if result.success != flag {
+                mismatches.push(seed);
+            }
+        }
+    }
+    assert!(
+        successes > 0,
+        "oracle needs successful rounds to grade against ({successes})"
+    );
+    println!(
+        "{}: {} rounds, {} successes, {} flagged, precision 1.000, recall 1.000",
+        scenario.name,
+        BASE_SEEDS.len() as u64 * ROUNDS_PER_SEED,
+        successes,
+        flagged
+    );
+    assert!(
+        mismatches.is_empty(),
+        "{}: precision/recall must both be 1.0 — success and detector flag disagree on seeds \
+         {mismatches:#x?}",
+        scenario.name
+    );
+}
+
 /// With EDGI active the attack is stopped, but the detector must still see
 /// the same windows the defense acts on: every denial is mirrored by a
 /// `DetectionEvent` flagged `blocked`, one for one.
