@@ -27,6 +27,7 @@ use tocttou_os::vfs::{oracle::PathVfs, InodeMeta, Vfs};
 use tocttou_os::{Gid, Uid};
 use tocttou_sim::queue::{oracle::HeapEventQueue, EventQueue};
 use tocttou_sim::{SimDuration, SimTime};
+use tocttou_workloads::dsl::library;
 use tocttou_workloads::scenario::Scenario;
 
 #[global_allocator]
@@ -80,6 +81,26 @@ struct EngineRow {
     rounds_per_sec: f64,
     allocs_per_round: f64,
     alloc_bytes_per_round: f64,
+}
+
+#[derive(serde::Serialize)]
+struct DslCompileRow {
+    /// The spec being compiled and raced against its hand-written twin.
+    spec: String,
+    /// Microseconds to lower the declarative spec into a runnable
+    /// `Scenario` (`ScenarioSpec::compile`), best-of, amortized per call.
+    compile_us: f64,
+    /// Pooled jobs=1 rounds/s of the compiled scenario.
+    compiled_rounds_per_sec: f64,
+    /// The hand-written `vi_smp` twin's pooled jobs=1 rounds/s from the
+    /// same interleaved run.
+    hand_written_rounds_per_sec: f64,
+    /// `compiled / hand_written`: the interpreter's throughput relative to
+    /// the dedicated state machines.
+    compiled_vs_hand_written: f64,
+    /// The compiled batch's `McOutcome` serialized byte-identical to the
+    /// hand-written scenario's. Asserted.
+    outcome_bytes_identical_to_hand_written: bool,
 }
 
 #[derive(serde::Serialize)]
@@ -221,6 +242,7 @@ struct Report {
     fresh_per_round: EngineRow,
     pooled_engine: EngineRow,
     pooled_vs_fresh_speedup: f64,
+    dsl_compile: DslCompileRow,
     detector_overhead: DetectorOverheadRow,
     metrics_overhead: MetricsOverheadRow,
     checkpoint: CheckpointRow,
@@ -424,6 +446,46 @@ fn main() {
     println!(
         "mc/pooled vs pre-optimization baseline: x{:.2}",
         pooled_rps / PREOPT_BASELINE_ROUNDS_PER_SEC
+    );
+
+    // --- DSL compiler: lowering the declarative vi spec must be cheap
+    // (it runs once per grid point) and the compiled scenario must match
+    // the hand-written machines byte for byte while keeping comparable
+    // round throughput.
+    let compiled_vi = library::vi_smp_spec(FILE_SIZE).compile();
+    let dsl_identical =
+        serde_json::to_string(&run_mc(&compiled_vi, &cfg(1))).unwrap() == serial_json;
+    assert!(
+        dsl_identical,
+        "the compiled vi spec produced a different McOutcome than the hand-written vi_smp"
+    );
+    const COMPILE_ITERS: u64 = 2_000;
+    let mut dsl_timed: Vec<Box<dyn FnMut() + '_>> = vec![
+        Box::new(|| {
+            for _ in 0..COMPILE_ITERS {
+                std::hint::black_box(library::vi_smp_spec(FILE_SIZE).compile());
+            }
+        }),
+        Box::new(|| {
+            std::hint::black_box(run_mc(&compiled_vi, &cfg(1)));
+        }),
+    ];
+    let dsl_secs = best_of_interleaved(10, &mut dsl_timed);
+    drop(dsl_timed);
+    let compile_us = dsl_secs[0] / COMPILE_ITERS as f64 * 1e6;
+    let dsl_rps = ROUNDS as f64 / dsl_secs[1];
+    let dsl_compile = DslCompileRow {
+        spec: format!("vi_smp_spec({FILE_SIZE})"),
+        compile_us,
+        compiled_rounds_per_sec: dsl_rps,
+        hand_written_rounds_per_sec: pooled_rps,
+        compiled_vs_hand_written: dsl_rps / pooled_rps,
+        outcome_bytes_identical_to_hand_written: dsl_identical,
+    };
+    println!(
+        "mc/dsl     compile {compile_us:>8.2} us; compiled {dsl_rps:>10.0} rounds/s \
+         (x{:.2} vs hand-written)",
+        dsl_rps / pooled_rps
     );
 
     // Detector overhead on the pooled jobs=0 configuration: compare the
@@ -833,6 +895,7 @@ fn main() {
             alloc_bytes_per_round: pooled_bytes,
         },
         pooled_vs_fresh_speedup: fresh_secs / pooled_secs,
+        dsl_compile,
         detector_overhead,
         metrics_overhead,
         checkpoint,

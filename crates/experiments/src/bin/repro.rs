@@ -4,7 +4,7 @@
 //! repro <exhibit>... [--rounds N] [--seed S] [--jobs J] [--cold] [--out DIR]
 //!
 //! exhibits: fig6 fig7 table1 table2 fig8 fig10 fig11 headline defense detect
-//!           profile pairs maze lddist all
+//!           profile pairs taxonomy maze lddist all
 //!
 //! `--detect` is shorthand for the `detect` exhibit (the passive race
 //! detector scored against Monte-Carlo ground truth); `--profile` likewise
@@ -19,7 +19,7 @@
 use tocttou_experiments::cli::CommonArgs;
 use tocttou_experiments::figures::{
     defense, detect, fig10, fig11, fig6, fig7, fig8, headline, ld_dist, maze, pair_sweep, profile,
-    table1, table2,
+    table1, table2, taxonomy,
 };
 use tocttou_experiments::report::Report;
 use tocttou_experiments::svg::{line_chart, span_chart, BarRow, ChartConfig, Series};
@@ -47,7 +47,7 @@ fn parse_args() -> Result<Args, String> {
             "--detect" => exhibits.push("detect".to_string()),
             "--profile" => exhibits.push("profile".to_string()),
             "--help" | "-h" => {
-                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|detect|profile|pairs|maze|lddist|all>... [--detect] [--profile] [--rounds N] [--seed S] [--jobs J] [--cold] [--out DIR]".into());
+                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|detect|profile|pairs|taxonomy|maze|lddist|all>... [--detect] [--profile] [--rounds N] [--seed S] [--jobs J] [--cold] [--out DIR]".into());
             }
             name if !name.starts_with('-') => exhibits.push(name.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -290,6 +290,16 @@ fn main() {
         let out = pair_sweep::run(&cfg);
         println!("{out}");
         report.add("pair_sweep", &out).expect("write pair_sweep");
+    }
+
+    if wants("taxonomy") {
+        let mut cfg = taxonomy::Config::default();
+        args.common
+            .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
+        cfg.cold = args.common.cold;
+        let out = taxonomy::run(&cfg);
+        println!("{out}");
+        report.add("taxonomy", &out).expect("write taxonomy");
     }
 
     if wants("lddist") {

@@ -2,7 +2,7 @@
 //! engine.
 //!
 //! ```text
-//! sweep --grid <d|size|cpus|pipelined|swap> [--family F] [--size-kb N]
+//! sweep --grid <d|size|cpus|pipelined|swap|taxonomy> [--family F] [--size-kb N]
 //!       [--points N] [--rounds N] [--seed S] [--jobs J] [--out DIR]
 //!       [--collect-ld] [--cold]
 //!
@@ -11,8 +11,11 @@
 //!           cpus      CPU counts 1, 2, 4, ...
 //!           pipelined pipelined vs sequential attacker (Figure 11)
 //!           swap      symlink vs hardlink swap pair
+//!           taxonomy  one point per DSL-library scenario (distinct pairs)
 //! families: vi-uni vi-smp gedit-uni gedit-smp gedit-mc-v1 gedit-mc-v2
-//!           pipelined hardlink
+//!           pipelined hardlink tmp-logrotate chown-walk tmp-sweeper
+//!           maildrop installer-read pkg-installer mktemp-reopen sock-bind
+//!           vi-crowd swap-contest
 //! ```
 //!
 //! Prints the per-point success table to stdout and writes `sweep.json`
@@ -50,7 +53,7 @@ fn parse_args() -> Result<Args, String> {
             "--collect-ld" => collect_ld = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: sweep --grid <d|size|cpus|pipelined|swap> [--family F] [--size-kb N] \
+                    "usage: sweep --grid <d|size|cpus|pipelined|swap|taxonomy> [--family F] [--size-kb N] \
                      [--points N] [--rounds N] [--seed S] [--jobs J] [--out DIR] [--collect-ld] \
                      [--cold]"
                         .into(),

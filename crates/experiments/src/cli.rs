@@ -79,7 +79,7 @@ impl CommonArgs {
 /// `--size-kb`, `--points`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GridArgs {
-    /// `--grid <d|size|cpus|pipelined|swap>`, if given.
+    /// `--grid <d|size|cpus|pipelined|swap|taxonomy>`, if given.
     pub grid: Option<GridKind>,
     /// `--family <name>` (see [`Family::name`]), if given.
     pub family: Option<Family>,
@@ -106,7 +106,9 @@ impl GridArgs {
             "--grid" => {
                 let raw: String = parse_value(arg, rest)?;
                 self.grid = Some(GridKind::parse(&raw).ok_or_else(|| {
-                    format!("invalid --grid value {raw:?}: expected d, size, cpus or pipelined")
+                    format!(
+                        "invalid --grid value {raw:?}: expected d, size, cpus, pipelined, swap or taxonomy"
+                    )
                 })?);
                 Ok(true)
             }
@@ -142,7 +144,7 @@ impl GridArgs {
     pub fn build_grid(&self) -> Result<Grid, String> {
         let kind = self
             .grid
-            .ok_or("missing --grid <d|size|cpus|pipelined|swap>".to_string())?;
+            .ok_or("missing --grid <d|size|cpus|pipelined|swap|taxonomy>".to_string())?;
         let family = self.family.unwrap_or(Family::GeditSmp);
         let file_size = self
             .size_kb
@@ -249,6 +251,15 @@ mod tests {
         assert!(err.contains("--grid") && err.contains("bogus"), "{err}");
         let err = parse_grid(&["--family", "emacs"]).unwrap_err();
         assert!(err.contains("gedit-smp"), "lists valid names: {err}");
+    }
+
+    #[test]
+    fn taxonomy_grid_ignores_family_and_size() {
+        let (g, _) = parse_grid(&["--grid", "taxonomy", "--family", "vi-smp"]).unwrap();
+        assert_eq!(g.grid, Some(GridKind::Taxonomy));
+        let grid = g.build_grid().unwrap();
+        assert_eq!(grid.len(), Family::DSL_LIBRARY.len());
+        assert_eq!(grid.points[0].family, Family::TmpLogrotate);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`detect`] | passive race detector scored against Monte-Carlo ground truth |
 //! | [`profile`] | kernel observability scorecard: sem contention, syscall latency, scheduler counters |
 //! | [`pair_sweep`] | the `<check, use>` taxonomy swept against the SMP attacker |
+//! | [`taxonomy`] | per-pair detector scorecard over the DSL workload library |
 //! | [`maze`] | pathname-maze amplification of the uniprocessor attack |
 //! | [`ld_dist`] | per-round L/D distributions behind Tables 1–2 |
 
@@ -31,3 +32,4 @@ pub mod pair_sweep;
 pub mod profile;
 pub mod table1;
 pub mod table2;
+pub mod taxonomy;

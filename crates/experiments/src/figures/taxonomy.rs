@@ -1,0 +1,161 @@
+//! Taxonomy scorecard: the DSL workload library scored per `<check, use>`
+//! pair.
+//!
+//! The `pair_sweep` exhibit asks *which* taxonomy pairs are attackable at
+//! all; this one asks how well the passive detector does against realistic
+//! victims spanning those pairs. Every scenario in
+//! `tocttou_workloads::dsl::library` is a compiled [`ScenarioSpec`] tagged
+//! with its expected pair, so the scorecard reports ground-truth success
+//! rate, detector precision and recall per pair — the per-pair companion
+//! to the `detect` exhibit's per-program view.
+//!
+//! [`ScenarioSpec`]: tocttou_workloads::ScenarioSpec
+
+use crate::monte_carlo::{run_mc, McConfig};
+use serde::Serialize;
+use tocttou_workloads::dsl::library::taxonomy_library;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Rounds per scenario.
+    pub rounds: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads for each Monte-Carlo batch (`1` = serial,
+    /// `0` = auto); results are identical for every value.
+    pub jobs: usize,
+    /// Run every round from a cold boot instead of the warm checkpoint.
+    pub cold: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            rounds: 80,
+            seed: 0x7AC50,
+            jobs: 1,
+            cold: false,
+        }
+    }
+}
+
+/// One library scenario's scorecard row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// The `<check, use>` pair the scenario exercises.
+    pub pair: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Ground-truth attack success rate.
+    pub rate: f64,
+    /// Rounds the detector flagged.
+    pub flagged_rounds: u64,
+    /// TP / (TP + FP), `None` when nothing was flagged.
+    pub precision: Option<f64>,
+    /// TP / (TP + FN), `None` when nothing succeeded.
+    pub recall: Option<f64>,
+}
+
+/// The taxonomy scorecard.
+#[derive(Debug, Clone, Serialize)]
+pub struct Output {
+    /// Per-scenario rows, in library order.
+    pub rows: Vec<Row>,
+    /// Number of distinct `<check, use>` pairs the library covers.
+    pub distinct_pairs: usize,
+}
+
+/// Runs the scorecard over the whole DSL library.
+pub fn run(cfg: &Config) -> Output {
+    let mut rows = Vec::new();
+    let mut pairs = std::collections::BTreeSet::new();
+    for (pair, scenario) in taxonomy_library(None) {
+        let out = run_mc(
+            &scenario,
+            &McConfig {
+                rounds: cfg.rounds,
+                base_seed: cfg.seed,
+                collect_ld: false,
+                jobs: cfg.jobs,
+                cold: cfg.cold,
+            },
+        );
+        pairs.insert(format!("{pair}"));
+        rows.push(Row {
+            pair: format!("{pair}"),
+            scenario: out.scenario.clone(),
+            rate: out.rate,
+            flagged_rounds: out.flagged_rounds,
+            precision: out.detector_precision,
+            recall: out.detector_recall,
+        });
+    }
+    Output {
+        rows,
+        distinct_pairs: pairs.len(),
+    }
+}
+
+fn opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{:.1}", v * 100.0),
+        None => "—".to_string(),
+    }
+}
+
+impl std::fmt::Display for Output {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Taxonomy scorecard — DSL workload library, {} scenarios over {} distinct pairs",
+            self.rows.len(),
+            self.distinct_pairs
+        )?;
+        writeln!(
+            f,
+            "{:>16} {:>22} {:>7} {:>8} {:>10} {:>8}",
+            "pair", "scenario", "rate", "flagged", "precision", "recall"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>16} {:>22} {:>6.1}% {:>8} {:>9}% {:>7}%",
+                r.pair,
+                r.scenario,
+                r.rate * 100.0,
+                r.flagged_rounds,
+                opt(r.precision),
+                opt(r.recall),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scorecard_covers_the_library() {
+        let out = run(&Config {
+            rounds: 12,
+            seed: 11,
+            jobs: 1,
+            cold: false,
+        });
+        assert_eq!(out.rows.len(), 10);
+        assert!(
+            out.distinct_pairs >= 8,
+            "library must span at least 8 pairs, got {}",
+            out.distinct_pairs
+        );
+        assert!(
+            out.rows.iter().any(|r| r.rate > 0.0),
+            "at least one scenario must succeed at 12 rounds"
+        );
+        let text = out.to_string();
+        assert!(text.contains("distinct pairs"), "{text}");
+    }
+}

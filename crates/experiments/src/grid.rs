@@ -38,11 +38,33 @@ pub enum Family {
     /// `Scenario::hardlink_vi_smp` (hard-link swap: a second name of the
     /// privileged inode instead of a symlink).
     HardlinkSwap,
+    /// DSL `library::tmp_logrotate` — `<stat, open>` tempfile race.
+    TmpLogrotate,
+    /// DSL `library::chown_walk` — `<stat, chown>` recursive-chown walk.
+    ChownWalk,
+    /// DSL `library::tmp_sweeper` — `<stat, chmod>` cache sweeper.
+    TmpSweeper,
+    /// DSL `library::maildrop` — `<lstat, open>` local-delivery append.
+    Maildrop,
+    /// DSL `library::installer_read` — `<access, open>` sendmail pattern.
+    InstallerRead,
+    /// DSL `library::pkg_installer` — `<access, chown>` staged installer.
+    PkgInstaller,
+    /// DSL `library::mktemp_reopen` — `<creat, open>` scratch reopen.
+    MktempReopen,
+    /// DSL `library::sock_bind` — `<creat, chmod>` bind-then-loosen race.
+    SockBind,
+    /// DSL `library::vi_crowd` — `<creat, chown>` with three competing
+    /// attackers.
+    ViCrowd,
+    /// DSL `library::swap_contest` — symlink-vs-hardlink attackers racing
+    /// each other for one vi window.
+    SwapContest,
 }
 
 impl Family {
     /// Every family, in a stable order.
-    pub const ALL: [Family; 8] = [
+    pub const ALL: [Family; 18] = [
         Family::ViUniprocessor,
         Family::ViSmp,
         Family::GeditUniprocessor,
@@ -51,6 +73,31 @@ impl Family {
         Family::GeditMulticoreV2,
         Family::PipelinedAttack,
         Family::HardlinkSwap,
+        Family::TmpLogrotate,
+        Family::ChownWalk,
+        Family::TmpSweeper,
+        Family::Maildrop,
+        Family::InstallerRead,
+        Family::PkgInstaller,
+        Family::MktempReopen,
+        Family::SockBind,
+        Family::ViCrowd,
+        Family::SwapContest,
+    ];
+
+    /// The ten DSL-compiled families of the taxonomy library, in the
+    /// library's own order (distinct `<check, use>` pairs first).
+    pub const DSL_LIBRARY: [Family; 10] = [
+        Family::TmpLogrotate,
+        Family::ChownWalk,
+        Family::TmpSweeper,
+        Family::Maildrop,
+        Family::InstallerRead,
+        Family::PkgInstaller,
+        Family::MktempReopen,
+        Family::SockBind,
+        Family::ViCrowd,
+        Family::SwapContest,
     ];
 
     /// The CLI spelling (`--family` flag and sweep output).
@@ -64,6 +111,16 @@ impl Family {
             Family::GeditMulticoreV2 => "gedit-mc-v2",
             Family::PipelinedAttack => "pipelined",
             Family::HardlinkSwap => "hardlink",
+            Family::TmpLogrotate => "tmp-logrotate",
+            Family::ChownWalk => "chown-walk",
+            Family::TmpSweeper => "tmp-sweeper",
+            Family::Maildrop => "maildrop",
+            Family::InstallerRead => "installer-read",
+            Family::PkgInstaller => "pkg-installer",
+            Family::MktempReopen => "mktemp-reopen",
+            Family::SockBind => "sock-bind",
+            Family::ViCrowd => "vi-crowd",
+            Family::SwapContest => "swap-contest",
         }
     }
 
@@ -74,6 +131,7 @@ impl Family {
 
     /// Builds the family's scenario at `file_size` bytes.
     pub fn build(self, file_size: u64) -> Scenario {
+        use tocttou_workloads::dsl::library;
         match self {
             Family::ViUniprocessor => Scenario::vi_uniprocessor(file_size),
             Family::ViSmp => Scenario::vi_smp(file_size),
@@ -83,15 +141,33 @@ impl Family {
             Family::GeditMulticoreV2 => Scenario::gedit_multicore_v2(file_size),
             Family::PipelinedAttack => Scenario::pipelined_attack(file_size),
             Family::HardlinkSwap => Scenario::hardlink_vi_smp(file_size),
+            Family::TmpLogrotate => library::tmp_logrotate(file_size).compile(),
+            Family::ChownWalk => library::chown_walk(file_size).compile(),
+            Family::TmpSweeper => library::tmp_sweeper(file_size).compile(),
+            Family::Maildrop => library::maildrop(file_size).compile(),
+            Family::InstallerRead => library::installer_read(file_size).compile(),
+            Family::PkgInstaller => library::pkg_installer(file_size).compile(),
+            Family::MktempReopen => library::mktemp_reopen(file_size).compile(),
+            Family::SockBind => library::sock_bind(file_size).compile(),
+            Family::ViCrowd => library::vi_crowd(file_size).compile(),
+            Family::SwapContest => library::swap_contest(file_size).compile(),
         }
     }
 
     /// A sensible default file size for quick sweeps (the sizes the
-    /// paper's own exhibits use: ~100 KB vi saves, 2 KB gedit documents).
+    /// paper's own exhibits use: ~100 KB vi saves, 2 KB gedit documents;
+    /// the DSL families use their library calibration sizes).
     pub fn default_file_size(self) -> u64 {
         match self {
-            Family::ViUniprocessor | Family::ViSmp | Family::HardlinkSwap => 100 * 1024,
-            Family::PipelinedAttack => 512,
+            Family::ViUniprocessor
+            | Family::ViSmp
+            | Family::HardlinkSwap
+            | Family::ViCrowd
+            | Family::SwapContest => 100 * 1024,
+            Family::PipelinedAttack | Family::PkgInstaller => 512,
+            Family::TmpLogrotate | Family::Maildrop => 4096,
+            Family::TmpSweeper | Family::InstallerRead | Family::MktempReopen => 1024,
+            Family::SockBind => 256,
             _ => 2048,
         }
     }
@@ -162,11 +238,19 @@ impl GridPoint {
     pub fn scenario(&self) -> Scenario {
         let mut s = self.family.build(self.file_size);
         if let Some(k) = self.d_scale {
-            let cfg = match &mut s.attacker {
-                AttackerSpec::V1(cfg) | AttackerSpec::V2(cfg) | AttackerSpec::Hardlink(cfg) => cfg,
-                AttackerSpec::Pipelined { cfg, .. } => cfg,
-            };
-            cfg.loop_gap = cfg.loop_gap.mul_f64(k);
+            match &mut s.attacker {
+                AttackerSpec::V1(cfg) | AttackerSpec::V2(cfg) | AttackerSpec::Hardlink(cfg) => {
+                    cfg.loop_gap = cfg.loop_gap.mul_f64(k);
+                }
+                AttackerSpec::Pipelined { cfg, .. } => {
+                    cfg.loop_gap = cfg.loop_gap.mul_f64(k);
+                }
+                AttackerSpec::Compiled(profiles) => {
+                    for p in profiles {
+                        p.loop_gap = p.loop_gap.mul_f64(k);
+                    }
+                }
+            }
             s.name = format!("{}+dx{}", s.name, trim_float(k));
         }
         if let Some(n) = self.cpus {
@@ -314,6 +398,19 @@ impl Grid {
         }
     }
 
+    /// The taxonomy axis: one point per DSL-library family at its
+    /// calibration size, salts 0, 1, 2, … — together the ten scenarios
+    /// cover the paper's `<check, use>` pair taxonomy.
+    pub fn taxonomy_library() -> Grid {
+        Grid {
+            points: Family::DSL_LIBRARY
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| GridPoint::new(f, f.default_file_size()).with_salt(i as u64))
+                .collect(),
+        }
+    }
+
     /// Number of points.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -338,6 +435,8 @@ pub enum GridKind {
     Pipelined,
     /// Symlink-vs-hardlink swap pair.
     Swap,
+    /// One point per DSL taxonomy-library scenario.
+    Taxonomy,
 }
 
 impl GridKind {
@@ -349,6 +448,7 @@ impl GridKind {
             "cpus" => Some(GridKind::Cpus),
             "pipelined" => Some(GridKind::Pipelined),
             "swap" => Some(GridKind::Swap),
+            "taxonomy" => Some(GridKind::Taxonomy),
             _ => None,
         }
     }
@@ -363,6 +463,8 @@ impl GridKind {
     /// * `Pipelined` — the Figure 11 pair (ignores `points`).
     /// * `Swap` — the symlink-vs-hardlink pair (ignores `points` and
     ///   `family`).
+    /// * `Taxonomy` — the ten-scenario DSL library (ignores every
+    ///   argument; each family runs at its calibration size).
     pub fn build(self, family: Family, file_size: u64, points: usize) -> Grid {
         let n = points.max(1);
         match self {
@@ -386,6 +488,7 @@ impl GridKind {
             }
             GridKind::Pipelined => Grid::pipelined_pair(file_size),
             GridKind::Swap => Grid::swap_technique_pair(file_size),
+            GridKind::Taxonomy => Grid::taxonomy_library(),
         }
     }
 }
@@ -420,6 +523,7 @@ mod tests {
         let gap = |s: &Scenario| match &s.attacker {
             AttackerSpec::V1(c) | AttackerSpec::V2(c) | AttackerSpec::Hardlink(c) => c.loop_gap,
             AttackerSpec::Pipelined { cfg, .. } => cfg.loop_gap,
+            AttackerSpec::Compiled(profiles) => profiles[0].loop_gap,
         };
         assert_eq!(gap(&halved), gap(&base).mul_f64(0.5));
         assert!(halved.name.ends_with("+dx0.5"), "{}", halved.name);
@@ -452,6 +556,23 @@ mod tests {
         // The off-point mirrors the named sequential control semantically.
         let named = Scenario::sequential_attack(512);
         assert!(matches!(named.attacker, AttackerSpec::V1(_)));
+    }
+
+    #[test]
+    fn taxonomy_grid_covers_the_dsl_library() {
+        let g = GridKind::Taxonomy.build(Family::ViSmp, 1024, 3);
+        assert_eq!(g.len(), Family::DSL_LIBRARY.len());
+        for (i, p) in g.points.iter().enumerate() {
+            assert_eq!(p.seed_salt, i as u64);
+            assert_eq!(p.file_size, p.family.default_file_size());
+            // Every point materializes into a runnable compiled scenario.
+            let s = p.scenario();
+            assert!(
+                matches!(s.attacker, AttackerSpec::Compiled(_)),
+                "{}",
+                s.name
+            );
+        }
     }
 
     #[test]

@@ -285,9 +285,18 @@ impl std::fmt::Display for McOutcome {
 
 /// The window kind a scenario's victim defines.
 pub fn window_kind_of(scenario: &Scenario) -> WindowKind {
-    match scenario.victim {
+    match &scenario.victim {
         VictimSpec::Vi(_) => WindowKind::ViCreat,
         VictimSpec::Gedit(_) => WindowKind::GeditRename,
+        // Compiled victims declare their pair; a rename-check window has
+        // gedit's shape (opens at a rename commit), anything else vi's.
+        VictimSpec::Compiled(c) => {
+            if c.pair.check() == tocttou_core::taxonomy::FsCall::Rename {
+                WindowKind::GeditRename
+            } else {
+                WindowKind::ViCreat
+            }
+        }
     }
 }
 

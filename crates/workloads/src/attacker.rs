@@ -122,7 +122,10 @@ impl AttackerConfig {
     }
 }
 
-fn detected(last: Option<&SyscallResult>) -> bool {
+/// The paper's window test, shared by every detect-loop attacker (hand
+/// written or DSL-compiled): the followed `stat` reports a root-owned
+/// regular file.
+pub(crate) fn detected(last: Option<&SyscallResult>) -> bool {
     last.and_then(|r| r.stat())
         .is_some_and(|st| st.uid.0 == 0 && st.gid.0 == 0 && !st.is_symlink)
 }

@@ -1,0 +1,725 @@
+//! The scenario compiler: declarative syscall-trace specs for victims and
+//! attackers, lowered onto the existing [`Scenario`] machinery.
+//!
+//! The paper's taxonomy has 224 `<check, use>` pairs, but hand-writing a
+//! `ProcessLogic` state machine per victim does not scale past a handful.
+//! This module turns a victim into **data**: a [`ScenarioSpec`] lists the
+//! victim's syscall trace ([`Step`]s — sampled think time, jittered
+//! compute gaps, guarded calls, chunked write loops), the attacker
+//! programs ([`AttackerProfile`] — a detect-or-timer trigger plus a strike
+//! trace), the expected taxonomy pair, the extra filesystem state, and the
+//! ground-truth success predicate. [`ScenarioSpec::compile`] lowers the
+//! spec into a [`Scenario`] whose victim/attacker are interpreted step
+//! machines; everything downstream (Monte-Carlo engine, checkpointing,
+//! sweeps, detector ground truth) works unchanged.
+//!
+//! The interpreters replicate the hand-written programs *exactly* — same
+//! action sequence, same RNG draw schedule, same jitter formula — so a
+//! spec transcribing vi/gedit/hardlink is byte-identical to the bespoke
+//! module (trace, detections, `McOutcome`); `tests/dsl_oracle.rs` pins
+//! this down. The [`library`] module then mass-produces scenarios across
+//! the taxonomy: ~20 lines of spec per new victim.
+
+use crate::attacker::detected;
+use crate::scenario::{AttackerSpec, Layout, Scenario, VictimSpec};
+use std::sync::Arc;
+use tocttou_core::taxonomy::TocttouPair;
+use tocttou_os::defense::DefensePolicy;
+use tocttou_os::ids::Fd;
+use tocttou_os::machine::MachineSpec;
+use tocttou_os::process::{Action, LogicCtx, ProcessLogic, SyscallRequest, SyscallResult};
+use tocttou_os::vfs::{InodeMeta, Vfs};
+use tocttou_sim::dist::{sample_standard_normal, DurationDist};
+use tocttou_sim::rng::SimRng;
+use tocttou_sim::time::SimDuration;
+
+/// One syscall in a declarative trace, by target path (file descriptors
+/// are implicit: the interpreter tracks the most recent fd returned by an
+/// `open`/`creat` and feeds it to [`CallSpec::WriteFd`]/[`CallSpec::CloseFd`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallSpec {
+    /// `stat(path)` — follows symlinks.
+    Stat(Arc<str>),
+    /// `lstat(path)` — does not follow a final symlink.
+    Lstat(Arc<str>),
+    /// `access(path)`.
+    Access(Arc<str>),
+    /// `open(path)` on an existing file.
+    Open(Arc<str>),
+    /// `creat(path)` (create/truncate, returns an fd).
+    OpenCreate(Arc<str>),
+    /// `write(fd, bytes)` through the tracked fd.
+    WriteFd {
+        /// Byte count.
+        bytes: u64,
+    },
+    /// `close(fd)` of the tracked fd.
+    CloseFd,
+    /// `unlink(path)`.
+    Unlink(Arc<str>),
+    /// `mkdir(path)`.
+    Mkdir(Arc<str>),
+    /// `rename(from, to)`.
+    Rename {
+        /// Source name.
+        from: Arc<str>,
+        /// Destination name.
+        to: Arc<str>,
+    },
+    /// `symlink(target, linkpath)`.
+    Symlink {
+        /// Target stored in the link.
+        target: Arc<str>,
+        /// Name to bind.
+        linkpath: Arc<str>,
+    },
+    /// `link(existing, linkpath)` — hard link.
+    Link {
+        /// Existing name of the inode.
+        existing: Arc<str>,
+        /// Name to bind.
+        linkpath: Arc<str>,
+    },
+    /// `chmod(path, mode)`.
+    Chmod {
+        /// Path (symlinks followed).
+        path: Arc<str>,
+        /// New mode.
+        mode: u32,
+    },
+    /// `chown(path, uid, gid)`.
+    Chown {
+        /// Path (symlinks followed).
+        path: Arc<str>,
+        /// New owner uid.
+        uid: u32,
+        /// New owner gid.
+        gid: u32,
+    },
+}
+
+impl CallSpec {
+    /// Lowers the call to a kernel request; `fd` is the interpreter's
+    /// tracked descriptor (required by `WriteFd`/`CloseFd`).
+    fn request(&self, fd: Option<Fd>) -> SyscallRequest {
+        use tocttou_os::ids::{Gid, Uid};
+        match self {
+            CallSpec::Stat(p) => SyscallRequest::Stat { path: p.clone() },
+            CallSpec::Lstat(p) => SyscallRequest::Lstat { path: p.clone() },
+            CallSpec::Access(p) => SyscallRequest::Access { path: p.clone() },
+            CallSpec::Open(p) => SyscallRequest::Open { path: p.clone() },
+            CallSpec::OpenCreate(p) => SyscallRequest::OpenCreate { path: p.clone() },
+            CallSpec::WriteFd { bytes } => SyscallRequest::Write {
+                fd: fd.expect("WriteFd needs a prior open/creat in the trace"),
+                bytes: *bytes,
+            },
+            CallSpec::CloseFd => SyscallRequest::Close {
+                fd: fd.expect("CloseFd needs a prior open/creat in the trace"),
+            },
+            CallSpec::Unlink(p) => SyscallRequest::Unlink { path: p.clone() },
+            CallSpec::Mkdir(p) => SyscallRequest::Mkdir { path: p.clone() },
+            CallSpec::Rename { from, to } => SyscallRequest::Rename {
+                from: from.clone(),
+                to: to.clone(),
+            },
+            CallSpec::Symlink { target, linkpath } => SyscallRequest::Symlink {
+                target: target.clone(),
+                linkpath: linkpath.clone(),
+            },
+            CallSpec::Link { existing, linkpath } => SyscallRequest::Link {
+                existing: existing.clone(),
+                linkpath: linkpath.clone(),
+            },
+            CallSpec::Chmod { path, mode } => SyscallRequest::Chmod {
+                path: path.clone(),
+                mode: *mode,
+            },
+            CallSpec::Chown { path, uid, gid } => SyscallRequest::Chown {
+                path: path.clone(),
+                uid: Uid(*uid),
+                gid: Gid(*gid),
+            },
+        }
+    }
+}
+
+/// A guard evaluated on a call's result; failing the guard makes the
+/// victim abort its trace (exit without issuing the remaining steps).
+///
+/// This models the defensive check real victims perform — sendmail's
+/// "abort if lstat shows a symlink", a cron job's "only touch files the
+/// user owns" — and is what makes the ground truth exact: an attacker who
+/// strikes *before* the check is seen by the check itself, so the victim
+/// backs off and the round counts as neither a success nor a detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// No guard: proceed regardless of the result.
+    Any,
+    /// Proceed only if the (followed) stat result reports this owner uid.
+    UidIs(u32),
+    /// Proceed only if the stat result exists and is not a symlink
+    /// (meaningful after [`CallSpec::Lstat`]).
+    NotSymlink,
+    /// Proceed only if the call succeeded.
+    Succeeds,
+}
+
+impl Expect {
+    fn holds(self, last: Option<&SyscallResult>) -> bool {
+        match self {
+            Expect::Any => true,
+            Expect::UidIs(uid) => last
+                .and_then(|r| r.stat())
+                .is_some_and(|st| st.uid.0 == uid),
+            Expect::NotSymlink => last.and_then(|r| r.stat()).is_some_and(|st| !st.is_symlink),
+            Expect::Succeeds => last.is_some_and(|r| r.is_ok()),
+        }
+    }
+}
+
+/// One step of a victim's declarative trace.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Sampled user-space computation (the editing prologue); draws once
+    /// from the distribution.
+    Think(DurationDist),
+    /// Fixed compute gap with Gaussian jitter — exactly the hand-written
+    /// victims' `gap()`: no RNG draw when `jitter_us <= 0`, one
+    /// standard-normal draw otherwise.
+    Gap {
+        /// Base duration.
+        base: SimDuration,
+        /// Jitter stdev in microseconds.
+        jitter_us: f64,
+    },
+    /// A syscall, optionally guarded by an [`Expect`] on its result.
+    Call {
+        /// The call.
+        call: CallSpec,
+        /// Guard on the result; `Expect::Any` for unguarded calls.
+        expect: Expect,
+    },
+    /// A chunked write loop through the tracked fd (vi/gedit's buffer
+    /// flush): `bytes` total in `chunk`-sized calls.
+    WriteLoop {
+        /// Total bytes.
+        bytes: u64,
+        /// Per-call granularity.
+        chunk: u64,
+    },
+}
+
+impl Step {
+    /// An unguarded call step.
+    pub fn call(call: CallSpec) -> Step {
+        Step::Call {
+            call,
+            expect: Expect::Any,
+        }
+    }
+
+    /// A guarded call step.
+    pub fn guarded(call: CallSpec, expect: Expect) -> Step {
+        Step::Call { call, expect }
+    }
+
+    /// A jittered gap of `us` microseconds.
+    pub fn gap_us(us: u64, jitter_us: f64) -> Step {
+        Step::Gap {
+            base: SimDuration::from_micros(us),
+            jitter_us,
+        }
+    }
+}
+
+/// The hand-written victims' jitter formula, shared verbatim by the
+/// interpreters (`ViSave::gap` / `GeditSave::gap` /
+/// `AttackerConfig::sample_gap` compute exactly this).
+fn jittered(base: SimDuration, jitter_us: f64, rng: &mut SimRng) -> SimDuration {
+    if jitter_us <= 0.0 {
+        return base;
+    }
+    let us = base.as_micros_f64() + jitter_us * sample_standard_normal(rng);
+    SimDuration::from_micros_f64(us)
+}
+
+/// How a compiled attacker decides when to strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Spin on `stat(watch)` until it reports a root-owned regular file —
+    /// the paper's detection loop (`AttackerV1`'s trigger). Use when the
+    /// victim's check has an observable effect on the watched path (a
+    /// root `creat`, a rename into place).
+    RootOwned,
+    /// No detection loop: wait `start_delay`, one jittered `check_gap`,
+    /// then strike blind. Use against stat-style checks that leave no
+    /// observable trace; round-to-round spread comes from the victim's
+    /// sampled prologue.
+    Timer,
+}
+
+/// A compiled attacker: trigger plus strike trace.
+#[derive(Debug, Clone)]
+pub struct AttackerProfile {
+    /// Process name (shows up in traces).
+    pub name: String,
+    /// Spawn with warm libc pages? (`false` reproduces the paper's v1
+    /// page-fault behaviour.)
+    pub pretouch: bool,
+    /// The path the detection loop stats ([`Trigger::RootOwned`]).
+    pub watch: Arc<str>,
+    /// When to strike.
+    pub trigger: Trigger,
+    /// The strike: issued back-to-back once triggered.
+    pub strike: Arc<[CallSpec]>,
+    /// Delay before the first iteration (round-start stagger).
+    pub start_delay: SimDuration,
+    /// Non-detecting-`stat` → next-`stat` computation.
+    pub loop_gap: SimDuration,
+    /// Detecting-`stat` → strike computation.
+    pub check_gap: SimDuration,
+    /// Gaussian jitter (stdev, µs) on each sampled gap.
+    pub jitter_us: f64,
+}
+
+impl AttackerProfile {
+    /// The classic symlink-swap strike: `unlink(target)` then
+    /// `symlink(privileged, target)`.
+    pub fn symlink_strike(target: &Arc<str>, privileged: &Arc<str>) -> Arc<[CallSpec]> {
+        Arc::from(vec![
+            CallSpec::Unlink(target.clone()),
+            CallSpec::Symlink {
+                target: privileged.clone(),
+                linkpath: target.clone(),
+            },
+        ])
+    }
+
+    /// The hardlink-swap strike: `unlink(target)` then
+    /// `link(privileged, target)`.
+    pub fn hardlink_strike(target: &Arc<str>, privileged: &Arc<str>) -> Arc<[CallSpec]> {
+        Arc::from(vec![
+            CallSpec::Unlink(target.clone()),
+            CallSpec::Link {
+                existing: privileged.clone(),
+                linkpath: target.clone(),
+            },
+        ])
+    }
+}
+
+/// Ground-truth success predicate, evaluated on the final VFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuccessRule {
+    /// The privileged file ended up owned by the attacker (the paper's
+    /// criterion for `chown`-use attacks).
+    AttackerOwnsPrivileged,
+    /// The privileged file carries this mode (for `chmod`-use attacks:
+    /// the victim's chmod landed on the privileged inode).
+    PrivilegedModeIs(u32),
+    /// The privileged file grew to at least this many bytes (for
+    /// `open`-use attacks: the victim's writes went through a descriptor
+    /// resolved to the privileged inode).
+    PrivilegedGrewBy(u64),
+}
+
+impl SuccessRule {
+    /// Evaluates the predicate against the end-of-round filesystem.
+    pub fn eval(self, vfs: &Vfs, layout: &Layout) -> bool {
+        let passwd = vfs.stat(&layout.passwd).expect("passwd exists");
+        match self {
+            SuccessRule::AttackerOwnsPrivileged => passwd.uid == layout.attacker.0,
+            SuccessRule::PrivilegedModeIs(mode) => passwd.mode == mode,
+            SuccessRule::PrivilegedGrewBy(bytes) => passwd.size >= bytes,
+        }
+    }
+}
+
+/// An extra filesystem entry a spec needs beyond the standard [`Layout`]
+/// (spool files, package trees, …). Created by `populate_doc` *after* the
+/// document so the sweep engine's base-image fork invariant holds.
+#[derive(Debug, Clone)]
+pub struct FileSpec {
+    /// Absolute path.
+    pub path: String,
+    /// Owned by the attacker (`true`) or root (`false`).
+    pub attacker_owned: bool,
+    /// Mode bits.
+    pub mode: u32,
+    /// File (with size) or directory.
+    pub node: ExtraNode,
+}
+
+/// What an extra [`FileSpec`] entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtraNode {
+    /// A regular file of the given size.
+    File {
+        /// Initial size in bytes.
+        size: u64,
+    },
+    /// A directory.
+    Dir,
+}
+
+impl FileSpec {
+    /// An attacker-owned regular file.
+    pub fn user_file(path: impl Into<String>, size: u64) -> FileSpec {
+        FileSpec {
+            path: path.into(),
+            attacker_owned: true,
+            mode: 0o644,
+            node: ExtraNode::File { size },
+        }
+    }
+
+    /// An attacker-owned directory.
+    pub fn user_dir(path: impl Into<String>) -> FileSpec {
+        FileSpec {
+            path: path.into(),
+            attacker_owned: true,
+            mode: 0o755,
+            node: ExtraNode::Dir,
+        }
+    }
+}
+
+/// A declarative scenario: victim trace, attackers, filesystem, taxonomy
+/// pair and ground truth — everything [`ScenarioSpec::compile`] needs to
+/// produce a runnable [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// Machine profile.
+    pub machine: MachineSpec,
+    /// Filesystem layout.
+    pub layout: Layout,
+    /// The `<check, use>` pair this scenario exercises (the pair the
+    /// detector is expected to report).
+    pub pair: TocttouPair,
+    /// Victim process name.
+    pub victim_name: String,
+    /// The victim's trace.
+    pub steps: Vec<Step>,
+    /// Pre-existing document size (the layout's `doc`).
+    pub doc_size: u64,
+    /// Extra filesystem entries beyond the standard layout.
+    pub extra_files: Vec<FileSpec>,
+    /// The attackers (one per process; more than one models interference).
+    pub attackers: Vec<AttackerProfile>,
+    /// Ground-truth success predicate.
+    pub success: SuccessRule,
+    /// Wall-clock cap per round.
+    pub max_round: SimDuration,
+}
+
+impl ScenarioSpec {
+    /// Lowers the spec into a [`Scenario`] running interpreted step
+    /// machines. Compilation is pure data shuffling — deterministic, no
+    /// RNG — so compiling twice yields behaviourally identical scenarios.
+    pub fn compile(self) -> Scenario {
+        Scenario {
+            name: self.name,
+            machine: self.machine,
+            victim: VictimSpec::Compiled(CompiledVictim {
+                name: self.victim_name,
+                steps: self.steps.into(),
+                doc_size: self.doc_size,
+                pair: self.pair,
+                extra_files: self.extra_files.into(),
+                success: self.success,
+            }),
+            attacker: AttackerSpec::Compiled(self.attackers),
+            layout: self.layout,
+            max_round: self.max_round,
+            defense: DefensePolicy::Off,
+        }
+    }
+}
+
+/// A compiled victim, embedded in [`VictimSpec::Compiled`]. Cheap to
+/// clone (the trace is shared).
+#[derive(Debug, Clone)]
+pub struct CompiledVictim {
+    /// Process name.
+    pub name: String,
+    /// The trace.
+    pub steps: Arc<[Step]>,
+    /// Pre-existing document size.
+    pub doc_size: u64,
+    /// Declared taxonomy pair.
+    pub pair: TocttouPair,
+    /// Extra filesystem entries.
+    pub extra_files: Arc<[FileSpec]>,
+    /// Ground-truth predicate.
+    pub success: SuccessRule,
+}
+
+impl CompiledVictim {
+    /// Creates the interpreter for one round.
+    pub fn logic(&self, seed: u64) -> DslVictim {
+        DslVictim {
+            steps: self.steps.clone(),
+            pc: 0,
+            written: 0,
+            fd: None,
+            pending: Expect::Any,
+            aborted: false,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// The victim-trace interpreter: walks the [`Step`] list, tracking the
+/// last returned fd and evaluating guards; mirrors the hand-written
+/// victims' action/draw schedule exactly.
+#[derive(Debug)]
+pub struct DslVictim {
+    steps: Arc<[Step]>,
+    pc: usize,
+    written: u64,
+    fd: Option<Fd>,
+    pending: Expect,
+    aborted: bool,
+    rng: SimRng,
+}
+
+impl ProcessLogic for DslVictim {
+    fn next_action(&mut self, _ctx: &LogicCtx, last: Option<&SyscallResult>) -> Action {
+        if let Some(fd) = last.and_then(|r| r.fd()) {
+            self.fd = Some(fd);
+        }
+        let guard = std::mem::replace(&mut self.pending, Expect::Any);
+        if !guard.holds(last) {
+            // The defensive check failed: back off without touching
+            // anything else (no use call, no success).
+            self.aborted = true;
+        }
+        if self.aborted {
+            return Action::Exit;
+        }
+        loop {
+            let Some(step) = self.steps.get(self.pc) else {
+                return Action::Exit;
+            };
+            match step {
+                Step::Think(dist) => {
+                    self.pc += 1;
+                    return Action::Compute(dist.sample(&mut self.rng));
+                }
+                Step::Gap { base, jitter_us } => {
+                    self.pc += 1;
+                    let g = jittered(*base, *jitter_us, &mut self.rng);
+                    return Action::Compute(g);
+                }
+                Step::Call { call, expect } => {
+                    self.pc += 1;
+                    self.pending = *expect;
+                    return Action::Syscall(call.request(self.fd));
+                }
+                Step::WriteLoop { bytes, chunk } => {
+                    if self.written >= *bytes {
+                        self.written = 0;
+                        self.pc += 1;
+                        continue;
+                    }
+                    let remaining = *bytes - self.written;
+                    let n = remaining.min((*chunk).max(1));
+                    self.written += n;
+                    return Action::Syscall(SyscallRequest::Write {
+                        fd: self.fd.expect("write loop needs a prior open/creat"),
+                        bytes: n,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AtkState {
+    Start,
+    Stat,
+    Decide,
+    TimerGap,
+    Strike(usize),
+}
+
+/// The compiled-attacker interpreter: trigger loop, then the strike
+/// trace, then exit. With [`Trigger::RootOwned`] its action/draw schedule
+/// is identical to `AttackerV1`/`AttackerHardlink`.
+#[derive(Debug)]
+pub struct DslAttacker {
+    prof: AttackerProfile,
+    state: AtkState,
+    rng: SimRng,
+}
+
+impl DslAttacker {
+    /// Creates the attacker; `seed` drives its loop-timing jitter.
+    pub fn new(prof: AttackerProfile, seed: u64) -> Self {
+        DslAttacker {
+            prof,
+            state: AtkState::Start,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ProcessLogic for DslAttacker {
+    fn next_action(&mut self, _ctx: &LogicCtx, last: Option<&SyscallResult>) -> Action {
+        match self.state {
+            AtkState::Start => {
+                self.state = match self.prof.trigger {
+                    Trigger::RootOwned => AtkState::Stat,
+                    Trigger::Timer => AtkState::TimerGap,
+                };
+                Action::Compute(self.prof.start_delay)
+            }
+            AtkState::Stat => {
+                self.state = AtkState::Decide;
+                Action::Syscall(SyscallRequest::Stat {
+                    path: self.prof.watch.clone(),
+                })
+            }
+            AtkState::Decide => {
+                if detected(last) {
+                    self.state = AtkState::Strike(0);
+                    Action::Compute(jittered(
+                        self.prof.check_gap,
+                        self.prof.jitter_us,
+                        &mut self.rng,
+                    ))
+                } else {
+                    self.state = AtkState::Stat;
+                    Action::Compute(jittered(
+                        self.prof.loop_gap,
+                        self.prof.jitter_us,
+                        &mut self.rng,
+                    ))
+                }
+            }
+            AtkState::TimerGap => {
+                self.state = AtkState::Strike(0);
+                Action::Compute(jittered(
+                    self.prof.check_gap,
+                    self.prof.jitter_us,
+                    &mut self.rng,
+                ))
+            }
+            AtkState::Strike(i) => match self.prof.strike.get(i) {
+                Some(call) => {
+                    self.state = AtkState::Strike(i + 1);
+                    Action::Syscall(call.request(None))
+                }
+                None => Action::Exit,
+            },
+        }
+    }
+}
+
+/// Populates a compiled victim's extra filesystem entries (called by the
+/// scenario build paths after the document is created).
+pub(crate) fn populate_extras(victim: &CompiledVictim, layout: &Layout, vfs: &mut Vfs) {
+    use tocttou_os::ids::{Gid, Uid};
+    for f in victim.extra_files.iter() {
+        let (uid, gid) = if f.attacker_owned {
+            layout.attacker
+        } else {
+            (Uid::ROOT, Gid::ROOT)
+        };
+        let meta = InodeMeta {
+            uid,
+            gid,
+            mode: f.mode,
+        };
+        match f.node {
+            ExtraNode::Dir => {
+                vfs.mkdir(&f.path, meta).expect("extra dir");
+            }
+            ExtraNode::File { size } => {
+                let ino = vfs.create_file(&f.path, meta).expect("extra file");
+                vfs.append(ino, size).expect("extra file content");
+            }
+        }
+    }
+}
+
+pub mod library;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tocttou_os::ids::Uid;
+
+    #[test]
+    fn compile_produces_a_runnable_scenario() {
+        let s = library::tmp_logrotate(4096).compile();
+        let r = s.run_round(7);
+        assert!(r.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        for seed in [1u64, 99, 4242] {
+            let a = library::maildrop(2048).compile().run_round(seed);
+            let b = library::maildrop(2048).compile().run_round(seed);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn guard_aborts_on_failed_check() {
+        // A victim whose guard expects a root-owned file, stat'ing an
+        // attacker-owned one: it must abort before the chown.
+        let layout = Layout::default();
+        let doc: Arc<str> = layout.doc.as_str().into();
+        let spec = ScenarioSpec {
+            name: "guard-abort".into(),
+            machine: MachineSpec::smp_xeon(),
+            layout: layout.clone(),
+            pair: TocttouPair::new(
+                tocttou_core::taxonomy::FsCall::Stat,
+                tocttou_core::taxonomy::FsCall::Chown,
+            )
+            .unwrap(),
+            victim_name: "guarded".into(),
+            steps: vec![
+                Step::guarded(CallSpec::Stat(doc.clone()), Expect::UidIs(0)),
+                Step::gap_us(10, 0.0),
+                Step::call(CallSpec::Chown {
+                    path: doc.clone(),
+                    uid: 0,
+                    gid: 0,
+                }),
+            ],
+            doc_size: 64,
+            extra_files: vec![],
+            attackers: vec![],
+            success: SuccessRule::AttackerOwnsPrivileged,
+            max_round: SimDuration::from_secs(1),
+        };
+        let scenario = spec.compile();
+        let (r, handles) = scenario.run_traced(3);
+        assert!(r.victim_exited, "abort still exits cleanly");
+        // The doc is attacker-owned, so the guard failed and the chown
+        // never ran: the doc still belongs to the attacker.
+        let st = handles.kernel.vfs().stat(&scenario.layout.doc).unwrap();
+        assert_eq!(st.uid, Uid(1000), "guard stopped the trace");
+    }
+
+    #[test]
+    fn library_pairs_are_distinct_and_at_least_eight() {
+        let mut pairs: Vec<String> = library::taxonomy_library(None)
+            .iter()
+            .map(|(pair, _)| format!("{pair}"))
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+        assert!(
+            pairs.len() >= 8,
+            "library must span >= 8 distinct pairs, got {pairs:?}"
+        );
+    }
+}

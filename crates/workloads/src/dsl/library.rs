@@ -1,0 +1,580 @@
+//! The taxonomy-wide workload library: [`ScenarioSpec`] constructors for
+//! victims across the paper's `<check, use>` cross product.
+//!
+//! Two groups live here:
+//!
+//! * **Oracle transcriptions** — [`vi_smp_spec`], [`gedit_smp_spec`],
+//!   [`hardlink_vi_smp_spec`]: the hand-written scenarios re-expressed as
+//!   specs, step for step and RNG draw for RNG draw. `tests/dsl_oracle.rs`
+//!   asserts they are byte-identical (trace, detections, `McOutcome`) to
+//!   the bespoke `ViSave`/`GeditSave`/`AttackerV1`/`AttackerHardlink`
+//!   modules — the proof that the compiler is faithful.
+//! * **New victims** — ten scenarios spanning nine distinct taxonomy
+//!   pairs (eight beyond the hand-written set): tempfile/logrotate races,
+//!   a recursive-chown walk, defensive sweepers, maildrop and installer
+//!   patterns, a mktemp reopen, a socket-style bind race, and
+//!   multi-attacker interference variants. Each is ~20 lines of spec and
+//!   plugs into `run_sweep`, the checkpoint engine, and the detector
+//!   ground-truth harness unmodified.
+//!
+//! ## Ground-truth construction
+//!
+//! Every new victim *guards* its check (`Expect::UidIs`/`NotSymlink`/
+//! `Succeeds`) the way real defensive code does. The guard is what makes
+//! per-round ground truth exact: a strike landing **before** the check is
+//! seen by the check itself (the followed `stat` reports the planted
+//! root-owned file), so the victim aborts — no use, no success, no
+//! detection. A strike landing **inside** the window yields both the
+//! success predicate and a kernel detection; one landing **after** the
+//! use is harmless and silent. Timer-triggered attackers get their
+//! round-to-round spread from the victim's sampled editing prologue.
+
+use super::{
+    AttackerProfile, CallSpec, Expect, FileSpec, ScenarioSpec, Step, SuccessRule, Trigger,
+};
+use crate::scenario::Layout;
+use std::sync::Arc;
+use tocttou_core::taxonomy::{FsCall, TocttouPair};
+use tocttou_os::machine::MachineSpec;
+use tocttou_sim::dist::DurationDist;
+use tocttou_sim::time::SimDuration;
+
+fn pair(check: FsCall, use_call: FsCall) -> TocttouPair {
+    TocttouPair::new(check, use_call).expect("library pairs are well-formed")
+}
+
+/// The editing prologue every victim starts with: uniform over 0–200 µs,
+/// like the hand-written editors. This is the round's randomizer — timer
+/// attackers strike at a fixed offset and hit a sliding window.
+fn prologue() -> Step {
+    Step::Think(DurationDist::uniform_us(0.0, 200.0))
+}
+
+/// A timer-triggered attacker striking `target` with the symlink swap at
+/// `start + N(check, jitter)` microseconds into the round.
+fn timer_symlinker(
+    layout: &Layout,
+    target: &Arc<str>,
+    start_us: u64,
+    check_us: u64,
+    jitter_us: f64,
+) -> AttackerProfile {
+    let privileged: Arc<str> = layout.passwd.as_str().into();
+    AttackerProfile {
+        name: "attacker-timer".into(),
+        pretouch: false,
+        watch: target.clone(),
+        trigger: Trigger::Timer,
+        strike: AttackerProfile::symlink_strike(target, &privileged),
+        start_delay: SimDuration::from_micros(start_us),
+        loop_gap: SimDuration::from_micros(1),
+        check_gap: SimDuration::from_micros(check_us),
+        jitter_us,
+    }
+}
+
+/// A detect-loop (window-watching) symlink attacker, `AttackerV1`-style.
+fn watching_symlinker(
+    layout: &Layout,
+    target: &Arc<str>,
+    loop_us: u64,
+    check_us: u64,
+    start_us: u64,
+) -> AttackerProfile {
+    let privileged: Arc<str> = layout.passwd.as_str().into();
+    AttackerProfile {
+        name: "attacker-v1".into(),
+        pretouch: false,
+        watch: target.clone(),
+        trigger: Trigger::RootOwned,
+        strike: AttackerProfile::symlink_strike(target, &privileged),
+        start_delay: SimDuration::from_micros(start_us),
+        loop_gap: SimDuration::from_micros(loop_us),
+        check_gap: SimDuration::from_micros(check_us),
+        jitter_us: 1.0,
+    }
+}
+
+fn base_spec(
+    name: String,
+    victim_name: &str,
+    pair: TocttouPair,
+    steps: Vec<Step>,
+    success: SuccessRule,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        name,
+        machine: MachineSpec::smp_xeon(),
+        layout: Layout::default(),
+        pair,
+        victim_name: victim_name.into(),
+        steps,
+        doc_size: 0,
+        extra_files: vec![],
+        attackers: vec![],
+        success,
+        max_round: SimDuration::from_secs(2),
+    }
+}
+
+// ---- oracle transcriptions ----------------------------------------------
+
+/// [`Scenario::vi_smp`](crate::scenario::Scenario::vi_smp) as a spec —
+/// byte-identical to the hand-written `ViSave` + `AttackerV1` pairing.
+pub fn vi_smp_spec(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let doc: Arc<str> = layout.doc.as_str().into();
+    let backup: Arc<str> = layout.backup.as_str().into();
+    let privileged: Arc<str> = layout.passwd.as_str().into();
+    let mut spec = base_spec(
+        format!("vi-smp-{}B", file_size),
+        "vi",
+        pair(FsCall::Creat, FsCall::Chown),
+        vec![
+            prologue(),
+            Step::call(CallSpec::Rename {
+                from: doc.clone(),
+                to: backup,
+            }),
+            Step::gap_us(10, 2.0),
+            Step::call(CallSpec::OpenCreate(doc.clone())),
+            Step::WriteLoop {
+                bytes: file_size,
+                chunk: 64 * 1024,
+            },
+            Step::gap_us(10, 2.0),
+            Step::call(CallSpec::CloseFd),
+            Step::gap_us(76, 2.0),
+            Step::call(CallSpec::Chown {
+                path: doc.clone(),
+                uid: 1000,
+                gid: 1000,
+            }),
+        ],
+        SuccessRule::AttackerOwnsPrivileged,
+    );
+    spec.doc_size = file_size;
+    spec.attackers = vec![AttackerProfile {
+        name: "attacker-v1".into(),
+        pretouch: false,
+        watch: doc.clone(),
+        trigger: Trigger::RootOwned,
+        strike: AttackerProfile::symlink_strike(&doc, &privileged),
+        start_delay: SimDuration::from_micros(1),
+        loop_gap: SimDuration::from_micros(33),
+        check_gap: SimDuration::from_micros(2),
+        jitter_us: 1.0,
+    }];
+    spec
+}
+
+/// [`Scenario::gedit_smp`](crate::scenario::Scenario::gedit_smp) as a spec
+/// — byte-identical to the hand-written `GeditSave` + `AttackerV1`.
+pub fn gedit_smp_spec(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let doc: Arc<str> = layout.doc.as_str().into();
+    let temp: Arc<str> = layout.temp.as_str().into();
+    let backup: Arc<str> = layout.backup.as_str().into();
+    let privileged: Arc<str> = layout.passwd.as_str().into();
+    let mut spec = base_spec(
+        format!("gedit-smp-{}B", file_size),
+        "gedit",
+        pair(FsCall::Rename, FsCall::Chown),
+        vec![
+            prologue(),
+            Step::call(CallSpec::OpenCreate(temp.clone())),
+            Step::WriteLoop {
+                bytes: file_size,
+                chunk: 64 * 1024,
+            },
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::CloseFd),
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::Rename {
+                from: doc.clone(),
+                to: backup,
+            }),
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::Rename {
+                from: temp,
+                to: doc.clone(),
+            }),
+            Step::gap_us(43, 1.0),
+            Step::call(CallSpec::Chmod {
+                path: doc.clone(),
+                mode: 0o644,
+            }),
+            Step::gap_us(1, 1.0),
+            Step::call(CallSpec::Chown {
+                path: doc.clone(),
+                uid: 1000,
+                gid: 1000,
+            }),
+        ],
+        SuccessRule::AttackerOwnsPrivileged,
+    );
+    spec.doc_size = file_size;
+    spec.attackers = vec![AttackerProfile {
+        name: "attacker-v1".into(),
+        pretouch: false,
+        watch: doc.clone(),
+        trigger: Trigger::RootOwned,
+        strike: AttackerProfile::symlink_strike(&doc, &privileged),
+        start_delay: SimDuration::from_micros(1),
+        loop_gap: SimDuration::from_micros(25),
+        check_gap: SimDuration::from_micros(12),
+        jitter_us: 1.0,
+    }];
+    spec
+}
+
+/// [`Scenario::hardlink_vi_smp`](crate::scenario::Scenario::hardlink_vi_smp)
+/// as a spec — byte-identical to `ViSave` + `AttackerHardlink`.
+pub fn hardlink_vi_smp_spec(file_size: u64) -> ScenarioSpec {
+    let mut spec = vi_smp_spec(file_size);
+    spec.name = format!("vi-hardlink-smp-{}B", file_size);
+    let layout = Layout::default();
+    let doc: Arc<str> = layout.doc.as_str().into();
+    let privileged: Arc<str> = layout.passwd.as_str().into();
+    spec.attackers[0].name = "attacker-hardlink".into();
+    spec.attackers[0].strike = AttackerProfile::hardlink_strike(&doc, &privileged);
+    spec
+}
+
+// ---- new taxonomy scenarios ---------------------------------------------
+
+/// `<stat, open>` — the classic tempfile/logrotate race: a root daemon
+/// stats its spool file ("still the user's?") then reopens and appends to
+/// it. The attacker swaps in a symlink between the two, redirecting the
+/// append into `/etc/passwd`.
+pub fn tmp_logrotate(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let spool: Arc<str> = "/home/user/spool.log".into();
+    let mut spec = base_spec(
+        format!("tmp-logrotate-{}B", file_size),
+        "logrotate",
+        pair(FsCall::Stat, FsCall::Open),
+        vec![
+            prologue(),
+            Step::guarded(CallSpec::Stat(spool.clone()), Expect::UidIs(1000)),
+            Step::gap_us(80, 2.0),
+            Step::guarded(CallSpec::Open(spool.clone()), Expect::Succeeds),
+            Step::WriteLoop {
+                bytes: 512,
+                chunk: 512,
+            },
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::CloseFd),
+        ],
+        SuccessRule::PrivilegedGrewBy(512),
+    );
+    spec.extra_files = vec![FileSpec::user_file(spool.as_ref(), file_size)];
+    spec.attackers = vec![timer_symlinker(&layout, &spool, 120, 20, 8.0)];
+    spec
+}
+
+/// `<stat, chown>` — a recursive-chown walk (`chown -R`-style cleanup):
+/// root walks an attacker-owned package tree stat'ing each entry, then
+/// chowns the leaf back to the user. Swapping the leaf for a symlink makes
+/// the chown land on `/etc/passwd` — handing it to the attacker.
+pub fn chown_walk(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let data: Arc<str> = "/home/user/pkg/sub/data".into();
+    let mut spec = base_spec(
+        format!("chown-walk-{}B", file_size),
+        "chown-r",
+        pair(FsCall::Stat, FsCall::Chown),
+        vec![
+            prologue(),
+            Step::guarded(CallSpec::Stat("/home/user/pkg".into()), Expect::UidIs(1000)),
+            Step::gap_us(10, 1.0),
+            Step::guarded(
+                CallSpec::Stat("/home/user/pkg/sub".into()),
+                Expect::UidIs(1000),
+            ),
+            Step::gap_us(10, 1.0),
+            Step::guarded(CallSpec::Stat(data.clone()), Expect::UidIs(1000)),
+            Step::gap_us(90, 2.0),
+            Step::call(CallSpec::Chown {
+                path: data.clone(),
+                uid: 1000,
+                gid: 1000,
+            }),
+        ],
+        SuccessRule::AttackerOwnsPrivileged,
+    );
+    spec.extra_files = vec![
+        FileSpec::user_dir("/home/user/pkg"),
+        FileSpec::user_dir("/home/user/pkg/sub"),
+        FileSpec::user_file(data.as_ref(), file_size),
+    ];
+    spec.attackers = vec![timer_symlinker(&layout, &data, 150, 20, 8.0)];
+    spec
+}
+
+/// `<stat, chmod>` — a tmp-sweeper tightening permissions: root stats a
+/// cache file it believes is the user's, then chmods it 0600. Through a
+/// planted symlink the chmod clobbers `/etc/passwd`'s mode instead.
+pub fn tmp_sweeper(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let cache: Arc<str> = "/home/user/.cache.tmp".into();
+    let mut spec = base_spec(
+        format!("tmp-sweeper-{}B", file_size),
+        "tmp-sweeper",
+        pair(FsCall::Stat, FsCall::Chmod),
+        vec![
+            prologue(),
+            Step::guarded(CallSpec::Stat(cache.clone()), Expect::UidIs(1000)),
+            Step::gap_us(90, 2.0),
+            Step::call(CallSpec::Chmod {
+                path: cache.clone(),
+                mode: 0o600,
+            }),
+        ],
+        SuccessRule::PrivilegedModeIs(0o600),
+    );
+    spec.extra_files = vec![FileSpec::user_file(cache.as_ref(), file_size)];
+    spec.attackers = vec![timer_symlinker(&layout, &cache, 130, 20, 8.0)];
+    spec
+}
+
+/// `<lstat, open>` — the maildrop pattern (local delivery agent): lstat
+/// the mailbox to refuse symlinks, then open and append. The attacker
+/// swaps the mailbox between the lstat and the open.
+pub fn maildrop(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let mbox: Arc<str> = "/home/user/mbox".into();
+    let mut spec = base_spec(
+        format!("maildrop-{}B", file_size),
+        "maildrop",
+        pair(FsCall::Lstat, FsCall::Open),
+        vec![
+            prologue(),
+            Step::guarded(CallSpec::Lstat(mbox.clone()), Expect::NotSymlink),
+            Step::gap_us(85, 2.0),
+            Step::guarded(CallSpec::Open(mbox.clone()), Expect::Succeeds),
+            Step::WriteLoop {
+                bytes: 256,
+                chunk: 256,
+            },
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::CloseFd),
+        ],
+        SuccessRule::PrivilegedGrewBy(256),
+    );
+    spec.extra_files = vec![FileSpec::user_file(mbox.as_ref(), file_size)];
+    spec.attackers = vec![timer_symlinker(&layout, &mbox, 125, 20, 8.0)];
+    spec
+}
+
+/// `<access, open>` — the sendmail-era pattern: `access(2)` to check the
+/// real uid may touch the file, then open it. The canonical TOCTTOU pair
+/// from the paper's Section 3 taxonomy discussion.
+pub fn installer_read(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let conf: Arc<str> = "/home/user/tool.conf".into();
+    let mut spec = base_spec(
+        format!("installer-read-{}B", file_size),
+        "installer",
+        pair(FsCall::Access, FsCall::Open),
+        vec![
+            prologue(),
+            Step::guarded(CallSpec::Access(conf.clone()), Expect::UidIs(1000)),
+            Step::gap_us(85, 2.0),
+            Step::guarded(CallSpec::Open(conf.clone()), Expect::Succeeds),
+            Step::WriteLoop {
+                bytes: 128,
+                chunk: 128,
+            },
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::CloseFd),
+        ],
+        SuccessRule::PrivilegedGrewBy(128),
+    );
+    spec.extra_files = vec![FileSpec::user_file(conf.as_ref(), file_size)];
+    spec.attackers = vec![timer_symlinker(&layout, &conf, 125, 20, 8.0)];
+    spec
+}
+
+/// `<access, chown>` — a multi-step installer: stage a payload under a
+/// fresh directory (`mkdir` + `creat` + write + `close`), then check the
+/// install target with `access` and chown it to the requesting user. The
+/// check-to-chown gap is the window.
+pub fn pkg_installer(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let tool: Arc<str> = "/home/user/tool".into();
+    let mut spec = base_spec(
+        format!("pkg-installer-{}B", file_size),
+        "pkg-install",
+        pair(FsCall::Access, FsCall::Chown),
+        vec![
+            prologue(),
+            Step::call(CallSpec::Mkdir("/home/user/.staging".into())),
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::OpenCreate("/home/user/.staging/payload".into())),
+            Step::WriteLoop {
+                bytes: file_size,
+                chunk: 64 * 1024,
+            },
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::CloseFd),
+            Step::gap_us(10, 1.0),
+            Step::guarded(CallSpec::Access(tool.clone()), Expect::UidIs(1000)),
+            Step::gap_us(95, 2.0),
+            Step::call(CallSpec::Chown {
+                path: tool.clone(),
+                uid: 1000,
+                gid: 1000,
+            }),
+        ],
+        SuccessRule::AttackerOwnsPrivileged,
+    );
+    spec.extra_files = vec![FileSpec::user_file(tool.as_ref(), 64)];
+    spec.attackers = vec![timer_symlinker(&layout, &tool, 170, 20, 8.0)];
+    spec
+}
+
+/// `<creat, open>` — the mktemp-reopen race: create a scratch file, close
+/// it, later reopen it by name. Because the `creat` leaves a root-owned
+/// file, a detect-loop attacker can spot the window opening and swap the
+/// name before the reopen.
+pub fn mktemp_reopen(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let tmp: Arc<str> = "/home/user/.mktemp".into();
+    let mut spec = base_spec(
+        format!("mktemp-reopen-{}B", file_size),
+        "mktemp",
+        pair(FsCall::Creat, FsCall::Open),
+        vec![
+            prologue(),
+            Step::call(CallSpec::OpenCreate(tmp.clone())),
+            Step::WriteLoop {
+                bytes: file_size,
+                chunk: 64 * 1024,
+            },
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::CloseFd),
+            Step::gap_us(90, 2.0),
+            Step::guarded(CallSpec::Open(tmp.clone()), Expect::Succeeds),
+            Step::WriteLoop {
+                bytes: 64,
+                chunk: 64,
+            },
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::CloseFd),
+        ],
+        SuccessRule::PrivilegedGrewBy(64),
+    );
+    spec.attackers = vec![watching_symlinker(&layout, &tmp, 15, 2, 1)];
+    spec
+}
+
+/// `<creat, chmod>` — a unix-socket-style bind race: a root service
+/// creates its rendezvous node, then loosens its mode so clients can
+/// connect. Swapped between the two, the `chmod 0666` lands on
+/// `/etc/passwd`.
+pub fn sock_bind(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let sock: Arc<str> = "/home/user/daemon.sock".into();
+    let mut spec = base_spec(
+        format!("sock-bind-{}B", file_size),
+        "sock-daemon",
+        pair(FsCall::Creat, FsCall::Chmod),
+        vec![
+            prologue(),
+            Step::call(CallSpec::OpenCreate(sock.clone())),
+            Step::WriteLoop {
+                bytes: file_size,
+                chunk: 64 * 1024,
+            },
+            Step::gap_us(10, 1.0),
+            Step::call(CallSpec::CloseFd),
+            Step::gap_us(90, 2.0),
+            Step::call(CallSpec::Chmod {
+                path: sock.clone(),
+                mode: 0o666,
+            }),
+        ],
+        SuccessRule::PrivilegedModeIs(0o666),
+    );
+    spec.attackers = vec![watching_symlinker(&layout, &sock, 15, 2, 1)];
+    spec
+}
+
+/// `<creat, chown>` with **three** competing attackers: the vi save
+/// window contested by a crowd of detect-loop symlinkers with staggered
+/// start phases. Models the paper's observation that attack processes
+/// interfere — later strikers unlink earlier strikers' links before
+/// re-planting their own.
+pub fn vi_crowd(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let doc: Arc<str> = layout.doc.as_str().into();
+    let mut spec = vi_smp_spec(file_size);
+    spec.name = format!("vi-crowd-{}B", file_size);
+    spec.attackers = [(1u64, "attacker-a"), (9, "attacker-b"), (17, "attacker-c")]
+        .into_iter()
+        .map(|(start, name)| {
+            let mut a = watching_symlinker(&layout, &doc, 33, 2, start);
+            a.name = name.into();
+            a
+        })
+        .collect();
+    spec
+}
+
+/// `<creat, chown>` attacker-vs-attacker: a symlink swapper and a
+/// hardlink swapper race each other for the same vi window. Whichever
+/// strikes second unlinks the first's plant and installs its own; both
+/// techniques redirect the victim's `chown` to `/etc/passwd`, so every
+/// interleaving that wins the window converges to success.
+pub fn swap_contest(file_size: u64) -> ScenarioSpec {
+    let layout = Layout::default();
+    let doc: Arc<str> = layout.doc.as_str().into();
+    let privileged: Arc<str> = layout.passwd.as_str().into();
+    let mut spec = vi_smp_spec(file_size);
+    spec.name = format!("swap-contest-{}B", file_size);
+    let symlinker = {
+        let mut a = watching_symlinker(&layout, &doc, 33, 2, 1);
+        a.name = "attacker-symlink".into();
+        a
+    };
+    let hardlinker = AttackerProfile {
+        name: "attacker-hardlink".into(),
+        pretouch: false,
+        watch: doc.clone(),
+        trigger: Trigger::RootOwned,
+        strike: AttackerProfile::hardlink_strike(&doc, &privileged),
+        start_delay: SimDuration::from_micros(5),
+        loop_gap: SimDuration::from_micros(29),
+        check_gap: SimDuration::from_micros(3),
+        jitter_us: 1.0,
+    };
+    spec.attackers = vec![symlinker, hardlinker];
+    spec
+}
+
+/// The full new-scenario library at one file size (`None` = each
+/// scenario's calibrated default), tagged with the taxonomy pair each
+/// exercises. This is what the detector ground-truth harness and the
+/// `--grid taxonomy` sweep iterate over.
+pub fn taxonomy_library(file_size: Option<u64>) -> Vec<(TocttouPair, crate::scenario::Scenario)> {
+    type SpecCtor = fn(u64) -> ScenarioSpec;
+    let fns: [(SpecCtor, u64); 10] = [
+        (tmp_logrotate, 4096),
+        (chown_walk, 2048),
+        (tmp_sweeper, 1024),
+        (maildrop, 4096),
+        (installer_read, 1024),
+        (pkg_installer, 512),
+        (mktemp_reopen, 1024),
+        (sock_bind, 256),
+        (vi_crowd, 100 * 1024),
+        (swap_contest, 100 * 1024),
+    ];
+    fns.into_iter()
+        .map(|(f, default)| {
+            let spec = f(file_size.unwrap_or(default));
+            (spec.pair, spec.compile())
+        })
+        .collect()
+}

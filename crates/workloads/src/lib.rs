@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod attacker;
+pub mod dsl;
 pub mod gedit;
 pub mod generic;
 pub mod maze;
@@ -39,6 +40,9 @@ pub mod sendmail;
 pub mod vi;
 
 pub use attacker::{AttackerConfig, AttackerV1, AttackerV2, PipelinedDetector, PipelinedLinker};
+pub use dsl::{
+    AttackerProfile, CallSpec, CompiledVictim, Expect, ScenarioSpec, Step, SuccessRule, Trigger,
+};
 pub use gedit::{GeditConfig, GeditSave};
 pub use generic::{GenericConfig, GenericVictim};
 pub use maze::{run_maze_round, vi_uniprocessor_maze, Maze};

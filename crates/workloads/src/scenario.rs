@@ -9,6 +9,7 @@ use crate::attacker::{
     AttackFlag, AttackerConfig, AttackerHardlink, AttackerV1, AttackerV2, PipelinedDetector,
     PipelinedLinker,
 };
+use crate::dsl::{self, AttackerProfile, CompiledVictim};
 use crate::gedit::{GeditConfig, GeditSave};
 use crate::vi::{ViConfig, ViSave};
 use std::cell::Cell;
@@ -65,6 +66,9 @@ pub enum VictimSpec {
     Vi(ViConfig),
     /// gedit 2.8.3 (Section 2.2).
     Gedit(GeditConfig),
+    /// A DSL-compiled victim (see [`crate::dsl`]): the trace is data, the
+    /// interpreter replays it with the hand-written victims' RNG schedule.
+    Compiled(CompiledVictim),
 }
 
 /// Which attacker program a scenario runs.
@@ -85,6 +89,9 @@ pub enum AttackerSpec {
         /// Flag-polling period of the symlink thread.
         poll_gap: SimDuration,
     },
+    /// DSL-compiled attackers, one process per profile (see
+    /// [`crate::dsl`]); more than one models multi-attacker interference.
+    Compiled(Vec<AttackerProfile>),
 }
 
 /// A complete, named experiment configuration.
@@ -314,6 +321,13 @@ impl Scenario {
                 true,
                 Box::new(GeditSave::new(cfg.clone(), victim_seed)),
             ),
+            VictimSpec::Compiled(cfg) => kernel.spawn(
+                &cfg.name,
+                Uid::ROOT,
+                Gid::ROOT,
+                true, // long-running privileged program, like the editors
+                Box::new(cfg.logic(victim_seed)),
+            ),
         };
 
         let (auid, agid) = self.layout.attacker;
@@ -362,6 +376,28 @@ impl Scenario {
                 );
                 vec![t1, t2]
             }
+            AttackerSpec::Compiled(profiles) => profiles
+                .iter()
+                .enumerate()
+                .map(|(i, prof)| {
+                    // The first attacker reuses the schedule slot every
+                    // scenario draws; extra attackers each draw one more
+                    // seed (only scenarios with no hand-written
+                    // counterpart have extras, so oracles are unaffected).
+                    let seed = if i == 0 {
+                        attacker_seed
+                    } else {
+                        root_rng.next_u64()
+                    };
+                    kernel.spawn(
+                        &prof.name,
+                        auid,
+                        agid,
+                        prof.pretouch,
+                        Box::new(dsl::DslAttacker::new(prof.clone(), seed)),
+                    )
+                })
+                .collect(),
         };
 
         RoundHandles {
@@ -406,8 +442,15 @@ impl Scenario {
         let size = match &self.victim {
             VictimSpec::Vi(c) => c.file_size,
             VictimSpec::Gedit(c) => c.file_size,
+            VictimSpec::Compiled(c) => c.doc_size,
         };
         vfs.append(ino, size).expect("layout: doc content");
+        // Compiled scenarios may need extra state (spool files, package
+        // trees). Created after the doc so the base-image fork invariant
+        // (doc is the tail of population) still holds.
+        if let VictimSpec::Compiled(c) = &self.victim {
+            dsl::populate_extras(c, &self.layout, vfs);
+        }
     }
 
     /// Runs one untraced round and reports the outcome.
@@ -460,13 +503,22 @@ impl Scenario {
                 grace.min(deadline),
             );
         }
-        let passwd = handles
-            .kernel
-            .vfs()
-            .stat(&self.layout.passwd)
-            .expect("passwd exists");
+        let success = match &self.victim {
+            // Compiled scenarios carry their own ground-truth predicate
+            // (ownership transfer, mode clobber, privileged-file growth).
+            VictimSpec::Compiled(c) => c.success.eval(handles.kernel.vfs(), &self.layout),
+            // The paper's criterion for the hand-written attacks.
+            _ => {
+                let passwd = handles
+                    .kernel
+                    .vfs()
+                    .stat(&self.layout.passwd)
+                    .expect("passwd exists");
+                passwd.uid == self.layout.attacker.0
+            }
+        };
         RoundResult {
-            success: passwd.uid == self.layout.attacker.0,
+            success,
             victim_exited,
             elapsed: handles.kernel.now().saturating_since(SimTime::ZERO),
         }

@@ -10,19 +10,54 @@ const GOLDEN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/detector_vi_smp.txt"
 );
+const GOLDEN_TMP_LOGROTATE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/detector_tmp_logrotate.txt"
+);
 const SEED: u64 = 0xD07;
+const SEED_TMP_LOGROTATE: u64 = 0x13;
 
-fn timeline() -> String {
-    let scenario = Scenario::vi_smp(100 * 1024);
-    let mut handles = scenario.build(SEED, false);
+fn detection_timeline(scenario: &Scenario, seed: u64) -> String {
+    let mut handles = scenario.build(seed, false);
     let result = scenario.finish_round(&mut handles);
     let mut s = String::new();
-    let _ = writeln!(s, "# scenario={} seed={SEED:#x}", scenario.name);
+    let _ = writeln!(s, "# scenario={} seed={seed:#x}", scenario.name);
     let _ = writeln!(s, "# success={}", result.success);
     for rec in handles.kernel.detections().iter() {
         let _ = writeln!(s, "{} {}", rec.at.as_nanos(), rec.event);
     }
     s
+}
+
+fn timeline() -> String {
+    detection_timeline(&Scenario::vi_smp(100 * 1024), SEED)
+}
+
+/// The DSL tempfile race (`<stat, open>`) pinned the same way: one
+/// fixed-seed round of the compiled `tmp-logrotate` scenario must keep
+/// producing the same detection timeline. This is the regression net for
+/// the DSL compiler itself — interpreter dispatch, RNG draw order, and
+/// attacker trigger timing all feed the nanosecond timestamps below.
+#[test]
+fn tmp_logrotate_detection_timeline_matches_golden() {
+    let scenario = tocttou::workloads::dsl::library::tmp_logrotate(4096).compile();
+    let got = detection_timeline(&scenario, SEED_TMP_LOGROTATE);
+    assert!(
+        got.contains("# success=true") && got.contains("open"),
+        "sanity: the fixed-seed round must succeed and flag the open:\n{got}"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_TMP_LOGROTATE, &got).expect("re-bless golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_TMP_LOGROTATE)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {GOLDEN_TMP_LOGROTATE}: {e}"));
+    assert_eq!(
+        got, want,
+        "\ndetection timeline diverged from the snapshot at\n  {GOLDEN_TMP_LOGROTATE}\n\
+         If the change is intentional, re-bless it with:\n  \
+         UPDATE_GOLDEN=1 cargo test --test detector_golden\n"
+    );
 }
 
 #[test]

@@ -131,6 +131,78 @@ fn hardlink_scenario_precision_and_recall_are_one() {
     );
 }
 
+/// The DSL taxonomy library graded the same way as the hand-written
+/// scenarios: every successful attack flagged (recall 1.0), false
+/// positives under 10 % of flags — per scenario, across three seed bases.
+/// The guard-abort construction of the compiled victims is what makes
+/// this exact: a victim that notices the swap aborts before its use call,
+/// so neither success nor detection can happen without the other side.
+#[test]
+fn dsl_library_recall_is_one_and_precision_at_least_ninety_percent() {
+    for (pair, scenario) in tocttou::workloads::dsl::library::taxonomy_library(None) {
+        let rounds = run_rounds(&scenario);
+        let successes: u64 = rounds.iter().filter(|r| r.1).count() as u64;
+        let flagged: u64 = rounds.iter().filter(|r| r.2).count() as u64;
+        let misses: Vec<u64> = rounds
+            .iter()
+            .filter(|(_, success, flag)| *success && !*flag)
+            .map(|r| r.0)
+            .collect();
+        let false_positives: Vec<u64> = rounds
+            .iter()
+            .filter(|(_, success, flag)| !*success && *flag)
+            .map(|r| r.0)
+            .collect();
+
+        assert!(
+            successes > 0 && flagged > 0,
+            "{} ({pair}): oracle needs both successes ({successes}) and flags ({flagged})",
+            scenario.name
+        );
+        assert!(
+            misses.is_empty(),
+            "{} ({pair}): recall must be 1.0 — {} successful rounds undetected, seeds {misses:#x?}",
+            scenario.name,
+            misses.len()
+        );
+        let tp = flagged - false_positives.len() as u64;
+        let precision = tp as f64 / flagged as f64;
+        println!(
+            "{} ({pair}): {} rounds, {} successes, {} flagged, precision {precision:.3}",
+            scenario.name,
+            rounds.len(),
+            successes,
+            flagged
+        );
+        assert!(
+            precision >= 0.9,
+            "{} ({pair}): precision {precision:.3} below the 0.9 floor — {} false-positive \
+             rounds, seeds {false_positives:#x?}",
+            scenario.name,
+            false_positives.len()
+        );
+    }
+}
+
+/// The library must span the taxonomy, not resample one pair: at least
+/// eight distinct `<check, use>` pairs among its scenarios.
+#[test]
+fn dsl_library_covers_at_least_eight_distinct_pairs() {
+    let library = tocttou::workloads::dsl::library::taxonomy_library(None);
+    let pairs: std::collections::BTreeSet<String> =
+        library.iter().map(|(pair, _)| format!("{pair}")).collect();
+    assert!(
+        pairs.len() >= 8,
+        "taxonomy library covers only {} distinct pairs: {pairs:?}",
+        pairs.len()
+    );
+    assert!(
+        library.len() >= 8,
+        "taxonomy library must ship at least 8 scenarios, got {}",
+        library.len()
+    );
+}
+
 /// With EDGI active the attack is stopped, but the detector must still see
 /// the same windows the defense acts on: every denial is mirrored by a
 /// `DetectionEvent` flagged `blocked`, one for one.
