@@ -4,10 +4,12 @@
 //! Measures a 500-round `vi_smp` batch — the paper's Figure 6/7 unit of
 //! work — across the `jobs` ladder (1/2/4/auto), the fresh-per-round path
 //! against the pooled engine, heap allocations per round, and the cost of
-//! the two always-on observers: the race detector (vs `without_detector()`)
-//! and the kernel metrics (vs `without_metrics()`), both on the pooled
-//! `jobs=0` configuration. Results go to `BENCH_monte_carlo.json` at the
-//! repository root; the metrics row is asserted against its 5% budget.
+//! the three always-on observers: the race detector (vs
+//! `without_detector()`), the kernel metrics (vs `without_metrics()`) and
+//! the window forensics (vs `without_forensics()`, plus the spans-armed
+//! variant), all on the pooled `jobs=0` configuration. Results go to
+//! `BENCH_monte_carlo.json` at the repository root; the metrics and
+//! forensics rows are asserted against their 5% budgets.
 //!
 //! Byte-identity between the serial and parallel batches is asserted here
 //! on every run: `run_mc` guarantees the same `McOutcome` for every
@@ -122,6 +124,20 @@ struct MetricsOverheadRow {
     /// kernel metrics (counters + latency histograms + per-round snapshot
     /// fold) add to the pooled engine. Budget: <= 0.05.
     overhead_frac: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ForensicsOverheadRow {
+    jobs: usize,
+    forensics_on_rounds_per_sec: f64,
+    forensics_off_rounds_per_sec: f64,
+    /// `on_time / off_time - 1`: the fraction of wall time the always-on
+    /// window forensics (check/use window tracking, strike classification,
+    /// per-round snapshot fold) add to the pooled engine. Budget: <= 0.05.
+    overhead_frac: f64,
+    /// Rounds/s with span tracing armed on top of the forensics (the
+    /// exhibit-only configuration; informational, no budget).
+    spans_on_rounds_per_sec: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -245,6 +261,7 @@ struct Report {
     dsl_compile: DslCompileRow,
     detector_overhead: DetectorOverheadRow,
     metrics_overhead: MetricsOverheadRow,
+    forensics_overhead: ForensicsOverheadRow,
     checkpoint: CheckpointRow,
     sweep_throughput: SweepThroughputRow,
     vfs_resolve: VfsResolveRow,
@@ -337,6 +354,12 @@ fn main() {
     // And with the kernel metrics stripped, for the metrics-overhead row.
     let mut unmetered = Scenario::vi_smp(FILE_SIZE);
     unmetered.machine = unmetered.machine.without_metrics();
+    // And with the window forensics stripped / span tracing armed, for the
+    // forensics-overhead row.
+    let mut unforensic = Scenario::vi_smp(FILE_SIZE);
+    unforensic.machine = unforensic.machine.without_forensics();
+    let mut spanned = Scenario::vi_smp(FILE_SIZE);
+    spanned.machine = spanned.machine.with_spans();
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -404,6 +427,13 @@ fn main() {
     // (warm-boot) figure.
     timed.push(Box::new(|| {
         std::hint::black_box(run_mc(&scenario, &cfg(0).with_cold(true)));
+    }));
+    // Forensics-off and spans-armed twins, same configuration.
+    timed.push(Box::new(|| {
+        std::hint::black_box(run_mc(&unforensic, &cfg(0)));
+    }));
+    timed.push(Box::new(|| {
+        std::hint::black_box(run_mc(&spanned, &cfg(0)));
     }));
     let secs = best_of_interleaved(REPS, &mut timed);
     drop(timed);
@@ -526,6 +556,32 @@ fn main() {
         metrics_overhead.overhead_frac <= 0.05,
         "kernel metrics exceed their 5% overhead budget: {:+.1}%",
         metrics_overhead.overhead_frac * 100.0
+    );
+
+    // Window-forensics overhead, same methodology: the default-on
+    // configuration (auto-jobs ladder row) against the stripped twin, plus
+    // the spans-armed exhibit configuration for context.
+    let forensics_off_secs = secs[JOBS_LADDER.len() + 4];
+    let spans_on_secs = secs[JOBS_LADDER.len() + 5];
+    let forensics_overhead = ForensicsOverheadRow {
+        jobs: 0,
+        forensics_on_rounds_per_sec: ROUNDS as f64 / on_secs,
+        forensics_off_rounds_per_sec: ROUNDS as f64 / forensics_off_secs,
+        overhead_frac: on_secs / forensics_off_secs - 1.0,
+        spans_on_rounds_per_sec: ROUNDS as f64 / spans_on_secs,
+    };
+    println!(
+        "mc/forensics jobs=0 on {:>10.0} rounds/s, off {:>10.0} rounds/s, \
+         spans {:>10.0} rounds/s  (overhead {:+.1}%)",
+        forensics_overhead.forensics_on_rounds_per_sec,
+        forensics_overhead.forensics_off_rounds_per_sec,
+        forensics_overhead.spans_on_rounds_per_sec,
+        forensics_overhead.overhead_frac * 100.0
+    );
+    assert!(
+        forensics_overhead.overhead_frac <= 0.05,
+        "window forensics exceed their 5% overhead budget: {:+.1}%",
+        forensics_overhead.overhead_frac * 100.0
     );
 
     // --- Warm-boot checkpointing: the pooled jobs=0 engine resuming every
@@ -898,6 +954,7 @@ fn main() {
         dsl_compile,
         detector_overhead,
         metrics_overhead,
+        forensics_overhead,
         checkpoint,
         sweep_throughput,
         vfs_resolve,

@@ -4,12 +4,14 @@
 //! repro <exhibit>... [--rounds N] [--seed S] [--jobs J] [--cold] [--out DIR]
 //!
 //! exhibits: fig6 fig7 table1 table2 fig8 fig10 fig11 headline defense detect
-//!           profile pairs taxonomy maze lddist all
+//!           profile pairs taxonomy anatomy maze lddist all
 //!
 //! `--detect` is shorthand for the `detect` exhibit (the passive race
 //! detector scored against Monte-Carlo ground truth); `--profile` likewise
 //! selects the kernel observability scorecard (semaphore contention,
-//! syscall latency, scheduler counters).
+//! syscall latency, scheduler counters); `--anatomy` the race-window
+//! anatomy scorecard (window widths, strike offsets and near-miss
+//! distributions over the DSL taxonomy library).
 //! ```
 //!
 //! Each exhibit prints its rows to stdout and writes `<exhibit>.json` plus a
@@ -18,8 +20,8 @@
 
 use tocttou_experiments::cli::CommonArgs;
 use tocttou_experiments::figures::{
-    defense, detect, fig10, fig11, fig6, fig7, fig8, headline, ld_dist, maze, pair_sweep, profile,
-    table1, table2, taxonomy,
+    anatomy, defense, detect, fig10, fig11, fig6, fig7, fig8, headline, ld_dist, maze, pair_sweep,
+    profile, table1, table2, taxonomy,
 };
 use tocttou_experiments::report::Report;
 use tocttou_experiments::svg::{line_chart, span_chart, BarRow, ChartConfig, Series};
@@ -47,11 +49,16 @@ fn parse_args() -> Result<Args, String> {
             "--detect" => exhibits.push("detect".to_string()),
             "--profile" => exhibits.push("profile".to_string()),
             "--help" | "-h" => {
-                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|detect|profile|pairs|taxonomy|maze|lddist|all>... [--detect] [--profile] [--rounds N] [--seed S] [--jobs J] [--cold] [--out DIR]".into());
+                return Err("usage: repro <fig6|fig7|table1|table2|fig8|fig10|fig11|headline|defense|detect|profile|pairs|taxonomy|anatomy|maze|lddist|all>... [--detect] [--profile] [--anatomy] [--rounds N] [--seed S] [--jobs J] [--cold] [--out DIR]".into());
             }
             name if !name.starts_with('-') => exhibits.push(name.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    // `--anatomy` is a CommonArgs flag (all binaries parse it); here it is
+    // shorthand for the anatomy exhibit, like `--detect`/`--profile`.
+    if common.anatomy {
+        exhibits.push("anatomy".to_string());
     }
     if exhibits.is_empty() {
         exhibits.push("all".to_string());
@@ -300,6 +307,16 @@ fn main() {
         let out = taxonomy::run(&cfg);
         println!("{out}");
         report.add("taxonomy", &out).expect("write taxonomy");
+    }
+
+    if wants("anatomy") {
+        let mut cfg = anatomy::Config::default();
+        args.common
+            .apply(&mut cfg.rounds, &mut cfg.seed, &mut cfg.jobs);
+        cfg.cold = args.common.cold;
+        let out = anatomy::run(&cfg);
+        println!("{out}");
+        report.add("anatomy", &out).expect("write anatomy");
     }
 
     if wants("lddist") {

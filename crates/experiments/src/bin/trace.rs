@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! trace <scenario> [--seed S] [--width W] [--find success|failure] [--jobs J]
-//!                  [--export PATH]
+//!                  [--export PATH] [--perfetto PATH]
 //!
 //! scenarios: vi-uni vi-smp vi-smp-1b vi-hardlink-smp gedit-uni gedit-smp
 //!            gedit-mc-v1 gedit-mc-v2 pipelined
@@ -13,10 +13,15 @@
 //! until a round with the requested outcome turns up; `--jobs` fans the
 //! scan across worker threads and still reports the lowest matching seed.
 //! `--export` additionally writes the round as JSONL — header, every kernel
-//! event, every detection, and the round's metrics snapshot.
+//! event, every detection, and the round's metrics snapshot. `--perfetto`
+//! re-runs the round with span tracing armed and writes a Chrome
+//! trace-event JSON file (per-CPU tracks, semaphore holds, race windows,
+//! strike and detection markers) loadable in `ui.perfetto.dev` or
+//! `chrome://tracing`; both exports compose in one invocation.
 
 use tocttou_experiments::cli::CommonArgs;
 use tocttou_experiments::export::export_jsonl;
+use tocttou_experiments::perfetto::export_perfetto;
 use tocttou_experiments::timeline::Timeline;
 use tocttou_sim::time::{SimDuration, SimTime};
 use tocttou_workloads::scenario::Scenario;
@@ -95,7 +100,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: trace <vi-uni|vi-smp|vi-smp-1b|vi-hardlink-smp|gedit-uni|gedit-smp|gedit-mc-v1|gedit-mc-v2|pipelined> [--seed S] [--width W] [--find success|failure] [--jobs J] [--export PATH]"
+                    "usage: trace <vi-uni|vi-smp|vi-smp-1b|vi-hardlink-smp|gedit-uni|gedit-smp|gedit-mc-v1|gedit-mc-v2|pipelined> [--seed S] [--width W] [--find success|failure] [--jobs J] [--export PATH] [--perfetto PATH]"
                 );
                 return;
             }
@@ -109,12 +114,17 @@ fn main() {
         eprintln!("missing scenario name (try --help)");
         std::process::exit(2);
     };
-    let Some(scenario) = scenario_by_name(&name) else {
+    let Some(mut scenario) = scenario_by_name(&name) else {
         eprintln!("unknown scenario {name:?} (try --help)");
         std::process::exit(2);
     };
+    if common.perfetto.is_some() {
+        // Arm span tracing so the Perfetto view gets semaphore-hold and
+        // window spans; the round itself stays deterministic either way.
+        scenario.machine = scenario.machine.clone().with_spans();
+    }
 
-    let (result, handles, used_seed) = match find {
+    let (result, mut handles, used_seed) = match find {
         None => {
             let (r, h) = scenario.run_traced(seed);
             (r, h, seed)
@@ -179,5 +189,22 @@ fn main() {
                 std::process::exit(1);
             });
         eprintln!("exported {lines} JSONL records to {path}");
+    }
+
+    if let Some(path) = &common.perfetto {
+        // Classify any still-open windows/strikes so the trace shows them.
+        handles.kernel.forensics_mut().flush();
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut w = std::io::BufWriter::new(file);
+        let events = export_perfetto(&mut w, &scenario.name, used_seed, &handles.kernel, &procs)
+            .and_then(|n| std::io::Write::flush(&mut w).map(|()| n))
+            .unwrap_or_else(|e| {
+                eprintln!("perfetto export to {path} failed: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("exported {events} trace events to {path}");
     }
 }

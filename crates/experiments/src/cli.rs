@@ -11,9 +11,13 @@
 
 use crate::grid::{Family, Grid, GridKind};
 
-/// The `--rounds` / `--seed` / `--jobs` / `--cold` flags shared by both
-/// binaries.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// The `--rounds` / `--seed` / `--jobs` / `--cold` / `--anatomy` /
+/// `--perfetto` flags shared by the binaries.
+///
+/// Every binary parses all of them so invocations stay flag-compatible;
+/// a binary that has no use for a flag simply ignores it (the same
+/// parity contract `trace` already applies to `--rounds`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommonArgs {
     /// `--rounds N`, if given.
     pub rounds: Option<u64>,
@@ -24,6 +28,12 @@ pub struct CommonArgs {
     /// `--cold`: run every round from a cold boot instead of the warm
     /// checkpoint — the byte-identical oracle path (slower, same results).
     pub cold: bool,
+    /// `--anatomy`: shorthand for the race-window anatomy scorecard
+    /// (`repro` renders it as the `anatomy` exhibit; elsewhere parity-only).
+    pub anatomy: bool,
+    /// `--perfetto PATH`: write a Chrome trace-event / Perfetto JSON view
+    /// of the round (`trace` honors it; elsewhere parity-only).
+    pub perfetto: Option<String>,
 }
 
 impl CommonArgs {
@@ -55,6 +65,14 @@ impl CommonArgs {
             }
             "--cold" => {
                 self.cold = true;
+                Ok(true)
+            }
+            "--anatomy" => {
+                self.anatomy = true;
+                Ok(true)
+            }
+            "--perfetto" => {
+                self.perfetto = Some(rest.next().ok_or_else(|| format!("{arg} needs a value"))?);
                 Ok(true)
             }
             _ => Ok(false),
@@ -207,6 +225,17 @@ mod tests {
         assert!(parse(&["--rounds"]).unwrap_err().contains("--rounds"));
         let err = parse(&["--seed", "xyzzy"]).unwrap_err();
         assert!(err.contains("--seed") && err.contains("xyzzy"), "{err}");
+        assert!(parse(&["--perfetto"]).unwrap_err().contains("--perfetto"));
+    }
+
+    #[test]
+    fn forensics_flags_parse_everywhere() {
+        let (c, rest) = parse(&["--anatomy", "--perfetto", "out.json", "vi-smp"]).unwrap();
+        assert!(c.anatomy);
+        assert_eq!(c.perfetto.as_deref(), Some("out.json"));
+        assert_eq!(rest, ["vi-smp"]);
+        let (c, _) = parse(&["--rounds", "5"]).unwrap();
+        assert!(!c.anatomy && c.perfetto.is_none(), "both default off");
     }
 
     fn parse_grid(tokens: &[&str]) -> Result<(GridArgs, Vec<String>), String> {

@@ -3,9 +3,11 @@
 //! One line per record, so the output streams into any line-oriented
 //! tool (`jq`, pandas, a spreadsheet importer). The layout is:
 //!
-//! 1. a **header** line with the scenario/seed/machine identity and the
-//!    record counts — including how many trace records a bounded buffer
-//!    *dropped*, so a truncated export is always detectable;
+//! 1. a **header** line with the export [`SCHEMA_VERSION`], the
+//!    scenario/seed/machine identity, host metadata (`host_cpus`, build
+//!    profile) and the record counts — including how many trace records
+//!    and spans a bounded buffer *dropped*, so a truncated export is
+//!    always detectable;
 //! 2. one **event** line per kernel trace record, oldest first;
 //! 3. one **detection** line per race the passive detector observed;
 //! 4. a final **metrics** line carrying the round's full
@@ -20,6 +22,12 @@ use tocttou_os::event::OsEvent;
 use tocttou_os::ids::{CpuId, Pid, SemId};
 use tocttou_os::kernel::Kernel;
 use tocttou_sim::time::SimTime;
+
+/// Version of the JSONL layout. Bumped whenever a header field or line
+/// shape changes, so downstream consumers can dispatch instead of
+/// sniffing. Version 1 was the pre-versioned layout (no `schema_version`
+/// field); version 2 added host metadata and span-drop accounting.
+pub const SCHEMA_VERSION: u64 = 2;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
@@ -158,18 +166,33 @@ pub fn export_jsonl<W: Write>(
 
     let trace = kernel.trace();
     let detections = kernel.detections();
+    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
+    let build = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
     let header = obj(vec![
         ("type", Value::Str("header".into())),
+        ("schema_version", Value::UInt(SCHEMA_VERSION)),
         ("scenario", Value::Str(scenario.to_owned())),
         ("seed", Value::UInt(seed)),
         ("machine", Value::Str(kernel.machine().name.to_owned())),
         ("cpus", Value::UInt(kernel.machine().cpus as u64)),
+        ("host_cpus", Value::UInt(host_cpus)),
+        ("build", Value::Str(build.into())),
         ("now_ns", at(kernel.now())),
         ("events", Value::UInt(trace.len() as u64)),
         ("events_dropped", Value::UInt(trace.dropped())),
         ("detections", Value::UInt(detections.len() as u64)),
         ("detections_dropped", Value::UInt(detections.dropped())),
         ("metrics_enabled", Value::Bool(kernel.metrics().enabled())),
+        ("spans_enabled", Value::Bool(kernel.spans().enabled())),
+        ("spans", Value::UInt(kernel.spans().ring().len() as u64)),
+        (
+            "spans_dropped",
+            Value::UInt(kernel.spans().ring().dropped()),
+        ),
     ]);
     emit(w, &header)?;
 
@@ -230,6 +253,24 @@ mod tests {
 
         let header = &parsed[0];
         assert_eq!(header.get("type"), Some(&Value::Str("header".into())));
+        assert_eq!(
+            header.get("schema_version").unwrap().as_u64(),
+            Some(SCHEMA_VERSION)
+        );
+        assert!(
+            header.get("host_cpus").unwrap().as_u64().is_some(),
+            "host metadata present"
+        );
+        assert!(
+            matches!(header.get("build"), Some(Value::Str(b)) if b == "debug" || b == "release"),
+            "build profile recorded"
+        );
+        assert_eq!(
+            header.get("spans_dropped").unwrap().as_u64(),
+            Some(0),
+            "spans-off round drops nothing"
+        );
+        assert_eq!(header.get("spans_enabled"), Some(&Value::Bool(false)));
         let events = header.get("events").unwrap().as_u64().unwrap();
         let detections = header.get("detections").unwrap().as_u64().unwrap();
         assert_eq!(

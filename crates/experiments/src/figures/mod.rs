@@ -17,7 +17,9 @@
 //! | [`taxonomy`] | per-pair detector scorecard over the DSL workload library |
 //! | [`maze`] | pathname-maze amplification of the uniprocessor attack |
 //! | [`ld_dist`] | per-round L/D distributions behind Tables 1–2 |
+//! | [`anatomy`] | race-window anatomy: widths, strike offsets, near misses over the DSL library |
 
+pub mod anatomy;
 pub mod defense;
 pub mod detect;
 pub mod fig10;

@@ -18,6 +18,9 @@
 //!   outcomes bit-identical to standalone [`monte_carlo::run_mc`];
 //! * [`report`] — text + JSON artifact writing;
 //! * [`export`] — JSONL export of traces, detections and metrics;
+//! * [`perfetto`] — Chrome trace-event / Perfetto JSON export of a
+//!   spans-armed round (per-CPU tracks, semaphore holds, race windows,
+//!   strike/detection markers);
 //! * [`cli`] — the `--rounds`/`--seed`/`--jobs` flags shared by the
 //!   binaries;
 //! * [`svg`] — dependency-free SVG rendering of the figure shapes.
@@ -43,16 +46,18 @@ pub mod extract;
 pub mod figures;
 pub mod grid;
 pub mod monte_carlo;
+pub mod perfetto;
 pub mod report;
 pub mod svg;
 pub mod sweep;
 pub mod timeline;
 
 pub use cli::CommonArgs;
-pub use export::export_jsonl;
+pub use export::{export_jsonl, SCHEMA_VERSION};
 pub use extract::{observe, AttackObservation, WindowKind};
 pub use grid::{Family, Grid, GridKind, GridPoint};
 pub use monte_carlo::{run_mc, McConfig, McOutcome};
+pub use perfetto::export_perfetto;
 pub use report::Report;
 pub use sweep::{run_sweep, SweepConfig, SweepOutcome};
 pub use timeline::{Lane, Span, SpanKind, Timeline};

@@ -22,6 +22,7 @@ use tocttou_core::analysis::{LdEstimator, LdSample};
 use tocttou_core::model::MeasuredUs;
 use tocttou_core::stats::{OnlineStats, SuccessCounter};
 use tocttou_os::detect::DetectionEvent;
+use tocttou_os::forensics::ForensicsSnapshot;
 use tocttou_os::kernel::{Checkpoint, KernelPool};
 use tocttou_os::metrics::MetricsSnapshot;
 use tocttou_os::vfs::Vfs;
@@ -185,6 +186,12 @@ pub struct McOutcome {
     /// integer accumulation over key-sorted histograms, so the aggregate
     /// is bit-identical at any [`McConfig::jobs`] value.
     pub metrics: MetricsSnapshot,
+    /// Race-window forensics summed over every round: window-width and
+    /// near-miss (early/late) log2 histograms, strike verdict counts and
+    /// the minimum observed miss distance. Merged by the same
+    /// order-independent integer rules as `metrics`, so the aggregate is
+    /// bit-identical at any [`McConfig::jobs`] value.
+    pub forensics: ForensicsSnapshot,
 }
 
 /// Round-level detector accumulators, folded in round order alongside the
@@ -233,6 +240,7 @@ impl McOutcome {
         windows: OnlineStats,
         detector: DetectorTally,
         metrics: MetricsSnapshot,
+        forensics: ForensicsSnapshot,
     ) -> Self {
         let (l, d) = match ld.estimates() {
             Some((l, d)) => (Some(l), Some(d)),
@@ -260,6 +268,7 @@ impl McOutcome {
             detection_latency_us: (detector.latency.count() > 0).then(|| detector.latency.mean()),
             detection_fingerprint: detector.fingerprint,
             metrics,
+            forensics,
         }
     }
 }
@@ -348,6 +357,7 @@ pub(crate) struct PointAcc {
     windows: OnlineStats,
     detector: DetectorTally,
     metrics: MetricsSnapshot,
+    forensics: ForensicsSnapshot,
 }
 
 impl PointAcc {
@@ -358,6 +368,7 @@ impl PointAcc {
             windows: OnlineStats::new(),
             detector: DetectorTally::new(),
             metrics: MetricsSnapshot::default(),
+            forensics: ForensicsSnapshot::default(),
         }
     }
 
@@ -378,6 +389,11 @@ impl PointAcc {
         self.metrics.merge(block);
     }
 
+    /// Merges one worker block's window-forensics aggregate. Order-free.
+    pub(crate) fn merge_forensics(&mut self, block: &ForensicsSnapshot) {
+        self.forensics.merge(block);
+    }
+
     /// Trims the L/D samples and condenses everything into the outcome.
     pub(crate) fn finish(self, scenario: &Scenario) -> McOutcome {
         let ld = trimmed_estimator(self.samples, LD_TRIM_FRAC);
@@ -388,6 +404,7 @@ impl PointAcc {
             self.windows,
             self.detector,
             self.metrics,
+            self.forensics,
         )
     }
 }
@@ -496,6 +513,7 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
             acc.fold(obs);
         }
         acc.merge_metrics(&pool.metrics().snapshot());
+        acc.merge_forensics(&pool.forensics().snapshot());
     } else {
         // One contiguous block of rounds per worker; blocks come back in
         // worker order, so flattening yields observations in round order.
@@ -504,31 +522,34 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
             .map(|w| (w * block, ((w + 1) * block).min(cfg.rounds)))
             .filter(|(start, end)| start < end)
             .collect();
-        let per_block: Vec<(Vec<RoundObs>, MetricsSnapshot)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = blocks
-                .iter()
-                .map(|&(start, end)| {
-                    scope.spawn(move || {
-                        let mut pool = KernelPool::new().retain_metrics();
-                        let mut out = Vec::with_capacity((end - start) as usize);
-                        for i in start..end {
-                            let seed = cfg.base_seed.wrapping_add(i);
-                            let (obs, returned) =
-                                run_one_round(scenario, boot, pool, seed, kind, cfg.collect_ld);
-                            pool = returned;
-                            out.push(obs);
-                        }
-                        (out, pool.metrics().snapshot())
+        let per_block: Vec<(Vec<RoundObs>, MetricsSnapshot, ForensicsSnapshot)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = blocks
+                    .iter()
+                    .map(|&(start, end)| {
+                        scope.spawn(move || {
+                            let mut pool = KernelPool::new().retain_metrics();
+                            let mut out = Vec::with_capacity((end - start) as usize);
+                            for i in start..end {
+                                let seed = cfg.base_seed.wrapping_add(i);
+                                let (obs, returned) =
+                                    run_one_round(scenario, boot, pool, seed, kind, cfg.collect_ld);
+                                pool = returned;
+                                out.push(obs);
+                            }
+                            let (m, f) = (pool.metrics().snapshot(), pool.forensics().snapshot());
+                            (out, m, f)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("Monte-Carlo worker panicked"))
-                .collect()
-        });
-        for (block_obs, block_metrics) in per_block {
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("Monte-Carlo worker panicked"))
+                    .collect()
+            });
+        for (block_obs, block_metrics, block_forensics) in per_block {
             acc.merge_metrics(&block_metrics);
+            acc.merge_forensics(&block_forensics);
             for obs in block_obs {
                 acc.fold(obs);
             }

@@ -26,14 +26,16 @@
 //!   per-point identity tests in `tests/sweep_determinism.rs` and the
 //!   `sweep_throughput` bench row hold this line.
 //!
-//! Workers drain their pool's retained metrics at work-item boundaries
-//! ([`KernelPool::drain_metrics`]), which is what lets one pool serve
-//! many points without cross-contaminating their metric folds.
+//! Workers drain their pool's retained metrics and window forensics at
+//! work-item boundaries ([`KernelPool::drain_metrics`],
+//! [`KernelPool::drain_forensics`]), which is what lets one pool serve
+//! many points without cross-contaminating their folds.
 
 use crate::grid::{Grid, PointDesc};
 use crate::monte_carlo::{effective_jobs, run_one_round, McOutcome, PointAcc, RoundBoot};
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use tocttou_os::forensics::ForensicsSnapshot;
 use tocttou_os::kernel::{Checkpoint, KernelPool};
 use tocttou_os::metrics::MetricsSnapshot;
 use tocttou_workloads::scenario::Scenario;
@@ -117,6 +119,7 @@ struct ItemResult {
     point: usize,
     obs: Vec<crate::monte_carlo::RoundObs>,
     metrics: MetricsSnapshot,
+    forensics: ForensicsSnapshot,
 }
 
 /// Runs every grid point's Monte-Carlo batch on one shared worker pool.
@@ -168,8 +171,9 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
     let mut accs: Vec<PointAcc> = points.iter().map(|_| PointAcc::new()).collect();
 
     if jobs <= 1 {
-        // Serial: one pool serves every point; metrics drain at point
-        // boundaries so each fold starts from zero like a fresh pool.
+        // Serial: one pool serves every point; metrics and forensics
+        // drain at point boundaries so each fold starts from zero like a
+        // fresh pool.
         let mut pool = KernelPool::new().retain_metrics();
         for (p, scenario) in scenarios.iter().enumerate() {
             let point_seed = cfg.base_seed.wrapping_add(points[p].seed_salt);
@@ -186,6 +190,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
                 accs[p].fold(obs);
             }
             accs[p].merge_metrics(&pool.drain_metrics());
+            accs[p].merge_forensics(&pool.drain_forensics());
         }
     } else {
         // Same per-point block partition run_mc uses, flattened across
@@ -246,6 +251,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
                                 point: p,
                                 obs,
                                 metrics: pool.drain_metrics(),
+                                forensics: pool.drain_forensics(),
                             });
                         }
                         done
@@ -269,6 +275,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
         for slot in slots {
             let r = slot.expect("every work item completes");
             accs[r.point].merge_metrics(&r.metrics);
+            accs[r.point].merge_forensics(&r.forensics);
             for o in r.obs {
                 accs[r.point].fold(o);
             }

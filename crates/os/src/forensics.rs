@@ -1,0 +1,944 @@
+//! Race-window forensics: exact window intervals and strike miss distances.
+//!
+//! The [`detect`](crate::detect) module answers *whether* a round raced;
+//! this module answers *how close* it came. It watches the same syscall
+//! commit points and, per `(pid, path)`, tracks the exact virtual-time
+//! window from check commit to use commit. Every namespace mutation by
+//! another process — a *strike* — is classified against the window it
+//! targeted:
+//!
+//! * **hit** — the strike landed inside a window that was subsequently
+//!   consumed by a use;
+//! * **early miss** — the strike landed before the window that eventually
+//!   closed opened (or was voided by a re-check); its distance is
+//!   `t_check − t_strike`, the margin by which the attacker jumped the gun;
+//! * **late miss** — the strike landed after the (last) use consumed the
+//!   window; its distance is `t_strike − t_use`, the margin by which the
+//!   attacker arrived too late;
+//! * **unpaired** — the strike never matched a window that closed (e.g. a
+//!   victim's own `creat` interposing on the attacker's stat-spin window,
+//!   which no use ever consumes). These are counted, not interpreted.
+//!
+//! Early and late misses keep their sign by living in *separate* log2
+//! histograms; `min_miss_ns` tracks the closest failed strike either way —
+//! exactly the proximity signal an importance-splitting rare-event engine
+//! needs (ROADMAP item 1), and the laxity term of the paper's Formula (1)
+//! made measurable.
+//!
+//! Like [`KernelMetrics`](crate::metrics::KernelMetrics), the accumulator
+//! is branch-gated, allocation-light, pooled across rounds (`retain`), and
+//! folds into a [`ForensicsSnapshot`] whose merge is commutative and
+//! associative — the Monte-Carlo engine combines per-worker aggregates
+//! bit-identically at any `--jobs` value. Forensics default **on** (see
+//! [`MachineSpec::forensics`]); the bench strips them with
+//! [`MachineSpec::without_forensics`] to assert the ≤5% overhead budget.
+//!
+//! With spans armed ([`MachineSpec::with_spans`]) the forensics layer also
+//! keeps a per-round *event log* of closed windows and classified strikes
+//! with their real pathnames — the material of the `--anatomy` exhibit and
+//! the Perfetto exporter, too allocation-heavy for Monte-Carlo rounds and
+//! therefore off by default.
+//!
+//! [`MachineSpec::forensics`]: crate::machine::MachineSpec::forensics
+//! [`MachineSpec::without_forensics`]: crate::machine::MachineSpec::without_forensics
+//! [`MachineSpec::with_spans`]: crate::machine::MachineSpec::with_spans
+
+use crate::ids::Pid;
+use serde::{Serialize, Value};
+use std::sync::Arc;
+use tocttou_sim::metrics::LatencyHistogram;
+use tocttou_sim::span::SpanId;
+use tocttou_sim::time::{SimDuration, SimTime};
+
+/// How a classified strike related to the window it targeted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrikeOutcome {
+    /// Landed inside a window that a use later consumed.
+    Hit,
+    /// Landed before the consumed window opened; the distance is
+    /// `t_check − t_strike`.
+    Early(SimDuration),
+    /// Landed after the use; the distance is `t_strike − t_use`.
+    Late(SimDuration),
+    /// Never matched a window that closed.
+    Unpaired,
+}
+
+impl std::fmt::Display for StrikeOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrikeOutcome::Hit => write!(f, "hit"),
+            StrikeOutcome::Early(d) => write!(f, "early by {}ns", d.as_nanos()),
+            StrikeOutcome::Late(d) => write!(f, "late by {}ns", d.as_nanos()),
+            StrikeOutcome::Unpaired => write!(f, "unpaired"),
+        }
+    }
+}
+
+/// One classified strike (event log; only kept when spans are armed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrikeRecord {
+    /// The process whose mutation struck.
+    pub by: Pid,
+    /// The contested pathname.
+    pub path: Arc<str>,
+    /// When the mutation committed.
+    pub t: SimTime,
+    /// How the strike fared against the window.
+    pub outcome: StrikeOutcome,
+}
+
+impl std::fmt::Display for StrikeRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "strike {} by {} @{}ns: {}",
+            self.path,
+            self.by,
+            self.t.as_nanos(),
+            self.outcome
+        )
+    }
+}
+
+/// One closed check-use window (event log; only kept when spans are armed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// The process that issued check and use.
+    pub owner: Pid,
+    /// The checked-then-used pathname.
+    pub path: Arc<str>,
+    /// When the check committed.
+    pub t_check: SimTime,
+    /// When the first use consumed the window.
+    pub t_use: SimTime,
+}
+
+impl WindowRecord {
+    /// The window width, check commit to use commit.
+    pub fn width(&self) -> SimDuration {
+        self.t_use.saturating_since(self.t_check)
+    }
+}
+
+impl std::fmt::Display for WindowRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "window {} owner={} [{}ns, {}ns] width={}ns",
+            self.path,
+            self.owner,
+            self.t_check.as_nanos(),
+            self.t_use.as_nanos(),
+            self.width().as_nanos()
+        )
+    }
+}
+
+/// A strike that found no window to target; it pairs with the next foreign
+/// check on the path, or ends the round unpaired.
+#[derive(Debug, Clone)]
+struct PendingStrike {
+    by: Pid,
+    path: Arc<str>,
+    t: SimTime,
+}
+
+/// One live window in the forensics table.
+#[derive(Debug, Clone)]
+struct FWindow {
+    owner: Pid,
+    path: Arc<str>,
+    t_check: SimTime,
+    /// The span of the syscall whose commit opened the window
+    /// ([`SpanId::NONE`] when spans are off).
+    check_span: SpanId,
+    /// Whether a use has consumed the window; `t_use` is the *last* use.
+    used: bool,
+    t_use: SimTime,
+    /// Strikes awaiting the window's next boundary event (use → hit,
+    /// re-check → early miss, round end → late miss or unpaired).
+    strikes: Vec<(Pid, SimTime)>,
+}
+
+/// Returned by [`WindowForensics::on_use`] when a use closes a window, so
+/// the kernel can record the matching [`SpanKind::Window`] span.
+///
+/// [`SpanKind::Window`]: tocttou_sim::span::SpanKind::Window
+#[derive(Debug, Clone, Copy)]
+pub struct WindowClose {
+    /// When the check committed.
+    pub t_check: SimTime,
+    /// When the use committed.
+    pub t_use: SimTime,
+    /// The span of the syscall that opened the window.
+    pub check_span: SpanId,
+}
+
+/// Window identity fast path, mirroring `detect::same_path`.
+fn same_path(a: &Arc<str>, b: &Arc<str>) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
+
+/// The live, kernel-resident window-forensics accumulator.
+///
+/// Hooks mirror [`DetectorState`](crate::detect::DetectorState) — same
+/// check sites, same mutation sites, same use sites — and are all gated on
+/// `enabled`, so a kernel built from
+/// [`without_forensics`](crate::machine::MachineSpec::without_forensics)
+/// pays one predictable branch per commit and nothing else.
+#[derive(Debug, Clone)]
+pub struct WindowForensics {
+    enabled: bool,
+    /// Log closed windows / classified strikes with real paths (exhibits
+    /// only; armed together with spans).
+    log_enabled: bool,
+    /// Survive [`reset`](Self::reset): accumulate across pooled rounds
+    /// (see [`KernelPool::retain_metrics`]), flushing each round's
+    /// leftovers into `acc` at the boundary.
+    ///
+    /// [`KernelPool::retain_metrics`]: crate::kernel::KernelPool::retain_metrics
+    retain: bool,
+    windows: Vec<FWindow>,
+    pending: Vec<PendingStrike>,
+    acc: ForensicsSnapshot,
+    window_log: Vec<WindowRecord>,
+    strike_log: Vec<StrikeRecord>,
+}
+
+impl Default for WindowForensics {
+    fn default() -> Self {
+        Self::new(true, false)
+    }
+}
+
+impl WindowForensics {
+    /// A fresh accumulator; when `enabled` is false every hook is a no-op.
+    pub fn new(enabled: bool, log: bool) -> Self {
+        WindowForensics {
+            enabled,
+            log_enabled: log,
+            retain: false,
+            windows: Vec::new(),
+            pending: Vec::new(),
+            acc: ForensicsSnapshot::default(),
+            window_log: Vec::new(),
+            strike_log: Vec::new(),
+        }
+    }
+
+    /// Whether hooks are recording.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of live windows (for tests).
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Number of strikes still awaiting a window (for tests).
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Closed windows logged this round (spans armed only).
+    pub fn window_log(&self) -> &[WindowRecord] {
+        &self.window_log
+    }
+
+    /// Classified strikes logged this round (spans armed only).
+    pub fn strike_log(&self) -> &[StrikeRecord] {
+        &self.strike_log
+    }
+
+    /// Rearms the accumulator for a fresh round: live windows and pending
+    /// strikes can never leak into the next round. A retaining accumulator
+    /// first folds the finished round's leftovers into its running
+    /// aggregate (so warm rounds sum to exactly what per-round snapshots
+    /// would), then keeps it; otherwise the aggregate starts from zero.
+    /// The per-round event logs are always cleared.
+    pub(crate) fn reset(&mut self, enabled: bool, log: bool) {
+        if self.retain {
+            let (windows, pending, acc) = (&mut self.windows, &mut self.pending, &mut self.acc);
+            flush_leftovers_mut(windows, pending, acc, None);
+        } else {
+            self.acc = ForensicsSnapshot::default();
+            self.windows.clear();
+            self.pending.clear();
+        }
+        self.window_log.clear();
+        self.strike_log.clear();
+        self.enabled = enabled;
+        self.log_enabled = log;
+    }
+
+    /// Overwrites this accumulator's *round state* (flags, live windows,
+    /// pending strikes, logs) with `source`'s, reusing allocations. The
+    /// running aggregate follows the [`reset`](Self::reset) rule — flushed
+    /// and kept when retaining, zeroed otherwise — never the source's, so a
+    /// checkpoint restore cannot wipe pooled accumulation.
+    pub(crate) fn restore_from(&mut self, source: &WindowForensics) {
+        if self.retain {
+            let (windows, pending, acc) = (&mut self.windows, &mut self.pending, &mut self.acc);
+            flush_leftovers_mut(windows, pending, acc, None);
+        } else {
+            self.acc = ForensicsSnapshot::default();
+        }
+        self.enabled = source.enabled;
+        self.log_enabled = source.log_enabled;
+        self.windows.clone_from(&source.windows);
+        self.pending.clone_from(&source.pending);
+        self.window_log.clone_from(&source.window_log);
+        self.strike_log.clone_from(&source.strike_log);
+    }
+
+    /// Clears accumulated data even when retaining (sweep work items wipe
+    /// between grid points, exactly like a fresh pool).
+    pub(crate) fn clear_data(&mut self) {
+        self.acc = ForensicsSnapshot::default();
+        self.windows.clear();
+        self.pending.clear();
+        self.window_log.clear();
+        self.strike_log.clear();
+    }
+
+    /// Makes [`reset`](Self::reset) accumulate across pooled rounds.
+    pub(crate) fn set_retain(&mut self, retain: bool) {
+        self.retain = retain;
+    }
+
+    // --- hooks (same commit points as the detector; all gated) -----------
+
+    /// A check commit by `pid` on `path`: pairs pending strikes on the
+    /// path as early misses, voids in-window strikes (a re-check
+    /// re-establishes the invariant, so they were early relative to the
+    /// window that will eventually close), and opens/refreshes the window.
+    pub(crate) fn on_check(&mut self, pid: Pid, path: &Arc<str>, check_span: SpanId, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        self.acc.checks += 1;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].by != pid && self.pending[i].path.as_ref() == path.as_ref() {
+                let strike = self.pending.remove(i);
+                let d = now.saturating_since(strike.t);
+                self.acc.note_early(d);
+                self.log_strike(strike.by, &strike.path, strike.t, StrikeOutcome::Early(d));
+            } else {
+                i += 1;
+            }
+        }
+        if let Some(idx) = self
+            .windows
+            .iter()
+            .position(|w| w.owner == pid && same_path(&w.path, path))
+        {
+            for (by, t) in std::mem::take(&mut self.windows[idx].strikes) {
+                let d = now.saturating_since(t);
+                self.acc.note_early(d);
+                self.log_strike(by, path, t, StrikeOutcome::Early(d));
+            }
+            let w = &mut self.windows[idx];
+            w.t_check = now;
+            w.check_span = check_span;
+            w.used = false;
+        } else {
+            self.windows.push(FWindow {
+                owner: pid,
+                path: path.clone(),
+                t_check: now,
+                check_span,
+                used: false,
+                t_use: SimTime::ZERO,
+                strikes: Vec::new(),
+            });
+        }
+    }
+
+    /// A namespace mutation of `path` by `by`: a strike against every
+    /// *other* process's window for the path, or a pending strike if no
+    /// such window exists yet.
+    pub(crate) fn on_mutation(&mut self, by: Pid, path: &str, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        let mut matched = false;
+        for w in self
+            .windows
+            .iter_mut()
+            .filter(|w| w.owner != by && w.path.as_ref() == path)
+        {
+            w.strikes.push((by, now));
+            matched = true;
+        }
+        if !matched {
+            self.pending.push(PendingStrike {
+                by,
+                path: Arc::from(path),
+                t: now,
+            });
+        }
+    }
+
+    /// A use commit by `pid` on `path`: waiting strikes become hits; the
+    /// first use closes the window (records its width and returns the
+    /// interval so the kernel can emit the window span); later uses extend
+    /// the consumed interval for late-miss distances.
+    pub(crate) fn on_use(
+        &mut self,
+        pid: Pid,
+        path: &Arc<str>,
+        now: SimTime,
+    ) -> Option<WindowClose> {
+        if !self.enabled {
+            return None;
+        }
+        let w = self
+            .windows
+            .iter_mut()
+            .find(|w| w.owner == pid && same_path(&w.path, path))?;
+        self.acc.uses += 1;
+        let first_use = !w.used;
+        w.used = true;
+        w.t_use = now;
+        let (t_check, check_span) = (w.t_check, w.check_span);
+        self.acc.strikes_hit += w.strikes.len() as u64;
+        let hits = std::mem::take(&mut w.strikes);
+        for (by, t) in hits {
+            self.log_strike(by, path, t, StrikeOutcome::Hit);
+        }
+        if !first_use {
+            return None;
+        }
+        self.acc.window_width.record(now.saturating_since(t_check));
+        if self.log_enabled {
+            self.window_log.push(WindowRecord {
+                owner: pid,
+                path: path.clone(),
+                t_check,
+                t_use: now,
+            });
+        }
+        Some(WindowClose {
+            t_check,
+            t_use: now,
+            check_span,
+        })
+    }
+
+    /// Drops every window owned by an exiting process, classifying its
+    /// waiting strikes (late misses against a consumed window, unpaired
+    /// against one that never closed).
+    pub(crate) fn forget_process(&mut self, pid: Pid) {
+        if !self.enabled {
+            return;
+        }
+        let mut i = 0;
+        while i < self.windows.len() {
+            if self.windows[i].owner != pid {
+                i += 1;
+                continue;
+            }
+            let w = self.windows.remove(i);
+            for (by, t) in &w.strikes {
+                let outcome = classify_leftover(&w, *t, &mut self.acc);
+                self.log_strike(*by, &w.path, *t, outcome);
+            }
+        }
+    }
+
+    /// Ends the round: classifies every leftover (waiting strikes in live
+    /// windows, pending strikes that never found one) into the aggregate
+    /// and the event log, then clears the tables. Exhibits call this after
+    /// a run so the logs are complete; Monte-Carlo rounds never need to —
+    /// [`snapshot`](Self::snapshot) and
+    /// [`accumulate_into`](Self::accumulate_into) fold live leftovers on
+    /// the fly without mutating.
+    pub fn flush(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        let log = self.log_enabled;
+        let (windows, pending, acc) = (&mut self.windows, &mut self.pending, &mut self.acc);
+        let mut logged = flush_leftovers_mut(windows, pending, acc, log.then_some(()));
+        self.strike_log.append(&mut logged);
+    }
+
+    fn log_strike(&mut self, by: Pid, path: &Arc<str>, t: SimTime, outcome: StrikeOutcome) {
+        if self.log_enabled {
+            self.strike_log.push(StrikeRecord {
+                by,
+                path: path.clone(),
+                t,
+                outcome,
+            });
+        }
+    }
+
+    /// Condenses the accumulator into a mergeable snapshot, folding live
+    /// leftovers (windows still open, strikes still pending) on the fly.
+    pub fn snapshot(&self) -> ForensicsSnapshot {
+        let mut snap = ForensicsSnapshot::default();
+        self.accumulate_into(&mut snap);
+        snap
+    }
+
+    /// Folds the aggregate plus live leftovers straight into `out`.
+    pub fn accumulate_into(&self, out: &mut ForensicsSnapshot) {
+        out.merge(&self.acc);
+        for w in &self.windows {
+            for &(_, t) in &w.strikes {
+                classify_leftover(w, t, out);
+            }
+        }
+        out.strikes_unpaired += self.pending.len() as u64;
+    }
+}
+
+/// Classifies one leftover in-window strike into `acc` and returns the
+/// outcome (late miss against a consumed window, unpaired otherwise).
+fn classify_leftover(w: &FWindow, t: SimTime, acc: &mut ForensicsSnapshot) -> StrikeOutcome {
+    if w.used {
+        let d = t.saturating_since(w.t_use);
+        acc.note_late(d);
+        StrikeOutcome::Late(d)
+    } else {
+        acc.strikes_unpaired += 1;
+        StrikeOutcome::Unpaired
+    }
+}
+
+/// The mutating round-boundary flush: classifies every leftover into
+/// `acc`, clears both tables, and (when `log` is set) returns the strike
+/// records for the event log.
+fn flush_leftovers_mut(
+    windows: &mut Vec<FWindow>,
+    pending: &mut Vec<PendingStrike>,
+    acc: &mut ForensicsSnapshot,
+    log: Option<()>,
+) -> Vec<StrikeRecord> {
+    let mut records = Vec::new();
+    for w in windows.iter() {
+        for &(by, t) in &w.strikes {
+            let outcome = classify_leftover(w, t, acc);
+            if log.is_some() {
+                records.push(StrikeRecord {
+                    by,
+                    path: w.path.clone(),
+                    t,
+                    outcome,
+                });
+            }
+        }
+    }
+    windows.clear();
+    for strike in pending.iter() {
+        acc.strikes_unpaired += 1;
+        if log.is_some() {
+            records.push(StrikeRecord {
+                by: strike.by,
+                path: strike.path.clone(),
+                t: strike.t,
+                outcome: StrikeOutcome::Unpaired,
+            });
+        }
+    }
+    pending.clear();
+    records
+}
+
+/// A condensed, mergeable copy of one run's window forensics.
+///
+/// [`merge`](Self::merge) is pure integer accumulation plus a min-fold —
+/// commutative and associative, so folding snapshots is order-independent
+/// and bit-identical at any `--jobs` value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicsSnapshot {
+    /// Check commits observed.
+    pub checks: u64,
+    /// Use commits that consumed a window.
+    pub uses: u64,
+    /// Strikes that landed inside a consumed window.
+    pub strikes_hit: u64,
+    /// Strikes that never matched a window that closed.
+    pub strikes_unpaired: u64,
+    /// Check-to-first-use widths of closed windows.
+    pub window_width: LatencyHistogram,
+    /// Early-miss distances (`t_check − t_strike`).
+    pub miss_early: LatencyHistogram,
+    /// Late-miss distances (`t_strike − t_use`).
+    pub miss_late: LatencyHistogram,
+    /// Closest miss in nanoseconds; `u64::MAX` is the "no misses" identity.
+    min_miss_ns: u64,
+}
+
+impl Default for ForensicsSnapshot {
+    fn default() -> Self {
+        ForensicsSnapshot {
+            checks: 0,
+            uses: 0,
+            strikes_hit: 0,
+            strikes_unpaired: 0,
+            window_width: LatencyHistogram::new(),
+            miss_early: LatencyHistogram::new(),
+            miss_late: LatencyHistogram::new(),
+            min_miss_ns: u64::MAX,
+        }
+    }
+}
+
+impl ForensicsSnapshot {
+    fn note_early(&mut self, d: SimDuration) {
+        self.miss_early.record(d);
+        self.min_miss_ns = self.min_miss_ns.min(d.as_nanos());
+    }
+
+    fn note_late(&mut self, d: SimDuration) {
+        self.miss_late.record(d);
+        self.min_miss_ns = self.min_miss_ns.min(d.as_nanos());
+    }
+
+    /// The closest failed strike (either side of the window), if any missed.
+    pub fn min_miss_ns(&self) -> Option<u64> {
+        (self.min_miss_ns != u64::MAX).then_some(self.min_miss_ns)
+    }
+
+    /// Total strikes observed (hit + missed + unpaired).
+    pub fn strikes_total(&self) -> u64 {
+        self.strikes_hit + self.miss_early.count() + self.miss_late.count() + self.strikes_unpaired
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self == &ForensicsSnapshot::default()
+    }
+
+    /// Folds `other` into `self` (commutative and associative).
+    pub fn merge(&mut self, other: &ForensicsSnapshot) {
+        self.checks += other.checks;
+        self.uses += other.uses;
+        self.strikes_hit += other.strikes_hit;
+        self.strikes_unpaired += other.strikes_unpaired;
+        self.window_width.merge(&other.window_width);
+        self.miss_early.merge(&other.miss_early);
+        self.miss_late.merge(&other.miss_late);
+        self.min_miss_ns = self.min_miss_ns.min(other.min_miss_ns);
+    }
+}
+
+impl Serialize for ForensicsSnapshot {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("checks".into(), Value::UInt(self.checks)),
+            ("uses".into(), Value::UInt(self.uses)),
+            ("strikes_hit".into(), Value::UInt(self.strikes_hit)),
+            (
+                "strikes_unpaired".into(),
+                Value::UInt(self.strikes_unpaired),
+            ),
+            ("window_width".into(), self.window_width.serialize_value()),
+            ("miss_early".into(), self.miss_early.serialize_value()),
+            ("miss_late".into(), self.miss_late.serialize_value()),
+            (
+                "min_miss_ns".into(),
+                match self.min_miss_ns() {
+                    Some(ns) => Value::UInt(ns),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    fn arc(s: &str) -> Arc<str> {
+        s.into()
+    }
+
+    fn armed() -> WindowForensics {
+        WindowForensics::new(true, true)
+    }
+
+    #[test]
+    fn disabled_forensics_is_silent_and_free() {
+        let mut f = WindowForensics::new(false, false);
+        let p = arc("/doc");
+        f.on_check(Pid(1), &p, SpanId::NONE, t(1));
+        f.on_mutation(Pid(2), &p, t(2));
+        assert!(f.on_use(Pid(1), &p, t(3)).is_none());
+        f.flush();
+        assert_eq!(f.window_count(), 0);
+        assert!(f.snapshot().is_empty());
+    }
+
+    #[test]
+    fn strike_inside_a_consumed_window_is_a_hit() {
+        let mut f = armed();
+        let p = arc("/etc/passwd");
+        f.on_check(Pid(0), &p, SpanId(7), t(10));
+        f.on_mutation(Pid(1), &p, t(20));
+        let close = f.on_use(Pid(0), &p, t(40)).expect("first use closes");
+        assert_eq!(close.t_check, t(10));
+        assert_eq!(close.t_use, t(40));
+        assert_eq!(close.check_span, SpanId(7));
+        let s = f.snapshot();
+        assert_eq!(s.strikes_hit, 1);
+        assert_eq!(s.window_width.count(), 1);
+        assert_eq!(s.window_width.sum_ns(), 30_000);
+        assert_eq!(s.min_miss_ns(), None, "a hit is not a miss");
+        assert_eq!(f.window_log().len(), 1);
+        assert_eq!(f.window_log()[0].width(), SimDuration::from_micros(30));
+        assert_eq!(f.strike_log().len(), 1);
+        assert_eq!(f.strike_log()[0].outcome, StrikeOutcome::Hit);
+    }
+
+    #[test]
+    fn strike_before_any_window_is_an_early_miss() {
+        let mut f = armed();
+        let p = arc("/doc");
+        f.on_mutation(Pid(1), &p, t(5));
+        assert_eq!(f.pending_count(), 1);
+        f.on_check(Pid(0), &p, SpanId::NONE, t(12));
+        f.on_use(Pid(0), &p, t(20));
+        let s = f.snapshot();
+        assert_eq!(s.strikes_hit, 0);
+        assert_eq!(s.miss_early.count(), 1);
+        assert_eq!(s.miss_early.sum_ns(), 7_000);
+        assert_eq!(s.min_miss_ns(), Some(7_000));
+        assert_eq!(
+            f.strike_log()[0].outcome,
+            StrikeOutcome::Early(SimDuration::from_micros(7))
+        );
+    }
+
+    #[test]
+    fn own_pending_strike_never_pairs_with_own_check() {
+        let mut f = armed();
+        let p = arc("/doc");
+        f.on_mutation(Pid(0), &p, t(5));
+        f.on_check(Pid(0), &p, SpanId::NONE, t(12));
+        assert_eq!(f.pending_count(), 1, "own check does not classify it");
+        let s = f.snapshot();
+        assert_eq!(s.strikes_unpaired, 1);
+        assert_eq!(s.miss_early.count(), 0);
+    }
+
+    #[test]
+    fn recheck_voids_an_in_window_strike_as_early() {
+        let mut f = armed();
+        let p = arc("/doc");
+        f.on_check(Pid(0), &p, SpanId::NONE, t(10));
+        f.on_mutation(Pid(1), &p, t(15));
+        f.on_check(Pid(0), &p, SpanId::NONE, t(22));
+        f.on_use(Pid(0), &p, t(30));
+        let s = f.snapshot();
+        assert_eq!(s.strikes_hit, 0, "re-check re-established the invariant");
+        assert_eq!(s.miss_early.count(), 1);
+        assert_eq!(s.miss_early.sum_ns(), 7_000, "distance to the final check");
+        assert_eq!(s.window_width.sum_ns(), 8_000, "width is re-check to use");
+    }
+
+    #[test]
+    fn strike_after_the_last_use_is_a_late_miss() {
+        let mut f = armed();
+        let p = arc("/doc");
+        f.on_check(Pid(0), &p, SpanId::NONE, t(10));
+        f.on_use(Pid(0), &p, t(20));
+        f.on_mutation(Pid(1), &p, t(26));
+        // Live leftover: the snapshot folds it without mutating.
+        let s = f.snapshot();
+        assert_eq!(s.miss_late.count(), 1);
+        assert_eq!(s.miss_late.sum_ns(), 6_000);
+        assert_eq!(s.min_miss_ns(), Some(6_000));
+        let again = f.snapshot();
+        assert_eq!(s, again, "snapshot is pure");
+        // The mutating flush classifies and logs it.
+        f.flush();
+        assert_eq!(f.window_count(), 0);
+        assert_eq!(f.snapshot(), s);
+        assert_eq!(f.strike_log().len(), 1);
+        assert_eq!(
+            f.strike_log()[0].outcome,
+            StrikeOutcome::Late(SimDuration::from_micros(6))
+        );
+    }
+
+    #[test]
+    fn strike_between_two_uses_is_a_hit_on_the_next_use() {
+        let mut f = armed();
+        let p = arc("/doc");
+        f.on_check(Pid(0), &p, SpanId::NONE, t(10));
+        assert!(f.on_use(Pid(0), &p, t(20)).is_some());
+        f.on_mutation(Pid(1), &p, t(23));
+        assert!(
+            f.on_use(Pid(0), &p, t(30)).is_none(),
+            "window already closed"
+        );
+        let s = f.snapshot();
+        assert_eq!(s.strikes_hit, 1, "a later use consumed the broken window");
+        assert_eq!(s.uses, 2);
+        assert_eq!(s.window_width.count(), 1, "one window, first-use width");
+    }
+
+    #[test]
+    fn strike_into_a_window_that_never_closes_is_unpaired() {
+        let mut f = armed();
+        let p = arc("/tmp/x");
+        // The attacker's stat-spin window; the victim's creat "strikes" it.
+        f.on_check(Pid(1), &p, SpanId::NONE, t(5));
+        f.on_mutation(Pid(0), &p, t(9));
+        let s = f.snapshot();
+        assert_eq!(s.strikes_unpaired, 1);
+        assert_eq!(s.strikes_hit, 0);
+        assert_eq!(s.min_miss_ns(), None);
+        f.flush();
+        assert_eq!(f.strike_log()[0].outcome, StrikeOutcome::Unpaired);
+    }
+
+    #[test]
+    fn exit_classifies_leftovers_like_a_flush() {
+        let mut f = armed();
+        let p = arc("/doc");
+        f.on_check(Pid(0), &p, SpanId::NONE, t(10));
+        f.on_use(Pid(0), &p, t(20));
+        f.on_mutation(Pid(1), &p, t(27));
+        f.forget_process(Pid(0));
+        assert_eq!(f.window_count(), 0);
+        let s = f.snapshot();
+        assert_eq!(s.miss_late.count(), 1);
+        assert_eq!(s.miss_late.sum_ns(), 7_000);
+        assert_eq!(f.strike_log().len(), 1);
+    }
+
+    #[test]
+    fn reset_without_retain_forgets_everything() {
+        let mut f = armed();
+        let p = arc("/doc");
+        f.on_check(Pid(0), &p, SpanId::NONE, t(10));
+        f.on_mutation(Pid(1), &p, t(12));
+        f.on_use(Pid(0), &p, t(20));
+        f.reset(true, true);
+        assert!(f.snapshot().is_empty());
+        assert_eq!(f.window_count(), 0);
+        assert!(f.window_log().is_empty() && f.strike_log().is_empty());
+    }
+
+    #[test]
+    fn retained_reset_equals_per_round_snapshots() {
+        // Round 1 on a retaining accumulator, then a reset boundary, then
+        // round 2 — the drain must equal two per-round snapshots merged.
+        let mut warm = armed();
+        warm.set_retain(true);
+        let mut expect = ForensicsSnapshot::default();
+
+        let round = |f: &mut WindowForensics, base: u64| {
+            let p = arc("/doc");
+            f.on_check(Pid(0), &p, SpanId::NONE, t(base));
+            f.on_mutation(Pid(1), &p, t(base + 4));
+            f.on_use(Pid(0), &p, t(base + 9));
+            f.on_mutation(Pid(1), &p, t(base + 11)); // leftover late miss
+        };
+        round(&mut warm, 100);
+        {
+            let mut cold = armed();
+            round(&mut cold, 100);
+            expect.merge(&cold.snapshot());
+        }
+        warm.reset(true, true);
+        round(&mut warm, 300);
+        {
+            let mut cold = armed();
+            round(&mut cold, 300);
+            expect.merge(&cold.snapshot());
+        }
+        assert_eq!(warm.snapshot(), expect);
+        // And the sweep boundary wipe leaves a pristine accumulator.
+        warm.clear_data();
+        assert!(warm.snapshot().is_empty());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = ForensicsSnapshot {
+            checks: 3,
+            ..Default::default()
+        };
+        a.note_early(SimDuration::from_micros(9));
+        let mut b = ForensicsSnapshot {
+            uses: 2,
+            strikes_hit: 1,
+            ..Default::default()
+        };
+        b.note_late(SimDuration::from_micros(4));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.min_miss_ns(), Some(4_000));
+        assert_eq!(ab.strikes_total(), 3);
+        let mut with_id = ab.clone();
+        with_id.merge(&ForensicsSnapshot::default());
+        assert_eq!(with_id, ab, "default is the merge identity");
+    }
+
+    #[test]
+    fn serializes_with_null_min_when_no_miss() {
+        let snap = ForensicsSnapshot::default();
+        let Value::Object(fields) = snap.serialize_value() else {
+            panic!("object expected");
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "checks",
+                "uses",
+                "strikes_hit",
+                "strikes_unpaired",
+                "window_width",
+                "miss_early",
+                "miss_late",
+                "min_miss_ns"
+            ]
+        );
+        assert!(matches!(
+            fields.iter().find(|(k, _)| k == "min_miss_ns").unwrap().1,
+            Value::Null
+        ));
+    }
+
+    #[test]
+    fn display_forms_are_grep_friendly() {
+        let w = WindowRecord {
+            owner: Pid(0),
+            path: arc("/etc/passwd"),
+            t_check: t(1),
+            t_use: t(4),
+        };
+        assert_eq!(
+            w.to_string(),
+            "window /etc/passwd owner=Pid(0) [1000ns, 4000ns] width=3000ns"
+        );
+        let s = StrikeRecord {
+            by: Pid(1),
+            path: arc("/etc/passwd"),
+            t: t(2),
+            outcome: StrikeOutcome::Early(SimDuration::from_nanos(500)),
+        };
+        assert_eq!(
+            s.to_string(),
+            "strike /etc/passwd by Pid(1) @2000ns: early by 500ns"
+        );
+    }
+}

@@ -22,6 +22,7 @@ use crate::defense::{DefensePolicy, DefenseState};
 use crate::detect::{fs_call_of, DetectionEvent, DetectorState};
 use crate::error::OsError;
 use crate::event::OsEvent;
+use crate::forensics::WindowForensics;
 use crate::ids::{CpuId, Gid, Pid, Uid};
 use crate::machine::MachineSpec;
 use crate::metrics::KernelMetrics;
@@ -30,9 +31,11 @@ use crate::process::{
     SyscallResult,
 };
 use crate::sem::SemTable;
+use crate::spans::SpanTracker;
 use crate::syscall::{compile, CommitStep, CpuKind, Phase};
 use crate::vfs::{InodeMeta, Vfs};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use tocttou_core::taxonomy::FsCall;
 use tocttou_sim::queue::{EventId, EventQueue, QueueSnapshot};
 use tocttou_sim::rng::SimRng;
@@ -95,6 +98,8 @@ pub struct KernelPool {
     vfs: Vfs,
     metrics: KernelMetrics,
     detector: DetectorState,
+    forensics: WindowForensics,
+    spans: SpanTracker,
     /// Per-process containers harvested from the previous round's
     /// processes, handed back out by `spawn`.
     spare: Vec<ProcBuffers>,
@@ -125,6 +130,7 @@ pub struct Checkpoint {
     events_processed: u64,
     defense: DefenseState,
     detector: DetectorState,
+    forensics: WindowForensics,
 }
 
 impl Checkpoint {
@@ -156,6 +162,8 @@ impl Checkpoint {
         pool.vfs.clone_from(&self.vfs);
         pool.metrics.reset(self.spec.metrics);
         pool.detector.restore_from(&self.detector);
+        pool.forensics.restore_from(&self.forensics);
+        pool.spans.reset(self.spec.spans);
         let mut kernel = Kernel {
             cpus: pool.cpus,
             spec: self.spec.clone(),
@@ -173,6 +181,8 @@ impl Checkpoint {
             detector: pool.detector,
             detections: pool.detections,
             metrics: pool.metrics,
+            forensics: pool.forensics,
+            spans: pool.spans,
             spare: pool.spare,
             bg_armed: false,
         };
@@ -192,16 +202,19 @@ impl KernelPool {
         KernelPool::default()
     }
 
-    /// Makes the pooled [`KernelMetrics`] accumulate **across rounds**
-    /// instead of restarting at zero on each [`Kernel::with_pool`].
+    /// Makes the pooled observability accumulators — [`KernelMetrics`] and
+    /// [`WindowForensics`] — accumulate **across rounds** instead of
+    /// restarting at zero on each [`Kernel::with_pool`].
     ///
-    /// Metrics are pure integer sums, so N rounds accumulated in place are
-    /// bit-identical to N per-round snapshots merged — this just skips the
-    /// per-round fold. Batch drivers read the total off the retired pool
-    /// with [`metrics`](Self::metrics) when the loop ends. The exception to
+    /// Both merges are pure integer sums (plus a min-fold), so N rounds
+    /// accumulated in place are bit-identical to N per-round snapshots
+    /// merged — this just skips the per-round fold. Batch drivers read the
+    /// totals off the retired pool with [`metrics`](Self::metrics) /
+    /// [`forensics`](Self::forensics) when the loop ends. The exception to
     /// the pool's "observably fresh on reuse" rule, and deliberately so.
     pub fn retain_metrics(mut self) -> Self {
         self.metrics.set_retain(true);
+        self.forensics.set_retain(true);
         self
     }
 
@@ -209,6 +222,12 @@ impl KernelPool {
     /// [`retain_metrics`](Self::retain_metrics) is active).
     pub fn metrics(&self) -> &KernelMetrics {
         &self.metrics
+    }
+
+    /// The pooled window-forensics accumulator (the across-rounds total
+    /// when [`retain_metrics`](Self::retain_metrics) is active).
+    pub fn forensics(&self) -> &WindowForensics {
+        &self.forensics
     }
 
     /// Snapshots the accumulated metrics and clears them — even under
@@ -222,6 +241,17 @@ impl KernelPool {
     pub fn drain_metrics(&mut self) -> crate::metrics::MetricsSnapshot {
         let snap = self.metrics.snapshot();
         self.metrics.clear_data();
+        snap
+    }
+
+    /// Snapshots the accumulated window forensics and clears them — even
+    /// under [`retain_metrics`](Self::retain_metrics) — so the pool can
+    /// roll straight into the next batch from zero. The forensics
+    /// counterpart of [`drain_metrics`](Self::drain_metrics), drained at
+    /// the same work-item boundaries.
+    pub fn drain_forensics(&mut self) -> crate::forensics::ForensicsSnapshot {
+        let snap = self.forensics.snapshot();
+        self.forensics.clear_data();
         snap
     }
 }
@@ -244,6 +274,8 @@ pub struct Kernel {
     detector: DetectorState,
     detections: Trace<DetectionEvent>,
     metrics: KernelMetrics,
+    forensics: WindowForensics,
+    spans: SpanTracker,
     spare: Vec<ProcBuffers>,
     /// Whether the per-CPU background arrival events have been armed.
     /// Arming draws from the per-round RNG, so it marks the divergence
@@ -306,6 +338,8 @@ impl Kernel {
         pool.vfs.reset();
         pool.metrics.reset(spec.metrics);
         pool.detector.reset(spec.detect);
+        pool.forensics.reset(spec.forensics, spec.spans);
+        pool.spans.reset(spec.spans);
         Kernel {
             cpus: pool.cpus,
             spec,
@@ -323,6 +357,8 @@ impl Kernel {
             detector: pool.detector,
             detections: pool.detections,
             metrics: pool.metrics,
+            forensics: pool.forensics,
+            spans: pool.spans,
             spare: pool.spare,
             bg_armed: false,
         }
@@ -361,6 +397,8 @@ impl Kernel {
             vfs: self.vfs,
             metrics: self.metrics,
             detector: self.detector,
+            forensics: self.forensics,
+            spans: self.spans,
             spare: self.spare,
         }
     }
@@ -401,6 +439,7 @@ impl Kernel {
             events_processed: self.events_processed,
             defense: self.defense.clone(),
             detector: self.detector.clone(),
+            forensics: self.forensics.clone(),
         }
     }
 
@@ -493,6 +532,26 @@ impl Kernel {
         &self.metrics
     }
 
+    /// The window-forensics layer: exact check-to-use window intervals and
+    /// per-strike miss distances. See [`crate::forensics`].
+    pub fn forensics(&self) -> &WindowForensics {
+        &self.forensics
+    }
+
+    /// Mutable forensics access, for exhibits that
+    /// [`flush`](WindowForensics::flush) the round's leftovers into the
+    /// event log after a run completes.
+    pub fn forensics_mut(&mut self) -> &mut WindowForensics {
+        &mut self.forensics
+    }
+
+    /// The causal span tracker (armed via
+    /// [`MachineSpec::with_spans`](crate::machine::MachineSpec::with_spans)).
+    /// See [`crate::spans`].
+    pub fn spans(&self) -> &SpanTracker {
+        &self.spans
+    }
+
     /// Creates a process owned by `uid:gid` running `logic`.
     ///
     /// `pretouch_libc` controls the page-fault model: a long-running program
@@ -521,6 +580,7 @@ impl Kernel {
                 },
             );
         }
+        self.spans.on_spawn(pid, self.now);
         self.make_ready(pid);
         pid
     }
@@ -615,6 +675,7 @@ impl Kernel {
             let queued = self.now.saturating_since(p.ready_since);
             p.last_cpu = Some(cpu);
             self.metrics.on_dispatch(migrated, queued);
+            self.spans.on_dispatch(pid, cpu, queued, self.now);
         }
         self.cpus[cpu.index()].running = Some(pid);
         self.procs[pid.index()].state = ProcState::Running(cpu);
@@ -761,10 +822,12 @@ impl Kernel {
                         self.trace
                             .record(self.now, OsEvent::SemAcquire { pid, sem });
                         self.metrics.on_sem_acquired(sem, self.now);
+                        self.spans.on_sem_acquired(sem, self.now);
                         // continue with next phase
                     } else {
                         self.trace
                             .record(self.now, OsEvent::SemEnqueue { pid, sem });
+                        self.spans.on_sem_enqueue(pid, self.now);
                         self.procs[pid.index()].sem_wait_since = self.now;
                         self.procs[pid.index()].state = ProcState::BlockedSem(sem);
                         self.release_cpu_of_blocked(pid);
@@ -775,6 +838,7 @@ impl Kernel {
                     self.trace
                         .record(self.now, OsEvent::SemRelease { pid, sem });
                     self.metrics.on_sem_released(sem, self.now);
+                    self.spans.on_sem_released(pid, sem, self.now);
                     if let Some(next_holder) = self.sems.release(sem, pid) {
                         self.trace.record(
                             self.now,
@@ -788,6 +852,8 @@ impl Kernel {
                             .saturating_since(self.procs[next_holder.index()].sem_wait_since);
                         self.metrics.on_sem_wait(sem, waited);
                         self.metrics.on_sem_acquired(sem, self.now);
+                        self.spans.on_sem_wait_end(next_holder, sem, self.now);
+                        self.spans.on_sem_acquired(sem, self.now);
                         debug_assert_eq!(
                             self.procs[next_holder.index()].state,
                             ProcState::BlockedSem(sem)
@@ -839,6 +905,7 @@ impl Kernel {
             let ret = pending.ret.unwrap_or(Ok(RetVal::Unit));
             self.metrics
                 .on_syscall_exit(pending.name, self.now.saturating_since(pending.entered));
+            self.spans.on_syscall_exit(pid, self.now);
             self.trace.record(
                 self.now,
                 OsEvent::SyscallExit {
@@ -904,6 +971,7 @@ impl Kernel {
                     entered: self.now,
                 });
                 p.phases = phases;
+                self.spans.on_syscall_enter(pid, name.index(), self.now);
                 true
             }
             Action::Marker(label) => {
@@ -917,6 +985,8 @@ impl Kernel {
                 self.trace.record(self.now, OsEvent::Exit { pid });
                 self.defense.forget_process(pid);
                 self.detector.forget_process(pid);
+                self.forensics.forget_process(pid);
+                self.spans.on_exit(pid, self.now);
                 self.procs[pid.index()].state = ProcState::Exited;
                 self.live -= 1;
                 // Release the CPU (the process is running right now).
@@ -968,6 +1038,15 @@ impl Kernel {
         self.set_ret(pid, Err(OsError::Eacces));
     }
 
+    /// Closes the forensic race window (if one is open for `(pid, path)`)
+    /// at a use-class commit and, when spans are armed, emits the matching
+    /// window span parented on the check syscall.
+    fn record_window_use(&mut self, pid: Pid, path: &Arc<str>) {
+        if let Some(close) = self.forensics.on_use(pid, path, self.now) {
+            self.spans.on_window(pid, path, close);
+        }
+    }
+
     fn execute_commit(&mut self, pid: Pid, step: CommitStep) {
         self.metrics.on_vfs_op();
         let (uid, gid) = {
@@ -996,6 +1075,8 @@ impl Kernel {
                     .and_then(|p| fs_call_of(p.name))
                     .unwrap_or(FsCall::Stat);
                 self.detector.record_check(pid, &path, check, self.now);
+                let span = self.spans.current_syscall(pid);
+                self.forensics.on_check(pid, &path, span, self.now);
                 self.set_ret(pid, r.map(RetVal::Stat));
             }
             CommitStep::CreateFile { path } => {
@@ -1006,6 +1087,9 @@ impl Kernel {
                         .record_mutation(pid, &path, FsCall::Creat, self.now);
                     self.detector
                         .record_check(pid, &path, FsCall::Creat, self.now);
+                    self.forensics.on_mutation(pid, &path, self.now);
+                    let span = self.spans.current_syscall(pid);
+                    self.forensics.on_check(pid, &path, span, self.now);
                     let fd = self.procs[pid.index()].alloc_fd(ino);
                     RetVal::Fd(fd)
                 });
@@ -1021,6 +1105,7 @@ impl Kernel {
                         true,
                         &mut self.detections,
                     );
+                    self.record_window_use(pid, &path);
                     self.deny(pid);
                     return;
                 }
@@ -1035,8 +1120,11 @@ impl Kernel {
                         false,
                         &mut self.detections,
                     );
+                    self.record_window_use(pid, &path);
                     self.detector
                         .record_check(pid, &path, FsCall::Open, self.now);
+                    let span = self.spans.current_syscall(pid);
+                    self.forensics.on_check(pid, &path, span, self.now);
                     let fd = self.procs[pid.index()].alloc_fd(ino);
                     RetVal::Fd(fd)
                 });
@@ -1063,6 +1151,7 @@ impl Kernel {
                         self.defense.record_mutation(pid, &path);
                         self.detector
                             .record_mutation(pid, &path, FsCall::Unlink, self.now);
+                        self.forensics.on_mutation(pid, &path, self.now);
                         // Truncation tail goes after the Release that is now
                         // at the queue front.
                         let tail = self
@@ -1090,6 +1179,7 @@ impl Kernel {
                     self.defense.record_mutation(pid, &linkpath);
                     self.detector
                         .record_mutation(pid, &linkpath, FsCall::Symlink, self.now);
+                    self.forensics.on_mutation(pid, &linkpath, self.now);
                     RetVal::Unit
                 });
                 self.set_ret(pid, r);
@@ -1099,6 +1189,7 @@ impl Kernel {
                     self.defense.record_mutation(pid, &linkpath);
                     self.detector
                         .record_mutation(pid, &linkpath, FsCall::Link, self.now);
+                    self.forensics.on_mutation(pid, &linkpath, self.now);
                     RetVal::Unit
                 });
                 self.set_ret(pid, r);
@@ -1114,6 +1205,10 @@ impl Kernel {
                         .record_mutation(pid, &to, FsCall::Rename, self.now);
                     self.detector
                         .record_check(pid, &to, FsCall::Rename, self.now);
+                    self.forensics.on_mutation(pid, &from, self.now);
+                    self.forensics.on_mutation(pid, &to, self.now);
+                    let span = self.spans.current_syscall(pid);
+                    self.forensics.on_check(pid, &to, span, self.now);
                     RetVal::Unit
                 });
                 self.set_ret(pid, r);
@@ -1128,6 +1223,7 @@ impl Kernel {
                         true,
                         &mut self.detections,
                     );
+                    self.record_window_use(pid, &path);
                     self.deny(pid);
                     return;
                 }
@@ -1141,6 +1237,7 @@ impl Kernel {
                         false,
                         &mut self.detections,
                     );
+                    self.record_window_use(pid, &path);
                 }
                 self.set_ret(pid, r);
             }
@@ -1154,6 +1251,7 @@ impl Kernel {
                         true,
                         &mut self.detections,
                     );
+                    self.record_window_use(pid, &path);
                     self.deny(pid);
                     return;
                 }
@@ -1167,6 +1265,7 @@ impl Kernel {
                         false,
                         &mut self.detections,
                     );
+                    self.record_window_use(pid, &path);
                 }
                 self.set_ret(pid, r);
             }

@@ -20,6 +20,12 @@
 //! * an **observability layer** of scheduler counters and latency
 //!   histograms (syscall duration, semaphore wait/hold, run-queue delay)
 //!   fed from the same commit points — [`metrics`];
+//! * **race-window forensics**: exact check-to-use window intervals per
+//!   `(pid, path)` and signed per-strike miss distances, folded into
+//!   order-independent near-miss histograms — [`forensics`];
+//! * **causal span tracing**: process / syscall / semaphore / run-queue /
+//!   window spans in a bounded allocation-free ring, off by default and
+//!   armed only for exhibit runs — [`spans`];
 //! * a **structured trace** of every scheduling/semaphore/syscall event for
 //!   paper-style microsecond timelines — [`event`].
 //!
@@ -67,12 +73,14 @@ pub mod defense;
 pub mod detect;
 pub mod error;
 pub mod event;
+pub mod forensics;
 pub mod ids;
 pub mod kernel;
 pub mod machine;
 pub mod metrics;
 pub mod process;
 pub mod sem;
+pub mod spans;
 pub mod syscall;
 pub mod vfs;
 
@@ -81,6 +89,9 @@ pub use defense::{DefensePolicy, DefenseState};
 pub use detect::{DetectionEvent, DetectorState};
 pub use error::OsError;
 pub use event::OsEvent;
+pub use forensics::{
+    ForensicsSnapshot, StrikeOutcome, StrikeRecord, WindowClose, WindowForensics, WindowRecord,
+};
 pub use ids::{CpuId, Fd, Gid, Ino, Pid, SemId, Uid};
 pub use kernel::{Checkpoint, Kernel, KernelPool, RunOutcome};
 pub use machine::{BackgroundSpec, MachineSpec};
@@ -88,12 +99,14 @@ pub use metrics::{KernelMetrics, MetricId, MetricsSnapshot, SchedCounters};
 pub use process::{
     Action, LogicCtx, ProcState, ProcessLogic, RetVal, SyscallName, SyscallRequest, SyscallResult,
 };
+pub use spans::SpanTracker;
 pub use vfs::{InodeMeta, StatBuf, SymlinkPolicy, Vfs};
 
 /// Convenience re-exports for workload authors.
 pub mod prelude {
     pub use crate::error::OsError;
     pub use crate::event::OsEvent;
+    pub use crate::forensics::{ForensicsSnapshot, StrikeRecord, WindowForensics, WindowRecord};
     pub use crate::ids::{CpuId, Fd, Gid, Ino, Pid, SemId, Uid};
     pub use crate::kernel::{Checkpoint, Kernel, KernelPool, RunOutcome};
     pub use crate::machine::{BackgroundSpec, MachineSpec};
@@ -102,6 +115,7 @@ pub mod prelude {
         Action, LogicCtx, ProcState, ProcessLogic, RetVal, SyscallName, SyscallRequest,
         SyscallResult,
     };
+    pub use crate::spans::SpanTracker;
     pub use crate::vfs::{InodeMeta, StatBuf, Vfs};
 }
 

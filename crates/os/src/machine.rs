@@ -77,6 +77,17 @@ pub struct MachineSpec {
     /// simulated time — and disabled only to measure the layer's host-time
     /// overhead (see [`MachineSpec::without_metrics`]).
     pub metrics: bool,
+    /// Whether window forensics ([`crate::forensics`]) are recording:
+    /// exact check-to-use window intervals and per-strike miss distances.
+    /// On by default — forensics never perturb simulated time — and
+    /// disabled only to measure the layer's host-time overhead (see
+    /// [`MachineSpec::without_forensics`]).
+    pub forensics: bool,
+    /// Whether causal span tracing ([`crate::spans`]) and the forensics
+    /// event log are armed. **Off by default**: spans retain per-interval
+    /// records and pathnames, which exhibits want and Monte-Carlo rounds
+    /// must not pay for (see [`MachineSpec::with_spans`]).
+    pub spans: bool,
 }
 
 impl MachineSpec {
@@ -92,6 +103,8 @@ impl MachineSpec {
             costs: CostModel::default(),
             detect: true,
             metrics: true,
+            forensics: true,
+            spans: false,
         }
     }
 
@@ -109,6 +122,8 @@ impl MachineSpec {
             costs: CostModel::default(),
             detect: true,
             metrics: true,
+            forensics: true,
+            spans: false,
         }
     }
 
@@ -132,6 +147,8 @@ impl MachineSpec {
             costs,
             detect: true,
             metrics: true,
+            forensics: true,
+            spans: false,
         }
     }
 
@@ -157,6 +174,25 @@ impl MachineSpec {
     /// either way.
     pub fn without_metrics(mut self) -> Self {
         self.metrics = false;
+        self
+    }
+
+    /// Returns the profile with window forensics stripped. Only useful for
+    /// measuring forensics overhead in the bench harness; forensics never
+    /// perturb simulated time, so experiment results are identical either
+    /// way.
+    pub fn without_forensics(mut self) -> Self {
+        self.forensics = false;
+        self.spans = false;
+        self
+    }
+
+    /// Returns the profile with causal span tracing (and the forensics
+    /// event log) armed — exhibit runs only. Spans require forensics, so
+    /// this re-arms them if a previous builder stripped them.
+    pub fn with_spans(mut self) -> Self {
+        self.spans = true;
+        self.forensics = true;
         self
     }
 
@@ -273,6 +309,23 @@ mod tests {
             let off = m.without_metrics();
             assert!(!off.metrics);
             off.validate().expect("metrics-off profile stays valid");
+        }
+    }
+
+    #[test]
+    fn forensics_default_on_spans_default_off() {
+        for m in [
+            MachineSpec::uniprocessor(),
+            MachineSpec::smp_xeon(),
+            MachineSpec::multicore_pentium_d(),
+        ] {
+            assert!(m.forensics, "{}: forensics must default on", m.name);
+            assert!(!m.spans, "{}: spans must default off", m.name);
+            let off = m.clone().without_forensics();
+            assert!(!off.forensics && !off.spans);
+            off.validate().expect("forensics-off profile stays valid");
+            let armed = off.with_spans();
+            assert!(armed.spans && armed.forensics, "spans re-arm forensics");
         }
     }
 

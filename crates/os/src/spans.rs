@@ -1,0 +1,425 @@
+//! The kernel-side span tracker: opens and closes causal spans.
+//!
+//! [`SpanRing`](tocttou_sim::span::SpanRing) stores completed intervals;
+//! this module owns the bookkeeping that turns kernel events into them —
+//! which span id is a process's lifetime, which syscall span is currently
+//! executing for a pid (so semaphore waits and holds can hang off it), and
+//! when each interval opened. The causal hierarchy is:
+//!
+//! ```text
+//! process ─┬─ syscall ─┬─ sem_wait
+//!          │           └─ sem_hold
+//!          ├─ run_queue
+//!          └─ window (check-syscall span is the parent)
+//! ```
+//!
+//! Spans are **off by default** ([`MachineSpec::spans`]): every hook is
+//! gated on the ring's enabled switch, so Monte-Carlo rounds pay one
+//! predictable branch per event. Exhibits arm them with
+//! [`MachineSpec::with_spans`] and read the ring (plus the forensics event
+//! log) to draw timelines and Perfetto tracks.
+//!
+//! [`MachineSpec::spans`]: crate::machine::MachineSpec::spans
+//! [`MachineSpec::with_spans`]: crate::machine::MachineSpec::with_spans
+
+use crate::forensics::WindowClose;
+use crate::ids::{CpuId, Pid, SemId};
+use tocttou_sim::span::{Span, SpanId, SpanKind, SpanRing};
+use tocttou_sim::time::{SimDuration, SimTime};
+
+/// Spans retained per round when armed; old spans are evicted (and
+/// counted) beyond this, mirroring the kernel's bounded event trace.
+pub const SPAN_RING_CAPACITY: usize = 65_536;
+
+/// A stable 64-bit FNV-1a hash of a pathname — the `aux` payload of
+/// [`SpanKind::Window`] spans (spans carry no strings).
+pub fn path_hash(path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-process span bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct ProcCtx {
+    life: SpanId,
+    life_start: SimTime,
+    syscall: SpanId,
+    syscall_start: SimTime,
+    syscall_aux: u64,
+    sem_wait_since: SimTime,
+}
+
+impl ProcCtx {
+    const EMPTY: ProcCtx = ProcCtx {
+        life: SpanId::NONE,
+        life_start: SimTime::ZERO,
+        syscall: SpanId::NONE,
+        syscall_start: SimTime::ZERO,
+        syscall_aux: 0,
+        sem_wait_since: SimTime::ZERO,
+    };
+}
+
+/// Per-semaphore span bookkeeping (when the current holder acquired).
+#[derive(Debug, Clone, Copy)]
+struct SemCtx {
+    hold_since: SimTime,
+}
+
+impl SemCtx {
+    const EMPTY: SemCtx = SemCtx {
+        hold_since: SimTime::ZERO,
+    };
+}
+
+/// The live, kernel-resident span tracker.
+#[derive(Debug, Clone)]
+pub struct SpanTracker {
+    ring: SpanRing,
+    procs: Vec<ProcCtx>,
+    sems: Vec<SemCtx>,
+}
+
+impl Default for SpanTracker {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl SpanTracker {
+    /// A fresh tracker; disabled trackers allocate and record nothing.
+    pub fn new(enabled: bool) -> Self {
+        SpanTracker {
+            ring: if enabled {
+                SpanRing::bounded(SPAN_RING_CAPACITY)
+            } else {
+                SpanRing::disabled()
+            },
+            procs: Vec::new(),
+            sems: Vec::new(),
+        }
+    }
+
+    /// Whether hooks are recording.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.ring.is_enabled()
+    }
+
+    /// The completed-span ring.
+    pub fn ring(&self) -> &SpanRing {
+        &self.ring
+    }
+
+    /// Rearms the tracker for a fresh round: the ring restarts (ids at 0,
+    /// zero drops) and all open-interval bookkeeping is dropped, so pooled
+    /// reuse can never leak a prior round's spans or parents.
+    pub(crate) fn reset(&mut self, enabled: bool) {
+        self.ring.reset();
+        if enabled {
+            self.ring.enable();
+        } else {
+            self.ring.disable();
+        }
+        self.procs.clear();
+        self.sems.clear();
+    }
+
+    /// The span of the syscall `pid` is currently executing, or
+    /// [`SpanId::NONE`] — the causal parent for semaphore and window spans.
+    #[inline]
+    pub fn current_syscall(&self, pid: Pid) -> SpanId {
+        self.procs
+            .get(pid.index())
+            .map_or(SpanId::NONE, |c| c.syscall)
+    }
+
+    #[inline]
+    fn proc_ctx(&mut self, pid: Pid) -> &mut ProcCtx {
+        let idx = pid.index();
+        if idx >= self.procs.len() {
+            self.procs.resize(idx + 1, ProcCtx::EMPTY);
+        }
+        &mut self.procs[idx]
+    }
+
+    #[inline]
+    fn sem_ctx(&mut self, sem: SemId) -> &mut SemCtx {
+        let idx = sem.index();
+        if idx >= self.sems.len() {
+            self.sems.resize(idx + 1, SemCtx::EMPTY);
+        }
+        &mut self.sems[idx]
+    }
+
+    // --- hooks (called from the kernel hot path; all gated) ---------------
+
+    /// A process was spawned: opens its lifetime span.
+    #[inline]
+    pub(crate) fn on_spawn(&mut self, pid: Pid, now: SimTime) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        let life = self.ring.alloc();
+        let ctx = self.proc_ctx(pid);
+        ctx.life = life;
+        ctx.life_start = now;
+    }
+
+    /// A process exited: closes its lifetime span.
+    #[inline]
+    pub(crate) fn on_exit(&mut self, pid: Pid, now: SimTime) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        let ctx = *self.proc_ctx(pid);
+        if !ctx.life.is_none() {
+            self.ring.push(Span {
+                id: ctx.life,
+                parent: SpanId::NONE,
+                kind: SpanKind::Process,
+                pid: pid.0,
+                aux: 0,
+                start: ctx.life_start,
+                end: now,
+            });
+        }
+        *self.proc_ctx(pid) = ProcCtx::EMPTY;
+    }
+
+    /// A syscall entered execution: opens its span (`aux` is the syscall
+    /// table index).
+    #[inline]
+    pub(crate) fn on_syscall_enter(&mut self, pid: Pid, syscall_index: usize, now: SimTime) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        let id = self.ring.alloc();
+        let ctx = self.proc_ctx(pid);
+        ctx.syscall = id;
+        ctx.syscall_start = now;
+        ctx.syscall_aux = syscall_index as u64;
+    }
+
+    /// The executing syscall returned: closes its span under the process
+    /// lifetime.
+    #[inline]
+    pub(crate) fn on_syscall_exit(&mut self, pid: Pid, now: SimTime) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        let ctx = *self.proc_ctx(pid);
+        if !ctx.syscall.is_none() {
+            self.ring.push(Span {
+                id: ctx.syscall,
+                parent: ctx.life,
+                kind: SpanKind::Syscall,
+                pid: pid.0,
+                aux: ctx.syscall_aux,
+                start: ctx.syscall_start,
+                end: now,
+            });
+        }
+        self.proc_ctx(pid).syscall = SpanId::NONE;
+    }
+
+    /// A dispatch landed: records the run-queue delay interval that just
+    /// ended (`aux` is the CPU dispatched onto).
+    #[inline]
+    pub(crate) fn on_dispatch(&mut self, pid: Pid, cpu: CpuId, queued: SimDuration, now: SimTime) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        let parent = self.proc_ctx(pid).life;
+        self.ring.record(
+            SpanKind::RunQueue,
+            pid.0,
+            u64::from(cpu.0),
+            parent,
+            SimTime::from_nanos(now.as_nanos().saturating_sub(queued.as_nanos())),
+            now,
+        );
+    }
+
+    /// A contended acquire enqueued: opens the wait interval.
+    #[inline]
+    pub(crate) fn on_sem_enqueue(&mut self, pid: Pid, now: SimTime) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        self.proc_ctx(pid).sem_wait_since = now;
+    }
+
+    /// A hand-off completed: closes the wait span under the blocked
+    /// syscall (`aux` is the semaphore id).
+    #[inline]
+    pub(crate) fn on_sem_wait_end(&mut self, pid: Pid, sem: SemId, now: SimTime) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        let ctx = *self.proc_ctx(pid);
+        self.ring.record(
+            SpanKind::SemWait,
+            pid.0,
+            u64::from(sem.0),
+            ctx.syscall,
+            ctx.sem_wait_since,
+            now,
+        );
+    }
+
+    /// A process became the holder: opens the hold interval.
+    #[inline]
+    pub(crate) fn on_sem_acquired(&mut self, sem: SemId, now: SimTime) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        self.sem_ctx(sem).hold_since = now;
+    }
+
+    /// The holder released: closes the hold span under the holder's
+    /// syscall (`aux` is the semaphore id).
+    #[inline]
+    pub(crate) fn on_sem_released(&mut self, pid: Pid, sem: SemId, now: SimTime) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        let parent = self.current_syscall(pid);
+        let since = self.sem_ctx(sem).hold_since;
+        self.ring.record(
+            SpanKind::SemHold,
+            pid.0,
+            u64::from(sem.0),
+            parent,
+            since,
+            now,
+        );
+    }
+
+    /// A forensics window closed: records the attack-window span under the
+    /// syscall whose commit opened it (`aux` is a stable path hash).
+    #[inline]
+    pub(crate) fn on_window(&mut self, owner: Pid, path: &str, close: WindowClose) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        self.ring.record(
+            SpanKind::Window,
+            owner.0,
+            path_hash(path),
+            close.check_span,
+            close.t_check,
+            close.t_use,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    #[test]
+    fn disabled_tracker_records_nothing() {
+        let mut tr = SpanTracker::new(false);
+        tr.on_spawn(Pid(0), t(0));
+        tr.on_syscall_enter(Pid(0), 3, t(1));
+        tr.on_syscall_exit(Pid(0), t(2));
+        tr.on_exit(Pid(0), t(3));
+        assert!(tr.ring().is_empty());
+        assert_eq!(tr.current_syscall(Pid(0)), SpanId::NONE);
+    }
+
+    #[test]
+    fn spans_nest_process_syscall_sem() {
+        let mut tr = SpanTracker::new(true);
+        tr.on_spawn(Pid(2), t(0));
+        tr.on_syscall_enter(Pid(2), 5, t(10));
+        tr.on_sem_enqueue(Pid(2), t(12));
+        tr.on_sem_wait_end(Pid(2), SemId(1), t(18));
+        tr.on_sem_acquired(SemId(1), t(18));
+        tr.on_sem_released(Pid(2), SemId(1), t(25));
+        tr.on_syscall_exit(Pid(2), t(30));
+        tr.on_exit(Pid(2), t(40));
+
+        let spans: Vec<Span> = tr.ring().iter().copied().collect();
+        assert_eq!(spans.len(), 4);
+        let wait = spans.iter().find(|s| s.kind == SpanKind::SemWait).unwrap();
+        let hold = spans.iter().find(|s| s.kind == SpanKind::SemHold).unwrap();
+        let call = spans.iter().find(|s| s.kind == SpanKind::Syscall).unwrap();
+        let life = spans.iter().find(|s| s.kind == SpanKind::Process).unwrap();
+        assert_eq!(wait.parent, call.id);
+        assert_eq!(hold.parent, call.id);
+        assert_eq!(call.parent, life.id);
+        assert!(life.parent.is_none());
+        assert_eq!(call.aux, 5);
+        assert_eq!((wait.start, wait.end), (t(12), t(18)));
+        assert_eq!((hold.start, hold.end), (t(18), t(25)));
+        assert_eq!((life.start, life.end), (t(0), t(40)));
+    }
+
+    #[test]
+    fn run_queue_span_reconstructs_its_start() {
+        let mut tr = SpanTracker::new(true);
+        tr.on_spawn(Pid(1), t(0));
+        tr.on_dispatch(Pid(1), CpuId(3), SimDuration::from_micros(4), t(10));
+        let span = tr.ring().iter().next().unwrap();
+        assert_eq!(span.kind, SpanKind::RunQueue);
+        assert_eq!((span.start, span.end), (t(6), t(10)));
+        assert_eq!(span.aux, 3, "aux carries the CPU");
+    }
+
+    #[test]
+    fn window_span_hangs_off_the_check_syscall() {
+        let mut tr = SpanTracker::new(true);
+        tr.on_spawn(Pid(0), t(0));
+        tr.on_syscall_enter(Pid(0), 1, t(5));
+        let check_span = tr.current_syscall(Pid(0));
+        tr.on_syscall_exit(Pid(0), t(9));
+        tr.on_window(
+            Pid(0),
+            "/etc/passwd",
+            WindowClose {
+                t_check: t(9),
+                t_use: t(30),
+                check_span,
+            },
+        );
+        let win = tr
+            .ring()
+            .iter()
+            .find(|s| s.kind == SpanKind::Window)
+            .unwrap();
+        assert_eq!(win.parent, check_span);
+        assert_eq!(win.aux, path_hash("/etc/passwd"));
+        assert_eq!((win.start, win.end), (t(9), t(30)));
+    }
+
+    #[test]
+    fn reset_restarts_ids_and_forgets_open_intervals() {
+        let mut tr = SpanTracker::new(true);
+        tr.on_spawn(Pid(0), t(0));
+        tr.on_syscall_enter(Pid(0), 2, t(1));
+        tr.reset(true);
+        assert!(tr.ring().is_empty());
+        assert_eq!(tr.current_syscall(Pid(0)), SpanId::NONE);
+        tr.on_spawn(Pid(0), t(100));
+        tr.on_exit(Pid(0), t(110));
+        let life = tr.ring().iter().next().unwrap();
+        assert_eq!(life.id, SpanId(0), "ids restart after reset");
+    }
+
+    #[test]
+    fn path_hash_is_stable() {
+        assert_eq!(path_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(path_hash("/etc/passwd"), path_hash("/etc/passwd"));
+        assert_ne!(path_hash("/etc/passwd"), path_hash("/etc/passwd~"));
+    }
+}

@@ -1,0 +1,385 @@
+//! Typed causal spans — the raw material of race-window forensics.
+//!
+//! Where [`Trace`](crate::trace::Trace) records *instants* (a syscall
+//! entered, a semaphore was released), a [`Span`] records an *interval*
+//! with a causal parent: a process lifetime contains its syscall
+//! executions, a syscall contains its `i_sem` waits and holds, and an
+//! attack window (check commit → use commit) hangs off the victim that
+//! opened it. The OS layer allocates span ids when an interval opens and
+//! pushes the completed [`Span`] when it closes, so a ring holds only
+//! finished intervals in completion order.
+//!
+//! Spans are allocation-free (`Copy` records, no strings — path-like
+//! payloads travel as a caller-chosen `aux` integer) and the ring mirrors
+//! the [`Trace`](crate::trace::Trace) contract: optionally bounded with
+//! oldest-first eviction and drop accounting, `reset` vs `clear`
+//! semantics for pooled reuse, and an `enabled` switch that makes the
+//! recording path free when off — spans are **off by default** outside
+//! exhibits (see the OS layer's machine spec).
+
+use crate::time::SimTime;
+
+/// What interval a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// A process lifetime: spawn → exit. `aux` is unused (0).
+    Process,
+    /// One syscall execution: entry → exit. `aux` is the syscall's index
+    /// in the OS layer's syscall table.
+    Syscall,
+    /// A contended `i_sem` wait: enqueue → hand-off. `aux` is the
+    /// semaphore id.
+    SemWait,
+    /// An `i_sem` hold: acquire → release. `aux` is the semaphore id.
+    SemHold,
+    /// Run-queue delay: became ready → dispatched. `aux` is the CPU the
+    /// process was dispatched onto.
+    RunQueue,
+    /// An attack window: check commit → use commit on one `(pid, path)`.
+    /// `aux` is a stable hash of the path.
+    Window,
+}
+
+impl SpanKind {
+    /// A stable lowercase label (used by exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Process => "process",
+            SpanKind::Syscall => "syscall",
+            SpanKind::SemWait => "sem_wait",
+            SpanKind::SemHold => "sem_hold",
+            SpanKind::RunQueue => "run_queue",
+            SpanKind::Window => "window",
+        }
+    }
+}
+
+/// A span identifier, unique within one ring between `reset`s.
+///
+/// Ids are allocated when an interval *opens*, so children observe their
+/// parent's id even though the parent's record is pushed later (a process
+/// span completes after every syscall span it contains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u32);
+
+impl SpanId {
+    /// The "no parent" sentinel.
+    pub const NONE: SpanId = SpanId(u32::MAX);
+
+    /// True for the [`SpanId::NONE`] sentinel.
+    pub fn is_none(self) -> bool {
+        self == SpanId::NONE
+    }
+}
+
+/// One completed interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// This span's id (allocated at open time).
+    pub id: SpanId,
+    /// The causally enclosing span, or [`SpanId::NONE`].
+    pub parent: SpanId,
+    /// What the interval covers.
+    pub kind: SpanKind,
+    /// The process the interval belongs to (the window's *victim* for
+    /// [`SpanKind::Window`]).
+    pub pid: u32,
+    /// Kind-specific payload (see [`SpanKind`]).
+    pub aux: u64,
+    /// When the interval opened.
+    pub start: SimTime,
+    /// When the interval closed.
+    pub end: SimTime,
+}
+
+/// A bounded ring of completed spans with drop accounting.
+///
+/// # Examples
+///
+/// ```
+/// use tocttou_sim::span::{SpanKind, SpanRing};
+/// use tocttou_sim::time::SimTime;
+///
+/// let mut ring = SpanRing::unbounded();
+/// let life = ring.alloc();
+/// let call = ring.record(
+///     SpanKind::Syscall,
+///     7,
+///     3,
+///     life,
+///     SimTime::from_nanos(10),
+///     SimTime::from_nanos(40),
+/// );
+/// assert_eq!(ring.len(), 1);
+/// assert_eq!(ring.iter().next().unwrap().parent, life);
+/// assert!(call > life, "ids are allocated in open order");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    spans: std::collections::VecDeque<Span>,
+    capacity: Option<usize>,
+    dropped: u64,
+    next_id: u32,
+    enabled: bool,
+}
+
+impl Default for SpanRing {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl SpanRing {
+    /// A ring with no capacity bound.
+    pub fn unbounded() -> Self {
+        SpanRing {
+            spans: std::collections::VecDeque::new(),
+            capacity: None,
+            dropped: 0,
+            next_id: 0,
+            enabled: true,
+        }
+    }
+
+    /// A ring that retains at most `capacity` most-recent spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring capacity must be positive");
+        SpanRing {
+            spans: std::collections::VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+            next_id: 0,
+            enabled: true,
+        }
+    }
+
+    /// A ring that records nothing — the Monte-Carlo default. Allocation
+    /// returns [`SpanId::NONE`] and pushes are free no-ops.
+    pub fn disabled() -> Self {
+        SpanRing {
+            spans: std::collections::VecDeque::new(),
+            capacity: None,
+            dropped: 0,
+            next_id: 0,
+            enabled: false,
+        }
+    }
+
+    /// Whether recording is enabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns recording on (pooled rings are re-enabled between rounds).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Turns recording off without discarding the buffer.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Allocates the id for an interval that just opened. Returns
+    /// [`SpanId::NONE`] when disabled (children then inherit the sentinel,
+    /// keeping the whole path branch-free beyond one test).
+    #[inline]
+    pub fn alloc(&mut self) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Pushes a completed span. When the ring is full the oldest span is
+    /// evicted and counted in [`SpanRing::dropped`].
+    #[inline]
+    pub fn push(&mut self, span: Span) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if self.spans.len() == cap {
+                self.spans.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.spans.push_back(span);
+    }
+
+    /// Allocates an id and pushes the completed span in one step — for
+    /// intervals whose id no child needs (waits, holds, run-queue delays,
+    /// windows). Returns the allocated id.
+    #[inline]
+    pub fn record(
+        &mut self,
+        kind: SpanKind,
+        pid: u32,
+        aux: u64,
+        parent: SpanId,
+        start: SimTime,
+        end: SimTime,
+    ) -> SpanId {
+        let id = self.alloc();
+        self.push(Span {
+            id,
+            parent,
+            kind,
+            pid,
+            aux,
+            start,
+            end,
+        });
+        id
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// How many spans were evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates spans in completion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Removes all spans, retaining the drop counter and id cursor (for
+    /// readers that consume mid-run and still want lifetime totals).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Returns the ring to its just-constructed state — empty, zero drops,
+    /// ids restarting at 0 — retaining the capacity bound and the enabled
+    /// switch. Pooled rings reset between rounds so per-round drop
+    /// accounting and id assignment are reproducible.
+    pub fn reset(&mut self) {
+        self.spans.clear();
+        self.dropped = 0;
+        self.next_id = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn records_with_causal_parents() {
+        let mut ring = SpanRing::unbounded();
+        let life = ring.alloc();
+        ring.record(SpanKind::Syscall, 1, 4, life, t(10), t(30));
+        ring.record(SpanKind::SemWait, 1, 9, life, t(12), t(20));
+        ring.push(Span {
+            id: life,
+            parent: SpanId::NONE,
+            kind: SpanKind::Process,
+            pid: 1,
+            aux: 0,
+            start: t(0),
+            end: t(50),
+        });
+        assert_eq!(ring.len(), 3);
+        let spans: Vec<&Span> = ring.iter().collect();
+        assert_eq!(spans[0].parent, life);
+        assert_eq!(spans[2].id, life);
+        assert!(spans[2].parent.is_none());
+    }
+
+    #[test]
+    fn bounded_evicts_oldest_and_counts_drops() {
+        let mut ring = SpanRing::bounded(2);
+        for i in 0..5u64 {
+            ring.record(SpanKind::RunQueue, 0, i, SpanId::NONE, t(i), t(i + 1));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let kept: Vec<u64> = ring.iter().map(|s| s.aux).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn disabled_ring_is_free_and_allocates_none() {
+        let mut ring = SpanRing::disabled();
+        let id = ring.alloc();
+        assert!(id.is_none());
+        ring.record(SpanKind::Window, 3, 7, id, t(1), t(2));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn reset_restarts_ids_and_zeroes_drops() {
+        let mut ring = SpanRing::bounded(1);
+        ring.record(SpanKind::SemHold, 1, 1, SpanId::NONE, t(1), t(2));
+        ring.record(SpanKind::SemHold, 1, 2, SpanId::NONE, t(2), t(3));
+        assert_eq!(ring.dropped(), 1);
+        ring.reset();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        let id = ring.alloc();
+        assert_eq!(id, SpanId(0), "ids restart after reset");
+        // The capacity bound survives a reset.
+        ring.record(SpanKind::SemHold, 1, 3, SpanId::NONE, t(4), t(5));
+        ring.record(SpanKind::SemHold, 1, 4, SpanId::NONE, t(5), t(6));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_drop_count_and_id_cursor() {
+        let mut ring = SpanRing::bounded(1);
+        ring.record(SpanKind::Process, 1, 0, SpanId::NONE, t(1), t(2));
+        ring.record(SpanKind::Process, 2, 0, SpanId::NONE, t(2), t(3));
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.alloc(), SpanId(2), "clear keeps the id cursor");
+    }
+
+    #[test]
+    fn enable_disable_toggle_in_place() {
+        let mut ring = SpanRing::unbounded();
+        ring.record(SpanKind::Process, 1, 0, SpanId::NONE, t(1), t(2));
+        ring.disable();
+        ring.record(SpanKind::Process, 2, 0, SpanId::NONE, t(2), t(3));
+        assert_eq!(ring.len(), 1, "disabled pushes are dropped");
+        ring.enable();
+        ring.record(SpanKind::Process, 3, 0, SpanId::NONE, t(3), t(4));
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SpanRing::bounded(0);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(SpanKind::Window.label(), "window");
+        assert_eq!(SpanKind::SemWait.label(), "sem_wait");
+    }
+}

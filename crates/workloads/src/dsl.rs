@@ -23,7 +23,7 @@
 use crate::attacker::detected;
 use crate::scenario::{AttackerSpec, Layout, Scenario, VictimSpec};
 use std::sync::Arc;
-use tocttou_core::taxonomy::TocttouPair;
+use tocttou_core::taxonomy::{FsCall, TocttouPair};
 use tocttou_os::defense::DefensePolicy;
 use tocttou_os::ids::Fd;
 use tocttou_os::machine::MachineSpec;
@@ -99,6 +99,45 @@ pub enum CallSpec {
 }
 
 impl CallSpec {
+    /// The taxonomy call this spec lowers to, when it has one
+    /// (`WriteFd`/`CloseFd` act on descriptors, not names).
+    pub fn fs_call(&self) -> Option<FsCall> {
+        Some(match self {
+            CallSpec::Stat(_) => FsCall::Stat,
+            CallSpec::Lstat(_) => FsCall::Lstat,
+            CallSpec::Access(_) => FsCall::Access,
+            CallSpec::Open(_) => FsCall::Open,
+            CallSpec::OpenCreate(_) => FsCall::Creat,
+            CallSpec::Unlink(_) => FsCall::Unlink,
+            CallSpec::Mkdir(_) => FsCall::Mkdir,
+            CallSpec::Rename { .. } => FsCall::Rename,
+            CallSpec::Symlink { .. } => FsCall::Symlink,
+            CallSpec::Link { .. } => FsCall::Link,
+            CallSpec::Chmod { .. } => FsCall::Chmod,
+            CallSpec::Chown { .. } => FsCall::Chown,
+            CallSpec::WriteFd { .. } | CallSpec::CloseFd => return None,
+        })
+    }
+
+    /// The name the kernel's race machinery keys this call on: the single
+    /// path argument, the *destination* of a `rename`, and the bound name
+    /// of a `symlink`/`link`. `None` for fd-relative calls.
+    pub fn primary_path(&self) -> Option<&Arc<str>> {
+        match self {
+            CallSpec::Stat(p)
+            | CallSpec::Lstat(p)
+            | CallSpec::Access(p)
+            | CallSpec::Open(p)
+            | CallSpec::OpenCreate(p)
+            | CallSpec::Unlink(p)
+            | CallSpec::Mkdir(p) => Some(p),
+            CallSpec::Rename { to, .. } => Some(to),
+            CallSpec::Symlink { linkpath, .. } | CallSpec::Link { linkpath, .. } => Some(linkpath),
+            CallSpec::Chmod { path, .. } | CallSpec::Chown { path, .. } => Some(path),
+            CallSpec::WriteFd { .. } | CallSpec::CloseFd => None,
+        }
+    }
+
     /// Lowers the call to a kernel request; `fd` is the interpreter's
     /// tracked descriptor (required by `WriteFd`/`CloseFd`).
     fn request(&self, fd: Option<Fd>) -> SyscallRequest {
@@ -456,7 +495,68 @@ pub struct CompiledVictim {
     pub success: SuccessRule,
 }
 
+/// The ground-truth race window a compiled victim's trace declares: which
+/// step performs the taxonomy pair's check, which performs its use, and
+/// the name both act on. Derived statically from the [`Step`] list — no
+/// simulation — so the forensics pipeline can be validated against what
+/// the workload *intends*, not just what the kernel observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowAnnotation {
+    /// The `<check, use>` pair the window realizes.
+    pub pair: TocttouPair,
+    /// The name both calls act on.
+    pub path: Arc<str>,
+    /// Index (into the victim's steps) of the check call.
+    pub check_step: usize,
+    /// Index of the first matching use call after the check.
+    pub use_step: usize,
+}
+
 impl CompiledVictim {
+    /// Locates the declared pair's check→use window in the trace: the
+    /// first step lowering to `pair.use_call()` that is preceded by a
+    /// step lowering to `pair.check()` on the same path; the *last* such
+    /// check wins, mirroring the kernel rule that a re-check refreshes
+    /// the window. `None` when the trace never realizes its declared pair
+    /// (a spec bug worth surfacing; the conformance tests assert every
+    /// library entry is `Some`).
+    pub fn window_annotation(&self) -> Option<WindowAnnotation> {
+        let calls = self.steps.iter().enumerate().filter_map(|(i, s)| match s {
+            Step::Call { call, .. } => Some((i, call)),
+            _ => None,
+        });
+        // Last check step seen per path, in trace order.
+        let mut checks: Vec<(usize, &Arc<str>)> = Vec::new();
+        for (i, call) in calls {
+            if (self.pair.check() != self.pair.use_call() || checks.is_empty())
+                && call.fs_call() == Some(self.pair.check())
+            {
+                if let Some(path) = call.primary_path() {
+                    match checks.iter_mut().find(|(_, p)| p.as_ref() == path.as_ref()) {
+                        Some(slot) => slot.0 = i,
+                        None => checks.push((i, path)),
+                    }
+                    continue;
+                }
+            }
+            if call.fs_call() == Some(self.pair.use_call()) {
+                if let Some(path) = call.primary_path() {
+                    if let Some(&(check_step, p)) =
+                        checks.iter().find(|(_, p)| p.as_ref() == path.as_ref())
+                    {
+                        return Some(WindowAnnotation {
+                            pair: self.pair,
+                            path: p.clone(),
+                            check_step,
+                            use_step: i,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// Creates the interpreter for one round.
     pub fn logic(&self, seed: u64) -> DslVictim {
         DslVictim {
@@ -707,6 +807,55 @@ mod tests {
         // never ran: the doc still belongs to the attacker.
         let st = handles.kernel.vfs().stat(&scenario.layout.doc).unwrap();
         assert_eq!(st.uid, Uid(1000), "guard stopped the trace");
+    }
+
+    #[test]
+    fn call_specs_map_to_taxonomy_calls_and_paths() {
+        let p: Arc<str> = "/tmp/x".into();
+        let q: Arc<str> = "/tmp/y".into();
+        assert_eq!(CallSpec::Stat(p.clone()).fs_call(), Some(FsCall::Stat));
+        assert_eq!(
+            CallSpec::OpenCreate(p.clone()).fs_call(),
+            Some(FsCall::Creat)
+        );
+        assert_eq!(CallSpec::WriteFd { bytes: 1 }.fs_call(), None);
+        assert_eq!(CallSpec::CloseFd.primary_path(), None);
+        let rename = CallSpec::Rename {
+            from: p.clone(),
+            to: q.clone(),
+        };
+        assert_eq!(rename.fs_call(), Some(FsCall::Rename));
+        assert_eq!(
+            rename.primary_path().map(Arc::as_ref),
+            Some("/tmp/y"),
+            "rename windows key on the destination name"
+        );
+        let link = CallSpec::Symlink {
+            target: p.clone(),
+            linkpath: q.clone(),
+        };
+        assert_eq!(link.primary_path().map(Arc::as_ref), Some("/tmp/y"));
+    }
+
+    #[test]
+    fn every_library_victim_annotates_its_declared_window() {
+        for (pair, scenario) in library::taxonomy_library(None) {
+            let VictimSpec::Compiled(victim) = &scenario.victim else {
+                panic!("library compiles to compiled victims");
+            };
+            let ann = victim.window_annotation().unwrap_or_else(|| {
+                panic!(
+                    "{}: trace never realizes its declared pair {pair}",
+                    scenario.name
+                )
+            });
+            assert_eq!(ann.pair, victim.pair, "{}", scenario.name);
+            assert!(
+                ann.check_step < ann.use_step,
+                "{}: check must precede use",
+                scenario.name
+            );
+        }
     }
 
     #[test]

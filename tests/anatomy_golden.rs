@@ -1,0 +1,50 @@
+//! Golden-scorecard regression test for the race-window anatomy: the
+//! rendered anatomy row of a fixed-seed vi-on-SMP Monte-Carlo batch is
+//! pinned to a checked-in snapshot. Any change to the kernel's window
+//! bookkeeping — check/use hook placement, strike classification, miss
+//! distances, histogram bucketing — shows up here as a readable diff
+//! instead of a silent drift.
+
+use tocttou::experiments::figures::anatomy;
+use tocttou::workloads::Scenario;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/anatomy_vi_smp.txt"
+);
+
+fn scorecard() -> String {
+    let scenario = Scenario::vi_smp(100 * 1024);
+    let cfg = anatomy::Config {
+        rounds: 24,
+        seed: 0xD07,
+        jobs: 1,
+        cold: false,
+    };
+    let row = anatomy::anatomy_row("<stat, open>", &scenario, &cfg);
+    format!(
+        "# scenario={} seed={:#x} rounds={}\n{row}",
+        scenario.name, cfg.seed, cfg.rounds
+    )
+}
+
+#[test]
+fn vi_smp_anatomy_matches_golden() {
+    let got = scorecard();
+    assert!(
+        got.contains("windows") && got.contains("closest miss"),
+        "sanity: the row must carry window and strike anatomy:\n{got}"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).expect("re-bless golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {GOLDEN}: {e}"));
+    assert_eq!(
+        got, want,
+        "\nanatomy scorecard diverged from the snapshot at\n  {GOLDEN}\n\
+         If the change is intentional, re-bless it with:\n  \
+         UPDATE_GOLDEN=1 cargo test --test anatomy_golden\n"
+    );
+}

@@ -43,10 +43,27 @@ fn round_trips_as_valid_jsonl_with_consistent_header() {
 
         let header = &parsed[0];
         assert_eq!(str_field(header, "type"), "header");
+        assert_eq!(
+            u64_field(header, "schema_version"),
+            tocttou::experiments::SCHEMA_VERSION
+        );
         assert_eq!(str_field(header, "scenario"), scenario.name);
         assert_eq!(u64_field(header, "seed"), 0xBEEF);
+        assert!(
+            u64_field(header, "host_cpus") > 0,
+            "host parallelism recorded"
+        );
+        assert!(
+            ["debug", "release"].contains(&str_field(header, "build")),
+            "build profile recorded"
+        );
         assert_eq!(u64_field(header, "events_dropped"), 0);
         assert_eq!(u64_field(header, "detections_dropped"), 0);
+        assert_eq!(
+            u64_field(header, "spans_dropped"),
+            0,
+            "spans-off rounds drop no spans"
+        );
 
         let events = parsed
             .iter()
@@ -66,6 +83,20 @@ fn round_trips_as_valid_jsonl_with_consistent_header() {
         assert!(events > 0, "{}: a traced round has events", scenario.name);
         assert_eq!(lines, 1 + events + detections + 1, "{}", scenario.name);
     }
+}
+
+#[test]
+fn spans_armed_round_reports_ring_occupancy() {
+    let mut scenario = Scenario::vi_smp(1);
+    scenario.machine = scenario.machine.clone().with_spans();
+    let (_, parsed) = export(&scenario, 3);
+    let header = &parsed[0];
+    assert_eq!(header.get("spans_enabled"), Some(&Value::Bool(true)));
+    assert!(
+        u64_field(header, "spans") > 0,
+        "an armed round records spans"
+    );
+    assert_eq!(u64_field(header, "spans_dropped"), 0);
 }
 
 #[test]

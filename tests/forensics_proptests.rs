@@ -1,0 +1,146 @@
+//! Property tests for the forensics-snapshot algebra, mirroring
+//! `metrics_proptests.rs`: the parallel Monte-Carlo engine folds
+//! [`ForensicsSnapshot`]s from worker blocks in arbitrary groupings, so
+//! the fold is only deterministic because `merge` is commutative,
+//! associative and lossless with the empty snapshot as identity. The
+//! snapshots under test are harvested from real rounds (so the private
+//! min-miss fold is exercised) plus synthetic edge cases.
+//!
+//! [`ForensicsSnapshot`]: tocttou::os::ForensicsSnapshot
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tocttou::os::ForensicsSnapshot;
+use tocttou::sim::metrics::LatencyHistogram;
+use tocttou::sim::time::SimDuration;
+use tocttou::workloads::Scenario;
+
+/// A pool of genuinely different snapshots: real rounds across scenarios
+/// and seeds (hits, misses, unpaired strikes, min-miss values) plus the
+/// empty snapshot and a counters-only synthetic one.
+fn bases() -> &'static Vec<ForensicsSnapshot> {
+    static CELL: OnceLock<Vec<ForensicsSnapshot>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut out = Vec::new();
+        for scenario in [
+            Scenario::vi_smp(100 * 1024),
+            Scenario::vi_smp(1),
+            Scenario::gedit_smp(2048),
+        ] {
+            for seed in [1u64, 7, 23] {
+                let (_, h) = scenario.run_traced(seed);
+                out.push(h.kernel.forensics().snapshot());
+            }
+        }
+        out.push(ForensicsSnapshot::default());
+        let mut synthetic = ForensicsSnapshot::default();
+        synthetic.checks = 3;
+        synthetic.uses = 1;
+        synthetic.strikes_unpaired = 2;
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_nanos(1_500));
+        synthetic.window_width = h;
+        out.push(synthetic);
+        assert!(
+            out.iter().any(|f| f.min_miss_ns().is_some()),
+            "the pool must exercise the min-miss fold"
+        );
+        out
+    })
+}
+
+fn base(i: usize) -> ForensicsSnapshot {
+    let b = bases();
+    b[i % b.len()].clone()
+}
+
+fn fold(parts: &[ForensicsSnapshot]) -> ForensicsSnapshot {
+    let mut acc = ForensicsSnapshot::default();
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+fn fjson(f: &ForensicsSnapshot) -> String {
+    serde_json::to_string(f).expect("forensics snapshots serialize")
+}
+
+proptest! {
+    /// merge(a, b) == merge(b, a), field for field and byte for byte.
+    #[test]
+    fn merge_is_commutative(ia in any::<usize>(), ib in any::<usize>()) {
+        let (a, b) = (base(ia), base(ib));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(fjson(&ab), fjson(&ba));
+    }
+
+    /// (a + b) + c == a + (b + c).
+    #[test]
+    fn merge_is_associative(ia in any::<usize>(), ib in any::<usize>(), ic in any::<usize>()) {
+        let (a, b, c) = (base(ia), base(ib), base(ic));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The empty snapshot is the merge identity on both sides.
+    #[test]
+    fn empty_is_identity(i in any::<usize>()) {
+        let a = base(i);
+        let mut right = a.clone();
+        right.merge(&ForensicsSnapshot::default());
+        prop_assert_eq!(&right, &a);
+        let mut left = ForensicsSnapshot::default();
+        left.merge(&a);
+        prop_assert_eq!(&left, &a);
+    }
+
+    /// Folding any two-block partition in either order loses nothing: the
+    /// result equals the in-order fold of the flat list — exactly the
+    /// freedom the parallel engine exploits when worker blocks finish out
+    /// of order.
+    #[test]
+    fn fold_is_order_and_grouping_free(
+        indices in proptest::collection::vec(any::<usize>(), 0..8),
+        split in any::<usize>(),
+        reversed in any::<bool>(),
+    ) {
+        let parts: Vec<ForensicsSnapshot> = indices.iter().map(|&i| base(i)).collect();
+        let flat = fold(&parts);
+        let cut = split % (parts.len() + 1);
+        let (lo, hi) = parts.split_at(cut);
+        let (first, second) = if reversed { (hi, lo) } else { (lo, hi) };
+        let mut grouped = fold(first);
+        grouped.merge(&fold(second));
+        prop_assert_eq!(&grouped, &flat);
+        prop_assert_eq!(fjson(&grouped), fjson(&flat));
+    }
+
+    /// Derived totals survive any merge: counts add exactly and the
+    /// min-miss fold takes the true minimum.
+    #[test]
+    fn merge_adds_counts_exactly(ia in any::<usize>(), ib in any::<usize>()) {
+        let (a, b) = (base(ia), base(ib));
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert_eq!(m.checks, a.checks + b.checks);
+        prop_assert_eq!(m.uses, a.uses + b.uses);
+        prop_assert_eq!(m.strikes_total(), a.strikes_total() + b.strikes_total());
+        prop_assert_eq!(
+            m.window_width.count(),
+            a.window_width.count() + b.window_width.count()
+        );
+        let mins: Vec<u64> = [&a, &b].iter().filter_map(|f| f.min_miss_ns()).collect();
+        prop_assert_eq!(m.min_miss_ns(), mins.iter().copied().min());
+    }
+}
