@@ -11,9 +11,12 @@
 //! ```
 //!
 //! Counters are monotonically increasing; measure a region by differencing
-//! [`snapshot`] values around it. The counts are exact on a single thread
-//! and merely consistent (relaxed atomics) across threads — good enough
-//! for the orders-of-magnitude comparisons the benches make.
+//! [`snapshot`] values around it. A live-bytes gauge and its high-water
+//! mark ([`live_bytes`] / [`peak_bytes`] / [`reset_peak`]) ride along for
+//! peak-footprint checks such as the campaign bench's flat-memory
+//! assertion. The counts are exact on a single thread and merely
+//! consistent (relaxed atomics) across threads — good enough for the
+//! orders-of-magnitude comparisons the benches make.
 
 // The one unsafe impl in this crate: delegating GlobalAlloc to System.
 #![allow(unsafe_code)]
@@ -23,6 +26,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Records `live` as a peak candidate. A racy load + conditional store
+/// rather than `fetch_max`: in the steady state (below peak) it costs one
+/// relaxed load, keeping the allocator hot path cheap enough not to skew
+/// the timed rows; cross-thread peaks are merely approximate, like the
+/// other counters.
+fn note_peak(live: u64) {
+    if live > PEAK_BYTES.load(Ordering::Relaxed) {
+        PEAK_BYTES.store(live, Ordering::Relaxed);
+    }
+}
 
 /// The counting allocator; a unit type so it can be `static`.
 pub struct CountingAlloc;
@@ -33,16 +49,22 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        let size = layout.size() as u64;
+        note_peak(LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        let new = new_size as u64;
+        note_peak(LIVE_BYTES.fetch_add(new, Ordering::Relaxed) + new);
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -74,9 +96,50 @@ pub fn snapshot() -> Snapshot {
     }
 }
 
+/// Bytes currently allocated and not yet freed.
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// The high-water mark of [`live_bytes`] since process start or the last
+/// [`reset_peak`].
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Rebases the peak to the current live footprint and returns that
+/// baseline, so a region's own high-water mark can be measured as
+/// `peak_bytes() - reset_peak()` taken around it. Racy against concurrent
+/// allocation — call it from quiescent, single-threaded bench sections.
+pub fn reset_peak() -> u64 {
+    let live = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(live, Ordering::Relaxed);
+    live
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Drives the `GlobalAlloc` impl directly (the test binary does not
+    /// install it globally, so the counters move only through these calls).
+    #[test]
+    fn live_and_peak_track_alloc_dealloc() {
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        let base_live = live_bytes();
+        reset_peak();
+        // SAFETY: matching alloc/dealloc pair with one valid layout.
+        unsafe {
+            let p = CountingAlloc.alloc(layout);
+            assert!(!p.is_null());
+            assert_eq!(live_bytes(), base_live + 4096);
+            assert!(peak_bytes() >= base_live + 4096);
+            CountingAlloc.dealloc(p, layout);
+        }
+        assert_eq!(live_bytes(), base_live, "dealloc returns to baseline");
+        assert!(peak_bytes() >= base_live + 4096, "peak survives the free");
+        assert!(reset_peak() <= base_live + 4096);
+    }
 
     #[test]
     fn snapshot_differences() {

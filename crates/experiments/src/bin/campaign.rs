@@ -1,0 +1,164 @@
+//! `campaign` — resumable sweep campaigns over a content-addressed store.
+//!
+//! ```text
+//! campaign --store DIR --grid <d|size|cpus|pipelined|swap|taxonomy>
+//!          [--family F] [--size-kb N] [--points N] [--rounds N] [--seed S]
+//!          [--jobs J] [--block N] [--max-blocks N] [--out DIR] [--cold]
+//! campaign --store DIR --status
+//! ```
+//!
+//! Computes whichever seed blocks of the grid the store does not already
+//! hold, appending each finished block to `DIR/blocks.jsonl` as it lands
+//! (so a killed run loses at most the block in flight), then streams the
+//! aggregate out of the store once it covers the whole grid. The aggregate
+//! is written as `campaign.json` + `CAMPAIGN.md` under the output
+//! directory (default `target/experiments`) and is byte-identical to the
+//! one-shot `sweep` binary on the same grid (without `--collect-ld`) —
+//! `cmp campaign.json sweep.json` is the oracle check CI runs.
+//!
+//! `--max-blocks N` stops after N newly computed blocks, leaving a valid
+//! partial store for a later run to resume; `--status` prints the store's
+//! manifest and exits. Cache keys cover the scenario content (including
+//! the cost model) and the engine schema version, so editing either simply
+//! invalidates the affected blocks on the next run — delete the store
+//! directory to reclaim the dead records' space.
+
+use tocttou_experiments::campaign::{read_manifest, run_campaign, CampaignConfig};
+use tocttou_experiments::cli::{CommonArgs, GridArgs};
+use tocttou_experiments::report::Report;
+
+#[derive(Debug)]
+struct Args {
+    common: CommonArgs,
+    grid: GridArgs,
+    store: String,
+    out: String,
+    block: u64,
+    max_blocks: Option<u64>,
+    status: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut common = CommonArgs::default();
+    let mut grid = GridArgs::default();
+    let mut store = None;
+    let mut out = "target/experiments".to_string();
+    let mut block = 100u64;
+    let mut max_blocks = None;
+    let mut status = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if common.accept(&arg, &mut it)? || grid.accept(&arg, &mut it)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--store" => store = Some(it.next().ok_or("--store needs a value")?),
+            "--out" => out = it.next().ok_or("--out needs a value")?,
+            "--block" => {
+                let raw = it.next().ok_or("--block needs a value")?;
+                block = raw
+                    .parse()
+                    .map_err(|e| format!("invalid --block value {raw:?}: {e}"))?;
+            }
+            "--max-blocks" => {
+                let raw = it.next().ok_or("--max-blocks needs a value")?;
+                max_blocks = Some(
+                    raw.parse()
+                        .map_err(|e| format!("invalid --max-blocks value {raw:?}: {e}"))?,
+                );
+            }
+            "--status" => status = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: campaign --store DIR --grid <d|size|cpus|pipelined|swap|taxonomy> \
+                     [--family F] [--size-kb N] [--points N] [--rounds N] [--seed S] [--jobs J] \
+                     [--block N] [--max-blocks N] [--out DIR] [--cold] | campaign --store DIR --status"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        common,
+        grid,
+        store: store.ok_or("missing --store DIR")?,
+        out,
+        block,
+        max_blocks,
+        status,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let store = std::path::Path::new(&args.store);
+
+    if args.status {
+        match read_manifest(store) {
+            Ok(Some(manifest)) => println!("{manifest}"),
+            Ok(None) => println!("campaign store: no manifest at {}", store.display()),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let grid = match args.grid.build_grid() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if grid.is_empty() {
+        eprintln!("empty grid: no points to campaign over");
+        std::process::exit(3);
+    }
+    let mut cfg = CampaignConfig {
+        grid,
+        block: args.block,
+        max_blocks: args.max_blocks,
+        cold: args.common.cold,
+        ..CampaignConfig::default()
+    };
+    args.common
+        .apply(&mut cfg.rounds, &mut cfg.base_seed, &mut cfg.jobs);
+
+    let outcome = match run_campaign(store, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{outcome}");
+
+    match outcome.aggregate {
+        Some(aggregate) => {
+            println!("{aggregate}");
+            let mut report = Report::new(&args.out).expect("create output directory");
+            report
+                .add("campaign", &aggregate)
+                .expect("write campaign.json");
+            let path = report
+                .write_combined("CAMPAIGN.md")
+                .expect("write CAMPAIGN.md");
+            eprintln!("wrote {}", path.display());
+        }
+        None => {
+            eprintln!(
+                "store incomplete ({} blocks remaining); re-run without --max-blocks to finish",
+                outcome.remaining_blocks
+            );
+        }
+    }
+}

@@ -85,6 +85,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if grid.is_empty() {
+        eprintln!("empty grid: no points to sweep, refusing to write an empty report");
+        std::process::exit(3);
+    }
     let mut cfg = SweepConfig {
         grid,
         rounds: 200,

@@ -1,0 +1,726 @@
+//! Resumable sweep campaigns with content-addressed result caching.
+//!
+//! [`run_sweep`](crate::sweep::run_sweep) is one-shot and in-memory: every
+//! invocation recomputes the full grid and holds every observation until
+//! the end. The paper's figures want millions of rounds per point, where
+//! that design pays the full recompute on every code change and grows
+//! memory with round count. This module turns the sweep engine into a
+//! **restartable results system**:
+//!
+//! * **Content-addressed blocks.** The unit of work is a *seed block* —
+//!   one contiguous range `[start, end)` of a grid point's rounds, with
+//!   per-round seeds fixed by [`seed_block`] regardless of scheduling. Its
+//!   cache key is an FNV-1a hash (the same construction as the detection
+//!   fingerprints) over the *scenario fingerprint* — engine schema version
+//!   plus the full `Debug` rendering of the built [`Scenario`], which
+//!   transitively covers the cost model, machine spec, victim, attacker
+//!   and layout — chained with the point's seed and the block bounds.
+//!   Because every simulated round is a pure function of (scenario, seed),
+//!   equal keys imply equal results; any change to a fingerprint input
+//!   changes the key and silently invalidates exactly the affected blocks.
+//! * **Append-only store.** Finished blocks land in `blocks.jsonl`, one
+//!   JSON record per line, plus a human-readable `manifest.json`. A killed
+//!   campaign resumes by scanning the store and computing only the missing
+//!   keys; a re-run after a code change recomputes only what the
+//!   fingerprint invalidated. A partial final line (SIGKILL mid-write) is
+//!   detected and truncated away on the next scan.
+//! * **Work-stealing compute.** Missing blocks are claimed from a shared
+//!   atomic cursor by the same long-lived pooled workers the sweep engine
+//!   uses, so stragglers don't idle the pool.
+//! * **Streaming aggregation.** Once every block is present, the aggregate
+//!   is folded point by point, block by block, straight out of the store:
+//!   one [`BlockRecord`] in memory at a time, observations folded in round
+//!   order into the shared [`PointAcc`], metrics and forensics merged
+//!   in place. Peak memory is bounded by one block plus the store index,
+//!   flat in the total round count.
+//!
+//! The one-shot [`run_sweep`](crate::sweep::run_sweep) is kept as the
+//! byte-identity oracle, in the same spirit as the warm/cold boot and
+//! wheel/heap queue oracles: a completed campaign's
+//! [`aggregate`](CampaignOutcome::aggregate) serializes byte-for-byte
+//! identically to `run_sweep` on the same grid, at any `--jobs` value and
+//! either boot mode, whether computed in one shot, resumed after an
+//! interruption, or replayed entirely from cache.
+//!
+//! Campaigns always run with `collect_ld` off: L/D extraction is a
+//! one-shot tracing concern (`--collect-ld` on the `sweep` binary), not a
+//! bulk-statistics one, and the store persists only what aggregation
+//! needs.
+
+use crate::grid::Grid;
+use crate::monte_carlo::{
+    effective_jobs, fnv1a, run_one_round, PointAcc, RoundBoot, RoundObs, DETECTION_FINGERPRINT_SEED,
+};
+use crate::sweep::{SweepOutcome, SweepPoint};
+use crate::{extract::WindowKind, monte_carlo::window_kind_of};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tocttou_os::forensics::ForensicsSnapshot;
+use tocttou_os::kernel::{Checkpoint, KernelPool};
+use tocttou_os::metrics::MetricsSnapshot;
+use tocttou_sim::rng::seed_block;
+use tocttou_workloads::scenario::Scenario;
+
+/// Version of the engine + store schema baked into every cache key.
+///
+/// Bump this whenever simulation semantics or the [`BlockRecord`] layout
+/// change: every existing key stops matching and the whole store is
+/// recomputed, which is the only safe reading of "the code changed under
+/// the cache".
+pub const ENGINE_SCHEMA_VERSION: u32 = 1;
+
+/// The content fingerprint of one built scenario.
+///
+/// FNV-1a over [`ENGINE_SCHEMA_VERSION`] and the scenario's full `Debug`
+/// rendering. The `Debug` form transitively covers everything that
+/// determines a round's result — name, machine spec (including every cost
+/// model field), victim, attacker and layout — so editing any of them
+/// yields a new fingerprint, while re-running an unchanged tree reproduces
+/// the old one exactly.
+pub fn scenario_fingerprint(scenario: &Scenario) -> u64 {
+    let h = fnv1a(
+        DETECTION_FINGERPRINT_SEED,
+        &ENGINE_SCHEMA_VERSION.to_le_bytes(),
+    );
+    fnv1a(h, format!("{scenario:?}").as_bytes())
+}
+
+/// The content-addressed cache key of one seed block: the scenario
+/// fingerprint chained with the point's base seed and the block's round
+/// range. Deliberately independent of `--jobs`, boot mode and scheduling —
+/// everything that cannot change the block's results.
+pub fn block_key(scenario_fp: u64, point_seed: u64, start: u64, end: u64) -> u64 {
+    let h = fnv1a(scenario_fp, &point_seed.to_le_bytes());
+    let h = fnv1a(h, &start.to_le_bytes());
+    fnv1a(h, &end.to_le_bytes())
+}
+
+/// Options for one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The parameter grid to cover.
+    pub grid: Grid,
+    /// Monte-Carlo rounds per grid point.
+    pub rounds: u64,
+    /// Campaign-level base seed; point *p* runs rounds at
+    /// `base_seed + p.seed_salt + i`, exactly like the sweep engine.
+    pub base_seed: u64,
+    /// Worker threads for the compute phase (`0` = auto, `1` = serial).
+    /// Results are bit-identical for every value.
+    pub jobs: usize,
+    /// Cold-boot every round instead of resuming each point's warm
+    /// checkpoint — the oracle path, byte-identical to the warm default
+    /// and deliberately absent from the cache key.
+    pub cold: bool,
+    /// Rounds per seed block — the unit of caching and resumability.
+    /// Clamped to at least 1.
+    pub block: u64,
+    /// Stop after computing this many missing blocks (the store stays
+    /// valid and a later run resumes). `None` runs to completion.
+    pub max_blocks: Option<u64>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            grid: Grid::default(),
+            rounds: 200,
+            base_seed: 0x7061_7065,
+            jobs: 1,
+            cold: false,
+            block: 100,
+            max_blocks: None,
+        }
+    }
+}
+
+/// What one round persists to the store: the fields of
+/// [`RoundObs`](crate::monte_carlo::RoundObs) minus the L/D trace sample
+/// (campaigns never collect L/D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ObsRecord {
+    success: bool,
+    flagged: bool,
+    window_us: Option<f64>,
+    detect_latency_us: Option<f64>,
+    detect_fingerprint: u64,
+}
+
+impl ObsRecord {
+    fn from_obs(obs: &RoundObs) -> Self {
+        ObsRecord {
+            success: obs.success,
+            flagged: obs.flagged,
+            window_us: obs.window_us,
+            detect_latency_us: obs.detect_latency_us,
+            detect_fingerprint: obs.detect_fingerprint,
+        }
+    }
+
+    fn into_obs(self) -> RoundObs {
+        RoundObs {
+            success: self.success,
+            window_us: self.window_us,
+            sample: None,
+            flagged: self.flagged,
+            detect_latency_us: self.detect_latency_us,
+            detect_fingerprint: self.detect_fingerprint,
+        }
+    }
+}
+
+/// One finished seed block, as stored on one `blocks.jsonl` line.
+///
+/// `point`, `start` and `end` describe the run that *wrote* the record;
+/// lookups go purely by `key`, so a record written under an older grid
+/// layout is still found (or correctly ignored) by its content address.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BlockRecord {
+    key: u64,
+    point: usize,
+    start: u64,
+    end: u64,
+    obs: Vec<ObsRecord>,
+    metrics: MetricsSnapshot,
+    forensics: ForensicsSnapshot,
+}
+
+/// The human-readable store summary, rewritten after every run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// [`ENGINE_SCHEMA_VERSION`] of the writing engine.
+    pub schema_version: u32,
+    /// Rounds per grid point of the last run's config.
+    pub rounds_per_point: u64,
+    /// Base seed of the last run's config.
+    pub base_seed: u64,
+    /// Seed-block size of the last run's config.
+    pub block: u64,
+    /// Grid points of the last run's config.
+    pub points: u64,
+    /// Blocks the last run's grid needs in total.
+    pub total_blocks: u64,
+    /// How many of them the store already holds.
+    pub done_blocks: u64,
+}
+
+impl std::fmt::Display for Manifest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "campaign store: {}/{} blocks ({} points × {} rounds, block {}, seed {:#x}, schema v{})",
+            self.done_blocks,
+            self.total_blocks,
+            self.points,
+            self.rounds_per_point,
+            self.block,
+            self.base_seed,
+            self.schema_version
+        )
+    }
+}
+
+/// What one [`run_campaign`] invocation did.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Blocks the grid needs in total.
+    pub total_blocks: u64,
+    /// Blocks served from the store without recomputation.
+    pub cached_blocks: u64,
+    /// Blocks computed (and persisted) by this invocation.
+    pub computed_blocks: u64,
+    /// Blocks still missing (non-zero only under
+    /// [`max_blocks`](CampaignConfig::max_blocks)).
+    pub remaining_blocks: u64,
+    /// The streamed aggregate — present only when the store covers the
+    /// whole grid; byte-identical to [`run_sweep`](crate::sweep::run_sweep)
+    /// on the same grid with `collect_ld` off.
+    pub aggregate: Option<SweepOutcome>,
+}
+
+impl std::fmt::Display for CampaignOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "campaign: {} blocks ({} cached, {} computed, {} remaining)",
+            self.total_blocks, self.cached_blocks, self.computed_blocks, self.remaining_blocks
+        )
+    }
+}
+
+/// One missing block scheduled for computation.
+#[derive(Debug, Clone, Copy)]
+struct Missing {
+    point: usize,
+    start: u64,
+    end: u64,
+    key: u64,
+}
+
+/// Location of one stored block line: `(byte offset, byte length)`.
+type LineSpan = (u64, u64);
+
+fn blocks_path(store: &Path) -> PathBuf {
+    store.join("blocks.jsonl")
+}
+
+fn manifest_path(store: &Path) -> PathBuf {
+    store.join("manifest.json")
+}
+
+/// Reads a store's manifest, if one exists.
+///
+/// # Errors
+///
+/// Propagates I/O failures other than the file being absent, and parse
+/// failures of an existing manifest.
+pub fn read_manifest(store: &Path) -> std::io::Result<Option<Manifest>> {
+    match std::fs::read_to_string(manifest_path(store)) {
+        Ok(text) => serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| std::io::Error::other(format!("bad manifest: {e}"))),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Extracts the cache key from a stored block line without parsing the
+/// whole record: every line this engine writes starts with `{"key":N,`
+/// (serde emits fields in declaration order). The scan is the hot half of
+/// a warm-cache replay, and the full record is parsed — and validated —
+/// during aggregation anyway, so a prefix read keeps cache hits cheap.
+fn line_key(line: &str) -> Option<u64> {
+    let rest = line.strip_prefix("{\"key\":")?;
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+/// Scans `blocks.jsonl`, returning the key → line-span index and
+/// truncating a torn final line (a kill mid-append) so the file is safe to
+/// append to again. Lines that don't parse are skipped; only the trailing
+/// torn region is removed.
+fn scan_store(path: &Path) -> std::io::Result<HashMap<u64, LineSpan>> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => return Err(e),
+    };
+    let total_len = file.metadata()?.len();
+    let mut reader = BufReader::new(file);
+    let mut index = HashMap::new();
+    let mut offset = 0u64;
+    let mut good_end = 0u64;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)? as u64;
+        if n == 0 {
+            break;
+        }
+        let complete = line.ends_with('\n');
+        if complete {
+            good_end = offset + n;
+            // Only the key matters for the index; the record is re-read
+            // (and fully validated) lazily during aggregation, so the scan
+            // stays cheap and memory-flat. Foreign lines (hand-edited or
+            // written by a different serializer) fall back to a full parse
+            // before being skipped.
+            let trimmed = line.trim_end();
+            let key = line_key(trimmed).or_else(|| {
+                serde_json::from_str::<serde_json::Value>(trimmed)
+                    .ok()?
+                    .get("key")?
+                    .as_u64()
+            });
+            if let Some(key) = key {
+                index.insert(key, (offset, n));
+            }
+        }
+        offset += n;
+    }
+    if good_end < total_len {
+        // Torn tail: drop it so the next append starts on a line boundary.
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(good_end)?;
+    }
+    Ok(index)
+}
+
+/// Runs (or resumes) a campaign against the store directory.
+///
+/// Missing blocks are computed and appended; when the store then covers
+/// the whole grid, the aggregate is streamed out of it. See the [module
+/// docs](self) for the caching and identity contract.
+///
+/// # Errors
+///
+/// Propagates store I/O failures and corrupt stored records. Simulation
+/// itself is infallible.
+pub fn run_campaign(store: &Path, cfg: &CampaignConfig) -> std::io::Result<CampaignOutcome> {
+    std::fs::create_dir_all(store)?;
+    let block = cfg.block.max(1);
+    let points = &cfg.grid.points;
+    let scenarios: Vec<Scenario> = points.iter().map(|p| p.scenario()).collect();
+    let fingerprints: Vec<u64> = scenarios.iter().map(scenario_fingerprint).collect();
+    let point_seeds: Vec<u64> = points
+        .iter()
+        .map(|p| cfg.base_seed.wrapping_add(p.seed_salt))
+        .collect();
+
+    // Expected blocks in deterministic point-major, ascending-round order —
+    // the aggregation order, and the order missing work is claimed in.
+    let mut expected: Vec<Missing> = Vec::new();
+    for p in 0..points.len() {
+        let mut start = 0;
+        while start < cfg.rounds {
+            let end = (start + block).min(cfg.rounds);
+            expected.push(Missing {
+                point: p,
+                start,
+                end,
+                key: block_key(fingerprints[p], point_seeds[p], start, end),
+            });
+            start = end;
+        }
+    }
+    let total_blocks = expected.len() as u64;
+
+    let path = blocks_path(store);
+    let mut index = scan_store(&path)?;
+    let mut missing: Vec<Missing> = Vec::new();
+    let mut cached_blocks = 0u64;
+    for item in expected.iter() {
+        if index.contains_key(&item.key) {
+            cached_blocks += 1;
+        } else {
+            missing.push(*item);
+        }
+    }
+    let deferred = missing
+        .len()
+        .saturating_sub(cfg.max_blocks.map_or(usize::MAX, |m| m as usize));
+    missing.truncate(missing.len() - deferred);
+
+    let computed_blocks = missing.len() as u64;
+    if !missing.is_empty() {
+        compute_blocks(&path, cfg, &scenarios, &point_seeds, &missing)?;
+        // Re-scan rather than threading offsets out of the workers: one
+        // code path, and the appended records get the same torn-line
+        // validation as pre-existing ones.
+        index = scan_store(&path)?;
+    }
+
+    let done_blocks = expected
+        .iter()
+        .filter(|i| index.contains_key(&i.key))
+        .count() as u64;
+    let manifest = Manifest {
+        schema_version: ENGINE_SCHEMA_VERSION,
+        rounds_per_point: cfg.rounds,
+        base_seed: cfg.base_seed,
+        block,
+        points: points.len() as u64,
+        total_blocks,
+        done_blocks,
+    };
+    std::fs::write(
+        manifest_path(store),
+        serde_json::to_string_pretty(&manifest).expect("manifest serialization is infallible")
+            + "\n",
+    )?;
+
+    let remaining_blocks = total_blocks - done_blocks;
+    let aggregate = if remaining_blocks == 0 {
+        Some(aggregate_store(&path, cfg, &scenarios, &expected, &index)?)
+    } else {
+        None
+    };
+    Ok(CampaignOutcome {
+        total_blocks,
+        cached_blocks,
+        computed_blocks,
+        remaining_blocks,
+        aggregate,
+    })
+}
+
+/// Computes the missing blocks across worker threads and appends each to
+/// the store as it finishes.
+fn compute_blocks(
+    path: &Path,
+    cfg: &CampaignConfig,
+    scenarios: &[Scenario],
+    point_seeds: &[u64],
+    missing: &[Missing],
+) -> std::io::Result<()> {
+    let kinds: Vec<WindowKind> = scenarios.iter().map(window_kind_of).collect();
+    // Same template-fork and warm-checkpoint setup as the sweep engine;
+    // built only when there is work, so a fully warm re-run never pays for
+    // boot prefixes it won't use.
+    let templates: Vec<tocttou_os::vfs::Vfs> = match scenarios.first() {
+        None => Vec::new(),
+        Some(first) => {
+            let base = first.base_vfs();
+            scenarios
+                .iter()
+                .map(|s| s.template_vfs_from_base(&base))
+                .collect()
+        }
+    };
+    let checkpoints: Vec<Checkpoint> = if cfg.cold {
+        Vec::new()
+    } else {
+        scenarios
+            .iter()
+            .zip(&templates)
+            .map(|(s, t)| s.round_checkpoint(t))
+            .collect()
+    };
+    let boots: Vec<RoundBoot<'_>> = if cfg.cold {
+        templates.iter().map(RoundBoot::Cold).collect()
+    } else {
+        checkpoints.iter().map(RoundBoot::Warm).collect()
+    };
+
+    let writer = Mutex::new(
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?,
+    );
+    let failure: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let total_rounds: u64 = missing.iter().map(|m| m.end - m.start).sum();
+    let workers = effective_jobs(cfg.jobs, total_rounds).min(missing.len());
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let (scenarios, boots, kinds, next, writer, failure) =
+            (&scenarios, &boots, &kinds, &next, &writer, &failure);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    // One long-lived recycled pool per worker, shared across
+                    // every block it steals off the cursor.
+                    let mut pool = KernelPool::new().retain_metrics();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = missing.get(idx) else { break };
+                        let p = item.point;
+                        let mut obs = Vec::with_capacity((item.end - item.start) as usize);
+                        for seed in seed_block(point_seeds[p], item.start, item.end) {
+                            let (o, returned) =
+                                run_one_round(&scenarios[p], boots[p], pool, seed, kinds[p], false);
+                            pool = returned;
+                            obs.push(ObsRecord::from_obs(&o));
+                        }
+                        let record = BlockRecord {
+                            key: item.key,
+                            point: p,
+                            start: item.start,
+                            end: item.end,
+                            obs,
+                            metrics: pool.drain_metrics(),
+                            forensics: pool.drain_forensics(),
+                        };
+                        let line = serde_json::to_string(&record)
+                            .expect("block serialization is infallible")
+                            + "\n";
+                        // One line per lock hold, flushed before release:
+                        // lines never interleave and a finished block is
+                        // durable the moment the lock drops.
+                        let result = {
+                            let mut file = writer.lock().expect("store writer poisoned");
+                            file.write_all(line.as_bytes()).and_then(|()| file.flush())
+                        };
+                        if let Err(e) = result {
+                            failure
+                                .lock()
+                                .expect("failure slot poisoned")
+                                .get_or_insert(e);
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("campaign worker panicked");
+        }
+    });
+    match failure.into_inner().expect("failure slot poisoned") {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Streams the aggregate out of a complete store: for each point in grid
+/// order, each block in round order is re-read by its line span and folded
+/// into the point accumulator, then dropped. Memory peaks at one block.
+fn aggregate_store(
+    path: &Path,
+    cfg: &CampaignConfig,
+    scenarios: &[Scenario],
+    expected: &[Missing],
+    index: &HashMap<u64, LineSpan>,
+) -> std::io::Result<SweepOutcome> {
+    let mut file = std::fs::File::open(path)?;
+    let mut accs: Vec<PointAcc> = scenarios.iter().map(|_| PointAcc::new()).collect();
+    let mut line = Vec::new();
+    for item in expected {
+        let &(offset, len) = index
+            .get(&item.key)
+            .expect("aggregation runs only on a complete store");
+        file.seek(SeekFrom::Start(offset))?;
+        line.resize(len as usize, 0);
+        file.read_exact(&mut line)?;
+        let text = std::str::from_utf8(&line)
+            .map_err(|e| std::io::Error::other(format!("stored block is not UTF-8: {e}")))?;
+        let record: BlockRecord = serde_json::from_str(text.trim_end())
+            .map_err(|e| std::io::Error::other(format!("corrupt stored block: {e}")))?;
+        if record.obs.len() as u64 != item.end - item.start {
+            return Err(std::io::Error::other(format!(
+                "stored block {:#x} holds {} rounds, expected {}",
+                item.key,
+                record.obs.len(),
+                item.end - item.start
+            )));
+        }
+        // Same fold discipline as the sweep engine's reassembly: metrics
+        // and forensics merge order-free, observations fold in round order.
+        let acc = &mut accs[item.point];
+        acc.merge_metrics(&record.metrics);
+        acc.merge_forensics(&record.forensics);
+        for o in record.obs {
+            acc.fold(o.into_obs());
+        }
+    }
+    Ok(SweepOutcome {
+        rounds_per_point: cfg.rounds,
+        base_seed: cfg.base_seed,
+        collect_ld: false,
+        points: accs
+            .into_iter()
+            .zip(scenarios)
+            .zip(&cfg.grid.points)
+            .map(|((acc, scenario), point)| SweepPoint {
+                point: point.describe(),
+                outcome: acc.finish(scenario),
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Family, GridKind};
+
+    fn small_cfg() -> CampaignConfig {
+        CampaignConfig {
+            grid: GridKind::D.build(Family::ViSmp, 1024, 2),
+            rounds: 12,
+            base_seed: 0xCAFE,
+            jobs: 1,
+            cold: false,
+            block: 5,
+            max_blocks: None,
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_content_sensitive() {
+        let cfg = small_cfg();
+        let s0 = cfg.grid.points[0].scenario();
+        assert_eq!(
+            scenario_fingerprint(&s0),
+            scenario_fingerprint(&cfg.grid.points[0].scenario()),
+            "same point, same fingerprint"
+        );
+        assert_ne!(
+            scenario_fingerprint(&s0),
+            scenario_fingerprint(&cfg.grid.points[1].scenario()),
+            "different d_scale, different fingerprint"
+        );
+        let k = block_key(1, 2, 0, 5);
+        assert_ne!(k, block_key(3, 2, 0, 5), "scenario fp is hashed");
+        assert_ne!(k, block_key(1, 9, 0, 5), "point seed is hashed");
+        assert_ne!(k, block_key(1, 2, 5, 10), "block bounds are hashed");
+        assert_eq!(k, block_key(1, 2, 0, 5), "pure function of inputs");
+    }
+
+    #[test]
+    fn campaign_completes_resumes_and_replays_from_cache() {
+        let dir = std::env::temp_dir().join(format!("campaign-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = small_cfg();
+        // 12 rounds / block 5 → blocks of 5, 5, 2 per point; 6 total.
+
+        // Interrupted start: only 2 blocks land.
+        let partial = run_campaign(
+            &dir,
+            &CampaignConfig {
+                max_blocks: Some(2),
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(partial.total_blocks, 6);
+        assert_eq!(partial.computed_blocks, 2);
+        assert_eq!(partial.remaining_blocks, 4);
+        assert!(partial.aggregate.is_none());
+        let manifest = read_manifest(&dir).unwrap().unwrap();
+        assert_eq!(manifest.done_blocks, 2);
+
+        // Resume finishes the rest and aggregates.
+        let resumed = run_campaign(&dir, &cfg).unwrap();
+        assert_eq!(resumed.cached_blocks, 2);
+        assert_eq!(resumed.computed_blocks, 4);
+        let first = resumed.aggregate.expect("store is complete");
+
+        // Warm replay computes nothing and reproduces the bytes.
+        let warm = run_campaign(&dir, &cfg).unwrap();
+        assert_eq!(warm.computed_blocks, 0);
+        assert_eq!(warm.cached_blocks, 6);
+        assert_eq!(
+            serde_json::to_string(&warm.aggregate.unwrap()).unwrap(),
+            serde_json::to_string(&first).unwrap()
+        );
+        assert_eq!(read_manifest(&dir).unwrap().unwrap().done_blocks, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated_and_recomputed() {
+        let dir = std::env::temp_dir().join(format!("campaign-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = small_cfg();
+        let done = run_campaign(&dir, &cfg).unwrap();
+        assert_eq!(done.remaining_blocks, 0);
+        let oracle = serde_json::to_string(&done.aggregate.unwrap()).unwrap();
+
+        // Simulate a kill mid-append: chop the last line in half.
+        let path = blocks_path(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep = text.len() - text.trim_end().rsplit('\n').next().unwrap().len() / 2 - 1;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(keep as u64)
+            .unwrap();
+
+        let healed = run_campaign(&dir, &cfg).unwrap();
+        assert_eq!(healed.computed_blocks, 1, "only the torn block recomputes");
+        assert_eq!(
+            serde_json::to_string(&healed.aggregate.unwrap()).unwrap(),
+            oracle
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

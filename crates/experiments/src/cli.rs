@@ -1,13 +1,14 @@
-//! Shared command-line flag parsing for the `repro`, `trace` and `sweep`
-//! binaries.
+//! Shared command-line flag parsing for the `repro`, `trace`, `sweep` and
+//! `campaign` binaries.
 //!
-//! All three binaries accept the same Monte-Carlo knobs (`--rounds`,
+//! All four binaries accept the same Monte-Carlo knobs (`--rounds`,
 //! `--seed`, `--jobs`); [`CommonArgs`] parses them once so the argument
-//! loops cannot drift apart. The `sweep` binary's grid axes
-//! (`--grid`/`--family`/`--size-kb`/`--points`) follow the same pattern
-//! through [`GridArgs`] rather than a third hand-rolled parser. Each
-//! binary keeps its own loop for its private flags and calls the shared
-//! `accept` methods first.
+//! loops cannot drift apart. The grid axes of the `sweep` and `campaign`
+//! binaries (`--grid`/`--family`/`--size-kb`/`--points`) follow the same
+//! pattern through [`GridArgs`] rather than hand-rolled parsers. Each
+//! binary keeps its own loop for its private flags (`campaign`'s store
+//! knobs, `sweep`'s `--collect-ld`) and calls the shared `accept` methods
+//! first.
 
 use crate::grid::{Family, Grid, GridKind};
 

@@ -16,6 +16,10 @@
 //! * [`sweep`] — the grid-parallel sweep engine: whole grids on one
 //!   shared worker pool with snapshot/forked templates, per-point
 //!   outcomes bit-identical to standalone [`monte_carlo::run_mc`];
+//! * [`campaign`] — resumable sweep campaigns: content-addressed seed
+//!   blocks in an append-only JSONL store, work-stealing compute over the
+//!   missing blocks and streamed aggregation, byte-identical to
+//!   [`sweep::run_sweep`];
 //! * [`report`] — text + JSON artifact writing;
 //! * [`export`] — JSONL export of traces, detections and metrics;
 //! * [`perfetto`] — Chrome trace-event / Perfetto JSON export of a
@@ -40,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cli;
 pub mod export;
 pub mod extract;
@@ -52,6 +57,7 @@ pub mod svg;
 pub mod sweep;
 pub mod timeline;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome};
 pub use cli::CommonArgs;
 pub use export::{export_jsonl, SCHEMA_VERSION};
 pub use extract::{observe, AttackObservation, WindowKind};

@@ -26,6 +26,7 @@ use tocttou_os::forensics::ForensicsSnapshot;
 use tocttou_os::kernel::{Checkpoint, KernelPool};
 use tocttou_os::metrics::MetricsSnapshot;
 use tocttou_os::vfs::Vfs;
+use tocttou_sim::rng::seed_block;
 use tocttou_sim::trace::Trace;
 use tocttou_workloads::scenario::{Scenario, VictimSpec};
 
@@ -86,7 +87,7 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// [`chain_detection_fingerprints`] (the FNV-1a offset basis).
 pub const DETECTION_FINGERPRINT_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
-fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(FNV_PRIME);
@@ -330,15 +331,15 @@ const LD_TRIM_FRAC: f64 = 0.05;
 /// What one round contributes to the batch statistics. Workers produce
 /// these; the calling thread folds them in round order.
 pub(crate) struct RoundObs {
-    success: bool,
-    window_us: Option<f64>,
-    sample: Option<LdSample>,
+    pub(crate) success: bool,
+    pub(crate) window_us: Option<f64>,
+    pub(crate) sample: Option<LdSample>,
     /// Whether the kernel's passive detector emitted at least one event.
-    flagged: bool,
+    pub(crate) flagged: bool,
     /// `t_use − t_mutation` of the first detection event (µs).
-    detect_latency_us: Option<f64>,
+    pub(crate) detect_latency_us: Option<f64>,
     /// [`detection_fingerprint_of`] the round's detection stream.
-    detect_fingerprint: u64,
+    pub(crate) detect_fingerprint: u64,
 }
 
 /// The per-point accumulator shared by [`run_mc`] and the sweep engine
@@ -506,8 +507,7 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
 
     if jobs <= 1 {
         let mut pool = KernelPool::new().retain_metrics();
-        for i in 0..cfg.rounds {
-            let seed = cfg.base_seed.wrapping_add(i);
+        for seed in seed_block(cfg.base_seed, 0, cfg.rounds) {
             let (obs, returned) = run_one_round(scenario, boot, pool, seed, kind, cfg.collect_ld);
             pool = returned;
             acc.fold(obs);
@@ -530,8 +530,7 @@ pub fn run_mc(scenario: &Scenario, cfg: &McConfig) -> McOutcome {
                         scope.spawn(move || {
                             let mut pool = KernelPool::new().retain_metrics();
                             let mut out = Vec::with_capacity((end - start) as usize);
-                            for i in start..end {
-                                let seed = cfg.base_seed.wrapping_add(i);
+                            for seed in seed_block(cfg.base_seed, start, end) {
                                 let (obs, returned) =
                                     run_one_round(scenario, boot, pool, seed, kind, cfg.collect_ld);
                                 pool = returned;

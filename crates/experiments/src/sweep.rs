@@ -38,6 +38,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use tocttou_os::forensics::ForensicsSnapshot;
 use tocttou_os::kernel::{Checkpoint, KernelPool};
 use tocttou_os::metrics::MetricsSnapshot;
+use tocttou_sim::rng::seed_block;
 use tocttou_workloads::scenario::Scenario;
 
 use crate::extract::WindowKind;
@@ -177,15 +178,9 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
         let mut pool = KernelPool::new().retain_metrics();
         for (p, scenario) in scenarios.iter().enumerate() {
             let point_seed = cfg.base_seed.wrapping_add(points[p].seed_salt);
-            for i in 0..cfg.rounds {
-                let (obs, returned) = run_one_round(
-                    scenario,
-                    boots[p],
-                    pool,
-                    point_seed.wrapping_add(i),
-                    kinds[p],
-                    cfg.collect_ld,
-                );
+            for seed in seed_block(point_seed, 0, cfg.rounds) {
+                let (obs, returned) =
+                    run_one_round(scenario, boots[p], pool, seed, kinds[p], cfg.collect_ld);
                 pool = returned;
                 accs[p].fold(obs);
             }
@@ -234,12 +229,12 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
                             let p = item.point;
                             let point_seed = cfg.base_seed.wrapping_add(points[p].seed_salt);
                             let mut obs = Vec::with_capacity((item.end - item.start) as usize);
-                            for i in item.start..item.end {
+                            for seed in seed_block(point_seed, item.start, item.end) {
                                 let (o, returned) = run_one_round(
                                     &scenarios[p],
                                     boots[p],
                                     pool,
-                                    point_seed.wrapping_add(i),
+                                    seed,
                                     kinds[p],
                                     cfg.collect_ld,
                                 );

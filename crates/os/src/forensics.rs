@@ -44,7 +44,7 @@
 //! [`MachineSpec::with_spans`]: crate::machine::MachineSpec::with_spans
 
 use crate::ids::Pid;
-use serde::{Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::sync::Arc;
 use tocttou_sim::metrics::LatencyHistogram;
 use tocttou_sim::span::SpanId;
@@ -653,6 +653,31 @@ impl Serialize for ForensicsSnapshot {
     }
 }
 
+impl Deserialize for ForensicsSnapshot {
+    /// Rebuilds a snapshot from its serialized form; a null `min_miss_ns`
+    /// restores the `u64::MAX` "no misses" merge identity, so
+    /// `deserialize(serialize(s)) == s` exactly and reloaded snapshots
+    /// [`merge`](ForensicsSnapshot::merge) like fresh ones.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| DeError::msg(format!("forensics missing field `{name}`")))
+        };
+        Ok(ForensicsSnapshot {
+            checks: u64::deserialize_value(field("checks")?)?,
+            uses: u64::deserialize_value(field("uses")?)?,
+            strikes_hit: u64::deserialize_value(field("strikes_hit")?)?,
+            strikes_unpaired: u64::deserialize_value(field("strikes_unpaired")?)?,
+            window_width: LatencyHistogram::deserialize_value(field("window_width")?)?,
+            miss_early: LatencyHistogram::deserialize_value(field("miss_early")?)?,
+            miss_late: LatencyHistogram::deserialize_value(field("miss_late")?)?,
+            min_miss_ns: Option::<u64>::deserialize_value(field("min_miss_ns")?)?
+                .unwrap_or(u64::MAX),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -916,6 +941,25 @@ mod tests {
             fields.iter().find(|(k, _)| k == "min_miss_ns").unwrap().1,
             Value::Null
         ));
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip_is_exact() {
+        let mut f = armed();
+        let p = arc("/doc");
+        f.on_check(Pid(0), &p, SpanId::NONE, t(10));
+        f.on_mutation(Pid(1), &p, t(15));
+        f.on_use(Pid(0), &p, t(20));
+        f.on_mutation(Pid(1), &p, t(26));
+        f.on_mutation(Pid(2), &arc("/other"), t(30));
+        let snap = f.snapshot();
+        let back = ForensicsSnapshot::deserialize_value(&snap.serialize_value()).unwrap();
+        assert_eq!(back, snap);
+        // The empty snapshot round-trips through its null min_miss_ns form.
+        let empty =
+            ForensicsSnapshot::deserialize_value(&ForensicsSnapshot::default().serialize_value())
+                .unwrap();
+        assert_eq!(empty, ForensicsSnapshot::default());
     }
 
     #[test]

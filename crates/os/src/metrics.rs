@@ -27,12 +27,12 @@
 
 use crate::ids::SemId;
 use crate::process::SyscallName;
-use serde::{Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Value};
 use tocttou_sim::metrics::LatencyHistogram;
 use tocttou_sim::time::{SimDuration, SimTime};
 
 /// Monotonic scheduler/kernel event counters for one kernel run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedCounters {
     /// Dispatches of a process onto a CPU.
     pub context_switches: u64,
@@ -123,6 +123,28 @@ impl MetricId {
         } else {
             let (sem, hold) = self.as_sem().expect("key space is exhaustive");
             format!("sem/{}/{}", sem.0, if hold { "hold" } else { "wait" })
+        }
+    }
+
+    /// Parses a [`label`](Self::label) back into its key — the inverse the
+    /// campaign store relies on when reloading persisted snapshots.
+    pub fn parse_label(label: &str) -> Option<MetricId> {
+        if let Some(name) = label.strip_prefix("syscall/") {
+            return SyscallName::ALL
+                .iter()
+                .find(|s| s.to_string() == name)
+                .map(|&s| MetricId::syscall(s));
+        }
+        if label == "run_queue" {
+            return Some(MetricId::RUN_QUEUE);
+        }
+        let rest = label.strip_prefix("sem/")?;
+        let (num, side) = rest.split_once('/')?;
+        let sem = SemId(num.parse().ok()?);
+        match side {
+            "wait" => Some(MetricId::sem_wait(sem)),
+            "hold" => Some(MetricId::sem_hold(sem)),
+            _ => None,
         }
     }
 }
@@ -465,6 +487,39 @@ impl Serialize for MetricsSnapshot {
     }
 }
 
+impl Deserialize for MetricsSnapshot {
+    /// Rebuilds a snapshot from its serialized form. Histogram keys are
+    /// recovered from their labels via [`MetricId::parse_label`] and the
+    /// list is re-sorted, so `deserialize(serialize(s)) == s` exactly and
+    /// [`merge`](MetricsSnapshot::merge) works on reloaded snapshots.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let counters = SchedCounters::deserialize_value(
+            value
+                .get("counters")
+                .ok_or_else(|| DeError::msg("snapshot missing field `counters`"))?,
+        )?;
+        let entries = match value.get("hists") {
+            Some(Value::Array(items)) => items,
+            Some(_) => return Err(DeError::msg("snapshot `hists` must be an array")),
+            None => return Err(DeError::msg("snapshot missing field `hists`")),
+        };
+        let mut hists = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let label = match entry.get("key") {
+                Some(Value::Str(s)) => s,
+                _ => return Err(DeError::msg("histogram entry missing string `key`")),
+            };
+            let id = MetricId::parse_label(label)
+                .ok_or_else(|| DeError::msg(format!("unknown metric label {label:?}")))?;
+            // The histogram fields sit flattened beside "key" in the same
+            // object, so the entry itself deserializes as a histogram.
+            hists.push((id, LatencyHistogram::deserialize_value(entry)?));
+        }
+        hists.sort_by_key(|&(id, _)| id);
+        Ok(MetricsSnapshot { counters, hists })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,6 +603,46 @@ mod tests {
             2
         );
         assert_eq!(ab.hist(MetricId::sem_wait(SemId(0))).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn labels_parse_back_to_their_keys() {
+        for name in SyscallName::ALL {
+            let id = MetricId::syscall(name);
+            assert_eq!(MetricId::parse_label(&id.label()), Some(id));
+        }
+        assert_eq!(
+            MetricId::parse_label("run_queue"),
+            Some(MetricId::RUN_QUEUE)
+        );
+        for sem in [SemId(0), SemId(7)] {
+            for id in [MetricId::sem_wait(sem), MetricId::sem_hold(sem)] {
+                assert_eq!(MetricId::parse_label(&id.label()), Some(id));
+            }
+        }
+        assert_eq!(MetricId::parse_label("syscall/bogus"), None);
+        assert_eq!(MetricId::parse_label("sem/x/wait"), None);
+        assert_eq!(MetricId::parse_label("sem/1/held"), None);
+        assert_eq!(MetricId::parse_label(""), None);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip_is_exact() {
+        let mut m = KernelMetrics::new(true);
+        m.on_syscall_exit(SyscallName::Stat, us(4));
+        m.on_dispatch(true, us(1));
+        m.on_sem_wait(SemId(2), us(12));
+        m.on_sem_acquired(SemId(2), SimTime::ZERO);
+        m.on_sem_released(SemId(2), SimTime::from_micros(9));
+        m.on_preempt();
+        m.on_trap();
+        let snap = m.snapshot();
+        let back = MetricsSnapshot::deserialize_value(&snap.serialize_value()).unwrap();
+        assert_eq!(back, snap);
+        let empty =
+            MetricsSnapshot::deserialize_value(&MetricsSnapshot::default().serialize_value())
+                .unwrap();
+        assert_eq!(empty, MetricsSnapshot::default());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! ```
 
 use crate::time::SimDuration;
-use serde::{Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Number of buckets: bucket 0 holds exact zeros, buckets `1..=30` hold
 /// samples in `[2^(i-1), 2^i)` nanoseconds, and bucket 31 is open-ended.
@@ -201,6 +201,43 @@ impl Serialize for LatencyHistogram {
     }
 }
 
+impl Deserialize for LatencyHistogram {
+    /// Rebuilds a histogram from its serialized form (trimmed buckets,
+    /// `min_ns`/`max_ns` as nullable options). The round trip is exact:
+    /// `deserialize(serialize(h)) == h` for every histogram, which is what
+    /// lets the campaign store persist per-block snapshots and re-merge
+    /// them bit-identically.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| DeError::msg(format!("histogram missing field `{name}`")))
+        };
+        let mut h = LatencyHistogram::new();
+        h.count = u64::deserialize_value(field("count")?)?;
+        h.sum_ns = u64::deserialize_value(field("sum_ns")?)?;
+        // The empty identities (`min = u64::MAX`, `max = 0`) serialize as
+        // null; `LatencyHistogram::new()` already holds them.
+        if let Some(min) = Option::<u64>::deserialize_value(field("min_ns")?)? {
+            h.min_ns = min;
+        }
+        if let Some(max) = Option::<u64>::deserialize_value(field("max_ns")?)? {
+            h.max_ns = max;
+        }
+        let buckets = match field("buckets")? {
+            Value::Array(items) => items,
+            _ => return Err(DeError::msg("histogram `buckets` must be an array")),
+        };
+        if buckets.len() > BUCKETS {
+            return Err(DeError::msg("histogram has more than BUCKETS buckets"));
+        }
+        for (slot, b) in h.buckets.iter_mut().zip(buckets) {
+            *slot = u64::deserialize_value(b)?;
+        }
+        Ok(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +319,20 @@ mod tests {
         rl.merge(&left);
         assert_eq!(lr, whole);
         assert_eq!(rl, whole, "merge must be commutative");
+    }
+
+    #[test]
+    fn serde_round_trip_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 3, 9, 1 << 20, u64::MAX, 42, 42] {
+            h.record(ns(v));
+        }
+        let back = LatencyHistogram::deserialize_value(&h.serialize_value()).unwrap();
+        assert_eq!(back, h);
+        // The empty histogram round-trips through its null min/max form.
+        let empty = LatencyHistogram::deserialize_value(&LatencyHistogram::new().serialize_value())
+            .unwrap();
+        assert_eq!(empty, LatencyHistogram::new());
     }
 
     #[test]

@@ -118,6 +118,20 @@ impl SimRng {
     }
 }
 
+/// The per-round seeds of one contiguous block `[start, end)` of rounds
+/// under a base seed: round *i* draws seed `base + i` (wrapping).
+///
+/// This is the scheduling contract behind both the one-shot Monte-Carlo
+/// engine and the campaign store's seed blocks: the seed of a round depends
+/// only on the base seed and the round index, never on which worker runs it
+/// or how rounds are partitioned into blocks. Concatenating
+/// `seed_block(base, 0, k)` and `seed_block(base, k, n)` therefore yields
+/// exactly `seed_block(base, 0, n)`, which is what lets a resumed campaign
+/// splice cached blocks back into a bit-identical aggregate.
+pub fn seed_block(base: u64, start: u64, end: u64) -> impl Iterator<Item = u64> {
+    (start..end).map(move |i| base.wrapping_add(i))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +239,20 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn next_below_zero_panics() {
         SimRng::seed_from_u64(1).next_below(0);
+    }
+
+    #[test]
+    fn seed_blocks_concatenate_to_the_full_range() {
+        let base = 0xDEAD_BEEF_u64;
+        let whole: Vec<u64> = seed_block(base, 0, 10).collect();
+        let mut spliced: Vec<u64> = seed_block(base, 0, 3).collect();
+        spliced.extend(seed_block(base, 3, 7));
+        spliced.extend(seed_block(base, 7, 10));
+        assert_eq!(spliced, whole);
+        assert_eq!(whole[4], base.wrapping_add(4));
+        assert_eq!(seed_block(base, 5, 5).count(), 0, "empty block is empty");
+        // Wrapping near u64::MAX, like a seed salt pushing past the top.
+        let wrapped: Vec<u64> = seed_block(u64::MAX, 0, 2).collect();
+        assert_eq!(wrapped, vec![u64::MAX, 0]);
     }
 }

@@ -1,0 +1,103 @@
+//! Property tests for the campaign engine's content addressing. Caching is
+//! only sound because cache keys are pure functions of exactly the inputs
+//! that determine a block's results — stable across runs and `--jobs`
+//! values, and changed by *any* fingerprint input (scenario content
+//! including the cost model, engine schema version via the seed chain,
+//! point seed, block bounds). These tests pin that contract on arbitrary
+//! grid points.
+
+use proptest::prelude::*;
+use tocttou::experiments::campaign::{block_key, scenario_fingerprint};
+use tocttou::experiments::grid::{Family, GridPoint};
+
+/// An arbitrary grid point across every family and override axis.
+/// (Nested tuples: the vendored proptest implements `Strategy` for
+/// tuples up to arity 4 only.)
+fn grid_point() -> impl Strategy<Value = GridPoint> {
+    (
+        (
+            0..Family::ALL.len(),
+            1u64..512 * 1024,
+            prop_oneof![Just(None), (1u32..=8).prop_map(|q| Some(q as f64 / 4.0))],
+        ),
+        (
+            prop_oneof![Just(None), (1usize..=8).prop_map(Some)],
+            prop_oneof![Just(None), Just(Some(false)), Just(Some(true))],
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |((f, file_size, d_scale), (cpus, pipelined, seed_salt))| GridPoint {
+                family: Family::ALL[f],
+                file_size,
+                d_scale,
+                cpus,
+                pipelined,
+                seed_salt,
+            },
+        )
+}
+
+proptest! {
+    /// The fingerprint is a pure function of the scenario: rebuilding the
+    /// same point any number of times yields the same value. (`--jobs`,
+    /// boot mode and scheduling never enter the computation at all.)
+    #[test]
+    fn fingerprint_is_stable_across_rebuilds(p in grid_point()) {
+        let fp = scenario_fingerprint(&p.scenario());
+        prop_assert_eq!(fp, scenario_fingerprint(&p.scenario()));
+        prop_assert_eq!(fp, scenario_fingerprint(&p.scenario().clone()));
+    }
+
+    /// Any change to the scenario's content — here, each cost-model field
+    /// the machine spec carries, which is how "the code changed under the
+    /// cache" most often manifests — produces a different fingerprint.
+    #[test]
+    fn cost_model_changes_the_fingerprint(p in grid_point(), bump in 1u32..1000) {
+        let base = p.scenario();
+        let fp = scenario_fingerprint(&base);
+        let mut tweaked = base.clone();
+        tweaked.machine.costs.syscall_entry_us += bump as f64 / 100.0;
+        prop_assert!(fp != scenario_fingerprint(&tweaked), "costs are fingerprinted");
+        let mut renamed = base;
+        renamed.name.push('!');
+        prop_assert!(fp != scenario_fingerprint(&renamed), "identity is fingerprinted");
+    }
+
+    /// Distinct grid-point parameters yield distinct fingerprints: the
+    /// swept axes all reach the built scenario.
+    #[test]
+    fn swept_axes_reach_the_fingerprint(p in grid_point()) {
+        let fp = scenario_fingerprint(&p.scenario());
+        let bigger = GridPoint { file_size: p.file_size + 1, ..p };
+        prop_assert!(fp != scenario_fingerprint(&bigger.scenario()), "file size");
+        let slower = GridPoint { d_scale: Some(16.0), ..p };
+        prop_assert!(fp != scenario_fingerprint(&slower.scenario()), "d scale");
+        let wider = GridPoint { cpus: Some(16), ..p };
+        prop_assert!(fp != scenario_fingerprint(&wider.scenario()), "cpu count");
+    }
+
+    /// Block keys are pure in (fingerprint, point seed, bounds) and
+    /// injective in each argument under FNV chaining for practical inputs:
+    /// same inputs → same key, any differing input → different key.
+    #[test]
+    fn block_keys_are_stable_and_input_sensitive(
+        fp in any::<u64>(),
+        seed in any::<u64>(),
+        start in 0u64..1_000_000,
+        len in 1u64..10_000,
+        other in any::<u64>(),
+    ) {
+        let end = start + len;
+        let key = block_key(fp, seed, start, end);
+        prop_assert_eq!(key, block_key(fp, seed, start, end));
+        if other != fp {
+            prop_assert!(key != block_key(other, seed, start, end), "fp hashed");
+        }
+        if other != seed {
+            prop_assert!(key != block_key(fp, other, start, end), "seed hashed");
+        }
+        prop_assert!(key != block_key(fp, seed, start, end + 1), "end hashed");
+        prop_assert!(key != block_key(fp, seed, start + 1, end + 1), "start hashed");
+    }
+}
