@@ -24,6 +24,7 @@
 use std::time::Instant;
 use tocttou_bench::alloc_count::{self, CountingAlloc};
 use tocttou_experiments::campaign::{run_campaign, CampaignConfig};
+use tocttou_experiments::estimate::{run_estimate, EstimateConfig};
 use tocttou_experiments::grid::{Family, GridKind};
 use tocttou_experiments::monte_carlo::{effective_jobs, run_mc, McConfig};
 use tocttou_experiments::sweep::{run_sweep, SweepConfig};
@@ -290,6 +291,36 @@ struct CampaignRow {
 }
 
 #[derive(serde::Serialize)]
+struct EstimatorRow {
+    /// The benched rare-event scenario (true rate ≈ 1.3e-3, concentrated
+    /// in the top ~0.8 % of the laxity window).
+    scenario: String,
+    /// The stopping target: 95 % half-width as a fraction of the rate.
+    target_rel_half_width: f64,
+    /// The adaptive estimate and its interval at stopping time.
+    rate: f64,
+    ci95_lo: f64,
+    ci95_hi: f64,
+    /// The stopping rule fired before the round budget. Asserted.
+    converged: bool,
+    /// Rounds the adaptive run simulated, split parents included.
+    simulated_rounds: u64,
+    /// Rounds a fixed-round Wilson interval needs for the same relative
+    /// half-width at the estimated rate.
+    fixed_rounds_equiv: u64,
+    /// `fixed_rounds_equiv / simulated_rounds`. Asserted >= 10 on every
+    /// host: sample efficiency is a property of the sampling schedule,
+    /// not the core count, so this is deliberately NOT gated on
+    /// `host_cpus`.
+    sample_efficiency: f64,
+    /// The adaptive estimate landed inside a 4 000-round brute-force
+    /// `run_mc` interval at an independent seed. Asserted.
+    inside_oracle_interval: bool,
+    /// Wall seconds for the adaptive run (single-threaded, in-memory).
+    estimate_secs: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     scenario: String,
     rounds: u64,
@@ -308,6 +339,7 @@ struct Report {
     checkpoint: CheckpointRow,
     sweep_throughput: SweepThroughputRow,
     campaign: CampaignRow,
+    estimator: EstimatorRow,
     vfs_resolve: VfsResolveRow,
     preopt_baseline_rounds_per_sec: f64,
     speedup_vs_preopt_baseline: f64,
@@ -1092,6 +1124,61 @@ fn main() {
         peak_growth_ratio: peak_growth,
     };
 
+    // The adaptive rare-event estimator against fixed-round MC: same
+    // target precision, an order of magnitude fewer rounds. The ratio is
+    // a property of the sampling schedule — waves, stratification,
+    // splitting — so unlike the thread-ladder speedups it holds on any
+    // host, single-core included, and is asserted unconditionally.
+    let est_scenario = Scenario::vi_uniprocessor(2048);
+    let est_cfg = EstimateConfig::default();
+    let est_t = Instant::now();
+    let est = run_estimate(&est_scenario, &est_cfg).unwrap().outcome;
+    let estimate_secs = est_t.elapsed().as_secs_f64();
+    assert!(est.converged, "estimator must reach its target: {est}");
+    let fixed_rounds_equiv = est.fixed_rounds_equiv.unwrap();
+    let sample_efficiency = fixed_rounds_equiv as f64 / est.simulated_rounds as f64;
+    assert!(
+        sample_efficiency >= 10.0,
+        "adaptive estimation must need >=10x fewer rounds than fixed-round \
+         MC at the same precision, got x{sample_efficiency:.1} \
+         ({} vs {fixed_rounds_equiv} rounds)",
+        est.simulated_rounds
+    );
+    let est_oracle = run_mc(
+        &est_scenario,
+        &McConfig {
+            rounds: 4_000,
+            base_seed: 0x0AC1E,
+            jobs: 0,
+            ..McConfig::default()
+        },
+    );
+    let inside_oracle_interval =
+        est.rate > est_oracle.rate_ci95.0 && est.rate < est_oracle.rate_ci95.1;
+    assert!(
+        inside_oracle_interval,
+        "adaptive estimate {:.4e} escaped the brute-force oracle interval {:?}",
+        est.rate, est_oracle.rate_ci95
+    );
+    println!(
+        "mc/estimator {:.3e} in {} rounds vs {fixed_rounds_equiv} fixed \
+         (x{sample_efficiency:.1}) in {estimate_secs:.3}s",
+        est.rate, est.simulated_rounds
+    );
+    let estimator = EstimatorRow {
+        scenario: est.scenario.clone(),
+        target_rel_half_width: est.target_rel_half_width,
+        rate: est.rate,
+        ci95_lo: est.ci95.0,
+        ci95_hi: est.ci95.1,
+        converged: est.converged,
+        simulated_rounds: est.simulated_rounds,
+        fixed_rounds_equiv,
+        sample_efficiency,
+        inside_oracle_interval,
+        estimate_secs,
+    };
+
     let report = Report {
         scenario: format!("vi_smp({FILE_SIZE})"),
         rounds: ROUNDS,
@@ -1125,6 +1212,7 @@ fn main() {
         checkpoint,
         sweep_throughput,
         campaign,
+        estimator,
         vfs_resolve,
         preopt_baseline_rounds_per_sec: PREOPT_BASELINE_ROUNDS_PER_SEC,
         speedup_vs_preopt_baseline: pooled_rps / PREOPT_BASELINE_ROUNDS_PER_SEC,

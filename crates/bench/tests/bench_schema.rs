@@ -73,6 +73,12 @@ fn baseline_has_every_report_row() {
         "campaign.block",
         "campaign.cold_store_secs",
         "campaign.warm_cache_secs",
+        "estimator.target_rel_half_width",
+        "estimator.rate",
+        "estimator.simulated_rounds",
+        "estimator.fixed_rounds_equiv",
+        "estimator.sample_efficiency",
+        "estimator.estimate_secs",
         "vfs_resolve.v2_warm_stat_ns",
         "vfs_resolve.warm_vs_v1_speedup",
         "preopt_baseline_rounds_per_sec",
@@ -117,9 +123,41 @@ fn recorded_identity_bits_are_all_true() {
         "checkpoint.outcome_bytes_identical_to_cold",
         "sweep_throughput.outcomes_bytes_identical_to_run_mc",
         "campaign.aggregate_bytes_identical_to_sweep",
+        "estimator.converged",
+        "estimator.inside_oracle_interval",
     ] {
         assert!(flag(&doc, path), "baseline records `{path}` as false");
     }
+}
+
+/// The estimator row's recorded figures must meet the target the bench
+/// asserts on every host: the adaptive schedule reaching the target
+/// half-width with >= 10x fewer simulated rounds than a fixed-round
+/// Wilson interval needs. Sample efficiency is a property of the
+/// schedule, not the machine, so this is deliberately NOT gated on
+/// `host_cpus`.
+#[test]
+fn estimator_row_meets_its_recorded_targets() {
+    let doc = baseline();
+    let efficiency = number(&doc, "estimator.sample_efficiency");
+    assert!(
+        efficiency >= 10.0,
+        "recorded sample efficiency x{efficiency:.1} is below the 10x target"
+    );
+    let simulated = number(&doc, "estimator.simulated_rounds");
+    let fixed = number(&doc, "estimator.fixed_rounds_equiv");
+    assert!(simulated >= 1.0 && fixed >= 1.0);
+    assert!(
+        (efficiency - fixed / simulated).abs() < 1e-9,
+        "recorded efficiency {efficiency} does not match {fixed}/{simulated}"
+    );
+    let target = number(&doc, "estimator.target_rel_half_width");
+    assert!(target > 0.0 && target < 1.0);
+    let rate = number(&doc, "estimator.rate");
+    assert!(
+        number(&doc, "estimator.ci95_lo") <= rate && rate <= number(&doc, "estimator.ci95_hi"),
+        "recorded rate escapes its own interval"
+    );
 }
 
 /// The campaign row's recorded figures must meet the targets the bench

@@ -223,6 +223,18 @@ impl SuccessCounter {
         SuccessCounter::default()
     }
 
+    /// A counter rebuilt from recorded tallies (rare-event estimators keep
+    /// raw `(successes, trials)` pairs per stratum and ask for intervals on
+    /// demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    pub fn from_counts(successes: u64, trials: u64) -> Self {
+        assert!(successes <= trials, "more successes than trials");
+        SuccessCounter { successes, trials }
+    }
+
     /// Records the outcome of one round.
     pub fn record(&mut self, success: bool) {
         self.trials += 1;
@@ -272,6 +284,173 @@ impl SuccessCounter {
         self.successes += other.successes;
         self.trials += other.trials;
     }
+
+    /// The Clopper–Pearson *exact* 95 % confidence interval for the rate.
+    ///
+    /// Returns `(0, 1)` when no trials have run. See
+    /// [`clopper_pearson_ci`] for the construction.
+    pub fn clopper_pearson_ci95(&self) -> (f64, f64) {
+        clopper_pearson_ci(self.successes, self.trials, 0.05)
+    }
+}
+
+/// The Clopper–Pearson exact binomial confidence interval at confidence
+/// `1 − alpha`.
+///
+/// The bounds invert the exact binomial tail probabilities through the
+/// regularized incomplete beta function: the lower bound is the `p` at
+/// which observing `successes` or more has probability exactly `alpha/2`
+/// (zero when `successes == 0`), the upper bound the `p` at which
+/// observing `successes` or fewer has probability `alpha/2` (one when
+/// every trial succeeded). Unlike the Wilson score interval this never
+/// relies on a normal approximation, which is what the rare-event
+/// estimator needs: its strata routinely hold zero successes over small
+/// `n`, exactly where the approximation is worst. Guaranteed coverage of
+/// at least `1 − alpha` (it is conservative), asserted against exact
+/// binomial sums by `tests/stats_proptests.rs`.
+///
+/// Returns `(0, 1)` when `trials == 0`. `alpha` is clamped to a sane open
+/// interval, so 0/NaN inputs degrade to the widest interval rather than
+/// panicking.
+pub fn clopper_pearson_ci(successes: u64, trials: u64, alpha: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let alpha = if alpha.is_finite() {
+        alpha.clamp(1e-12, 1.0 - 1e-12)
+    } else {
+        1e-12
+    };
+    let s = successes.min(trials) as f64;
+    let n = trials as f64;
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        // P(X >= s | p) = I_p(s, n - s + 1) = alpha/2.
+        inv_reg_inc_beta(s, n - s + 1.0, alpha / 2.0)
+    };
+    let hi = if successes >= trials {
+        1.0
+    } else {
+        // P(X <= s | p) = 1 - I_p(s + 1, n - s) = alpha/2.
+        inv_reg_inc_beta(s + 1.0, n - s, 1.0 - alpha / 2.0)
+    };
+    (lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0))
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    // Nine-term Lanczos coefficients for g = 7; |relative error| < 1e-13
+    // over the positive reals, far below what interval inversion needs.
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection; the beta arguments used here are always >= 0.5, but
+        // keep the branch so the helper is total.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = 0.999_999_999_999_809_9_f64;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        a += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// The continued fraction for the regularized incomplete beta function
+/// (modified Lentz's method).
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    const EPS: f64 = 1e-14;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..200 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// The regularized incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `x` in `[0, 1]` — the binomial tail probability
+/// `P(X >= a | n = a + b - 1, p = x)` in the parameterization
+/// [`clopper_pearson_ci`] inverts.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let front =
+        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    // Use the continued fraction on whichever side converges fast.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cont_frac(a, b, x) / a
+    } else {
+        1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b
+    }
+}
+
+/// Inverts `I_x(a, b) = p` for `x` by bisection. Monotonicity of the CDF
+/// makes 80 halvings land within one ULP-ish of the root — slower than
+/// Newton but unconditionally convergent, which matters more for a
+/// stopping rule than nanoseconds.
+fn inv_reg_inc_beta(a: f64, b: f64, p: f64) -> f64 {
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if reg_inc_beta(a, b, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
 }
 
 impl std::fmt::Display for SuccessCounter {
@@ -473,6 +652,101 @@ mod tests {
     #[test]
     fn wilson_ci_empty() {
         assert_eq!(SuccessCounter::new().wilson_ci95(), (0.0, 1.0));
+    }
+
+    /// Exact binomial survival function `P(X >= s | n, p)` by direct
+    /// summation — the independent oracle for the Clopper–Pearson bounds.
+    fn binom_sf(s: u64, n: u64, p: f64) -> f64 {
+        let mut total = 0.0;
+        for k in s..=n {
+            let mut ln_term = 0.0;
+            for i in 0..k {
+                ln_term += ((n - i) as f64).ln() - ((k - i) as f64).ln();
+            }
+            ln_term += k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+            total += ln_term.exp();
+        }
+        total.min(1.0)
+    }
+
+    #[test]
+    fn clopper_pearson_empty_and_degenerate() {
+        assert_eq!(clopper_pearson_ci(0, 0, 0.05), (0.0, 1.0));
+        // 0/NaN alpha degrades to (essentially) the widest interval
+        // instead of panicking or hanging.
+        let (lo, hi) = clopper_pearson_ci(3, 10, f64::NAN);
+        assert!(lo >= 0.0 && hi <= 1.0 && lo < hi);
+        let (lo, hi) = clopper_pearson_ci(3, 10, 0.0);
+        assert!(lo < 0.3 && hi > 0.3);
+    }
+
+    #[test]
+    fn clopper_pearson_boundaries() {
+        // 0 successes: lower bound is exactly 0, upper bound is the exact
+        // "rule of three"-style bound 1 - (alpha/2)^(1/n).
+        let (lo, hi) = clopper_pearson_ci(0, 20, 0.05);
+        assert_eq!(lo, 0.0);
+        let exact = 1.0 - (0.025_f64).powf(1.0 / 20.0);
+        assert!((hi - exact).abs() < 1e-9, "hi {hi} vs exact {exact}");
+
+        // All successes: mirror image.
+        let (lo, hi) = clopper_pearson_ci(20, 20, 0.05);
+        assert_eq!(hi, 1.0);
+        let exact = (0.025_f64).powf(1.0 / 20.0);
+        assert!((lo - exact).abs() < 1e-9, "lo {lo} vs exact {exact}");
+
+        // n = 1: the two single-trial intervals are mirror images and
+        // anchored at the degenerate endpoints.
+        let (lo0, hi0) = clopper_pearson_ci(0, 1, 0.05);
+        let (lo1, hi1) = clopper_pearson_ci(1, 1, 0.05);
+        assert_eq!(lo0, 0.0);
+        assert_eq!(hi1, 1.0);
+        assert!((hi0 - 0.975).abs() < 1e-9, "hi0 {hi0}");
+        assert!((lo1 - 0.025).abs() < 1e-9, "lo1 {lo1}");
+        assert!((hi0 - (1.0 - lo1)).abs() < 1e-12, "mirror symmetry");
+    }
+
+    #[test]
+    fn clopper_pearson_bounds_invert_the_exact_tails() {
+        // The defining equations: at the lower bound P(X >= s) = alpha/2,
+        // at the upper bound P(X <= s) = alpha/2 — checked against direct
+        // binomial summation.
+        for &(s, n) in &[(1u64, 10u64), (3, 17), (7, 40), (59, 60)] {
+            let (lo, hi) = clopper_pearson_ci(s, n, 0.05);
+            assert!((binom_sf(s, n, lo) - 0.025).abs() < 1e-9, "lower {s}/{n}");
+            assert!(
+                ((1.0 - binom_sf(s + 1, n, hi)) - 0.025).abs() < 1e-9,
+                "upper {s}/{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_contains_wilson_center_and_is_wider() {
+        // CP is conservative: it always contains the point estimate and is
+        // at least as wide as Wilson at moderate n.
+        let mut c = SuccessCounter::new();
+        for i in 0..200 {
+            c.record(i % 9 == 0);
+        }
+        let (wl, wh) = c.wilson_ci95();
+        let (cl, ch) = c.clopper_pearson_ci95();
+        assert!(cl < c.rate() && c.rate() < ch);
+        assert!(ch - cl >= wh - wl - 1e-12, "CP narrower than Wilson");
+    }
+
+    #[test]
+    fn reg_inc_beta_endpoints_and_symmetry() {
+        assert_eq!(reg_inc_beta(3.0, 5.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(3.0, 5.0, 1.0), 1.0);
+        // I_x(a, b) = 1 - I_{1-x}(b, a).
+        for &(a, b, x) in &[(2.0, 7.0, 0.3), (10.0, 0.5, 0.9), (1.0, 1.0, 0.42)] {
+            let direct = reg_inc_beta(a, b, x);
+            let mirror = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+            assert!((direct - mirror).abs() < 1e-12, "({a},{b},{x})");
+        }
+        // I_x(1, 1) is the uniform CDF.
+        assert!((reg_inc_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
     }
 
     #[test]

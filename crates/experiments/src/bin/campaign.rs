@@ -20,10 +20,11 @@
 //! partial store for a later run to resume; `--status` prints the store's
 //! manifest and exits. Cache keys cover the scenario content (including
 //! the cost model) and the engine schema version, so editing either simply
-//! invalidates the affected blocks on the next run — delete the store
-//! directory to reclaim the dead records' space.
+//! invalidates the affected blocks on the next run — `--compact` rewrites
+//! `blocks.jsonl` keeping only the records the given grid still addresses,
+//! reclaiming the space of superseded and orphaned blocks in place.
 
-use tocttou_experiments::campaign::{read_manifest, run_campaign, CampaignConfig};
+use tocttou_experiments::campaign::{compact_store, read_manifest, run_campaign, CampaignConfig};
 use tocttou_experiments::cli::{CommonArgs, GridArgs};
 use tocttou_experiments::report::Report;
 
@@ -36,6 +37,7 @@ struct Args {
     block: u64,
     max_blocks: Option<u64>,
     status: bool,
+    compact: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
     let mut block = 100u64;
     let mut max_blocks = None;
     let mut status = false;
+    let mut compact = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         if common.accept(&arg, &mut it)? || grid.accept(&arg, &mut it)? {
@@ -68,11 +71,13 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--status" => status = true,
+            "--compact" => compact = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: campaign --store DIR --grid <d|size|cpus|pipelined|swap|taxonomy> \
                      [--family F] [--size-kb N] [--points N] [--rounds N] [--seed S] [--jobs J] \
-                     [--block N] [--max-blocks N] [--out DIR] [--cold] | campaign --store DIR --status"
+                     [--block N] [--max-blocks N] [--out DIR] [--cold] [--compact] \
+                     | campaign --store DIR --status"
                         .into(),
                 );
             }
@@ -87,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         block,
         max_blocks,
         status,
+        compact,
     })
 }
 
@@ -112,6 +118,10 @@ fn main() {
         return;
     }
 
+    if args.block == 0 {
+        eprintln!("invalid --block 0: block size must be at least 1");
+        std::process::exit(2);
+    }
     let grid = match args.grid.build_grid() {
         Ok(g) => g,
         Err(e) => {
@@ -132,6 +142,17 @@ fn main() {
     };
     args.common
         .apply(&mut cfg.rounds, &mut cfg.base_seed, &mut cfg.jobs);
+
+    if args.compact {
+        match compact_store(store, &cfg) {
+            Ok(stats) => println!("{stats}"),
+            Err(e) => {
+                eprintln!("compaction failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     let outcome = match run_campaign(store, &cfg) {
         Ok(o) => o,

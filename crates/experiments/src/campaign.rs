@@ -71,7 +71,11 @@ use tocttou_workloads::scenario::Scenario;
 /// change: every existing key stops matching and the whole store is
 /// recomputed, which is the only safe reading of "the code changed under
 /// the cache".
-pub const ENGINE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: [`ObsRecord`] gained the per-round forensics milestones
+/// (`window_closed`, `min_miss_ns`, `strike_hit`) that drive the
+/// rare-event estimator's stratum splitting.
+pub const ENGINE_SCHEMA_VERSION: u32 = 2;
 
 /// The content fingerprint of one built scenario.
 ///
@@ -140,28 +144,35 @@ impl Default for CampaignConfig {
 
 /// What one round persists to the store: the fields of
 /// [`RoundObs`](crate::monte_carlo::RoundObs) minus the L/D trace sample
-/// (campaigns never collect L/D).
+/// (campaigns never collect L/D), plus the forensics milestones the
+/// rare-event estimator splits strata on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct ObsRecord {
-    success: bool,
-    flagged: bool,
-    window_us: Option<f64>,
-    detect_latency_us: Option<f64>,
-    detect_fingerprint: u64,
+pub(crate) struct ObsRecord {
+    pub(crate) success: bool,
+    pub(crate) flagged: bool,
+    pub(crate) window_us: Option<f64>,
+    pub(crate) detect_latency_us: Option<f64>,
+    pub(crate) detect_fingerprint: u64,
+    pub(crate) window_closed: bool,
+    pub(crate) min_miss_ns: Option<u64>,
+    pub(crate) strike_hit: bool,
 }
 
 impl ObsRecord {
-    fn from_obs(obs: &RoundObs) -> Self {
+    pub(crate) fn from_obs(obs: &RoundObs) -> Self {
         ObsRecord {
             success: obs.success,
             flagged: obs.flagged,
             window_us: obs.window_us,
             detect_latency_us: obs.detect_latency_us,
             detect_fingerprint: obs.detect_fingerprint,
+            window_closed: obs.window_closed,
+            min_miss_ns: obs.min_miss_ns,
+            strike_hit: obs.strike_hit,
         }
     }
 
-    fn into_obs(self) -> RoundObs {
+    pub(crate) fn into_obs(self) -> RoundObs {
         RoundObs {
             success: self.success,
             window_us: self.window_us,
@@ -169,6 +180,9 @@ impl ObsRecord {
             flagged: self.flagged,
             detect_latency_us: self.detect_latency_us,
             detect_fingerprint: self.detect_fingerprint,
+            window_closed: self.window_closed,
+            min_miss_ns: self.min_miss_ns,
+            strike_hit: self.strike_hit,
         }
     }
 }
@@ -179,14 +193,14 @@ impl ObsRecord {
 /// lookups go purely by `key`, so a record written under an older grid
 /// layout is still found (or correctly ignored) by its content address.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct BlockRecord {
-    key: u64,
-    point: usize,
-    start: u64,
-    end: u64,
-    obs: Vec<ObsRecord>,
-    metrics: MetricsSnapshot,
-    forensics: ForensicsSnapshot,
+pub(crate) struct BlockRecord {
+    pub(crate) key: u64,
+    pub(crate) point: usize,
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) obs: Vec<ObsRecord>,
+    pub(crate) metrics: MetricsSnapshot,
+    pub(crate) forensics: ForensicsSnapshot,
 }
 
 /// The human-readable store summary, rewritten after every run.
@@ -252,19 +266,20 @@ impl std::fmt::Display for CampaignOutcome {
     }
 }
 
-/// One missing block scheduled for computation.
+/// One seed block in a run's expected schedule (and, before it is
+/// computed, the unit of missing work).
 #[derive(Debug, Clone, Copy)]
-struct Missing {
-    point: usize,
-    start: u64,
-    end: u64,
-    key: u64,
+pub(crate) struct Missing {
+    pub(crate) point: usize,
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) key: u64,
 }
 
 /// Location of one stored block line: `(byte offset, byte length)`.
-type LineSpan = (u64, u64);
+pub(crate) type LineSpan = (u64, u64);
 
-fn blocks_path(store: &Path) -> PathBuf {
+pub(crate) fn blocks_path(store: &Path) -> PathBuf {
     store.join("blocks.jsonl")
 }
 
@@ -303,7 +318,7 @@ fn line_key(line: &str) -> Option<u64> {
 /// truncating a torn final line (a kill mid-append) so the file is safe to
 /// append to again. Lines that don't parse are skipped; only the trailing
 /// torn region is removed.
-fn scan_store(path: &Path) -> std::io::Result<HashMap<u64, LineSpan>> {
+pub(crate) fn scan_store(path: &Path) -> std::io::Result<HashMap<u64, LineSpan>> {
     let file = match std::fs::File::open(path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
@@ -367,28 +382,11 @@ pub fn run_campaign(store: &Path, cfg: &CampaignConfig) -> std::io::Result<Campa
     let block = cfg.block.max(1);
     let points = &cfg.grid.points;
     let scenarios: Vec<Scenario> = points.iter().map(|p| p.scenario()).collect();
-    let fingerprints: Vec<u64> = scenarios.iter().map(scenario_fingerprint).collect();
     let point_seeds: Vec<u64> = points
         .iter()
         .map(|p| cfg.base_seed.wrapping_add(p.seed_salt))
         .collect();
-
-    // Expected blocks in deterministic point-major, ascending-round order —
-    // the aggregation order, and the order missing work is claimed in.
-    let mut expected: Vec<Missing> = Vec::new();
-    for p in 0..points.len() {
-        let mut start = 0;
-        while start < cfg.rounds {
-            let end = (start + block).min(cfg.rounds);
-            expected.push(Missing {
-                point: p,
-                start,
-                end,
-                key: block_key(fingerprints[p], point_seeds[p], start, end),
-            });
-            start = end;
-        }
-    }
+    let expected = expected_blocks(&scenarios, &point_seeds, cfg.rounds, block);
     let total_blocks = expected.len() as u64;
 
     let path = blocks_path(store);
@@ -409,7 +407,14 @@ pub fn run_campaign(store: &Path, cfg: &CampaignConfig) -> std::io::Result<Campa
 
     let computed_blocks = missing.len() as u64;
     if !missing.is_empty() {
-        compute_blocks(&path, cfg, &scenarios, &point_seeds, &missing)?;
+        compute_blocks(
+            &path,
+            cfg.jobs,
+            cfg.cold,
+            &scenarios,
+            &point_seeds,
+            &missing,
+        )?;
         // Re-scan rather than threading offsets out of the workers: one
         // code path, and the appended records get the same torn-line
         // validation as pre-existing ones.
@@ -450,11 +455,41 @@ pub fn run_campaign(store: &Path, cfg: &CampaignConfig) -> std::io::Result<Campa
     })
 }
 
+/// The deterministic block schedule of `rounds` rounds per scenario in
+/// point-major, ascending-round order — the aggregation order, and the
+/// order missing work is claimed in. Shared by campaigns and the
+/// rare-event estimator's store-backed waves.
+pub(crate) fn expected_blocks(
+    scenarios: &[Scenario],
+    point_seeds: &[u64],
+    rounds: u64,
+    block: u64,
+) -> Vec<Missing> {
+    let block = block.max(1);
+    let mut expected: Vec<Missing> = Vec::new();
+    for (p, scenario) in scenarios.iter().enumerate() {
+        let fp = scenario_fingerprint(scenario);
+        let mut start = 0;
+        while start < rounds {
+            let end = (start + block).min(rounds);
+            expected.push(Missing {
+                point: p,
+                start,
+                end,
+                key: block_key(fp, point_seeds[p], start, end),
+            });
+            start = end;
+        }
+    }
+    expected
+}
+
 /// Computes the missing blocks across worker threads and appends each to
 /// the store as it finishes.
-fn compute_blocks(
+pub(crate) fn compute_blocks(
     path: &Path,
-    cfg: &CampaignConfig,
+    jobs: usize,
+    cold: bool,
     scenarios: &[Scenario],
     point_seeds: &[u64],
     missing: &[Missing],
@@ -473,7 +508,7 @@ fn compute_blocks(
                 .collect()
         }
     };
-    let checkpoints: Vec<Checkpoint> = if cfg.cold {
+    let checkpoints: Vec<Checkpoint> = if cold {
         Vec::new()
     } else {
         scenarios
@@ -482,7 +517,7 @@ fn compute_blocks(
             .map(|(s, t)| s.round_checkpoint(t))
             .collect()
     };
-    let boots: Vec<RoundBoot<'_>> = if cfg.cold {
+    let boots: Vec<RoundBoot<'_>> = if cold {
         templates.iter().map(RoundBoot::Cold).collect()
     } else {
         checkpoints.iter().map(RoundBoot::Warm).collect()
@@ -496,7 +531,7 @@ fn compute_blocks(
     );
     let failure: Mutex<Option<std::io::Error>> = Mutex::new(None);
     let total_rounds: u64 = missing.iter().map(|m| m.end - m.start).sum();
-    let workers = effective_jobs(cfg.jobs, total_rounds).min(missing.len());
+    let workers = effective_jobs(jobs, total_rounds).min(missing.len());
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -573,24 +608,10 @@ fn aggregate_store(
     let mut accs: Vec<PointAcc> = scenarios.iter().map(|_| PointAcc::new()).collect();
     let mut line = Vec::new();
     for item in expected {
-        let &(offset, len) = index
+        let &span = index
             .get(&item.key)
             .expect("aggregation runs only on a complete store");
-        file.seek(SeekFrom::Start(offset))?;
-        line.resize(len as usize, 0);
-        file.read_exact(&mut line)?;
-        let text = std::str::from_utf8(&line)
-            .map_err(|e| std::io::Error::other(format!("stored block is not UTF-8: {e}")))?;
-        let record: BlockRecord = serde_json::from_str(text.trim_end())
-            .map_err(|e| std::io::Error::other(format!("corrupt stored block: {e}")))?;
-        if record.obs.len() as u64 != item.end - item.start {
-            return Err(std::io::Error::other(format!(
-                "stored block {:#x} holds {} rounds, expected {}",
-                item.key,
-                record.obs.len(),
-                item.end - item.start
-            )));
-        }
+        let record = read_block(&mut file, span, &mut line, item)?;
         // Same fold discipline as the sweep engine's reassembly: metrics
         // and forensics merge order-free, observations fold in round order.
         let acc = &mut accs[item.point];
@@ -613,6 +634,140 @@ fn aggregate_store(
                 outcome: acc.finish(scenario),
             })
             .collect(),
+    })
+}
+
+/// Re-reads one stored block by its line span and validates it against the
+/// expected schedule entry (round count must match the block bounds).
+pub(crate) fn read_block(
+    file: &mut std::fs::File,
+    (offset, len): LineSpan,
+    buf: &mut Vec<u8>,
+    item: &Missing,
+) -> std::io::Result<BlockRecord> {
+    file.seek(SeekFrom::Start(offset))?;
+    buf.resize(len as usize, 0);
+    file.read_exact(buf)?;
+    let text = std::str::from_utf8(buf)
+        .map_err(|e| std::io::Error::other(format!("stored block is not UTF-8: {e}")))?;
+    let record: BlockRecord = serde_json::from_str(text.trim_end())
+        .map_err(|e| std::io::Error::other(format!("corrupt stored block: {e}")))?;
+    if record.obs.len() as u64 != item.end - item.start {
+        return Err(std::io::Error::other(format!(
+            "stored block {:#x} holds {} rounds, expected {}",
+            item.key,
+            record.obs.len(),
+            item.end - item.start
+        )));
+    }
+    Ok(record)
+}
+
+/// What [`compact_store`] removed and kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Block lines surviving compaction (one per live expected key).
+    pub kept: u64,
+    /// Lines dropped: superseded duplicates, records orphaned by config or
+    /// code changes, and unparseable foreign lines.
+    pub dropped: u64,
+    /// `blocks.jsonl` size before, in bytes (after torn-tail healing).
+    pub bytes_before: u64,
+    /// `blocks.jsonl` size after, in bytes.
+    pub bytes_after: u64,
+}
+
+impl std::fmt::Display for CompactStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "compacted: kept {} blocks, dropped {} lines, {} → {} bytes",
+            self.kept, self.dropped, self.bytes_before, self.bytes_after
+        )
+    }
+}
+
+/// Rewrites `blocks.jsonl` keeping only the records the config's grid
+/// still addresses — the *last* occurrence of each expected key — and
+/// dropping everything else: superseded duplicates, blocks orphaned by a
+/// grid/seed/schema change, torn tails and foreign lines. Surviving lines
+/// are copied byte-for-byte (never re-serialized) in deterministic
+/// point-major order, so a subsequent aggregate is identical to the
+/// pre-compaction one and a second compaction is a no-op.
+///
+/// The rewrite goes through a temp file in the store directory followed by
+/// an atomic rename: a kill mid-compaction leaves the original intact.
+///
+/// # Errors
+///
+/// Propagates store I/O failures. A missing store compacts to itself
+/// (zero kept, zero dropped).
+pub fn compact_store(store: &Path, cfg: &CampaignConfig) -> std::io::Result<CompactStats> {
+    let path = blocks_path(store);
+    let index = scan_store(&path)?; // heals any torn tail first
+    let bytes_before = match std::fs::metadata(&path) {
+        Ok(m) => m.len(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        Err(e) => return Err(e),
+    };
+    let total_lines = if bytes_before == 0 {
+        0u64
+    } else {
+        let mut reader = BufReader::new(std::fs::File::open(&path)?);
+        let mut n = 0u64;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            n += 1;
+        }
+        n
+    };
+    if bytes_before == 0 {
+        return Ok(CompactStats {
+            kept: 0,
+            dropped: 0,
+            bytes_before: 0,
+            bytes_after: 0,
+        });
+    }
+
+    let scenarios: Vec<Scenario> = cfg.grid.points.iter().map(|p| p.scenario()).collect();
+    let point_seeds: Vec<u64> = cfg
+        .grid
+        .points
+        .iter()
+        .map(|p| cfg.base_seed.wrapping_add(p.seed_salt))
+        .collect();
+    let expected = expected_blocks(&scenarios, &point_seeds, cfg.rounds, cfg.block);
+
+    let tmp = store.join("blocks.jsonl.tmp");
+    let mut kept = 0u64;
+    {
+        let mut file = std::fs::File::open(&path)?;
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        let mut buf = Vec::new();
+        for item in &expected {
+            let Some(&(offset, len)) = index.get(&item.key) else {
+                continue;
+            };
+            file.seek(SeekFrom::Start(offset))?;
+            buf.resize(len as usize, 0);
+            file.read_exact(&mut buf)?;
+            out.write_all(&buf)?;
+            kept += 1;
+        }
+        out.flush()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    let bytes_after = std::fs::metadata(&path)?.len();
+    Ok(CompactStats {
+        kept,
+        dropped: total_lines - kept,
+        bytes_before,
+        bytes_after,
     })
 }
 
@@ -692,6 +847,68 @@ mod tests {
             serde_json::to_string(&first).unwrap()
         );
         assert_eq!(read_manifest(&dir).unwrap().unwrap().done_blocks, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_dead_lines_and_preserves_the_aggregate() {
+        let dir = std::env::temp_dir().join(format!("campaign-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = small_cfg();
+        let done = run_campaign(&dir, &cfg).unwrap();
+        assert_eq!(done.remaining_blocks, 0);
+        let oracle = serde_json::to_string(&done.aggregate.unwrap()).unwrap();
+        let path = blocks_path(&dir);
+
+        // Pollute the store: a superseding re-append of the first block
+        // (its earlier copy becomes a dead duplicate), an orphan from a
+        // different base seed, and a foreign hand-written line.
+        let first_line = {
+            let text = std::fs::read_to_string(&path).unwrap();
+            text.lines().next().unwrap().to_string() + "\n"
+        };
+        let orphan_cfg = CampaignConfig {
+            base_seed: 0xBEEF,
+            ..cfg.clone()
+        };
+        run_campaign(&dir, &orphan_cfg).unwrap();
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(first_line.as_bytes()).unwrap();
+            f.write_all(b"{\"not\":\"a block\"}\n").unwrap();
+        }
+        let bloated = std::fs::metadata(&path).unwrap().len();
+
+        let stats = compact_store(&dir, &cfg).unwrap();
+        assert_eq!(stats.kept, 6, "one line per live block");
+        // 6 orphaned (other seed) + 1 duplicate + 1 foreign line dropped.
+        assert_eq!(stats.dropped, 8);
+        assert_eq!(stats.bytes_before, bloated);
+        assert!(stats.bytes_after < stats.bytes_before);
+
+        // The aggregate is byte-identical and served fully from cache.
+        let replay = run_campaign(&dir, &cfg).unwrap();
+        assert_eq!(replay.computed_blocks, 0);
+        assert_eq!(
+            serde_json::to_string(&replay.aggregate.unwrap()).unwrap(),
+            oracle
+        );
+
+        // Idempotent: a second compaction moves nothing.
+        let again = compact_store(&dir, &cfg).unwrap();
+        assert_eq!(again.kept, 6);
+        assert_eq!(again.dropped, 0);
+        assert_eq!(again.bytes_before, again.bytes_after);
+
+        // An absent store compacts to the empty stats.
+        let empty_dir = dir.join("nothing-here");
+        std::fs::create_dir_all(&empty_dir).unwrap();
+        let none = compact_store(&empty_dir, &cfg).unwrap();
+        assert_eq!(none.kept, 0);
+        assert_eq!(none.dropped, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -159,11 +159,15 @@ impl GridArgs {
     ///
     /// # Errors
     ///
-    /// Returns a usage message when `--grid` was never given.
+    /// Returns a usage message when `--grid` was never given or
+    /// `--points 0` was requested.
     pub fn build_grid(&self) -> Result<Grid, String> {
         let kind = self
             .grid
             .ok_or("missing --grid <d|size|cpus|pipelined|swap|taxonomy>".to_string())?;
+        if self.points == Some(0) {
+            return Err("invalid --points 0: a grid needs at least one point".into());
+        }
         let family = self.family.unwrap_or(Family::GeditSmp);
         let file_size = self
             .size_kb
@@ -281,6 +285,13 @@ mod tests {
         assert!(err.contains("--grid") && err.contains("bogus"), "{err}");
         let err = parse_grid(&["--family", "emacs"]).unwrap_err();
         assert!(err.contains("gedit-smp"), "lists valid names: {err}");
+    }
+
+    #[test]
+    fn grid_args_reject_zero_points() {
+        let (g, _) = parse_grid(&["--grid", "d", "--points", "0"]).unwrap();
+        let err = g.build_grid().unwrap_err();
+        assert!(err.contains("--points 0"), "{err}");
     }
 
     #[test]

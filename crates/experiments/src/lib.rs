@@ -20,6 +20,10 @@
 //!   blocks in an append-only JSONL store, work-stealing compute over the
 //!   missing blocks and streamed aggregation, byte-identical to
 //!   [`sweep::run_sweep`];
+//! * [`estimate`] — adaptive rare-event estimation: sequential stopping
+//!   on a target relative half-width, exact stratification of the laxity
+//!   window, and milestone-guided importance splitting, with [`run_mc`]
+//!   kept as the brute-force oracle;
 //! * [`report`] — text + JSON artifact writing;
 //! * [`export`] — JSONL export of traces, detections and metrics;
 //! * [`perfetto`] — Chrome trace-event / Perfetto JSON export of a
@@ -46,6 +50,7 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod estimate;
 pub mod export;
 pub mod extract;
 pub mod figures;
@@ -57,8 +62,12 @@ pub mod svg;
 pub mod sweep;
 pub mod timeline;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+pub use campaign::{compact_store, run_campaign, CampaignConfig, CampaignOutcome, CompactStats};
 pub use cli::CommonArgs;
+pub use estimate::{
+    fixed_rounds_for_target, run_estimate, EstimateConfig, EstimateOutcome, EstimateRun,
+    StratumReport,
+};
 pub use export::{export_jsonl, SCHEMA_VERSION};
 pub use extract::{observe, AttackObservation, WindowKind};
 pub use grid::{Family, Grid, GridKind, GridPoint};

@@ -340,6 +340,15 @@ pub(crate) struct RoundObs {
     pub(crate) detect_latency_us: Option<f64>,
     /// [`detection_fingerprint_of`] the round's detection stream.
     pub(crate) detect_fingerprint: u64,
+    /// A check-use window closed this round (splitting milestone level 1;
+    /// always `false` when the machine profile strips forensics).
+    pub(crate) window_closed: bool,
+    /// The round's closest failed strike in nanoseconds (milestone level 2
+    /// is this falling under the estimator's near-miss threshold).
+    pub(crate) min_miss_ns: Option<u64>,
+    /// A strike landed inside a consumed window (milestone level 3: the
+    /// stale binding committed, whether or not the payload succeeded).
+    pub(crate) strike_hit: bool,
 }
 
 /// The per-point accumulator shared by [`run_mc`] and the sweep engine
@@ -459,6 +468,7 @@ pub(crate) fn run_one_round(
         RoundBoot::Cold(template) => scenario.build_pooled(seed, collect_ld, template, pool),
     };
     let result = scenario.finish_round(&mut handles);
+    let milestones = handles.kernel.forensics().round_milestones();
     let detections = handles.kernel.detections();
     let mut obs = RoundObs {
         success: result.success,
@@ -470,6 +480,9 @@ pub(crate) fn run_one_round(
             .next()
             .map(|r| r.event.latency().as_micros_f64()),
         detect_fingerprint: detection_fingerprint_of(detections),
+        window_closed: milestones.window_closed,
+        min_miss_ns: milestones.min_miss_ns,
+        strike_hit: milestones.strike_hit,
     };
     if collect_ld {
         if let Some(o) = observe(

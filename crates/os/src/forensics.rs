@@ -180,6 +180,31 @@ fn same_path(a: &Arc<str>, b: &Arc<str>) -> bool {
     Arc::ptr_eq(a, b) || a == b
 }
 
+/// The importance-splitting level milestones one round reached, read off
+/// the forensics classifier at the round boundary.
+///
+/// A rare-event estimator promotes strata whose rounds climb this ladder —
+/// *some* window closed, a strike came within a near-miss threshold, a
+/// strike landed — even when no round in the stratum succeeded outright.
+/// Unlike [`ForensicsSnapshot`] this is strictly per-round state: pooled
+/// (`retain`) accumulation never leaks into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundMilestones {
+    /// A check-use window closed (the attack surface actually opened).
+    pub window_closed: bool,
+    /// The closest failed strike this round, in nanoseconds.
+    pub min_miss_ns: Option<u64>,
+    /// A strike landed inside a consumed window (stale binding committed).
+    pub strike_hit: bool,
+}
+
+impl RoundMilestones {
+    /// True when the round's closest miss was within `k` nanoseconds.
+    pub fn near_miss_within(&self, k: u64) -> bool {
+        self.min_miss_ns.is_some_and(|d| d <= k)
+    }
+}
+
 /// The live, kernel-resident window-forensics accumulator.
 ///
 /// Hooks mirror [`DetectorState`](crate::detect::DetectorState) — same
@@ -204,6 +229,10 @@ pub struct WindowForensics {
     acc: ForensicsSnapshot,
     window_log: Vec<WindowRecord>,
     strike_log: Vec<StrikeRecord>,
+    /// Per-round milestone state (never survives `reset`, even retaining).
+    round_window_closed: bool,
+    round_strike_hit: bool,
+    round_min_miss_ns: u64,
 }
 
 impl Default for WindowForensics {
@@ -224,6 +253,9 @@ impl WindowForensics {
             acc: ForensicsSnapshot::default(),
             window_log: Vec::new(),
             strike_log: Vec::new(),
+            round_window_closed: false,
+            round_strike_hit: false,
+            round_min_miss_ns: u64::MAX,
         }
     }
 
@@ -270,6 +302,9 @@ impl WindowForensics {
         }
         self.window_log.clear();
         self.strike_log.clear();
+        self.round_window_closed = false;
+        self.round_strike_hit = false;
+        self.round_min_miss_ns = u64::MAX;
         self.enabled = enabled;
         self.log_enabled = log;
     }
@@ -292,6 +327,9 @@ impl WindowForensics {
         self.pending.clone_from(&source.pending);
         self.window_log.clone_from(&source.window_log);
         self.strike_log.clone_from(&source.strike_log);
+        self.round_window_closed = source.round_window_closed;
+        self.round_strike_hit = source.round_strike_hit;
+        self.round_min_miss_ns = source.round_min_miss_ns;
     }
 
     /// Clears accumulated data even when retaining (sweep work items wipe
@@ -302,6 +340,9 @@ impl WindowForensics {
         self.pending.clear();
         self.window_log.clear();
         self.strike_log.clear();
+        self.round_window_closed = false;
+        self.round_strike_hit = false;
+        self.round_min_miss_ns = u64::MAX;
     }
 
     /// Makes [`reset`](Self::reset) accumulate across pooled rounds.
@@ -326,6 +367,7 @@ impl WindowForensics {
                 let strike = self.pending.remove(i);
                 let d = now.saturating_since(strike.t);
                 self.acc.note_early(d);
+                self.round_min_miss_ns = self.round_min_miss_ns.min(d.as_nanos());
                 self.log_strike(strike.by, &strike.path, strike.t, StrikeOutcome::Early(d));
             } else {
                 i += 1;
@@ -339,6 +381,7 @@ impl WindowForensics {
             for (by, t) in std::mem::take(&mut self.windows[idx].strikes) {
                 let d = now.saturating_since(t);
                 self.acc.note_early(d);
+                self.round_min_miss_ns = self.round_min_miss_ns.min(d.as_nanos());
                 self.log_strike(by, path, t, StrikeOutcome::Early(d));
             }
             let w = &mut self.windows[idx];
@@ -401,10 +444,12 @@ impl WindowForensics {
             .iter_mut()
             .find(|w| w.owner == pid && same_path(&w.path, path))?;
         self.acc.uses += 1;
+        self.round_window_closed = true;
         let first_use = !w.used;
         w.used = true;
         w.t_use = now;
         let (t_check, check_span) = (w.t_check, w.check_span);
+        self.round_strike_hit |= !w.strikes.is_empty();
         self.acc.strikes_hit += w.strikes.len() as u64;
         let hits = std::mem::take(&mut w.strikes);
         for (by, t) in hits {
@@ -445,6 +490,9 @@ impl WindowForensics {
             let w = self.windows.remove(i);
             for (by, t) in &w.strikes {
                 let outcome = classify_leftover(&w, *t, &mut self.acc);
+                if let StrikeOutcome::Late(d) = outcome {
+                    self.round_min_miss_ns = self.round_min_miss_ns.min(d.as_nanos());
+                }
                 self.log_strike(*by, &w.path, *t, outcome);
             }
         }
@@ -461,6 +509,7 @@ impl WindowForensics {
         if !self.enabled {
             return;
         }
+        self.round_min_miss_ns = self.round_min_miss_ns.min(self.leftover_min_miss_ns());
         let log = self.log_enabled;
         let (windows, pending, acc) = (&mut self.windows, &mut self.pending, &mut self.acc);
         let mut logged = flush_leftovers_mut(windows, pending, acc, log.then_some(()));
@@ -484,6 +533,33 @@ impl WindowForensics {
         let mut snap = ForensicsSnapshot::default();
         self.accumulate_into(&mut snap);
         snap
+    }
+
+    /// The closest late miss among live leftovers (strikes still waiting in
+    /// consumed windows) without mutating the tables — the non-destructive
+    /// twin of the round-boundary flush, mirroring
+    /// [`accumulate_into`](Self::accumulate_into).
+    fn leftover_min_miss_ns(&self) -> u64 {
+        let mut min = u64::MAX;
+        for w in self.windows.iter().filter(|w| w.used) {
+            for &(_, t) in &w.strikes {
+                min = min.min(t.saturating_since(w.t_use).as_nanos());
+            }
+        }
+        min
+    }
+
+    /// The level milestones the current round has reached so far, folding
+    /// live leftovers (late misses in consumed windows) on the fly — pure,
+    /// like [`snapshot`](Self::snapshot), so the Monte-Carlo engine can read
+    /// it at the round boundary without a mutating flush.
+    pub fn round_milestones(&self) -> RoundMilestones {
+        let min = self.round_min_miss_ns.min(self.leftover_min_miss_ns());
+        RoundMilestones {
+            window_closed: self.round_window_closed,
+            min_miss_ns: (min != u64::MAX).then_some(min),
+            strike_hit: self.round_strike_hit,
+        }
     }
 
     /// Folds the aggregate plus live leftovers straight into `out`.
@@ -960,6 +1036,95 @@ mod tests {
             ForensicsSnapshot::deserialize_value(&ForensicsSnapshot::default().serialize_value())
                 .unwrap();
         assert_eq!(empty, ForensicsSnapshot::default());
+    }
+
+    #[test]
+    fn round_milestones_track_the_level_ladder() {
+        let mut f = armed();
+        let p = arc("/doc");
+        let none = f.round_milestones();
+        assert!(!none.window_closed && !none.strike_hit);
+        assert_eq!(none.min_miss_ns, None);
+        assert!(!none.near_miss_within(u64::MAX));
+
+        // Level 1: a window closes (no strike at all).
+        f.on_check(Pid(0), &p, SpanId::NONE, t(10));
+        assert!(!f.round_milestones().window_closed, "open ≠ closed");
+        f.on_use(Pid(0), &p, t(20));
+        let m = f.round_milestones();
+        assert!(m.window_closed && !m.strike_hit);
+        assert_eq!(m.min_miss_ns, None);
+
+        // Level 2: a near miss — live leftover folded without mutating.
+        f.on_mutation(Pid(1), &p, t(26));
+        let m = f.round_milestones();
+        assert_eq!(m.min_miss_ns, Some(6_000));
+        assert!(m.near_miss_within(6_000) && !m.near_miss_within(5_999));
+        assert!(!m.strike_hit);
+        assert_eq!(f.round_milestones(), m, "accessor is pure");
+
+        // The mutating flush agrees with the on-the-fly fold.
+        f.flush();
+        assert_eq!(f.round_milestones(), m);
+
+        // Level 3: a strike lands.
+        f.on_check(Pid(0), &p, SpanId::NONE, t(40));
+        f.on_mutation(Pid(1), &p, t(45));
+        f.on_use(Pid(0), &p, t(50));
+        assert!(f.round_milestones().strike_hit);
+
+        // The round boundary clears milestones, retaining or not.
+        f.set_retain(true);
+        f.reset(true, true);
+        let fresh = f.round_milestones();
+        assert!(!fresh.window_closed && !fresh.strike_hit);
+        assert_eq!(fresh.min_miss_ns, None);
+    }
+
+    #[test]
+    fn round_milestones_cover_every_miss_classifier() {
+        // Early miss via a pending strike pairing with a later check.
+        let mut f = armed();
+        let p = arc("/doc");
+        f.on_mutation(Pid(1), &p, t(5));
+        f.on_check(Pid(0), &p, SpanId::NONE, t(12));
+        assert_eq!(f.round_milestones().min_miss_ns, Some(7_000));
+
+        // Early miss via a re-check voiding an in-window strike.
+        f.on_mutation(Pid(1), &p, t(14));
+        f.on_check(Pid(0), &p, SpanId::NONE, t(16));
+        assert_eq!(f.round_milestones().min_miss_ns, Some(2_000));
+
+        // Late miss surfaced by process exit.
+        f.on_use(Pid(0), &p, t(20));
+        f.on_mutation(Pid(1), &p, t(21));
+        f.forget_process(Pid(0));
+        assert_eq!(f.round_milestones().min_miss_ns, Some(1_000));
+
+        // Unpaired strikes are not misses and set nothing.
+        let mut g = armed();
+        g.on_check(Pid(1), &arc("/tmp/x"), SpanId::NONE, t(5));
+        g.on_mutation(Pid(0), &arc("/tmp/x"), t(9));
+        let m = g.round_milestones();
+        assert_eq!(m.min_miss_ns, None);
+        assert!(!m.window_closed && !m.strike_hit);
+    }
+
+    #[test]
+    fn round_milestones_survive_checkpoint_restore() {
+        let mut source = armed();
+        let p = arc("/doc");
+        source.on_check(Pid(0), &p, SpanId::NONE, t(10));
+        source.on_use(Pid(0), &p, t(20));
+        source.on_mutation(Pid(1), &p, t(23));
+        let expect = source.round_milestones();
+        let mut target = armed();
+        target.on_check(Pid(9), &arc("/other"), SpanId::NONE, t(1));
+        target.on_use(Pid(9), &arc("/other"), t(2));
+        target.restore_from(&source);
+        assert_eq!(target.round_milestones(), expect);
+        target.clear_data();
+        assert_eq!(target.round_milestones().min_miss_ns, None);
     }
 
     #[test]

@@ -90,7 +90,8 @@ pub use detect::{DetectionEvent, DetectorState};
 pub use error::OsError;
 pub use event::OsEvent;
 pub use forensics::{
-    ForensicsSnapshot, StrikeOutcome, StrikeRecord, WindowClose, WindowForensics, WindowRecord,
+    ForensicsSnapshot, RoundMilestones, StrikeOutcome, StrikeRecord, WindowClose, WindowForensics,
+    WindowRecord,
 };
 pub use ids::{CpuId, Fd, Gid, Ino, Pid, SemId, Uid};
 pub use kernel::{Checkpoint, Kernel, KernelPool, RunOutcome};

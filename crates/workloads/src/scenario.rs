@@ -524,6 +524,58 @@ impl Scenario {
         }
     }
 
+    // ---- laxity stratification -------------------------------------------
+
+    /// The victim's *laxity window*: the inclusive integer-nanosecond bounds
+    /// of its uniform editing-prologue phase, when it has one.
+    ///
+    /// The uniprocessor scenarios draw the save's slice phase from
+    /// `Uniform(0, timeslice)` — exactly the laxity term of the paper's
+    /// Formula (1). A rare-event estimator stratifies over this axis; any
+    /// other prologue shape (constant, Gaussian, compiled victims) returns
+    /// `None` and the estimator falls back to a single stratum.
+    pub fn laxity_window_ns(&self) -> Option<(u64, u64)> {
+        let prologue = match &self.victim {
+            VictimSpec::Vi(c) => &c.prologue,
+            VictimSpec::Gedit(c) => &c.prologue,
+            VictimSpec::Compiled(_) => return None,
+        };
+        match prologue {
+            DurationDist::Uniform(lo, hi) => Some((lo.as_nanos(), hi.as_nanos())),
+            _ => None,
+        }
+    }
+
+    /// Conditions the scenario on its prologue phase landing in
+    /// `[lo_n, hi_n]` nanoseconds (inclusive): a clone whose prologue is the
+    /// restricted uniform, tagged with a `#lax[lo,hi]` name suffix so
+    /// content-addressed stores key each stratum separately.
+    ///
+    /// Because the prologue samples a *discrete* uniform over inclusive
+    /// nanosecond bounds, replacing the bounds with a sub-range is the exact
+    /// conditional law — no acceptance-rejection, no approximation — so
+    /// stratum estimates recombine unbiasedly under width weights
+    /// `(hi_n − lo_n + 1) / (hi − lo + 1)`.
+    ///
+    /// Returns `None` when the scenario has no laxity window or the
+    /// requested range is not a sub-range of it.
+    pub fn restrict_laxity(&self, lo_n: u64, hi_n: u64) -> Option<Scenario> {
+        let (lo, hi) = self.laxity_window_ns()?;
+        if lo_n < lo || hi_n > hi || lo_n > hi_n {
+            return None;
+        }
+        let dist =
+            DurationDist::Uniform(SimDuration::from_nanos(lo_n), SimDuration::from_nanos(hi_n));
+        let mut restricted = self.clone();
+        match &mut restricted.victim {
+            VictimSpec::Vi(c) => c.prologue = dist,
+            VictimSpec::Gedit(c) => c.prologue = dist,
+            VictimSpec::Compiled(_) => return None,
+        }
+        restricted.name = format!("{}#lax[{lo_n},{hi_n}]", self.name);
+        Some(restricted)
+    }
+
     // ---- named paper scenarios -------------------------------------------
 
     /// Section 4.1 / Figure 6: vi on the uniprocessor. The editing prologue
@@ -802,6 +854,63 @@ mod tests {
             .count();
         // ~1.7 % expected; 30 rounds should see at most a couple.
         assert!(successes <= 3, "uniprocessor vi ~2%: got {successes}/30");
+    }
+
+    #[test]
+    fn laxity_window_and_restriction() {
+        let s = Scenario::vi_uniprocessor(2048);
+        let (lo, hi) = s.laxity_window_ns().expect("uniform prologue");
+        assert_eq!((lo, hi), (0, 100_000_000), "one 100 ms timeslice");
+        assert!(Scenario::gedit_uniprocessor(2048)
+            .laxity_window_ns()
+            .is_some());
+
+        // An SMP scenario keeps vi's default 200 µs prologue — still uniform.
+        assert_eq!(
+            Scenario::vi_smp(2048).laxity_window_ns(),
+            Some((0, 200_000))
+        );
+
+        let sub = s.restrict_laxity(10, 20).expect("sub-range");
+        assert_eq!(sub.laxity_window_ns(), Some((10, 20)));
+        assert_eq!(sub.name, "vi-uniprocessor-2048B#lax[10,20]");
+        // The full range round-trips; out-of-range / inverted are refused.
+        assert_eq!(
+            s.restrict_laxity(lo, hi).unwrap().laxity_window_ns(),
+            Some((lo, hi))
+        );
+        assert!(s.restrict_laxity(0, hi + 1).is_none());
+        assert!(s.restrict_laxity(20, 10).is_none());
+
+        // Restriction is exact conditioning: a restricted round's prologue
+        // draw lands inside the sub-range, and the rest of the round is the
+        // ordinary engine (it still runs to completion).
+        let r = sub.run_round(7);
+        assert!(r.victim_exited);
+
+        // Constant-prologue scenarios have no laxity axis.
+        let mut flat = Scenario::vi_uniprocessor(2048);
+        if let VictimSpec::Vi(c) = &mut flat.victim {
+            c.prologue = DurationDist::const_us(5.0);
+        }
+        assert_eq!(flat.laxity_window_ns(), None);
+        assert!(flat.restrict_laxity(0, 1).is_none());
+    }
+
+    #[test]
+    fn restricted_strata_recombine_to_the_full_law() {
+        // Stratifying the discrete uniform is exact: sampling the stratum
+        // scenario conditions the phase on the sub-range, so the stratum
+        // success indicator has exactly the conditional rate. Spot-check
+        // that the hot band found by phase scanning really is hot and a
+        // dead band really is dead.
+        let s = Scenario::vi_uniprocessor(2048);
+        let hot = s.restrict_laxity(99_218_750, 100_000_000).unwrap();
+        let hot_hits = (0..40).filter(|&i| hot.run_round(500 + i).success).count();
+        assert!(hot_hits >= 3, "hot stratum ~20%: got {hot_hits}/40");
+        let dead = s.restrict_laxity(0, 50_000_000).unwrap();
+        let dead_hits = (0..40).filter(|&i| dead.run_round(500 + i).success).count();
+        assert_eq!(dead_hits, 0, "first half of the slice cannot land");
     }
 
     #[test]

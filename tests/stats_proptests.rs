@@ -1,0 +1,112 @@
+//! Property tests for the exact Clopper–Pearson interval in
+//! `tocttou_core::stats`, pinned against the *definition*: the bounds are
+//! the success probabilities at which the observed count becomes exactly
+//! α/2-tail-improbable under the exact binomial law. The implementation
+//! goes through the regularized incomplete beta function and its inverse;
+//! these tests recompute the tails by direct binomial summation, so any
+//! drift in the special-function stack (Lanczos, continued fraction,
+//! bisection) shows up as a violated identity.
+
+use proptest::prelude::*;
+use tocttou::core::stats::{clopper_pearson_ci, SuccessCounter};
+
+/// Exact binomial survival function `P[X ≥ s]` for `X ~ Bin(n, p)`,
+/// by direct summation with the multiplicative term recurrence.
+fn binom_sf(s: u64, n: u64, p: f64) -> f64 {
+    if s == 0 {
+        return 1.0;
+    }
+    if s > n {
+        return 0.0;
+    }
+    // Sum P[X < s] in log space — a plain q^n recurrence underflows to
+    // zero for the extreme p values the boundary intervals produce.
+    let ln_fact = |k: u64| (1..=k).map(|i| (i as f64).ln()).sum::<f64>();
+    let (ln_p, ln_q) = (p.ln(), (1.0 - p).ln());
+    let mut below = 0.0; // P[X < s]
+    for k in 0..s {
+        let ln_term =
+            ln_fact(n) - ln_fact(k) - ln_fact(n - k) + k as f64 * ln_p + (n - k) as f64 * ln_q;
+        below += ln_term.exp();
+    }
+    (1.0 - below).clamp(0.0, 1.0)
+}
+
+/// `(n, s, α)` with `1 ≤ n ≤ 120`, `0 ≤ s ≤ n` and a conventional
+/// two-sided level.
+fn counts() -> impl Strategy<Value = (u64, u64, f64)> {
+    (
+        1u64..=120,
+        any::<u64>(),
+        prop_oneof![Just(0.01), Just(0.05), Just(0.2)],
+    )
+        .prop_map(|(n, raw, alpha)| (n, raw % (n + 1), alpha))
+}
+
+proptest! {
+    /// The defining equations. For s > 0 the lower bound is the p at
+    /// which seeing ≥ s successes has probability exactly α/2; for s < n
+    /// the upper bound is the p at which seeing ≤ s successes has
+    /// probability exactly α/2. The boundary counts pin to 0 and 1.
+    #[test]
+    fn bounds_invert_the_exact_binomial_tails(t in counts()) {
+        let (n, s, alpha) = t;
+        let (lo, hi) = clopper_pearson_ci(s, n, alpha);
+        if s == 0 {
+            prop_assert_eq!(lo, 0.0);
+        } else {
+            let tail = binom_sf(s, n, lo);
+            prop_assert!((tail - alpha / 2.0).abs() < 1e-6,
+                "P[X ≥ {s}] at lo = {lo} is {tail}, want {}", alpha / 2.0);
+        }
+        if s == n {
+            prop_assert_eq!(hi, 1.0);
+        } else {
+            let tail = 1.0 - binom_sf(s + 1, n, hi);
+            prop_assert!((tail - alpha / 2.0).abs() < 1e-6,
+                "P[X ≤ {s}] at hi = {hi} is {tail}, want {}", alpha / 2.0);
+        }
+    }
+
+    /// The interval is a real interval around the MLE, and complementing
+    /// the successes mirrors it: CP(n−s) = 1 − CP(s) reversed.
+    #[test]
+    fn interval_brackets_the_mle_and_mirrors(t in counts()) {
+        let (n, s, alpha) = t;
+        let (lo, hi) = clopper_pearson_ci(s, n, alpha);
+        let mle = s as f64 / n as f64;
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= mle && mle <= hi, "[{lo}, {hi}] misses {mle}");
+        let (mlo, mhi) = clopper_pearson_ci(n - s, n, alpha);
+        prop_assert!((mlo - (1.0 - hi)).abs() < 1e-9, "{mlo} vs 1-{hi}");
+        prop_assert!((mhi - (1.0 - lo)).abs() < 1e-9, "{mhi} vs 1-{lo}");
+    }
+
+    /// Both bounds are monotone in the success count — one more observed
+    /// success can only push the plausible range of p upward.
+    #[test]
+    fn bounds_are_monotone_in_successes(t in counts()) {
+        let (n, s, alpha) = t;
+        let s = s.min(n - 1); // the vendored proptest has no prop_assume
+        let (lo, hi) = clopper_pearson_ci(s, n, alpha);
+        let (lo2, hi2) = clopper_pearson_ci(s + 1, n, alpha);
+        prop_assert!(lo2 >= lo, "lower bound fell: {lo} -> {lo2}");
+        prop_assert!(hi2 >= hi, "upper bound fell: {hi} -> {hi2}");
+    }
+
+    /// Confidence levels nest: the 80 % interval sits inside the 99 %
+    /// interval for the same data, and both contain the Wilson point
+    /// estimate (the agreement anchor between the exact and approximate
+    /// stacks).
+    #[test]
+    fn intervals_nest_across_levels(t in counts()) {
+        let (n, s, _alpha) = t;
+        let tight = clopper_pearson_ci(s, n, 0.2);
+        let loose = clopper_pearson_ci(s, n, 0.01);
+        prop_assert!(loose.0 <= tight.0 + 1e-12 && tight.1 <= loose.1 + 1e-12,
+            "80% [{:?}] escapes 99% [{:?}]", tight, loose);
+        let rate = SuccessCounter::from_counts(s, n).rate();
+        prop_assert!(loose.0 <= rate && rate <= loose.1);
+    }
+}
